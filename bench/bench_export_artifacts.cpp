@@ -1,0 +1,148 @@
+// Writes every reproduced table/figure as machine-readable artifacts:
+//   artifacts/table{2,3,4}.csv        throughput/memory grids
+//   artifacts/fig{6,7,8,9}.csv        scaling series
+//   artifacts/fig{1,2,3,4}.svg        schedule diagrams
+//   artifacts/fig{1,2,3,4}.csv        schedule op traces
+// Run from the repo root (or pass an output directory as argv[1]).
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sched/builders.hpp"
+#include "trace/export.hpp"
+
+using namespace weipipe;
+using namespace weipipe::bench;
+
+namespace {
+
+std::vector<trace::ExperimentRow> run_grid(
+    const std::vector<std::array<std::int64_t, 3>>& hsg, std::int64_t layers,
+    const sim::Topology& topo, std::int64_t n) {
+  std::vector<trace::ExperimentRow> rows;
+  for (const auto& [h, s, g] : hsg) {
+    for (auto strat :
+         {sim::Strategy::k1F1B, sim::Strategy::kZB1, sim::Strategy::kZB2,
+          sim::Strategy::kFSDP, sim::Strategy::kWeiPipeInterleave}) {
+      sim::ModelDims dims;
+      dims.hidden = h;
+      dims.seq = s;
+      dims.microbatch = g;
+      dims.layers = layers;
+      sim::ExperimentConfig cfg;
+      cfg.dims = dims;
+      if (strat == sim::Strategy::kZB1 || strat == sim::Strategy::kZB2) {
+        cfg.dims.microbatch = zb_microbatch(s);
+      }
+      cfg.num_microbatches = n;
+      cfg.strategy = strat;
+      char label[64];
+      std::snprintf(label, sizeof(label), "H%lld-S%lld-G%lld",
+                    static_cast<long long>(h), static_cast<long long>(s),
+                    static_cast<long long>(g));
+      rows.push_back({label, sim::run_experiment(cfg, topo)});
+    }
+  }
+  return rows;
+}
+
+void export_schedule_figure(const std::string& dir, int fignum,
+                            const sched::Program& prog) {
+  const sim::Topology ideal =
+      sim::Topology::uniform(prog.num_ranks(), sim::Link{1e15, 0.0}, "ideal");
+  const sim::SimResult res = sim::simulate(prog, ideal, {.record_ops = true});
+  trace::write_file(dir + "/fig" + std::to_string(fignum) + ".svg",
+                    trace::records_to_svg(res));
+  trace::write_file(dir + "/fig" + std::to_string(fignum) + ".csv",
+                    trace::records_to_csv(res));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "artifacts";
+  std::filesystem::create_directories(dir);
+
+  const std::vector<std::array<std::int64_t, 3>> grid = {
+      {1024, 4096, 16}, {1024, 8192, 8}, {1024, 16384, 4},
+      {2048, 4096, 16}, {2048, 8192, 8}, {2048, 16384, 4},
+      {4096, 4096, 16}, {4096, 8192, 8}, {4096, 16384, 4}};
+
+  std::printf("exporting tables...\n");
+  trace::write_file(dir + "/table2.csv",
+                    trace::experiments_to_csv(run_grid(
+                        grid, 32, sim::Topology::nvlink(16, 8), 256)));
+  trace::write_file(
+      dir + "/table3.csv",
+      trace::experiments_to_csv(run_grid(
+          grid, 32, sim::Topology::pcie_ethernet(16, 4), 256)));
+  trace::write_file(dir + "/table4.csv",
+                    trace::experiments_to_csv(run_grid(
+                        grid, 16, sim::Topology::nvlink(8, 8), 128)));
+
+  std::printf("exporting scaling figures...\n");
+  for (const auto& [fig, gpus_list, per_node, layers, weak] :
+       std::vector<std::tuple<int, std::vector<int>, int, std::int64_t,
+                              bool>>{{6, {4, 8, 16}, 4, 16, true},
+                                     {7, {8, 16, 32}, 8, 32, true},
+                                     {8, {4, 8, 16}, 4, 16, false},
+                                     {9, {8, 16, 32}, 8, 32, false}}) {
+    std::vector<trace::ExperimentRow> rows;
+    for (int p : gpus_list) {
+      sim::ModelDims dims;
+      dims.hidden = 2048;
+      dims.seq = weak ? 8192 : 16384;
+      dims.microbatch = 8;
+      dims.layers = layers;
+      dims.vocab = 4096;
+      for (auto strat : {sim::Strategy::k1F1B, sim::Strategy::kFSDP,
+                         sim::Strategy::kWeiPipeInterleave}) {
+        sim::ExperimentConfig cfg;
+        cfg.dims = dims;
+        cfg.num_microbatches =
+            weak ? 16 * p : (fig == 8 ? 128 : 256);
+        cfg.strategy = strat;
+        rows.push_back({"gpus" + std::to_string(p),
+                        sim::run_experiment(
+                            cfg, sim::Topology::nvlink_ethernet(p, per_node))});
+      }
+    }
+    trace::write_file(dir + "/fig" + std::to_string(fig) + ".csv",
+                      trace::experiments_to_csv(rows));
+    trace::write_file(dir + "/fig" + std::to_string(fig) + ".svg",
+                      trace::experiments_to_svg(
+                          rows, "Figure " + std::to_string(fig)));
+  }
+
+  std::printf("exporting schedule diagrams (figures 1-4)...\n");
+  sched::StrategyCosts costs;
+  for (int i = 0; i < 4; ++i) {
+    costs.fwd_seconds.push_back(1.0);
+    costs.bwd_seconds.push_back(2.0);
+    costs.bwd_acts_seconds.push_back(1.0);
+    costs.bwd_weights_seconds.push_back(1.0);
+    costs.chunk_weight_bytes.push_back(1.0);
+    costs.act_mem_bytes.push_back(1.0);
+  }
+  costs.act_bytes = 1.0;
+  costs.act_grad_bytes = 1.0;
+  export_schedule_figure(
+      dir, 1,
+      sched::build_weipipe(WeiPipeSchedule(4, 3, WeiPipeMode::kNaive), costs));
+  export_schedule_figure(
+      dir, 2,
+      sched::build_weipipe(WeiPipeSchedule(4, 3, WeiPipeMode::kInterleave),
+                           costs));
+  export_schedule_figure(dir, 3,
+                         sched::build_weipipe_zero_bubble(
+                             4, 3, sched::WzbVariant::kWzb1, costs));
+  export_schedule_figure(dir, 4,
+                         sched::build_weipipe_zero_bubble(
+                             4, 3, sched::WzbVariant::kWzb2, costs));
+
+  std::printf("artifacts written to %s/\n", dir.c_str());
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 7 reproduction: large-scale weak scaling. 8 -> 32 GPUs (8 GPUs per
+// NVLink server, Ethernet between servers), batch 128 -> 512 sequences,
+// L=32. Strategies shown in the paper's figure: 1F1B, FSDP, WeiPipe.
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hpp"
+
+using namespace weipipe;
+using namespace weipipe::bench;
+
+int main() {
+  const std::int64_t G = 8;  // batch below counts microbatches
+  const sim::Strategy strategies[] = {sim::Strategy::k1F1B,
+                                      sim::Strategy::kFSDP,
+                                      sim::Strategy::kWeiPipeInterleave};
+  const int gpus[] = {8, 16, 32};
+
+  std::printf(
+      "== Figure 7: large-scale weak scaling (batch 128->512 microbatches, 8 GPU "
+      "NVLink servers + Ethernet) ==\n");
+  std::printf("%8s |", "GPUs");
+  for (auto s : strategies) {
+    std::printf(" %20s |", sim::to_string(s));
+  }
+  std::printf("   (total kilo-tok/s, [per-GPU tok/s])\n");
+
+  std::map<int, std::map<int, Cell>> grid;
+  for (int p : gpus) {
+    const std::int64_t n = 16 * p;  // batch 128 -> 512 microbatches
+    sim::ModelDims dims;
+    dims.hidden = 2048;
+    dims.seq = 8192;
+    dims.microbatch = G;
+    dims.layers = 32;
+    dims.heads = 32;
+    // Scaling figures train synthetic data; a compact tokenizer keeps the
+    // LM head from skewing stage balance at layer-per-rank granularity.
+    dims.vocab = 4096;
+    const sim::Topology topo = sim::Topology::nvlink_ethernet(p, 8);
+    std::printf("%8d |", p);
+    for (int i = 0; i < 3; ++i) {
+      const Cell c = run_cell(strategies[i], dims, n, topo);
+      grid[p][i] = c;
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%6.1f [%6.0f]",
+                    c.tokens_per_s_per_gpu * p / 1000.0,
+                    c.tokens_per_s_per_gpu);
+      std::printf(" %20s |", buf);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n== shape checks vs paper Figure 7 ==\n");
+  auto retention = [&](int idx) {
+    return grid[32][idx].tokens_per_s_per_gpu /
+           grid[8][idx].tokens_per_s_per_gpu;
+  };
+  const double weipipe_keep = retention(2);
+  const double f1b_keep = retention(0);
+  const double fsdp_keep = retention(1);
+  char detail[160];
+  std::snprintf(detail, sizeof(detail),
+                "per-GPU retention 8->32 GPUs: WeiPipe %.2f vs 1F1B %.2f, "
+                "FSDP %.2f",
+                weipipe_keep, f1b_keep, fsdp_keep);
+  shape_check("weipipe-weak-scales-best",
+              weipipe_keep >= f1b_keep && weipipe_keep >= fsdp_keep, detail);
+  shape_check("weipipe-highest-per-gpu-at-32",
+              grid[32][2].tokens_per_s_per_gpu >=
+                  std::max(grid[32][0].tokens_per_s_per_gpu,
+                           grid[32][1].tokens_per_s_per_gpu),
+              "paper: WeiPipe per-GPU highest at the largest scale");
+  return 0;
+}

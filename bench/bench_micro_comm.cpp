@@ -1,0 +1,74 @@
+// google-benchmark microbenchmarks for the message-passing fabric and the
+// wire packers — the substrate costs behind every trainer.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "comm/collectives.hpp"
+#include "comm/fabric.hpp"
+
+namespace weipipe::comm {
+namespace {
+
+void BM_PackFp16(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> values(n, 1.5f);
+  for (auto _ : state) {
+    auto bytes = pack_floats(values, WirePrecision::Fp16);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(n) *
+                          4);
+}
+BENCHMARK(BM_PackFp16)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_PingPong(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Fabric fabric(2);
+  std::vector<float> payload(n, 1.0f);
+  std::vector<float> sink(n);
+  for (auto _ : state) {
+    std::thread peer([&] {
+      Endpoint& ep = fabric.endpoint(1);
+      std::vector<float> buf(n);
+      ep.recv_floats(0, 1, buf, WirePrecision::Fp32);
+      ep.send_floats(0, 2, buf, WirePrecision::Fp32);
+    });
+    Endpoint& ep = fabric.endpoint(0);
+    ep.send_floats(1, 1, payload, WirePrecision::Fp32);
+    ep.recv_floats(1, 2, sink, WirePrecision::Fp32);
+    peer.join();
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(n) *
+                          8);
+}
+BENCHMARK(BM_PingPong)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_RingAllReduce(benchmark::State& state) {
+  const int p = 4;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Fabric fabric(p);
+    std::vector<std::thread> threads;
+    for (int r = 0; r < p; ++r) {
+      threads.emplace_back([&, r] {
+        std::vector<float> buf(n, static_cast<float>(r));
+        ring_all_reduce(fabric.endpoint(r),
+                        std::span<float>(buf.data(), buf.size()),
+                        WirePrecision::Fp32);
+        benchmark::DoNotOptimize(buf.data());
+      });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(n) *
+                          4 * p);
+}
+BENCHMARK(BM_RingAllReduce)->Arg(1 << 12)->Arg(1 << 16);
+
+}  // namespace
+}  // namespace weipipe::comm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// google-benchmark microbenchmarks at the nn layer: full transformer block
+// forward/backward, recompute overhead, GQA vs MHA, cross-entropy.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "nn/block.hpp"
+#include "nn/loss.hpp"
+
+namespace weipipe {
+namespace {
+
+ModelConfig bench_cfg(std::int64_t dim, std::int64_t kv_heads = 0) {
+  ModelConfig cfg;
+  cfg.vocab_size = 256;
+  cfg.dim = dim;
+  cfg.n_layers = 1;
+  cfg.n_heads = 4;
+  cfg.n_kv_heads = kv_heads;
+  cfg.seq_len = 64;
+  return cfg;
+}
+
+Microbatch bench_mb(const ModelConfig& cfg) {
+  SyntheticDataset data(cfg.vocab_size, 9);
+  return data.make(0, 2, cfg.seq_len);
+}
+
+void BM_LayerForward(benchmark::State& state) {
+  const ModelConfig cfg = bench_cfg(state.range(0));
+  TransformerLayerBlock block(cfg);
+  Rng rng(1);
+  std::vector<float> w(static_cast<std::size_t>(block.param_count()));
+  block.init_params(w, rng);
+  const Microbatch mb = bench_mb(cfg);
+  const Tensor x = Tensor::randn({mb.rows(), cfg.dim}, rng);
+  for (auto _ : state) {
+    BlockCtx ctx;
+    Tensor y = block.forward(std::span<const float>(w.data(), w.size()), mb,
+                             x, ctx, true);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_LayerForward)->Arg(64)->Arg(128);
+
+void BM_LayerBackward(benchmark::State& state) {
+  const bool recompute = state.range(1) != 0;
+  ModelConfig cfg = bench_cfg(state.range(0));
+  TransformerLayerBlock block(cfg);
+  Rng rng(2);
+  std::vector<float> w(static_cast<std::size_t>(block.param_count()));
+  block.init_params(w, rng);
+  const Microbatch mb = bench_mb(cfg);
+  const Tensor x = Tensor::randn({mb.rows(), cfg.dim}, rng);
+  const Tensor dy = Tensor::randn({mb.rows(), cfg.dim}, rng);
+  BlockCtx ctx;
+  (void)block.forward(std::span<const float>(w.data(), w.size()), mb, x, ctx,
+                      /*save_internals=*/!recompute);
+  std::vector<float> dw(w.size(), 0.0f);
+  for (auto _ : state) {
+    Tensor dx = block.backward(std::span<const float>(w.data(), w.size()), mb,
+                               ctx, dy, std::span<float>(dw.data(), dw.size()));
+    benchmark::DoNotOptimize(dx.data());
+  }
+  state.SetLabel(recompute ? "recompute" : "saved");
+}
+BENCHMARK(BM_LayerBackward)->Args({64, 0})->Args({64, 1})->Args({128, 0});
+
+void BM_LayerForwardGqa(benchmark::State& state) {
+  // 4 query heads over `kv` kv heads: smaller K/V projections.
+  const ModelConfig cfg = bench_cfg(128, state.range(0));
+  TransformerLayerBlock block(cfg);
+  Rng rng(3);
+  std::vector<float> w(static_cast<std::size_t>(block.param_count()));
+  block.init_params(w, rng);
+  const Microbatch mb = bench_mb(cfg);
+  const Tensor x = Tensor::randn({mb.rows(), cfg.dim}, rng);
+  for (auto _ : state) {
+    BlockCtx ctx;
+    Tensor y = block.forward(std::span<const float>(w.data(), w.size()), mb,
+                             x, ctx, true);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_LayerForwardGqa)->Arg(4)->Arg(2)->Arg(1);
+
+void BM_CrossEntropy(benchmark::State& state) {
+  const std::int64_t vocab = state.range(0);
+  ModelConfig cfg = bench_cfg(64);
+  cfg.vocab_size = vocab;
+  const Microbatch mb = bench_mb(cfg);
+  Rng rng(4);
+  const Tensor logits = Tensor::randn({mb.rows(), vocab}, rng);
+  for (auto _ : state) {
+    LossResult lr = cross_entropy_loss(logits, mb);
+    benchmark::DoNotOptimize(lr.dlogits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * mb.rows() * vocab);
+}
+BENCHMARK(BM_CrossEntropy)->Arg(256)->Arg(4096);
+
+}  // namespace
+}  // namespace weipipe
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// google-benchmark microbenchmarks for the tensor/nn kernels the trainers
+// spend their time in.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "nn/layer_math.hpp"
+#include "tensor/ops.hpp"
+
+namespace weipipe {
+namespace {
+
+Tensor make_randn(std::vector<std::int64_t> shape, std::uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::randn(std::move(shape), rng);
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const Tensor a = make_randn({n, n}, 1);
+  const Tensor b = make_randn({n, n}, 2);
+  for (auto _ : state) {
+    Tensor c = matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulBt(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const Tensor a = make_randn({n, n}, 1);
+  const Tensor b = make_randn({n, n}, 2);
+  for (auto _ : state) {
+    Tensor c = matmul_bt(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulBt)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  const std::int64_t rows = 256;
+  const std::int64_t cols = state.range(0);
+  Tensor x = make_randn({rows, cols}, 3);
+  for (auto _ : state) {
+    Tensor y = x;
+    kernels::softmax_rows(y.data(), rows, cols, nullptr);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows * cols);
+}
+BENCHMARK(BM_SoftmaxRows)->Arg(128)->Arg(1024);
+
+void BM_AttentionNaive(benchmark::State& state) {
+  const std::int64_t S = state.range(0);
+  const std::int64_t G = 2;
+  const std::int64_t nh = 4;
+  const std::int64_t dh = 16;
+  const Tensor q = make_randn({G * S, nh * dh}, 4);
+  const Tensor k = make_randn({G * S, nh * dh}, 5);
+  const Tensor v = make_randn({G * S, nh * dh}, 6);
+  Tensor out({G * S, nh * dh});
+  Tensor probs({G, nh, S, S});
+  for (auto _ : state) {
+    attention_forward_naive(q.data(), k.data(), v.data(), out.data(),
+                            probs.data(), G, S, nh, dh);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_AttentionNaive)->Arg(64)->Arg(128);
+
+void BM_AttentionStream(benchmark::State& state) {
+  const std::int64_t S = state.range(0);
+  const std::int64_t G = 2;
+  const std::int64_t nh = 4;
+  const std::int64_t dh = 16;
+  const Tensor q = make_randn({G * S, nh * dh}, 4);
+  const Tensor k = make_randn({G * S, nh * dh}, 5);
+  const Tensor v = make_randn({G * S, nh * dh}, 6);
+  Tensor out({G * S, nh * dh});
+  Tensor lse({G, nh, S});
+  for (auto _ : state) {
+    attention_forward_stream(q.data(), k.data(), v.data(), out.data(),
+                             lse.data(), G, S, nh, dh);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_AttentionStream)->Arg(64)->Arg(128);
+
+void BM_RmsNorm(benchmark::State& state) {
+  const std::int64_t rows = 512;
+  const std::int64_t dim = state.range(0);
+  const Tensor x = make_randn({rows, dim}, 7);
+  const Tensor gain = Tensor::full({dim}, 1.0f);
+  Tensor y({rows, dim});
+  Tensor inv({rows});
+  for (auto _ : state) {
+    rmsnorm_forward(x.data(), gain.data(), y.data(), inv.data(), rows, dim,
+                    1e-5f);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows * dim);
+}
+BENCHMARK(BM_RmsNorm)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace weipipe
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Figures 1-4 reproduction: renders the schedule diagrams (WeiPipe-Naive,
+// WeiPipe-Interleave, WZB1, WZB2) as ASCII timelines at P=4, plus bubble
+// ratios for the whole strategy family under the paper's T_B = 2 T_F
+// workload assumption.
+#include <cstdio>
+
+#include "sched/builders.hpp"
+#include "sim/engine.hpp"
+#include "trace/timeline.hpp"
+
+using namespace weipipe;
+
+namespace {
+
+sched::StrategyCosts unit_costs(std::int64_t p) {
+  sched::StrategyCosts c;
+  for (std::int64_t i = 0; i < p; ++i) {
+    c.fwd_seconds.push_back(1.0);
+    c.bwd_seconds.push_back(2.0);  // T_B = 2 T_F (no recompute, Fig. 1-4)
+    c.bwd_acts_seconds.push_back(1.0);
+    c.bwd_weights_seconds.push_back(1.0);
+    c.chunk_weight_bytes.push_back(1.0);
+    c.act_mem_bytes.push_back(1.0);
+  }
+  c.act_bytes = 1.0;
+  c.act_grad_bytes = 1.0;
+  return c;
+}
+
+void show(const sched::Program& prog, const sim::Topology& topo) {
+  const sim::SimResult res = sim::simulate(prog, topo, {.record_ops = true});
+  std::printf("%s", trace::render_timeline(res, {.width = 96}).c_str());
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const std::int64_t P = 4;
+  const std::int64_t rounds = 3;  // 12 microbatches at P=4
+  const sched::StrategyCosts costs = unit_costs(P);
+  const sim::Topology ideal = sim::Topology::uniform(
+      static_cast<int>(P), sim::Link{1e15, 0.0}, "ideal");
+
+  std::printf("== Figure 1: WeiPipe-Naive (P=4) ==\n");
+  show(sched::build_weipipe(WeiPipeSchedule(P, rounds, WeiPipeMode::kNaive),
+                            costs),
+       ideal);
+
+  std::printf("== Figure 2: WeiPipe-Interleave (P=4) ==\n");
+  show(sched::build_weipipe(
+           WeiPipeSchedule(P, rounds, WeiPipeMode::kInterleave), costs),
+       ideal);
+
+  std::printf("== Figure 3: WeiPipe-zero-bubble 1 (WZB1, P=4) ==\n");
+  show(sched::build_weipipe_zero_bubble(P, rounds, sched::WzbVariant::kWzb1,
+                                        costs),
+       ideal);
+
+  std::printf("== Figure 4: WeiPipe-zero-bubble 2 (WZB2, P=4) ==\n");
+  show(sched::build_weipipe_zero_bubble(P, rounds, sched::WzbVariant::kWzb2,
+                                        costs),
+       ideal);
+
+  std::printf("== Reference schedules: GPipe / 1F1B / ZB1 / ZB2 (P=4) ==\n");
+  show(sched::build_gpipe(P, rounds * P, costs), ideal);
+  show(sched::build_1f1b(P, rounds * P, costs), ideal);
+  show(sched::build_zero_bubble(P, rounds * P, sched::ZbVariant::kZb1, costs),
+       ideal);
+  show(sched::build_zero_bubble(P, rounds * P, sched::ZbVariant::kZb2, costs),
+       ideal);
+
+  // Bubble-ratio family summary at a steadier configuration.
+  std::printf("== Bubble ratios (P=8, N=64, T_B = 2 T_F, ideal links) ==\n");
+  const std::int64_t p8 = 8;
+  const std::int64_t n = 64;
+  const sched::StrategyCosts c8 = unit_costs(p8);
+  const sim::Topology ideal8 =
+      sim::Topology::uniform(static_cast<int>(p8), sim::Link{1e15, 0.0},
+                             "ideal");
+  struct Entry {
+    const char* name;
+    sched::Program prog;
+  };
+  const Entry entries[] = {
+      {"gpipe", sched::build_gpipe(p8, n, c8)},
+      {"1f1b", sched::build_1f1b(p8, n, c8)},
+      {"zb1", sched::build_zero_bubble(p8, n, sched::ZbVariant::kZb1, c8)},
+      {"zb2", sched::build_zero_bubble(p8, n, sched::ZbVariant::kZb2, c8)},
+      {"weipipe-naive",
+       sched::build_weipipe(WeiPipeSchedule(p8, n / p8, WeiPipeMode::kNaive),
+                            c8)},
+      {"weipipe-interleave",
+       sched::build_weipipe(
+           WeiPipeSchedule(p8, n / p8, WeiPipeMode::kInterleave), c8)},
+      {"wzb1", sched::build_weipipe_zero_bubble(p8, n / p8,
+                                                sched::WzbVariant::kWzb1, c8)},
+      {"wzb2", sched::build_weipipe_zero_bubble(p8, n / p8,
+                                                sched::WzbVariant::kWzb2, c8)},
+  };
+  for (const Entry& e : entries) {
+    const sim::SimResult r = sim::simulate(e.prog, ideal8);
+    std::printf("  %-20s bubble %5.1f%%  makespan %7.1f\n", e.name,
+                r.bubble_ratio() * 100.0, r.makespan);
+  }
+  return 0;
+}

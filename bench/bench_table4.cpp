@@ -1,0 +1,84 @@
+// Table 4 reproduction: 8 GPUs on a single NVLink node, L=16 — the regime
+// the paper uses to show WeiPipe's advantage can *reverse* when communication
+// is cheap: FSDP (and for some cells ZB) overtake WeiPipe.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace weipipe;
+using namespace weipipe::bench;
+
+namespace {
+
+struct PaperRow {
+  std::int64_t h, s, g;
+  // Paper values in kilo-tokens/s/GPU where legible; -2 = cell garbled in
+  // our source text, -1 = OOM.
+  double tp[5];
+};
+
+const PaperRow kPaper[] = {
+    {1024, 4096, 16, {32.0, 45.8, 46.5, 37.9, 31.3}},
+    {2048, 16384, 4, {15.9, 22.0, 22.1, 17.8, 16.9}},
+    {4096, 4096, 16, {5.2, -1, -1, 6.0, 4.9}},
+    {4096, 16384, 4, {3.7, -1, -1, 3.8, 3.6}},
+};
+
+const sim::Strategy kStrategies[] = {
+    sim::Strategy::k1F1B, sim::Strategy::kZB1, sim::Strategy::kZB2,
+    sim::Strategy::kFSDP, sim::Strategy::kWeiPipeInterleave};
+
+}  // namespace
+
+int main() {
+  const int P = 8;
+  const std::int64_t N = 16 * P;
+  const sim::Topology topo = sim::Topology::nvlink(P, 8);  // one node
+
+  std::printf("== Table 4: 8 GPUs, single NVLink node, L=16 ==\n");
+  std::printf("%5s %6s %3s |", "H", "S", "G");
+  for (auto s : kStrategies) {
+    std::printf(" %22s |", sim::to_string(s));
+  }
+  std::printf("\n%s\n", std::string(140, '-').c_str());
+
+  int fsdp_beats_weipipe = 0;
+  int rows = 0;
+  for (const PaperRow& row : kPaper) {
+    sim::ModelDims dims;
+    dims.hidden = row.h;
+    dims.seq = row.s;
+    dims.microbatch = row.g;
+    dims.layers = 16;
+    dims.heads = 32;
+    std::printf("%5lld %6lld %3lld |", static_cast<long long>(row.h),
+                static_cast<long long>(row.s), static_cast<long long>(row.g));
+    Cell cells[5];
+    for (int i = 0; i < 5; ++i) {
+      cells[i] = run_cell(kStrategies[i], dims, N, topo);
+      char paper[32];
+      if (row.tp[i] == -1) {
+        std::snprintf(paper, sizeof(paper), "OOM");
+      } else {
+        std::snprintf(paper, sizeof(paper), "%.1fk", row.tp[i]);
+      }
+      std::printf(" %10s (p:%7s) |", cell_str(cells[i]).c_str(), paper);
+    }
+    std::printf("\n");
+    ++rows;
+    if (!cells[3].oom && cells[3].tokens_per_s_per_gpu >
+                             cells[4].tokens_per_s_per_gpu) {
+      ++fsdp_beats_weipipe;
+    }
+  }
+
+  std::printf("\n== shape checks vs paper Table 4 ==\n");
+  char detail[128];
+  std::snprintf(detail, sizeof(detail),
+                "FSDP > WeiPipe in %d/%d rows (paper: conventional methods "
+                "can win on cheap interconnects)",
+                fsdp_beats_weipipe, rows);
+  shape_check("advantage-reverses-on-pure-nvlink", fsdp_beats_weipipe >= rows - 1,
+              detail);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Shared helpers for the table/figure reproduction benches: cell runner with
+// the paper's per-strategy microbatch-size rule, table formatting, and
+// side-by-side paper-vs-simulated printing.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace weipipe::bench {
+
+struct Cell {
+  bool oom = false;
+  double tokens_per_s_per_gpu = 0.0;
+  double mem_gb = 0.0;
+  double bubble = 0.0;
+  double wire_gb = 0.0;
+};
+
+// Paper footnote (Tables 2-4): ZB strategies use G=4 when S=4096 and G=1 for
+// longer sequences, because their no-recompute activation footprint OOMs at
+// the common G.
+inline std::int64_t zb_microbatch(std::int64_t seq) {
+  return seq == 4096 ? 4 : 1;
+}
+
+inline Cell run_cell(sim::Strategy strategy, sim::ModelDims dims,
+                     std::int64_t num_microbatches,
+                     const sim::Topology& topo) {
+  if (strategy == sim::Strategy::kZB1 || strategy == sim::Strategy::kZB2) {
+    dims.microbatch = zb_microbatch(dims.seq);
+  }
+  sim::ExperimentConfig cfg;
+  cfg.dims = dims;
+  cfg.num_microbatches = num_microbatches;
+  cfg.strategy = strategy;
+  const sim::ExperimentResult r = sim::run_experiment(cfg, topo);
+  Cell c;
+  c.oom = r.oom;
+  c.tokens_per_s_per_gpu = r.tokens_per_second_per_gpu;
+  c.mem_gb = r.peak_mem_bytes / 1e9;
+  c.bubble = r.bubble_ratio;
+  c.wire_gb = r.wire_bytes / 1e9;
+  return c;
+}
+
+inline std::string cell_str(const Cell& c) {
+  char buf[64];
+  if (c.oom) {
+    std::snprintf(buf, sizeof(buf), "OOM(%.0fG)", c.mem_gb);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f/%.0fG", c.tokens_per_s_per_gpu,
+                  c.mem_gb);
+  }
+  return buf;
+}
+
+// Emits "name: PASS"/"name: FAIL (detail)" shape-check lines; the bench
+// return code stays 0 (these are report lines, asserted hard in tests/).
+inline bool shape_check(const char* name, bool ok, const std::string& detail) {
+  std::printf("  shape[%s]: %s%s%s\n", name, ok ? "PASS" : "FAIL",
+              detail.empty() ? "" : " — ", detail.c_str());
+  return ok;
+}
+
+}  // namespace weipipe::bench

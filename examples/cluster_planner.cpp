@@ -1,0 +1,80 @@
+// Cluster planner: pick a training strategy for *your* model on *your*
+// cluster, using the calibrated discrete-event simulator.
+//
+//   ./examples/cluster_planner [H] [S] [G] [L] [gpus] [gpus_per_node] [env]
+//     env: nvlink | pcie | ethernet     (default: nvlink)
+//
+// Example: a 6B-parameter model with 16k context on 16 GPUs across 4 PCIe
+// nodes:  ./examples/cluster_planner 4096 16384 4 32 16 4 pcie
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/experiment.hpp"
+
+using namespace weipipe;
+using namespace weipipe::sim;
+
+int main(int argc, char** argv) {
+  ModelDims dims;
+  dims.hidden = argc > 1 ? std::atoll(argv[1]) : 2048;
+  dims.seq = argc > 2 ? std::atoll(argv[2]) : 8192;
+  dims.microbatch = argc > 3 ? std::atoll(argv[3]) : 8;
+  dims.layers = argc > 4 ? std::atoll(argv[4]) : 32;
+  const int gpus = argc > 5 ? std::atoi(argv[5]) : 16;
+  const int per_node = argc > 6 ? std::atoi(argv[6]) : 8;
+  const std::string env = argc > 7 ? argv[7] : "nvlink";
+
+  Topology topo = env == "pcie" ? Topology::pcie_ethernet(gpus, per_node)
+                  : env == "ethernet"
+                      ? Topology::nvlink_ethernet(gpus, per_node)
+                      : Topology::nvlink(gpus, per_node);
+
+  std::printf("Model: H=%lld S=%lld G=%lld L=%lld (%.2fB params)\n",
+              static_cast<long long>(dims.hidden),
+              static_cast<long long>(dims.seq),
+              static_cast<long long>(dims.microbatch),
+              static_cast<long long>(dims.layers),
+              static_cast<double>(dims.total_params()) / 1e9);
+  std::printf("Cluster: %d x A800 (%d per node), fabric '%s', %d node(s)\n\n",
+              gpus, per_node, topo.name().c_str(), topo.nodes());
+
+  std::printf("%-20s | %14s | %9s | %8s | %9s\n", "strategy", "tokens/s/GPU",
+              "mem GB", "bubble", "wire GB");
+  std::printf("%s\n", std::string(75, '-').c_str());
+
+  Strategy best = Strategy::k1F1B;
+  double best_tp = 0.0;
+  for (Strategy s :
+       {Strategy::kGPipe, Strategy::k1F1B, Strategy::kZB1, Strategy::kZB2,
+        Strategy::kFSDP, Strategy::kWeiPipeNaive,
+        Strategy::kWeiPipeInterleave, Strategy::kWZB1, Strategy::kWZB2}) {
+    ExperimentConfig cfg;
+    cfg.dims = dims;
+    cfg.num_microbatches = 16 * gpus;
+    cfg.strategy = s;
+    const ExperimentResult res = run_experiment(cfg, topo);
+    if (res.oom) {
+      std::printf("%-20s | %14s | %8.1fG | %7.1f%% | %9.1f\n", to_string(s),
+                  "OOM", res.peak_mem_bytes / 1e9, res.bubble_ratio * 100,
+                  res.wire_bytes / 1e9);
+      continue;
+    }
+    std::printf("%-20s | %14.0f | %8.1fG | %7.1f%% | %9.1f\n", to_string(s),
+                res.tokens_per_second_per_gpu, res.peak_mem_bytes / 1e9,
+                res.bubble_ratio * 100, res.wire_bytes / 1e9);
+    if (res.tokens_per_second_per_gpu > best_tp) {
+      best_tp = res.tokens_per_second_per_gpu;
+      best = s;
+    }
+  }
+  std::printf("\nrecommendation: %s (%.0f tokens/s/GPU)\n", to_string(best),
+              best_tp);
+  const double ratio = static_cast<double>(dims.microbatch) * dims.seq /
+                       (12.0 * dims.hidden);
+  std::printf("paper's rule of thumb: G*S/(12H) = %.2f => %s-passing should "
+              "be cheaper per layer\n",
+              ratio, ratio > 1.0 ? "weight" : "activation");
+  return 0;
+}

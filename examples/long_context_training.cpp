@@ -1,0 +1,74 @@
+// Long-context training: the paper's motivating scenario.
+//
+// Sweeps the sequence length on a fixed tiny model and shows, with *measured*
+// fabric bytes from real training runs, how activation-passing traffic (1F1B)
+// explodes with S while WeiPipe's weight traffic stays flat — then locates
+// the crossover the paper derives analytically (G*S vs 12*H).
+//
+//   ./examples/long_context_training
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/pipeline_trainer.hpp"
+#include "core/weipipe_trainer.hpp"
+
+using namespace weipipe;
+
+namespace {
+
+TrainConfig make_config(std::int64_t seq) {
+  TrainConfig cfg;
+  cfg.model.vocab_size = 64;
+  cfg.model.dim = 48;
+  cfg.model.n_layers = 4;
+  cfg.model.n_heads = 4;
+  cfg.model.seq_len = seq;
+  cfg.model.recompute = true;
+  cfg.num_microbatches = 8;
+  cfg.microbatch_size = 2;
+  cfg.seq_len = seq;
+  cfg.seed = 77;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const long long max_s = argc > 1 ? std::atoll(argv[1]) : 2304;
+  const std::int64_t P = 4;
+  std::printf("Fixed model: H=48, L=4, G=2, N=8, P=4 workers. Sweeping S.\n");
+  std::printf("Per-message crossover (paper §4.1): act G*S*H vs weights "
+              "12*H^2 => S* = 6*H/G = %lld tokens.\n",
+              static_cast<long long>(6 * 48 / 2));
+  std::printf("Total-volume crossover also counts WeiPipe's ring turns "
+              "(3 chunks x (R+2)*P turns vs 2*N*(P-1) activation messages),\n"
+              "so the measured flip lands later in S:\n\n");
+  std::printf("%6s | %14s | %14s | %10s | %s\n", "S", "1F1B wire MB",
+              "WeiPipe wire MB", "ratio", "cheaper");
+  for (std::int64_t seq : {64LL, 288LL, 576LL, 1152LL, 2304LL}) {
+    if (seq > max_s) {
+      continue;
+    }
+    const TrainConfig cfg = make_config(seq);
+    SyntheticDataset data(cfg.model.vocab_size, cfg.seed);
+
+    PipelineTrainer f1b(cfg, P);
+    const double act_mb =
+        static_cast<double>(f1b.train_iteration(data, 0).wire_bytes) / 1e6;
+
+    WeiPipeTrainer wp(cfg, P);
+    const double wei_mb =
+        static_cast<double>(wp.train_iteration(data, 0).wire_bytes) / 1e6;
+
+    std::printf("%6lld | %14.2f | %14.2f | %10.2f | %s\n",
+                static_cast<long long>(seq), act_mb, wei_mb, act_mb / wei_mb,
+                act_mb > wei_mb ? "WeiPipe" : "1F1B");
+  }
+
+  std::printf(
+      "\nBoth runs train the same model on the same data; losses match the\n"
+      "sequential reference bit-for-bit in fp32 (see tests). In the paper's\n"
+      "regime (H up to 4096, S up to 16k, fp16 wires) the same crossover\n"
+      "decides who wins on real clusters — see bench_table2/3.\n");
+  return 0;
+}

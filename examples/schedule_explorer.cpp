@@ -1,0 +1,71 @@
+// Schedule explorer: render any strategy's pipeline timeline as ASCII art
+// (the paper's Figures 1-4, for your own P / rounds / cost ratios).
+//
+//   ./examples/schedule_explorer [strategy] [P] [rounds] [bwd/fwd ratio]
+//     strategy: naive | interleave | wzb1 | wzb2 | gpipe | 1f1b | zb1 | zb2
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sched/builders.hpp"
+#include "sim/engine.hpp"
+#include "trace/timeline.hpp"
+
+using namespace weipipe;
+
+int main(int argc, char** argv) {
+  const std::string strategy = argc > 1 ? argv[1] : "interleave";
+  const std::int64_t p = argc > 2 ? std::atoll(argv[2]) : 4;
+  const std::int64_t rounds = argc > 3 ? std::atoll(argv[3]) : 2;
+  const double ratio = argc > 4 ? std::atof(argv[4]) : 2.0;
+
+  sched::StrategyCosts costs;
+  for (std::int64_t i = 0; i < p; ++i) {
+    costs.fwd_seconds.push_back(1.0);
+    costs.bwd_seconds.push_back(ratio);
+    costs.bwd_acts_seconds.push_back(ratio / 2.0);
+    costs.bwd_weights_seconds.push_back(ratio / 2.0);
+    costs.chunk_weight_bytes.push_back(1.0);
+    costs.act_mem_bytes.push_back(1.0);
+  }
+  costs.act_bytes = 1.0;
+  costs.act_grad_bytes = 1.0;
+
+  sched::Program prog;
+  const std::int64_t n = rounds * p;
+  if (strategy == "naive") {
+    prog = sched::build_weipipe(WeiPipeSchedule(p, rounds, WeiPipeMode::kNaive),
+                                costs);
+  } else if (strategy == "interleave") {
+    prog = sched::build_weipipe(
+        WeiPipeSchedule(p, rounds, WeiPipeMode::kInterleave), costs);
+  } else if (strategy == "wzb1") {
+    prog = sched::build_weipipe_zero_bubble(p, rounds,
+                                            sched::WzbVariant::kWzb1, costs);
+  } else if (strategy == "wzb2") {
+    prog = sched::build_weipipe_zero_bubble(p, rounds,
+                                            sched::WzbVariant::kWzb2, costs);
+  } else if (strategy == "gpipe") {
+    prog = sched::build_gpipe(p, n, costs);
+  } else if (strategy == "1f1b") {
+    prog = sched::build_1f1b(p, n, costs);
+  } else if (strategy == "zb1") {
+    prog = sched::build_zero_bubble(p, n, sched::ZbVariant::kZb1, costs);
+  } else if (strategy == "zb2") {
+    prog = sched::build_zero_bubble(p, n, sched::ZbVariant::kZb2, costs);
+  } else {
+    std::fprintf(stderr,
+                 "unknown strategy '%s' (try: naive interleave wzb1 wzb2 "
+                 "gpipe 1f1b zb1 zb2)\n",
+                 strategy.c_str());
+    return 1;
+  }
+
+  const sim::Topology topo =
+      sim::Topology::uniform(static_cast<int>(p), sim::Link{1e15, 0.0},
+                             "ideal");
+  const sim::SimResult res = sim::simulate(prog, topo, {.record_ops = true});
+  std::printf("%s", trace::render_timeline(res, {.width = 110}).c_str());
+  std::printf("\n%s", trace::render_utilization(res).c_str());
+  return 0;
+}

@@ -1,0 +1,186 @@
+#include "baselines/fsdp_trainer.hpp"
+
+#include "comm/collectives.hpp"
+#include "common/stopwatch.hpp"
+#include "nn/loss.hpp"
+
+namespace weipipe {
+
+FsdpTrainer::FsdpTrainer(const TrainConfig& cfg, std::int64_t num_ranks,
+                         FsdpOptions options)
+    : cfg_(cfg), p_(num_ranks), opts_(options), model_(cfg.model) {
+  cfg_.validate();
+  WEIPIPE_CHECK_MSG(p_ >= 2, "FSDP needs >= 2 ranks (use sequential)");
+  WEIPIPE_CHECK_MSG(cfg_.num_microbatches % p_ == 0,
+                    "N=" << cfg_.num_microbatches
+                         << " must divide by P=" << p_);
+  chunks_ = model_.make_chunks(p_);
+  fabric_ = std::make_unique<comm::Fabric>(static_cast<int>(p_),
+                                           opts_.link_model);
+  master_ = model_.init_chunk_params(chunks_, cfg_.seed);
+  adam_.reserve(chunks_.size());
+  for (const ChunkSpec& spec : chunks_) {
+    adam_.emplace_back(spec.param_count);
+  }
+}
+
+IterationResult FsdpTrainer::train_iteration(const Dataset& data,
+                                             std::int64_t iter_index) {
+  Stopwatch sw;
+  fabric_->reset_stats();
+  std::vector<double> losses(
+      static_cast<std::size_t>(cfg_.num_microbatches), 0.0);
+  comm::run_workers(*fabric_, [&](int rank, comm::Endpoint& ep) {
+    rank_body(rank, ep, data, iter_index, losses);
+  });
+  IterationResult res;
+  double sum = 0.0;
+  for (double l : losses) {
+    sum += l;
+  }
+  res.mean_loss =
+      static_cast<float>(sum / static_cast<double>(cfg_.num_microbatches));
+  res.wall_seconds = sw.seconds();
+  res.wire_bytes = fabric_->total_bytes();
+  res.wire_messages = fabric_->total_messages();
+  return res;
+}
+
+void FsdpTrainer::rank_body(int rank, comm::Endpoint& ep,
+                            const Dataset& data,
+                            std::int64_t iter_index,
+                            std::vector<double>& losses) {
+  const std::int64_t r = rank;
+  const std::int64_t n = cfg_.num_microbatches;
+  const std::int64_t local_rounds = n / p_;
+  const WirePrecision wp = cfg_.precision.weights;
+  const WirePrecision dp = cfg_.precision.weight_grads;
+
+  // Materialize chunk c's (quantized) weights into `buf`, via ring broadcast
+  // from the owner. All ranks call this in lockstep.
+  auto gather_chunk = [&](std::int64_t c, std::vector<float>& buf) {
+    const ChunkSpec& spec = chunks_[static_cast<std::size_t>(c)];
+    buf.resize(static_cast<std::size_t>(spec.param_count));
+    if (c == r) {
+      const std::vector<float>& m = master_[static_cast<std::size_t>(c)];
+      for (std::size_t i = 0; i < m.size(); ++i) {
+        buf[i] = quantize(m[i], wp);
+      }
+    }
+    comm::ring_broadcast(ep, static_cast<int>(c),
+                         std::span<float>(buf.data(), buf.size()), wp);
+  };
+
+  // Per-chunk local gradient accumulators (partial sums over local mbs).
+  std::vector<std::vector<float>> grads(static_cast<std::size_t>(p_));
+  for (std::int64_t c = 0; c < p_; ++c) {
+    grads[static_cast<std::size_t>(c)].assign(
+        static_cast<std::size_t>(
+            chunks_[static_cast<std::size_t>(c)].param_count),
+        0.0f);
+  }
+
+  std::vector<float> wbuf;
+  for (std::int64_t k = 0; k < local_rounds; ++k) {
+    const std::int64_t j = k * p_ + r;  // global microbatch index
+    const Microbatch mb =
+        data.make(iter_index * n + j, cfg_.microbatch_size, cfg_.seq_len);
+
+    // Forward sweep: gather -> compute -> free, chunk by chunk (ZeRO-3).
+    std::vector<std::vector<BlockCtx>> ctxs(static_cast<std::size_t>(p_));
+    Tensor x;
+    for (std::int64_t c = 0; c < p_; ++c) {
+      gather_chunk(c, wbuf);
+      const ChunkSpec& spec = chunks_[static_cast<std::size_t>(c)];
+      std::int64_t off = 0;
+      for (std::int64_t b = spec.begin; b < spec.end; ++b) {
+        const std::int64_t np = model_.block_param_count(b);
+        ctxs[static_cast<std::size_t>(c)].emplace_back();
+        x = model_.block(b).forward(
+            std::span<const float>(wbuf.data() + off,
+                                   static_cast<std::size_t>(np)),
+            mb, x, ctxs[static_cast<std::size_t>(c)].back(),
+            !cfg_.model.recompute);
+        off += np;
+      }
+    }
+    LossResult lr = cross_entropy_loss(x, mb);
+    losses[static_cast<std::size_t>(j)] = lr.loss;
+    lr.dlogits.scale_(1.0f / static_cast<float>(n));
+    Tensor d = std::move(lr.dlogits);
+
+    // Backward sweep: ZeRO-3 gathers every chunk a second time.
+    for (std::int64_t c = p_ - 1; c >= 0; --c) {
+      gather_chunk(c, wbuf);
+      const ChunkSpec& spec = chunks_[static_cast<std::size_t>(c)];
+      std::vector<float>& g = grads[static_cast<std::size_t>(c)];
+      for (std::int64_t b = spec.end - 1; b >= spec.begin; --b) {
+        const std::int64_t off = model_.block_offset_in_chunk(spec, b);
+        const std::int64_t np = model_.block_param_count(b);
+        d = model_.block(b).backward(
+            std::span<const float>(wbuf.data() + off,
+                                   static_cast<std::size_t>(np)),
+            mb, ctxs[static_cast<std::size_t>(c)]
+                    [static_cast<std::size_t>(b - spec.begin)],
+            d,
+            std::span<float>(g.data() + off, static_cast<std::size_t>(np)));
+      }
+    }
+  }
+
+  // Reduce each chunk's gradient to its owner; the owner keeps its shard.
+  std::vector<float> own_grad;
+  std::vector<float> reduced;
+  for (std::int64_t c = 0; c < p_; ++c) {
+    const std::vector<float>& g = grads[static_cast<std::size_t>(c)];
+    reduced.assign(g.size(), 0.0f);
+    comm::ring_reduce_to_root(
+        ep, static_cast<int>(c), std::span<const float>(g.data(), g.size()),
+        std::span<float>(reduced.data(), reduced.size()), dp);
+    if (c == r) {
+      own_grad = reduced;
+    }
+  }
+  // Global-norm clipping over the *reduced* gradients (what Adam consumes).
+  if (cfg_.clip.enabled()) {
+    const double local_sq =
+        grad_sq_norm(std::span<const float>(own_grad.data(), own_grad.size()));
+    const double total_sq = comm::ring_all_reduce_scalar(ep, local_sq);
+    const float scale = clip_scale(cfg_.clip, total_sq);
+    if (scale != 1.0f) {
+      for (float& v : own_grad) {
+        v *= scale;
+      }
+    }
+  }
+  std::vector<float>& m = master_[static_cast<std::size_t>(r)];
+  adam_[static_cast<std::size_t>(r)].step(
+      std::span<float>(m.data(), m.size()),
+      std::span<const float>(own_grad.data(), own_grad.size()),
+      cfg_.adam_for_iteration(iter_index));
+}
+
+std::vector<std::vector<float>> FsdpTrainer::gather_block_params() const {
+  std::vector<std::vector<float>> out(
+      static_cast<std::size_t>(model_.num_blocks()));
+  for (std::size_t c = 0; c < chunks_.size(); ++c) {
+    const ChunkSpec& spec = chunks_[c];
+    for (std::int64_t b = spec.begin; b < spec.end; ++b) {
+      const std::int64_t off = model_.block_offset_in_chunk(spec, b);
+      const std::int64_t np = model_.block_param_count(b);
+      out[static_cast<std::size_t>(b)] = std::vector<float>(
+          master_[c].begin() + off, master_[c].begin() + off + np);
+    }
+  }
+  return out;
+}
+
+TrainerState FsdpTrainer::export_state() const {
+  return export_sharded_state(model_, chunks_, master_, adam_);
+}
+
+void FsdpTrainer::import_state(const TrainerState& state) {
+  import_sharded_state(model_, chunks_, state, master_, adam_);
+}
+
+}  // namespace weipipe

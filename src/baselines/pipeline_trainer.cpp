@@ -1,0 +1,219 @@
+#include "baselines/pipeline_trainer.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "comm/collectives.hpp"
+#include "common/stopwatch.hpp"
+#include "nn/loss.hpp"
+
+namespace weipipe {
+
+namespace {
+constexpr std::int64_t kTagAct = 20;   // stage s -> s+1 activations
+constexpr std::int64_t kTagGrad = 21;  // stage s+1 -> s activation grads
+
+struct MbCtx {
+  Microbatch mb;
+  std::vector<BlockCtx> ctxs;  // one per block in this stage's chunk
+  Tensor grad_seed;            // last stage only: scaled dlogits
+};
+}  // namespace
+
+const char* to_string(PipelineMode mode) {
+  switch (mode) {
+    case PipelineMode::kGPipe: return "gpipe";
+    case PipelineMode::k1F1B: return "1f1b";
+  }
+  return "?";
+}
+
+PipelineTrainer::PipelineTrainer(const TrainConfig& cfg,
+                                 std::int64_t num_stages,
+                                 PipelineOptions options)
+    : cfg_(cfg), p_(num_stages), opts_(options), model_(cfg.model) {
+  cfg_.validate();
+  WEIPIPE_CHECK_MSG(p_ >= 2, "pipeline needs >= 2 stages (use sequential)");
+  chunks_ = model_.make_chunks(p_);
+  fabric_ = std::make_unique<comm::Fabric>(static_cast<int>(p_),
+                                           opts_.link_model);
+  master_ = model_.init_chunk_params(chunks_, cfg_.seed);
+  adam_.reserve(chunks_.size());
+  for (const ChunkSpec& spec : chunks_) {
+    adam_.emplace_back(spec.param_count);
+  }
+}
+
+IterationResult PipelineTrainer::train_iteration(const Dataset& data,
+                                                 std::int64_t iter_index) {
+  Stopwatch sw;
+  fabric_->reset_stats();
+  std::vector<double> losses(
+      static_cast<std::size_t>(cfg_.num_microbatches), 0.0);
+  comm::run_workers(*fabric_, [&](int rank, comm::Endpoint& ep) {
+    stage_body(rank, ep, data, iter_index, losses);
+  });
+  IterationResult res;
+  double sum = 0.0;
+  for (double l : losses) {
+    sum += l;
+  }
+  res.mean_loss =
+      static_cast<float>(sum / static_cast<double>(cfg_.num_microbatches));
+  res.wall_seconds = sw.seconds();
+  res.wire_bytes = fabric_->total_bytes();
+  res.wire_messages = fabric_->total_messages();
+  return res;
+}
+
+void PipelineTrainer::stage_body(int rank, comm::Endpoint& ep,
+                                 const Dataset& data,
+                                 std::int64_t iter_index,
+                                 std::vector<double>& losses) {
+  const std::int64_t s = rank;
+  const std::int64_t n = cfg_.num_microbatches;
+  const ChunkSpec& spec = chunks_[static_cast<std::size_t>(s)];
+  const bool first = s == 0;
+  const bool last = s == p_ - 1;
+  const std::int64_t rows = cfg_.microbatch_size * cfg_.seq_len;
+  const std::int64_t H = cfg_.model.dim;
+
+  // Stage compute weights: quantized copy of the fp32 master (mixed
+  // precision emulation; identity in fp32 mode).
+  const std::vector<float>& m = master_[static_cast<std::size_t>(s)];
+  std::vector<float> w(m.size());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    w[i] = quantize(m[i], cfg_.precision.weights);
+  }
+  std::vector<float> grads(m.size(), 0.0f);
+
+  std::map<std::int64_t, MbCtx> inflight;
+
+  auto forward_mb = [&](std::int64_t j) {
+    MbCtx st;
+    st.mb = data.make(iter_index * n + j, cfg_.microbatch_size, cfg_.seq_len);
+    Tensor x;
+    if (!first) {
+      x = Tensor({rows, H});
+      ep.recv_floats(static_cast<int>(s - 1), kTagAct, x.span(),
+                     cfg_.precision.activations);
+    }
+    st.ctxs.clear();
+    std::int64_t off = 0;
+    for (std::int64_t b = spec.begin; b < spec.end; ++b) {
+      const std::int64_t np = model_.block_param_count(b);
+      st.ctxs.emplace_back();
+      x = model_.block(b).forward(
+          std::span<const float>(w.data() + off,
+                                 static_cast<std::size_t>(np)),
+          st.mb, x, st.ctxs.back(), !cfg_.model.recompute);
+      off += np;
+    }
+    if (last) {
+      LossResult lr = cross_entropy_loss(x, st.mb);
+      losses[static_cast<std::size_t>(j)] = lr.loss;
+      lr.dlogits.scale_(1.0f / static_cast<float>(n));
+      st.grad_seed = std::move(lr.dlogits);
+    } else {
+      ep.send_floats(static_cast<int>(s + 1), kTagAct, x.span(),
+                     cfg_.precision.activations);
+    }
+    inflight.emplace(j, std::move(st));
+  };
+
+  auto backward_mb = [&](std::int64_t j) {
+    auto it = inflight.find(j);
+    WEIPIPE_CHECK(it != inflight.end());
+    MbCtx& st = it->second;
+    Tensor d;
+    if (last) {
+      d = std::move(st.grad_seed);
+    } else {
+      d = Tensor({rows, H});
+      ep.recv_floats(static_cast<int>(s + 1), kTagGrad, d.span(),
+                     cfg_.precision.activation_grads);
+    }
+    for (std::int64_t b = spec.end - 1; b >= spec.begin; --b) {
+      const std::int64_t off = model_.block_offset_in_chunk(spec, b);
+      const std::int64_t np = model_.block_param_count(b);
+      d = model_.block(b).backward(
+          std::span<const float>(w.data() + off,
+                                 static_cast<std::size_t>(np)),
+          st.mb, st.ctxs[static_cast<std::size_t>(b - spec.begin)], d,
+          std::span<float>(grads.data() + off,
+                           static_cast<std::size_t>(np)));
+    }
+    if (!first) {
+      ep.send_floats(static_cast<int>(s - 1), kTagGrad, d.span(),
+                     cfg_.precision.activation_grads);
+    }
+    inflight.erase(it);
+  };
+
+  if (opts_.mode == PipelineMode::kGPipe) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      forward_mb(j);
+    }
+    for (std::int64_t j = 0; j < n; ++j) {
+      backward_mb(j);
+    }
+  } else {
+    // 1F1B: stage s runs (P-1-s) warmup forwards, then alternates.
+    const std::int64_t warmup = std::min(p_ - 1 - s, n);
+    std::int64_t f = 0;
+    std::int64_t b = 0;
+    for (std::int64_t i = 0; i < warmup; ++i) {
+      forward_mb(f++);
+    }
+    while (f < n) {
+      forward_mb(f++);
+      backward_mb(b++);
+    }
+    while (b < n) {
+      backward_mb(b++);
+    }
+  }
+  WEIPIPE_CHECK(inflight.empty());
+
+  if (cfg_.clip.enabled()) {
+    const double local_sq =
+        grad_sq_norm(std::span<const float>(grads.data(), grads.size()));
+    const double total_sq = comm::ring_all_reduce_scalar(ep, local_sq);
+    const float scale = clip_scale(cfg_.clip, total_sq);
+    if (scale != 1.0f) {
+      for (float& v : grads) {
+        v *= scale;
+      }
+    }
+  }
+  adam_[static_cast<std::size_t>(s)].step(
+      std::span<float>(master_[static_cast<std::size_t>(s)].data(),
+                       master_[static_cast<std::size_t>(s)].size()),
+      std::span<const float>(grads.data(), grads.size()),
+      cfg_.adam_for_iteration(iter_index));
+}
+
+std::vector<std::vector<float>> PipelineTrainer::gather_block_params() const {
+  std::vector<std::vector<float>> out(
+      static_cast<std::size_t>(model_.num_blocks()));
+  for (std::size_t c = 0; c < chunks_.size(); ++c) {
+    const ChunkSpec& spec = chunks_[c];
+    for (std::int64_t b = spec.begin; b < spec.end; ++b) {
+      const std::int64_t off = model_.block_offset_in_chunk(spec, b);
+      const std::int64_t np = model_.block_param_count(b);
+      out[static_cast<std::size_t>(b)] = std::vector<float>(
+          master_[c].begin() + off, master_[c].begin() + off + np);
+    }
+  }
+  return out;
+}
+
+TrainerState PipelineTrainer::export_state() const {
+  return export_sharded_state(model_, chunks_, master_, adam_);
+}
+
+void PipelineTrainer::import_state(const TrainerState& state) {
+  import_sharded_state(model_, chunks_, state, master_, adam_);
+}
+
+}  // namespace weipipe

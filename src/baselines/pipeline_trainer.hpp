@@ -1,0 +1,60 @@
+// Activation-passing pipeline parallelism baselines: GPipe and 1F1B (Dapple),
+// the schedules the paper compares against (its Megatron-LM baselines).
+//
+// Stage s permanently owns chunk s (weights + Adam state); microbatches flow
+// through stages; activations (wire precision cfg.precision.activations) and
+// activation gradients (.activation_grads) cross the fabric — the volumes
+// that blow up with G*S*H and motivate WeiPipe.
+#pragma once
+
+#include <memory>
+
+#include "comm/fabric.hpp"
+#include "core/checkpoint.hpp"
+#include "core/trainer.hpp"
+#include "nn/adam.hpp"
+#include "nn/model.hpp"
+
+namespace weipipe {
+
+enum class PipelineMode {
+  kGPipe,  // all forwards, then all backwards
+  k1F1B,   // warmup + steady one-forward-one-backward + drain
+};
+
+const char* to_string(PipelineMode mode);
+
+struct PipelineOptions {
+  PipelineMode mode = PipelineMode::k1F1B;
+  comm::LinkModel link_model = nullptr;
+};
+
+class PipelineTrainer final : public Trainer {
+ public:
+  PipelineTrainer(const TrainConfig& cfg, std::int64_t num_stages,
+                  PipelineOptions options = {});
+
+  std::string name() const override { return to_string(opts_.mode); }
+  IterationResult train_iteration(const Dataset& data,
+                                  std::int64_t iter_index) override;
+  std::vector<std::vector<float>> gather_block_params() const override;
+  TrainerState export_state() const override;
+  void import_state(const TrainerState& state) override;
+
+  comm::Fabric& fabric() { return *fabric_; }
+
+ private:
+  void stage_body(int rank, comm::Endpoint& ep, const Dataset& data,
+                  std::int64_t iter_index, std::vector<double>& losses);
+
+  TrainConfig cfg_;
+  std::int64_t p_;
+  PipelineOptions opts_;
+  Model model_;
+  std::vector<ChunkSpec> chunks_;
+  std::unique_ptr<comm::Fabric> fabric_;
+  std::vector<std::vector<float>> master_;  // [stage]
+  std::vector<AdamShard> adam_;             // [stage]
+};
+
+}  // namespace weipipe

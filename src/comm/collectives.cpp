@@ -1,0 +1,212 @@
+#include "comm/collectives.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace weipipe::comm {
+
+namespace {
+int ring_next(int rank, int world) { return (rank + 1) % world; }
+int ring_prev(int rank, int world) { return (rank + world - 1) % world; }
+int mod(int a, int m) { return ((a % m) + m) % m; }
+}  // namespace
+
+void ring_all_gather(Endpoint& ep, std::span<const float> shard,
+                     std::span<float> full, WirePrecision precision,
+                     std::int64_t tag_base) {
+  const int p = ep.world_size();
+  const int r = ep.rank();
+  const std::size_t n = shard.size();
+  WEIPIPE_CHECK_MSG(full.size() == n * static_cast<std::size_t>(p),
+                    "all_gather size mismatch");
+  // Place own shard (unless aliased in place already).
+  if (full.data() + static_cast<std::size_t>(r) * n != shard.data()) {
+    std::memcpy(full.data() + static_cast<std::size_t>(r) * n, shard.data(),
+                n * sizeof(float));
+  }
+  if (p == 1) {
+    return;
+  }
+  // Step s: send the shard originally owned by rank (r - s) mod p; receive
+  // the shard owned by (r - s - 1) mod p. After p-1 steps all shards present.
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_owner = mod(r - s, p);
+    const int recv_owner = mod(r - s - 1, p);
+    std::span<const float> send_chunk(
+        full.data() + static_cast<std::size_t>(send_owner) * n, n);
+    ep.send_floats(ring_next(r, p), tag_base + s, send_chunk, precision);
+    std::span<float> recv_chunk(
+        full.data() + static_cast<std::size_t>(recv_owner) * n, n);
+    ep.recv_floats(ring_prev(r, p), tag_base + s, recv_chunk, precision);
+  }
+}
+
+void ring_reduce_scatter(Endpoint& ep, std::span<const float> full,
+                         std::span<float> shard_out, WirePrecision precision,
+                         std::int64_t tag_base) {
+  const int p = ep.world_size();
+  const int r = ep.rank();
+  const std::size_t n = shard_out.size();
+  WEIPIPE_CHECK_MSG(full.size() == n * static_cast<std::size_t>(p),
+                    "reduce_scatter size mismatch");
+  if (p == 1) {
+    std::memcpy(shard_out.data(), full.data(), n * sizeof(float));
+    return;
+  }
+  // acc holds the in-flight partial sum this rank forwards.
+  std::vector<float> acc(n);
+  std::vector<float> incoming(n);
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_chunk = mod(r - s - 1, p);
+    if (s == 0) {
+      std::memcpy(acc.data(),
+                  full.data() + static_cast<std::size_t>(send_chunk) * n,
+                  n * sizeof(float));
+    }
+    ep.send_floats(ring_next(r, p), tag_base + s,
+                   std::span<const float>(acc.data(), n), precision);
+    const int recv_chunk = mod(r - s - 2, p);
+    ep.recv_floats(ring_prev(r, p), tag_base + s,
+                   std::span<float>(incoming.data(), n), precision);
+    const float* local = full.data() + static_cast<std::size_t>(recv_chunk) * n;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc[i] = incoming[i] + local[i];
+    }
+  }
+  std::memcpy(shard_out.data(), acc.data(), n * sizeof(float));
+}
+
+void ring_all_reduce(Endpoint& ep, std::span<float> buffer,
+                     WirePrecision precision, std::int64_t tag_base) {
+  const int p = ep.world_size();
+  if (p == 1) {
+    return;
+  }
+  WEIPIPE_CHECK_MSG(buffer.size() % static_cast<std::size_t>(p) == 0,
+                    "all_reduce buffer not divisible by world size");
+  const std::size_t n = buffer.size() / static_cast<std::size_t>(p);
+  const int r = ep.rank();
+  std::vector<float> shard(n);
+  ring_reduce_scatter(ep, buffer, shard, precision, tag_base);
+  std::memcpy(buffer.data() + static_cast<std::size_t>(r) * n, shard.data(),
+              n * sizeof(float));
+  ring_all_gather(ep,
+                  std::span<const float>(
+                      buffer.data() + static_cast<std::size_t>(r) * n, n),
+                  buffer, precision, tag_base + p);
+}
+
+void barrier(Endpoint& ep, std::int64_t tag_base) {
+  const int p = ep.world_size();
+  if (p == 1) {
+    return;
+  }
+  const int r = ep.rank();
+  std::vector<std::uint8_t> token(1, 0xAB);
+  // Two ring passes: after the second, every rank knows every rank entered.
+  for (int pass = 0; pass < 2; ++pass) {
+    const std::int64_t tag = tag_base + pass;
+    if (r == 0) {
+      ep.send(ring_next(r, p), tag, token);
+      (void)ep.recv(ring_prev(r, p), tag);
+    } else {
+      (void)ep.recv(ring_prev(r, p), tag);
+      ep.send(ring_next(r, p), tag, token);
+    }
+  }
+}
+
+void ring_broadcast(Endpoint& ep, int root, std::span<float> buffer,
+                    WirePrecision precision, std::int64_t tag_base) {
+  const int p = ep.world_size();
+  if (p == 1) {
+    return;
+  }
+  const int r = ep.rank();
+  // Chain: root -> root+1 -> ... -> root-1.
+  const int pos = mod(r - root, p);  // distance from root along the chain
+  if (pos > 0) {
+    ep.recv_floats(ring_prev(r, p), tag_base, buffer, precision);
+  }
+  if (pos < p - 1) {
+    ep.send_floats(ring_next(r, p), tag_base,
+                   std::span<const float>(buffer.data(), buffer.size()),
+                   precision);
+  }
+}
+
+double ring_all_reduce_scalar(Endpoint& ep, double value,
+                              std::int64_t tag_base) {
+  const int p = ep.world_size();
+  if (p == 1) {
+    return value;
+  }
+  const int r = ep.rank();
+  auto pack = [](double v) {
+    std::vector<std::uint8_t> bytes(sizeof(double));
+    std::memcpy(bytes.data(), &v, sizeof(double));
+    return bytes;
+  };
+  auto unpack = [](const std::vector<std::uint8_t>& bytes) {
+    double v;
+    WEIPIPE_CHECK(bytes.size() == sizeof(double));
+    std::memcpy(&v, bytes.data(), sizeof(double));
+    return v;
+  };
+  // Phase 1: chain-accumulate toward the highest rank, in rank order
+  // (0 + 1 + ... + P-1): deterministic association on every run.
+  double acc = value;
+  if (r > 0) {
+    acc = unpack(ep.recv(r - 1, tag_base)) + value;
+  }
+  if (r < p - 1) {
+    ep.send(r + 1, tag_base, pack(acc));
+  }
+  // Phase 2: chain-broadcast the total back down.
+  double total = acc;
+  if (r < p - 1) {
+    total = unpack(ep.recv(r + 1, tag_base + 1));
+  }
+  if (r > 0) {
+    ep.send(r - 1, tag_base + 1, pack(total));
+  }
+  return total;
+}
+
+void ring_reduce_to_root(Endpoint& ep, int root,
+                         std::span<const float> contribution,
+                         std::span<float> out, WirePrecision precision,
+                         std::int64_t tag_base) {
+  const int p = ep.world_size();
+  const int r = ep.rank();
+  if (p == 1) {
+    if (out.data() != contribution.data()) {
+      std::memcpy(out.data(), contribution.data(),
+                  contribution.size() * sizeof(float));
+    }
+    return;
+  }
+  const int pos = mod(r - root, p);  // chain position; root is pos 0
+  if (pos == 1) {
+    // Chain head: just ship the local contribution.
+    ep.send_floats(ring_next(r, p), tag_base, contribution, precision);
+    return;
+  }
+  // Everyone else receives the running sum, adds, and forwards (or keeps).
+  std::vector<float> acc(contribution.size());
+  ep.recv_floats(ring_prev(r, p), tag_base,
+                 std::span<float>(acc.data(), acc.size()), precision);
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    acc[i] += contribution[i];
+  }
+  if (pos == 0) {
+    std::memcpy(out.data(), acc.data(), acc.size() * sizeof(float));
+  } else {
+    ep.send_floats(ring_next(r, p), tag_base,
+                   std::span<const float>(acc.data(), acc.size()), precision);
+  }
+}
+
+}  // namespace weipipe::comm

@@ -1,0 +1,64 @@
+// Ring collectives built on the P2P fabric — the substrate for the FSDP
+// (ZeRO-3-style) baseline. NCCL's default ring algorithms are what the paper's
+// experiments exercise ("tree algorithms were not adopted"), so byte counts
+// here match the paper's analysis: all-gather and reduce-scatter each move
+// (P-1)/P of the full buffer per rank.
+//
+// SPMD usage: every rank calls the same collective with the same sizes; calls
+// must not interleave different collectives on the same tag_base.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "comm/fabric.hpp"
+
+namespace weipipe::comm {
+
+// Reserved tag blocks: point-to-point user tags must stay below this.
+inline constexpr std::int64_t kCollectiveTagBase = 1'000'000'000;
+
+// Gathers each rank's shard into `full` (size = world * shard.size()).
+// Rank r's shard lands at offset r * shard.size(). `shard` may alias the
+// corresponding region of `full`.
+void ring_all_gather(Endpoint& ep, std::span<const float> shard,
+                     std::span<float> full, WirePrecision precision,
+                     std::int64_t tag_base = kCollectiveTagBase);
+
+// Reduce-scatter with summation: `full` (size = world * shard_out.size())
+// contributes from every rank; rank r receives the reduced r-th shard.
+void ring_reduce_scatter(Endpoint& ep, std::span<const float> full,
+                         std::span<float> shard_out, WirePrecision precision,
+                         std::int64_t tag_base = kCollectiveTagBase + 1'000);
+
+// All-reduce (sum) = reduce-scatter + all-gather, the classic ring algorithm.
+// Buffer size must be divisible by world size.
+void ring_all_reduce(Endpoint& ep, std::span<float> buffer,
+                     WirePrecision precision,
+                     std::int64_t tag_base = kCollectiveTagBase + 2'000);
+
+// Rendezvous of all ranks.
+void barrier(Endpoint& ep, std::int64_t tag_base = kCollectiveTagBase + 3'000);
+
+// Sum of one double across all ranks, returned on every rank. Accumulates in
+// rank order on rank 0, then chain-broadcasts — deterministic association,
+// used by global-norm gradient clipping.
+double ring_all_reduce_scalar(Endpoint& ep, double value,
+                              std::int64_t tag_base = kCollectiveTagBase +
+                                                      6'000);
+
+// One-to-all broadcast along the ring (pipeline-friendly chain broadcast).
+void ring_broadcast(Endpoint& ep, int root, std::span<float> buffer,
+                    WirePrecision precision,
+                    std::int64_t tag_base = kCollectiveTagBase + 4'000);
+
+// All-to-one sum along the ring: the chain root+1 -> root+2 -> ... -> root
+// accumulates every rank's `contribution`; only `root`'s `out` is written
+// (out/contribution may alias on the root). Moves (P-1) buffer-sized
+// messages — the same volume as NCCL's ring reduce.
+void ring_reduce_to_root(Endpoint& ep, int root,
+                         std::span<const float> contribution,
+                         std::span<float> out, WirePrecision precision,
+                         std::int64_t tag_base = kCollectiveTagBase + 5'000);
+
+}  // namespace weipipe::comm

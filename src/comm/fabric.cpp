@@ -1,0 +1,250 @@
+#include "comm/fabric.hpp"
+
+#include <exception>
+
+#include "common/check.hpp"
+
+namespace weipipe::comm {
+
+LinkModel uniform_link(double bandwidth_bytes_per_sec, double latency_sec) {
+  WEIPIPE_CHECK(bandwidth_bytes_per_sec > 0.0);
+  return [=](int, int, std::size_t bytes) {
+    const double sec =
+        latency_sec + static_cast<double>(bytes) / bandwidth_bytes_per_sec;
+    return std::chrono::nanoseconds(static_cast<std::int64_t>(sec * 1e9));
+  };
+}
+
+void Request::wait() {
+  if (waiter_) {
+    waiter_();
+    waiter_ = nullptr;
+  }
+}
+
+int Endpoint::world_size() const { return fabric_->world_size(); }
+
+void Endpoint::send(int dst, std::int64_t tag,
+                    std::vector<std::uint8_t> payload) {
+  fabric_->deliver(rank_, dst, tag, std::move(payload));
+}
+
+std::vector<std::uint8_t> Endpoint::recv(int src, std::int64_t tag) {
+  return fabric_->take(rank_, src, tag);
+}
+
+Request Endpoint::isend(int dst, std::int64_t tag,
+                        std::vector<std::uint8_t> payload) {
+  // Eager buffered send: complete at post time, like NCCL with send buffers.
+  send(dst, tag, std::move(payload));
+  return Request([] {});
+}
+
+Request Endpoint::irecv(int src, std::int64_t tag,
+                        std::vector<std::uint8_t>* out) {
+  WEIPIPE_CHECK(out != nullptr);
+  Fabric* fabric = fabric_;
+  const int rank = rank_;
+  return Request([fabric, rank, src, tag, out] {
+    *out = fabric->take(rank, src, tag);
+  });
+}
+
+Request Endpoint::irecv_floats(int src, std::int64_t tag,
+                               std::span<float> out,
+                               WirePrecision precision) {
+  Fabric* fabric = fabric_;
+  const int rank = rank_;
+  return Request([fabric, rank, src, tag, out, precision] {
+    const std::vector<std::uint8_t> bytes = fabric->take(rank, src, tag);
+    unpack_floats(bytes, precision, out);
+  });
+}
+
+void Endpoint::send_floats(int dst, std::int64_t tag,
+                           std::span<const float> values,
+                           WirePrecision precision) {
+  send(dst, tag, pack_floats(values, precision));
+}
+
+void Endpoint::recv_floats(int src, std::int64_t tag, std::span<float> out,
+                           WirePrecision precision) {
+  const std::vector<std::uint8_t> bytes = recv(src, tag);
+  unpack_floats(bytes, precision, out);
+}
+
+FabricStats Endpoint::sent_stats() const {
+  std::lock_guard<std::mutex> lk(fabric_->stats_mu_);
+  FabricStats total;
+  const int p = fabric_->world_size();
+  for (int dst = 0; dst < p; ++dst) {
+    const FabricStats& s =
+        fabric_->pair_stats_[static_cast<std::size_t>(rank_ * p + dst)];
+    total.messages += s.messages;
+    total.bytes += s.bytes;
+  }
+  return total;
+}
+
+FabricStats Endpoint::received_stats() const {
+  std::lock_guard<std::mutex> lk(fabric_->stats_mu_);
+  FabricStats total;
+  const int p = fabric_->world_size();
+  for (int src = 0; src < p; ++src) {
+    const FabricStats& s =
+        fabric_->pair_stats_[static_cast<std::size_t>(src * p + rank_)];
+    total.messages += s.messages;
+    total.bytes += s.bytes;
+  }
+  return total;
+}
+
+Fabric::Fabric(int world_size, LinkModel link_model)
+    : link_model_(std::move(link_model)) {
+  WEIPIPE_CHECK_MSG(world_size >= 1, "world_size must be >= 1");
+  endpoints_.reserve(static_cast<std::size_t>(world_size));
+  mailboxes_.reserve(static_cast<std::size_t>(world_size));
+  for (int r = 0; r < world_size; ++r) {
+    endpoints_.push_back(std::unique_ptr<Endpoint>(new Endpoint(this, r)));
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  pair_stats_.assign(static_cast<std::size_t>(world_size) *
+                         static_cast<std::size_t>(world_size),
+                     FabricStats{});
+}
+
+Fabric::~Fabric() = default;
+
+Endpoint& Fabric::endpoint(int rank) {
+  WEIPIPE_CHECK_MSG(rank >= 0 && rank < world_size(),
+                    "rank " << rank << " out of range");
+  return *endpoints_[static_cast<std::size_t>(rank)];
+}
+
+std::uint64_t Fabric::bytes_sent(int src, int dst) const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return pair_stats_[static_cast<std::size_t>(src * world_size() + dst)].bytes;
+}
+
+std::uint64_t Fabric::total_bytes() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  std::uint64_t n = 0;
+  for (const FabricStats& s : pair_stats_) {
+    n += s.bytes;
+  }
+  return n;
+}
+
+std::uint64_t Fabric::total_messages() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  std::uint64_t n = 0;
+  for (const FabricStats& s : pair_stats_) {
+    n += s.messages;
+  }
+  return n;
+}
+
+void Fabric::reset_stats() {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  for (FabricStats& s : pair_stats_) {
+    s = FabricStats{};
+  }
+}
+
+void Fabric::deliver(int src, int dst, std::int64_t tag,
+                     std::vector<std::uint8_t> payload) {
+  WEIPIPE_CHECK_MSG(dst >= 0 && dst < world_size(),
+                    "send to invalid rank " << dst);
+  WEIPIPE_CHECK_MSG(dst != src, "self-send (rank " << src << ")");
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    FabricStats& s =
+        pair_stats_[static_cast<std::size_t>(src * world_size() + dst)];
+    ++s.messages;
+    s.bytes += payload.size();
+  }
+  Message msg;
+  msg.deliver_at = std::chrono::steady_clock::now();
+  if (link_model_) {
+    msg.deliver_at += link_model_(src, dst, payload.size());
+  }
+  msg.payload = std::move(payload);
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lk(box.mu);
+    box.queues[MailKey{src, tag}].push(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+std::vector<std::uint8_t> Fabric::take(int dst, int src, std::int64_t tag) {
+  WEIPIPE_CHECK_MSG(src >= 0 && src < world_size(),
+                    "recv from invalid rank " << src);
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  const auto deadline = std::chrono::steady_clock::now() + recv_timeout_;
+  std::unique_lock<std::mutex> lk(box.mu);
+  const MailKey key{src, tag};
+  for (;;) {
+    auto it = box.queues.find(key);
+    if (it != box.queues.end() && !it->second.empty()) {
+      // Honor the modeled delivery time: the message "is still in flight".
+      const auto deliver_at = it->second.front().deliver_at;
+      const auto now = std::chrono::steady_clock::now();
+      if (deliver_at <= now) {
+        Message msg = std::move(it->second.front());
+        it->second.pop();
+        return std::move(msg.payload);
+      }
+      box.cv.wait_until(lk, deliver_at);
+      continue;
+    }
+    if (box.cv.wait_until(lk, deadline) == std::cv_status::timeout) {
+      WEIPIPE_CHECK_MSG(false, "recv timeout: rank " << dst << " waiting for (src="
+                                                     << src << ", tag=" << tag
+                                                     << ") — schedule deadlock?");
+    }
+  }
+}
+
+void run_workers(Fabric& fabric,
+                 const std::function<void(int rank, Endpoint& ep)>& fn) {
+  const int p = fabric.world_size();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(p));
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  for (int r = 0; r < p; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        fn(r, fabric.endpoint(r));
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+std::vector<Request> batch_isend_irecv(Endpoint& ep,
+                                       std::span<const SendSpec> sends,
+                                       std::span<const RecvSpec> recvs) {
+  for (const SendSpec& s : sends) {
+    ep.send_floats(s.dst, s.tag, s.values, s.precision);
+  }
+  std::vector<Request> requests;
+  requests.reserve(recvs.size());
+  for (const RecvSpec& r : recvs) {
+    requests.push_back(ep.irecv_floats(r.src, r.tag, r.out, r.precision));
+  }
+  return requests;
+}
+
+}  // namespace weipipe::comm

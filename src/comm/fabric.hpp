@@ -1,0 +1,183 @@
+// The in-process message-passing fabric: our stand-in for NCCL P2P.
+//
+// One Endpoint per simulated rank; ranks run on their own std::thread (see
+// WorkerGroup). Semantics mirror what the paper's implementation relies on:
+//  * eager, buffered sends — isend never blocks (NCCL P2P with send buffers);
+//  * tagged matching by (source, tag) with FIFO order per pair;
+//  * irecv/wait for the prefetch overlap the paper gets from
+//    torch.distributed.batch_isend_irecv;
+//  * an optional LinkModel that delays *delivery* (not the sender), so
+//    emulated bandwidth overlaps with compute exactly like an async DMA.
+//
+// Every byte crossing the fabric is counted per (src,dst) pair: tests assert
+// the paper's central claim — WeiPipe's communication volume is independent
+// of microbatch size G and sequence length S — directly on these counters.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "comm/wire.hpp"
+
+namespace weipipe::comm {
+
+// Returns the transfer delay for a message of `bytes` from src to dst.
+// Used only when attached to a Fabric; nullptr = infinitely fast links.
+using LinkModel =
+    std::function<std::chrono::nanoseconds(int src, int dst, std::size_t bytes)>;
+
+// Simple uniform link: latency + bytes/bandwidth.
+LinkModel uniform_link(double bandwidth_bytes_per_sec, double latency_sec);
+
+struct FabricStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Fabric;
+
+// A completion handle, as returned by isend/irecv.
+class Request {
+ public:
+  Request() = default;
+  // Blocks until the operation completes (no-op for eager sends).
+  void wait();
+  bool valid() const { return static_cast<bool>(waiter_); }
+
+ private:
+  friend class Endpoint;
+  explicit Request(std::function<void()> waiter) : waiter_(std::move(waiter)) {}
+  std::function<void()> waiter_;
+};
+
+class Endpoint {
+ public:
+  int rank() const { return rank_; }
+  int world_size() const;
+
+  // Eager buffered send: enqueues and returns immediately.
+  void send(int dst, std::int64_t tag, std::vector<std::uint8_t> payload);
+
+  // Blocks until a matching message arrives (and its modeled delivery time
+  // passes). Throws weipipe::Error after `recv_timeout`.
+  std::vector<std::uint8_t> recv(int src, std::int64_t tag);
+
+  Request isend(int dst, std::int64_t tag, std::vector<std::uint8_t> payload);
+  // out must stay alive until wait() returns.
+  Request irecv(int src, std::int64_t tag, std::vector<std::uint8_t>* out);
+  // Float-typed async receive: wait() unpacks (and widens) into `out`.
+  Request irecv_floats(int src, std::int64_t tag, std::span<float> out,
+                       WirePrecision precision);
+
+  // -- float-span conveniences (quantize on send, widen on receive) ----------
+  void send_floats(int dst, std::int64_t tag, std::span<const float> values,
+                   WirePrecision precision);
+  void recv_floats(int src, std::int64_t tag, std::span<float> out,
+                   WirePrecision precision);
+
+  FabricStats sent_stats() const;
+  FabricStats received_stats() const;
+
+ private:
+  friend class Fabric;
+  Endpoint(Fabric* fabric, int rank) : fabric_(fabric), rank_(rank) {}
+
+  Fabric* fabric_;
+  int rank_;
+};
+
+class Fabric {
+ public:
+  explicit Fabric(int world_size, LinkModel link_model = nullptr);
+  ~Fabric();
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  int world_size() const { return static_cast<int>(endpoints_.size()); }
+  Endpoint& endpoint(int rank);
+
+  // Aggregate traffic matrix entry: bytes sent src -> dst.
+  std::uint64_t bytes_sent(int src, int dst) const;
+  std::uint64_t total_bytes() const;
+  std::uint64_t total_messages() const;
+  void reset_stats();
+
+  // Maximum time recv() blocks before declaring the schedule deadlocked.
+  void set_recv_timeout(std::chrono::milliseconds timeout) {
+    recv_timeout_ = timeout;
+  }
+
+ private:
+  friend class Endpoint;
+
+  struct Message {
+    std::vector<std::uint8_t> payload;
+    std::chrono::steady_clock::time_point deliver_at;
+  };
+  struct MailKey {
+    int src;
+    std::int64_t tag;
+    bool operator<(const MailKey& o) const {
+      return src != o.src ? src < o.src : tag < o.tag;
+    }
+  };
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<MailKey, std::queue<Message>> queues;
+  };
+
+  void deliver(int src, int dst, std::int64_t tag,
+               std::vector<std::uint8_t> payload);
+  std::vector<std::uint8_t> take(int dst, int src, std::int64_t tag);
+
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  LinkModel link_model_;
+  std::chrono::milliseconds recv_timeout_{60000};
+
+  mutable std::mutex stats_mu_;
+  std::vector<FabricStats> pair_stats_;  // [src * P + dst]
+};
+
+// Runs fn(rank, endpoint) on world_size threads and joins them all; the first
+// exception (if any) is rethrown on the caller after every thread has exited,
+// so a failing rank cannot leave the fabric with dangling threads.
+void run_workers(Fabric& fabric,
+                 const std::function<void(int rank, Endpoint& ep)>& fn);
+
+// ---- batched posting (the paper's torch.distributed.batch_isend_irecv) ------
+
+struct SendSpec {
+  int dst = 0;
+  std::int64_t tag = 0;
+  std::span<const float> values;
+  WirePrecision precision = WirePrecision::Fp32;
+};
+
+struct RecvSpec {
+  int src = 0;
+  std::int64_t tag = 0;
+  // Destination buffer; must stay alive until the returned request completes.
+  std::span<float> out;
+  WirePrecision precision = WirePrecision::Fp32;
+};
+
+// Posts all sends eagerly and returns one Request per recv; waiting on a
+// request unpacks into its RecvSpec buffer. Mirrors the PyTorch API WeiPipe's
+// reference implementation uses for communication/computation overlap.
+std::vector<Request> batch_isend_irecv(Endpoint& ep,
+                                       std::span<const SendSpec> sends,
+                                       std::span<const RecvSpec> recvs);
+
+}  // namespace weipipe::comm

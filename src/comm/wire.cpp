@@ -1,0 +1,64 @@
+#include "comm/wire.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace weipipe::comm {
+
+std::vector<std::uint8_t> pack_floats(std::span<const float> values,
+                                      WirePrecision precision) {
+  std::vector<std::uint8_t> out(packed_size(values.size(), precision));
+  switch (precision) {
+    case WirePrecision::Fp32:
+      std::memcpy(out.data(), values.data(), out.size());
+      break;
+    case WirePrecision::Fp16: {
+      auto* dst = reinterpret_cast<std::uint16_t*>(out.data());
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        dst[i] = Float16(values[i]).bits();
+      }
+      break;
+    }
+    case WirePrecision::Bf16: {
+      auto* dst = reinterpret_cast<std::uint16_t*>(out.data());
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        dst[i] = BFloat16(values[i]).bits();
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+void unpack_floats(std::span<const std::uint8_t> bytes,
+                   WirePrecision precision, std::span<float> out) {
+  WEIPIPE_CHECK_MSG(bytes.size() == packed_size(out.size(), precision),
+                    "packed size mismatch: " << bytes.size() << " bytes for "
+                                             << out.size() << " elements");
+  switch (precision) {
+    case WirePrecision::Fp32:
+      std::memcpy(out.data(), bytes.data(), bytes.size());
+      break;
+    case WirePrecision::Fp16: {
+      const auto* src = reinterpret_cast<const std::uint16_t*>(bytes.data());
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = Float16::from_bits(src[i]).to_float();
+      }
+      break;
+    }
+    case WirePrecision::Bf16: {
+      const auto* src = reinterpret_cast<const std::uint16_t*>(bytes.data());
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = BFloat16::from_bits(src[i]).to_float();
+      }
+      break;
+    }
+  }
+}
+
+std::size_t packed_size(std::size_t num_elements, WirePrecision precision) {
+  return num_elements * wire_bytes_per_element(precision);
+}
+
+}  // namespace weipipe::comm

@@ -1,0 +1,27 @@
+// Wire packing: float tensors cross the fabric in a declared WirePrecision.
+//
+// Packing is where mixed-precision *communication* happens (paper §5): a
+// chunk sent as fp16 is rounded once on send and widened on receive — exactly
+// the precision loss a GPU implementation pays when it keeps fp16 circulating
+// buffers. Byte counts therefore reflect the real message sizes the cost
+// model reasons about.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/fixed_types.hpp"
+
+namespace weipipe::comm {
+
+std::vector<std::uint8_t> pack_floats(std::span<const float> values,
+                                      WirePrecision precision);
+
+// Unpacks into `out`; out.size() must match the packed element count.
+void unpack_floats(std::span<const std::uint8_t> bytes,
+                   WirePrecision precision, std::span<float> out);
+
+std::size_t packed_size(std::size_t num_elements, WirePrecision precision);
+
+}  // namespace weipipe::comm

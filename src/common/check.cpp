@@ -1,0 +1,15 @@
+#include "common/check.hpp"
+
+namespace weipipe::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& extra) {
+  std::ostringstream oss;
+  oss << "WEIPIPE_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!extra.empty()) {
+    oss << " — " << extra;
+  }
+  throw Error(oss.str());
+}
+
+}  // namespace weipipe::detail

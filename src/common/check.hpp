@@ -1,0 +1,41 @@
+// Error-handling primitives. All invariant violations in the library throw
+// weipipe::Error with a message naming the failing expression and location;
+// we never abort, so tests can assert on failure paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace weipipe {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file, int line,
+                                      const std::string& extra);
+}  // namespace detail
+
+}  // namespace weipipe
+
+// Checked in every build type (these guard API misuse, not hot inner loops).
+#define WEIPIPE_CHECK(expr)                                                  \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::weipipe::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+    }                                                                        \
+  } while (0)
+
+// Variant carrying a streamed message: WEIPIPE_CHECK_MSG(a == b, "a=" << a).
+#define WEIPIPE_CHECK_MSG(expr, msg)                                          \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      std::ostringstream weipipe_check_oss_;                                  \
+      weipipe_check_oss_ << msg; /* NOLINT */                                 \
+      ::weipipe::detail::throw_check_failure(#expr, __FILE__, __LINE__,       \
+                                             weipipe_check_oss_.str());      \
+    }                                                                         \
+  } while (0)

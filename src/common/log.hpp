@@ -1,0 +1,35 @@
+// Minimal leveled logger. Worker threads log concurrently during pipelined
+// training, so emission is serialized; level is a process-wide atomic so
+// benches can silence the library without recompiling.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace weipipe {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}  // namespace detail
+
+}  // namespace weipipe
+
+#define WEIPIPE_LOG(level, msg)                                      \
+  do {                                                               \
+    if (static_cast<int>(level) >=                                   \
+        static_cast<int>(::weipipe::log_level())) {                  \
+      std::ostringstream weipipe_log_oss_;                           \
+      weipipe_log_oss_ << msg; /* NOLINT */                          \
+      ::weipipe::detail::log_emit(level, weipipe_log_oss_.str());    \
+    }                                                                \
+  } while (0)
+
+#define WEIPIPE_DEBUG(msg) WEIPIPE_LOG(::weipipe::LogLevel::Debug, msg)
+#define WEIPIPE_INFO(msg) WEIPIPE_LOG(::weipipe::LogLevel::Info, msg)
+#define WEIPIPE_WARN(msg) WEIPIPE_LOG(::weipipe::LogLevel::Warn, msg)
+#define WEIPIPE_ERROR(msg) WEIPIPE_LOG(::weipipe::LogLevel::Error, msg)

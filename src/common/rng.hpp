@@ -1,0 +1,76 @@
+// Deterministic, platform-independent random number generation.
+//
+// All model initialization and synthetic data generation flows through Rng so
+// that every trainer (sequential ground truth, WeiPipe, 1F1B, FSDP, ...) sees
+// bit-identical inputs from the same seed — the cornerstone of the
+// strategy-equivalence tests. std::mt19937 + std::normal_distribution are
+// avoided because their output is not pinned across standard libraries.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace weipipe {
+
+// splitmix64: tiny, fast, passes BigCrush as a 64-bit mixer; ideal for seeding
+// and for reproducible streams keyed by (seed, stream-id).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : state_(seed) {}
+
+  // Derives an independent stream, e.g. one per layer or per microbatch.
+  Rng fork(std::uint64_t stream) const {
+    Rng r(state_ ^ (0xBF58476D1CE4E5B9ull * (stream + 1)));
+    (void)r.next_u64();  // decorrelate from the parent at stream boundaries
+    return r;
+  }
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, 1) with 53 bits of precision.
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  float uniform(float lo, float hi) {
+    return lo + static_cast<float>(next_double()) * (hi - lo);
+  }
+
+  // Box–Muller; deterministic across platforms (unlike std::normal_distribution).
+  float normal(float mean = 0.0f, float stddev = 1.0f) {
+    if (have_spare_) {
+      have_spare_ = false;
+      return mean + stddev * spare_;
+    }
+    double u1 = next_double();
+    double u2 = next_double();
+    if (u1 < 1e-300) {
+      u1 = 1e-300;
+    }
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    const double ang = 2.0 * std::numbers::pi * u2;
+    spare_ = static_cast<float>(mag * std::sin(ang));
+    have_spare_ = true;
+    return mean + stddev * static_cast<float>(mag * std::cos(ang));
+  }
+
+  // Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n) {
+    // Lemire-style rejection-free reduction is fine here: bias is < 2^-32 for
+    // the small n (vocab sizes, indices) this library draws.
+    return static_cast<std::uint64_t>(next_double() * static_cast<double>(n));
+  }
+
+ private:
+  std::uint64_t state_;
+  float spare_ = 0.0f;
+  bool have_spare_ = false;
+};
+
+}  // namespace weipipe

@@ -1,0 +1,26 @@
+// Wall-clock stopwatch used by the in-situ benchmarks and the trace module.
+#pragma once
+
+#include <chrono>
+
+namespace weipipe {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+  double microseconds() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace weipipe

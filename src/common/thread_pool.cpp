@@ -1,0 +1,144 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+#include "common/check.hpp"
+
+namespace weipipe {
+
+namespace {
+// Set while a pool worker executes a task. A nested parallel_for from inside a
+// task runs serially: queueing sub-tasks while every worker may be blocked
+// waiting on its own sub-tasks is a classic self-deadlock.
+thread_local bool g_inside_pool_task = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) {
+        return;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    g_inside_pool_task = true;
+    task.fn();
+    g_inside_pool_task = false;
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) {
+    return;
+  }
+  const std::size_t n = end - begin;
+  const std::size_t num_chunks = std::min(n, workers_.size() + 1);
+  if (num_chunks <= 1 || g_inside_pool_task) {
+    for (std::size_t i = begin; i < end; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> next{begin};
+  std::atomic<std::size_t> done{0};
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  // Dynamic scheduling with chunk size ~ n / (4 * chunks): balances uneven
+  // per-index cost (e.g. causal attention rows) without queue thrash.
+  const std::size_t chunk = std::max<std::size_t>(1, n / (4 * num_chunks));
+  const std::size_t n_tasks = num_chunks;
+
+  auto body = [&] {
+    for (;;) {
+      const std::size_t lo = next.fetch_add(chunk);
+      if (lo >= end) {
+        break;
+      }
+      const std::size_t hi = std::min(end, lo + chunk);
+      try {
+        for (std::size_t i = lo; i < hi; ++i) {
+          fn(i);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+        // Drain the remaining range so other tasks stop quickly.
+        next.store(end);
+      }
+    }
+    if (done.fetch_add(1) + 1 == n_tasks) {
+      std::lock_guard<std::mutex> lk(done_mu);
+      done_cv.notify_all();
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (std::size_t t = 0; t + 1 < n_tasks; ++t) {
+      tasks_.push(Task{body});
+    }
+  }
+  cv_.notify_all();
+  body();  // the caller participates as the final task
+
+  {
+    std::unique_lock<std::mutex> lk(done_mu);
+    done_cv.wait(lk, [&] { return done.load() == n_tasks; });
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(
+      std::max(1u, std::thread::hardware_concurrency()) - 0);
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain) {
+  if (begin >= end) {
+    return;
+  }
+  if (end - begin <= grain) {
+    for (std::size_t i = begin; i < end; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  ThreadPool::global().parallel_for(begin, end, fn);
+}
+
+}  // namespace weipipe

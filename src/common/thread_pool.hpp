@@ -1,0 +1,58 @@
+// A small work-stealing-free thread pool plus parallel_for.
+//
+// Used only inside tensor kernels (matmul, attention) to make the CPU
+// substrate fast enough for the in-situ benchmarks; the *worker* threads of
+// the distributed fabric are separate (one std::thread per simulated rank) so
+// kernel parallelism never interferes with schedule semantics.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace weipipe {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Runs fn(i) for i in [begin, end), splitting the range into chunks across
+  // the pool and the calling thread; returns when every index is done.
+  // Exceptions from fn propagate to the caller (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  // Process-wide pool sized to the hardware; lazily constructed.
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<Task> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// Convenience: global-pool parallel loop. Falls back to serial execution for
+// tiny ranges where task overhead would dominate.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 1);
+
+}  // namespace weipipe

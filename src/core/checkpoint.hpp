@@ -1,0 +1,45 @@
+// Checkpointing: full trainer state (fp32 master weights + Adam moments +
+// step counter) in a self-describing binary format.
+//
+// State is expressed block-major (one entry per model block), the common
+// currency of every trainer; the sharded trainers map it to/from their
+// per-chunk shards, so a checkpoint written by WeiPipe on 4 workers restores
+// into a sequential trainer — or an 8-worker ring — exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/adam.hpp"
+#include "nn/model.hpp"
+
+namespace weipipe {
+
+struct TrainerState {
+  std::int64_t step_count = 0;                   // optimizer steps taken
+  std::vector<std::vector<float>> block_params;  // fp32 masters per block
+  std::vector<std::vector<float>> adam_m;        // first moments per block
+  std::vector<std::vector<float>> adam_v;        // second moments per block
+};
+
+// Binary serialization ("WPCKPT01" magic, little-endian int64 sizes).
+// Throws weipipe::Error on I/O failure, bad magic, or truncation.
+void save_checkpoint(const std::string& path, const TrainerState& state);
+TrainerState load_checkpoint(const std::string& path);
+
+// -- chunk-sharded <-> block-major conversion helpers ------------------------
+// (used by WeiPipe/pipeline/FSDP trainers, whose masters and Adam shards are
+// flat per-chunk buffers).
+TrainerState export_sharded_state(const Model& model,
+                                  const std::vector<ChunkSpec>& chunks,
+                                  const std::vector<std::vector<float>>& master,
+                                  const std::vector<AdamShard>& adam);
+
+void import_sharded_state(const Model& model,
+                          const std::vector<ChunkSpec>& chunks,
+                          const TrainerState& state,
+                          std::vector<std::vector<float>>& master,
+                          std::vector<AdamShard>& adam);
+
+}  // namespace weipipe

@@ -1,0 +1,119 @@
+#include "core/sequential_trainer.hpp"
+
+#include "common/check.hpp"
+
+#include "common/stopwatch.hpp"
+#include "nn/loss.hpp"
+
+namespace weipipe {
+
+SequentialTrainer::SequentialTrainer(const TrainConfig& cfg)
+    : cfg_(cfg), model_(cfg.model) {
+  cfg_.validate();
+  master_ = model_.init_block_params(cfg_.seed);
+  adam_.reserve(master_.size());
+  for (const auto& w : master_) {
+    adam_.emplace_back(static_cast<std::int64_t>(w.size()));
+  }
+}
+
+IterationResult SequentialTrainer::train_iteration(
+    const Dataset& data, std::int64_t iter_index) {
+  Stopwatch sw;
+  const std::int64_t n = cfg_.num_microbatches;
+
+  // Compute copies: emulate the wire precision the distributed runs compute
+  // with (weights quantized once before use; identity for fp32).
+  std::vector<std::vector<float>> compute = master_;
+  if (cfg_.precision.weights != WirePrecision::Fp32) {
+    for (auto& w : compute) {
+      for (float& v : w) {
+        v = quantize(v, cfg_.precision.weights);
+      }
+    }
+  }
+
+  std::vector<std::vector<float>> grads;
+  grads.reserve(master_.size());
+  for (const auto& w : master_) {
+    grads.emplace_back(w.size(), 0.0f);
+  }
+
+  double loss_sum = 0.0;
+  for (std::int64_t j = 0; j < n; ++j) {
+    const Microbatch mb =
+        data.make(iter_index * n + j, cfg_.microbatch_size, cfg_.seq_len);
+    std::vector<BlockCtx> ctxs;
+    const Tensor logits = model_.forward_all(compute, mb, ctxs);
+    LossResult lr = cross_entropy_loss(logits, mb);
+    loss_sum += lr.loss;
+    // Mean over the N microbatches.
+    lr.dlogits.scale_(1.0f / static_cast<float>(n));
+    model_.backward_all(compute, mb, ctxs, lr.dlogits, grads);
+  }
+
+  if (cfg_.clip.enabled()) {
+    double total_sq = 0.0;
+    for (const auto& g : grads) {
+      total_sq += grad_sq_norm(std::span<const float>(g.data(), g.size()));
+    }
+    const float scale = clip_scale(cfg_.clip, total_sq);
+    if (scale != 1.0f) {
+      for (auto& g : grads) {
+        for (float& v : g) {
+          v *= scale;
+        }
+      }
+    }
+  }
+  const AdamConfig adam_cfg = cfg_.adam_for_iteration(iter_index);
+  for (std::size_t b = 0; b < master_.size(); ++b) {
+    adam_[b].step(std::span<float>(master_[b].data(), master_[b].size()),
+                  std::span<const float>(grads[b].data(), grads[b].size()),
+                  adam_cfg);
+  }
+
+  IterationResult res;
+  res.mean_loss = static_cast<float>(loss_sum / static_cast<double>(n));
+  res.wall_seconds = sw.seconds();
+  return res;
+}
+
+std::vector<std::vector<float>> SequentialTrainer::gather_block_params()
+    const {
+  return master_;
+}
+
+TrainerState SequentialTrainer::export_state() const {
+  TrainerState state;
+  state.block_params = master_;
+  state.step_count = adam_.empty() ? 0 : adam_.front().step_count();
+  for (const AdamShard& shard : adam_) {
+    state.adam_m.emplace_back(shard.first_moment().begin(),
+                              shard.first_moment().end());
+    state.adam_v.emplace_back(shard.second_moment().begin(),
+                              shard.second_moment().end());
+  }
+  return state;
+}
+
+void SequentialTrainer::import_state(const TrainerState& state) {
+  WEIPIPE_CHECK_MSG(static_cast<std::int64_t>(state.block_params.size()) ==
+                        model_.num_blocks(),
+                    "state/model block count mismatch");
+  for (std::int64_t b = 0; b < model_.num_blocks(); ++b) {
+    WEIPIPE_CHECK_MSG(
+        static_cast<std::int64_t>(
+            state.block_params[static_cast<std::size_t>(b)].size()) ==
+            model_.block_param_count(b),
+        "state block " << b << " size mismatch");
+  }
+  master_ = state.block_params;
+  adam_.clear();
+  for (std::size_t b = 0; b < master_.size(); ++b) {
+    adam_.emplace_back(static_cast<std::int64_t>(master_[b].size()));
+    adam_.back().restore(state.adam_m[b], state.adam_v[b], state.step_count);
+  }
+}
+
+}  // namespace weipipe

@@ -1,0 +1,33 @@
+// Ground-truth trainer: one process, no parallelism, microbatches processed
+// in index order with gradient accumulation — the semantics every distributed
+// strategy must reproduce.
+#pragma once
+
+#include <memory>
+
+#include "core/checkpoint.hpp"
+#include "core/trainer.hpp"
+#include "nn/adam.hpp"
+#include "nn/model.hpp"
+
+namespace weipipe {
+
+class SequentialTrainer final : public Trainer {
+ public:
+  explicit SequentialTrainer(const TrainConfig& cfg);
+
+  std::string name() const override { return "sequential"; }
+  IterationResult train_iteration(const Dataset& data,
+                                  std::int64_t iter_index) override;
+  std::vector<std::vector<float>> gather_block_params() const override;
+  TrainerState export_state() const override;
+  void import_state(const TrainerState& state) override;
+
+ private:
+  TrainConfig cfg_;
+  Model model_;
+  std::vector<std::vector<float>> master_;  // fp32 masters per block
+  std::vector<AdamShard> adam_;             // one shard per block
+};
+
+}  // namespace weipipe

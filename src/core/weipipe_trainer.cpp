@@ -1,0 +1,552 @@
+#include "core/weipipe_trainer.hpp"
+
+#include <map>
+
+#include "comm/collectives.hpp"
+#include "common/stopwatch.hpp"
+#include "nn/loss.hpp"
+
+namespace weipipe {
+
+namespace {
+// Flow message tags (FIFO per (src,tag) gives turn ordering for free).
+constexpr std::int64_t kTagF = 1;    // forward-flow weight chunk
+constexpr std::int64_t kTagBW = 2;   // backward-flow weight chunk
+constexpr std::int64_t kTagBD = 3;   // backward-flow gradient chunk
+constexpr std::int64_t kTagRedistF = 10;  // owner -> F start holder
+constexpr std::int64_t kTagRedistB = 11;  // owner -> B start holder
+constexpr std::int64_t kTagDpReduce = 12;  // cross-replica gradient chain
+constexpr std::int64_t kTagDpBcast = 13;   // reduced gradient broadcast
+constexpr std::int64_t kTagVocabUp = 14;   // vocab-grad chain reduce
+constexpr std::int64_t kTagVocabDown = 15; // vocab-grad broadcast
+
+// Per-in-flight-microbatch state local to one worker.
+struct InFlight {
+  Microbatch mb;
+  // ctxs[chunk] holds one BlockCtx per block of that chunk.
+  std::vector<std::vector<BlockCtx>> ctxs;
+  Tensor act;   // forward cursor (output of the last computed chunk)
+  Tensor grad;  // backward cursor (gradient w.r.t. next chunk's output)
+  BlockCtx emb_ctx;   // replicate_vocab: local embedding forward state
+  BlockCtx head_ctx;  // replicate_vocab: local head forward state
+  float loss = 0.0f;
+};
+}  // namespace
+
+WeiPipeTrainer::WeiPipeTrainer(const TrainConfig& cfg, std::int64_t num_workers,
+                               WeiPipeOptions options)
+    : cfg_(cfg),
+      p_(num_workers),
+      dp_(std::max<std::int64_t>(1, options.dp_degree)),
+      opts_(options),
+      model_(cfg.model),
+      sched_(num_workers,
+             cfg.num_microbatches / (num_workers *
+                                     std::max<std::int64_t>(
+                                         1, options.dp_degree)),
+             options.mode) {
+  cfg_.validate();
+  WEIPIPE_CHECK_MSG(p_ >= 2, "WeiPipe needs >= 2 workers (use sequential)");
+  WEIPIPE_CHECK_MSG(cfg_.num_microbatches % (p_ * dp_) == 0,
+                    "N=" << cfg_.num_microbatches
+                         << " must divide by ring*dp=" << p_ * dp_);
+  chunks_ = opts_.replicate_vocab ? model_.make_layer_chunks(p_)
+                                  : model_.make_chunks(p_);
+  fabric_ = std::make_unique<comm::Fabric>(static_cast<int>(p_ * dp_),
+                                           opts_.link_model);
+  // Every replica starts from (and maintains) an identical shard set.
+  const auto init = model_.init_chunk_params(chunks_, cfg_.seed);
+  std::vector<float> vocab_init;
+  if (opts_.replicate_vocab) {
+    const auto blocks = model_.init_block_params(cfg_.seed);
+    vocab_init = blocks.front();
+    vocab_init.insert(vocab_init.end(), blocks.back().begin(),
+                      blocks.back().end());
+  }
+  for (std::int64_t d = 0; d < dp_; ++d) {
+    for (const auto& chunk : init) {
+      master_.push_back(chunk);
+    }
+    for (const ChunkSpec& spec : chunks_) {
+      adam_.emplace_back(spec.param_count);
+    }
+    if (opts_.replicate_vocab) {
+      vocab_master_.push_back(vocab_init);
+      vocab_adam_.emplace_back(static_cast<std::int64_t>(vocab_init.size()));
+    }
+  }
+}
+
+std::string WeiPipeTrainer::name() const {
+  std::string n = to_string(opts_.mode);
+  if (dp_ > 1) {
+    n += "-dp" + std::to_string(dp_);
+  }
+  return n;
+}
+
+IterationResult WeiPipeTrainer::train_iteration(const Dataset& data,
+                                                std::int64_t iter_index) {
+  Stopwatch sw;
+  fabric_->reset_stats();
+  std::vector<double> losses(
+      static_cast<std::size_t>(cfg_.num_microbatches), 0.0);
+  comm::run_workers(*fabric_, [&](int rank, comm::Endpoint& ep) {
+    worker_body(rank, ep, data, iter_index, losses);
+  });
+  IterationResult res;
+  double sum = 0.0;
+  for (double l : losses) {
+    sum += l;
+  }
+  res.mean_loss =
+      static_cast<float>(sum / static_cast<double>(cfg_.num_microbatches));
+  res.wall_seconds = sw.seconds();
+  res.wire_bytes = fabric_->total_bytes();
+  res.wire_messages = fabric_->total_messages();
+  return res;
+}
+
+void WeiPipeTrainer::worker_body(int rank, comm::Endpoint& ep,
+                                 const Dataset& data,
+                                 std::int64_t iter_index,
+                                 std::vector<double>& losses) {
+  const std::int64_t d = rank / p_;  // data-parallel replica index
+  const std::int64_t p = rank % p_;  // position within this replica's ring
+  const std::int64_t base = d * p_;  // first rank of this replica
+  const int next = static_cast<int>(base + (p + 1) % p_);
+  const int prev = static_cast<int>(base + (p + p_ - 1) % p_);
+  const WirePrecision wp = cfg_.precision.weights;
+  const WirePrecision dp = cfg_.precision.weight_grads;
+  const std::int64_t n_total = cfg_.num_microbatches;
+  const std::int64_t n_local = n_total / dp_;  // microbatches per replica
+  const std::int64_t turns = sched_.total_turns();
+
+  auto chunk_size = [&](std::int64_t c) {
+    return static_cast<std::size_t>(
+        chunks_[static_cast<std::size_t>(c)].param_count);
+  };
+
+  // replicate_vocab: per-worker compute copies of the embedding/head weights
+  // and a local gradient accumulator (all-reduced once at iteration end).
+  const std::int64_t emb_n = model_.block_param_count(0);
+  const std::int64_t head_n = model_.block_param_count(model_.num_blocks() - 1);
+  std::vector<float> vocab_w;
+  std::vector<float> vocab_g;
+  if (opts_.replicate_vocab) {
+    const std::vector<float>& vm = vocab_master_[static_cast<std::size_t>(d)];
+    vocab_w.resize(vm.size());
+    for (std::size_t i = 0; i < vm.size(); ++i) {
+      vocab_w[i] = quantize(vm[i], wp);
+    }
+    vocab_g.assign(vm.size(), 0.0f);
+  }
+
+  // ---- Redistribution: owners inject current weights into both flows. -----
+  // (Owner-held masters are authoritative; everyone else's copy is stale.)
+  for (std::int64_t c = 0; c < p_; ++c) {
+    if (sched_.owner(c) != p) {
+      continue;
+    }
+    const std::vector<float>& m =
+        master_[static_cast<std::size_t>(base + c)];
+    const auto targets_and_tags = {
+        std::pair<std::int64_t, std::int64_t>{sched_.f_start_holder(c),
+                                              kTagRedistF},
+        std::pair<std::int64_t, std::int64_t>{sched_.b_start_holder(c),
+                                              kTagRedistB}};
+    for (const auto& [holder, tag] : targets_and_tags) {
+      if (holder == p) {
+        continue;  // handled locally below
+      }
+      ep.send_floats(static_cast<int>(base + holder), tag,
+                     std::span<const float>(m.data(), m.size()), wp);
+    }
+  }
+
+  // Current flow buffers (fp32 working copies of wire values).
+  const std::int64_t cf0 = sched_.f_chunk_at(p, 0);
+  const std::int64_t cb0 = sched_.b_chunk_at(p, 0);
+  std::vector<float> fw(chunk_size(cf0));
+  std::vector<float> bw(chunk_size(cb0));
+  std::vector<float> bd(chunk_size(cb0), 0.0f);  // D starts at zero
+
+  auto fill_from_master_quantized = [&](std::vector<float>& dst,
+                                        std::int64_t c) {
+    const std::vector<float>& m =
+        master_[static_cast<std::size_t>(base + c)];
+    dst.resize(m.size());
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      dst[i] = quantize(m[i], wp);
+    }
+  };
+
+  if (sched_.owner(cf0) == p) {
+    fill_from_master_quantized(fw, cf0);
+  } else {
+    ep.recv_floats(static_cast<int>(base + sched_.owner(cf0)), kTagRedistF,
+                   std::span<float>(fw.data(), fw.size()), wp);
+  }
+  if (sched_.owner(cb0) == p) {
+    fill_from_master_quantized(bw, cb0);
+  } else {
+    ep.recv_floats(static_cast<int>(base + sched_.owner(cb0)), kTagRedistB,
+                   std::span<float>(bw.data(), bw.size()), wp);
+  }
+
+  // ---- Turn loop -----------------------------------------------------------
+  std::map<std::int64_t, InFlight> inflight;  // keyed by round
+
+  for (std::int64_t t = 0; t < turns; ++t) {
+    const TurnActions acts = sched_.actions(p, t);
+    const std::int64_t cf = sched_.f_chunk_at(p, t);
+    const std::int64_t cb = sched_.b_chunk_at(p, t);
+
+    // Weight chunks are read-only for this turn's compute: with prefetch on,
+    // ship them to the neighbor before computing so the transfer overlaps.
+    if (opts_.async_prefetch) {
+      ep.send_floats(next, kTagF, std::span<const float>(fw.data(), fw.size()),
+                     wp);
+      ep.send_floats(next, kTagBW,
+                     std::span<const float>(bw.data(), bw.size()), wp);
+    }
+
+    // Post receives for the next turn's chunks up front.
+    std::vector<std::uint8_t> in_f;
+    std::vector<std::uint8_t> in_bw;
+    std::vector<std::uint8_t> in_bd;
+    comm::Request rq_f;
+    comm::Request rq_bw;
+    comm::Request rq_bd;
+    const bool receiving = t + 1 <= turns;  // final state counts as turn T
+    if (receiving && opts_.async_prefetch) {
+      rq_f = ep.irecv(prev, kTagF, &in_f);
+      rq_bw = ep.irecv(prev, kTagBW, &in_bw);
+      rq_bd = ep.irecv(prev, kTagBD, &in_bd);
+    }
+
+    // -- forward compute (new microbatch, chunk cf) --
+    if (acts.fwd) {
+      WEIPIPE_CHECK(acts.fwd->chunk == cf);
+      const std::int64_t round = acts.fwd->round;
+      InFlight* st = nullptr;
+      if (cf == 0) {
+        InFlight fresh;
+        fresh.mb = data.make(
+            iter_index * n_total + d * n_local + round * p_ + p,
+            cfg_.microbatch_size, cfg_.seq_len);
+        fresh.ctxs.resize(static_cast<std::size_t>(p_));
+        st = &inflight.emplace(round, std::move(fresh)).first->second;
+        if (opts_.replicate_vocab) {
+          // Local embedding lookup feeds the first circulated chunk.
+          st->act = model_.block(0).forward(
+              std::span<const float>(vocab_w.data(),
+                                     static_cast<std::size_t>(emb_n)),
+              st->mb, Tensor(), st->emb_ctx, !cfg_.model.recompute);
+        }
+      } else {
+        auto it = inflight.find(round);
+        WEIPIPE_CHECK_MSG(it != inflight.end(),
+                          "missing in-flight state for round " << round);
+        st = &it->second;
+      }
+      const ChunkSpec& spec = chunks_[static_cast<std::size_t>(cf)];
+      auto& ctxs = st->ctxs[static_cast<std::size_t>(cf)];
+      ctxs.clear();
+      std::int64_t off = 0;
+      for (std::int64_t b = spec.begin; b < spec.end; ++b) {
+        const std::int64_t nparams = model_.block_param_count(b);
+        ctxs.emplace_back();
+        st->act = model_.block(b).forward(
+            std::span<const float>(fw.data() + off,
+                                   static_cast<std::size_t>(nparams)),
+            st->mb, st->act, ctxs.back(), !cfg_.model.recompute);
+        off += nparams;
+      }
+      if (cf == p_ - 1) {
+        if (opts_.replicate_vocab) {
+          // Local head projection completes the model.
+          st->act = model_.block(model_.num_blocks() - 1)
+                        .forward(std::span<const float>(
+                                     vocab_w.data() + emb_n,
+                                     static_cast<std::size_t>(head_n)),
+                                 st->mb, st->act, st->head_ctx,
+                                 !cfg_.model.recompute);
+        }
+        // End of the model: loss -> backward seed (scaled for the N-mean).
+        LossResult lr = cross_entropy_loss(st->act, st->mb);
+        st->loss = lr.loss;
+        losses[static_cast<std::size_t>(d * n_local + round * p_ + p)] =
+            lr.loss;
+        lr.dlogits.scale_(1.0f / static_cast<float>(n_total));
+        st->grad = std::move(lr.dlogits);
+        st->act = Tensor();
+      }
+    }
+
+    // -- backward compute (old microbatch, chunk cb); accumulates into bd --
+    if (acts.bwd) {
+      WEIPIPE_CHECK(acts.bwd->chunk == cb);
+      auto it = inflight.find(acts.bwd->round);
+      WEIPIPE_CHECK_MSG(it != inflight.end(),
+                        "missing in-flight state for backward round "
+                            << acts.bwd->round);
+      InFlight& st = it->second;
+      if (opts_.replicate_vocab && cb == p_ - 1) {
+        st.grad = model_.block(model_.num_blocks() - 1)
+                      .backward(std::span<const float>(
+                                    vocab_w.data() + emb_n,
+                                    static_cast<std::size_t>(head_n)),
+                                st.mb, st.head_ctx, st.grad,
+                                std::span<float>(
+                                    vocab_g.data() + emb_n,
+                                    static_cast<std::size_t>(head_n)));
+        st.head_ctx = BlockCtx();
+      }
+      const ChunkSpec& spec = chunks_[static_cast<std::size_t>(cb)];
+      auto& ctxs = st.ctxs[static_cast<std::size_t>(cb)];
+      WEIPIPE_CHECK(static_cast<std::int64_t>(ctxs.size()) ==
+                    spec.end - spec.begin);
+      for (std::int64_t b = spec.end - 1; b >= spec.begin; --b) {
+        const std::int64_t off = model_.block_offset_in_chunk(spec, b);
+        const std::int64_t nparams = model_.block_param_count(b);
+        st.grad = model_.block(b).backward(
+            std::span<const float>(bw.data() + off,
+                                   static_cast<std::size_t>(nparams)),
+            st.mb, ctxs[static_cast<std::size_t>(b - spec.begin)], st.grad,
+            std::span<float>(bd.data() + off,
+                             static_cast<std::size_t>(nparams)));
+      }
+      ctxs.clear();  // activations for this chunk are spent
+      if (cb == 0) {
+        if (opts_.replicate_vocab) {
+          (void)model_.block(0).backward(
+              std::span<const float>(vocab_w.data(),
+                                     static_cast<std::size_t>(emb_n)),
+              st.mb, st.emb_ctx, st.grad,
+              std::span<float>(vocab_g.data(),
+                               static_cast<std::size_t>(emb_n)));
+        }
+        inflight.erase(it);  // microbatch fully processed
+      }
+    }
+
+    // Without prefetch the weight sends happen only now (blocking ablation).
+    if (!opts_.async_prefetch) {
+      ep.send_floats(next, kTagF, std::span<const float>(fw.data(), fw.size()),
+                     wp);
+      ep.send_floats(next, kTagBW,
+                     std::span<const float>(bw.data(), bw.size()), wp);
+    }
+    // D leaves after backward added this worker's contribution.
+    ep.send_floats(next, kTagBD, std::span<const float>(bd.data(), bd.size()),
+                   dp);
+
+    // Advance flows to turn t+1 state.
+    const std::int64_t cf_next = sched_.f_chunk_at(p, t + 1);
+    const std::int64_t cb_next = sched_.b_chunk_at(p, t + 1);
+    fw.resize(chunk_size(cf_next));
+    bw.resize(chunk_size(cb_next));
+    bd.resize(chunk_size(cb_next));
+    if (opts_.async_prefetch) {
+      rq_f.wait();
+      rq_bw.wait();
+      rq_bd.wait();
+      comm::unpack_floats(in_f, wp, std::span<float>(fw.data(), fw.size()));
+      comm::unpack_floats(in_bw, wp, std::span<float>(bw.data(), bw.size()));
+      comm::unpack_floats(in_bd, dp, std::span<float>(bd.data(), bd.size()));
+    } else {
+      ep.recv_floats(prev, kTagF, std::span<float>(fw.data(), fw.size()), wp);
+      ep.recv_floats(prev, kTagBW, std::span<float>(bw.data(), bw.size()), wp);
+      ep.recv_floats(prev, kTagBD, std::span<float>(bd.data(), bd.size()), dp);
+    }
+  }
+
+  WEIPIPE_CHECK_MSG(inflight.empty(),
+                    "worker " << p << " finished with unfinished microbatches");
+
+  // ---- Update: this worker now holds its replica's completed (W, D) pair
+  // for the chunk it owns.
+  const std::int64_t c_own = sched_.b_chunk_at(p, turns);
+  WEIPIPE_CHECK(sched_.owner(c_own) == p);
+
+  // Hybrid data parallelism: chain-reduce this chunk's gradient across the
+  // DP group (ranks {e*P + p}), in replica order, then broadcast back so
+  // every replica's owner applies the identical update.
+  if (dp_ > 1) {
+    std::vector<float> incoming(bd.size());
+    if (d > 0) {
+      ep.recv_floats(static_cast<int>((d - 1) * p_ + p), kTagDpReduce,
+                     std::span<float>(incoming.data(), incoming.size()), dp);
+      for (std::size_t i = 0; i < bd.size(); ++i) {
+        bd[i] += incoming[i];
+      }
+    }
+    if (d < dp_ - 1) {
+      ep.send_floats(static_cast<int>((d + 1) * p_ + p), kTagDpReduce,
+                     std::span<const float>(bd.data(), bd.size()), dp);
+      ep.recv_floats(static_cast<int>((d + 1) * p_ + p), kTagDpBcast,
+                     std::span<float>(bd.data(), bd.size()), dp);
+    }
+    if (d > 0) {
+      ep.send_floats(static_cast<int>((d - 1) * p_ + p), kTagDpBcast,
+                     std::span<const float>(bd.data(), bd.size()), dp);
+    }
+  }
+
+  // replicate_vocab: chain all-reduce the local vocab gradients across the
+  // whole world (their contributions span every microbatch), rank order for
+  // determinism, then broadcast back.
+  if (opts_.replicate_vocab) {
+    const int world = static_cast<int>(p_ * dp_);
+    std::vector<float> incoming(vocab_g.size());
+    if (rank > 0) {
+      ep.recv_floats(rank - 1, kTagVocabUp,
+                     std::span<float>(incoming.data(), incoming.size()), dp);
+      for (std::size_t i = 0; i < vocab_g.size(); ++i) {
+        vocab_g[i] += incoming[i];
+      }
+    }
+    if (rank < world - 1) {
+      ep.send_floats(rank + 1, kTagVocabUp,
+                     std::span<const float>(vocab_g.data(), vocab_g.size()),
+                     dp);
+      ep.recv_floats(rank + 1, kTagVocabDown,
+                     std::span<float>(vocab_g.data(), vocab_g.size()), dp);
+    }
+    if (rank > 0) {
+      ep.send_floats(rank - 1, kTagVocabDown,
+                     std::span<const float>(vocab_g.data(), vocab_g.size()),
+                     dp);
+    }
+  }
+
+  if (cfg_.clip.enabled()) {
+    double local_sq =
+        grad_sq_norm(std::span<const float>(bd.data(), bd.size()));
+    if (opts_.replicate_vocab && rank == 0) {
+      // Count the (world-replicated) vocab gradient exactly once: the world
+      // sum below is divided by dp, so pre-multiply by dp here.
+      local_sq += static_cast<double>(dp_) *
+                  grad_sq_norm(std::span<const float>(vocab_g.data(),
+                                                      vocab_g.size()));
+    }
+    // The scalar all-reduce spans the whole world; after the DP reduction
+    // every replica holds identical chunk gradients, so divide the counted
+    // total by dp to get the true global norm.
+    const double total_sq =
+        comm::ring_all_reduce_scalar(ep, local_sq) / static_cast<double>(dp_);
+    const float scale = clip_scale(cfg_.clip, total_sq);
+    if (scale != 1.0f) {
+      for (float& v : bd) {
+        v *= scale;
+      }
+      if (opts_.replicate_vocab) {
+        for (float& v : vocab_g) {
+          v *= scale;
+        }
+      }
+    }
+  }
+  std::vector<float>& m = master_[static_cast<std::size_t>(base + c_own)];
+  WEIPIPE_CHECK(m.size() == bd.size());
+  adam_[static_cast<std::size_t>(base + c_own)].step(
+      std::span<float>(m.data(), m.size()),
+      std::span<const float>(bd.data(), bd.size()),
+      cfg_.adam_for_iteration(iter_index));
+  if (opts_.replicate_vocab && p == 0) {
+    // The replica's first worker applies the (identical) vocab update.
+    std::vector<float>& vm = vocab_master_[static_cast<std::size_t>(d)];
+    vocab_adam_[static_cast<std::size_t>(d)].step(
+        std::span<float>(vm.data(), vm.size()),
+        std::span<const float>(vocab_g.data(), vocab_g.size()),
+        cfg_.adam_for_iteration(iter_index));
+  }
+}
+
+std::vector<std::vector<float>> WeiPipeTrainer::gather_block_params() const {
+  std::vector<std::vector<float>> out(
+      static_cast<std::size_t>(model_.num_blocks()));
+  if (opts_.replicate_vocab) {
+    const std::vector<float>& vm = vocab_master_.front();
+    const std::int64_t emb_n = model_.block_param_count(0);
+    out.front().assign(vm.begin(), vm.begin() + emb_n);
+    out.back().assign(vm.begin() + emb_n, vm.end());
+  }
+  for (std::size_t c = 0; c < chunks_.size(); ++c) {
+    const ChunkSpec& spec = chunks_[c];
+    for (std::int64_t b = spec.begin; b < spec.end; ++b) {
+      const std::int64_t off = model_.block_offset_in_chunk(spec, b);
+      const std::int64_t n = model_.block_param_count(b);
+      const std::vector<float>& m = master_[c];
+      out[static_cast<std::size_t>(b)] = std::vector<float>(
+          m.begin() + off, m.begin() + off + n);
+    }
+  }
+  return out;
+}
+
+TrainerState WeiPipeTrainer::export_state() const {
+  // Replicas are identical by construction; export replica 0's shards.
+  const std::vector<std::vector<float>> replica0_master(
+      master_.begin(), master_.begin() + static_cast<std::ptrdiff_t>(p_));
+  const std::vector<AdamShard> replica0_adam(
+      adam_.begin(), adam_.begin() + static_cast<std::ptrdiff_t>(p_));
+  TrainerState state =
+      export_sharded_state(model_, chunks_, replica0_master, replica0_adam);
+  if (opts_.replicate_vocab) {
+    // The sharded export skipped blocks 0 and L+1; fill them from the
+    // replicated vocab state.
+    const std::vector<float>& vm = vocab_master_.front();
+    const AdamShard& va = vocab_adam_.front();
+    const std::int64_t emb_n = model_.block_param_count(0);
+    state.step_count = va.step_count();
+    state.block_params.front().assign(vm.begin(), vm.begin() + emb_n);
+    state.block_params.back().assign(vm.begin() + emb_n, vm.end());
+    state.adam_m.front().assign(va.first_moment().begin(),
+                                va.first_moment().begin() + emb_n);
+    state.adam_m.back().assign(va.first_moment().begin() + emb_n,
+                               va.first_moment().end());
+    state.adam_v.front().assign(va.second_moment().begin(),
+                                va.second_moment().begin() + emb_n);
+    state.adam_v.back().assign(va.second_moment().begin() + emb_n,
+                               va.second_moment().end());
+  }
+  return state;
+}
+
+void WeiPipeTrainer::import_state(const TrainerState& state) {
+  std::vector<std::vector<float>> replica_master;
+  std::vector<AdamShard> replica_adam;
+  import_sharded_state(model_, chunks_, state, replica_master, replica_adam);
+  master_.clear();
+  adam_.clear();
+  vocab_master_.clear();
+  vocab_adam_.clear();
+  for (std::int64_t e = 0; e < dp_; ++e) {
+    for (const auto& mch : replica_master) {
+      master_.push_back(mch);
+    }
+    for (const AdamShard& shard : replica_adam) {
+      adam_.push_back(shard);
+    }
+    if (opts_.replicate_vocab) {
+      std::vector<float> vm = state.block_params.front();
+      vm.insert(vm.end(), state.block_params.back().begin(),
+                state.block_params.back().end());
+      std::vector<float> m = state.adam_m.front();
+      m.insert(m.end(), state.adam_m.back().begin(),
+               state.adam_m.back().end());
+      std::vector<float> v = state.adam_v.front();
+      v.insert(v.end(), state.adam_v.back().begin(),
+               state.adam_v.back().end());
+      vocab_master_.push_back(std::move(vm));
+      vocab_adam_.emplace_back(
+          static_cast<std::int64_t>(vocab_master_.back().size()));
+      vocab_adam_.back().restore(std::move(m), std::move(v),
+                                 state.step_count);
+    }
+  }
+}
+
+}  // namespace weipipe

@@ -1,0 +1,39 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace weipipe {
+
+void AdamShard::step(std::span<float> weights, std::span<const float> grad,
+                     const AdamConfig& cfg) {
+  WEIPIPE_CHECK(static_cast<std::int64_t>(weights.size()) == size());
+  WEIPIPE_CHECK(static_cast<std::int64_t>(grad.size()) == size());
+  ++t_;
+  const float b1 = cfg.beta1;
+  const float b2 = cfg.beta2;
+  const float bias1 = 1.0f - std::pow(b1, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(b2, static_cast<float>(t_));
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const float g = grad[i];
+    m_[i] = b1 * m_[i] + (1.0f - b1) * g;
+    v_[i] = b2 * v_[i] + (1.0f - b2) * g * g;
+    const float m_hat = m_[i] / bias1;
+    const float v_hat = v_[i] / bias2;
+    weights[i] -= cfg.lr * (m_hat / (std::sqrt(v_hat) + cfg.eps) +
+                            cfg.weight_decay * weights[i]);
+  }
+}
+
+void AdamShard::restore(std::vector<float> m, std::vector<float> v,
+                        std::int64_t step_count) {
+  WEIPIPE_CHECK(static_cast<std::int64_t>(m.size()) == size());
+  WEIPIPE_CHECK(static_cast<std::int64_t>(v.size()) == size());
+  WEIPIPE_CHECK(step_count >= 0);
+  m_ = std::move(m);
+  v_ = std::move(v);
+  t_ = step_count;
+}
+
+}  // namespace weipipe

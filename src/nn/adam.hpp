@@ -1,0 +1,44 @@
+// AdamW with fp32 master state.
+//
+// In WeiPipe each rank owns the optimizer state only for the chunk(s) it is
+// responsible for (paper §4.2.1: "it also stores the corresponding optimizer
+// state for that layer, which doesn't need to be transmitted"); an AdamShard
+// is exactly that per-chunk state.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/config.hpp"
+
+namespace weipipe {
+
+class AdamShard {
+ public:
+  AdamShard() = default;
+  explicit AdamShard(std::int64_t num_params)
+      : m_(static_cast<std::size_t>(num_params), 0.0f),
+        v_(static_cast<std::size_t>(num_params), 0.0f) {}
+
+  std::int64_t size() const { return static_cast<std::int64_t>(m_.size()); }
+  std::int64_t step_count() const { return t_; }
+
+  // One AdamW step: w -= lr * (m_hat / (sqrt(v_hat)+eps) + wd*w).
+  // grad and weights must match this shard's size.
+  void step(std::span<float> weights, std::span<const float> grad,
+            const AdamConfig& cfg);
+
+  // State access for checkpointing.
+  std::span<const float> first_moment() const { return m_; }
+  std::span<const float> second_moment() const { return v_; }
+  void restore(std::vector<float> m, std::vector<float> v,
+               std::int64_t step_count);
+
+ private:
+  std::vector<float> m_;
+  std::vector<float> v_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace weipipe

@@ -1,0 +1,396 @@
+#include "nn/block.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "nn/layer_math.hpp"
+#include "tensor/ops.hpp"
+
+namespace weipipe {
+
+Tensor Block::backward(std::span<const float> w, const Microbatch& mb,
+                       const BlockCtx& ctx, const Tensor& dy,
+                       std::span<float> dw) const {
+  if (ctx.has_internals) {
+    return backward_impl(w, mb, ctx, dy, dw);
+  }
+  // Recomputation: re-run forward from the saved input, then backward.
+  BlockCtx full;
+  (void)forward(w, mb, ctx.input, full, /*save_internals=*/true);
+  return backward_impl(w, mb, full, dy, dw);
+}
+
+// ---- EmbeddingBlock ---------------------------------------------------------
+
+std::int64_t EmbeddingBlock::param_count() const {
+  return cfg_.vocab_size * cfg_.dim;
+}
+
+void EmbeddingBlock::init_params(std::span<float> w, Rng& rng) const {
+  WEIPIPE_CHECK(static_cast<std::int64_t>(w.size()) == param_count());
+  const float std = 0.02f;
+  for (float& v : w) {
+    v = rng.normal(0.0f, std);
+  }
+}
+
+Tensor EmbeddingBlock::forward(std::span<const float> w, const Microbatch& mb,
+                               const Tensor& x, BlockCtx& ctx,
+                               bool save_internals) const {
+  (void)x;  // the embedding consumes token ids, not activations
+  const std::int64_t rows = mb.rows();
+  const std::int64_t H = cfg_.dim;
+  Tensor y({rows, H});
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int64_t tok = mb.tokens[static_cast<std::size_t>(r)];
+    WEIPIPE_CHECK_MSG(tok >= 0 && tok < cfg_.vocab_size,
+                      "token id " << tok << " out of range");
+    std::memcpy(y.data() + r * H, w.data() + tok * H,
+                static_cast<std::size_t>(H) * sizeof(float));
+  }
+  ctx.input = Tensor();  // embedding has no activation input to save
+  ctx.saved.clear();
+  ctx.has_internals = save_internals;
+  return y;
+}
+
+Tensor EmbeddingBlock::backward_impl(std::span<const float> w,
+                                     const Microbatch& mb, const BlockCtx& ctx,
+                                     const Tensor& dy,
+                                     std::span<float> dw) const {
+  (void)w;
+  (void)ctx;
+  const std::int64_t rows = mb.rows();
+  const std::int64_t H = cfg_.dim;
+  WEIPIPE_CHECK(dy.dim(0) == rows && dy.dim(1) == H);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int64_t tok = mb.tokens[static_cast<std::size_t>(r)];
+    const float* src = dy.data() + r * H;
+    float* dst = dw.data() + tok * H;
+    for (std::int64_t j = 0; j < H; ++j) {
+      dst[j] += src[j];
+    }
+  }
+  return Tensor();  // no upstream activation gradient
+}
+
+// ---- TransformerLayerBlock --------------------------------------------------
+
+TransformerLayerBlock::Offsets TransformerLayerBlock::offsets(
+    const ModelConfig& cfg) {
+  const std::int64_t H = cfg.dim;
+  const std::int64_t Hkv = cfg.kv_dim();  // == H for MHA, smaller for GQA
+  const std::int64_t F = cfg.effective_ffn_hidden();
+  Offsets o{};
+  std::int64_t at = 0;
+  o.attn_norm = at; at += H;
+  o.wq = at; at += H * H;
+  o.wk = at; at += Hkv * H;
+  o.wv = at; at += Hkv * H;
+  o.wo = at; at += H * H;
+  o.ffn_norm = at; at += H;
+  o.w1 = at; at += F * H;
+  o.w3 = at; at += F * H;
+  o.w2 = at; at += H * F;
+  o.total = at;
+  return o;
+}
+
+std::int64_t TransformerLayerBlock::param_count() const {
+  return offsets(cfg_).total;
+}
+
+void TransformerLayerBlock::init_params(std::span<float> w, Rng& rng) const {
+  WEIPIPE_CHECK(static_cast<std::int64_t>(w.size()) == param_count());
+  const Offsets o = offsets(cfg_);
+  const std::int64_t H = cfg_.dim;
+  const std::int64_t F = cfg_.effective_ffn_hidden();
+  // Norm gains start at 1.
+  for (std::int64_t i = 0; i < H; ++i) {
+    w[static_cast<std::size_t>(o.attn_norm + i)] = 1.0f;
+    w[static_cast<std::size_t>(o.ffn_norm + i)] = 1.0f;
+  }
+  auto init_mat = [&](std::int64_t off, std::int64_t rows, std::int64_t cols) {
+    const float std = 0.02f / std::sqrt(2.0f * static_cast<float>(
+                                                   cfg_.n_layers));
+    for (std::int64_t i = 0; i < rows * cols; ++i) {
+      w[static_cast<std::size_t>(off + i)] = rng.normal(0.0f, std);
+    }
+  };
+  init_mat(o.wq, H, H);
+  init_mat(o.wk, cfg_.kv_dim(), H);
+  init_mat(o.wv, cfg_.kv_dim(), H);
+  init_mat(o.wo, H, H);
+  init_mat(o.w1, F, H);
+  init_mat(o.w3, F, H);
+  init_mat(o.w2, H, F);
+}
+
+namespace {
+// dx_accum += d(rmsnorm)/dx; the gain gradient accumulates into dw at
+// gain_off. Used for both pre-norms, whose dx joins a residual stream.
+void rmsnorm_backward_accum(const Tensor& x, std::span<const float> w,
+                            std::int64_t gain_off, const Tensor& inv_rms,
+                            const Tensor& dy, Tensor& dx_accum,
+                            std::span<float> dw, std::int64_t rows,
+                            std::int64_t dim) {
+  Tensor dx({rows, dim});
+  rmsnorm_backward(x.data(), w.data() + gain_off, inv_rms.data(), dy.data(),
+                   dx.data(), dw.data() + gain_off, rows, dim);
+  dx_accum.add_(dx);
+}
+
+// Saved-tensor slots for TransformerLayerBlock.
+// Naive attention:  [xn1, q, k, v, probs, attn_out, x_mid, xn2, a, b]
+// Stream attention: [xn1, q, k, v, lse,   attn_out, x_mid, xn2, a, b]
+// q/k saved *after* RoPE; inv_rms vectors saved alongside as slots 10, 11.
+enum Slot {
+  kXn1 = 0,
+  kQ,
+  kK,
+  kV,
+  kProbsOrLse,
+  kAttnOut,
+  kXMid,
+  kXn2,
+  kA,
+  kB,
+  kInvRms1,
+  kInvRms2,
+  kNumSlots
+};
+}  // namespace
+
+Tensor TransformerLayerBlock::forward(std::span<const float> w,
+                                      const Microbatch& mb, const Tensor& x,
+                                      BlockCtx& ctx,
+                                      bool save_internals) const {
+  const Offsets o = offsets(cfg_);
+  const std::int64_t H = cfg_.dim;
+  const std::int64_t F = cfg_.effective_ffn_hidden();
+  const std::int64_t G = mb.batch;
+  const std::int64_t S = mb.seq;
+  const std::int64_t rows = G * S;
+  const std::int64_t nh = cfg_.n_heads;
+  const std::int64_t nkv = cfg_.effective_kv_heads();
+  const std::int64_t Hkv = cfg_.kv_dim();
+  const std::int64_t dh = cfg_.head_dim();
+  WEIPIPE_CHECK(x.dim(0) == rows && x.dim(1) == H);
+
+  ctx.input = x;
+  ctx.saved.assign(kNumSlots, Tensor());
+  ctx.has_internals = save_internals;
+
+  // -- attention sub-layer
+  Tensor xn1({rows, H});
+  Tensor inv_rms1({rows});
+  rmsnorm_forward(x.data(), w.data() + o.attn_norm, xn1.data(),
+                  inv_rms1.data(), rows, H, cfg_.norm_eps);
+
+  Tensor q({rows, H});
+  Tensor k({rows, Hkv});
+  Tensor v({rows, Hkv});
+  kernels::matmul_bt(xn1.data(), w.data() + o.wq, q.data(), rows, H, H, false);
+  kernels::matmul_bt(xn1.data(), w.data() + o.wk, k.data(), rows, H, Hkv,
+                     false);
+  kernels::matmul_bt(xn1.data(), w.data() + o.wv, v.data(), rows, H, Hkv,
+                     false);
+  rope_apply(q.data(), rows, S, nh, dh, cfg_.rope_theta, /*inverse=*/false);
+  rope_apply(k.data(), rows, S, nkv, dh, cfg_.rope_theta, /*inverse=*/false);
+
+  Tensor attn({rows, H});
+  Tensor stats;  // probs (naive) or lse (stream)
+  if (cfg_.flash_attention) {
+    stats = Tensor({G, nh, S});
+    attention_forward_stream(q.data(), k.data(), v.data(), attn.data(),
+                             stats.data(), G, S, nh, nkv, dh);
+  } else {
+    stats = Tensor({G, nh, S, S});
+    attention_forward_naive(q.data(), k.data(), v.data(), attn.data(),
+                            stats.data(), G, S, nh, nkv, dh);
+  }
+  Tensor proj({rows, H});
+  kernels::matmul_bt(attn.data(), w.data() + o.wo, proj.data(), rows, H, H,
+                     false);
+  Tensor x_mid = x;
+  x_mid.add_(proj);
+
+  // -- FFN sub-layer
+  Tensor xn2({rows, H});
+  Tensor inv_rms2({rows});
+  rmsnorm_forward(x_mid.data(), w.data() + o.ffn_norm, xn2.data(),
+                  inv_rms2.data(), rows, H, cfg_.norm_eps);
+  Tensor a({rows, F});
+  Tensor b({rows, F});
+  Tensor ffn({rows, H});
+  swiglu_forward(xn2.data(), w.data() + o.w1, w.data() + o.w3,
+                 w.data() + o.w2, a.data(), b.data(), ffn.data(), rows, H, F);
+  Tensor y = x_mid;
+  y.add_(ffn);
+
+  if (save_internals) {
+    ctx.saved[kXn1] = std::move(xn1);
+    ctx.saved[kQ] = std::move(q);
+    ctx.saved[kK] = std::move(k);
+    ctx.saved[kV] = std::move(v);
+    ctx.saved[kProbsOrLse] = std::move(stats);
+    ctx.saved[kAttnOut] = std::move(attn);
+    ctx.saved[kXMid] = std::move(x_mid);
+    ctx.saved[kXn2] = std::move(xn2);
+    ctx.saved[kA] = std::move(a);
+    ctx.saved[kB] = std::move(b);
+    ctx.saved[kInvRms1] = std::move(inv_rms1);
+    ctx.saved[kInvRms2] = std::move(inv_rms2);
+  } else {
+    ctx.saved.clear();
+  }
+  return y;
+}
+
+Tensor TransformerLayerBlock::backward_impl(std::span<const float> w,
+                                            const Microbatch& mb,
+                                            const BlockCtx& ctx,
+                                            const Tensor& dy,
+                                            std::span<float> dw) const {
+  const Offsets o = offsets(cfg_);
+  const std::int64_t H = cfg_.dim;
+  const std::int64_t F = cfg_.effective_ffn_hidden();
+  const std::int64_t G = mb.batch;
+  const std::int64_t S = mb.seq;
+  const std::int64_t rows = G * S;
+  const std::int64_t nh = cfg_.n_heads;
+  const std::int64_t nkv = cfg_.effective_kv_heads();
+  const std::int64_t Hkv = cfg_.kv_dim();
+  const std::int64_t dh = cfg_.head_dim();
+  WEIPIPE_CHECK(ctx.has_internals && ctx.saved.size() == kNumSlots);
+
+  const Tensor& x = ctx.input;
+  const Tensor& xn1 = ctx.saved[kXn1];
+  const Tensor& q = ctx.saved[kQ];
+  const Tensor& k = ctx.saved[kK];
+  const Tensor& v = ctx.saved[kV];
+  const Tensor& stats = ctx.saved[kProbsOrLse];
+  const Tensor& attn = ctx.saved[kAttnOut];
+  const Tensor& x_mid = ctx.saved[kXMid];
+  const Tensor& xn2 = ctx.saved[kXn2];
+  const Tensor& a = ctx.saved[kA];
+  const Tensor& b = ctx.saved[kB];
+  const Tensor& inv_rms1 = ctx.saved[kInvRms1];
+  const Tensor& inv_rms2 = ctx.saved[kInvRms2];
+
+  // -- FFN sub-layer backward: y = x_mid + ffn(rmsnorm(x_mid))
+  Tensor dxn2({rows, H});
+  swiglu_backward(xn2.data(), w.data() + o.w1, w.data() + o.w3,
+                  w.data() + o.w2, a.data(), b.data(), dy.data(), dxn2.data(),
+                  dw.data() + o.w1, dw.data() + o.w3, dw.data() + o.w2, rows,
+                  H, F);
+  Tensor dx_mid = dy;  // residual path
+  rmsnorm_backward_accum(x_mid, w, o.ffn_norm, inv_rms2, dxn2, dx_mid, dw,
+                         rows, H);
+
+  // -- attention sub-layer backward: x_mid = x + Wo·attn(rope(q,k),v)
+  Tensor dattn({rows, H});
+  kernels::matmul(dx_mid.data(), w.data() + o.wo, dattn.data(), rows, H, H,
+                  false);
+  // dWo += dx_mid^T attn
+  kernels::matmul_at(dx_mid.data(), attn.data(), dw.data() + o.wo, H, rows, H,
+                     true);
+
+  Tensor dq({rows, H});
+  Tensor dk({rows, Hkv});
+  Tensor dv({rows, Hkv});
+  if (cfg_.flash_attention) {
+    attention_backward_stream(q.data(), k.data(), v.data(), attn.data(),
+                              stats.data(), dattn.data(), dq.data(), dk.data(),
+                              dv.data(), G, S, nh, nkv, dh);
+  } else {
+    attention_backward_naive(q.data(), k.data(), v.data(), stats.data(),
+                             dattn.data(), dq.data(), dk.data(), dv.data(), G,
+                             S, nh, nkv, dh);
+  }
+  rope_apply(dq.data(), rows, S, nh, dh, cfg_.rope_theta, /*inverse=*/true);
+  rope_apply(dk.data(), rows, S, nkv, dh, cfg_.rope_theta, /*inverse=*/true);
+
+  Tensor dxn1({rows, H});
+  kernels::matmul(dq.data(), w.data() + o.wq, dxn1.data(), rows, H, H, false);
+  kernels::matmul(dk.data(), w.data() + o.wk, dxn1.data(), rows, Hkv, H,
+                  true);
+  kernels::matmul(dv.data(), w.data() + o.wv, dxn1.data(), rows, Hkv, H,
+                  true);
+  kernels::matmul_at(dq.data(), xn1.data(), dw.data() + o.wq, H, rows, H,
+                     true);
+  kernels::matmul_at(dk.data(), xn1.data(), dw.data() + o.wk, Hkv, rows, H,
+                     true);
+  kernels::matmul_at(dv.data(), xn1.data(), dw.data() + o.wv, Hkv, rows, H,
+                     true);
+
+  Tensor dx = dx_mid;  // residual path
+  rmsnorm_backward_accum(x, w, o.attn_norm, inv_rms1, dxn1, dx, dw, rows, H);
+  return dx;
+}
+
+// ---- HeadBlock --------------------------------------------------------------
+
+std::int64_t HeadBlock::param_count() const {
+  return cfg_.dim + cfg_.vocab_size * cfg_.dim;
+}
+
+void HeadBlock::init_params(std::span<float> w, Rng& rng) const {
+  WEIPIPE_CHECK(static_cast<std::int64_t>(w.size()) == param_count());
+  for (std::int64_t i = 0; i < cfg_.dim; ++i) {
+    w[static_cast<std::size_t>(i)] = 1.0f;
+  }
+  const float std = 0.02f;
+  for (std::int64_t i = cfg_.dim; i < param_count(); ++i) {
+    w[static_cast<std::size_t>(i)] = rng.normal(0.0f, std);
+  }
+}
+
+Tensor HeadBlock::forward(std::span<const float> w, const Microbatch& mb,
+                          const Tensor& x, BlockCtx& ctx,
+                          bool save_internals) const {
+  const std::int64_t rows = mb.rows();
+  const std::int64_t H = cfg_.dim;
+  const std::int64_t V = cfg_.vocab_size;
+  WEIPIPE_CHECK(x.dim(0) == rows && x.dim(1) == H);
+  ctx.input = x;
+  ctx.saved.clear();
+  ctx.has_internals = save_internals;
+
+  Tensor xn({rows, H});
+  Tensor inv_rms({rows});
+  rmsnorm_forward(x.data(), w.data(), xn.data(), inv_rms.data(), rows, H,
+                  cfg_.norm_eps);
+  Tensor logits({rows, V});
+  kernels::matmul_bt(xn.data(), w.data() + H, logits.data(), rows, H, V,
+                     false);
+  if (save_internals) {
+    ctx.saved = {std::move(xn), std::move(inv_rms)};
+  }
+  return logits;
+}
+
+Tensor HeadBlock::backward_impl(std::span<const float> w, const Microbatch& mb,
+                                const BlockCtx& ctx, const Tensor& dy,
+                                std::span<float> dw) const {
+  const std::int64_t rows = mb.rows();
+  const std::int64_t H = cfg_.dim;
+  const std::int64_t V = cfg_.vocab_size;
+  WEIPIPE_CHECK(ctx.has_internals && ctx.saved.size() == 2);
+  const Tensor& xn = ctx.saved[0];
+  const Tensor& inv_rms = ctx.saved[1];
+  WEIPIPE_CHECK(dy.dim(0) == rows && dy.dim(1) == V);
+
+  Tensor dxn({rows, H});
+  kernels::matmul(dy.data(), w.data() + H, dxn.data(), rows, V, H, false);
+  kernels::matmul_at(dy.data(), xn.data(), dw.data() + H, V, rows, H, true);
+
+  Tensor dx({rows, H});
+  dx.zero();
+  rmsnorm_backward(ctx.input.data(), w.data(), inv_rms.data(), dxn.data(),
+                   dx.data(), dw.data(), rows, H);
+  return dx;
+}
+
+}  // namespace weipipe

@@ -1,0 +1,135 @@
+// Block: a pipeline-schedulable model fragment with *externalized* weights.
+//
+// This is the key structural choice enabling WeiPipe: blocks are stateless
+// descriptors; weights live in flat float buffers owned by whichever rank the
+// schedule says. Forward/backward take the weights as spans, so circulating a
+// chunk is just moving (and possibly re-quantizing) one contiguous buffer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/config.hpp"
+#include "nn/microbatch.hpp"
+#include "tensor/tensor.hpp"
+
+namespace weipipe {
+
+// Per-(block, microbatch) forward state needed by backward.
+struct BlockCtx {
+  // Block input activations; always kept (it is the recompute seed).
+  Tensor input;
+  // Internal saved tensors (attention stats, FFN pre-activations, ...).
+  // Empty when the block ran in recompute mode.
+  std::vector<Tensor> saved;
+  bool has_internals = false;
+
+  std::int64_t bytes() const {
+    std::int64_t n = input.numel();
+    for (const Tensor& t : saved) {
+      n += t.numel();
+    }
+    return n * static_cast<std::int64_t>(sizeof(float));
+  }
+};
+
+class Block {
+ public:
+  explicit Block(const ModelConfig& cfg) : cfg_(cfg) {}
+  virtual ~Block() = default;
+
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  virtual std::string name() const = 0;
+  virtual std::int64_t param_count() const = 0;
+  virtual void init_params(std::span<float> w, Rng& rng) const = 0;
+
+  // x: [G*S, H] activations from the previous block (ignored by the embedding
+  // block, which reads mb.tokens). `save_internals=false` implements
+  // recomputation: ctx retains only the input.
+  virtual Tensor forward(std::span<const float> w, const Microbatch& mb,
+                         const Tensor& x, BlockCtx& ctx,
+                         bool save_internals) const = 0;
+
+  // Returns dx; accumulates (+=) the weight gradient into dw.
+  // If ctx lacks internals, re-runs forward on ctx.input first.
+  Tensor backward(std::span<const float> w, const Microbatch& mb,
+                  const BlockCtx& ctx, const Tensor& dy,
+                  std::span<float> dw) const;
+
+  const ModelConfig& config() const { return cfg_; }
+
+ protected:
+  // Backward assuming ctx has internals.
+  virtual Tensor backward_impl(std::span<const float> w, const Microbatch& mb,
+                               const BlockCtx& ctx, const Tensor& dy,
+                               std::span<float> dw) const = 0;
+
+  const ModelConfig& cfg_;
+};
+
+// ---- Concrete blocks --------------------------------------------------------
+
+// Token embedding lookup: params [V, H].
+class EmbeddingBlock final : public Block {
+ public:
+  using Block::Block;
+  std::string name() const override { return "embedding"; }
+  std::int64_t param_count() const override;
+  void init_params(std::span<float> w, Rng& rng) const override;
+  Tensor forward(std::span<const float> w, const Microbatch& mb,
+                 const Tensor& x, BlockCtx& ctx,
+                 bool save_internals) const override;
+
+ protected:
+  Tensor backward_impl(std::span<const float> w, const Microbatch& mb,
+                       const BlockCtx& ctx, const Tensor& dy,
+                       std::span<float> dw) const override;
+};
+
+// Pre-norm transformer layer: RMSNorm -> causal RoPE MHA -> residual ->
+// RMSNorm -> SwiGLU -> residual. Param layout (flat, in order):
+// attn_norm[H] wq[H,H] wk[H,H] wv[H,H] wo[H,H] ffn_norm[H] w1[F,H] w3[F,H] w2[H,F]
+class TransformerLayerBlock final : public Block {
+ public:
+  using Block::Block;
+  std::string name() const override { return "layer"; }
+  std::int64_t param_count() const override;
+  void init_params(std::span<float> w, Rng& rng) const override;
+  Tensor forward(std::span<const float> w, const Microbatch& mb,
+                 const Tensor& x, BlockCtx& ctx,
+                 bool save_internals) const override;
+
+  struct Offsets {
+    std::int64_t attn_norm, wq, wk, wv, wo, ffn_norm, w1, w3, w2, total;
+  };
+  static Offsets offsets(const ModelConfig& cfg);
+
+ protected:
+  Tensor backward_impl(std::span<const float> w, const Microbatch& mb,
+                       const BlockCtx& ctx, const Tensor& dy,
+                       std::span<float> dw) const override;
+};
+
+// Final RMSNorm + LM head: params norm[H] head[V, H]. Produces logits.
+class HeadBlock final : public Block {
+ public:
+  using Block::Block;
+  std::string name() const override { return "head"; }
+  std::int64_t param_count() const override;
+  void init_params(std::span<float> w, Rng& rng) const override;
+  Tensor forward(std::span<const float> w, const Microbatch& mb,
+                 const Tensor& x, BlockCtx& ctx,
+                 bool save_internals) const override;
+
+ protected:
+  Tensor backward_impl(std::span<const float> w, const Microbatch& mb,
+                       const BlockCtx& ctx, const Tensor& dy,
+                       std::span<float> dw) const override;
+};
+
+}  // namespace weipipe

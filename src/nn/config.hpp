@@ -1,0 +1,109 @@
+// Model / precision / optimizer configuration shared by every training
+// strategy. Keeping all knobs here guarantees that strategy-equivalence tests
+// compare apples to apples: a single config fans out to sequential, WeiPipe,
+// 1F1B, GPipe and FSDP trainers.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/fixed_types.hpp"
+
+namespace weipipe {
+
+// Llama-2-style decoder-only transformer (RMSNorm, RoPE attention, SwiGLU).
+struct ModelConfig {
+  std::int64_t vocab_size = 256;
+  std::int64_t dim = 64;         // hidden size H
+  std::int64_t n_layers = 4;     // transformer layers L (excl. embedding/head)
+  std::int64_t n_heads = 4;
+  // Grouped-query attention (Llama-2-70B style): number of key/value heads;
+  // 0 means n_heads (classic multi-head attention). Query heads share KV
+  // heads in groups of n_heads / n_kv_heads.
+  std::int64_t n_kv_heads = 0;
+  std::int64_t seq_len = 32;     // context length S
+  std::int64_t ffn_hidden = 0;   // F; 0 -> default round_up(8H/3, 8)
+  float rope_theta = 10000.0f;
+  float norm_eps = 1e-5f;
+
+  // Streaming (Flash-style) attention: O(S) extra memory instead of the
+  // O(S^2) score matrix. Same math as the naive path to fp32 rounding.
+  bool flash_attention = true;
+  // Gradient checkpointing: layer contexts keep only the block input and the
+  // backward pass re-runs forward. The paper enables this for all non-ZB
+  // strategies to unlock large microbatches.
+  bool recompute = false;
+
+  std::int64_t head_dim() const { return dim / n_heads; }
+  std::int64_t effective_kv_heads() const {
+    return n_kv_heads > 0 ? n_kv_heads : n_heads;
+  }
+  std::int64_t kv_dim() const { return effective_kv_heads() * head_dim(); }
+
+  std::int64_t effective_ffn_hidden() const {
+    if (ffn_hidden > 0) {
+      return ffn_hidden;
+    }
+    // Llama convention: 2/3 * 4H rounded up; yields ~8H^2 FFN params as in
+    // the paper's "12H^2 per layer" accounting.
+    const std::int64_t raw = (8 * dim + 2) / 3;
+    return (raw + 7) / 8 * 8;
+  }
+
+  void validate() const {
+    WEIPIPE_CHECK_MSG(dim % n_heads == 0, "dim must divide by n_heads");
+    WEIPIPE_CHECK(head_dim() % 2 == 0);  // RoPE rotates pairs
+    WEIPIPE_CHECK_MSG(n_heads % effective_kv_heads() == 0,
+                      "n_heads must divide by n_kv_heads");
+    WEIPIPE_CHECK(vocab_size >= 2);
+    WEIPIPE_CHECK(n_layers >= 1);
+    WEIPIPE_CHECK(seq_len >= 2);
+  }
+};
+
+// Wire precisions for circulated tensors, mirroring the paper's §5 choices:
+// W and D in fp16, gradients of activations (B) in bf16, activations fp16.
+// Fp32 everywhere gives the exact-equivalence test mode.
+struct PrecisionConfig {
+  WirePrecision weights = WirePrecision::Fp32;
+  WirePrecision weight_grads = WirePrecision::Fp32;
+  WirePrecision activations = WirePrecision::Fp32;
+  WirePrecision activation_grads = WirePrecision::Fp32;
+
+  static PrecisionConfig paper() {
+    return {WirePrecision::Fp16, WirePrecision::Fp16, WirePrecision::Fp16,
+            WirePrecision::Bf16};
+  }
+  static PrecisionConfig fp32() { return {}; }
+};
+
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.95f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+// Learning-rate schedule, evaluated identically (and locally) on every rank:
+// linear warmup to adam.lr over `warmup_iters`, then cosine decay to
+// `min_lr_fraction * adam.lr` at `total_iters` (constant afterwards).
+// Disabled (= constant adam.lr) when total_iters == 0.
+struct LrSchedule {
+  std::int64_t warmup_iters = 0;
+  std::int64_t total_iters = 0;
+  float min_lr_fraction = 0.1f;
+
+  float scale(std::int64_t iter) const;
+};
+
+// Global-norm gradient clipping: grads are scaled by
+// min(1, max_norm / ||g||_2) where the norm spans *all* parameters — in the
+// distributed trainers this requires a scalar reduction across ranks.
+// Disabled when max_norm <= 0.
+struct ClipConfig {
+  float max_norm = 0.0f;
+  bool enabled() const { return max_norm > 0.0f; }
+};
+
+}  // namespace weipipe

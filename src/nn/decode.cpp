@@ -1,0 +1,245 @@
+#include "nn/decode.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/check.hpp"
+#include "nn/block.hpp"
+#include "nn/layer_math.hpp"
+#include "tensor/ops.hpp"
+
+namespace weipipe {
+
+namespace {
+
+// y[n] (+)= W[n, m] * x[m]   (row-major W, single-vector GEMV)
+void matvec(const float* w, const float* x, float* y, std::int64_t n,
+            std::int64_t m, bool accumulate) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = w + i * m;
+    float acc = 0.0f;
+    for (std::int64_t j = 0; j < m; ++j) {
+      acc += row[j] * x[j];
+    }
+    y[i] = accumulate ? y[i] + acc : acc;
+  }
+}
+
+void rmsnorm_row(const float* x, const float* gain, float* y, std::int64_t dim,
+                 float eps) {
+  double ss = 0.0;
+  for (std::int64_t j = 0; j < dim; ++j) {
+    ss += static_cast<double>(x[j]) * x[j];
+  }
+  const float inv = 1.0f / std::sqrt(
+                               static_cast<float>(ss / static_cast<double>(dim)) +
+                               eps);
+  for (std::int64_t j = 0; j < dim; ++j) {
+    y[j] = x[j] * inv * gain[j];
+  }
+}
+
+// RoPE for one row at absolute position `pos`.
+void rope_row(float* x, std::int64_t pos, std::int64_t n_heads,
+              std::int64_t head_dim, float theta) {
+  const std::int64_t half = head_dim / 2;
+  for (std::int64_t h = 0; h < n_heads; ++h) {
+    float* base = x + h * head_dim;
+    for (std::int64_t i = 0; i < half; ++i) {
+      const float freq = std::pow(
+          theta, -2.0f * static_cast<float>(i) / static_cast<float>(head_dim));
+      const float ang = static_cast<float>(pos) * freq;
+      const float c = std::cos(ang);
+      const float s = std::sin(ang);
+      const float x0 = base[2 * i];
+      const float x1 = base[2 * i + 1];
+      base[2 * i] = x0 * c - x1 * s;
+      base[2 * i + 1] = x0 * s + x1 * c;
+    }
+  }
+}
+
+}  // namespace
+
+Decoder::Decoder(const Model& model,
+                 const std::vector<std::vector<float>>& block_params)
+    : model_(model), params_(block_params) {
+  WEIPIPE_CHECK_MSG(static_cast<std::int64_t>(params_.size()) ==
+                        model_.num_blocks(),
+                    "block_params/model mismatch");
+  const ModelConfig& cfg = model_.config();
+  const std::int64_t cap = cfg.seq_len;
+  k_cache_.assign(static_cast<std::size_t>(cfg.n_layers),
+                  std::vector<float>(static_cast<std::size_t>(cap *
+                                                              cfg.kv_dim())));
+  v_cache_ = k_cache_;
+  logits_.assign(static_cast<std::size_t>(cfg.vocab_size), 0.0f);
+}
+
+void Decoder::prefill(std::span<const std::int32_t> tokens) {
+  for (std::int32_t t : tokens) {
+    step(t);
+  }
+}
+
+void Decoder::step(std::int32_t token) {
+  const ModelConfig& cfg = model_.config();
+  WEIPIPE_CHECK_MSG(pos_ < capacity(),
+                    "KV cache full (" << capacity()
+                                      << " positions); use generate() for "
+                                         "windowed generation");
+  WEIPIPE_CHECK_MSG(token >= 0 && token < cfg.vocab_size,
+                    "token " << token << " out of range");
+  const std::int64_t H = cfg.dim;
+  const std::int64_t F = cfg.effective_ffn_hidden();
+  const std::int64_t nh = cfg.n_heads;
+  const std::int64_t nkv = cfg.effective_kv_heads();
+  const std::int64_t Hkv = cfg.kv_dim();
+  const std::int64_t dh = cfg.head_dim();
+  const std::int64_t group = nh / nkv;
+  const float scl = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  // Embedding lookup.
+  std::vector<float> x(static_cast<std::size_t>(H));
+  std::memcpy(x.data(), params_.front().data() + token * H,
+              static_cast<std::size_t>(H) * sizeof(float));
+
+  std::vector<float> xn(static_cast<std::size_t>(H));
+  std::vector<float> q(static_cast<std::size_t>(H));
+  std::vector<float> attn(static_cast<std::size_t>(H));
+  std::vector<float> proj(static_cast<std::size_t>(H));
+  std::vector<float> a(static_cast<std::size_t>(F));
+  std::vector<float> b(static_cast<std::size_t>(F));
+  std::vector<float> ffn(static_cast<std::size_t>(H));
+
+  for (std::int64_t layer = 0; layer < cfg.n_layers; ++layer) {
+    const std::vector<float>& w = params_[static_cast<std::size_t>(layer + 1)];
+    const auto o = TransformerLayerBlock::offsets(cfg);
+    float* kc = k_cache_[static_cast<std::size_t>(layer)].data();
+    float* vc = v_cache_[static_cast<std::size_t>(layer)].data();
+    float* k_row = kc + pos_ * Hkv;
+    float* v_row = vc + pos_ * Hkv;
+
+    // Attention sub-layer.
+    rmsnorm_row(x.data(), w.data() + o.attn_norm, xn.data(), H, cfg.norm_eps);
+    matvec(w.data() + o.wq, xn.data(), q.data(), H, H, false);
+    matvec(w.data() + o.wk, xn.data(), k_row, Hkv, H, false);
+    matvec(w.data() + o.wv, xn.data(), v_row, Hkv, H, false);
+    rope_row(q.data(), pos_, nh, dh, cfg.rope_theta);
+    rope_row(k_row, pos_, nkv, dh, cfg.rope_theta);
+
+    // Streaming attention of the single query row over the cache.
+    for (std::int64_t h = 0; h < nh; ++h) {
+      const std::int64_t kvh = h / group;
+      const float* qh = q.data() + h * dh;
+      float m = -std::numeric_limits<float>::infinity();
+      float l = 0.0f;
+      std::vector<float> acc(static_cast<std::size_t>(dh), 0.0f);
+      for (std::int64_t j = 0; j <= pos_; ++j) {
+        const float* kj = kc + j * Hkv + kvh * dh;
+        float s = 0.0f;
+        for (std::int64_t d = 0; d < dh; ++d) {
+          s += qh[d] * kj[d];
+        }
+        s *= scl;
+        const float m_new = std::max(m, s);
+        const float corr = (l == 0.0f) ? 0.0f : std::exp(m - m_new);
+        const float p = std::exp(s - m_new);
+        l = l * corr + p;
+        const float* vj = vc + j * Hkv + kvh * dh;
+        for (std::int64_t d = 0; d < dh; ++d) {
+          acc[static_cast<std::size_t>(d)] =
+              acc[static_cast<std::size_t>(d)] * corr + p * vj[d];
+        }
+        m = m_new;
+      }
+      const float inv = 1.0f / l;
+      for (std::int64_t d = 0; d < dh; ++d) {
+        attn[static_cast<std::size_t>(h * dh + d)] =
+            acc[static_cast<std::size_t>(d)] * inv;
+      }
+    }
+    matvec(w.data() + o.wo, attn.data(), proj.data(), H, H, false);
+    for (std::int64_t j = 0; j < H; ++j) {
+      x[static_cast<std::size_t>(j)] += proj[static_cast<std::size_t>(j)];
+    }
+
+    // FFN sub-layer.
+    rmsnorm_row(x.data(), w.data() + o.ffn_norm, xn.data(), H, cfg.norm_eps);
+    matvec(w.data() + o.w1, xn.data(), a.data(), F, H, false);
+    matvec(w.data() + o.w3, xn.data(), b.data(), F, H, false);
+    for (std::int64_t j = 0; j < F; ++j) {
+      a[static_cast<std::size_t>(j)] =
+          silu(a[static_cast<std::size_t>(j)]) * b[static_cast<std::size_t>(j)];
+    }
+    matvec(w.data() + o.w2, a.data(), ffn.data(), H, F, false);
+    for (std::int64_t j = 0; j < H; ++j) {
+      x[static_cast<std::size_t>(j)] += ffn[static_cast<std::size_t>(j)];
+    }
+  }
+
+  // Final norm + head.
+  const std::vector<float>& head = params_.back();
+  rmsnorm_row(x.data(), head.data(), xn.data(), H, cfg.norm_eps);
+  matvec(head.data() + H, xn.data(), logits_.data(), cfg.vocab_size, H,
+         false);
+  ++pos_;
+}
+
+std::span<const float> Decoder::logits() const {
+  WEIPIPE_CHECK_MSG(pos_ > 0, "feed at least one token first");
+  return logits_;
+}
+
+std::int32_t Decoder::sample(float temperature, Rng& rng) const {
+  const std::span<const float> lg = logits();
+  if (temperature <= 0.0f) {
+    return static_cast<std::int32_t>(
+        std::max_element(lg.begin(), lg.end()) - lg.begin());
+  }
+  float mx = lg[0];
+  for (float v : lg) {
+    mx = std::max(mx, v);
+  }
+  std::vector<double> probs(lg.size());
+  double denom = 0.0;
+  for (std::size_t j = 0; j < lg.size(); ++j) {
+    probs[j] = std::exp(static_cast<double>(lg[j] - mx) / temperature);
+    denom += probs[j];
+  }
+  double r = rng.next_double() * denom;
+  for (std::size_t j = 0; j < lg.size(); ++j) {
+    r -= probs[j];
+    if (r <= 0.0) {
+      return static_cast<std::int32_t>(j);
+    }
+  }
+  return static_cast<std::int32_t>(lg.size() - 1);
+}
+
+std::vector<std::int32_t> generate_cached(
+    const Model& model, const std::vector<std::vector<float>>& block_params,
+    std::span<const std::int32_t> prompt, std::int64_t max_new_tokens,
+    float temperature, std::uint64_t seed) {
+  WEIPIPE_CHECK_MSG(!prompt.empty(), "generation needs a non-empty prompt");
+  WEIPIPE_CHECK_MSG(static_cast<std::int64_t>(prompt.size()) +
+                            max_new_tokens <=
+                        model.config().seq_len,
+                    "prompt + new tokens exceed the context window");
+  Decoder decoder(model, block_params);
+  decoder.prefill(prompt);
+  Rng rng(seed == 0 ? 0x5EED5EEDull : seed);
+  std::vector<std::int32_t> out(prompt.begin(), prompt.end());
+  for (std::int64_t i = 0; i < max_new_tokens; ++i) {
+    const std::int32_t next = decoder.sample(temperature, rng);
+    out.push_back(next);
+    if (i + 1 < max_new_tokens) {
+      decoder.step(next);
+    }
+  }
+  return out;
+}
+
+}  // namespace weipipe

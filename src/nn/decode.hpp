@@ -1,0 +1,57 @@
+// Incremental decoding with per-layer KV caches: O(T) per generated token
+// instead of re-running the full forward (what nn/generate.hpp does). Caches
+// hold up to ModelConfig::seq_len positions — the context window the model
+// was trained with.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/model.hpp"
+
+namespace weipipe {
+
+class Decoder {
+ public:
+  // block_params as produced by Trainer::gather_block_params(); both must
+  // outlive the decoder.
+  Decoder(const Model& model,
+          const std::vector<std::vector<float>>& block_params);
+
+  // Feeds tokens one position at a time, filling the caches. Returns after
+  // the last token's logits are available via logits().
+  void prefill(std::span<const std::int32_t> tokens);
+
+  // Appends one token and computes the next-position logits.
+  void step(std::int32_t token);
+
+  // Logits for the position after everything fed so far ([vocab] floats).
+  std::span<const float> logits() const;
+
+  // Convenience sampling from logits(); temperature 0 = greedy.
+  std::int32_t sample(float temperature, Rng& rng) const;
+
+  std::int64_t position() const { return pos_; }
+  std::int64_t capacity() const { return model_.config().seq_len; }
+
+ private:
+  const Model& model_;
+  const std::vector<std::vector<float>>& params_;
+  std::int64_t pos_ = 0;
+  // Per transformer layer: cached keys/values [capacity, kv_dim], row-major.
+  std::vector<std::vector<float>> k_cache_;
+  std::vector<std::vector<float>> v_cache_;
+  std::vector<float> logits_;
+};
+
+// Cached counterpart of generate(): identical outputs (to fp32 rounding) at
+// O(prompt + new_tokens) layer passes. Total length must fit the context
+// window (no sliding; use generate() for windowed generation).
+std::vector<std::int32_t> generate_cached(
+    const Model& model, const std::vector<std::vector<float>>& block_params,
+    std::span<const std::int32_t> prompt, std::int64_t max_new_tokens,
+    float temperature = 0.0f, std::uint64_t seed = 1);
+
+}  // namespace weipipe

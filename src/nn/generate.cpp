@@ -1,0 +1,76 @@
+#include "nn/generate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace weipipe {
+
+std::vector<std::int32_t> generate(
+    const Model& model, const std::vector<std::vector<float>>& block_params,
+    std::span<const std::int32_t> prompt, const GenerateOptions& options) {
+  const ModelConfig& cfg = model.config();
+  WEIPIPE_CHECK_MSG(!prompt.empty(), "generation needs a non-empty prompt");
+  for (std::int32_t t : prompt) {
+    WEIPIPE_CHECK_MSG(t >= 0 && t < cfg.vocab_size,
+                      "prompt token " << t << " out of range");
+  }
+  Rng rng(options.seed == 0 ? 0x5EED5EEDull : options.seed);
+
+  std::vector<std::int32_t> out(prompt.begin(), prompt.end());
+  for (std::int64_t step = 0; step < options.max_new_tokens; ++step) {
+    // Sliding window over the most recent <= seq_len tokens. The context
+    // must be at least 2 tokens for the blocks' shape checks; pad by
+    // repeating the first token if the prompt is a single token.
+    const std::int64_t ctx_len = std::min<std::int64_t>(
+        cfg.seq_len, static_cast<std::int64_t>(out.size()));
+    Microbatch mb;
+    mb.batch = 1;
+    mb.seq = std::max<std::int64_t>(ctx_len, 2);
+    mb.tokens.assign(static_cast<std::size_t>(mb.seq), out.front());
+    const std::int64_t pad = mb.seq - ctx_len;
+    for (std::int64_t i = 0; i < ctx_len; ++i) {
+      mb.tokens[static_cast<std::size_t>(pad + i)] =
+          out[out.size() - static_cast<std::size_t>(ctx_len - i)];
+    }
+    mb.targets.assign(static_cast<std::size_t>(mb.seq), 0);
+
+    std::vector<BlockCtx> ctxs;
+    const Tensor logits = model.forward_all(block_params, mb, ctxs);
+    const std::int64_t V = cfg.vocab_size;
+    const float* row = logits.data() + (mb.seq - 1) * V;
+
+    std::int32_t next = 0;
+    if (options.temperature <= 0.0f) {
+      next = static_cast<std::int32_t>(
+          std::max_element(row, row + V) - row);
+    } else {
+      // Temperature sampling with a numerically stable softmax.
+      float mx = row[0];
+      for (std::int64_t j = 1; j < V; ++j) {
+        mx = std::max(mx, row[j]);
+      }
+      std::vector<double> probs(static_cast<std::size_t>(V));
+      double denom = 0.0;
+      for (std::int64_t j = 0; j < V; ++j) {
+        probs[static_cast<std::size_t>(j)] =
+            std::exp(static_cast<double>(row[j] - mx) / options.temperature);
+        denom += probs[static_cast<std::size_t>(j)];
+      }
+      double r = rng.next_double() * denom;
+      next = static_cast<std::int32_t>(V - 1);
+      for (std::int64_t j = 0; j < V; ++j) {
+        r -= probs[static_cast<std::size_t>(j)];
+        if (r <= 0.0) {
+          next = static_cast<std::int32_t>(j);
+          break;
+        }
+      }
+    }
+    out.push_back(next);
+  }
+  return out;
+}
+
+}  // namespace weipipe

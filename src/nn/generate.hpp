@@ -1,0 +1,31 @@
+// Autoregressive generation from a trained model — greedy or
+// temperature-sampled, with a sliding context window. Used by the examples
+// to demonstrate that WeiPipe-trained weights actually learned the synthetic
+// language, and by tests to close the train->use loop.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/model.hpp"
+
+namespace weipipe {
+
+struct GenerateOptions {
+  std::int64_t max_new_tokens = 32;
+  // 0 => greedy argmax; > 0 => softmax(logits / temperature) sampling.
+  float temperature = 0.0f;
+  std::uint64_t seed = 0;
+};
+
+// Returns prompt + generated continuation. `block_params` as produced by
+// Trainer::gather_block_params(). The context is clipped to the model's
+// seq_len from the left (sliding window) as generation proceeds.
+std::vector<std::int32_t> generate(const Model& model,
+                                   const std::vector<std::vector<float>>& block_params,
+                                   std::span<const std::int32_t> prompt,
+                                   const GenerateOptions& options);
+
+}  // namespace weipipe

@@ -1,0 +1,356 @@
+#include "nn/layer_math.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "tensor/ops.hpp"
+
+namespace weipipe {
+
+void rmsnorm_forward(const float* x, const float* gain, float* y,
+                     float* inv_rms, std::int64_t rows, std::int64_t dim,
+                     float eps) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * dim;
+    float* yr = y + r * dim;
+    double ss = 0.0;
+    for (std::int64_t j = 0; j < dim; ++j) {
+      ss += static_cast<double>(xr[j]) * xr[j];
+    }
+    const float inv =
+        1.0f / std::sqrt(static_cast<float>(ss / static_cast<double>(dim)) +
+                         eps);
+    inv_rms[r] = inv;
+    for (std::int64_t j = 0; j < dim; ++j) {
+      yr[j] = xr[j] * inv * gain[j];
+    }
+  }
+}
+
+void rmsnorm_backward(const float* x, const float* gain, const float* inv_rms,
+                      const float* dy, float* dx, float* dgain,
+                      std::int64_t rows, std::int64_t dim) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * dim;
+    const float* dyr = dy + r * dim;
+    float* dxr = dx + r * dim;
+    const float inv = inv_rms[r];
+    // s = sum_k dy_k * gain_k * x_k
+    double s = 0.0;
+    for (std::int64_t j = 0; j < dim; ++j) {
+      s += static_cast<double>(dyr[j]) * gain[j] * xr[j];
+      dgain[j] += dyr[j] * xr[j] * inv;
+    }
+    const float coef =
+        -static_cast<float>(s) * inv * inv * inv / static_cast<float>(dim);
+    for (std::int64_t j = 0; j < dim; ++j) {
+      dxr[j] = dyr[j] * gain[j] * inv + coef * xr[j];
+    }
+  }
+}
+
+void rope_apply(float* x, std::int64_t rows, std::int64_t seq,
+                std::int64_t n_heads, std::int64_t head_dim, float theta,
+                bool inverse) {
+  const std::int64_t half = head_dim / 2;
+  // Per-frequency base angles are position-scaled; precompute the inverse
+  // frequencies once per call (head_dim is small).
+  std::vector<float> inv_freq(static_cast<std::size_t>(half));
+  for (std::int64_t i = 0; i < half; ++i) {
+    inv_freq[static_cast<std::size_t>(i)] = std::pow(
+        theta, -2.0f * static_cast<float>(i) / static_cast<float>(head_dim));
+  }
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int64_t pos = r % seq;
+    for (std::int64_t h = 0; h < n_heads; ++h) {
+      float* base = x + r * n_heads * head_dim + h * head_dim;
+      for (std::int64_t i = 0; i < half; ++i) {
+        float ang = static_cast<float>(pos) * inv_freq[static_cast<std::size_t>(i)];
+        if (inverse) {
+          ang = -ang;
+        }
+        const float c = std::cos(ang);
+        const float s = std::sin(ang);
+        const float x0 = base[2 * i];
+        const float x1 = base[2 * i + 1];
+        base[2 * i] = x0 * c - x1 * s;
+        base[2 * i + 1] = x0 * s + x1 * c;
+      }
+    }
+  }
+}
+
+void attention_forward_naive(const float* q, const float* k, const float* v,
+                             float* out, float* probs, std::int64_t G,
+                             std::int64_t S, std::int64_t nh, std::int64_t nkv,
+                             std::int64_t dh) {
+  const float scl = 1.0f / std::sqrt(static_cast<float>(dh));
+  const std::int64_t H = nh * dh;
+  const std::int64_t Hkv = nkv * dh;
+  const std::int64_t group = nh / nkv;
+  parallel_for(0, static_cast<std::size_t>(G * nh), [&](std::size_t gh) {
+    const std::int64_t g = static_cast<std::int64_t>(gh) / nh;
+    const std::int64_t h = static_cast<std::int64_t>(gh) % nh;
+    const std::int64_t kvh = h / group;  // shared key/value head
+    float* p = probs + (g * nh + h) * S * S;
+    for (std::int64_t i = 0; i < S; ++i) {
+      const float* qi = q + (g * S + i) * H + h * dh;
+      float* pi = p + i * S;
+      for (std::int64_t j = 0; j <= i; ++j) {
+        const float* kj = k + (g * S + j) * Hkv + kvh * dh;
+        float acc = 0.0f;
+        for (std::int64_t d = 0; d < dh; ++d) {
+          acc += qi[d] * kj[d];
+        }
+        pi[j] = acc * scl;
+      }
+      const std::int64_t valid = i + 1;
+      kernels::softmax_rows(pi, 1, S, &valid);
+      float* oi = out + (g * S + i) * H + h * dh;
+      std::memset(oi, 0, static_cast<std::size_t>(dh) * sizeof(float));
+      for (std::int64_t j = 0; j <= i; ++j) {
+        const float* vj = v + (g * S + j) * Hkv + kvh * dh;
+        const float pij = pi[j];
+        for (std::int64_t d = 0; d < dh; ++d) {
+          oi[d] += pij * vj[d];
+        }
+      }
+    }
+  });
+}
+
+void attention_backward_naive(const float* q, const float* k, const float* v,
+                              const float* probs, const float* dout, float* dq,
+                              float* dk, float* dv, std::int64_t G,
+                              std::int64_t S, std::int64_t nh,
+                              std::int64_t nkv, std::int64_t dh) {
+  const float scl = 1.0f / std::sqrt(static_cast<float>(dh));
+  const std::int64_t H = nh * dh;
+  const std::int64_t Hkv = nkv * dh;
+  const std::int64_t group = nh / nkv;
+  std::memset(dq, 0, static_cast<std::size_t>(G * S * H) * sizeof(float));
+  std::memset(dk, 0, static_cast<std::size_t>(G * S * Hkv) * sizeof(float));
+  std::memset(dv, 0, static_cast<std::size_t>(G * S * Hkv) * sizeof(float));
+  // Parallelize over (g, kv-head): every query head in the group accumulates
+  // into the same dk/dv slices, so the group stays on one task.
+  parallel_for(0, static_cast<std::size_t>(G * nkv), [&](std::size_t gkv) {
+    const std::int64_t g = static_cast<std::int64_t>(gkv) / nkv;
+    const std::int64_t kvh = static_cast<std::int64_t>(gkv) % nkv;
+    std::vector<float> dp(static_cast<std::size_t>(S));
+    for (std::int64_t h = kvh * group; h < (kvh + 1) * group; ++h) {
+      const float* p = probs + (g * nh + h) * S * S;
+      for (std::int64_t i = 0; i < S; ++i) {
+        const float* pi = p + i * S;
+        const float* doi = dout + (g * S + i) * H + h * dh;
+        // dV and dP for row i.
+        double row_dot = 0.0;
+        for (std::int64_t j = 0; j <= i; ++j) {
+          const float* vj = v + (g * S + j) * Hkv + kvh * dh;
+          float acc = 0.0f;
+          for (std::int64_t d = 0; d < dh; ++d) {
+            acc += doi[d] * vj[d];
+          }
+          dp[static_cast<std::size_t>(j)] = acc;
+          row_dot += static_cast<double>(acc) * pi[j];
+          float* dvj = dv + (g * S + j) * Hkv + kvh * dh;
+          const float pij = pi[j];
+          for (std::int64_t d = 0; d < dh; ++d) {
+            dvj[d] += pij * doi[d];
+          }
+        }
+        // dScores_ij = P_ij * (dP_ij - sum_k dP_ik P_ik); then dq, dk.
+        const float* qi = q + (g * S + i) * H + h * dh;
+        float* dqi = dq + (g * S + i) * H + h * dh;
+        for (std::int64_t j = 0; j <= i; ++j) {
+          const float ds =
+              pi[j] * (dp[static_cast<std::size_t>(j)] -
+                       static_cast<float>(row_dot)) * scl;
+          const float* kj = k + (g * S + j) * Hkv + kvh * dh;
+          float* dkj = dk + (g * S + j) * Hkv + kvh * dh;
+          for (std::int64_t d = 0; d < dh; ++d) {
+            dqi[d] += ds * kj[d];
+            dkj[d] += ds * qi[d];
+          }
+        }
+      }
+    }
+  });
+}
+
+void attention_forward_stream(const float* q, const float* k, const float* v,
+                              float* out, float* lse, std::int64_t G,
+                              std::int64_t S, std::int64_t nh,
+                              std::int64_t nkv, std::int64_t dh) {
+  const float scl = 1.0f / std::sqrt(static_cast<float>(dh));
+  const std::int64_t H = nh * dh;
+  const std::int64_t Hkv = nkv * dh;
+  const std::int64_t group = nh / nkv;
+  parallel_for(0, static_cast<std::size_t>(G * nh), [&](std::size_t gh) {
+    const std::int64_t g = static_cast<std::int64_t>(gh) / nh;
+    const std::int64_t h = static_cast<std::int64_t>(gh) % nh;
+    const std::int64_t kvh = h / group;
+    std::vector<float> acc(static_cast<std::size_t>(dh));
+    for (std::int64_t i = 0; i < S; ++i) {
+      const float* qi = q + (g * S + i) * H + h * dh;
+      // Online softmax over keys 0..i: running max m, running sum l.
+      float m = -std::numeric_limits<float>::infinity();
+      float l = 0.0f;
+      std::fill(acc.begin(), acc.end(), 0.0f);
+      for (std::int64_t j = 0; j <= i; ++j) {
+        const float* kj = k + (g * S + j) * Hkv + kvh * dh;
+        float s = 0.0f;
+        for (std::int64_t d = 0; d < dh; ++d) {
+          s += qi[d] * kj[d];
+        }
+        s *= scl;
+        const float m_new = std::max(m, s);
+        const float corr = (l == 0.0f) ? 0.0f : std::exp(m - m_new);
+        const float p = std::exp(s - m_new);
+        l = l * corr + p;
+        const float* vj = v + (g * S + j) * Hkv + kvh * dh;
+        for (std::int64_t d = 0; d < dh; ++d) {
+          acc[static_cast<std::size_t>(d)] =
+              acc[static_cast<std::size_t>(d)] * corr + p * vj[d];
+        }
+        m = m_new;
+      }
+      float* oi = out + (g * S + i) * H + h * dh;
+      const float inv = 1.0f / l;
+      for (std::int64_t d = 0; d < dh; ++d) {
+        oi[d] = acc[static_cast<std::size_t>(d)] * inv;
+      }
+      lse[(g * nh + h) * S + i] = m + std::log(l);
+    }
+  });
+}
+
+void attention_backward_stream(const float* q, const float* k, const float* v,
+                               const float* out, const float* lse,
+                               const float* dout, float* dq, float* dk,
+                               float* dv, std::int64_t G, std::int64_t S,
+                               std::int64_t nh, std::int64_t nkv,
+                               std::int64_t dh) {
+  const float scl = 1.0f / std::sqrt(static_cast<float>(dh));
+  const std::int64_t H = nh * dh;
+  const std::int64_t Hkv = nkv * dh;
+  const std::int64_t group = nh / nkv;
+  std::memset(dq, 0, static_cast<std::size_t>(G * S * H) * sizeof(float));
+  std::memset(dk, 0, static_cast<std::size_t>(G * S * Hkv) * sizeof(float));
+  std::memset(dv, 0, static_cast<std::size_t>(G * S * Hkv) * sizeof(float));
+  // Group query heads sharing a kv head onto one task (dk/dv accumulation).
+  parallel_for(0, static_cast<std::size_t>(G * nkv), [&](std::size_t gkv) {
+    const std::int64_t g = static_cast<std::int64_t>(gkv) / nkv;
+    const std::int64_t kvh = static_cast<std::int64_t>(gkv) % nkv;
+    for (std::int64_t h = kvh * group; h < (kvh + 1) * group; ++h) {
+      for (std::int64_t i = 0; i < S; ++i) {
+        const float* qi = q + (g * S + i) * H + h * dh;
+        const float* oi = out + (g * S + i) * H + h * dh;
+        const float* doi = dout + (g * S + i) * H + h * dh;
+        float* dqi = dq + (g * S + i) * H + h * dh;
+        const float lse_i = lse[(g * nh + h) * S + i];
+        // D_i = <dout_i, out_i> (the "delta" trick from FlashAttention-2).
+        float delta = 0.0f;
+        for (std::int64_t d = 0; d < dh; ++d) {
+          delta += doi[d] * oi[d];
+        }
+        for (std::int64_t j = 0; j <= i; ++j) {
+          const float* kj = k + (g * S + j) * Hkv + kvh * dh;
+          const float* vj = v + (g * S + j) * Hkv + kvh * dh;
+          float s = 0.0f;
+          float dpv = 0.0f;
+          for (std::int64_t d = 0; d < dh; ++d) {
+            s += qi[d] * kj[d];
+            dpv += doi[d] * vj[d];
+          }
+          const float p = std::exp(s * scl - lse_i);
+          const float ds = p * (dpv - delta) * scl;
+          float* dkj = dk + (g * S + j) * Hkv + kvh * dh;
+          float* dvj = dv + (g * S + j) * Hkv + kvh * dh;
+          for (std::int64_t d = 0; d < dh; ++d) {
+            dqi[d] += ds * kj[d];
+            dkj[d] += ds * qi[d];
+            dvj[d] += p * doi[d];
+          }
+        }
+      }
+    }
+  });
+}
+
+void swiglu_forward(const float* x, const float* w1, const float* w3,
+                    const float* w2, float* a, float* b, float* y,
+                    std::int64_t rows, std::int64_t dim, std::int64_t ffn) {
+  kernels::matmul_bt(x, w1, a, rows, dim, ffn, /*accumulate=*/false);
+  kernels::matmul_bt(x, w3, b, rows, dim, ffn, /*accumulate=*/false);
+  std::vector<float> hbuf(static_cast<std::size_t>(rows * ffn));
+  for (std::int64_t i = 0; i < rows * ffn; ++i) {
+    hbuf[static_cast<std::size_t>(i)] = silu(a[i]) * b[i];
+  }
+  kernels::matmul_bt(hbuf.data(), w2, y, rows, ffn, dim, /*accumulate=*/false);
+}
+
+void swiglu_backward(const float* x, const float* w1, const float* w3,
+                     const float* w2, const float* a, const float* b,
+                     const float* dy, float* dx, float* dw1, float* dw3,
+                     float* dw2, std::int64_t rows, std::int64_t dim,
+                     std::int64_t ffn) {
+  // Recompute h = silu(a) * b (cheap, avoids storing a third [rows,F] buffer).
+  std::vector<float> h(static_cast<std::size_t>(rows * ffn));
+  for (std::int64_t i = 0; i < rows * ffn; ++i) {
+    h[static_cast<std::size_t>(i)] = silu(a[i]) * b[i];
+  }
+  // dW2 += dy^T h
+  kernels::matmul_at(dy, h.data(), dw2, dim, rows, ffn, /*accumulate=*/true);
+  // dh = dy W2
+  std::vector<float>& dh = h;  // reuse buffer
+  kernels::matmul(dy, w2, dh.data(), rows, dim, ffn, /*accumulate=*/false);
+  // da = dh * b * silu'(a); db = dh * silu(a)
+  std::vector<float> da(static_cast<std::size_t>(rows * ffn));
+  std::vector<float> db(static_cast<std::size_t>(rows * ffn));
+  for (std::int64_t i = 0; i < rows * ffn; ++i) {
+    da[static_cast<std::size_t>(i)] =
+        dh[static_cast<std::size_t>(i)] * b[i] * silu_grad(a[i]);
+    db[static_cast<std::size_t>(i)] =
+        dh[static_cast<std::size_t>(i)] * silu(a[i]);
+  }
+  // dx = da W1 + db W3
+  kernels::matmul(da.data(), w1, dx, rows, ffn, dim, /*accumulate=*/false);
+  kernels::matmul(db.data(), w3, dx, rows, ffn, dim, /*accumulate=*/true);
+  // dW1 += da^T x ; dW3 += db^T x
+  kernels::matmul_at(da.data(), x, dw1, ffn, rows, dim, /*accumulate=*/true);
+  kernels::matmul_at(db.data(), x, dw3, ffn, rows, dim, /*accumulate=*/true);
+}
+
+float cross_entropy(const float* logits, const std::int32_t* targets,
+                    float* dlogits, std::int64_t rows, std::int64_t vocab) {
+  double total = 0.0;
+  const float inv_rows = 1.0f / static_cast<float>(rows);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* lr = logits + r * vocab;
+    float* dr = dlogits + r * vocab;
+    float mx = lr[0];
+    for (std::int64_t j = 1; j < vocab; ++j) {
+      mx = std::max(mx, lr[j]);
+    }
+    double denom = 0.0;
+    for (std::int64_t j = 0; j < vocab; ++j) {
+      denom += std::exp(static_cast<double>(lr[j] - mx));
+    }
+    const std::int64_t t = targets[r];
+    const double logp =
+        static_cast<double>(lr[t] - mx) - std::log(denom);
+    total -= logp;
+    const float inv_denom = static_cast<float>(1.0 / denom);
+    for (std::int64_t j = 0; j < vocab; ++j) {
+      const float p = std::exp(lr[j] - mx) * inv_denom;
+      dr[j] = (p - (j == t ? 1.0f : 0.0f)) * inv_rows;
+    }
+  }
+  return static_cast<float>(total / static_cast<double>(rows));
+}
+
+}  // namespace weipipe

@@ -1,0 +1,20 @@
+#include "nn/loss.hpp"
+
+#include "common/check.hpp"
+#include "nn/layer_math.hpp"
+
+namespace weipipe {
+
+LossResult cross_entropy_loss(const Tensor& logits, const Microbatch& mb) {
+  WEIPIPE_CHECK(logits.ndim() == 2);
+  WEIPIPE_CHECK_MSG(logits.dim(0) == mb.rows(),
+                    "logits rows " << logits.dim(0) << " != mb rows "
+                                   << mb.rows());
+  LossResult res;
+  res.dlogits = Tensor({logits.dim(0), logits.dim(1)});
+  res.loss = cross_entropy(logits.data(), mb.targets.data(),
+                           res.dlogits.data(), logits.dim(0), logits.dim(1));
+  return res;
+}
+
+}  // namespace weipipe

@@ -1,0 +1,17 @@
+// Next-token cross-entropy loss on logits, Tensor-level wrapper.
+#pragma once
+
+#include "nn/microbatch.hpp"
+#include "tensor/tensor.hpp"
+
+namespace weipipe {
+
+struct LossResult {
+  float loss = 0.0f;  // mean NLL over this microbatch's tokens
+  Tensor dlogits;     // gradient of that mean
+};
+
+// logits: [G*S, V]; targets from mb.
+LossResult cross_entropy_loss(const Tensor& logits, const Microbatch& mb);
+
+}  // namespace weipipe

@@ -1,0 +1,134 @@
+// Microbatches and deterministic synthetic language-modelling data.
+//
+// The paper measures training throughput, not downstream quality, so the data
+// only needs to (a) be deterministic across strategies and (b) carry enough
+// structure that loss demonstrably decreases (examples/tests assert this).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "nn/config.hpp"
+
+namespace weipipe {
+
+// One microbatch of G sequences of S tokens with next-token targets.
+struct Microbatch {
+  std::int64_t batch = 0;  // G
+  std::int64_t seq = 0;    // S
+  std::vector<std::int32_t> tokens;   // G*S input ids
+  std::vector<std::int32_t> targets;  // G*S next-token ids
+
+  std::int64_t rows() const { return batch * seq; }
+};
+
+// A microbatch source. Implementations MUST be deterministic in
+// (construction args, index): in the distributed trainers every rank
+// re-materializes its own microbatches locally from the index alone, so any
+// nondeterminism would silently break strategy equivalence.
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+  virtual Microbatch make(std::int64_t index, std::int64_t batch,
+                          std::int64_t seq) const = 0;
+  virtual std::int64_t vocab_size() const = 0;
+};
+
+// Affine-recurrence "language": next = (a*cur + b) mod V. Memorizable by a
+// small transformer, so loss curves separate working schedules from broken
+// ones quickly.
+class SyntheticDataset final : public Dataset {
+ public:
+  SyntheticDataset(std::int64_t vocab_size, std::uint64_t seed)
+      : vocab_(vocab_size), seed_(seed) {}
+
+  Microbatch make(std::int64_t index, std::int64_t batch,
+                  std::int64_t seq) const override {
+    Microbatch mb;
+    mb.batch = batch;
+    mb.seq = seq;
+    mb.tokens.resize(static_cast<std::size_t>(batch * seq));
+    mb.targets.resize(static_cast<std::size_t>(batch * seq));
+    Rng rng = Rng(seed_).fork(static_cast<std::uint64_t>(index));
+    for (std::int64_t g = 0; g < batch; ++g) {
+      std::int64_t cur = static_cast<std::int64_t>(rng.next_below(
+          static_cast<std::uint64_t>(vocab_)));
+      const std::int64_t a = 1 + 2 * static_cast<std::int64_t>(
+                                      rng.next_below(3));  // odd multiplier
+      const std::int64_t b = static_cast<std::int64_t>(rng.next_below(7));
+      for (std::int64_t s = 0; s < seq; ++s) {
+        const std::int64_t next = (a * cur + b) % vocab_;
+        mb.tokens[static_cast<std::size_t>(g * seq + s)] =
+            static_cast<std::int32_t>(cur);
+        mb.targets[static_cast<std::size_t>(g * seq + s)] =
+            static_cast<std::int32_t>(next);
+        cur = next;
+      }
+    }
+    return mb;
+  }
+
+  std::int64_t vocab_size() const override { return vocab_; }
+
+ private:
+  std::int64_t vocab_;
+  std::uint64_t seed_;
+};
+
+// Copy task: [random payload] DELIM [payload repeats...]. Predicting the
+// repeated half requires genuine long-range attention (positions after the
+// delimiter must attend back ~S/2 tokens), unlike the local affine task.
+// Token 0 is reserved as the delimiter.
+class CopyDataset final : public Dataset {
+ public:
+  CopyDataset(std::int64_t vocab_size, std::uint64_t seed)
+      : vocab_(vocab_size), seed_(seed) {
+    WEIPIPE_CHECK_MSG(vocab_ >= 3, "copy task needs vocab >= 3");
+  }
+
+  Microbatch make(std::int64_t index, std::int64_t batch,
+                  std::int64_t seq) const override {
+    WEIPIPE_CHECK_MSG(seq >= 4, "copy task needs seq >= 4");
+    Microbatch mb;
+    mb.batch = batch;
+    mb.seq = seq;
+    mb.tokens.resize(static_cast<std::size_t>(batch * seq));
+    mb.targets.resize(static_cast<std::size_t>(batch * seq));
+    Rng rng = Rng(seed_ ^ 0xC0FFEEull).fork(static_cast<std::uint64_t>(index));
+    const std::int64_t payload = (seq - 1) / 2;
+    for (std::int64_t g = 0; g < batch; ++g) {
+      std::vector<std::int32_t> row(static_cast<std::size_t>(seq));
+      for (std::int64_t i = 0; i < payload; ++i) {
+        row[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(
+            1 + rng.next_below(static_cast<std::uint64_t>(vocab_ - 1)));
+      }
+      row[static_cast<std::size_t>(payload)] = 0;  // delimiter
+      for (std::int64_t i = payload + 1; i < seq; ++i) {
+        row[static_cast<std::size_t>(i)] =
+            row[static_cast<std::size_t>((i - payload - 1) % payload)];
+      }
+      for (std::int64_t i = 0; i < seq; ++i) {
+        mb.tokens[static_cast<std::size_t>(g * seq + i)] =
+            row[static_cast<std::size_t>(i)];
+        // Next-token target; the final position wraps to the delimiter.
+        mb.targets[static_cast<std::size_t>(g * seq + i)] =
+            i + 1 < seq ? row[static_cast<std::size_t>(i + 1)] : 0;
+      }
+    }
+    return mb;
+  }
+
+  std::int64_t vocab_size() const override { return vocab_; }
+
+ private:
+  std::int64_t vocab_;
+  std::uint64_t seed_;
+};
+
+// exp(mean NLL): the usual language-model quality number.
+inline double perplexity(double mean_loss) { return std::exp(mean_loss); }
+
+}  // namespace weipipe

@@ -1,0 +1,26 @@
+#include <cmath>
+#include <numbers>
+
+#include "nn/config.hpp"
+
+namespace weipipe {
+
+float LrSchedule::scale(std::int64_t iter) const {
+  if (total_iters <= 0) {
+    return 1.0f;
+  }
+  if (warmup_iters > 0 && iter < warmup_iters) {
+    return static_cast<float>(iter + 1) / static_cast<float>(warmup_iters);
+  }
+  const std::int64_t decay_span = total_iters - warmup_iters;
+  if (decay_span <= 0 || iter >= total_iters) {
+    return min_lr_fraction;
+  }
+  const double progress = static_cast<double>(iter - warmup_iters) /
+                          static_cast<double>(decay_span);
+  const double cosine = 0.5 * (1.0 + std::cos(std::numbers::pi * progress));
+  return min_lr_fraction +
+         (1.0f - min_lr_fraction) * static_cast<float>(cosine);
+}
+
+}  // namespace weipipe

@@ -1,0 +1,89 @@
+#include "sched/validate.hpp"
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace weipipe::sched {
+
+ValidationReport validate(const Program& program) {
+  ValidationReport report;
+  const int p = program.num_ranks();
+  if (p == 0) {
+    report.fail("program has no ranks");
+    return report;
+  }
+
+  // (src, dst, tag) -> sends minus recvs.
+  std::map<std::tuple<int, int, std::int64_t>, std::int64_t> balance;
+
+  for (int r = 0; r < p; ++r) {
+    double mem = 0.0;
+    std::set<std::int64_t> posted_collectives;
+    const auto& ops = program.rank_ops[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      std::ostringstream where;
+      where << "rank " << r << " op " << i;
+      if (const auto* c = std::get_if<ComputeOp>(&ops[i])) {
+        if (!(c->seconds >= 0.0) || !std::isfinite(c->seconds)) {
+          report.fail(where.str() + ": negative/NaN compute duration");
+        }
+        if (!std::isfinite(c->mem_delta)) {
+          report.fail(where.str() + ": non-finite mem_delta");
+        }
+        mem += c->mem_delta;
+      } else if (const auto* s = std::get_if<SendOp>(&ops[i])) {
+        if (s->dst < 0 || s->dst >= p) {
+          report.fail(where.str() + ": send to invalid rank " +
+                      std::to_string(s->dst));
+        } else if (s->dst == r) {
+          report.fail(where.str() + ": self-send");
+        } else {
+          ++balance[{r, s->dst, s->tag}];
+        }
+        if (!(s->bytes >= 0.0) || !std::isfinite(s->bytes)) {
+          report.fail(where.str() + ": negative/NaN send bytes");
+        }
+      } else if (const auto* rc = std::get_if<RecvOp>(&ops[i])) {
+        if (rc->src < 0 || rc->src >= p) {
+          report.fail(where.str() + ": recv from invalid rank " +
+                      std::to_string(rc->src));
+        } else if (rc->src == r) {
+          report.fail(where.str() + ": self-recv");
+        } else {
+          --balance[{rc->src, r, rc->tag}];
+        }
+      } else if (const auto* cs = std::get_if<CollectiveStartOp>(&ops[i])) {
+        posted_collectives.insert(cs->id);
+        if (!(cs->seconds >= 0.0) || !std::isfinite(cs->seconds)) {
+          report.fail(where.str() + ": negative/NaN collective duration");
+        }
+      } else if (const auto* cw = std::get_if<CollectiveWaitOp>(&ops[i])) {
+        if (posted_collectives.find(cw->id) == posted_collectives.end()) {
+          report.fail(where.str() + ": wait for unposted collective " +
+                      std::to_string(cw->id));
+        }
+      }
+    }
+    if (std::fabs(mem) > 1e-6) {
+      std::ostringstream oss;
+      oss << "rank " << r << ": activation deltas leak " << mem << " bytes";
+      report.fail(oss.str());
+    }
+  }
+
+  for (const auto& [key, count] : balance) {
+    if (count != 0) {
+      const auto& [src, dst, tag] = key;
+      std::ostringstream oss;
+      oss << "channel (" << src << " -> " << dst << ", tag " << tag << "): "
+          << (count > 0 ? "unreceived sends: " : "unmatched recvs: ")
+          << std::llabs(count);
+      report.fail(oss.str());
+    }
+  }
+  return report;
+}
+
+}  // namespace weipipe::sched

@@ -1,0 +1,32 @@
+// Static validation of schedule programs: catches malformed strategies
+// before the engine runs them (and gives better diagnostics than a deadlock).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/program.hpp"
+
+namespace weipipe::sched {
+
+struct ValidationReport {
+  bool ok = true;
+  std::vector<std::string> problems;
+
+  void fail(std::string problem) {
+    ok = false;
+    problems.push_back(std::move(problem));
+  }
+};
+
+// Checks, per program:
+//  * every Recv has a matching Send on the same (src, dst, tag) — counts
+//    must balance exactly (unreceived messages usually mean a tag bug);
+//  * Send destinations / Recv sources are valid ranks, never self;
+//  * compute durations and byte counts are non-negative and finite;
+//  * every CollectiveWait refers to a previously posted CollectiveStart on
+//    the same rank;
+//  * per-rank activation deltas sum to ~zero (leaked contexts otherwise).
+ValidationReport validate(const Program& program);
+
+}  // namespace weipipe::sched

@@ -1,0 +1,101 @@
+#include "sched/weipipe_schedule.hpp"
+
+#include "common/check.hpp"
+
+namespace weipipe {
+
+namespace {
+std::int64_t pmod(std::int64_t a, std::int64_t m) {
+  const std::int64_t r = a % m;
+  return r < 0 ? r + m : r;
+}
+}  // namespace
+
+const char* to_string(WeiPipeMode mode) {
+  switch (mode) {
+    case WeiPipeMode::kNaive: return "weipipe-naive";
+    case WeiPipeMode::kInterleave: return "weipipe-interleave";
+  }
+  return "?";
+}
+
+WeiPipeSchedule::WeiPipeSchedule(std::int64_t num_workers, std::int64_t rounds,
+                                 WeiPipeMode mode)
+    : p_(num_workers), r_(rounds), mode_(mode) {
+  WEIPIPE_CHECK_MSG(p_ >= 1, "need at least one worker");
+  WEIPIPE_CHECK_MSG(r_ >= 1, "need at least one round");
+}
+
+std::int64_t WeiPipeSchedule::total_turns() const {
+  // Interleave: worker p's last backward turn is (R+1)P + p - 1; max p=P-1.
+  // Naive: worker p's last backward turn is 2RP + p - 1; max p=P-1.
+  return mode_ == WeiPipeMode::kInterleave ? (r_ + 2) * p_ - 1
+                                           : 2 * r_ * p_ + p_ - 1;
+}
+
+std::int64_t WeiPipeSchedule::f_chunk_at(std::int64_t worker,
+                                         std::int64_t turn) const {
+  return pmod(turn - worker, p_);
+}
+
+std::int64_t WeiPipeSchedule::b_chunk_at(std::int64_t worker,
+                                         std::int64_t turn) const {
+  return pmod(worker - turn - 1, p_);
+}
+
+TurnActions WeiPipeSchedule::actions(std::int64_t worker,
+                                     std::int64_t turn) const {
+  TurnActions out;
+  const std::int64_t j = turn - worker;  // worker-local turn index
+  if (j < 0) {
+    return out;
+  }
+  if (mode_ == WeiPipeMode::kInterleave) {
+    // Forward of round k occupies local turns [kP, kP + P - 1].
+    if (j < r_ * p_) {
+      out.fwd = ChunkOp{j / p_, j % p_};
+    }
+    // Backward of round k occupies local turns [(k+1)P, (k+2)P - 1],
+    // consuming chunks P-1..0 — interleaved with forward of round k+1.
+    const std::int64_t jb = j - p_;
+    if (jb >= 0 && jb < r_ * p_) {
+      out.bwd = ChunkOp{jb / p_, p_ - 1 - (jb % p_)};
+    }
+  } else {
+    // Naive: round k = local turns [2kP, 2kP + 2P - 1]; first P turns forward
+    // chunks 0..P-1, next P turns backward chunks P-1..0. No overlap.
+    const std::int64_t k = j / (2 * p_);
+    const std::int64_t m = j % (2 * p_);
+    if (k < r_) {
+      if (m < p_) {
+        out.fwd = ChunkOp{k, m};
+      } else {
+        out.bwd = ChunkOp{k, 2 * p_ - 1 - m};
+      }
+    }
+  }
+  return out;
+}
+
+std::int64_t WeiPipeSchedule::f_start_holder(std::int64_t chunk) const {
+  return pmod(-chunk, p_);
+}
+
+std::int64_t WeiPipeSchedule::b_start_holder(std::int64_t chunk) const {
+  return pmod(chunk + 1, p_);
+}
+
+std::int64_t WeiPipeSchedule::owner(std::int64_t chunk) const {
+  // Holder of the B pair at the start of "turn T": flows advance once per
+  // turn for all T turns, so solve (h - T - 1) mod P == chunk.
+  return pmod(chunk + total_turns() + 1, p_);
+}
+
+std::int64_t WeiPipeSchedule::last_active_turn(std::int64_t worker) const {
+  (void)worker;
+  // With the uniform convention (every worker forwards flows every turn),
+  // all workers are active for the full iteration.
+  return total_turns() - 1;
+}
+
+}  // namespace weipipe

@@ -1,0 +1,101 @@
+// The WeiPipe turn/flow algebra (paper §4.2.1–4.2.2).
+//
+// Workers sit on a ring; two weight flows circulate one hop (p -> p+1) per
+// *turn*:
+//   F flow : weight chunks consumed by forward computes,
+//   B flow : (weight chunk, gradient chunk D) pairs consumed by backward
+//            computes; each backward adds its partial dW into the D it holds.
+//
+// Invariants (derived in DESIGN.md §5.1 and verified by tests):
+//   * at the start of turn t, worker p holds F-chunk (t - p) mod P and
+//     B-pair  (p - t - 1) mod P;
+//   * worker p's forward of round k covers turns [kP + p, kP + p + P - 1],
+//     consuming chunks 0..P-1 in order — exactly the chunks the F flow
+//     delivers;
+//   * Interleave: worker p's backward of round k covers turns
+//     [(k+1)P + p, (k+2)P + p - 1], consuming chunks P-1..0 — exactly what
+//     the B flow delivers. Forward of round k+1 shares these turns: the
+//     one-forward-plus-one-backward steady state of Figure 2.
+//   * Naive: rounds do not overlap; each round takes 2P turns (P forward-only
+//     turns then P backward-only turns), reproducing Figure 1's idle flows.
+//   * D_c accumulates its N = R*P contributions in global microbatch order
+//     (worker 0's mb first each revolution), which is why fp32 runs match the
+//     sequential trainer bit-for-bit.
+//
+// Worker p processes microbatches {k*P + p : k in [0, R)} — activations never
+// leave a worker; only weights and weight-gradients ride the ring.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace weipipe {
+
+enum class WeiPipeMode {
+  kNaive,       // Figure 1: no fwd/bwd overlap, ~2x turns
+  kInterleave,  // Figure 2: one-forward-one-backward steady state
+};
+
+const char* to_string(WeiPipeMode mode);
+
+// One compute op inside a turn.
+struct ChunkOp {
+  std::int64_t round = 0;  // microbatch = round * P + worker
+  std::int64_t chunk = 0;  // chunk index in [0, P)
+};
+
+// What a worker does during one turn (flow movement is implicit: every
+// worker forwards both flows every turn it participates in).
+struct TurnActions {
+  std::optional<ChunkOp> fwd;
+  std::optional<ChunkOp> bwd;
+};
+
+class WeiPipeSchedule {
+ public:
+  // P workers == P chunks; R rounds (N = R*P microbatches per iteration).
+  WeiPipeSchedule(std::int64_t num_workers, std::int64_t rounds,
+                  WeiPipeMode mode);
+
+  std::int64_t num_workers() const { return p_; }
+  std::int64_t rounds() const { return r_; }
+  std::int64_t num_microbatches() const { return p_ * r_; }
+  WeiPipeMode mode() const { return mode_; }
+
+  // Total turns in one iteration (max over workers of last active turn + 1).
+  std::int64_t total_turns() const;
+
+  // Flow positions at the start of turn t.
+  std::int64_t f_chunk_at(std::int64_t worker, std::int64_t turn) const;
+  std::int64_t b_chunk_at(std::int64_t worker, std::int64_t turn) const;
+
+  // Compute ops for worker at turn (either/both may be absent).
+  TurnActions actions(std::int64_t worker, std::int64_t turn) const;
+
+  // Where chunks sit at the boundaries of an iteration:
+  // F-flow holder of chunk c at turn 0.
+  std::int64_t f_start_holder(std::int64_t chunk) const;
+  // B-flow holder of chunk c at turn 0.
+  std::int64_t b_start_holder(std::int64_t chunk) const;
+  // Owner of chunk c: the worker holding its B-pair after the final turn.
+  // The owner keeps the fp32 master weights + Adam state for c, applies the
+  // update, and re-injects the fresh chunk for the next iteration.
+  std::int64_t owner(std::int64_t chunk) const;
+
+  // Last turn in which `worker` needs to receive flows (it stops forwarding
+  // afterwards). Workers participate in turns [0, last_active_turn].
+  std::int64_t last_active_turn(std::int64_t worker) const;
+
+  // Paper §4.2.2 bookkeeping: per-turn wire chunks in the steady state
+  // (2 weight chunks + 1 gradient chunk for Interleave; Naive moves the same
+  // 3 but computes with at most 1).
+  static constexpr int kChunksOnWirePerTurn = 3;
+
+ private:
+  std::int64_t p_;
+  std::int64_t r_;
+  WeiPipeMode mode_;
+};
+
+}  // namespace weipipe

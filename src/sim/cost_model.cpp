@@ -1,0 +1,190 @@
+#include <algorithm>
+#include <cmath>
+#include "sim/cost_model.hpp"
+
+namespace weipipe::sim {
+
+std::vector<std::int64_t> CostModel::balanced_layers(std::int64_t p) const {
+  std::vector<std::int64_t> layers(static_cast<std::size_t>(p), 0);
+  // The head costs the equivalent of this many transformer layers.
+  const double head_equiv =
+      head_flops() / (fwd_flops_layer() > 0 ? fwd_flops_layer() : 1.0);
+  std::int64_t last = static_cast<std::int64_t>(
+      std::max(0.0, std::round((static_cast<double>(dims_.layers) + head_equiv) /
+                                   static_cast<double>(p) -
+                               head_equiv)));
+  last = std::min(last, dims_.layers);
+  if (p == 1) {
+    layers[0] = dims_.layers;
+    return layers;
+  }
+  const std::int64_t rest = dims_.layers - last;
+  const std::int64_t base = rest / (p - 1);
+  const std::int64_t extra = rest % (p - 1);
+  for (std::int64_t c = 0; c < p - 1; ++c) {
+    layers[static_cast<std::size_t>(c)] = base + (c < extra ? 1 : 0);
+  }
+  layers[static_cast<std::size_t>(p - 1)] = last;
+  return layers;
+}
+
+std::int64_t CostModel::layers_in_chunk(std::int64_t c, std::int64_t p) const {
+  return balanced_layers(p)[static_cast<std::size_t>(c)];
+}
+
+double CostModel::chunk_weight_bytes(std::int64_t c, std::int64_t p,
+                                     bool include_vocab) const {
+  double params = static_cast<double>(layers_in_chunk(c, p)) *
+                  static_cast<double>(dims_.params_per_layer());
+  if (include_vocab) {
+    if (c == 0) {
+      params += static_cast<double>(dims_.vocab * dims_.hidden);  // embedding
+    }
+    if (c == p - 1) {
+      params += static_cast<double>(dims_.vocab * dims_.hidden + dims_.hidden);
+    }
+  }
+  return params * 2.0;  // fp16 on the wire and in compute buffers
+}
+
+double CostModel::fwd_flops_layer() const {
+  const double H = static_cast<double>(dims_.hidden);
+  const double S = static_cast<double>(dims_.seq);
+  const double F = static_cast<double>(dims_.ffn_hidden());
+  const double G = static_cast<double>(dims_.microbatch);
+  const double qkvo = 2.0 * S * 4.0 * H * H;
+  const double attn = 2.0 * S * S * H;  // causal: half of the full 4 S^2 H
+  const double ffn = 2.0 * S * 3.0 * H * F;
+  return G * (qkvo + attn + ffn);
+}
+
+double CostModel::head_flops() const {
+  return static_cast<double>(dims_.microbatch) * 2.0 *
+         static_cast<double>(dims_.seq) * static_cast<double>(dims_.hidden) *
+         static_cast<double>(dims_.vocab);
+}
+
+double CostModel::act_mem_layer_bytes(bool recompute_override_off) const {
+  const double H = static_cast<double>(dims_.hidden);
+  const double S = static_cast<double>(dims_.seq);
+  const double F = static_cast<double>(dims_.ffn_hidden());
+  const double G = static_cast<double>(dims_.microbatch);
+  const bool recompute = policy_.recompute && !recompute_override_off;
+  if (recompute) {
+    return 2.0 * G * S * H;  // fp16 layer input only
+  }
+  // Full internals: x, xn1, q, k, v, attn_out, x_mid, xn2 (~8 GSH) plus FFN
+  // pre-activations a, b (~2 GSF), all fp16.
+  double bytes = (8.0 * H + 2.0 * F) * G * S * 2.0;
+  if (!policy_.flash_attention) {
+    // Materialized attention probabilities, fp16 per head.
+    bytes += G * static_cast<double>(dims_.heads) * S * S * 2.0;
+  }
+  return bytes;
+}
+
+sched::StrategyCosts CostModel::strategy_costs(std::int64_t p) const {
+  sched::StrategyCosts c;
+  const double fwd_layer = seconds(fwd_flops_layer());
+  const double recompute_extra = policy_.recompute ? 1.0 : 0.0;
+  for (std::int64_t i = 0; i < p; ++i) {
+    const double layers = static_cast<double>(layers_in_chunk(i, p));
+    double fwd = layers * fwd_layer;
+    if (i == p - 1) {
+      fwd += seconds(head_flops());
+    }
+    c.fwd_seconds.push_back(fwd);
+    c.bwd_seconds.push_back(fwd * (2.0 + recompute_extra));
+    c.bwd_acts_seconds.push_back(fwd);     // B pass ~ one forward
+    c.bwd_weights_seconds.push_back(fwd);  // W pass ~ one forward
+    c.chunk_weight_bytes.push_back(
+        chunk_weight_bytes(i, p, /*include_vocab=*/false));
+    c.act_mem_bytes.push_back(layers * act_mem_layer_bytes());
+  }
+  const double G = static_cast<double>(dims_.microbatch);
+  const double S = static_cast<double>(dims_.seq);
+  const double H = static_cast<double>(dims_.hidden);
+  c.act_bytes = G * S * H * 2.0;       // fp16 activations
+  c.act_grad_bytes = G * S * H * 2.0;  // bf16 activation gradients
+  // Optimizer: memory-bound pass over the owned shard (read m,v,w,g; write
+  // m,v,w => ~28 bytes/param fp32-ish).
+  const double owned_params =
+      static_cast<double>(dims_.total_params()) / static_cast<double>(p);
+  c.optimizer_seconds = owned_params * 28.0 / gpu_.hbm_bandwidth;
+  return c;
+}
+
+sched::StrategyCosts CostModel::strategy_costs_zero_bubble(
+    std::int64_t p) const {
+  // ZB cannot profit from recomputation (paper §5): it must keep full
+  // internals so the W pass can run long after B. Rebuild with recompute off
+  // regardless of the ambient policy, then apply the ZB calibration factors
+  // (HBM-bound split passes; gradient buffers resident between B and W).
+  CostModel zb(dims_, gpu_, ExecPolicy{false, policy_.flash_attention});
+  sched::StrategyCosts c = zb.strategy_costs(p);
+  for (std::size_t i = 0; i < c.bwd_acts_seconds.size(); ++i) {
+    c.bwd_acts_seconds[i] *= kZbPassOverhead;
+    c.bwd_weights_seconds[i] *= kZbPassOverhead;
+    c.bwd_seconds[i] *= kZbPassOverhead;
+    c.act_mem_bytes[i] *= kZbActInflation;
+  }
+  return c;
+}
+
+sched::FsdpCollectiveCosts CostModel::fsdp_collective_costs(
+    std::int64_t p, const Topology& topo) const {
+  sched::FsdpCollectiveCosts out;
+  const Link bottleneck = topo.bottleneck_ring_link();
+  for (std::int64_t c = 0; c < p; ++c) {
+    const double bytes = chunk_weight_bytes(c, p);
+    const double shard = bytes / static_cast<double>(p);
+    // Ring all-gather: P-1 pipelined steps of one shard each; every step is
+    // paced by the slowest link in the ring.
+    const double steps = static_cast<double>(p - 1);
+    const double eff_bw =
+        bottleneck.bandwidth * collective_efficiency(topo.nodes());
+    const double t = steps * (bottleneck.latency + shard / eff_bw);
+    out.all_gather_seconds.push_back(t);
+    out.reduce_scatter_seconds.push_back(t);
+    out.all_gather_bytes.push_back(steps * shard);
+    out.reduce_scatter_bytes.push_back(steps * shard);
+  }
+  return out;
+}
+
+double CostModel::static_mem_weipipe(std::int64_t p) const {
+  // Two weight flows + one gradient flow, double-buffered for prefetch
+  // (~6 chunk-sized fp16 buffers), plus the owned fp32 master and Adam pair.
+  double max_chunk = 0.0;
+  for (std::int64_t c = 0; c < p; ++c) {
+    max_chunk = std::max(max_chunk, chunk_weight_bytes(c, p));
+  }
+  const double owned_params =
+      static_cast<double>(dims_.total_params()) / static_cast<double>(p);
+  // Replicated (not circulated) embedding + head, fp16.
+  return 6.0 * max_chunk + vocab_sync_bytes() + owned_params * (4.0 + 8.0);
+}
+
+double CostModel::static_mem_pipeline(std::int64_t p) const {
+  // Stage weights fp16 + fp32 gradient accumulator + fp32 master + Adam.
+  double max_chunk = 0.0;
+  for (std::int64_t c = 0; c < p; ++c) {
+    max_chunk = std::max(max_chunk, chunk_weight_bytes(c, p));
+  }
+  const double params = max_chunk / 2.0;  // elements in the largest stage
+  return max_chunk + params * (4.0 + 4.0 + 8.0);
+}
+
+double CostModel::static_mem_fsdp(std::int64_t p) const {
+  // Two gathered chunks in flight (current + prefetch) + owned shard states
+  // + fp32 gradient shard.
+  double max_chunk = 0.0;
+  for (std::int64_t c = 0; c < p; ++c) {
+    max_chunk = std::max(max_chunk, chunk_weight_bytes(c, p));
+  }
+  const double owned_params =
+      static_cast<double>(dims_.total_params()) / static_cast<double>(p);
+  return 2.0 * max_chunk + owned_params * (4.0 + 8.0 + 4.0);
+}
+
+}  // namespace weipipe::sim

@@ -1,0 +1,146 @@
+// Cost model: turns (model dims, GPU spec, policy, topology) into the
+// per-op seconds/bytes the schedule builders consume, plus static memory
+// terms and the resulting OOM verdicts.
+//
+// FLOP accounting (per transformer layer, per microbatch, causal attention):
+//   QKVO projections: 2 * S * 4H^2
+//   attention matmuls: 2 * 2 * (S^2/2) * H = 2 S^2 H
+//   SwiGLU FFN:        2 * S * 3 H F       (F = 8H/3 -> 16 S H^2)
+// backward = 2x forward; recomputation adds one forward to the backward.
+// Time = FLOPs / (peak_flops * mfu).
+//
+// Parameter accounting matches the paper's 12 H^2 per layer; chunk 0 adds the
+// V*H embedding and the last chunk the V*H head (+norm).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/builders.hpp"
+#include "sim/topology.hpp"
+
+namespace weipipe::sim {
+
+struct ModelDims {
+  std::int64_t hidden = 1024;  // H
+  std::int64_t seq = 4096;     // S
+  std::int64_t microbatch = 16;  // G
+  std::int64_t layers = 32;    // L
+  std::int64_t heads = 32;
+  std::int64_t vocab = 32000;
+
+  std::int64_t ffn_hidden() const { return (8 * hidden + 2) / 3; }
+  std::int64_t params_per_layer() const {
+    return 4 * hidden * hidden + 3 * hidden * ffn_hidden() + 2 * hidden;
+  }
+  std::int64_t total_params() const {
+    return layers * params_per_layer() + 2 * vocab * hidden + hidden;
+  }
+  double tokens_per_microbatch() const {
+    return static_cast<double>(microbatch) * static_cast<double>(seq);
+  }
+};
+
+struct GpuSpec {
+  double peak_flops = 312e12;  // A800 fp16/bf16 tensor cores
+  double mfu = 0.28;           // calibrated to the paper's measured tokens/s (A800)
+  double mem_bytes = 80e9;     // HBM
+  double hbm_bandwidth = 1.9e12;
+  // Arithmetic-intensity rolloff: effective MFU = mfu * G / (G + half_g).
+  // Models the kernel-efficiency loss at the small microbatch sizes the ZB
+  // strategies are forced into (paper §6.1.1: "smaller microbatch sizes ...
+  // compromise computational efficiency").
+  double intensity_half_g = 1.0;
+
+  double effective_flops(std::int64_t microbatch) const {
+    const double g = static_cast<double>(microbatch);
+    return peak_flops * mfu * g / (g + intensity_half_g);
+  }
+};
+
+struct ExecPolicy {
+  bool recompute = true;        // gradient checkpointing (off for ZB)
+  bool flash_attention = true;  // streaming attention (no S^2 score matrix)
+};
+
+class CostModel {
+ public:
+  CostModel(ModelDims dims, GpuSpec gpu, ExecPolicy policy)
+      : dims_(dims), gpu_(gpu), policy_(policy) {}
+
+  const ModelDims& dims() const { return dims_; }
+  const GpuSpec& gpu() const { return gpu_; }
+  const ExecPolicy& policy() const { return policy_; }
+
+  // Layers assigned to chunk c of P. The assignment is load-balanced in
+  // *compute*: the LM head on the last chunk is worth head_flops/layer_flops
+  // transformer layers, so the last chunk receives correspondingly fewer
+  // layers (as Megatron-style deployments do). In a ring schedule an
+  // unbalanced chunk would otherwise pace every turn of every worker.
+  std::vector<std::int64_t> balanced_layers(std::int64_t p) const;
+  std::int64_t layers_in_chunk(std::int64_t c, std::int64_t p) const;
+  // fp16 bytes of chunk c's parameters. `include_vocab` adds the embedding
+  // (chunk 0) / LM head (last chunk) matrices: FSDP shards and gathers them
+  // like everything else, but WeiPipe replicates them (every worker needs
+  // them every round and they only change at the iteration boundary), paying
+  // one vocab_sync per iteration instead of V*H bytes on every turn.
+  double chunk_weight_bytes(std::int64_t c, std::int64_t p,
+                            bool include_vocab = true) const;
+  // Per-iteration bytes to refresh the replicated embedding/head (WeiPipe).
+  double vocab_sync_bytes() const {
+    return (2.0 * static_cast<double>(dims_.vocab) * dims_.hidden +
+            dims_.hidden) * 2.0;
+  }
+
+  double fwd_flops_layer() const;
+  double head_flops() const;
+
+  // Per-microbatch activation bytes stored between F and B for one layer,
+  // under `policy_`: recompute keeps only the layer input (2 G S H bytes);
+  // otherwise all internals (~(8H + 2F) G S * 2 bytes + attention stats,
+  // which explode to G*heads*S^2*4 without flash attention).
+  double act_mem_layer_bytes(bool recompute_override_off = false) const;
+
+  // ---- assembled cost tables ------------------------------------------------
+  sched::StrategyCosts strategy_costs(std::int64_t p) const;
+  // Zero-bubble variants must not recompute (paper §5): full internals.
+  sched::StrategyCosts strategy_costs_zero_bubble(std::int64_t p) const;
+  sched::FsdpCollectiveCosts fsdp_collective_costs(
+      std::int64_t p, const Topology& topo) const;
+
+  // ---- static (non-activation) memory per rank -------------------------------
+  // Circulating buffers / stage weights + fp32 master + Adam for the owned
+  // shard + gradient buffers, per strategy family.
+  double static_mem_weipipe(std::int64_t p) const;
+  double static_mem_pipeline(std::int64_t p) const;  // 1F1B/GPipe/ZB
+  double static_mem_fsdp(std::int64_t p) const;
+
+  // Zero-bubble calibration constants (see DESIGN.md §5 and EXPERIMENTS.md):
+  // without recomputation the B/W passes stream far more saved-activation
+  // HBM traffic, and the split passes re-read inputs — a per-pass slowdown —
+  // while gradient buffers held between B and W inflate the resident
+  // activation footprint.
+  static constexpr double kZbPassOverhead = 1.35;
+  static constexpr double kZbActInflation = 1.45;
+  // NCCL ring collectives over TCP-class links achieve a fraction of line
+  // rate (per-step synchronization, protocol overhead, stragglers), and the
+  // loss compounds with the number of nodes in the ring (incast, straggler
+  // probability). Calibrated against the paper's FSDP columns.
+  static double collective_efficiency(int nodes) {
+    if (nodes <= 1) {
+      return 0.9;  // single-node NVLink collectives are near line rate
+    }
+    return 0.5 / (1.0 + 0.25 * (nodes - 2));
+  }
+
+ private:
+  double seconds(double flops) const {
+    return flops / gpu_.effective_flops(dims_.microbatch);
+  }
+
+  ModelDims dims_;
+  GpuSpec gpu_;
+  ExecPolicy policy_;
+};
+
+}  // namespace weipipe::sim

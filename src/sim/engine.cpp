@@ -1,0 +1,137 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace weipipe::sim {
+
+namespace {
+
+struct MsgKey {
+  int src;
+  int dst;
+  std::int64_t tag;
+  bool operator<(const MsgKey& o) const {
+    if (src != o.src) return src < o.src;
+    if (dst != o.dst) return dst < o.dst;
+    return tag < o.tag;
+  }
+};
+
+struct RankState {
+  std::size_t op_index = 0;
+  double clock = 0.0;
+  double busy = 0.0;
+  double act_bytes = 0.0;
+  double peak_act_bytes = 0.0;
+  double comm_channel_free = 0.0;
+  std::unordered_map<std::int64_t, double> collective_end;
+};
+
+}  // namespace
+
+SimResult simulate(const sched::Program& program, const Topology& topo,
+                   EngineOptions options) {
+  const int p = program.num_ranks();
+  WEIPIPE_CHECK_MSG(p == topo.ranks(),
+                    "program has " << p << " ranks, topology " << topo.ranks());
+
+  std::vector<RankState> ranks(static_cast<std::size_t>(p));
+  std::map<MsgKey, std::queue<double>> inbox;  // arrival times, FIFO per key
+  std::map<std::pair<int, int>, double> link_free;  // directed wire busy-until
+  std::map<std::pair<int, int>, LinkUsage> link_usage;
+
+  SimResult res;
+  res.program_name = program.name;
+  res.busy_seconds.assign(static_cast<std::size_t>(p), 0.0);
+  res.peak_act_bytes.assign(static_cast<std::size_t>(p), 0.0);
+
+  // Round-robin execution: each rank advances until it blocks on a Recv whose
+  // message has not been *sent* yet. (Blocking on a sent-but-in-flight
+  // message just advances the clock.)
+  bool progress = true;
+  std::size_t remaining = program.total_ops();
+  while (remaining > 0) {
+    WEIPIPE_CHECK_MSG(progress,
+                      "schedule deadlock: no rank can make progress with "
+                          << remaining << " ops remaining in '"
+                          << program.name << "'");
+    progress = false;
+    for (int r = 0; r < p; ++r) {
+      RankState& rs = ranks[static_cast<std::size_t>(r)];
+      const auto& ops = program.rank_ops[static_cast<std::size_t>(r)];
+      while (rs.op_index < ops.size()) {
+        const sched::Op& op = ops[rs.op_index];
+        if (const auto* c = std::get_if<sched::ComputeOp>(&op)) {
+          const double start = rs.clock;
+          rs.clock += c->seconds;
+          rs.busy += c->seconds;
+          rs.act_bytes += c->mem_delta;
+          rs.peak_act_bytes = std::max(rs.peak_act_bytes, rs.act_bytes);
+          if (options.record_ops && c->kind != sched::ComputeKind::kOptimizer) {
+            res.records.push_back({r, start, rs.clock, c->kind, c->microbatch,
+                                   c->chunk, rs.act_bytes});
+          }
+        } else if (const auto* s = std::get_if<sched::SendOp>(&op)) {
+          const Link link = topo.link(r, s->dst);
+          double& wire = link_free[{r, s->dst}];
+          const double depart = std::max(rs.clock, wire);
+          const double occupy = s->bytes / link.bandwidth;
+          wire = depart + occupy;
+          const double arrival = depart + occupy + link.latency;
+          inbox[MsgKey{r, s->dst, s->tag}].push(arrival);
+          res.p2p_bytes += s->bytes;
+          LinkUsage& usage = link_usage[{r, s->dst}];
+          usage.src = r;
+          usage.dst = s->dst;
+          usage.busy_seconds += occupy;
+          usage.bytes += s->bytes;
+          if (s->blocking) {
+            rs.clock = std::max(rs.clock, arrival);
+          }
+        } else if (const auto* rcv = std::get_if<sched::RecvOp>(&op)) {
+          auto it = inbox.find(MsgKey{rcv->src, r, rcv->tag});
+          if (it == inbox.end() || it->second.empty()) {
+            break;  // blocked: producer has not executed its Send yet
+          }
+          rs.clock = std::max(rs.clock, it->second.front());
+          it->second.pop();
+        } else if (const auto* cs =
+                       std::get_if<sched::CollectiveStartOp>(&op)) {
+          const double start = std::max(rs.clock, rs.comm_channel_free);
+          const double end = start + cs->seconds;
+          rs.comm_channel_free = end;
+          rs.collective_end[cs->id] = end;
+          res.collective_bytes += cs->bytes;
+        } else if (const auto* cw =
+                       std::get_if<sched::CollectiveWaitOp>(&op)) {
+          auto it = rs.collective_end.find(cw->id);
+          WEIPIPE_CHECK_MSG(it != rs.collective_end.end(),
+                            "CollectiveWait for unknown id " << cw->id);
+          rs.clock = std::max(rs.clock, it->second);
+        }
+        ++rs.op_index;
+        --remaining;
+        progress = true;
+      }
+    }
+  }
+
+  for (int r = 0; r < p; ++r) {
+    const RankState& rs = ranks[static_cast<std::size_t>(r)];
+    res.makespan = std::max(res.makespan, rs.clock);
+    res.busy_seconds[static_cast<std::size_t>(r)] = rs.busy;
+    res.peak_act_bytes[static_cast<std::size_t>(r)] = rs.peak_act_bytes;
+  }
+  res.links.reserve(link_usage.size());
+  for (const auto& [key, usage] : link_usage) {
+    res.links.push_back(usage);
+  }
+  return res;
+}
+
+}  // namespace weipipe::sim

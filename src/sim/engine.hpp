@@ -1,0 +1,96 @@
+// Discrete-event engine: executes a sched::Program against a Topology.
+//
+// Model (matches the real fabric's semantics):
+//  * each rank executes its op list in order on one compute resource;
+//  * Send hands the message to the directed (src->dst) link as soon as the
+//    op is reached (async DMA); the link is a serial FIFO pipe — a message
+//    departs when the wire frees up, occupies it for bytes/bandwidth, and
+//    lands `latency` later;
+//  * Recv blocks the rank until the matching (src, tag) message lands;
+//  * CollectiveStart/Wait model NCCL collectives overlapping compute on a
+//    per-rank communication channel.
+//
+// Outputs makespan, per-rank busy/idle (=> bubble ratio), per-rank peak
+// activation memory (from compute mem_deltas), wire byte totals, and — when
+// `record_ops` — a full op trace for the timeline renderer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/program.hpp"
+#include "sim/topology.hpp"
+
+namespace weipipe::sim {
+
+struct OpRecord {
+  int rank = 0;
+  double start = 0.0;
+  double end = 0.0;
+  sched::ComputeKind kind = sched::ComputeKind::kForward;
+  std::int64_t microbatch = -1;
+  std::int64_t chunk = -1;
+  double act_bytes_after = 0.0;  // resident activation bytes after this op
+};
+
+struct LinkUsage {
+  int src = 0;
+  int dst = 0;
+  double busy_seconds = 0.0;  // wire occupancy
+  double bytes = 0.0;
+};
+
+struct SimResult {
+  std::string program_name;
+  double makespan = 0.0;                  // seconds, max over ranks
+  std::vector<double> busy_seconds;       // per rank, compute time
+  std::vector<double> peak_act_bytes;     // per rank
+  double p2p_bytes = 0.0;                 // total point-to-point traffic
+  double collective_bytes = 0.0;          // total collective traffic
+  std::vector<LinkUsage> links;           // per directed link, p2p only
+  std::vector<OpRecord> records;          // only if record_ops
+
+  // Fraction of compute capacity idle over the iteration.
+  double bubble_ratio() const {
+    if (makespan <= 0.0 || busy_seconds.empty()) {
+      return 0.0;
+    }
+    double busy = 0.0;
+    for (double b : busy_seconds) {
+      busy += b;
+    }
+    return 1.0 - busy / (makespan * static_cast<double>(busy_seconds.size()));
+  }
+
+  double max_peak_act_bytes() const {
+    double m = 0.0;
+    for (double b : peak_act_bytes) {
+      m = std::max(m, b);
+    }
+    return m;
+  }
+
+  // The busiest directed link (the hotspot pacing the schedule), or a
+  // default LinkUsage when nothing was sent.
+  LinkUsage hottest_link() const {
+    LinkUsage hot;
+    for (const LinkUsage& l : links) {
+      if (l.busy_seconds > hot.busy_seconds) {
+        hot = l;
+      }
+    }
+    return hot;
+  }
+};
+
+struct EngineOptions {
+  bool record_ops = false;
+};
+
+// Executes the program; throws weipipe::Error on schedule deadlock
+// (a Recv whose message is never sent).
+SimResult simulate(const sched::Program& program, const Topology& topo,
+                   EngineOptions options = {});
+
+}  // namespace weipipe::sim

@@ -1,0 +1,116 @@
+#include "sim/experiment.hpp"
+
+#include "common/check.hpp"
+
+namespace weipipe::sim {
+
+const char* to_string(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::k1F1B: return "1F1B";
+    case Strategy::kGPipe: return "GPipe";
+    case Strategy::kZB1: return "ZB1";
+    case Strategy::kZB2: return "ZB2";
+    case Strategy::kFSDP: return "FSDP";
+    case Strategy::kWeiPipeNaive: return "WeiPipe-Naive";
+    case Strategy::kWeiPipeInterleave: return "WeiPipe";
+    case Strategy::kWZB1: return "WZB1";
+    case Strategy::kWZB2: return "WZB2";
+  }
+  return "?";
+}
+
+namespace {
+
+bool is_zero_bubble(Strategy s) {
+  return s == Strategy::kZB1 || s == Strategy::kZB2 || s == Strategy::kWZB1 ||
+         s == Strategy::kWZB2;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg,
+                                const Topology& topo) {
+  const std::int64_t p = topo.ranks();
+  std::int64_t n = cfg.num_microbatches > 0 ? cfg.num_microbatches : 2 * p;
+  // Ring strategies consume whole rounds.
+  const std::int64_t rounds = std::max<std::int64_t>(1, n / p);
+  if (cfg.strategy == Strategy::kWeiPipeNaive ||
+      cfg.strategy == Strategy::kWeiPipeInterleave ||
+      cfg.strategy == Strategy::kWZB1 || cfg.strategy == Strategy::kWZB2 ||
+      cfg.strategy == Strategy::kFSDP) {
+    n = rounds * p;
+  }
+
+  // Paper §5: recomputation for every strategy except the zero-bubble family
+  // (where it saves nothing and only adds compute).
+  ExecPolicy policy;
+  policy.flash_attention = true;
+  policy.recompute = !is_zero_bubble(cfg.strategy);
+  CostModel cm(cfg.dims, cfg.gpu, policy);
+
+  const sched::StrategyCosts costs = is_zero_bubble(cfg.strategy)
+                                         ? cm.strategy_costs_zero_bubble(p)
+                                         : cm.strategy_costs(p);
+
+  sched::Program prog;
+  double static_mem = 0.0;
+  switch (cfg.strategy) {
+    case Strategy::k1F1B:
+      prog = sched::build_1f1b(p, n, costs);
+      static_mem = cm.static_mem_pipeline(p);
+      break;
+    case Strategy::kGPipe:
+      prog = sched::build_gpipe(p, n, costs);
+      static_mem = cm.static_mem_pipeline(p);
+      break;
+    case Strategy::kZB1:
+      prog = sched::build_zero_bubble(p, n, sched::ZbVariant::kZb1, costs);
+      static_mem = cm.static_mem_pipeline(p);
+      break;
+    case Strategy::kZB2:
+      prog = sched::build_zero_bubble(p, n, sched::ZbVariant::kZb2, costs);
+      static_mem = cm.static_mem_pipeline(p);
+      break;
+    case Strategy::kFSDP:
+      prog = sched::build_fsdp(p, rounds, costs,
+                               cm.fsdp_collective_costs(p, topo));
+      static_mem = cm.static_mem_fsdp(p);
+      break;
+    case Strategy::kWeiPipeNaive:
+      prog = sched::build_weipipe(
+          WeiPipeSchedule(p, rounds, WeiPipeMode::kNaive), costs);
+      static_mem = cm.static_mem_weipipe(p);
+      break;
+    case Strategy::kWeiPipeInterleave:
+      prog = sched::build_weipipe(
+          WeiPipeSchedule(p, rounds, WeiPipeMode::kInterleave), costs);
+      static_mem = cm.static_mem_weipipe(p);
+      break;
+    case Strategy::kWZB1:
+      prog = sched::build_weipipe_zero_bubble(p, rounds,
+                                              sched::WzbVariant::kWzb1, costs);
+      static_mem = cm.static_mem_weipipe(p);
+      break;
+    case Strategy::kWZB2:
+      prog = sched::build_weipipe_zero_bubble(p, rounds,
+                                              sched::WzbVariant::kWzb2, costs);
+      static_mem = cm.static_mem_weipipe(p);
+      break;
+  }
+
+  ExperimentResult res;
+  res.strategy = cfg.strategy;
+  res.sim = simulate(prog, topo, {.record_ops = cfg.record_ops});
+  const double tokens = static_cast<double>(n) *
+                        static_cast<double>(cfg.dims.microbatch) *
+                        static_cast<double>(cfg.dims.seq);
+  res.tokens_per_second_per_gpu =
+      tokens / res.sim.makespan / static_cast<double>(p);
+  res.peak_mem_bytes = static_mem + res.sim.max_peak_act_bytes();
+  res.oom = res.peak_mem_bytes > cfg.gpu.mem_bytes;
+  res.bubble_ratio = res.sim.bubble_ratio();
+  res.wire_bytes = res.sim.p2p_bytes + res.sim.collective_bytes;
+  return res;
+}
+
+}  // namespace weipipe::sim

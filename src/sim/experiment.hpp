@@ -1,0 +1,51 @@
+// Experiment runner: one call = one cell of a paper table (strategy x model
+// config x cluster), returning throughput, memory, bubble ratio, traffic and
+// the OOM verdict.
+#pragma once
+
+#include <string>
+
+#include "sim/cost_model.hpp"
+#include "sim/engine.hpp"
+
+namespace weipipe::sim {
+
+enum class Strategy {
+  k1F1B,
+  kGPipe,
+  kZB1,
+  kZB2,
+  kFSDP,
+  kWeiPipeNaive,
+  kWeiPipeInterleave,
+  kWZB1,
+  kWZB2,
+};
+
+const char* to_string(Strategy strategy);
+
+struct ExperimentConfig {
+  ModelDims dims;
+  GpuSpec gpu;
+  std::int64_t num_microbatches = 0;  // N per iteration; 0 -> 2 * ranks
+  Strategy strategy = Strategy::kWeiPipeInterleave;
+  bool record_ops = false;  // keep the op trace (timeline rendering)
+};
+
+struct ExperimentResult {
+  Strategy strategy;
+  SimResult sim;
+  double tokens_per_second_per_gpu = 0.0;
+  double peak_mem_bytes = 0.0;  // static + activation peak
+  bool oom = false;
+  double bubble_ratio = 0.0;
+  double wire_bytes = 0.0;  // p2p + collective
+};
+
+// Runs one iteration of `strategy` on `topo` and derives the paper's metrics.
+// Recomputation is forced off for the zero-bubble family (paper §5) and
+// follows cfg.gpu/policy defaults otherwise.
+ExperimentResult run_experiment(const ExperimentConfig& cfg,
+                                const Topology& topo);
+
+}  // namespace weipipe::sim

@@ -1,0 +1,21 @@
+#include "sim/fabric_bridge.hpp"
+
+#include "common/check.hpp"
+
+namespace weipipe::sim {
+
+comm::LinkModel link_model_from_topology(const Topology& topo,
+                                         double time_scale) {
+  WEIPIPE_CHECK(time_scale > 0.0);
+  // Copy the topology into the closure; the model outlives the caller frame.
+  const Topology captured = topo;
+  return [captured, time_scale](int src, int dst, std::size_t bytes) {
+    const Link link = captured.link(src, dst);
+    const double sec =
+        link.latency +
+        static_cast<double>(bytes) / (link.bandwidth / time_scale);
+    return std::chrono::nanoseconds(static_cast<std::int64_t>(sec * 1e9));
+  };
+}
+
+}  // namespace weipipe::sim

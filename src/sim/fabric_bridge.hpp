@@ -1,0 +1,21 @@
+// Bridge from simulator topologies to the real fabric: build a
+// comm::LinkModel that delays message delivery according to a Topology's
+// per-pair bandwidth/latency. This lets the *real* trainers (actual
+// transformer math on threads) experience an emulated cluster — e.g. 1F1B
+// vs WeiPipe on a PCIe+Ethernet layout, in miniature.
+//
+// `time_scale` stretches/compresses emulated time: tiny in-situ models move
+// ~MB where real clusters move ~GB, so bandwidths are usually scaled down by
+// ~1e3 to keep transfer times comparable to the (CPU) compute times.
+#pragma once
+
+#include "comm/fabric.hpp"
+#include "sim/topology.hpp"
+
+namespace weipipe::sim {
+
+// Delivery delay of a message: latency + bytes / (bandwidth / time_scale).
+comm::LinkModel link_model_from_topology(const Topology& topo,
+                                         double time_scale = 1.0);
+
+}  // namespace weipipe::sim

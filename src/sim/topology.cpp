@@ -1,0 +1,59 @@
+#include "sim/topology.hpp"
+
+namespace weipipe::sim {
+
+Topology Topology::uniform(int ranks, Link link, std::string name) {
+  Topology t;
+  t.ranks_ = ranks;
+  t.gpus_per_node_ = 0;
+  t.intra_ = link;
+  t.inter_ = link;
+  t.name_ = std::move(name);
+  return t;
+}
+
+Topology Topology::hierarchical(int ranks, int gpus_per_node, Link intra,
+                                Link inter, std::string name) {
+  WEIPIPE_CHECK(gpus_per_node >= 1);
+  Topology t;
+  t.ranks_ = ranks;
+  t.gpus_per_node_ = gpus_per_node;
+  t.intra_ = intra;
+  t.inter_ = inter;
+  t.name_ = std::move(name);
+  return t;
+}
+
+Topology Topology::nvlink(int ranks, int gpus_per_node) {
+  // The paper's "NVLink environment" (Tables 2, 4): NVLink *within* each
+  // cluster; the two clusters are joined by a commodity cross-cluster
+  // interconnect (25 GbE class). With ranks <= gpus_per_node this
+  // degenerates to a pure-NVLink node (Table 4).
+  return hierarchical(ranks, gpus_per_node,
+                      Link{kNvlinkA800Bw, kNvlinkA800Lat},
+                      Link{kEthCrossClusterBw, 3e-5}, "nvlink");
+}
+
+Topology Topology::pcie_ethernet(int ranks, int gpus_per_node) {
+  return hierarchical(ranks, gpus_per_node, Link{kPcie4Bw, kPcie4Lat},
+                      Link{kEth10GBw, kEth10GLat}, "pcie+10GbE");
+}
+
+Topology Topology::nvlink_ethernet(int ranks, int gpus_per_node) {
+  return hierarchical(ranks, gpus_per_node,
+                      Link{kNvlinkA800Bw, kNvlinkA800Lat},
+                      Link{kEth10GBw, kEth10GLat}, "nvlink+10GbE");
+}
+
+Link Topology::bottleneck_ring_link() const {
+  Link worst = intra_;
+  for (int r = 0; r < ranks_; ++r) {
+    const Link l = link(r, (r + 1) % ranks_);
+    if (l.bandwidth < worst.bandwidth) {
+      worst = l;
+    }
+  }
+  return worst;
+}
+
+}  // namespace weipipe::sim

@@ -1,0 +1,217 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+
+namespace weipipe {
+
+namespace kernels {
+
+namespace {
+// Rows below this (times n) run serially; above, parallel over row blocks.
+constexpr std::int64_t kParallelFlops = 1 << 16;
+}  // namespace
+
+void matmul(const float* a, const float* b, float* c, std::int64_t m,
+            std::int64_t k, std::int64_t n, bool accumulate) {
+  auto row_block = [&](std::size_t i_sz) {
+    const std::int64_t i = static_cast<std::int64_t>(i_sz);
+    float* crow = c + i * n;
+    if (!accumulate) {
+      std::memset(crow, 0, static_cast<std::size_t>(n) * sizeof(float));
+    }
+    const float* arow = a + i * k;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) {
+        continue;
+      }
+      const float* brow = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  };
+  if (m * k * n < kParallelFlops) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      row_block(static_cast<std::size_t>(i));
+    }
+  } else {
+    parallel_for(0, static_cast<std::size_t>(m), row_block);
+  }
+}
+
+void matmul_bt(const float* a, const float* b, float* c, std::int64_t m,
+               std::int64_t k, std::int64_t n, bool accumulate) {
+  auto row_block = [&](std::size_t i_sz) {
+    const std::int64_t i = static_cast<std::int64_t>(i_sz);
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += arow[p] * brow[p];
+      }
+      if (accumulate) {
+        crow[j] += acc;
+      } else {
+        crow[j] = acc;
+      }
+    }
+  };
+  if (m * k * n < kParallelFlops) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      row_block(static_cast<std::size_t>(i));
+    }
+  } else {
+    parallel_for(0, static_cast<std::size_t>(m), row_block);
+  }
+}
+
+void matmul_at(const float* a, const float* b, float* c, std::int64_t m,
+               std::int64_t k, std::int64_t n, bool accumulate) {
+  auto row_block = [&](std::size_t i_sz) {
+    const std::int64_t i = static_cast<std::int64_t>(i_sz);
+    float* crow = c + i * n;
+    if (!accumulate) {
+      std::memset(crow, 0, static_cast<std::size_t>(n) * sizeof(float));
+    }
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = a[p * m + i];
+      if (av == 0.0f) {
+        continue;
+      }
+      const float* brow = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  };
+  if (m * k * n < kParallelFlops) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      row_block(static_cast<std::size_t>(i));
+    }
+  } else {
+    parallel_for(0, static_cast<std::size_t>(m), row_block);
+  }
+}
+
+void softmax_rows(float* x, std::int64_t rows, std::int64_t cols,
+                  const std::int64_t* valid_cols) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* row = x + r * cols;
+    const std::int64_t valid = valid_cols ? valid_cols[r] : cols;
+    WEIPIPE_CHECK_MSG(valid >= 1 && valid <= cols,
+                      "softmax valid=" << valid << " cols=" << cols);
+    float mx = row[0];
+    for (std::int64_t j = 1; j < valid; ++j) {
+      mx = std::max(mx, row[j]);
+    }
+    float denom = 0.0f;
+    for (std::int64_t j = 0; j < valid; ++j) {
+      row[j] = std::exp(row[j] - mx);
+      denom += row[j];
+    }
+    const float inv = 1.0f / denom;
+    for (std::int64_t j = 0; j < valid; ++j) {
+      row[j] *= inv;
+    }
+    for (std::int64_t j = valid; j < cols; ++j) {
+      row[j] = 0.0f;
+    }
+  }
+}
+
+}  // namespace kernels
+
+namespace {
+void check_2d(const Tensor& t, const char* name) {
+  WEIPIPE_CHECK_MSG(t.ndim() == 2, name << " must be 2-D, got " << t.shape_str());
+}
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_2d(a, "a");
+  check_2d(b, "b");
+  WEIPIPE_CHECK_MSG(a.dim(1) == b.dim(0),
+                    "matmul shape mismatch " << a.shape_str() << " x "
+                                             << b.shape_str());
+  Tensor c({a.dim(0), b.dim(1)});
+  kernels::matmul(a.data(), b.data(), c.data(), a.dim(0), a.dim(1), b.dim(1),
+                  /*accumulate=*/false);
+  return c;
+}
+
+Tensor matmul_bt(const Tensor& a, const Tensor& b) {
+  check_2d(a, "a");
+  check_2d(b, "b");
+  WEIPIPE_CHECK_MSG(a.dim(1) == b.dim(1),
+                    "matmul_bt shape mismatch " << a.shape_str() << " x "
+                                                << b.shape_str());
+  Tensor c({a.dim(0), b.dim(0)});
+  kernels::matmul_bt(a.data(), b.data(), c.data(), a.dim(0), a.dim(1), b.dim(0),
+                     /*accumulate=*/false);
+  return c;
+}
+
+Tensor matmul_at(const Tensor& a, const Tensor& b) {
+  check_2d(a, "a");
+  check_2d(b, "b");
+  WEIPIPE_CHECK_MSG(a.dim(0) == b.dim(0),
+                    "matmul_at shape mismatch " << a.shape_str() << " x "
+                                                << b.shape_str());
+  Tensor c({a.dim(1), b.dim(1)});
+  kernels::matmul_at(a.data(), b.data(), c.data(), a.dim(1), a.dim(0), b.dim(1),
+                     /*accumulate=*/false);
+  return c;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  Tensor c = a;
+  c.add_(b);
+  return c;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  Tensor c = a;
+  c.sub_(b);
+  return c;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  Tensor c = a;
+  c.mul_(b);
+  return c;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor c = a;
+  c.scale_(s);
+  return c;
+}
+
+Tensor softmax_lastdim(const Tensor& a) {
+  WEIPIPE_CHECK(a.ndim() >= 1);
+  const std::int64_t cols = a.dim(-1);
+  WEIPIPE_CHECK(cols >= 1);
+  const std::int64_t rows = a.numel() / cols;
+  Tensor out = a;
+  kernels::softmax_rows(out.data(), rows, cols, nullptr);
+  return out;
+}
+
+float silu(float x) {
+  const float s = 1.0f / (1.0f + std::exp(-x));
+  return x * s;
+}
+
+float silu_grad(float x) {
+  const float s = 1.0f / (1.0f + std::exp(-x));
+  return s * (1.0f + x * (1.0f - s));
+}
+
+}  // namespace weipipe

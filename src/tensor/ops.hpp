@@ -1,0 +1,60 @@
+// Dense kernels: the three GEMM orientations needed by forward/backward
+// linear layers, plus row softmax and small elementwise utilities.
+//
+// Two layers of API:
+//  * kernels::* operate on raw pointers (used by nn/ on flat weight chunks —
+//    a circulated WeiPipe weight chunk is one contiguous buffer, so layers
+//    address sub-matrices inside it without copies);
+//  * Tensor-level wrappers with shape checking (public API, tests, examples).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace weipipe {
+
+namespace kernels {
+
+// C[m,n] (+)= A[m,k] * B[k,n]
+void matmul(const float* a, const float* b, float* c, std::int64_t m,
+            std::int64_t k, std::int64_t n, bool accumulate);
+
+// C[m,n] (+)= A[m,k] * B[n,k]^T   (PyTorch nn.Linear forward: y = x W^T)
+void matmul_bt(const float* a, const float* b, float* c, std::int64_t m,
+               std::int64_t k, std::int64_t n, bool accumulate);
+
+// C[m,n] (+)= A[k,m]^T * B[k,n]   (weight gradient: dW = dy^T x)
+void matmul_at(const float* a, const float* b, float* c, std::int64_t m,
+               std::int64_t k, std::int64_t n, bool accumulate);
+
+// In-place numerically-stable softmax over each row of x[rows, cols].
+// `valid_cols`, if non-null, limits row r to its first valid_cols[r] entries
+// (causal attention); the remainder is set to 0.
+void softmax_rows(float* x, std::int64_t rows, std::int64_t cols,
+                  const std::int64_t* valid_cols);
+
+}  // namespace kernels
+
+// ---- Tensor-level wrappers -------------------------------------------------
+
+// a[m,k] * b[k,n] -> [m,n]
+Tensor matmul(const Tensor& a, const Tensor& b);
+// a[m,k] * b[n,k]^T -> [m,n]
+Tensor matmul_bt(const Tensor& a, const Tensor& b);
+// a[k,m]^T * b[k,n] -> [m,n]
+Tensor matmul_at(const Tensor& a, const Tensor& b);
+
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor scale(const Tensor& a, float s);
+
+// Softmax along the last dimension.
+Tensor softmax_lastdim(const Tensor& a);
+
+// SiLU (x * sigmoid(x)) and its derivative, used by the SwiGLU FFN.
+float silu(float x);
+float silu_grad(float x);
+
+}  // namespace weipipe

@@ -1,0 +1,208 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace weipipe {
+
+namespace {
+std::int64_t shape_numel(const std::vector<std::int64_t>& shape) {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) {
+    WEIPIPE_CHECK_MSG(d >= 0, "negative dimension " << d);
+    n *= d;
+  }
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::int64_t> shape) : shape_(std::move(shape)) {
+  data_.assign(static_cast<std::size_t>(shape_numel(shape_)), 0.0f);
+}
+
+Tensor Tensor::zeros(std::vector<std::int64_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::full(std::vector<std::int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(std::vector<std::int64_t> shape, Rng& rng, float mean,
+                     float stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) {
+    v = rng.normal(mean, stddev);
+  }
+  return t;
+}
+
+Tensor Tensor::from_data(std::vector<std::int64_t> shape,
+                         std::vector<float> data) {
+  WEIPIPE_CHECK_MSG(
+      shape_numel(shape) == static_cast<std::int64_t>(data.size()),
+      "shape/data mismatch");
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(data);
+  return t;
+}
+
+std::int64_t Tensor::dim(std::int64_t i) const {
+  if (i < 0) {
+    i += ndim();
+  }
+  WEIPIPE_CHECK_MSG(i >= 0 && i < ndim(), "dim index " << i << " out of range");
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+namespace {
+std::int64_t flat_offset(const std::vector<std::int64_t>& shape,
+                         std::initializer_list<std::int64_t> idx) {
+  WEIPIPE_CHECK_MSG(idx.size() == shape.size(), "rank mismatch in at()");
+  std::int64_t offset = 0;
+  std::size_t k = 0;
+  for (std::int64_t i : idx) {
+    WEIPIPE_CHECK_MSG(i >= 0 && i < shape[k],
+                      "index " << i << " out of bounds for dim " << k);
+    offset = offset * shape[k] + i;
+    ++k;
+  }
+  return offset;
+}
+}  // namespace
+
+float& Tensor::at(std::initializer_list<std::int64_t> idx) {
+  return data_[static_cast<std::size_t>(flat_offset(shape_, idx))];
+}
+
+float Tensor::at(std::initializer_list<std::int64_t> idx) const {
+  return data_[static_cast<std::size_t>(flat_offset(shape_, idx))];
+}
+
+Tensor Tensor::reshaped(std::vector<std::int64_t> shape) const {
+  WEIPIPE_CHECK_MSG(shape_numel(shape) == numel(),
+                    "reshape numel mismatch: " << shape_str());
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::fill(float value) {
+  for (float& v : data_) {
+    v = value;
+  }
+}
+
+Tensor& Tensor::add_(const Tensor& other) {
+  WEIPIPE_CHECK(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += other.data_[i];
+  }
+  return *this;
+}
+
+Tensor& Tensor::sub_(const Tensor& other) {
+  WEIPIPE_CHECK(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] -= other.data_[i];
+  }
+  return *this;
+}
+
+Tensor& Tensor::mul_(const Tensor& other) {
+  WEIPIPE_CHECK(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] *= other.data_[i];
+  }
+  return *this;
+}
+
+Tensor& Tensor::scale_(float s) {
+  for (float& v : data_) {
+    v *= s;
+  }
+  return *this;
+}
+
+Tensor& Tensor::axpy_(float s, const Tensor& other) {
+  WEIPIPE_CHECK(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += s * other.data_[i];
+  }
+  return *this;
+}
+
+float Tensor::sum() const {
+  // Pairwise-ish accumulation in double keeps strategy-equivalence tests tight.
+  double acc = 0.0;
+  for (float v : data_) {
+    acc += v;
+  }
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+  WEIPIPE_CHECK(!data_.empty());
+  return static_cast<float>(static_cast<double>(sum()) /
+                            static_cast<double>(data_.size()));
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (float v : data_) {
+    m = std::max(m, std::fabs(v));
+  }
+  return m;
+}
+
+float Tensor::norm() const {
+  double acc = 0.0;
+  for (float v : data_) {
+    acc += static_cast<double>(v) * static_cast<double>(v);
+  }
+  return static_cast<float>(std::sqrt(acc));
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream oss;
+  oss << "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    oss << (i ? ", " : "") << shape_[i];
+  }
+  oss << "]";
+  return oss.str();
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  WEIPIPE_CHECK(a.same_shape(b));
+  float m = 0.0f;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::fabs(pa[i] - pb[i]));
+  }
+  return m;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float rtol, float atol) {
+  if (!a.same_shape(b)) {
+    return false;
+  }
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    const float tol = atol + rtol * std::fabs(pb[i]);
+    if (std::fabs(pa[i] - pb[i]) > tol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace weipipe

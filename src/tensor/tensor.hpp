@@ -1,0 +1,94 @@
+// A small owning, contiguous, row-major float32 tensor.
+//
+// Design notes:
+//  * float32 storage everywhere; 16-bit precisions are *wire/storage* formats
+//    applied when tensors cross the fabric (see common/fixed_types.hpp),
+//    mirroring GPU training where compute happens in wider accumulators.
+//  * Owning and contiguous keeps the distributed executors simple: a weight
+//    chunk is one span, so quantize+send is a single pass.
+//  * Shapes use int64_t to match the paper's parameter regimes (billions of
+//    elements) in the cost model even though in-situ tensors are small.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace weipipe {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::int64_t> shape);
+
+  static Tensor zeros(std::vector<std::int64_t> shape);
+  static Tensor full(std::vector<std::int64_t> shape, float value);
+  // Gaussian init, deterministic from rng (shared across strategies).
+  static Tensor randn(std::vector<std::int64_t> shape, Rng& rng,
+                      float mean = 0.0f, float stddev = 1.0f);
+  static Tensor from_data(std::vector<std::int64_t> shape,
+                          std::vector<float> data);
+
+  const std::vector<std::int64_t>& shape() const { return shape_; }
+  std::int64_t ndim() const { return static_cast<std::int64_t>(shape_.size()); }
+  std::int64_t dim(std::int64_t i) const;
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return {data_.data(), data_.size()}; }
+  std::span<const float> span() const { return {data_.data(), data_.size()}; }
+
+  float& at(std::initializer_list<std::int64_t> idx);
+  float at(std::initializer_list<std::int64_t> idx) const;
+
+  // 2-D convenience accessors (bounds-checked only via WEIPIPE_CHECK in at()).
+  float& operator()(std::int64_t i, std::int64_t j) {
+    return data_[static_cast<std::size_t>(i * shape_[1] + j)];
+  }
+  float operator()(std::int64_t i, std::int64_t j) const {
+    return data_[static_cast<std::size_t>(i * shape_[1] + j)];
+  }
+
+  // Same storage, new shape; numel must match.
+  Tensor reshaped(std::vector<std::int64_t> shape) const;
+
+  void fill(float value);
+  void zero() { fill(0.0f); }
+
+  // In-place elementwise helpers (shapes must match exactly).
+  Tensor& add_(const Tensor& other);
+  Tensor& sub_(const Tensor& other);
+  Tensor& mul_(const Tensor& other);
+  Tensor& scale_(float s);
+  // this += s * other (axpy)
+  Tensor& axpy_(float s, const Tensor& other);
+
+  float sum() const;
+  float mean() const;
+  float abs_max() const;
+  // L2 norm of all elements.
+  float norm() const;
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  std::string shape_str() const;
+
+ private:
+  std::vector<std::int64_t> shape_;
+  std::vector<float> data_;
+};
+
+// Returns max_i |a_i - b_i|; shapes must match.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+// True if every pair differs by at most atol + rtol*|b|.
+bool allclose(const Tensor& a, const Tensor& b, float rtol = 1e-5f,
+              float atol = 1e-6f);
+
+}  // namespace weipipe

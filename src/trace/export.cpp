@@ -1,0 +1,170 @@
+#include "trace/export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace weipipe::trace {
+
+std::string records_to_csv(const sim::SimResult& result) {
+  std::ostringstream oss;
+  oss << "rank,start,end,kind,microbatch,chunk,act_bytes_after\n";
+  for (const sim::OpRecord& rec : result.records) {
+    oss << rec.rank << ',' << rec.start << ',' << rec.end << ','
+        << sched::to_string(rec.kind) << ',' << rec.microbatch << ','
+        << rec.chunk << ',' << rec.act_bytes_after << '\n';
+  }
+  return oss.str();
+}
+
+std::string experiments_to_csv(const std::vector<ExperimentRow>& rows) {
+  std::ostringstream oss;
+  oss << "label,strategy,tokens_per_s_per_gpu,peak_mem_gb,bubble,wire_gb,"
+         "oom\n";
+  for (const ExperimentRow& row : rows) {
+    const sim::ExperimentResult& r = row.result;
+    oss << row.label << ',' << sim::to_string(r.strategy) << ','
+        << r.tokens_per_second_per_gpu << ',' << r.peak_mem_bytes / 1e9 << ','
+        << r.bubble_ratio << ',' << r.wire_bytes / 1e9 << ','
+        << (r.oom ? 1 : 0) << '\n';
+  }
+  return oss.str();
+}
+
+std::string records_to_svg(const sim::SimResult& result, int width_px,
+                           int lane_height_px) {
+  WEIPIPE_CHECK_MSG(!result.records.empty(),
+                    "no op records: simulate with record_ops=true");
+  const int ranks = static_cast<int>(result.busy_seconds.size());
+  const int margin_left = 56;
+  const int margin_top = 28;
+  const int height = margin_top + ranks * (lane_height_px + 4) + 12;
+  const double x_scale =
+      (width_px - margin_left - 8) / std::max(result.makespan, 1e-12);
+
+  auto color = [](sched::ComputeKind kind) {
+    switch (kind) {
+      case sched::ComputeKind::kForward: return "#4f86c6";
+      case sched::ComputeKind::kBackward: return "#e0863d";
+      case sched::ComputeKind::kBackwardActs: return "#d4b13f";
+      case sched::ComputeKind::kBackwardWeights: return "#7c5cbf";
+      default: return "#999999";
+    }
+  };
+
+  std::ostringstream oss;
+  oss << "<svg xmlns='http://www.w3.org/2000/svg' width='" << width_px
+      << "' height='" << height << "'>\n"
+      << "<style>text{font:11px monospace;fill:#333}</style>\n"
+      << "<text x='4' y='16'>" << result.program_name << " — makespan "
+      << result.makespan << " s, bubble "
+      << static_cast<int>(result.bubble_ratio() * 100) << "%</text>\n";
+  for (int r = 0; r < ranks; ++r) {
+    const int y = margin_top + r * (lane_height_px + 4);
+    oss << "<text x='4' y='" << y + lane_height_px - 6 << "'>rank " << r
+        << "</text>\n"
+        << "<rect x='" << margin_left << "' y='" << y << "' width='"
+        << width_px - margin_left - 8 << "' height='" << lane_height_px
+        << "' fill='#f2f2f2'/>\n";
+  }
+  for (const sim::OpRecord& rec : result.records) {
+    const int y = margin_top + rec.rank * (lane_height_px + 4);
+    const double x = margin_left + rec.start * x_scale;
+    const double w = std::max(1.0, (rec.end - rec.start) * x_scale);
+    oss << "<rect x='" << x << "' y='" << y + 1 << "' width='" << w
+        << "' height='" << lane_height_px - 2 << "' fill='"
+        << color(rec.kind) << "'><title>" << sched::to_string(rec.kind)
+        << " mb" << rec.microbatch << " chunk" << rec.chunk << " ["
+        << rec.start << ", " << rec.end << ")</title></rect>\n";
+  }
+  oss << "</svg>\n";
+  return oss.str();
+}
+
+std::string experiments_to_svg(const std::vector<ExperimentRow>& rows,
+                               const std::string& title, int width_px,
+                               int height_px) {
+  WEIPIPE_CHECK_MSG(!rows.empty(), "no experiment rows");
+  // Collect group labels (in order) and strategy names (in order).
+  std::vector<std::string> labels;
+  std::vector<std::string> strategies;
+  double max_tp = 0.0;
+  for (const ExperimentRow& row : rows) {
+    if (std::find(labels.begin(), labels.end(), row.label) == labels.end()) {
+      labels.push_back(row.label);
+    }
+    const std::string strat = sim::to_string(row.result.strategy);
+    if (std::find(strategies.begin(), strategies.end(), strat) ==
+        strategies.end()) {
+      strategies.push_back(strat);
+    }
+    max_tp = std::max(max_tp, row.result.tokens_per_second_per_gpu);
+  }
+  const char* palette[] = {"#4f86c6", "#e0863d", "#56a156",
+                           "#b05bb3", "#d4b13f", "#777777"};
+  const int margin_left = 48;
+  const int margin_bottom = 36;
+  const int margin_top = 30;
+  const double plot_w = width_px - margin_left - 10;
+  const double plot_h = height_px - margin_top - margin_bottom;
+  const double group_w = plot_w / static_cast<double>(labels.size());
+  const double bar_w =
+      group_w * 0.8 / static_cast<double>(strategies.size());
+
+  std::ostringstream oss;
+  oss << "<svg xmlns='http://www.w3.org/2000/svg' width='" << width_px
+      << "' height='" << height_px << "'>\n"
+      << "<style>text{font:11px monospace;fill:#333}</style>\n"
+      << "<text x='4' y='16'>" << title
+      << " (tokens/s/GPU; x = OOM)</text>\n";
+  // Legend.
+  for (std::size_t s = 0; s < strategies.size(); ++s) {
+    const double x = margin_left + static_cast<double>(s) * 120.0;
+    oss << "<rect x='" << x << "' y='" << height_px - 14 << "' width='10' "
+        << "height='10' fill='" << palette[s % 6] << "'/>"
+        << "<text x='" << x + 14 << "' y='" << height_px - 5 << "'>"
+        << strategies[s] << "</text>\n";
+  }
+  for (std::size_t g = 0; g < labels.size(); ++g) {
+    const double gx = margin_left + static_cast<double>(g) * group_w;
+    oss << "<text x='" << gx + group_w * 0.1 << "' y='"
+        << margin_top + plot_h + 14 << "'>" << labels[g] << "</text>\n";
+    for (std::size_t s = 0; s < strategies.size(); ++s) {
+      // Find the row for (label, strategy).
+      for (const ExperimentRow& row : rows) {
+        if (row.label != labels[g] ||
+            sim::to_string(row.result.strategy) != strategies[s]) {
+          continue;
+        }
+        const double x = gx + group_w * 0.1 + static_cast<double>(s) * bar_w;
+        if (row.result.oom) {
+          oss << "<text x='" << x << "' y='" << margin_top + plot_h - 2
+              << "'>x</text>\n";
+        } else {
+          const double h = plot_h * row.result.tokens_per_second_per_gpu /
+                           std::max(max_tp, 1e-9);
+          oss << "<rect x='" << x << "' y='" << margin_top + plot_h - h
+              << "' width='" << bar_w * 0.9 << "' height='" << h
+              << "' fill='" << palette[s % 6] << "'><title>"
+              << row.result.tokens_per_second_per_gpu
+              << " tok/s/GPU</title></rect>\n";
+        }
+      }
+    }
+  }
+  oss << "</svg>\n";
+  return oss.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  WEIPIPE_CHECK_MSG(out.is_open(), "cannot open '" << path << "' for write");
+  out << content;
+  out.flush();
+  WEIPIPE_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+}  // namespace weipipe::trace

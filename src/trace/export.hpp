@@ -1,0 +1,39 @@
+// Machine-readable exports: CSV dumps of simulated op traces and experiment
+// grids, for external plotting of the reproduced figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace weipipe::trace {
+
+// One row per recorded compute op:
+// rank,start,end,kind,microbatch,chunk,act_bytes_after
+std::string records_to_csv(const sim::SimResult& result);
+
+// One row per experiment cell:
+// label,strategy,tokens_per_s_per_gpu,peak_mem_gb,bubble,wire_gb,oom
+struct ExperimentRow {
+  std::string label;
+  sim::ExperimentResult result;
+};
+std::string experiments_to_csv(const std::vector<ExperimentRow>& rows);
+
+// Standalone SVG Gantt chart of the recorded compute ops: one lane per rank,
+// forward ops in one colour, backward (and B/W split) passes in others.
+// Suitable for embedding the reproduced Figures 1-4 in reports.
+std::string records_to_svg(const sim::SimResult& result, int width_px = 960,
+                           int lane_height_px = 22);
+
+// Grouped bar chart of experiment throughputs (one group per label, one bar
+// per strategy) — self-contained SVG renderings of the scaling figures.
+std::string experiments_to_svg(const std::vector<ExperimentRow>& rows,
+                               const std::string& title, int width_px = 720,
+                               int height_px = 320);
+
+// Writes content to path, throwing weipipe::Error on I/O failure.
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace weipipe::trace

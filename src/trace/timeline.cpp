@@ -1,0 +1,66 @@
+#include "trace/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace weipipe::trace {
+
+std::string render_timeline(const sim::SimResult& result,
+                            TimelineOptions options) {
+  WEIPIPE_CHECK_MSG(!result.records.empty(),
+                    "no op records: simulate with record_ops=true");
+  const int ranks = static_cast<int>(result.busy_seconds.size());
+  const double span = result.makespan;
+  const int width = std::max(20, options.width);
+  const double cell = span / width;
+
+  std::vector<std::string> rows(static_cast<std::size_t>(ranks),
+                                std::string(static_cast<std::size_t>(width),
+                                            '.'));
+  for (const sim::OpRecord& rec : result.records) {
+    const int c0 = std::clamp(
+        static_cast<int>(std::floor(rec.start / cell)), 0, width - 1);
+    const int c1 = std::clamp(static_cast<int>(std::ceil(rec.end / cell)), c0 + 1,
+                              width);
+    std::string label = sched::to_string(rec.kind);
+    if (options.show_microbatch && rec.microbatch >= 0) {
+      label += std::to_string(rec.microbatch);
+    }
+    std::string& row = rows[static_cast<std::size_t>(rec.rank)];
+    for (int c = c0; c < c1; ++c) {
+      const std::size_t li = static_cast<std::size_t>(c - c0);
+      row[static_cast<std::size_t>(c)] =
+          li < label.size() ? label[li]
+                            : (rec.kind == sched::ComputeKind::kForward ? 'f'
+                                                                        : 'b');
+    }
+  }
+
+  std::ostringstream oss;
+  oss << "timeline '" << result.program_name << "'  (makespan "
+      << result.makespan << " s, bubble "
+      << static_cast<int>(std::round(result.bubble_ratio() * 100)) << "%)\n";
+  for (int r = 0; r < ranks; ++r) {
+    oss << "rank " << r << (r < 10 ? " " : "") << " |"
+        << rows[static_cast<std::size_t>(r)] << "|\n";
+  }
+  return oss.str();
+}
+
+std::string render_utilization(const sim::SimResult& result) {
+  std::ostringstream oss;
+  oss << "rank | busy(s) | idle% | peak act (GB)\n";
+  for (std::size_t r = 0; r < result.busy_seconds.size(); ++r) {
+    const double busy = result.busy_seconds[r];
+    const double idle =
+        result.makespan > 0 ? (1.0 - busy / result.makespan) * 100.0 : 0.0;
+    oss << r << " | " << busy << " | " << static_cast<int>(idle) << " | "
+        << result.peak_act_bytes[r] / 1e9 << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace weipipe::trace

@@ -1,0 +1,26 @@
+// ASCII timeline rendering of simulated schedules — regenerates the paper's
+// schedule diagrams (Figures 1-4) from executed op records, plus per-rank
+// utilization summaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace weipipe::trace {
+
+struct TimelineOptions {
+  int width = 100;          // characters for the time axis
+  bool show_microbatch = true;
+};
+
+// One row per rank; each compute op is drawn as a run of cells labeled with
+// its kind (F/B/Ba/Bw) and microbatch id; '.' marks idle time.
+std::string render_timeline(const sim::SimResult& result,
+                            TimelineOptions options = {});
+
+// Compact per-rank utilization table (busy seconds, idle %, peak memory).
+std::string render_utilization(const sim::SimResult& result);
+
+}  // namespace weipipe::trace

@@ -1,0 +1,41 @@
+// Shared numeric-gradient checking utilities for the nn tests.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace weipipe::testing {
+
+// Central-difference gradient of scalar-valued f at x.
+inline std::vector<double> numeric_gradient(
+    const std::function<double(std::span<const float>)>& f,
+    std::span<float> x, double eps = 1e-3) {
+  std::vector<double> grad(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float saved = x[i];
+    x[i] = static_cast<float>(saved + eps);
+    const double hi = f(x);
+    x[i] = static_cast<float>(saved - eps);
+    const double lo = f(x);
+    x[i] = saved;
+    grad[i] = (hi - lo) / (2.0 * eps);
+  }
+  return grad;
+}
+
+// Relative error between analytic and numeric gradients, max over elements.
+inline double gradient_max_rel_error(std::span<const float> analytic,
+                                     std::span<const double> numeric) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < analytic.size(); ++i) {
+    const double a = analytic[i];
+    const double n = numeric[i];
+    const double denom = std::max(1.0, std::max(std::fabs(a), std::fabs(n)));
+    worst = std::max(worst, std::fabs(a - n) / denom);
+  }
+  return worst;
+}
+
+}  // namespace weipipe::testing

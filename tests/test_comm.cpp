@@ -1,0 +1,346 @@
+// Fabric + wire + collectives: P2P semantics (ordering, tags, async),
+// ring collectives vs reference reductions, link-model delays, byte counters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "comm/collectives.hpp"
+#include "comm/fabric.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+
+namespace weipipe::comm {
+namespace {
+
+TEST(Wire, PackUnpackRoundTripFp32) {
+  std::vector<float> values = {1.0f, -2.5f, 3.14159f, 0.0f};
+  const auto bytes = pack_floats(values, WirePrecision::Fp32);
+  EXPECT_EQ(bytes.size(), 16u);
+  std::vector<float> out(4);
+  unpack_floats(bytes, WirePrecision::Fp32, out);
+  EXPECT_EQ(out, values);
+}
+
+TEST(Wire, PackFp16QuantizesOnce) {
+  std::vector<float> values = {1.0009766f};  // needs rounding in fp16
+  const auto bytes = pack_floats(values, WirePrecision::Fp16);
+  EXPECT_EQ(bytes.size(), 2u);
+  std::vector<float> out(1);
+  unpack_floats(bytes, WirePrecision::Fp16, out);
+  EXPECT_EQ(out[0], quantize_f16(values[0]));
+}
+
+TEST(Wire, SizeMismatchThrows) {
+  std::vector<std::uint8_t> bytes(6);
+  std::vector<float> out(2);  // needs 8 bytes in fp32
+  EXPECT_THROW(unpack_floats(bytes, WirePrecision::Fp32, out), Error);
+}
+
+TEST(Fabric, BasicSendRecv) {
+  Fabric fabric(2);
+  std::thread t([&] {
+    fabric.endpoint(1).send(0, 7, {1, 2, 3});
+  });
+  const auto msg = fabric.endpoint(0).recv(1, 7);
+  t.join();
+  EXPECT_EQ(msg, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(Fabric, FifoOrderPerTag) {
+  Fabric fabric(2);
+  Endpoint& sender = fabric.endpoint(1);
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    sender.send(0, 1, {i});
+  }
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(fabric.endpoint(0).recv(1, 1)[0], i);
+  }
+}
+
+TEST(Fabric, TagsIsolateStreams) {
+  Fabric fabric(2);
+  Endpoint& sender = fabric.endpoint(1);
+  sender.send(0, 2, {22});
+  sender.send(0, 1, {11});
+  // Receive in the opposite order of sending: tags keep streams apart.
+  EXPECT_EQ(fabric.endpoint(0).recv(1, 1)[0], 11);
+  EXPECT_EQ(fabric.endpoint(0).recv(1, 2)[0], 22);
+}
+
+TEST(Fabric, IrecvCompletesAfterWait) {
+  Fabric fabric(2);
+  std::vector<std::uint8_t> out;
+  Request req = fabric.endpoint(0).irecv(1, 3, &out);
+  EXPECT_TRUE(req.valid());
+  fabric.endpoint(1).send(0, 3, {42});
+  req.wait();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 42);
+}
+
+TEST(Fabric, SelfSendRejected) {
+  Fabric fabric(2);
+  EXPECT_THROW(fabric.endpoint(0).send(0, 1, {1}), Error);
+  EXPECT_THROW(fabric.endpoint(0).send(5, 1, {1}), Error);
+}
+
+TEST(Fabric, RecvTimeoutDetectsDeadlock) {
+  Fabric fabric(2);
+  fabric.set_recv_timeout(std::chrono::milliseconds(50));
+  EXPECT_THROW(fabric.endpoint(0).recv(1, 9), Error);
+}
+
+TEST(Fabric, ByteCountersTrackTraffic) {
+  Fabric fabric(3);
+  fabric.endpoint(0).send(1, 1, std::vector<std::uint8_t>(100));
+  fabric.endpoint(0).send(2, 1, std::vector<std::uint8_t>(50));
+  fabric.endpoint(2).send(1, 1, std::vector<std::uint8_t>(7));
+  EXPECT_EQ(fabric.bytes_sent(0, 1), 100u);
+  EXPECT_EQ(fabric.bytes_sent(0, 2), 50u);
+  EXPECT_EQ(fabric.bytes_sent(2, 1), 7u);
+  EXPECT_EQ(fabric.total_bytes(), 157u);
+  EXPECT_EQ(fabric.total_messages(), 3u);
+  fabric.reset_stats();
+  EXPECT_EQ(fabric.total_bytes(), 0u);
+}
+
+TEST(Fabric, LinkModelDelaysDelivery) {
+  // 1 MB at 10 MB/s => ~100 ms in flight; sender must not block.
+  Fabric fabric(2, uniform_link(10e6, 0.0));
+  Stopwatch sw;
+  fabric.endpoint(0).send(1, 1, std::vector<std::uint8_t>(1 << 20));
+  EXPECT_LT(sw.seconds(), 0.05);  // eager send returns immediately
+  (void)fabric.endpoint(1).recv(0, 1);
+  EXPECT_GE(sw.seconds(), 0.08);  // delivery honored the modeled bandwidth
+}
+
+TEST(Fabric, SendFloatsQuantizesOnWire) {
+  Fabric fabric(2);
+  std::vector<float> values = {1.0009766f, -3.3333f};
+  fabric.endpoint(0).send_floats(1, 1, values, WirePrecision::Fp16);
+  std::vector<float> out(2);
+  fabric.endpoint(1).recv_floats(0, 1, out, WirePrecision::Fp16);
+  EXPECT_EQ(out[0], quantize_f16(values[0]));
+  EXPECT_EQ(out[1], quantize_f16(values[1]));
+  EXPECT_EQ(fabric.bytes_sent(0, 1), 4u);  // 2 elements x 2 bytes
+}
+
+TEST(RunWorkers, PropagatesFirstException) {
+  Fabric fabric(3);
+  fabric.set_recv_timeout(std::chrono::milliseconds(100));
+  EXPECT_THROW(run_workers(fabric,
+                           [](int rank, Endpoint&) {
+                             if (rank == 1) {
+                               WEIPIPE_CHECK_MSG(false, "rank 1 fails");
+                             }
+                           }),
+               Error);
+}
+
+TEST(Fabric, IrecvFloatsUnpacksOnWait) {
+  Fabric fabric(2);
+  std::vector<float> out(3, 0.0f);
+  Request req = fabric.endpoint(0).irecv_floats(
+      1, 5, std::span<float>(out.data(), out.size()), WirePrecision::Fp16);
+  std::vector<float> values = {1.0f, -2.0f, 0.5f};
+  fabric.endpoint(1).send_floats(0, 5, values, WirePrecision::Fp16);
+  req.wait();
+  EXPECT_EQ(out, values);  // exactly representable in fp16
+}
+
+TEST(Fabric, BatchIsendIrecvRoundTrip) {
+  Fabric fabric(3);
+  std::vector<std::vector<float>> got(3);
+  run_workers(fabric, [&](int rank, Endpoint& ep) {
+    const int next = (rank + 1) % 3;
+    const int prev = (rank + 2) % 3;
+    std::vector<float> payload = {static_cast<float>(rank),
+                                  static_cast<float>(rank * 2)};
+    std::vector<float> inbox(2);
+    const SendSpec sends[] = {
+        {next, 9, std::span<const float>(payload.data(), payload.size()),
+         WirePrecision::Fp32}};
+    const RecvSpec recvs[] = {
+        {prev, 9, std::span<float>(inbox.data(), inbox.size()),
+         WirePrecision::Fp32}};
+    auto reqs = batch_isend_irecv(ep, sends, recvs);
+    for (Request& r : reqs) {
+      r.wait();
+    }
+    got[static_cast<std::size_t>(rank)] = inbox;
+  });
+  for (int rank = 0; rank < 3; ++rank) {
+    const int prev = (rank + 2) % 3;
+    EXPECT_EQ(got[static_cast<std::size_t>(rank)][0],
+              static_cast<float>(prev));
+    EXPECT_EQ(got[static_cast<std::size_t>(rank)][1],
+              static_cast<float>(prev * 2));
+  }
+}
+
+TEST(Collectives, ScalarAllReduceSumsDeterministically) {
+  for (int p : {1, 2, 3, 5, 8}) {
+    Fabric fabric(p);
+    std::vector<double> results(static_cast<std::size_t>(p), 0.0);
+    run_workers(fabric, [&](int rank, Endpoint& ep) {
+      results[static_cast<std::size_t>(rank)] =
+          ring_all_reduce_scalar(ep, static_cast<double>(rank) + 0.5);
+    });
+    const double expected = p * (p - 1) / 2.0 + 0.5 * p;
+    for (double r : results) {
+      EXPECT_DOUBLE_EQ(r, expected) << "p=" << p;
+    }
+  }
+}
+
+// ---- Collectives -----------------------------------------------------------------
+
+class CollectiveWorlds : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveWorlds, AllGatherCollectsEveryShard) {
+  const int p = GetParam();
+  Fabric fabric(p);
+  const std::size_t n = 5;
+  std::vector<std::vector<float>> results(static_cast<std::size_t>(p));
+  run_workers(fabric, [&](int rank, Endpoint& ep) {
+    std::vector<float> shard(n, static_cast<float>(rank + 1));
+    std::vector<float> full(n * static_cast<std::size_t>(p), -1.0f);
+    ring_all_gather(ep, shard, full, WirePrecision::Fp32);
+    results[static_cast<std::size_t>(rank)] = full;
+  });
+  for (int r = 0; r < p; ++r) {
+    for (int owner = 0; owner < p; ++owner) {
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(results[static_cast<std::size_t>(r)]
+                         [static_cast<std::size_t>(owner) * n + i],
+                  static_cast<float>(owner + 1))
+            << "rank " << r << " owner " << owner;
+      }
+    }
+  }
+}
+
+TEST_P(CollectiveWorlds, ReduceScatterSumsShards) {
+  const int p = GetParam();
+  Fabric fabric(p);
+  const std::size_t n = 4;
+  // full[owner*n + i] contributed by rank r = r*100 + owner*10 + i.
+  std::vector<std::vector<float>> results(static_cast<std::size_t>(p));
+  run_workers(fabric, [&](int rank, Endpoint& ep) {
+    std::vector<float> full(n * static_cast<std::size_t>(p));
+    for (int owner = 0; owner < p; ++owner) {
+      for (std::size_t i = 0; i < n; ++i) {
+        full[static_cast<std::size_t>(owner) * n + i] =
+            static_cast<float>(rank * 100 + owner * 10 + static_cast<int>(i));
+      }
+    }
+    std::vector<float> shard(n);
+    ring_reduce_scatter(ep, full, shard, WirePrecision::Fp32);
+    results[static_cast<std::size_t>(rank)] = shard;
+  });
+  const int rank_sum = p * (p - 1) / 2;
+  for (int r = 0; r < p; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const float expected =
+          static_cast<float>(100 * rank_sum + p * (r * 10 + static_cast<int>(i)));
+      EXPECT_EQ(results[static_cast<std::size_t>(r)][i], expected)
+          << "rank " << r << " i " << i;
+    }
+  }
+}
+
+TEST_P(CollectiveWorlds, AllReduceSumsEverywhere) {
+  const int p = GetParam();
+  Fabric fabric(p);
+  const std::size_t n = static_cast<std::size_t>(4 * p);
+  std::vector<std::vector<float>> results(static_cast<std::size_t>(p));
+  run_workers(fabric, [&](int rank, Endpoint& ep) {
+    std::vector<float> buf(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      buf[i] = static_cast<float>(rank) + static_cast<float>(i) * 0.5f;
+    }
+    ring_all_reduce(ep, std::span<float>(buf.data(), buf.size()),
+                    WirePrecision::Fp32);
+    results[static_cast<std::size_t>(rank)] = buf;
+  });
+  const float rank_sum = static_cast<float>(p * (p - 1) / 2);
+  for (int r = 0; r < p; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(results[static_cast<std::size_t>(r)][i],
+                  rank_sum + static_cast<float>(p) * static_cast<float>(i) *
+                                 0.5f,
+                  1e-4f);
+    }
+  }
+}
+
+TEST_P(CollectiveWorlds, BroadcastFromEveryRoot) {
+  const int p = GetParam();
+  for (int root = 0; root < p; ++root) {
+    Fabric fabric(p);
+    std::vector<std::vector<float>> results(static_cast<std::size_t>(p));
+    run_workers(fabric, [&](int rank, Endpoint& ep) {
+      std::vector<float> buf(3, rank == root ? 99.0f : 0.0f);
+      ring_broadcast(ep, root, std::span<float>(buf.data(), buf.size()),
+                     WirePrecision::Fp32);
+      results[static_cast<std::size_t>(rank)] = buf;
+    });
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(results[static_cast<std::size_t>(r)][0], 99.0f)
+          << "root " << root << " rank " << r;
+    }
+  }
+}
+
+TEST_P(CollectiveWorlds, ReduceToRootSumsAtRootOnly) {
+  const int p = GetParam();
+  for (int root = 0; root < p; ++root) {
+    Fabric fabric(p);
+    std::vector<float> result(2, -1.0f);
+    run_workers(fabric, [&](int rank, Endpoint& ep) {
+      std::vector<float> contribution = {static_cast<float>(rank),
+                                         static_cast<float>(2 * rank)};
+      std::vector<float> out(2, -1.0f);
+      ring_reduce_to_root(ep, root, contribution,
+                          std::span<float>(out.data(), out.size()),
+                          WirePrecision::Fp32);
+      if (rank == root) {
+        result = out;
+      }
+    });
+    EXPECT_EQ(result[0], static_cast<float>(p * (p - 1) / 2)) << root;
+    EXPECT_EQ(result[1], static_cast<float>(p * (p - 1))) << root;
+  }
+}
+
+TEST_P(CollectiveWorlds, BarrierCompletes) {
+  const int p = GetParam();
+  Fabric fabric(p);
+  std::atomic<int> after{0};
+  run_workers(fabric, [&](int, Endpoint& ep) {
+    barrier(ep);
+    after.fetch_add(1);
+  });
+  EXPECT_EQ(after.load(), p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, CollectiveWorlds,
+                         ::testing::Values(1, 2, 3, 4, 7, 8));
+
+TEST(Collectives, AllReduceRequiresDivisibleBuffer) {
+  Fabric fabric(3);
+  fabric.set_recv_timeout(std::chrono::milliseconds(200));
+  EXPECT_THROW(run_workers(fabric,
+                           [](int, Endpoint& ep) {
+                             std::vector<float> buf(4);  // not divisible by 3
+                             ring_all_reduce(
+                                 ep, std::span<float>(buf.data(), buf.size()),
+                                 WirePrecision::Fp32);
+                           }),
+               Error);
+}
+
+}  // namespace
+}  // namespace weipipe::comm

@@ -1,0 +1,155 @@
+// The paper's central communication claim, measured on the REAL fabric:
+// WeiPipe's wire volume is independent of microbatch size G and sequence
+// length S, while activation-passing pipelines scale with G*S. Also checks
+// the per-turn 3-chunk accounting (paper's 36 H^2) and the fp16 halving.
+#include <gtest/gtest.h>
+
+#include "baselines/fsdp_trainer.hpp"
+#include "baselines/pipeline_trainer.hpp"
+#include "core/weipipe_trainer.hpp"
+
+namespace weipipe {
+namespace {
+
+TrainConfig base_config(std::int64_t g, std::int64_t s) {
+  TrainConfig cfg;
+  cfg.model.vocab_size = 32;
+  cfg.model.dim = 32;
+  cfg.model.n_layers = 4;
+  cfg.model.n_heads = 4;
+  cfg.model.seq_len = s;
+  cfg.num_microbatches = 8;
+  cfg.microbatch_size = g;
+  cfg.seq_len = s;
+  cfg.seed = 3;
+  return cfg;
+}
+
+std::uint64_t iteration_bytes(Trainer& t, const TrainConfig& cfg) {
+  SyntheticDataset data(cfg.model.vocab_size, cfg.seed);
+  return t.train_iteration(data, 0).wire_bytes;
+}
+
+TEST(CommVolume, WeiPipeIndependentOfMicrobatchSizeAndSeq) {
+  std::uint64_t bytes_small;
+  std::uint64_t bytes_big_g;
+  std::uint64_t bytes_big_s;
+  {
+    const TrainConfig cfg = base_config(1, 8);
+    WeiPipeTrainer t(cfg, 4);
+    bytes_small = iteration_bytes(t, cfg);
+  }
+  {
+    const TrainConfig cfg = base_config(8, 8);  // 8x the tokens via G
+    WeiPipeTrainer t(cfg, 4);
+    bytes_big_g = iteration_bytes(t, cfg);
+  }
+  {
+    const TrainConfig cfg = base_config(1, 64);  // 8x the tokens via S
+    WeiPipeTrainer t(cfg, 4);
+    bytes_big_s = iteration_bytes(t, cfg);
+  }
+  EXPECT_EQ(bytes_small, bytes_big_g);
+  EXPECT_EQ(bytes_small, bytes_big_s);
+}
+
+TEST(CommVolume, ActivationPassingScalesWithTokens) {
+  std::uint64_t bytes_small;
+  std::uint64_t bytes_big;
+  {
+    const TrainConfig cfg = base_config(1, 8);
+    PipelineTrainer t(cfg, 4);
+    bytes_small = iteration_bytes(t, cfg);
+  }
+  {
+    const TrainConfig cfg = base_config(4, 16);  // 8x the tokens
+    PipelineTrainer t(cfg, 4);
+    bytes_big = iteration_bytes(t, cfg);
+  }
+  EXPECT_EQ(bytes_big, 8 * bytes_small);  // pure G*S*H scaling
+}
+
+TEST(CommVolume, FsdpIndependentOfTokensButCollectiveHeavy) {
+  std::uint64_t bytes_small;
+  std::uint64_t bytes_big;
+  {
+    const TrainConfig cfg = base_config(1, 8);
+    FsdpTrainer t(cfg, 4);
+    bytes_small = iteration_bytes(t, cfg);
+  }
+  {
+    const TrainConfig cfg = base_config(8, 8);
+    FsdpTrainer t(cfg, 4);
+    bytes_big = iteration_bytes(t, cfg);
+  }
+  EXPECT_EQ(bytes_small, bytes_big);  // weights only, like WeiPipe
+}
+
+TEST(CommVolume, HalfPrecisionHalvesWeightTraffic) {
+  const TrainConfig cfg32 = base_config(2, 16);
+  TrainConfig cfg16 = cfg32;
+  cfg16.precision.weights = WirePrecision::Fp16;
+  cfg16.precision.weight_grads = WirePrecision::Fp16;
+  WeiPipeTrainer t32(cfg32, 4);
+  WeiPipeTrainer t16(cfg16, 4);
+  const std::uint64_t b32 = iteration_bytes(t32, cfg32);
+  const std::uint64_t b16 = iteration_bytes(t16, cfg16);
+  EXPECT_EQ(b16 * 2, b32);
+}
+
+TEST(CommVolume, WeiPipeMovesThreeChunksPerWorkerPerTurn) {
+  // Paper §4.2.2: two weight chunks + one gradient chunk per turn (36 H^2
+  // for one-layer chunks). Verify against the fabric byte counters.
+  const TrainConfig cfg = base_config(2, 16);
+  const std::int64_t p = 4;
+  WeiPipeTrainer t(cfg, p);
+  SyntheticDataset data(cfg.model.vocab_size, cfg.seed);
+  const IterationResult res = t.train_iteration(data, 0);
+
+  const std::int64_t turns = t.schedule().total_turns();
+  // Sum of all chunk sizes (fp32 wire = 4 bytes) passed 3x per turn by each
+  // worker, plus the redistribution (2 messages per chunk) at the start.
+  Model model(cfg.model);
+  const auto chunks = model.make_chunks(p);
+  std::uint64_t per_turn = 0;
+  std::uint64_t redist = 0;
+  for (const ChunkSpec& spec : chunks) {
+    per_turn += 3ull * 4ull * static_cast<std::uint64_t>(spec.param_count);
+    redist += 2ull * 4ull * static_cast<std::uint64_t>(spec.param_count);
+  }
+  // Flow traffic: per turn, each chunk position appears exactly once per
+  // flow across the ring, so total per turn = 3 * sum(chunk bytes).
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(turns) * per_turn + redist;
+  // Redistribution skips owner==holder cases, so expected is an upper bound
+  // that is tight to within the redistribution volume.
+  EXPECT_LE(res.wire_bytes, expected);
+  EXPECT_GE(res.wire_bytes,
+            static_cast<std::uint64_t>(turns) * per_turn);
+}
+
+TEST(CommVolume, InterleaveBeatsNaivePerToken) {
+  // Naive circulates flows for ~2x the turns (2RP vs (R+2)P) to process the
+  // same tokens; at R=8 rounds the ratio is 67/39 ~ 1.7.
+  TrainConfig cfg = base_config(2, 16);
+  cfg.num_microbatches = 32;
+  WeiPipeTrainer inter(cfg, 4, {.mode = WeiPipeMode::kInterleave});
+  WeiPipeTrainer naive(cfg, 4, {.mode = WeiPipeMode::kNaive});
+  const std::uint64_t bi = iteration_bytes(inter, cfg);
+  const std::uint64_t bn = iteration_bytes(naive, cfg);
+  EXPECT_GT(bn, bi * 3 / 2);
+}
+
+TEST(CommVolume, ActivationGradPrecisionAppliesToPipeline) {
+  // bf16 activation gradients (paper mode) halve the backward act traffic.
+  TrainConfig cfg = base_config(2, 16);
+  PipelineTrainer t32(cfg, 4);
+  cfg.precision.activations = WirePrecision::Fp16;
+  cfg.precision.activation_grads = WirePrecision::Bf16;
+  PipelineTrainer t16(cfg, 4);
+  const TrainConfig cfg32 = base_config(2, 16);
+  EXPECT_EQ(iteration_bytes(t16, cfg) * 2, iteration_bytes(t32, cfg32));
+}
+
+}  // namespace
+}  // namespace weipipe

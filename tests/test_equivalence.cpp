@@ -1,0 +1,281 @@
+// The gold tests: every distributed strategy must reproduce sequential
+// training exactly (fp32 wire) on the same seed/data, across shapes, modes,
+// and worker counts. This is the semantic backbone of the whole library —
+// if WeiPipe's weight circulation, gradient ring accumulation, or ownership
+// algebra were wrong anywhere, weights would diverge within one iteration.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/fsdp_trainer.hpp"
+#include "baselines/pipeline_trainer.hpp"
+#include "core/sequential_trainer.hpp"
+#include "common/check.hpp"
+#include "core/weipipe_trainer.hpp"
+
+namespace weipipe {
+namespace {
+
+TrainConfig tiny_config(std::int64_t layers = 4, std::int64_t n_mb = 4,
+                        bool recompute = false, bool flash = true) {
+  TrainConfig cfg;
+  cfg.model.vocab_size = 64;
+  cfg.model.dim = 32;
+  cfg.model.n_layers = layers;
+  cfg.model.n_heads = 4;
+  cfg.model.seq_len = 16;
+  cfg.model.flash_attention = flash;
+  cfg.model.recompute = recompute;
+  cfg.num_microbatches = n_mb;
+  cfg.microbatch_size = 2;
+  cfg.seq_len = 16;
+  cfg.adam.lr = 1e-3f;
+  cfg.seed = 99;
+  return cfg;
+}
+
+// Max |a-b| across all blocks.
+float params_max_diff(const std::vector<std::vector<float>>& a,
+                      const std::vector<std::vector<float>>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].size(), b[i].size());
+    for (std::size_t j = 0; j < a[i].size(); ++j) {
+      m = std::max(m, std::fabs(a[i][j] - b[i][j]));
+    }
+  }
+  return m;
+}
+
+void expect_matches_sequential_tol(Trainer& candidate, const TrainConfig& cfg,
+                                   int iters, float tol);
+
+void expect_matches_sequential(Trainer& candidate, const TrainConfig& cfg,
+                               int iters, float tol) {
+  SequentialTrainer ref(cfg);
+  SyntheticDataset data(cfg.model.vocab_size, cfg.seed);
+  for (int it = 0; it < iters; ++it) {
+    const IterationResult a = ref.train_iteration(data, it);
+    const IterationResult b = candidate.train_iteration(data, it);
+    EXPECT_NEAR(a.mean_loss, b.mean_loss, 1e-4f)
+        << candidate.name() << " loss mismatch at iter " << it;
+    const float diff =
+        params_max_diff(ref.gather_block_params(),
+                        candidate.gather_block_params());
+    EXPECT_LE(diff, tol) << candidate.name() << " weights diverged at iter "
+                         << it << " (max |diff| = " << diff << ")";
+  }
+}
+
+void expect_matches_sequential_tol(Trainer& candidate, const TrainConfig& cfg,
+                                   int iters, float tol) {
+  expect_matches_sequential(candidate, cfg, iters, tol);
+}
+
+// ---- WeiPipe-Interleave ------------------------------------------------------
+
+TEST(Equivalence, WeiPipeInterleaveMatchesSequentialExactly) {
+  const TrainConfig cfg = tiny_config(/*layers=*/4, /*n_mb=*/8);
+  WeiPipeTrainer t(cfg, /*num_workers=*/4);
+  // fp32 wire + identical accumulation order => bitwise-equal weights.
+  expect_matches_sequential(t, cfg, /*iters=*/3, /*tol=*/0.0f);
+}
+
+TEST(Equivalence, WeiPipeNaiveMatchesSequentialExactly) {
+  const TrainConfig cfg = tiny_config(/*layers=*/4, /*n_mb=*/8);
+  WeiPipeTrainer t(cfg, 4, {.mode = WeiPipeMode::kNaive});
+  expect_matches_sequential(t, cfg, 3, 0.0f);
+}
+
+TEST(Equivalence, WeiPipeSingleRound) {
+  // N == P: no steady-state interleave at all (pure fill+drain).
+  const TrainConfig cfg = tiny_config(4, /*n_mb=*/4);
+  WeiPipeTrainer t(cfg, 4);
+  expect_matches_sequential(t, cfg, 2, 0.0f);
+}
+
+TEST(Equivalence, WeiPipeManyRounds) {
+  const TrainConfig cfg = tiny_config(4, /*n_mb=*/12);
+  WeiPipeTrainer t(cfg, 2);
+  expect_matches_sequential(t, cfg, 2, 0.0f);
+}
+
+TEST(Equivalence, WeiPipeUnevenChunks) {
+  // 5 layers over 3 workers: chunk sizes 2,2,1 (+embed, +head).
+  const TrainConfig cfg = tiny_config(/*layers=*/5, /*n_mb=*/6);
+  WeiPipeTrainer t(cfg, 3);
+  expect_matches_sequential(t, cfg, 2, 0.0f);
+}
+
+TEST(Equivalence, WeiPipeWithRecompute) {
+  const TrainConfig cfg = tiny_config(4, 8, /*recompute=*/true);
+  WeiPipeTrainer t(cfg, 4);
+  expect_matches_sequential(t, cfg, 2, 0.0f);
+}
+
+TEST(Equivalence, WeiPipeNaiveAttentionPath) {
+  const TrainConfig cfg = tiny_config(4, 8, false, /*flash=*/false);
+  WeiPipeTrainer t(cfg, 4);
+  expect_matches_sequential(t, cfg, 2, 0.0f);
+}
+
+TEST(Equivalence, WeiPipeBlockingCommunication) {
+  // async_prefetch off: same numerics, different overlap.
+  const TrainConfig cfg = tiny_config(4, 8);
+  WeiPipeTrainer t(cfg, 4, {.async_prefetch = false});
+  expect_matches_sequential(t, cfg, 2, 0.0f);
+}
+
+TEST(Equivalence, WeiPipeHybridDataParallelMatchesSequential) {
+  // 2 rings x 2 replicas = 4 workers; cross-replica gradient chain-reduce.
+  const TrainConfig cfg = tiny_config(/*layers=*/4, /*n_mb=*/8);
+  WeiPipeTrainer t(cfg, /*num_workers=*/2, {.dp_degree = 2});
+  // Replica partial sums associate differently than the sequential chain:
+  // tolerance instead of bitwise.
+  expect_matches_sequential_tol(t, cfg, /*iters=*/3, /*tol=*/5e-6f);
+}
+
+TEST(Equivalence, WeiPipeHybridThreeReplicas) {
+  const TrainConfig cfg = tiny_config(/*layers=*/4, /*n_mb=*/12);
+  WeiPipeTrainer t(cfg, 2, {.dp_degree = 3});
+  expect_matches_sequential_tol(t, cfg, 2, 5e-6f);
+}
+
+TEST(Equivalence, GroupedQueryAttentionMatchesSequentialExactly) {
+  // GQA (fewer kv heads) through the whole distributed stack.
+  TrainConfig cfg = tiny_config(4, 8);
+  cfg.model.n_kv_heads = 2;  // 4 query heads sharing 2 kv heads
+  WeiPipeTrainer t(cfg, 4);
+  expect_matches_sequential(t, cfg, 2, 0.0f);
+}
+
+TEST(Equivalence, GqaShrinksLayerParameters) {
+  ModelConfig mha;
+  mha.dim = 64;
+  mha.n_heads = 8;
+  ModelConfig gqa = mha;
+  gqa.n_kv_heads = 2;
+  EXPECT_LT(TransformerLayerBlock(gqa).param_count(),
+            TransformerLayerBlock(mha).param_count());
+}
+
+TEST(Equivalence, ReplicatedVocabMatchesSequential) {
+  // Production vocab handling: embedding/head replicated per worker, synced
+  // once per iteration. Vocab gradients sum in rank order (not microbatch
+  // order), so tolerance instead of bitwise.
+  const TrainConfig cfg = tiny_config(/*layers=*/4, /*n_mb=*/8);
+  WeiPipeTrainer t(cfg, 4, {.replicate_vocab = true});
+  expect_matches_sequential_tol(t, cfg, /*iters=*/3, /*tol=*/5e-6f);
+}
+
+TEST(Equivalence, ReplicatedVocabWithHybridDp) {
+  const TrainConfig cfg = tiny_config(4, 8);
+  WeiPipeTrainer t(cfg, 2, {.dp_degree = 2, .replicate_vocab = true});
+  expect_matches_sequential_tol(t, cfg, 2, 5e-6f);
+}
+
+TEST(Equivalence, ReplicatedVocabCutsWireBytes) {
+  // With a vocabulary dwarfing the layers, not circulating V*H every turn
+  // must slash fabric traffic.
+  TrainConfig cfg = tiny_config(4, 8);
+  cfg.model.vocab_size = 2048;  // emb+head ~ 2 * 2048 * 32 params
+  SyntheticDataset data(cfg.model.vocab_size, cfg.seed);
+  WeiPipeTrainer circulating(cfg, 4);
+  WeiPipeTrainer replicated(cfg, 4, {.replicate_vocab = true});
+  const std::uint64_t bytes_circ =
+      circulating.train_iteration(data, 0).wire_bytes;
+  const std::uint64_t bytes_repl =
+      replicated.train_iteration(data, 0).wire_bytes;
+  EXPECT_LT(bytes_repl, bytes_circ / 2);
+}
+
+TEST(Equivalence, WeiPipeHybridRejectsBadDivisibility) {
+  const TrainConfig cfg = tiny_config(4, 8);
+  EXPECT_THROW(WeiPipeTrainer(cfg, 3, {.dp_degree = 2}), Error);
+}
+
+// ---- Activation-passing pipelines ---------------------------------------------
+
+TEST(Equivalence, Pipeline1F1BMatchesSequentialExactly) {
+  const TrainConfig cfg = tiny_config(4, 8);
+  PipelineTrainer t(cfg, 4, {.mode = PipelineMode::k1F1B});
+  expect_matches_sequential(t, cfg, 3, 0.0f);
+}
+
+TEST(Equivalence, PipelineGPipeMatchesSequentialExactly) {
+  const TrainConfig cfg = tiny_config(4, 8);
+  PipelineTrainer t(cfg, 4, {.mode = PipelineMode::kGPipe});
+  expect_matches_sequential(t, cfg, 3, 0.0f);
+}
+
+TEST(Equivalence, Pipeline1F1BMoreMicrobatchesThanDouble) {
+  const TrainConfig cfg = tiny_config(4, 16);
+  PipelineTrainer t(cfg, 4);
+  expect_matches_sequential(t, cfg, 2, 0.0f);
+}
+
+// ---- FSDP ---------------------------------------------------------------------
+
+TEST(Equivalence, FsdpMatchesSequentialClosely) {
+  // FSDP sums per-rank partials (different association order than
+  // sequential), so allow a small float tolerance.
+  const TrainConfig cfg = tiny_config(4, 8);
+  FsdpTrainer t(cfg, 4);
+  expect_matches_sequential(t, cfg, 3, 2e-5f);
+}
+
+TEST(Equivalence, FsdpTwoRanks) {
+  const TrainConfig cfg = tiny_config(4, 8);
+  FsdpTrainer t(cfg, 2);
+  expect_matches_sequential(t, cfg, 2, 2e-5f);
+}
+
+// ---- Mixed precision (paper mode) ----------------------------------------------
+
+TEST(Equivalence, WeiPipePaperPrecisionStillLearns) {
+  TrainConfig cfg = tiny_config(4, 8);
+  cfg.precision = PrecisionConfig::paper();
+  cfg.adam.lr = 3e-3f;
+  WeiPipeTrainer t(cfg, 4);
+  SyntheticDataset data(cfg.model.vocab_size, cfg.seed);
+  // Losses are noisy across iterations (fresh microbatches each time), so
+  // compare a head window against a tail window.
+  std::vector<float> losses;
+  for (int it = 0; it < 30; ++it) {
+    losses.push_back(t.train_iteration(data, it).mean_loss);
+  }
+  auto mean_of = [&](std::size_t begin, std::size_t end) {
+    double s = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      s += losses[i];
+    }
+    return s / static_cast<double>(end - begin);
+  };
+  const double head = mean_of(0, 5);
+  const double tail = mean_of(losses.size() - 5, losses.size());
+  EXPECT_LT(tail, head - 0.02)
+      << "fp16 circulation should still converge (head=" << head
+      << ", tail=" << tail << ")";
+}
+
+TEST(Equivalence, WeiPipeFp16CloseToFp32) {
+  TrainConfig cfg16 = tiny_config(4, 8);
+  cfg16.precision = PrecisionConfig::paper();
+  TrainConfig cfg32 = tiny_config(4, 8);
+  WeiPipeTrainer t16(cfg16, 4);
+  WeiPipeTrainer t32(cfg32, 4);
+  SyntheticDataset data(cfg16.model.vocab_size, cfg16.seed);
+  for (int it = 0; it < 3; ++it) {
+    const IterationResult a = t16.train_iteration(data, it);
+    const IterationResult b = t32.train_iteration(data, it);
+    EXPECT_NEAR(a.mean_loss, b.mean_loss, 5e-2f);
+  }
+  // Half-precision circulation costs half the wire bytes.
+  const float diff = params_max_diff(t16.gather_block_params(),
+                                     t32.gather_block_params());
+  EXPECT_LT(diff, 5e-2f);
+}
+
+}  // namespace
+}  // namespace weipipe

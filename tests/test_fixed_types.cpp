@@ -1,0 +1,149 @@
+// Software fp16/bf16: conversions, rounding behaviour, edge cases, and the
+// wire-precision helpers the fabric relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/fixed_types.hpp"
+#include "common/rng.hpp"
+
+namespace weipipe {
+namespace {
+
+TEST(Float16, ExactSmallValues) {
+  // Values exactly representable in fp16 round-trip unchanged.
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, -0.25f, 65504.0f}) {
+    EXPECT_EQ(Float16(v).to_float(), v) << v;
+  }
+}
+
+TEST(Float16, KnownBitPatterns) {
+  EXPECT_EQ(Float16(1.0f).bits(), 0x3C00u);
+  EXPECT_EQ(Float16(-2.0f).bits(), 0xC000u);
+  EXPECT_EQ(Float16(65504.0f).bits(), 0x7BFFu);  // max finite half
+  EXPECT_EQ(Float16(0.0f).bits(), 0x0000u);
+  EXPECT_EQ(Float16(-0.0f).bits(), 0x8000u);
+}
+
+TEST(Float16, OverflowToInfinity) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(Float16(65536.0f).bits(), 0x7C00u);
+  EXPECT_EQ(Float16(1e10f).to_float(), inf);
+  EXPECT_EQ(Float16(-1e10f).to_float(), -inf);
+  EXPECT_EQ(Float16(inf).to_float(), inf);
+}
+
+TEST(Float16, SubnormalsRoundTrip) {
+  // Smallest positive subnormal half = 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(Float16(tiny).to_float(), tiny);
+  // Below half of the smallest subnormal flushes to zero.
+  EXPECT_EQ(Float16(std::ldexp(1.0f, -26)).to_float(), 0.0f);
+  // Smallest normal half = 2^-14.
+  const float min_normal = std::ldexp(1.0f, -14);
+  EXPECT_EQ(Float16(min_normal).to_float(), min_normal);
+}
+
+TEST(Float16, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly between 1.0 and 1+2^-10: ties to even (1.0).
+  const float mid = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(Float16(mid).to_float(), 1.0f);
+  // 1 + 3*2^-11 ties to 1 + 2*2^-11 (even mantissa).
+  const float mid2 = 1.0f + 3.0f * std::ldexp(1.0f, -11);
+  EXPECT_EQ(Float16(mid2).to_float(), 1.0f + std::ldexp(1.0f, -9));
+}
+
+TEST(Float16, NanPreserved) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(Float16(nan).to_float()));
+}
+
+TEST(Float16, QuantizationIsIdempotent) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.normal(0.0f, 10.0f);
+    const float once = quantize_f16(v);
+    EXPECT_EQ(once, quantize_f16(once)) << v;
+  }
+}
+
+TEST(Float16, RelativeErrorBounded) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.uniform(-1000.0f, 1000.0f);
+    if (std::fabs(v) < 1e-3f) {
+      continue;
+    }
+    const float q = quantize_f16(v);
+    // Half has 10 mantissa bits: rel error <= 2^-11.
+    EXPECT_LE(std::fabs(q - v) / std::fabs(v), std::ldexp(1.0f, -11) * 1.01f);
+  }
+}
+
+TEST(BFloat16, ExactValues) {
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 3.0f * std::ldexp(1.0f, 20)}) {
+    EXPECT_EQ(BFloat16(v).to_float(), v) << v;
+  }
+}
+
+TEST(BFloat16, HugeDynamicRange) {
+  // bf16 shares fp32's exponent: 1e38 survives, unlike fp16.
+  EXPECT_NEAR(BFloat16(1e38f).to_float(), 1e38f, 1e36f);
+  EXPECT_NEAR(BFloat16(1e-38f).to_float(), 1e-38f, 1e-40f);
+}
+
+TEST(BFloat16, RelativeErrorBounded) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.normal(0.0f, 100.0f);
+    if (std::fabs(v) < 1e-6f) {
+      continue;
+    }
+    // bf16 has 7 mantissa bits: rel error <= 2^-8.
+    EXPECT_LE(std::fabs(BFloat16(v).to_float() - v) / std::fabs(v),
+              std::ldexp(1.0f, -8) * 1.01f);
+  }
+}
+
+TEST(BFloat16, NanPreserved) {
+  EXPECT_TRUE(std::isnan(
+      BFloat16(std::numeric_limits<float>::quiet_NaN()).to_float()));
+}
+
+TEST(BFloat16, QuantizationIsIdempotent) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.normal(0.0f, 1.0f);
+    const float once = quantize_bf16(v);
+    EXPECT_EQ(once, quantize_bf16(once));
+  }
+}
+
+TEST(WirePrecision, BytesPerElement) {
+  EXPECT_EQ(wire_bytes_per_element(WirePrecision::Fp32), 4u);
+  EXPECT_EQ(wire_bytes_per_element(WirePrecision::Fp16), 2u);
+  EXPECT_EQ(wire_bytes_per_element(WirePrecision::Bf16), 2u);
+}
+
+TEST(WirePrecision, QuantizeDispatch) {
+  const float v = 1.0009766f;  // not representable in fp16
+  EXPECT_EQ(quantize(v, WirePrecision::Fp32), v);
+  EXPECT_EQ(quantize(v, WirePrecision::Fp16), quantize_f16(v));
+  EXPECT_EQ(quantize(v, WirePrecision::Bf16), quantize_bf16(v));
+}
+
+// Property: fp16 round-trip is monotone (order preserving) on finite values.
+TEST(Float16, MonotoneQuantization) {
+  Rng rng(1234);
+  for (int i = 0; i < 500; ++i) {
+    const float a = rng.normal(0.0f, 50.0f);
+    const float b = rng.normal(0.0f, 50.0f);
+    const float qa = quantize_f16(std::min(a, b));
+    const float qb = quantize_f16(std::max(a, b));
+    EXPECT_LE(qa, qb);
+  }
+}
+
+}  // namespace
+}  // namespace weipipe

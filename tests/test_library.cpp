@@ -1,0 +1,258 @@
+// Library surface: the umbrella header compiles and exposes everything, the
+// trainer factory builds every strategy, datasets behave, CSV exports parse.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "weipipe.hpp"
+
+namespace weipipe {
+namespace {
+
+TrainConfig tiny_config() {
+  TrainConfig cfg;
+  cfg.model.vocab_size = 32;
+  cfg.model.dim = 16;
+  cfg.model.n_layers = 4;
+  cfg.model.n_heads = 2;
+  cfg.model.seq_len = 9;
+  cfg.num_microbatches = 4;
+  cfg.microbatch_size = 1;
+  cfg.seq_len = 9;
+  cfg.seed = 31337;
+  return cfg;
+}
+
+TEST(Library, VersionExposed) {
+  EXPECT_GE(kVersionMajor, 1);
+  EXPECT_STREQ(kVersionString, "1.0.0");
+}
+
+TEST(Factory, BuildsEveryNamedStrategy) {
+  const TrainConfig cfg = tiny_config();
+  for (const std::string& name : trainer_names()) {
+    auto trainer = make_trainer(name, cfg, /*world=*/4);
+    ASSERT_NE(trainer, nullptr) << name;
+    // "weipipe" aliases "weipipe-interleave".
+    if (name != "weipipe") {
+      EXPECT_EQ(trainer->name(), name);
+    }
+    SyntheticDataset data(cfg.model.vocab_size, cfg.seed);
+    const IterationResult r = trainer->train_iteration(data, 0);
+    EXPECT_GT(r.mean_loss, 0.0f) << name;
+  }
+}
+
+TEST(Factory, RejectsUnknownName) {
+  EXPECT_THROW(make_trainer("megatron", tiny_config(), 4), Error);
+}
+
+TEST(Factory, AllStrategiesAgreeThroughTheInterface) {
+  const TrainConfig cfg = tiny_config();
+  SyntheticDataset data(cfg.model.vocab_size, cfg.seed);
+  auto ref = make_trainer("sequential", cfg, 1);
+  (void)ref->train_iteration(data, 0);
+  const auto ref_params = ref->gather_block_params();
+  for (const char* name : {"weipipe", "1f1b", "gpipe"}) {
+    auto t = make_trainer(name, cfg, 4);
+    (void)t->train_iteration(data, 0);
+    const auto params = t->gather_block_params();
+    for (std::size_t b = 0; b < params.size(); ++b) {
+      for (std::size_t i = 0; i < params[b].size(); ++i) {
+        ASSERT_EQ(params[b][i], ref_params[b][i]) << name;
+      }
+    }
+  }
+}
+
+// ---- datasets -----------------------------------------------------------------
+
+TEST(CopyDataset, StructureIsCopyAfterDelimiter) {
+  CopyDataset data(16, 5);
+  const Microbatch mb = data.make(0, 2, 9);  // payload = 4
+  for (std::int64_t g = 0; g < 2; ++g) {
+    const std::int64_t base = g * 9;
+    EXPECT_EQ(mb.tokens[static_cast<std::size_t>(base + 4)], 0);  // delimiter
+    for (std::int64_t i = 5; i < 9; ++i) {
+      EXPECT_EQ(mb.tokens[static_cast<std::size_t>(base + i)],
+                mb.tokens[static_cast<std::size_t>(base + i - 5)]);
+      EXPECT_NE(mb.tokens[static_cast<std::size_t>(base + i)], 0);
+    }
+  }
+}
+
+TEST(CopyDataset, DeterministicAndValidated) {
+  CopyDataset data(16, 5);
+  const Microbatch a = data.make(3, 2, 12);
+  const Microbatch b = data.make(3, 2, 12);
+  EXPECT_EQ(a.tokens, b.tokens);
+  EXPECT_THROW(CopyDataset(2, 1), Error);
+  EXPECT_THROW(data.make(0, 1, 3), Error);
+}
+
+TEST(CopyDataset, TrainableThroughPolymorphicInterface) {
+  TrainConfig cfg = tiny_config();
+  cfg.model.vocab_size = 12;
+  cfg.adam.lr = 3e-3f;
+  CopyDataset data(cfg.model.vocab_size, 5);
+  WeiPipeTrainer t(cfg, 4);
+  float first = 0.0f;
+  float last = 0.0f;
+  for (int it = 0; it < 20; ++it) {
+    const float loss = t.train_iteration(data, it).mean_loss;
+    if (it == 0) {
+      first = loss;
+    }
+    last = loss;
+  }
+  EXPECT_LT(last, first);  // copy task is learnable
+}
+
+TEST(Perplexity, ExpOfLoss) {
+  EXPECT_DOUBLE_EQ(perplexity(0.0), 1.0);
+  EXPECT_NEAR(perplexity(std::log(32.0)), 32.0, 1e-9);
+}
+
+// ---- topology-fabric bridge -----------------------------------------------------
+
+TEST(FabricBridge, DelaysScaleWithTopology) {
+  const sim::Topology topo = sim::Topology::hierarchical(
+      4, 2, sim::Link{1e6, 0.0}, sim::Link{1e3, 0.01}, "t");
+  const comm::LinkModel model = sim::link_model_from_topology(topo);
+  // Intra-node: 1000 bytes at 1 MB/s = 1 ms.
+  EXPECT_NEAR(model(0, 1, 1000).count() / 1e9, 1e-3, 1e-6);
+  // Inter-node: 1000 bytes at 1 KB/s + 10 ms latency = 1.01 s.
+  EXPECT_NEAR(model(1, 2, 1000).count() / 1e9, 1.01, 1e-4);
+  // time_scale divides bandwidth.
+  const comm::LinkModel scaled = sim::link_model_from_topology(topo, 10.0);
+  EXPECT_NEAR(scaled(0, 1, 1000).count() / 1e9, 1e-2, 1e-5);
+}
+
+TEST(FabricBridge, RealTrainerRunsOnEmulatedCluster) {
+  TrainConfig cfg = tiny_config();
+  const comm::LinkModel cluster = sim::link_model_from_topology(
+      sim::Topology::pcie_ethernet(4, 2), /*time_scale=*/1.0);
+  WeiPipeTrainer t(cfg, 4, {.link_model = cluster});
+  SequentialTrainer ref(cfg);
+  SyntheticDataset data(cfg.model.vocab_size, cfg.seed);
+  (void)ref.train_iteration(data, 0);
+  (void)t.train_iteration(data, 0);
+  const auto a = t.gather_block_params();
+  const auto b = ref.gather_block_params();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < a[i].size(); ++j) {
+      ASSERT_EQ(a[i][j], b[i][j]);  // topology changes timing, never math
+    }
+  }
+}
+
+// ---- CSV export ------------------------------------------------------------------
+
+TEST(Export, RecordsCsvHasHeaderAndRows) {
+  sched::StrategyCosts costs;
+  for (int i = 0; i < 2; ++i) {
+    costs.fwd_seconds.push_back(1.0);
+    costs.bwd_seconds.push_back(2.0);
+    costs.bwd_acts_seconds.push_back(1.0);
+    costs.bwd_weights_seconds.push_back(1.0);
+    costs.chunk_weight_bytes.push_back(8.0);
+    costs.act_mem_bytes.push_back(1.0);
+  }
+  costs.act_bytes = 4.0;
+  costs.act_grad_bytes = 4.0;
+  const auto prog = sched::build_1f1b(2, 2, costs);
+  const auto res = sim::simulate(
+      prog, sim::Topology::uniform(2, sim::Link{1e12, 0.0}, "t"),
+      {.record_ops = true});
+  const std::string csv = trace::records_to_csv(res);
+  std::istringstream iss(csv);
+  std::string line;
+  std::getline(iss, line);
+  EXPECT_EQ(line, "rank,start,end,kind,microbatch,chunk,act_bytes_after");
+  int rows = 0;
+  while (std::getline(iss, line)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, 8);  // 2 ranks x 2 mbs x (F + B)
+}
+
+TEST(Export, SvgContainsLanesAndOps) {
+  sched::StrategyCosts costs;
+  for (int i = 0; i < 2; ++i) {
+    costs.fwd_seconds.push_back(1.0);
+    costs.bwd_seconds.push_back(2.0);
+    costs.bwd_acts_seconds.push_back(1.0);
+    costs.bwd_weights_seconds.push_back(1.0);
+    costs.chunk_weight_bytes.push_back(8.0);
+    costs.act_mem_bytes.push_back(1.0);
+  }
+  costs.act_bytes = 4.0;
+  costs.act_grad_bytes = 4.0;
+  const auto prog = sched::build_1f1b(2, 2, costs);
+  const auto res = sim::simulate(
+      prog, sim::Topology::uniform(2, sim::Link{1e12, 0.0}, "t"),
+      {.record_ops = true});
+  const std::string svg = trace::records_to_svg(res);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("rank 0"), std::string::npos);
+  EXPECT_NE(svg.find("rank 1"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // 8 compute ops + 2 lane backgrounds = 10 rects.
+  std::size_t rects = 0;
+  for (std::size_t at = svg.find("<rect"); at != std::string::npos;
+       at = svg.find("<rect", at + 1)) {
+    ++rects;
+  }
+  EXPECT_EQ(rects, 10u);
+  EXPECT_THROW(trace::records_to_svg(sim::SimResult{}), Error);
+}
+
+TEST(Export, LinkUsageTracksHotspot) {
+  sched::Program prog;
+  prog.name = "links";
+  prog.rank_ops.resize(3);
+  prog.rank_ops[0] = {sched::SendOp{1, 1000.0, 1}, sched::SendOp{2, 10.0, 2}};
+  prog.rank_ops[1] = {sched::RecvOp{0, 1}};
+  prog.rank_ops[2] = {sched::RecvOp{0, 2}};
+  const auto res = sim::simulate(
+      prog, sim::Topology::uniform(3, sim::Link{100.0, 0.0}, "t"));
+  ASSERT_EQ(res.links.size(), 2u);
+  const sim::LinkUsage hot = res.hottest_link();
+  EXPECT_EQ(hot.src, 0);
+  EXPECT_EQ(hot.dst, 1);
+  EXPECT_DOUBLE_EQ(hot.bytes, 1000.0);
+  EXPECT_DOUBLE_EQ(hot.busy_seconds, 10.0);
+}
+
+TEST(Export, ExperimentsCsvRoundTripsToDisk) {
+  sim::ExperimentConfig cfg;
+  cfg.dims.hidden = 512;
+  cfg.dims.seq = 1024;
+  cfg.dims.microbatch = 2;
+  cfg.dims.layers = 8;
+  cfg.dims.heads = 8;
+  cfg.num_microbatches = 16;
+  cfg.strategy = sim::Strategy::kWeiPipeInterleave;
+  std::vector<trace::ExperimentRow> rows;
+  rows.push_back(
+      {"demo", sim::run_experiment(cfg, sim::Topology::nvlink(4, 8))});
+  const std::string csv = trace::experiments_to_csv(rows);
+  EXPECT_NE(csv.find("demo,WeiPipe,"), std::string::npos);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "weipipe_export_test.csv")
+          .string();
+  trace::write_file(path, csv);
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, csv);
+  std::remove(path.c_str());
+  EXPECT_THROW(trace::write_file("/nonexistent/dir/x.csv", "x"), Error);
+}
+
+}  // namespace
+}  // namespace weipipe

@@ -1,0 +1,174 @@
+// Randomized robustness sweeps ("fuzz-lite"): seeded random model/run shapes
+// through the full equivalence stack, and randomized schedule-parameter
+// sweeps through the validator + engine. Failures print the offending shape
+// so they can be pinned as regression cases.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baselines/fsdp_trainer.hpp"
+#include "baselines/pipeline_trainer.hpp"
+#include "common/rng.hpp"
+#include "core/sequential_trainer.hpp"
+#include "core/weipipe_trainer.hpp"
+#include "sched/builders.hpp"
+#include "sched/validate.hpp"
+#include "sim/engine.hpp"
+
+namespace weipipe {
+namespace {
+
+struct RandomShape {
+  TrainConfig cfg;
+  std::int64_t workers;
+  WeiPipeMode mode;
+  std::string describe;
+};
+
+RandomShape draw_shape(std::uint64_t seed) {
+  Rng rng(seed * 2654435761u + 17);
+  RandomShape out;
+  TrainConfig& cfg = out.cfg;
+  cfg.model.vocab_size = 16 + static_cast<std::int64_t>(rng.next_below(48));
+  const std::int64_t heads = 1 + static_cast<std::int64_t>(rng.next_below(4));
+  cfg.model.n_heads = heads;
+  cfg.model.dim = heads * 2 * (1 + static_cast<std::int64_t>(rng.next_below(4)));
+  cfg.model.n_layers = 2 + static_cast<std::int64_t>(rng.next_below(5));
+  // Sometimes grouped-query attention.
+  if (rng.next_below(3) == 0 && heads % 2 == 0) {
+    cfg.model.n_kv_heads = heads / 2;
+  }
+  cfg.model.flash_attention = rng.next_below(2) == 0;
+  cfg.model.recompute = rng.next_below(2) == 0;
+  cfg.model.seq_len = 4 + 2 * static_cast<std::int64_t>(rng.next_below(7));
+  cfg.seq_len = cfg.model.seq_len;
+  cfg.microbatch_size = 1 + static_cast<std::int64_t>(rng.next_below(3));
+  // Workers must divide layers' count constraint (P <= L) and N % P == 0.
+  out.workers =
+      2 + static_cast<std::int64_t>(rng.next_below(
+              static_cast<std::uint64_t>(std::max<std::int64_t>(
+                  1, cfg.model.n_layers - 1))));
+  out.workers = std::min(out.workers, cfg.model.n_layers);
+  const std::int64_t rounds = 1 + static_cast<std::int64_t>(rng.next_below(3));
+  cfg.num_microbatches = out.workers * rounds;
+  cfg.seed = seed * 101 + 7;
+  out.mode = rng.next_below(2) == 0 ? WeiPipeMode::kInterleave
+                                    : WeiPipeMode::kNaive;
+  std::ostringstream oss;
+  oss << "seed=" << seed << " V=" << cfg.model.vocab_size
+      << " H=" << cfg.model.dim << " L=" << cfg.model.n_layers
+      << " heads=" << cfg.model.n_heads << " kv=" << cfg.model.n_kv_heads
+      << " S=" << cfg.seq_len << " G=" << cfg.microbatch_size
+      << " N=" << cfg.num_microbatches << " P=" << out.workers << " "
+      << to_string(out.mode) << (cfg.model.flash_attention ? " flash" : "")
+      << (cfg.model.recompute ? " recompute" : "");
+  out.describe = oss.str();
+  return out;
+}
+
+float params_max_diff(const std::vector<std::vector<float>>& a,
+                      const std::vector<std::vector<float>>& b) {
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < a[i].size(); ++j) {
+      m = std::max(m, std::fabs(a[i][j] - b[i][j]));
+    }
+  }
+  return m;
+}
+
+class RandomEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomEquivalence, WeiPipeBitwiseOnRandomShape) {
+  const RandomShape shape = draw_shape(GetParam());
+  SCOPED_TRACE(shape.describe);
+  SequentialTrainer ref(shape.cfg);
+  WeiPipeTrainer t(shape.cfg, shape.workers, {.mode = shape.mode});
+  SyntheticDataset data(shape.cfg.model.vocab_size, shape.cfg.seed);
+  for (int it = 0; it < 2; ++it) {
+    const IterationResult a = ref.train_iteration(data, it);
+    const IterationResult b = t.train_iteration(data, it);
+    ASSERT_EQ(a.mean_loss, b.mean_loss);
+  }
+  EXPECT_EQ(params_max_diff(ref.gather_block_params(),
+                            t.gather_block_params()),
+            0.0f);
+}
+
+TEST_P(RandomEquivalence, PipelineBitwiseOnRandomShape) {
+  const RandomShape shape = draw_shape(GetParam() + 1000);
+  SCOPED_TRACE(shape.describe);
+  SequentialTrainer ref(shape.cfg);
+  PipelineTrainer t(shape.cfg, shape.workers);
+  SyntheticDataset data(shape.cfg.model.vocab_size, shape.cfg.seed);
+  (void)ref.train_iteration(data, 0);
+  (void)t.train_iteration(data, 0);
+  EXPECT_EQ(params_max_diff(ref.gather_block_params(),
+                            t.gather_block_params()),
+            0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// ---- randomized schedule programs -------------------------------------------------
+
+class RandomSchedules : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomSchedules, BuildersValidateAndSimulateForRandomParams) {
+  Rng rng(GetParam() * 7919 + 3);
+  const std::int64_t p = 2 + static_cast<std::int64_t>(rng.next_below(7));
+  const std::int64_t rounds = 1 + static_cast<std::int64_t>(rng.next_below(5));
+  const std::int64_t n = p * rounds;
+  sched::StrategyCosts costs;
+  for (std::int64_t i = 0; i < p; ++i) {
+    costs.fwd_seconds.push_back(0.5f + rng.uniform(0.0f, 2.0f));
+    costs.bwd_seconds.push_back(costs.fwd_seconds.back() *
+                                (1.5f + rng.uniform(0.0f, 2.0f)));
+    costs.bwd_acts_seconds.push_back(costs.fwd_seconds.back());
+    costs.bwd_weights_seconds.push_back(costs.fwd_seconds.back());
+    costs.chunk_weight_bytes.push_back(1.0 + rng.next_below(1000));
+    costs.act_mem_bytes.push_back(1.0 + rng.next_below(100));
+  }
+  costs.act_bytes = 1.0 + rng.next_below(1000);
+  costs.act_grad_bytes = costs.act_bytes;
+
+  SCOPED_TRACE("p=" + std::to_string(p) + " rounds=" + std::to_string(rounds));
+  const sim::Topology topo = sim::Topology::hierarchical(
+      static_cast<int>(p), std::max<int>(1, static_cast<int>(p) / 2),
+      sim::Link{1e9, 1e-6}, sim::Link{1e6, 1e-4}, "rand");
+
+  const sched::Program programs[] = {
+      sched::build_gpipe(p, n, costs),
+      sched::build_1f1b(p, n, costs),
+      sched::build_zero_bubble(p, n, sched::ZbVariant::kZb1, costs),
+      sched::build_zero_bubble(p, n, sched::ZbVariant::kZb2, costs),
+      sched::build_weipipe(WeiPipeSchedule(p, rounds, WeiPipeMode::kNaive),
+                           costs),
+      sched::build_weipipe(
+          WeiPipeSchedule(p, rounds, WeiPipeMode::kInterleave), costs),
+      sched::build_weipipe(
+          WeiPipeSchedule(p, rounds, WeiPipeMode::kInterleave), costs,
+          /*prefetch=*/false),
+      sched::build_weipipe_zero_bubble(p, rounds, sched::WzbVariant::kWzb1,
+                                       costs),
+      sched::build_weipipe_zero_bubble(p, rounds, sched::WzbVariant::kWzb2,
+                                       costs),
+  };
+  for (const sched::Program& prog : programs) {
+    const sched::ValidationReport report = sched::validate(prog);
+    ASSERT_TRUE(report.ok) << prog.name << ": "
+                           << (report.problems.empty() ? ""
+                                                       : report.problems[0]);
+    const sim::SimResult res = sim::simulate(prog, topo);
+    EXPECT_GT(res.makespan, 0.0) << prog.name;
+    EXPECT_LE(res.bubble_ratio(), 1.0) << prog.name;
+    EXPECT_GE(res.bubble_ratio(), 0.0) << prog.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSchedules,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace weipipe

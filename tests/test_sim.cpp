@@ -1,0 +1,524 @@
+// Discrete-event engine, schedule builders, topology, cost model and the
+// experiment runner: structural and analytic properties.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "sched/builders.hpp"
+#include "sim/experiment.hpp"
+#include "sched/validate.hpp"
+#include "trace/timeline.hpp"
+
+namespace weipipe {
+namespace {
+
+using sched::StrategyCosts;
+using sim::Link;
+using sim::Topology;
+
+StrategyCosts unit_costs(std::int64_t p, double fwd = 1.0, double bwd = 2.0) {
+  StrategyCosts c;
+  for (std::int64_t i = 0; i < p; ++i) {
+    c.fwd_seconds.push_back(fwd);
+    c.bwd_seconds.push_back(bwd);
+    c.bwd_acts_seconds.push_back(fwd);
+    c.bwd_weights_seconds.push_back(bwd - fwd);
+    c.chunk_weight_bytes.push_back(100.0);
+    c.act_mem_bytes.push_back(10.0);
+  }
+  c.act_bytes = 50.0;
+  c.act_grad_bytes = 50.0;
+  return c;
+}
+
+Topology ideal(int p) {
+  return Topology::uniform(p, Link{1e15, 0.0}, "ideal");
+}
+
+// ---- Engine basics --------------------------------------------------------------
+
+TEST(Engine, SingleRankComputeChain) {
+  sched::Program prog;
+  prog.name = "chain";
+  prog.rank_ops.resize(1);
+  prog.rank_ops[0] = {sched::ComputeOp{sched::ComputeKind::kForward, 0, 0, 2.5,
+                                       100.0},
+                      sched::ComputeOp{sched::ComputeKind::kBackward, 0, 0,
+                                       1.5, -100.0}};
+  const sim::SimResult res = sim::simulate(prog, ideal(1));
+  EXPECT_DOUBLE_EQ(res.makespan, 4.0);
+  EXPECT_DOUBLE_EQ(res.busy_seconds[0], 4.0);
+  EXPECT_DOUBLE_EQ(res.bubble_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(res.peak_act_bytes[0], 100.0);
+}
+
+TEST(Engine, SendRecvImposesOrdering) {
+  sched::Program prog;
+  prog.name = "pair";
+  prog.rank_ops.resize(2);
+  // Rank 0 computes 3 s then sends; rank 1 receives then computes 1 s.
+  prog.rank_ops[0] = {
+      sched::ComputeOp{sched::ComputeKind::kForward, 0, 0, 3.0, 0.0},
+      sched::SendOp{1, 8.0, 42}};
+  prog.rank_ops[1] = {
+      sched::RecvOp{0, 42},
+      sched::ComputeOp{sched::ComputeKind::kForward, 0, 1, 1.0, 0.0}};
+  const sim::SimResult res = sim::simulate(prog, ideal(2));
+  EXPECT_NEAR(res.makespan, 4.0, 1e-9);
+  EXPECT_NEAR(res.p2p_bytes, 8.0, 1e-12);
+}
+
+TEST(Engine, LinkBandwidthDelaysArrival) {
+  sched::Program prog;
+  prog.name = "slow";
+  prog.rank_ops.resize(2);
+  prog.rank_ops[0] = {sched::SendOp{1, 100.0, 1}};
+  prog.rank_ops[1] = {sched::RecvOp{0, 1}};
+  const Topology topo = Topology::uniform(2, Link{10.0, 0.5}, "slow");
+  const sim::SimResult res = sim::simulate(prog, topo);
+  // 100 bytes at 10 B/s + 0.5 s latency.
+  EXPECT_NEAR(res.makespan, 10.5, 1e-9);
+}
+
+TEST(Engine, LinkSerializesMessages) {
+  sched::Program prog;
+  prog.name = "serial";
+  prog.rank_ops.resize(2);
+  prog.rank_ops[0] = {sched::SendOp{1, 100.0, 1}, sched::SendOp{1, 100.0, 2}};
+  prog.rank_ops[1] = {sched::RecvOp{0, 2}};
+  const Topology topo = Topology::uniform(2, Link{100.0, 0.0}, "wire");
+  const sim::SimResult res = sim::simulate(prog, topo);
+  // Second message waits for the first on the wire: 1 s + 1 s.
+  EXPECT_NEAR(res.makespan, 2.0, 1e-9);
+}
+
+TEST(Engine, BlockingSendHoldsSender) {
+  sched::Program prog;
+  prog.name = "blocking";
+  prog.rank_ops.resize(2);
+  prog.rank_ops[0] = {
+      sched::SendOp{1, 100.0, 1, /*blocking=*/true},
+      sched::ComputeOp{sched::ComputeKind::kForward, 0, 0, 1.0, 0.0}};
+  prog.rank_ops[1] = {sched::RecvOp{0, 1}};
+  const Topology topo = Topology::uniform(2, Link{100.0, 0.0}, "wire");
+  const sim::SimResult res = sim::simulate(prog, topo);
+  EXPECT_NEAR(res.busy_seconds[0], 1.0, 1e-9);
+  EXPECT_NEAR(res.makespan, 2.0, 1e-9);  // compute starts only after transfer
+}
+
+TEST(Engine, DeadlockDetected) {
+  sched::Program prog;
+  prog.name = "deadlock";
+  prog.rank_ops.resize(2);
+  prog.rank_ops[0] = {sched::RecvOp{1, 1}};
+  prog.rank_ops[1] = {sched::RecvOp{0, 1}};
+  EXPECT_THROW(sim::simulate(prog, ideal(2)), Error);
+}
+
+TEST(Engine, CollectiveChannelSerializesButOverlapsCompute) {
+  sched::Program prog;
+  prog.name = "coll";
+  prog.rank_ops.resize(1);
+  prog.rank_ops[0] = {
+      sched::CollectiveStartOp{0, 5.0, 100.0},
+      sched::ComputeOp{sched::ComputeKind::kForward, 0, 0, 3.0, 0.0},
+      sched::CollectiveWaitOp{0},
+      sched::ComputeOp{sched::ComputeKind::kForward, 1, 0, 1.0, 0.0}};
+  const sim::SimResult res = sim::simulate(prog, ideal(1));
+  // Collective (5 s) overlaps the 3 s compute; wait tops up to 5, then +1.
+  EXPECT_NEAR(res.makespan, 6.0, 1e-9);
+  EXPECT_NEAR(res.collective_bytes, 100.0, 1e-12);
+}
+
+TEST(Engine, PeakMemoryTracksDeltas) {
+  sched::Program prog;
+  prog.name = "mem";
+  prog.rank_ops.resize(1);
+  prog.rank_ops[0] = {
+      sched::ComputeOp{sched::ComputeKind::kForward, 0, 0, 1.0, 30.0},
+      sched::ComputeOp{sched::ComputeKind::kForward, 1, 0, 1.0, 40.0},
+      sched::ComputeOp{sched::ComputeKind::kBackward, 0, 0, 1.0, -30.0},
+      sched::ComputeOp{sched::ComputeKind::kForward, 2, 0, 1.0, 20.0}};
+  const sim::SimResult res = sim::simulate(prog, ideal(1));
+  EXPECT_DOUBLE_EQ(res.peak_act_bytes[0], 70.0);
+}
+
+// ---- Builders ----------------------------------------------------------------------
+
+class BuilderWorlds
+    : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>> {};
+
+TEST_P(BuilderWorlds, AllProgramsExecuteWithoutDeadlock) {
+  const auto [p, n] = GetParam();
+  const StrategyCosts costs = unit_costs(p);
+  const Topology topo = ideal(static_cast<int>(p));
+  const std::int64_t rounds = n / p;
+
+  std::vector<sched::Program> programs;
+  programs.push_back(sched::build_gpipe(p, n, costs));
+  programs.push_back(sched::build_1f1b(p, n, costs));
+  programs.push_back(
+      sched::build_zero_bubble(p, n, sched::ZbVariant::kZb1, costs));
+  programs.push_back(
+      sched::build_zero_bubble(p, n, sched::ZbVariant::kZb2, costs));
+  programs.push_back(sched::build_weipipe(
+      WeiPipeSchedule(p, rounds, WeiPipeMode::kNaive), costs));
+  programs.push_back(sched::build_weipipe(
+      WeiPipeSchedule(p, rounds, WeiPipeMode::kInterleave), costs));
+  programs.push_back(sched::build_weipipe_zero_bubble(
+      p, rounds, sched::WzbVariant::kWzb1, costs));
+  programs.push_back(sched::build_weipipe_zero_bubble(
+      p, rounds, sched::WzbVariant::kWzb2, costs));
+  sched::FsdpCollectiveCosts coll;
+  for (std::int64_t c = 0; c < p; ++c) {
+    coll.all_gather_seconds.push_back(0.1);
+    coll.reduce_scatter_seconds.push_back(0.1);
+    coll.all_gather_bytes.push_back(10.0);
+    coll.reduce_scatter_bytes.push_back(10.0);
+  }
+  programs.push_back(sched::build_fsdp(p, rounds, costs, coll));
+  programs.push_back(sched::build_fsdp(p, rounds, costs, coll,
+                                       /*overlap_prefetch=*/true));
+
+  // Compute totals: every strategy must execute the same amount of F+B work
+  // per rank-equivalent (ZB splits B; FSDP replicates across ranks).
+  for (const sched::Program& prog : programs) {
+    const sim::SimResult res = sim::simulate(prog, topo);
+    EXPECT_GT(res.makespan, 0.0) << prog.name;
+    double busy = 0.0;
+    for (double b : res.busy_seconds) {
+      busy += b;
+    }
+    EXPECT_GT(busy, 0.0) << prog.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, BuilderWorlds,
+                         ::testing::Values(std::make_pair(2L, 4L),
+                                           std::make_pair(4L, 4L),
+                                           std::make_pair(4L, 8L),
+                                           std::make_pair(4L, 16L),
+                                           std::make_pair(8L, 16L)));
+
+TEST(Builders, BubbleHierarchyMatchesPaperTheory) {
+  // Under T_B = 2 T_F: naive >> interleave ~= 1f1b > zb1 > zb2; WZBs lowest.
+  const std::int64_t p = 8;
+  const std::int64_t n = 64;
+  const StrategyCosts costs = unit_costs(p);
+  const Topology topo = ideal(8);
+  auto bubble = [&](const sched::Program& prog) {
+    return sim::simulate(prog, topo).bubble_ratio();
+  };
+  const double naive = bubble(sched::build_weipipe(
+      WeiPipeSchedule(p, n / p, WeiPipeMode::kNaive), costs));
+  const double inter = bubble(sched::build_weipipe(
+      WeiPipeSchedule(p, n / p, WeiPipeMode::kInterleave), costs));
+  const double f1b = bubble(sched::build_1f1b(p, n, costs));
+  const double zb1 = bubble(
+      sched::build_zero_bubble(p, n, sched::ZbVariant::kZb1, costs));
+  const double zb2 = bubble(
+      sched::build_zero_bubble(p, n, sched::ZbVariant::kZb2, costs));
+  const double wzb1 = bubble(sched::build_weipipe_zero_bubble(
+      p, n / p, sched::WzbVariant::kWzb1, costs));
+  const double wzb2 = bubble(sched::build_weipipe_zero_bubble(
+      p, n / p, sched::WzbVariant::kWzb2, costs));
+
+  EXPECT_GT(naive, inter + 0.05);   // interleave halves the naive bubble
+  EXPECT_NEAR(inter, f1b, 0.02);    // paper: similar bubble ratios
+  EXPECT_LE(zb1, f1b);
+  EXPECT_LE(zb2, zb1 + 1e-9);
+  EXPECT_LE(wzb1, inter);
+  EXPECT_LT(wzb2, 0.05);  // "almost zero bubble"
+}
+
+TEST(Builders, ZbMemoryCapsDiffer) {
+  const std::int64_t p = 4;
+  const std::int64_t n = 16;
+  const StrategyCosts costs = unit_costs(p);
+  const Topology topo = ideal(4);
+  const sim::SimResult zb1 = sim::simulate(
+      sched::build_zero_bubble(p, n, sched::ZbVariant::kZb1, costs), topo);
+  const sim::SimResult zb2 = sim::simulate(
+      sched::build_zero_bubble(p, n, sched::ZbVariant::kZb2, costs), topo);
+  // ZB2 admits ~2x the in-flight microbatches (paper: ~2x activation memory).
+  EXPECT_GT(zb2.max_peak_act_bytes(), 1.5 * zb1.max_peak_act_bytes());
+}
+
+TEST(Builders, WeiPipeCostsMustMatchWorkerCount) {
+  const StrategyCosts costs = unit_costs(4);
+  EXPECT_THROW(sched::build_weipipe(
+                   WeiPipeSchedule(8, 2, WeiPipeMode::kInterleave), costs),
+               Error);
+}
+
+TEST(Builders, WeiPipePrefetchAblationIsSlowerOnRealLinks) {
+  const std::int64_t p = 4;
+  const StrategyCosts costs = unit_costs(p);
+  const Topology slow = Topology::uniform(4, Link{300.0, 0.0}, "slow");
+  const WeiPipeSchedule sched(p, 4, WeiPipeMode::kInterleave);
+  const double with =
+      sim::simulate(sched::build_weipipe(sched, costs, true), slow).makespan;
+  const double without =
+      sim::simulate(sched::build_weipipe(sched, costs, false), slow).makespan;
+  EXPECT_GT(without, with);  // blocking sends expose the transfers
+}
+
+TEST(Engine, RecordsCarryMemoryLevels) {
+  sched::Program prog;
+  prog.name = "mem-records";
+  prog.rank_ops.resize(1);
+  prog.rank_ops[0] = {
+      sched::ComputeOp{sched::ComputeKind::kForward, 0, 0, 1.0, 10.0},
+      sched::ComputeOp{sched::ComputeKind::kBackward, 0, 0, 1.0, -10.0}};
+  const sim::SimResult res = sim::simulate(prog, ideal(1), {.record_ops = true});
+  ASSERT_EQ(res.records.size(), 2u);
+  EXPECT_DOUBLE_EQ(res.records[0].act_bytes_after, 10.0);
+  EXPECT_DOUBLE_EQ(res.records[1].act_bytes_after, 0.0);
+}
+
+// ---- Topology ------------------------------------------------------------------------
+
+TEST(Topology, HierarchicalLinkSelection) {
+  const Topology topo = Topology::hierarchical(8, 4, Link{100.0, 0.0},
+                                               Link{1.0, 0.1}, "test");
+  EXPECT_EQ(topo.link(0, 3).bandwidth, 100.0);
+  EXPECT_EQ(topo.link(3, 4).bandwidth, 1.0);  // crosses node boundary
+  EXPECT_EQ(topo.link(4, 7).bandwidth, 100.0);
+  EXPECT_EQ(topo.link(7, 0).bandwidth, 1.0);  // ring wrap crosses nodes
+  EXPECT_EQ(topo.bottleneck_ring_link().bandwidth, 1.0);
+  EXPECT_TRUE(topo.has_internode_hops());
+  EXPECT_EQ(topo.nodes(), 2);
+}
+
+TEST(Topology, SingleNodeHasNoInternodeHops) {
+  const Topology topo = Topology::nvlink(8, 8);
+  EXPECT_FALSE(topo.has_internode_hops());
+  EXPECT_EQ(topo.nodes(), 1);
+  EXPECT_EQ(topo.bottleneck_ring_link().bandwidth, sim::kNvlinkA800Bw);
+}
+
+TEST(Topology, PaperEnvironments) {
+  const Topology t2 = Topology::nvlink(16, 8);
+  EXPECT_EQ(t2.nodes(), 2);
+  EXPECT_LT(t2.bottleneck_ring_link().bandwidth, sim::kNvlinkA800Bw);
+  const Topology t3 = Topology::pcie_ethernet(16, 4);
+  EXPECT_EQ(t3.nodes(), 4);
+  EXPECT_EQ(t3.link(0, 1).bandwidth, sim::kPcie4Bw);
+  EXPECT_EQ(t3.link(3, 4).bandwidth, sim::kEth10GBw);
+}
+
+// ---- Cost model -------------------------------------------------------------------------
+
+TEST(CostModel, ParamsPerLayerNear12H2) {
+  sim::ModelDims dims;
+  dims.hidden = 2048;
+  const double ratio =
+      static_cast<double>(dims.params_per_layer()) / (12.0 * 2048 * 2048);
+  EXPECT_NEAR(ratio, 1.0, 0.02);
+}
+
+TEST(CostModel, BalancedLayersSumToL) {
+  sim::ModelDims dims;
+  dims.layers = 32;
+  const sim::CostModel cm(dims, {}, {});
+  for (std::int64_t p : {1, 2, 4, 8, 16, 32}) {
+    const auto layers = cm.balanced_layers(p);
+    std::int64_t total = 0;
+    for (std::int64_t l : layers) {
+      total += l;
+    }
+    EXPECT_EQ(total, 32) << "p=" << p;
+    // The head-bearing last chunk never carries more layers than the others.
+    std::int64_t max_other = 0;
+    for (std::size_t c = 0; c + 1 < layers.size(); ++c) {
+      max_other = std::max(max_other, layers[c]);
+    }
+    if (p > 1) {
+      EXPECT_LE(layers.back(), max_other);
+    }
+  }
+}
+
+TEST(CostModel, RecomputeShrinksActMemory) {
+  sim::ModelDims dims;
+  const sim::CostModel with(dims, {}, {true, true});
+  const sim::CostModel without(dims, {}, {false, true});
+  EXPECT_LT(with.act_mem_layer_bytes(), 0.25 * without.act_mem_layer_bytes());
+}
+
+TEST(CostModel, FlashRemovesQuadraticTerm) {
+  sim::ModelDims dims;
+  dims.seq = 16384;
+  const sim::CostModel flash(dims, {}, {false, true});
+  const sim::CostModel noflash(dims, {}, {false, false});
+  EXPECT_GT(noflash.act_mem_layer_bytes(), 4.0 * flash.act_mem_layer_bytes());
+}
+
+TEST(CostModel, WeightBytesIndependentOfSeqAndBatch) {
+  sim::ModelDims a;
+  a.seq = 4096;
+  a.microbatch = 16;
+  sim::ModelDims b;
+  b.seq = 16384;
+  b.microbatch = 1;
+  const sim::CostModel cma(a, {}, {});
+  const sim::CostModel cmb(b, {}, {});
+  for (std::int64_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(cma.chunk_weight_bytes(c, 4), cmb.chunk_weight_bytes(c, 4));
+  }
+}
+
+TEST(CostModel, EffectiveFlopsRollsOffAtSmallBatch) {
+  sim::GpuSpec gpu;
+  EXPECT_LT(gpu.effective_flops(1), gpu.effective_flops(4));
+  EXPECT_LT(gpu.effective_flops(4), gpu.effective_flops(16));
+  EXPECT_NEAR(gpu.effective_flops(1000), gpu.peak_flops * gpu.mfu,
+              0.01 * gpu.peak_flops);
+}
+
+// ---- Experiment runner ---------------------------------------------------------------------
+
+TEST(Experiment, RunsEveryStrategy) {
+  for (auto s :
+       {sim::Strategy::k1F1B, sim::Strategy::kGPipe, sim::Strategy::kZB1,
+        sim::Strategy::kZB2, sim::Strategy::kFSDP,
+        sim::Strategy::kWeiPipeNaive, sim::Strategy::kWeiPipeInterleave,
+        sim::Strategy::kWZB1, sim::Strategy::kWZB2}) {
+    sim::ExperimentConfig cfg;
+    cfg.dims.hidden = 512;
+    cfg.dims.seq = 1024;
+    cfg.dims.microbatch = 2;
+    cfg.dims.layers = 8;
+    cfg.dims.heads = 8;
+    cfg.num_microbatches = 16;
+    cfg.strategy = s;
+    const auto res = run_experiment(cfg, Topology::nvlink(4, 8));
+    EXPECT_GT(res.tokens_per_second_per_gpu, 0.0) << sim::to_string(s);
+    EXPECT_GT(res.peak_mem_bytes, 0.0) << sim::to_string(s);
+  }
+}
+
+TEST(Experiment, OomFlagRespondsToGpuMemory) {
+  sim::ExperimentConfig cfg;
+  cfg.dims.hidden = 4096;
+  cfg.dims.seq = 16384;
+  cfg.dims.microbatch = 4;
+  cfg.dims.layers = 32;
+  cfg.strategy = sim::Strategy::kZB2;  // hungriest strategy
+  const auto big = run_experiment(cfg, Topology::nvlink(16, 8));
+  EXPECT_TRUE(big.oom);
+  cfg.gpu.mem_bytes = 1e12;  // a fictitious 1 TB GPU
+  const auto huge = run_experiment(cfg, Topology::nvlink(16, 8));
+  EXPECT_FALSE(huge.oom);
+}
+
+TEST(Experiment, WeiPipeThroughputIndependentOfWireForSmallModels) {
+  // A tiny model on huge links: naive vs interleave differ only by bubbles.
+  sim::ExperimentConfig cfg;
+  cfg.dims.hidden = 512;
+  cfg.dims.seq = 1024;
+  cfg.dims.microbatch = 4;
+  cfg.dims.layers = 8;
+  cfg.dims.heads = 8;
+  cfg.num_microbatches = 32;
+  cfg.strategy = sim::Strategy::kWeiPipeInterleave;
+  const auto inter = run_experiment(cfg, Topology::nvlink(4, 8));
+  cfg.strategy = sim::Strategy::kWeiPipeNaive;
+  const auto naive = run_experiment(cfg, Topology::nvlink(4, 8));
+  EXPECT_GT(inter.tokens_per_second_per_gpu,
+            1.2 * naive.tokens_per_second_per_gpu);
+}
+
+// ---- Program validation ---------------------------------------------------------------
+
+TEST(Validate, AllBuiltProgramsAreWellFormed) {
+  const std::int64_t p = 4;
+  const std::int64_t n = 8;
+  const StrategyCosts costs = unit_costs(p);
+  sched::FsdpCollectiveCosts coll;
+  for (std::int64_t c = 0; c < p; ++c) {
+    coll.all_gather_seconds.push_back(0.1);
+    coll.reduce_scatter_seconds.push_back(0.1);
+    coll.all_gather_bytes.push_back(10.0);
+    coll.reduce_scatter_bytes.push_back(10.0);
+  }
+  const sched::Program programs[] = {
+      sched::build_gpipe(p, n, costs),
+      sched::build_1f1b(p, n, costs),
+      sched::build_zero_bubble(p, n, sched::ZbVariant::kZb1, costs),
+      sched::build_zero_bubble(p, n, sched::ZbVariant::kZb2, costs),
+      sched::build_weipipe(WeiPipeSchedule(p, 2, WeiPipeMode::kNaive), costs),
+      sched::build_weipipe(WeiPipeSchedule(p, 2, WeiPipeMode::kInterleave),
+                           costs),
+      sched::build_weipipe_zero_bubble(p, 2, sched::WzbVariant::kWzb1, costs),
+      sched::build_weipipe_zero_bubble(p, 2, sched::WzbVariant::kWzb2, costs),
+      sched::build_fsdp(p, 2, costs, coll),
+  };
+  for (const sched::Program& prog : programs) {
+    const sched::ValidationReport report = sched::validate(prog);
+    EXPECT_TRUE(report.ok) << prog.name << ": "
+                           << (report.problems.empty()
+                                   ? ""
+                                   : report.problems.front());
+  }
+}
+
+TEST(Validate, DetectsUnmatchedMessages) {
+  sched::Program prog;
+  prog.name = "bad";
+  prog.rank_ops.resize(2);
+  prog.rank_ops[0] = {sched::SendOp{1, 4.0, 7}, sched::SendOp{1, 4.0, 7}};
+  prog.rank_ops[1] = {sched::RecvOp{0, 7}};
+  const auto report = sched::validate(prog);
+  EXPECT_FALSE(report.ok);
+  ASSERT_FALSE(report.problems.empty());
+  EXPECT_NE(report.problems.front().find("unreceived"), std::string::npos);
+}
+
+TEST(Validate, DetectsSelfSendAndBadRank) {
+  sched::Program prog;
+  prog.name = "bad2";
+  prog.rank_ops.resize(1);
+  prog.rank_ops[0] = {sched::SendOp{0, 1.0, 1}, sched::SendOp{9, 1.0, 1}};
+  const auto report = sched::validate(prog);
+  EXPECT_FALSE(report.ok);
+  EXPECT_GE(report.problems.size(), 2u);
+}
+
+TEST(Validate, DetectsMemoryLeakAndBadWait) {
+  sched::Program prog;
+  prog.name = "bad3";
+  prog.rank_ops.resize(1);
+  prog.rank_ops[0] = {
+      sched::ComputeOp{sched::ComputeKind::kForward, 0, 0, 1.0, 42.0},
+      sched::CollectiveWaitOp{5}};
+  const auto report = sched::validate(prog);
+  EXPECT_FALSE(report.ok);
+  EXPECT_GE(report.problems.size(), 2u);  // leaked bytes + unposted wait
+}
+
+// ---- Trace ------------------------------------------------------------------------------------
+
+TEST(Trace, TimelineRendersEveryRank) {
+  const std::int64_t p = 4;
+  const StrategyCosts costs = unit_costs(p);
+  const sched::Program prog = sched::build_weipipe(
+      WeiPipeSchedule(p, 2, WeiPipeMode::kInterleave), costs);
+  const sim::SimResult res =
+      sim::simulate(prog, ideal(4), {.record_ops = true});
+  const std::string timeline = trace::render_timeline(res, {.width = 60});
+  EXPECT_NE(timeline.find("rank 0"), std::string::npos);
+  EXPECT_NE(timeline.find("rank 3"), std::string::npos);
+  EXPECT_NE(timeline.find("bubble"), std::string::npos);
+  const std::string util = trace::render_utilization(res);
+  EXPECT_NE(util.find("idle%"), std::string::npos);
+}
+
+TEST(Trace, RequiresRecordedOps) {
+  const StrategyCosts costs = unit_costs(2);
+  const sched::Program prog = sched::build_1f1b(2, 2, costs);
+  const sim::SimResult res = sim::simulate(prog, ideal(2));  // no records
+  EXPECT_THROW(trace::render_timeline(res), Error);
+}
+
+}  // namespace
+}  // namespace weipipe

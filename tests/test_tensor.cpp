@@ -1,0 +1,191 @@
+// Tensor container + dense kernels: shapes, errors, and numerical identity
+// of the three GEMM orientations against a naive reference.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace weipipe {
+namespace {
+
+TEST(Tensor, ConstructionAndShape) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.numel(), 24);
+  EXPECT_EQ(t.ndim(), 3);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(-1), 4);
+  EXPECT_EQ(t.at({1, 2, 3}), 0.0f);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor t({2, 2});
+  EXPECT_THROW(t.at({2, 0}), Error);
+  EXPECT_THROW(t.at({0, 0, 0}), Error);
+}
+
+TEST(Tensor, FromDataAndReshape) {
+  Tensor t = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t(1, 2), 6.0f);
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r(2, 1), 6.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), Error);
+  EXPECT_THROW(Tensor::from_data({2, 2}, {1.0f}), Error);
+}
+
+TEST(Tensor, ElementwiseOps) {
+  Tensor a = Tensor::from_data({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::from_data({2, 2}, {10, 20, 30, 40});
+  Tensor c = add(a, b);
+  EXPECT_EQ(c(1, 1), 44.0f);
+  c = sub(b, a);
+  EXPECT_EQ(c(0, 0), 9.0f);
+  c = mul(a, a);
+  EXPECT_EQ(c(1, 0), 9.0f);
+  c = scale(a, -2.0f);
+  EXPECT_EQ(c(0, 1), -4.0f);
+  a.axpy_(0.5f, b);
+  EXPECT_EQ(a(0, 0), 6.0f);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t = Tensor::from_data({4}, {1, -5, 3, 1});
+  EXPECT_FLOAT_EQ(t.sum(), 0.0f);
+  EXPECT_FLOAT_EQ(t.mean(), 0.0f);
+  EXPECT_FLOAT_EQ(t.abs_max(), 5.0f);
+  EXPECT_FLOAT_EQ(t.norm(), 6.0f);
+}
+
+TEST(Tensor, RandnDeterministic) {
+  Rng a(42);
+  Rng b(42);
+  Tensor x = Tensor::randn({100}, a);
+  Tensor y = Tensor::randn({100}, b);
+  EXPECT_EQ(max_abs_diff(x, y), 0.0f);
+  Rng c(43);
+  Tensor z = Tensor::randn({100}, c);
+  EXPECT_GT(max_abs_diff(x, z), 0.0f);
+}
+
+TEST(Tensor, Allclose) {
+  Tensor a = Tensor::full({3}, 1.0f);
+  Tensor b = Tensor::full({3}, 1.0f + 1e-7f);
+  EXPECT_TRUE(allclose(a, b));
+  Tensor c = Tensor::full({3}, 1.1f);
+  EXPECT_FALSE(allclose(a, c));
+  EXPECT_FALSE(allclose(a, Tensor::full({4}, 1.0f)));
+}
+
+// Naive reference matmul for validation.
+Tensor ref_matmul(const Tensor& a, const Tensor& b) {
+  Tensor c({a.dim(0), b.dim(1)});
+  for (std::int64_t i = 0; i < a.dim(0); ++i) {
+    for (std::int64_t j = 0; j < b.dim(1); ++j) {
+      double acc = 0.0;
+      for (std::int64_t k = 0; k < a.dim(1); ++k) {
+        acc += static_cast<double>(a(i, k)) * b(k, j);
+      }
+      c(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  Tensor t({a.dim(1), a.dim(0)});
+  for (std::int64_t i = 0; i < a.dim(0); ++i) {
+    for (std::int64_t j = 0; j < a.dim(1); ++j) {
+      t(j, i) = a(i, j);
+    }
+  }
+  return t;
+}
+
+class MatmulShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulShapes, AllOrientationsMatchReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 10007 + k * 101 + n));
+  const Tensor a = Tensor::randn({m, k}, rng);
+  const Tensor b = Tensor::randn({k, n}, rng);
+  const Tensor ref = ref_matmul(a, b);
+  EXPECT_TRUE(allclose(matmul(a, b), ref, 1e-4f, 1e-5f));
+  // A * B == A * (B^T)^T via matmul_bt.
+  EXPECT_TRUE(allclose(matmul_bt(a, transpose(b)), ref, 1e-4f, 1e-5f));
+  // A * B == (A^T)^T * B via matmul_at.
+  EXPECT_TRUE(allclose(matmul_at(transpose(a), b), ref, 1e-4f, 1e-5f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(7, 5, 3), std::make_tuple(16, 16, 16),
+                      std::make_tuple(33, 17, 9), std::make_tuple(64, 32, 48),
+                      std::make_tuple(1, 64, 1), std::make_tuple(128, 8, 128)));
+
+TEST(Matmul, ShapeMismatchThrows) {
+  Tensor a({2, 3});
+  Tensor b({4, 5});
+  EXPECT_THROW(matmul(a, b), Error);
+  EXPECT_THROW(matmul_bt(a, b), Error);  // needs a.dim(1)==b.dim(1)
+  EXPECT_THROW(matmul_at(a, b), Error);  // needs a.dim(0)==b.dim(0)
+}
+
+TEST(Matmul, AccumulateMode) {
+  Rng rng(5);
+  const Tensor a = Tensor::randn({4, 6}, rng);
+  const Tensor b = Tensor::randn({6, 5}, rng);
+  Tensor c = Tensor::full({4, 5}, 1.0f);
+  kernels::matmul(a.data(), b.data(), c.data(), 4, 6, 5, /*accumulate=*/true);
+  Tensor expected = ref_matmul(a, b);
+  expected.add_(Tensor::full({4, 5}, 1.0f));
+  EXPECT_TRUE(allclose(c, expected, 1e-4f, 1e-5f));
+}
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(11);
+  Tensor x = Tensor::randn({8, 16}, rng, 0.0f, 3.0f);
+  const Tensor y = softmax_lastdim(x);
+  for (std::int64_t r = 0; r < 8; ++r) {
+    double sum = 0.0;
+    for (std::int64_t c = 0; c < 16; ++c) {
+      sum += y(r, c);
+      EXPECT_GE(y(r, c), 0.0f);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, NumericallyStableForLargeLogits) {
+  Tensor x = Tensor::from_data({1, 3}, {1000.0f, 1000.0f, -1000.0f});
+  const Tensor y = softmax_lastdim(x);
+  EXPECT_NEAR(y(0, 0), 0.5f, 1e-5f);
+  EXPECT_NEAR(y(0, 1), 0.5f, 1e-5f);
+  EXPECT_NEAR(y(0, 2), 0.0f, 1e-6f);
+}
+
+TEST(Softmax, CausalMaskZerosTail) {
+  Tensor x = Tensor::full({2, 4}, 1.0f);
+  const std::int64_t valid[] = {1, 3};
+  kernels::softmax_rows(x.data(), 2, 4, valid);
+  EXPECT_FLOAT_EQ(x(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(x(0, 1), 0.0f);
+  EXPECT_NEAR(x(1, 2), 1.0f / 3.0f, 1e-6f);
+  EXPECT_FLOAT_EQ(x(1, 3), 0.0f);
+}
+
+TEST(Silu, ValueAndGradientConsistent) {
+  for (float x : {-3.0f, -1.0f, 0.0f, 0.5f, 2.0f}) {
+    const double eps = 1e-4;
+    const double num =
+        (static_cast<double>(silu(x + static_cast<float>(eps))) -
+         silu(x - static_cast<float>(eps))) /
+        (2 * eps);
+    EXPECT_NEAR(silu_grad(x), num, 1e-3) << x;
+  }
+  EXPECT_FLOAT_EQ(silu(0.0f), 0.0f);
+}
+
+}  // namespace
+}  // namespace weipipe

@@ -1,0 +1,225 @@
+// Trainer-level behaviours beyond raw equivalence: construction validation,
+// loss/statistics reporting, multi-iteration data streaming, link-model
+// runs, and a broad parameterized equivalence sweep across shapes.
+#include <gtest/gtest.h>
+
+#include "baselines/fsdp_trainer.hpp"
+#include "baselines/pipeline_trainer.hpp"
+#include "core/sequential_trainer.hpp"
+#include "core/weipipe_trainer.hpp"
+
+namespace weipipe {
+namespace {
+
+TrainConfig base_config() {
+  TrainConfig cfg;
+  cfg.model.vocab_size = 32;
+  cfg.model.dim = 16;
+  cfg.model.n_layers = 4;
+  cfg.model.n_heads = 2;
+  cfg.model.seq_len = 8;
+  cfg.num_microbatches = 8;
+  cfg.microbatch_size = 1;
+  cfg.seq_len = 8;
+  cfg.seed = 404;
+  return cfg;
+}
+
+float params_max_diff(const std::vector<std::vector<float>>& a,
+                      const std::vector<std::vector<float>>& b) {
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < a[i].size(); ++j) {
+      m = std::max(m, std::fabs(a[i][j] - b[i][j]));
+    }
+  }
+  return m;
+}
+
+// ---- construction validation --------------------------------------------------
+
+TEST(TrainerValidation, WeiPipeRejectsBadShapes) {
+  const TrainConfig cfg = base_config();  // N=8, L=4
+  EXPECT_THROW(WeiPipeTrainer(cfg, 1), Error);   // ring of one
+  EXPECT_THROW(WeiPipeTrainer(cfg, 3), Error);   // 8 % 3 != 0
+  EXPECT_THROW(WeiPipeTrainer(cfg, 8), Error);   // more workers than layers
+}
+
+TEST(TrainerValidation, PipelineRejectsBadShapes) {
+  const TrainConfig cfg = base_config();
+  EXPECT_THROW(PipelineTrainer(cfg, 1), Error);
+  EXPECT_THROW(PipelineTrainer(cfg, 5), Error);  // 5 stages > 4 layers
+}
+
+TEST(TrainerValidation, FsdpRejectsBadShapes) {
+  const TrainConfig cfg = base_config();
+  EXPECT_THROW(FsdpTrainer(cfg, 1), Error);
+  EXPECT_THROW(FsdpTrainer(cfg, 3), Error);  // 8 % 3 != 0
+}
+
+TEST(TrainerValidation, ConfigValidationFires) {
+  TrainConfig cfg = base_config();
+  cfg.seq_len = 100;  // exceeds model.seq_len
+  EXPECT_THROW(SequentialTrainer{cfg}, Error);
+  TrainConfig cfg2 = base_config();
+  cfg2.model.dim = 10;  // not divisible by heads
+  EXPECT_THROW(SequentialTrainer{cfg2}, Error);
+}
+
+// ---- reporting -------------------------------------------------------------------
+
+TEST(TrainerReporting, NamesIdentifyStrategies) {
+  const TrainConfig cfg = base_config();
+  EXPECT_EQ(SequentialTrainer(cfg).name(), "sequential");
+  EXPECT_EQ(WeiPipeTrainer(cfg, 4).name(), "weipipe-interleave");
+  EXPECT_EQ(WeiPipeTrainer(cfg, 4, {.mode = WeiPipeMode::kNaive}).name(),
+            "weipipe-naive");
+  EXPECT_EQ(WeiPipeTrainer(cfg, 2, {.dp_degree = 2}).name(),
+            "weipipe-interleave-dp2");
+  EXPECT_EQ(PipelineTrainer(cfg, 4).name(), "1f1b");
+  EXPECT_EQ(PipelineTrainer(cfg, 4, {.mode = PipelineMode::kGPipe}).name(),
+            "gpipe");
+  EXPECT_EQ(FsdpTrainer(cfg, 4).name(), "fsdp");
+}
+
+TEST(TrainerReporting, IterationStatsPopulated) {
+  const TrainConfig cfg = base_config();
+  WeiPipeTrainer t(cfg, 4);
+  SyntheticDataset data(cfg.model.vocab_size, cfg.seed);
+  const IterationResult r = t.train_iteration(data, 0);
+  EXPECT_GT(r.mean_loss, 0.0f);
+  EXPECT_LT(r.mean_loss, 2.0f * std::log(static_cast<float>(
+                                    cfg.model.vocab_size)));
+  EXPECT_GT(r.wall_seconds, 0.0);
+  EXPECT_GT(r.wire_bytes, 0u);
+  EXPECT_GT(r.wire_messages, 0u);
+}
+
+TEST(TrainerReporting, SequentialMovesNoBytes) {
+  const TrainConfig cfg = base_config();
+  SequentialTrainer t(cfg);
+  SyntheticDataset data(cfg.model.vocab_size, cfg.seed);
+  EXPECT_EQ(t.train_iteration(data, 0).wire_bytes, 0u);
+}
+
+TEST(TrainerReporting, LossDependsOnIterationIndex) {
+  // The stream index advances with the iteration: same trainer state, two
+  // different iteration indices => different data => different loss.
+  const TrainConfig cfg = base_config();
+  SyntheticDataset data(cfg.model.vocab_size, cfg.seed);
+  SequentialTrainer a(cfg);
+  SequentialTrainer b(cfg);
+  const float la = a.train_iteration(data, 0).mean_loss;
+  const float lb = b.train_iteration(data, 17).mean_loss;
+  EXPECT_NE(la, lb);
+}
+
+// ---- throttled links keep exactness ------------------------------------------------
+
+TEST(TrainerLinks, ThrottledFabricChangesTimingNotMath) {
+  const TrainConfig cfg = base_config();
+  SequentialTrainer ref(cfg);
+  WeiPipeTrainer slow(cfg, 4,
+                      {.link_model = comm::uniform_link(5e6, 1e-4)});
+  SyntheticDataset data(cfg.model.vocab_size, cfg.seed);
+  (void)ref.train_iteration(data, 0);
+  (void)slow.train_iteration(data, 0);
+  EXPECT_EQ(params_max_diff(ref.gather_block_params(),
+                            slow.gather_block_params()),
+            0.0f);
+}
+
+// ---- parameterized equivalence sweep -------------------------------------------------
+
+struct SweepCase {
+  std::int64_t layers;
+  std::int64_t workers;
+  std::int64_t n_mb;
+  std::int64_t g;
+  std::int64_t s;
+  WeiPipeMode mode;
+};
+
+class WeiPipeSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(WeiPipeSweep, MatchesSequentialBitwise) {
+  const SweepCase c = GetParam();
+  TrainConfig cfg = base_config();
+  cfg.model.n_layers = c.layers;
+  cfg.num_microbatches = c.n_mb;
+  cfg.microbatch_size = c.g;
+  cfg.model.seq_len = c.s;
+  cfg.seq_len = c.s;
+  SequentialTrainer ref(cfg);
+  WeiPipeTrainer t(cfg, c.workers, {.mode = c.mode});
+  SyntheticDataset data(cfg.model.vocab_size, cfg.seed);
+  for (int it = 0; it < 2; ++it) {
+    (void)ref.train_iteration(data, it);
+    (void)t.train_iteration(data, it);
+  }
+  EXPECT_EQ(params_max_diff(ref.gather_block_params(),
+                            t.gather_block_params()),
+            0.0f)
+      << "L=" << c.layers << " P=" << c.workers << " N=" << c.n_mb;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WeiPipeSweep,
+    ::testing::Values(
+        SweepCase{2, 2, 2, 1, 4, WeiPipeMode::kInterleave},
+        SweepCase{2, 2, 6, 2, 8, WeiPipeMode::kInterleave},
+        SweepCase{4, 2, 4, 1, 8, WeiPipeMode::kInterleave},
+        SweepCase{4, 4, 8, 2, 8, WeiPipeMode::kInterleave},
+        SweepCase{6, 3, 9, 1, 4, WeiPipeMode::kInterleave},
+        SweepCase{6, 6, 6, 1, 4, WeiPipeMode::kInterleave},
+        SweepCase{5, 5, 10, 1, 4, WeiPipeMode::kInterleave},
+        SweepCase{8, 4, 8, 1, 4, WeiPipeMode::kInterleave},
+        SweepCase{2, 2, 4, 1, 4, WeiPipeMode::kNaive},
+        SweepCase{4, 4, 8, 1, 4, WeiPipeMode::kNaive},
+        SweepCase{6, 3, 6, 2, 8, WeiPipeMode::kNaive},
+        SweepCase{5, 5, 5, 1, 4, WeiPipeMode::kNaive}));
+
+class BaselineSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(BaselineSweep, PipelineAndFsdpAcrossWorldSizes) {
+  const std::int64_t p = GetParam();
+  TrainConfig cfg = base_config();
+  cfg.model.n_layers = 4;
+  cfg.num_microbatches = 8;
+  SequentialTrainer ref(cfg);
+  PipelineTrainer pipe(cfg, p);
+  FsdpTrainer fsdp(cfg, p);
+  SyntheticDataset data(cfg.model.vocab_size, cfg.seed);
+  (void)ref.train_iteration(data, 0);
+  (void)pipe.train_iteration(data, 0);
+  (void)fsdp.train_iteration(data, 0);
+  EXPECT_EQ(params_max_diff(ref.gather_block_params(),
+                            pipe.gather_block_params()),
+            0.0f);
+  EXPECT_LT(params_max_diff(ref.gather_block_params(),
+                            fsdp.gather_block_params()),
+            2e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, BaselineSweep, ::testing::Values(2L, 4L));
+
+// ---- multi-iteration convergence across strategies -----------------------------------
+
+TEST(TrainerConvergence, AllStrategiesReachTheSameLowLoss) {
+  TrainConfig cfg = base_config();
+  cfg.adam.lr = 5e-3f;
+  SyntheticDataset data(cfg.model.vocab_size, cfg.seed);
+  WeiPipeTrainer wp(cfg, 4);
+  PipelineTrainer pipe(cfg, 4);
+  float wp_loss = 0.0f;
+  float pipe_loss = 0.0f;
+  for (int it = 0; it < 25; ++it) {
+    wp_loss = wp.train_iteration(data, it).mean_loss;
+    pipe_loss = pipe.train_iteration(data, it).mean_loss;
+  }
+  EXPECT_EQ(wp_loss, pipe_loss);  // identical trajectories in fp32
+  EXPECT_LT(wp_loss, std::log(static_cast<float>(cfg.model.vocab_size)));
+}
+
+}  // namespace
+}  // namespace weipipe

@@ -1,0 +1,243 @@
+// The WeiPipe turn/flow algebra: every invariant the executor and the DES
+// builders rely on, property-tested across (P, R, mode).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/check.hpp"
+#include "sched/weipipe_schedule.hpp"
+
+namespace weipipe {
+namespace {
+
+struct ScheduleCase {
+  std::int64_t p;
+  std::int64_t r;
+  WeiPipeMode mode;
+};
+
+class ScheduleProperties : public ::testing::TestWithParam<ScheduleCase> {};
+
+TEST_P(ScheduleProperties, FlowsHoldDistinctChunksEveryTurn) {
+  const auto [p, r, mode] = GetParam();
+  const WeiPipeSchedule sched(p, r, mode);
+  for (std::int64_t t = 0; t <= sched.total_turns(); ++t) {
+    std::set<std::int64_t> f_chunks;
+    std::set<std::int64_t> b_chunks;
+    for (std::int64_t w = 0; w < p; ++w) {
+      f_chunks.insert(sched.f_chunk_at(w, t));
+      b_chunks.insert(sched.b_chunk_at(w, t));
+    }
+    // Each flow is a permutation: every chunk exactly once around the ring.
+    EXPECT_EQ(static_cast<std::int64_t>(f_chunks.size()), p) << "turn " << t;
+    EXPECT_EQ(static_cast<std::int64_t>(b_chunks.size()), p) << "turn " << t;
+  }
+}
+
+TEST_P(ScheduleProperties, FlowsAdvanceOneHopPerTurn) {
+  const auto [p, r, mode] = GetParam();
+  const WeiPipeSchedule sched(p, r, mode);
+  for (std::int64_t t = 0; t + 1 <= sched.total_turns(); ++t) {
+    for (std::int64_t w = 0; w < p; ++w) {
+      // What worker w holds at t arrives at worker w+1 at t+1.
+      EXPECT_EQ(sched.f_chunk_at(w, t), sched.f_chunk_at((w + 1) % p, t + 1));
+      EXPECT_EQ(sched.b_chunk_at(w, t), sched.b_chunk_at((w + 1) % p, t + 1));
+    }
+  }
+}
+
+TEST_P(ScheduleProperties, ComputeUsesExactlyTheHeldChunk) {
+  const auto [p, r, mode] = GetParam();
+  const WeiPipeSchedule sched(p, r, mode);
+  for (std::int64_t t = 0; t < sched.total_turns(); ++t) {
+    for (std::int64_t w = 0; w < p; ++w) {
+      const TurnActions acts = sched.actions(w, t);
+      if (acts.fwd) {
+        EXPECT_EQ(acts.fwd->chunk, sched.f_chunk_at(w, t))
+            << "w=" << w << " t=" << t;
+      }
+      if (acts.bwd) {
+        EXPECT_EQ(acts.bwd->chunk, sched.b_chunk_at(w, t))
+            << "w=" << w << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST_P(ScheduleProperties, EveryMicrobatchChunkComputedExactlyOnce) {
+  const auto [p, r, mode] = GetParam();
+  const WeiPipeSchedule sched(p, r, mode);
+  // (worker, round, chunk) -> forward/backward counts.
+  std::map<std::tuple<std::int64_t, std::int64_t, std::int64_t>, int> fwd;
+  std::map<std::tuple<std::int64_t, std::int64_t, std::int64_t>, int> bwd;
+  for (std::int64_t t = 0; t < sched.total_turns(); ++t) {
+    for (std::int64_t w = 0; w < p; ++w) {
+      const TurnActions acts = sched.actions(w, t);
+      if (acts.fwd) {
+        ++fwd[{w, acts.fwd->round, acts.fwd->chunk}];
+      }
+      if (acts.bwd) {
+        ++bwd[{w, acts.bwd->round, acts.bwd->chunk}];
+      }
+    }
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(fwd.size()), p * r * p);
+  EXPECT_EQ(static_cast<std::int64_t>(bwd.size()), p * r * p);
+  for (const auto& [key, count] : fwd) {
+    EXPECT_EQ(count, 1);
+  }
+  for (const auto& [key, count] : bwd) {
+    EXPECT_EQ(count, 1);
+  }
+}
+
+TEST_P(ScheduleProperties, ForwardPrecedesBackwardPerChunk) {
+  const auto [p, r, mode] = GetParam();
+  const WeiPipeSchedule sched(p, r, mode);
+  std::map<std::tuple<std::int64_t, std::int64_t, std::int64_t>, std::int64_t>
+      fwd_turn;
+  for (std::int64_t t = 0; t < sched.total_turns(); ++t) {
+    for (std::int64_t w = 0; w < p; ++w) {
+      const TurnActions acts = sched.actions(w, t);
+      if (acts.fwd) {
+        fwd_turn[{w, acts.fwd->round, acts.fwd->chunk}] = t;
+      }
+      if (acts.bwd) {
+        const auto it = fwd_turn.find({w, acts.bwd->round, acts.bwd->chunk});
+        ASSERT_NE(it, fwd_turn.end());
+        EXPECT_LT(it->second, t);  // fwd strictly before bwd
+      }
+    }
+  }
+}
+
+TEST_P(ScheduleProperties, ForwardChunksAscendBackwardDescend) {
+  const auto [p, r, mode] = GetParam();
+  const WeiPipeSchedule sched(p, r, mode);
+  for (std::int64_t w = 0; w < p; ++w) {
+    std::map<std::int64_t, std::vector<std::int64_t>> fwd_order;
+    std::map<std::int64_t, std::vector<std::int64_t>> bwd_order;
+    for (std::int64_t t = 0; t < sched.total_turns(); ++t) {
+      const TurnActions acts = sched.actions(w, t);
+      if (acts.fwd) {
+        fwd_order[acts.fwd->round].push_back(acts.fwd->chunk);
+      }
+      if (acts.bwd) {
+        bwd_order[acts.bwd->round].push_back(acts.bwd->chunk);
+      }
+    }
+    for (const auto& [round, chunks] : fwd_order) {
+      for (std::size_t i = 0; i < chunks.size(); ++i) {
+        EXPECT_EQ(chunks[i], static_cast<std::int64_t>(i));  // 0,1,...,P-1
+      }
+    }
+    for (const auto& [round, chunks] : bwd_order) {
+      for (std::size_t i = 0; i < chunks.size(); ++i) {
+        EXPECT_EQ(chunks[i], p - 1 - static_cast<std::int64_t>(i));
+      }
+    }
+  }
+}
+
+TEST_P(ScheduleProperties, OwnersAreABijection) {
+  const auto [p, r, mode] = GetParam();
+  const WeiPipeSchedule sched(p, r, mode);
+  std::set<std::int64_t> owners;
+  for (std::int64_t c = 0; c < p; ++c) {
+    owners.insert(sched.owner(c));
+    // Owner holds chunk c's B pair at the final state.
+    EXPECT_EQ(sched.b_chunk_at(sched.owner(c), sched.total_turns()), c);
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(owners.size()), p);
+}
+
+TEST_P(ScheduleProperties, StartHoldersConsistentWithFlows) {
+  const auto [p, r, mode] = GetParam();
+  const WeiPipeSchedule sched(p, r, mode);
+  for (std::int64_t c = 0; c < p; ++c) {
+    EXPECT_EQ(sched.f_chunk_at(sched.f_start_holder(c), 0), c);
+    EXPECT_EQ(sched.b_chunk_at(sched.b_start_holder(c), 0), c);
+  }
+}
+
+TEST_P(ScheduleProperties, DAccumulationOrderIsGlobalMicrobatchOrder) {
+  // The critical property behind bitwise fp32 equivalence with sequential
+  // training: contributions to any chunk's D arrive in microbatch order.
+  const auto [p, r, mode] = GetParam();
+  const WeiPipeSchedule sched(p, r, mode);
+  std::map<std::int64_t, std::vector<std::int64_t>> contributions;  // chunk->mb
+  for (std::int64_t t = 0; t < sched.total_turns(); ++t) {
+    for (std::int64_t w = 0; w < p; ++w) {
+      const TurnActions acts = sched.actions(w, t);
+      if (acts.bwd) {
+        contributions[acts.bwd->chunk].push_back(acts.bwd->round * p + w);
+      }
+    }
+  }
+  for (const auto& [chunk, mbs] : contributions) {
+    ASSERT_EQ(static_cast<std::int64_t>(mbs.size()), p * r);
+    for (std::size_t i = 0; i < mbs.size(); ++i) {
+      EXPECT_EQ(mbs[i], static_cast<std::int64_t>(i))
+          << "chunk " << chunk << " position " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ScheduleProperties,
+    ::testing::Values(ScheduleCase{2, 1, WeiPipeMode::kInterleave},
+                      ScheduleCase{2, 3, WeiPipeMode::kInterleave},
+                      ScheduleCase{4, 1, WeiPipeMode::kInterleave},
+                      ScheduleCase{4, 4, WeiPipeMode::kInterleave},
+                      ScheduleCase{7, 2, WeiPipeMode::kInterleave},
+                      ScheduleCase{8, 3, WeiPipeMode::kInterleave},
+                      ScheduleCase{2, 2, WeiPipeMode::kNaive},
+                      ScheduleCase{4, 1, WeiPipeMode::kNaive},
+                      ScheduleCase{4, 3, WeiPipeMode::kNaive},
+                      ScheduleCase{5, 2, WeiPipeMode::kNaive}));
+
+TEST(Schedule, TotalTurnsFormulas) {
+  EXPECT_EQ(WeiPipeSchedule(4, 1, WeiPipeMode::kInterleave).total_turns(),
+            (1 + 2) * 4 - 1);
+  EXPECT_EQ(WeiPipeSchedule(4, 3, WeiPipeMode::kInterleave).total_turns(),
+            (3 + 2) * 4 - 1);
+  EXPECT_EQ(WeiPipeSchedule(4, 3, WeiPipeMode::kNaive).total_turns(),
+            2 * 3 * 4 + 4 - 1);
+}
+
+TEST(Schedule, NaiveNeverOverlapsForwardAndBackward) {
+  const WeiPipeSchedule sched(4, 3, WeiPipeMode::kNaive);
+  for (std::int64_t t = 0; t < sched.total_turns(); ++t) {
+    for (std::int64_t w = 0; w < 4; ++w) {
+      const TurnActions acts = sched.actions(w, t);
+      EXPECT_FALSE(acts.fwd && acts.bwd) << "w=" << w << " t=" << t;
+    }
+  }
+}
+
+TEST(Schedule, InterleaveHasSteadyStateOverlap) {
+  const WeiPipeSchedule sched(4, 3, WeiPipeMode::kInterleave);
+  int both = 0;
+  for (std::int64_t t = 0; t < sched.total_turns(); ++t) {
+    for (std::int64_t w = 0; w < 4; ++w) {
+      const TurnActions acts = sched.actions(w, t);
+      if (acts.fwd && acts.bwd) {
+        ++both;
+      }
+    }
+  }
+  // R=3: each worker overlaps for (R-1)*P = 8 turns.
+  EXPECT_EQ(both, 4 * 8);
+}
+
+TEST(Schedule, InvalidParamsThrow) {
+  EXPECT_THROW(WeiPipeSchedule(0, 1, WeiPipeMode::kInterleave),
+               weipipe::Error);
+  EXPECT_THROW(WeiPipeSchedule(4, 0, WeiPipeMode::kInterleave),
+               weipipe::Error);
+}
+
+}  // namespace
+}  // namespace weipipe

@@ -1,0 +1,387 @@
+// weipipe_cli — the command-line front end to the library.
+//
+//   weipipe_cli train    [flags]   train a model with any strategy
+//   weipipe_cli generate [flags]   sample from a checkpoint
+//   weipipe_cli plan     [flags]   pick a strategy for a model x cluster
+//   weipipe_cli schedule [flags]   render a schedule timeline
+//   weipipe_cli help
+//
+// Run `weipipe_cli help` for every flag.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "weipipe.hpp"
+
+using namespace weipipe;
+
+namespace {
+
+// ---- tiny flag parser --------------------------------------------------------
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      WEIPIPE_CHECK_MSG(arg.rfind("--", 0) == 0, "expected --flag, got '"
+                                                     << arg << "'");
+      arg = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "1";  // boolean flag
+      }
+    }
+  }
+
+  std::string str(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  std::int64_t i64(const std::string& key, std::int64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+  double f64(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  bool flag(const std::string& key) const {
+    return values_.find(key) != values_.end();
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+TrainConfig config_from_flags(const Flags& flags) {
+  TrainConfig cfg;
+  cfg.model.vocab_size = flags.i64("vocab", 64);
+  cfg.model.dim = flags.i64("dim", 64);
+  cfg.model.n_layers = flags.i64("layers", 4);
+  cfg.model.n_heads = flags.i64("heads", 4);
+  cfg.model.n_kv_heads = flags.i64("kv-heads", 0);  // 0 = MHA
+  cfg.model.seq_len = flags.i64("seq", 32);
+  cfg.model.recompute = flags.flag("recompute");
+  cfg.num_microbatches = flags.i64("microbatches", 8);
+  cfg.microbatch_size = flags.i64("batch-size", 2);
+  cfg.seq_len = cfg.model.seq_len;
+  cfg.seed = static_cast<std::uint64_t>(flags.i64("seed", 1234));
+  cfg.adam.lr = static_cast<float>(flags.f64("lr", 3e-3));
+  cfg.clip.max_norm = static_cast<float>(flags.f64("clip", 0.0));
+  cfg.lr_schedule.warmup_iters = flags.i64("warmup", 0);
+  cfg.lr_schedule.total_iters = flags.i64("decay-iters", 0);
+  if (flags.flag("fp16")) {
+    cfg.precision = PrecisionConfig::paper();
+  }
+  return cfg;
+}
+
+std::unique_ptr<Dataset> dataset_from_flags(const Flags& flags,
+                                            const TrainConfig& cfg) {
+  const std::string kind = flags.str("dataset", "affine");
+  if (kind == "affine") {
+    return std::make_unique<SyntheticDataset>(cfg.model.vocab_size, cfg.seed);
+  }
+  if (kind == "copy") {
+    return std::make_unique<CopyDataset>(cfg.model.vocab_size, cfg.seed);
+  }
+  WEIPIPE_CHECK_MSG(false, "unknown --dataset '" << kind
+                                                 << "' (affine | copy)");
+  return nullptr;
+}
+
+// ---- subcommands ----------------------------------------------------------------
+
+int cmd_train(const Flags& flags) {
+  const TrainConfig cfg = config_from_flags(flags);
+  const std::string strategy = flags.str("strategy", "weipipe");
+  const std::int64_t workers = flags.i64("workers", 4);
+  const std::int64_t iters = flags.i64("iters", 50);
+  const std::int64_t dp = flags.i64("dp", 1);
+  const bool quiet = flags.flag("quiet");
+
+  std::unique_ptr<Trainer> trainer;
+  if (dp > 1 || flags.flag("replicate-vocab")) {
+    WEIPIPE_CHECK_MSG(strategy == "weipipe" ||
+                          strategy == "weipipe-interleave",
+                      "--dp/--replicate-vocab require the weipipe strategy");
+    trainer = std::make_unique<WeiPipeTrainer>(
+        cfg, workers,
+        WeiPipeOptions{.dp_degree = dp,
+                       .replicate_vocab = flags.flag("replicate-vocab")});
+  } else {
+    trainer = make_trainer(strategy, cfg, workers);
+  }
+  if (flags.flag("resume")) {
+    trainer->import_state(load_checkpoint(flags.str("resume", "")));
+    std::printf("resumed from %s\n", flags.str("resume", "").c_str());
+  }
+  const auto data = dataset_from_flags(flags, cfg);
+
+  std::printf("training '%s' (%lld workers) for %lld iterations: H=%lld "
+              "L=%lld S=%lld N=%lld G=%lld\n",
+              trainer->name().c_str(), static_cast<long long>(workers * dp),
+              static_cast<long long>(iters),
+              static_cast<long long>(cfg.model.dim),
+              static_cast<long long>(cfg.model.n_layers),
+              static_cast<long long>(cfg.seq_len),
+              static_cast<long long>(cfg.num_microbatches),
+              static_cast<long long>(cfg.microbatch_size));
+  double total_seconds = 0.0;
+  std::uint64_t total_bytes = 0;
+  for (std::int64_t it = 0; it < iters; ++it) {
+    const IterationResult r = trainer->train_iteration(*data, it);
+    total_seconds += r.wall_seconds;
+    total_bytes += r.wire_bytes;
+    if (!quiet && (it % std::max<std::int64_t>(1, iters / 10) == 0 ||
+                   it == iters - 1)) {
+      std::printf("iter %4lld  loss %.4f  ppl %7.2f  wire %6.1f MB\n",
+                  static_cast<long long>(it), r.mean_loss,
+                  perplexity(r.mean_loss),
+                  static_cast<double>(r.wire_bytes) / 1e6);
+    }
+  }
+  const double tokens = static_cast<double>(iters) * cfg.num_microbatches *
+                        cfg.microbatch_size * cfg.seq_len;
+  std::printf("done: %.0f tokens in %.2f s (%.0f tok/s), %.1f MB on the "
+              "wire\n",
+              tokens, total_seconds, tokens / total_seconds,
+              static_cast<double>(total_bytes) / 1e6);
+  if (flags.flag("checkpoint")) {
+    save_checkpoint(flags.str("checkpoint", ""), trainer->export_state());
+    std::printf("checkpoint written to %s\n",
+                flags.str("checkpoint", "").c_str());
+  }
+  return 0;
+}
+
+int cmd_generate(const Flags& flags) {
+  const TrainConfig cfg = config_from_flags(flags);
+  WEIPIPE_CHECK_MSG(flags.flag("checkpoint"),
+                    "generate requires --checkpoint (and matching model "
+                    "flags)");
+  Model model(cfg.model);
+  SequentialTrainer holder(cfg);  // convenient state container
+  holder.import_state(load_checkpoint(flags.str("checkpoint", "")));
+  const auto params = holder.gather_block_params();
+
+  std::vector<std::int32_t> prompt;
+  std::string spec = flags.str("prompt", "1,2,3");
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    prompt.push_back(static_cast<std::int32_t>(
+        std::atoi(spec.substr(pos, comma - pos).c_str())));
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+
+  GenerateOptions opts;
+  opts.max_new_tokens = flags.i64("tokens", 16);
+  opts.temperature = static_cast<float>(flags.f64("temperature", 0.0));
+  opts.seed = static_cast<std::uint64_t>(flags.i64("seed", 1));
+  // Use the KV-cache decoder when everything fits the context window;
+  // fall back to windowed full-forward generation otherwise.
+  std::vector<std::int32_t> out;
+  if (static_cast<std::int64_t>(prompt.size()) + opts.max_new_tokens <=
+      cfg.model.seq_len) {
+    out = generate_cached(model, params, prompt, opts.max_new_tokens,
+                          opts.temperature, opts.seed);
+  } else {
+    out = generate(model, params, prompt, opts);
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::printf("%d%s", out[i], i + 1 < out.size() ? " " : "\n");
+  }
+  return 0;
+}
+
+int cmd_plan(const Flags& flags) {
+  sim::ModelDims dims;
+  dims.hidden = flags.i64("dim", 2048);
+  dims.seq = flags.i64("seq", 8192);
+  dims.microbatch = flags.i64("batch-size", 8);
+  dims.layers = flags.i64("layers", 32);
+  const int gpus = static_cast<int>(flags.i64("gpus", 16));
+  const int per_node = static_cast<int>(flags.i64("gpus-per-node", 8));
+  const std::string env = flags.str("env", "nvlink");
+  const sim::Topology topo =
+      env == "pcie" ? sim::Topology::pcie_ethernet(gpus, per_node)
+      : env == "ethernet"
+          ? sim::Topology::nvlink_ethernet(gpus, per_node)
+          : sim::Topology::nvlink(gpus, per_node);
+
+  std::vector<trace::ExperimentRow> rows;
+  sim::Strategy best = sim::Strategy::k1F1B;
+  double best_tp = 0.0;
+  std::printf("%-20s | %14s | %9s | %8s\n", "strategy", "tokens/s/GPU",
+              "mem GB", "bubble");
+  for (sim::Strategy s :
+       {sim::Strategy::k1F1B, sim::Strategy::kGPipe, sim::Strategy::kZB1,
+        sim::Strategy::kZB2, sim::Strategy::kFSDP,
+        sim::Strategy::kWeiPipeNaive, sim::Strategy::kWeiPipeInterleave}) {
+    sim::ExperimentConfig cfg;
+    cfg.dims = dims;
+    cfg.num_microbatches = flags.i64("microbatches", 16 * gpus);
+    cfg.strategy = s;
+    const auto res = sim::run_experiment(cfg, topo);
+    rows.push_back({env, res});
+    if (res.oom) {
+      std::printf("%-20s | %14s | %8.1fG | %7.1f%%\n", sim::to_string(s),
+                  "OOM", res.peak_mem_bytes / 1e9, res.bubble_ratio * 100);
+      continue;
+    }
+    std::printf("%-20s | %14.0f | %8.1fG | %7.1f%%\n", sim::to_string(s),
+                res.tokens_per_second_per_gpu, res.peak_mem_bytes / 1e9,
+                res.bubble_ratio * 100);
+    if (res.tokens_per_second_per_gpu > best_tp) {
+      best_tp = res.tokens_per_second_per_gpu;
+      best = s;
+    }
+  }
+  std::printf("\nrecommendation: %s\n", sim::to_string(best));
+  if (flags.flag("csv")) {
+    trace::write_file(flags.str("csv", "plan.csv"),
+                      trace::experiments_to_csv(rows));
+    std::printf("wrote %s\n", flags.str("csv", "plan.csv").c_str());
+  }
+  return 0;
+}
+
+int cmd_schedule(const Flags& flags) {
+  const std::string strategy = flags.str("strategy", "interleave");
+  const std::int64_t p = flags.i64("workers", 4);
+  const std::int64_t rounds = flags.i64("rounds", 2);
+  const double ratio = flags.f64("bwd-ratio", 2.0);
+
+  sched::StrategyCosts costs;
+  for (std::int64_t i = 0; i < p; ++i) {
+    costs.fwd_seconds.push_back(1.0);
+    costs.bwd_seconds.push_back(ratio);
+    costs.bwd_acts_seconds.push_back(ratio / 2.0);
+    costs.bwd_weights_seconds.push_back(ratio / 2.0);
+    costs.chunk_weight_bytes.push_back(1.0);
+    costs.act_mem_bytes.push_back(1.0);
+  }
+  costs.act_bytes = 1.0;
+  costs.act_grad_bytes = 1.0;
+
+  sched::Program prog;
+  const std::int64_t n = rounds * p;
+  if (strategy == "naive") {
+    prog = sched::build_weipipe(WeiPipeSchedule(p, rounds, WeiPipeMode::kNaive),
+                                costs);
+  } else if (strategy == "interleave" || strategy == "weipipe") {
+    prog = sched::build_weipipe(
+        WeiPipeSchedule(p, rounds, WeiPipeMode::kInterleave), costs);
+  } else if (strategy == "wzb1") {
+    prog = sched::build_weipipe_zero_bubble(p, rounds,
+                                            sched::WzbVariant::kWzb1, costs);
+  } else if (strategy == "wzb2") {
+    prog = sched::build_weipipe_zero_bubble(p, rounds,
+                                            sched::WzbVariant::kWzb2, costs);
+  } else if (strategy == "gpipe") {
+    prog = sched::build_gpipe(p, n, costs);
+  } else if (strategy == "1f1b") {
+    prog = sched::build_1f1b(p, n, costs);
+  } else if (strategy == "zb1") {
+    prog = sched::build_zero_bubble(p, n, sched::ZbVariant::kZb1, costs);
+  } else if (strategy == "zb2") {
+    prog = sched::build_zero_bubble(p, n, sched::ZbVariant::kZb2, costs);
+  } else {
+    WEIPIPE_CHECK_MSG(false, "unknown --strategy '" << strategy << "'");
+  }
+
+  const sched::ValidationReport report = sched::validate(prog);
+  WEIPIPE_CHECK_MSG(report.ok, "schedule failed validation: "
+                                   << report.problems.front());
+  const sim::SimResult res = sim::simulate(
+      prog,
+      sim::Topology::uniform(static_cast<int>(p), sim::Link{1e15, 0.0},
+                             "ideal"),
+      {.record_ops = true});
+  std::printf("%s", trace::render_timeline(
+                        res, {.width = static_cast<int>(
+                                  flags.i64("width", 110))})
+                        .c_str());
+  if (flags.flag("csv")) {
+    trace::write_file(flags.str("csv", "schedule.csv"),
+                      trace::records_to_csv(res));
+    std::printf("wrote %s\n", flags.str("csv", "schedule.csv").c_str());
+  }
+  if (flags.flag("svg")) {
+    trace::write_file(flags.str("svg", "schedule.svg"),
+                      trace::records_to_svg(res));
+    std::printf("wrote %s\n", flags.str("svg", "schedule.svg").c_str());
+  }
+  return 0;
+}
+
+void print_help() {
+  std::printf(R"(weipipe_cli — WeiPipe weight-pipeline training toolkit
+
+USAGE: weipipe_cli <command> [--flag value ...]
+
+COMMANDS
+  train      train a model
+    --strategy S       sequential | weipipe | weipipe-naive | 1f1b | gpipe | fsdp
+    --workers N        ring size / stages / ranks        (default 4)
+    --dp N             data-parallel replicas (weipipe)  (default 1)
+    --iters N          training iterations               (default 50)
+    --dim H --layers L --heads n --kv-heads n(GQA) --seq S --vocab V
+    --microbatches N --batch-size G --lr f --clip f --warmup n --decay-iters n
+    --dataset affine|copy   --seed n   --fp16   --recompute   --quiet
+    --replicate-vocab  hold embedding/head per worker, sync once per iter
+    --checkpoint PATH  save state at the end
+    --resume PATH      restore state before training
+  generate   sample from a checkpoint (pass the same model flags)
+    --checkpoint PATH --prompt "1,2,3" --tokens n --temperature f --seed n
+  plan       simulate strategies for a model x cluster and recommend one
+    --dim H --seq S --batch-size G --layers L --microbatches N
+    --gpus N --gpus-per-node N --env nvlink|pcie|ethernet --csv PATH
+  schedule   render a pipeline schedule as an ASCII timeline
+    --strategy naive|interleave|wzb1|wzb2|gpipe|1f1b|zb1|zb2
+    --workers P --rounds R --bwd-ratio f --width n --csv PATH --svg PATH
+)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_help();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  try {
+    const Flags flags(argc, argv, 2);
+    if (cmd == "train") {
+      return cmd_train(flags);
+    }
+    if (cmd == "generate") {
+      return cmd_generate(flags);
+    }
+    if (cmd == "plan") {
+      return cmd_plan(flags);
+    }
+    if (cmd == "schedule") {
+      return cmd_schedule(flags);
+    }
+    if (cmd == "help" || cmd == "--help") {
+      print_help();
+      return 0;
+    }
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    print_help();
+    return 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
