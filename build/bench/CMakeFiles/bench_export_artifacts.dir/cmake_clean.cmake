@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_export_artifacts.dir/bench_export_artifacts.cpp.o"
+  "CMakeFiles/bench_export_artifacts.dir/bench_export_artifacts.cpp.o.d"
+  "bench_export_artifacts"
+  "bench_export_artifacts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_export_artifacts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

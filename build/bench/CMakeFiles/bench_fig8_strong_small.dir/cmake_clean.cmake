@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_strong_small.dir/bench_fig8_strong_small.cpp.o"
+  "CMakeFiles/bench_fig8_strong_small.dir/bench_fig8_strong_small.cpp.o.d"
+  "bench_fig8_strong_small"
+  "bench_fig8_strong_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_strong_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_insitu.dir/bench_insitu.cpp.o"
+  "CMakeFiles/bench_insitu.dir/bench_insitu.cpp.o.d"
+  "bench_insitu"
+  "bench_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theory.dir/bench_theory.cpp.o"
+  "CMakeFiles/bench_theory.dir/bench_theory.cpp.o.d"
+  "bench_theory"
+  "bench_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/long_context_training.dir/long_context_training.cpp.o"
+  "CMakeFiles/long_context_training.dir/long_context_training.cpp.o.d"
+  "long_context_training"
+  "long_context_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/long_context_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weipipe_baselines.dir/factory.cpp.o"
+  "CMakeFiles/weipipe_baselines.dir/factory.cpp.o.d"
+  "CMakeFiles/weipipe_baselines.dir/fsdp_trainer.cpp.o"
+  "CMakeFiles/weipipe_baselines.dir/fsdp_trainer.cpp.o.d"
+  "CMakeFiles/weipipe_baselines.dir/pipeline_trainer.cpp.o"
+  "CMakeFiles/weipipe_baselines.dir/pipeline_trainer.cpp.o.d"
+  "libweipipe_baselines.a"
+  "libweipipe_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weipipe_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weipipe_comm.dir/collectives.cpp.o"
+  "CMakeFiles/weipipe_comm.dir/collectives.cpp.o.d"
+  "CMakeFiles/weipipe_comm.dir/fabric.cpp.o"
+  "CMakeFiles/weipipe_comm.dir/fabric.cpp.o.d"
+  "CMakeFiles/weipipe_comm.dir/wire.cpp.o"
+  "CMakeFiles/weipipe_comm.dir/wire.cpp.o.d"
+  "libweipipe_comm.a"
+  "libweipipe_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weipipe_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weipipe_common.dir/check.cpp.o"
+  "CMakeFiles/weipipe_common.dir/check.cpp.o.d"
+  "CMakeFiles/weipipe_common.dir/log.cpp.o"
+  "CMakeFiles/weipipe_common.dir/log.cpp.o.d"
+  "CMakeFiles/weipipe_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/weipipe_common.dir/thread_pool.cpp.o.d"
+  "libweipipe_common.a"
+  "libweipipe_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weipipe_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weipipe_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/weipipe_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/weipipe_core.dir/sequential_trainer.cpp.o"
+  "CMakeFiles/weipipe_core.dir/sequential_trainer.cpp.o.d"
+  "CMakeFiles/weipipe_core.dir/weipipe_trainer.cpp.o"
+  "CMakeFiles/weipipe_core.dir/weipipe_trainer.cpp.o.d"
+  "libweipipe_core.a"
+  "libweipipe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weipipe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

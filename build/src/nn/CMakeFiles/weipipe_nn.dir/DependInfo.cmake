@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/adam.cpp" "src/nn/CMakeFiles/weipipe_nn.dir/adam.cpp.o" "gcc" "src/nn/CMakeFiles/weipipe_nn.dir/adam.cpp.o.d"
+  "/root/repo/src/nn/block.cpp" "src/nn/CMakeFiles/weipipe_nn.dir/block.cpp.o" "gcc" "src/nn/CMakeFiles/weipipe_nn.dir/block.cpp.o.d"
+  "/root/repo/src/nn/decode.cpp" "src/nn/CMakeFiles/weipipe_nn.dir/decode.cpp.o" "gcc" "src/nn/CMakeFiles/weipipe_nn.dir/decode.cpp.o.d"
+  "/root/repo/src/nn/generate.cpp" "src/nn/CMakeFiles/weipipe_nn.dir/generate.cpp.o" "gcc" "src/nn/CMakeFiles/weipipe_nn.dir/generate.cpp.o.d"
+  "/root/repo/src/nn/layer_math.cpp" "src/nn/CMakeFiles/weipipe_nn.dir/layer_math.cpp.o" "gcc" "src/nn/CMakeFiles/weipipe_nn.dir/layer_math.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/weipipe_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/weipipe_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/weipipe_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/weipipe_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/schedule_lr.cpp" "src/nn/CMakeFiles/weipipe_nn.dir/schedule_lr.cpp.o" "gcc" "src/nn/CMakeFiles/weipipe_nn.dir/schedule_lr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/weipipe_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/weipipe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weipipe_nn.dir/adam.cpp.o"
+  "CMakeFiles/weipipe_nn.dir/adam.cpp.o.d"
+  "CMakeFiles/weipipe_nn.dir/block.cpp.o"
+  "CMakeFiles/weipipe_nn.dir/block.cpp.o.d"
+  "CMakeFiles/weipipe_nn.dir/decode.cpp.o"
+  "CMakeFiles/weipipe_nn.dir/decode.cpp.o.d"
+  "CMakeFiles/weipipe_nn.dir/generate.cpp.o"
+  "CMakeFiles/weipipe_nn.dir/generate.cpp.o.d"
+  "CMakeFiles/weipipe_nn.dir/layer_math.cpp.o"
+  "CMakeFiles/weipipe_nn.dir/layer_math.cpp.o.d"
+  "CMakeFiles/weipipe_nn.dir/loss.cpp.o"
+  "CMakeFiles/weipipe_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/weipipe_nn.dir/model.cpp.o"
+  "CMakeFiles/weipipe_nn.dir/model.cpp.o.d"
+  "CMakeFiles/weipipe_nn.dir/schedule_lr.cpp.o"
+  "CMakeFiles/weipipe_nn.dir/schedule_lr.cpp.o.d"
+  "libweipipe_nn.a"
+  "libweipipe_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weipipe_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/builders.cpp" "src/sched/CMakeFiles/weipipe_sched.dir/builders.cpp.o" "gcc" "src/sched/CMakeFiles/weipipe_sched.dir/builders.cpp.o.d"
+  "/root/repo/src/sched/validate.cpp" "src/sched/CMakeFiles/weipipe_sched.dir/validate.cpp.o" "gcc" "src/sched/CMakeFiles/weipipe_sched.dir/validate.cpp.o.d"
+  "/root/repo/src/sched/weipipe_schedule.cpp" "src/sched/CMakeFiles/weipipe_sched.dir/weipipe_schedule.cpp.o" "gcc" "src/sched/CMakeFiles/weipipe_sched.dir/weipipe_schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/weipipe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

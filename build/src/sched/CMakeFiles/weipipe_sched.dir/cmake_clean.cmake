@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weipipe_sched.dir/builders.cpp.o"
+  "CMakeFiles/weipipe_sched.dir/builders.cpp.o.d"
+  "CMakeFiles/weipipe_sched.dir/validate.cpp.o"
+  "CMakeFiles/weipipe_sched.dir/validate.cpp.o.d"
+  "CMakeFiles/weipipe_sched.dir/weipipe_schedule.cpp.o"
+  "CMakeFiles/weipipe_sched.dir/weipipe_schedule.cpp.o.d"
+  "libweipipe_sched.a"
+  "libweipipe_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weipipe_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cpp" "src/sim/CMakeFiles/weipipe_sim.dir/cost_model.cpp.o" "gcc" "src/sim/CMakeFiles/weipipe_sim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/weipipe_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/weipipe_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/weipipe_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/weipipe_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/fabric_bridge.cpp" "src/sim/CMakeFiles/weipipe_sim.dir/fabric_bridge.cpp.o" "gcc" "src/sim/CMakeFiles/weipipe_sim.dir/fabric_bridge.cpp.o.d"
+  "/root/repo/src/sim/topology.cpp" "src/sim/CMakeFiles/weipipe_sim.dir/topology.cpp.o" "gcc" "src/sim/CMakeFiles/weipipe_sim.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/weipipe_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/weipipe_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/weipipe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weipipe_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/weipipe_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/weipipe_sim.dir/engine.cpp.o"
+  "CMakeFiles/weipipe_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/weipipe_sim.dir/experiment.cpp.o"
+  "CMakeFiles/weipipe_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/weipipe_sim.dir/fabric_bridge.cpp.o"
+  "CMakeFiles/weipipe_sim.dir/fabric_bridge.cpp.o.d"
+  "CMakeFiles/weipipe_sim.dir/topology.cpp.o"
+  "CMakeFiles/weipipe_sim.dir/topology.cpp.o.d"
+  "libweipipe_sim.a"
+  "libweipipe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weipipe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

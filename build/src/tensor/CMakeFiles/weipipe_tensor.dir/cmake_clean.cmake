@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weipipe_tensor.dir/ops.cpp.o"
+  "CMakeFiles/weipipe_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/weipipe_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/weipipe_tensor.dir/tensor.cpp.o.d"
+  "libweipipe_tensor.a"
+  "libweipipe_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weipipe_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

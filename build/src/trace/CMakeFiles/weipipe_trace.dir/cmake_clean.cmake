@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weipipe_trace.dir/export.cpp.o"
+  "CMakeFiles/weipipe_trace.dir/export.cpp.o.d"
+  "CMakeFiles/weipipe_trace.dir/timeline.cpp.o"
+  "CMakeFiles/weipipe_trace.dir/timeline.cpp.o.d"
+  "libweipipe_trace.a"
+  "libweipipe_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weipipe_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blocks_model.dir/test_blocks_model.cpp.o"
+  "CMakeFiles/test_blocks_model.dir/test_blocks_model.cpp.o.d"
+  "test_blocks_model"
+  "test_blocks_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blocks_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_volume.dir/test_comm_volume.cpp.o"
+  "CMakeFiles/test_comm_volume.dir/test_comm_volume.cpp.o.d"
+  "test_comm_volume"
+  "test_comm_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

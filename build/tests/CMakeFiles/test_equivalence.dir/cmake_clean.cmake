@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_equivalence.dir/test_equivalence.cpp.o"
+  "CMakeFiles/test_equivalence.dir/test_equivalence.cpp.o.d"
+  "test_equivalence"
+  "test_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fixed_types.dir/test_fixed_types.cpp.o"
+  "CMakeFiles/test_fixed_types.dir/test_fixed_types.cpp.o.d"
+  "test_fixed_types"
+  "test_fixed_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fixed_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layer_math.dir/test_layer_math.cpp.o"
+  "CMakeFiles/test_layer_math.dir/test_layer_math.cpp.o.d"
+  "test_layer_math"
+  "test_layer_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layer_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

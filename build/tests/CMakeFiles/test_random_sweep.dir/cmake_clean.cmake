@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_sweep.dir/test_random_sweep.cpp.o"
+  "CMakeFiles/test_random_sweep.dir/test_random_sweep.cpp.o.d"
+  "test_random_sweep"
+  "test_random_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

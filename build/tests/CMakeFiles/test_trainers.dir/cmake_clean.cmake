@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trainers.dir/test_trainers.cpp.o"
+  "CMakeFiles/test_trainers.dir/test_trainers.cpp.o.d"
+  "test_trainers"
+  "test_trainers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trainers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

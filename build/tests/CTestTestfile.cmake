@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_equivalence "/root/repo/build/tests/test_equivalence")
+set_tests_properties(test_equivalence PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;11;weipipe_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_fixed_types "/root/repo/build/tests/test_fixed_types")
+set_tests_properties(test_fixed_types PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;12;weipipe_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_tensor "/root/repo/build/tests/test_tensor")
+set_tests_properties(test_tensor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;13;weipipe_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_layer_math "/root/repo/build/tests/test_layer_math")
+set_tests_properties(test_layer_math PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;14;weipipe_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_blocks_model "/root/repo/build/tests/test_blocks_model")
+set_tests_properties(test_blocks_model PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;15;weipipe_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_comm "/root/repo/build/tests/test_comm")
+set_tests_properties(test_comm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;16;weipipe_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_weipipe_schedule "/root/repo/build/tests/test_weipipe_schedule")
+set_tests_properties(test_weipipe_schedule PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;17;weipipe_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sim "/root/repo/build/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;18;weipipe_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_comm_volume "/root/repo/build/tests/test_comm_volume")
+set_tests_properties(test_comm_volume PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;19;weipipe_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_features "/root/repo/build/tests/test_features")
+set_tests_properties(test_features PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;20;weipipe_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_common "/root/repo/build/tests/test_common")
+set_tests_properties(test_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;21;weipipe_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_trainers "/root/repo/build/tests/test_trainers")
+set_tests_properties(test_trainers PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;22;weipipe_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_library "/root/repo/build/tests/test_library")
+set_tests_properties(test_library PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;23;weipipe_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_random_sweep "/root/repo/build/tests/test_random_sweep")
+set_tests_properties(test_random_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;24;weipipe_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weipipe_cli.dir/weipipe_cli.cpp.o"
+  "CMakeFiles/weipipe_cli.dir/weipipe_cli.cpp.o.d"
+  "weipipe_cli"
+  "weipipe_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weipipe_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
