@@ -22,6 +22,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/comm/CMakeFiles/weipipe_comm.dir/DependInfo.cmake"
   "/root/repo/build/src/tensor/CMakeFiles/weipipe_tensor.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/weipipe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/weipipe_analysis.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -236,4 +236,5 @@ bench/CMakeFiles/bench_micro_comm.dir/bench_micro_comm.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/comm/wire.hpp \
  /root/repo/src/common/fixed_types.hpp /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/common/thread_annotations.hpp

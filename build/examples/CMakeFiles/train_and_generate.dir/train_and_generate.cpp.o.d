@@ -233,8 +233,8 @@ examples/CMakeFiles/train_and_generate.dir/train_and_generate.cpp.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/comm/fabric.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/stop_token /usr/include/c++/12/atomic \
+ /usr/include/c++/12/atomic /usr/include/c++/12/chrono \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
@@ -256,6 +256,7 @@ examples/CMakeFiles/train_and_generate.dir/train_and_generate.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/thread /root/repo/src/comm/wire.hpp \
+ /root/repo/src/common/thread_annotations.hpp \
  /root/repo/src/core/trainer.hpp \
  /root/repo/src/sched/weipipe_schedule.hpp /usr/include/c++/12/optional \
  /root/repo/src/nn/generate.hpp

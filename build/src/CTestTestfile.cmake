@@ -9,6 +9,7 @@ subdirs("tensor")
 subdirs("nn")
 subdirs("comm")
 subdirs("sched")
+subdirs("analysis")
 subdirs("core")
 subdirs("baselines")
 subdirs("sim")

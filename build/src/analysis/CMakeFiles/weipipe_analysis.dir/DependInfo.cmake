@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/analysis.cpp" "src/analysis/CMakeFiles/weipipe_analysis.dir/analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/weipipe_analysis.dir/analysis.cpp.o.d"
+  "/root/repo/src/analysis/witness.cpp" "src/analysis/CMakeFiles/weipipe_analysis.dir/witness.cpp.o" "gcc" "src/analysis/CMakeFiles/weipipe_analysis.dir/witness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/weipipe_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/weipipe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

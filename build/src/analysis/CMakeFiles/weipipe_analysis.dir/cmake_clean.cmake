@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weipipe_analysis.dir/analysis.cpp.o"
+  "CMakeFiles/weipipe_analysis.dir/analysis.cpp.o.d"
+  "CMakeFiles/weipipe_analysis.dir/witness.cpp.o"
+  "CMakeFiles/weipipe_analysis.dir/witness.cpp.o.d"
+  "libweipipe_analysis.a"
+  "libweipipe_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weipipe_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

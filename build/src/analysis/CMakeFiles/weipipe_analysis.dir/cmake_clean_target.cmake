@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libweipipe_analysis.a"
+)

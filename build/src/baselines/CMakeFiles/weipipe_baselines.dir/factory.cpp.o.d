@@ -230,13 +230,13 @@ src/baselines/CMakeFiles/weipipe_baselines.dir/factory.cpp.o: \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/nn/microbatch.hpp /root/repo/src/common/rng.hpp \
  /root/repo/src/baselines/fsdp_trainer.hpp /root/repo/src/comm/fabric.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
@@ -256,10 +256,12 @@ src/baselines/CMakeFiles/weipipe_baselines.dir/factory.cpp.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
- /root/repo/src/comm/wire.hpp /root/repo/src/core/checkpoint.hpp \
- /root/repo/src/nn/adam.hpp /root/repo/src/nn/model.hpp \
- /root/repo/src/nn/block.hpp /root/repo/src/tensor/tensor.hpp \
- /root/repo/src/nn/loss.hpp /root/repo/src/baselines/pipeline_trainer.hpp \
+ /root/repo/src/comm/wire.hpp \
+ /root/repo/src/common/thread_annotations.hpp \
+ /root/repo/src/core/checkpoint.hpp /root/repo/src/nn/adam.hpp \
+ /root/repo/src/nn/model.hpp /root/repo/src/nn/block.hpp \
+ /root/repo/src/tensor/tensor.hpp /root/repo/src/nn/loss.hpp \
+ /root/repo/src/baselines/pipeline_trainer.hpp \
  /root/repo/src/core/sequential_trainer.hpp \
  /root/repo/src/core/weipipe_trainer.hpp \
  /root/repo/src/sched/weipipe_schedule.hpp /usr/include/c++/12/optional

@@ -240,6 +240,6 @@ src/nn/CMakeFiles/weipipe_nn.dir/layer_math.cpp.o: \
  /usr/include/c++/12/mutex /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/thread /root/repo/src/tensor/ops.hpp \
- /root/repo/src/tensor/tensor.hpp /usr/include/c++/12/span \
- /root/repo/src/common/rng.hpp
+ /usr/include/c++/12/thread /root/repo/src/common/thread_annotations.hpp \
+ /root/repo/src/tensor/ops.hpp /root/repo/src/tensor/tensor.hpp \
+ /usr/include/c++/12/span /root/repo/src/common/rng.hpp

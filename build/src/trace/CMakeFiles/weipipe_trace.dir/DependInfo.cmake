@@ -17,6 +17,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/sim/CMakeFiles/weipipe_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/sched/CMakeFiles/weipipe_sched.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/weipipe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/weipipe_analysis.dir/DependInfo.cmake"
   "/root/repo/build/src/comm/CMakeFiles/weipipe_comm.dir/DependInfo.cmake"
   )
 

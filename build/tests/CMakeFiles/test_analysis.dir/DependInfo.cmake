@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/test_analysis.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/test_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/weipipe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/weipipe_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/weipipe_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/weipipe_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/weipipe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/weipipe_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/weipipe_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/weipipe_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/weipipe_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/weipipe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/sim/CMakeFiles/weipipe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/weipipe_analysis.dir/DependInfo.cmake"
   "/root/repo/build/src/sched/CMakeFiles/weipipe_sched.dir/DependInfo.cmake"
   "/root/repo/build/src/trace/CMakeFiles/weipipe_trace.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/weipipe_core.dir/DependInfo.cmake"

@@ -309,6 +309,7 @@ tests/CMakeFiles/test_comm.dir/test_comm.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/comm/wire.hpp \
  /root/repo/src/common/fixed_types.hpp /usr/include/c++/12/cstring \
+ /root/repo/src/common/thread_annotations.hpp \
  /root/repo/src/common/check.hpp /root/repo/src/common/rng.hpp \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \

@@ -331,4 +331,5 @@ tests/CMakeFiles/test_common.dir/test_common.cpp.o: \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h
+ /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/common/thread_annotations.hpp

@@ -338,23 +338,24 @@ tests/CMakeFiles/test_library.dir/test_library.cpp.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
- /root/repo/src/nn/adam.hpp /usr/include/c++/12/span \
- /root/repo/src/nn/config.hpp /root/repo/src/nn/block.hpp \
- /root/repo/src/nn/microbatch.hpp /root/repo/src/tensor/tensor.hpp \
- /root/repo/src/nn/decode.hpp /root/repo/src/nn/model.hpp \
- /root/repo/src/nn/loss.hpp /root/repo/src/nn/generate.hpp \
- /root/repo/src/nn/layer_math.hpp /root/repo/src/tensor/ops.hpp \
- /root/repo/src/comm/collectives.hpp /root/repo/src/comm/fabric.hpp \
- /root/repo/src/comm/wire.hpp /root/repo/src/baselines/factory.hpp \
- /root/repo/src/core/trainer.hpp \
+ /root/repo/src/common/thread_annotations.hpp /root/repo/src/nn/adam.hpp \
+ /usr/include/c++/12/span /root/repo/src/nn/config.hpp \
+ /root/repo/src/nn/block.hpp /root/repo/src/nn/microbatch.hpp \
+ /root/repo/src/tensor/tensor.hpp /root/repo/src/nn/decode.hpp \
+ /root/repo/src/nn/model.hpp /root/repo/src/nn/loss.hpp \
+ /root/repo/src/nn/generate.hpp /root/repo/src/nn/layer_math.hpp \
+ /root/repo/src/tensor/ops.hpp /root/repo/src/comm/collectives.hpp \
+ /root/repo/src/comm/fabric.hpp /root/repo/src/comm/wire.hpp \
+ /root/repo/src/baselines/factory.hpp /root/repo/src/core/trainer.hpp \
  /root/repo/src/baselines/fsdp_trainer.hpp \
  /root/repo/src/core/checkpoint.hpp \
  /root/repo/src/baselines/pipeline_trainer.hpp \
  /root/repo/src/core/sequential_trainer.hpp \
  /root/repo/src/core/weipipe_trainer.hpp \
  /root/repo/src/sched/weipipe_schedule.hpp \
- /root/repo/src/sched/builders.hpp /root/repo/src/sched/program.hpp \
- /root/repo/src/sched/validate.hpp /root/repo/src/sim/cost_model.hpp \
- /root/repo/src/sim/topology.hpp /root/repo/src/sim/engine.hpp \
- /root/repo/src/sim/experiment.hpp /root/repo/src/sim/fabric_bridge.hpp \
- /root/repo/src/trace/export.hpp /root/repo/src/trace/timeline.hpp
+ /root/repo/src/analysis/analysis.hpp /root/repo/src/sched/program.hpp \
+ /root/repo/src/sched/builders.hpp /root/repo/src/sched/validate.hpp \
+ /root/repo/src/sim/cost_model.hpp /root/repo/src/sim/topology.hpp \
+ /root/repo/src/sim/engine.hpp /root/repo/src/sim/experiment.hpp \
+ /root/repo/src/sim/fabric_bridge.hpp /root/repo/src/trace/export.hpp \
+ /root/repo/src/trace/timeline.hpp

@@ -308,6 +308,7 @@ tests/CMakeFiles/test_trainers.dir/test_trainers.cpp.o: \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/span \
  /usr/include/c++/12/thread /root/repo/src/comm/wire.hpp \
  /root/repo/src/common/fixed_types.hpp /usr/include/c++/12/cstring \
+ /root/repo/src/common/thread_annotations.hpp \
  /root/repo/src/core/checkpoint.hpp /root/repo/src/nn/adam.hpp \
  /root/repo/src/nn/config.hpp /root/repo/src/common/check.hpp \
  /root/repo/src/nn/model.hpp /root/repo/src/nn/block.hpp \

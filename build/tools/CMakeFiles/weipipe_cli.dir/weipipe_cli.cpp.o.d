@@ -249,9 +249,9 @@ tools/CMakeFiles/weipipe_cli.dir/weipipe_cli.cpp.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
- /root/repo/src/nn/adam.hpp /usr/include/c++/12/span \
- /root/repo/src/nn/config.hpp /root/repo/src/nn/block.hpp \
- /usr/include/c++/12/memory \
+ /root/repo/src/common/thread_annotations.hpp /root/repo/src/nn/adam.hpp \
+ /usr/include/c++/12/span /root/repo/src/nn/config.hpp \
+ /root/repo/src/nn/block.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/backward/auto_ptr.h \
@@ -273,9 +273,9 @@ tools/CMakeFiles/weipipe_cli.dir/weipipe_cli.cpp.o: \
  /root/repo/src/core/sequential_trainer.hpp \
  /root/repo/src/core/weipipe_trainer.hpp \
  /root/repo/src/sched/weipipe_schedule.hpp /usr/include/c++/12/optional \
- /root/repo/src/sched/builders.hpp /root/repo/src/sched/program.hpp \
- /usr/include/c++/12/variant /root/repo/src/sched/validate.hpp \
- /root/repo/src/sim/cost_model.hpp /root/repo/src/sim/topology.hpp \
- /root/repo/src/sim/engine.hpp /root/repo/src/sim/experiment.hpp \
- /root/repo/src/sim/fabric_bridge.hpp /root/repo/src/trace/export.hpp \
- /root/repo/src/trace/timeline.hpp
+ /root/repo/src/analysis/analysis.hpp /root/repo/src/sched/program.hpp \
+ /usr/include/c++/12/variant /root/repo/src/sched/builders.hpp \
+ /root/repo/src/sched/validate.hpp /root/repo/src/sim/cost_model.hpp \
+ /root/repo/src/sim/topology.hpp /root/repo/src/sim/engine.hpp \
+ /root/repo/src/sim/experiment.hpp /root/repo/src/sim/fabric_bridge.hpp \
+ /root/repo/src/trace/export.hpp /root/repo/src/trace/timeline.hpp

@@ -1,0 +1,20 @@
+// Rendering helpers shared by the analyzer: op descriptions, witness
+// formatting, report summaries. Split from the checking logic so the
+// executor stays readable.
+#pragma once
+
+#include <string>
+
+#include "analysis/analysis.hpp"
+
+namespace weipipe::analysis {
+
+// "rank 2 op 17: Recv(src=1, tag=5, expects B-weight)"
+std::string locate_op(const sched::Program& program, int rank,
+                      std::int64_t op_index);
+
+// Builds an OpRef whose detail is `role` + ": " + the rendered op.
+OpRef make_ref(const sched::Program& program, int rank, std::int64_t op_index,
+               const std::string& role);
+
+}  // namespace weipipe::analysis

@@ -181,7 +181,8 @@ std::vector<std::uint8_t> Fabric::take(int dst, int src, std::int64_t tag) {
   WEIPIPE_CHECK_MSG(src >= 0 && src < world_size(),
                     "recv from invalid rank " << src);
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
-  const auto deadline = std::chrono::steady_clock::now() + recv_timeout_;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        recv_timeout_.load(std::memory_order_relaxed);
   std::unique_lock<std::mutex> lk(box.mu);
   const MailKey key{src, tag};
   for (;;) {

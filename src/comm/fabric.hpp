@@ -14,6 +14,7 @@
 // of microbatch size G and sequence length S — directly on these counters.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -27,6 +28,7 @@
 #include <vector>
 
 #include "comm/wire.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace weipipe::comm {
 
@@ -113,8 +115,10 @@ class Fabric {
   void reset_stats();
 
   // Maximum time recv() blocks before declaring the schedule deadlocked.
+  // Atomic because rank threads read it inside recv() while the driving
+  // thread may still be adjusting it.
   void set_recv_timeout(std::chrono::milliseconds timeout) {
-    recv_timeout_ = timeout;
+    recv_timeout_.store(timeout, std::memory_order_relaxed);
   }
 
  private:
@@ -134,7 +138,7 @@ class Fabric {
   struct Mailbox {
     std::mutex mu;
     std::condition_variable cv;
-    std::map<MailKey, std::queue<Message>> queues;
+    std::map<MailKey, std::queue<Message>> queues WEIPIPE_GUARDED_BY(mu);
   };
 
   void deliver(int src, int dst, std::int64_t tag,
@@ -144,10 +148,12 @@ class Fabric {
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   LinkModel link_model_;
-  std::chrono::milliseconds recv_timeout_{60000};
+  std::atomic<std::chrono::milliseconds> recv_timeout_{
+      std::chrono::milliseconds(60000)};
 
   mutable std::mutex stats_mu_;
-  std::vector<FabricStats> pair_stats_;  // [src * P + dst]
+  std::vector<FabricStats> pair_stats_  // [src * P + dst]
+      WEIPIPE_GUARDED_BY(stats_mu_);
 };
 
 // Runs fn(rank, endpoint) on world_size threads and joins them all; the first

@@ -1,0 +1,40 @@
+// Clang thread-safety-analysis annotations, compiled away elsewhere.
+//
+// With clang and -Wthread-safety these turn locking contracts into
+// compile-time checks: WEIPIPE_GUARDED_BY(mu) fields may only be touched with
+// `mu` held, WEIPIPE_REQUIRES(mu) functions may only be called with it held.
+// gcc (this repo's default toolchain) defines none of the attributes, so the
+// macros expand to nothing and the annotations are pure documentation there;
+// CI's clang job enforces them. See
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define WEIPIPE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define WEIPIPE_THREAD_ANNOTATION(x)
+#endif
+
+// On a mutex-like member: declares which lock serializes access.
+#define WEIPIPE_GUARDED_BY(x) WEIPIPE_THREAD_ANNOTATION(guarded_by(x))
+
+// On a pointer member: the *pointed-to* data is guarded by x.
+#define WEIPIPE_PT_GUARDED_BY(x) WEIPIPE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// On a function: caller must hold the lock(s).
+#define WEIPIPE_REQUIRES(...) \
+  WEIPIPE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+// On a function: acquires/releases the lock(s) itself.
+#define WEIPIPE_ACQUIRE(...) \
+  WEIPIPE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define WEIPIPE_RELEASE(...) \
+  WEIPIPE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+// On a function: caller must NOT hold the lock(s) (deadlock prevention).
+#define WEIPIPE_EXCLUDES(...) \
+  WEIPIPE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Escape hatch for code the analysis cannot follow.
+#define WEIPIPE_NO_THREAD_SAFETY_ANALYSIS \
+  WEIPIPE_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -45,8 +45,10 @@ void ThreadPool::worker_loop() {
       tasks_.pop();
     }
     g_inside_pool_task = true;
+    struct Reset {  // exception-safe: a throwing task must not leave the
+      ~Reset() { g_inside_pool_task = false; }  // flag stuck on this thread
+    } reset;
     task.fn();
-    g_inside_pool_task = false;
   }
 }
 
@@ -65,9 +67,9 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   }
 
   std::atomic<std::size_t> next{begin};
-  std::atomic<std::size_t> done{0};
   std::exception_ptr first_error;
   std::mutex err_mu;
+  std::size_t done = 0;  // guarded by done_mu
   std::mutex done_mu;
   std::condition_variable done_cv;
 
@@ -76,6 +78,11 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   const std::size_t chunk = std::max<std::size_t>(1, n / (4 * num_chunks));
   const std::size_t n_tasks = num_chunks;
 
+  // Every local the tasks touch by reference lives on this frame, so the
+  // completion count must be published entirely under done_mu: the waiter
+  // below holds done_mu while testing it, which means it cannot observe
+  // done == n_tasks (and destroy the frame) until the last task has
+  // released the lock — after its final access to any local.
   auto body = [&] {
     for (;;) {
       const std::size_t lo = next.fetch_add(chunk);
@@ -96,8 +103,8 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
         next.store(end);
       }
     }
-    if (done.fetch_add(1) + 1 == n_tasks) {
-      std::lock_guard<std::mutex> lk(done_mu);
+    std::lock_guard<std::mutex> lk(done_mu);
+    if (++done == n_tasks) {
       done_cv.notify_all();
     }
   };
@@ -113,7 +120,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 
   {
     std::unique_lock<std::mutex> lk(done_mu);
-    done_cv.wait(lk, [&] { return done.load() == n_tasks; });
+    done_cv.wait(lk, [&] { return done == n_tasks; });
   }
   if (first_error) {
     std::rethrow_exception(first_error);

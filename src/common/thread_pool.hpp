@@ -14,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
+
 namespace weipipe {
 
 class ThreadPool {
@@ -42,11 +44,11 @@ class ThreadPool {
 
   void worker_loop();
 
-  std::vector<std::thread> workers_;
-  std::queue<Task> tasks_;
+  std::vector<std::thread> workers_;  // written only in ctor/dtor
   std::mutex mu_;
   std::condition_variable cv_;
-  bool stop_ = false;
+  std::queue<Task> tasks_ WEIPIPE_GUARDED_BY(mu_);
+  bool stop_ WEIPIPE_GUARDED_BY(mu_) = false;
 };
 
 // Convenience: global-pool parallel loop. Falls back to serial execution for

@@ -38,6 +38,18 @@ const char* to_string(ComputeKind kind) {
   return "?";
 }
 
+const char* to_string(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kOpaque: return "opaque";
+    case MsgKind::kWeightF: return "F-weight";
+    case MsgKind::kWeightB: return "B-weight";
+    case MsgKind::kGradD: return "D-grad";
+    case MsgKind::kActivation: return "activation";
+    case MsgKind::kActGrad: return "act-grad";
+  }
+  return "?";
+}
+
 // ---- WeiPipe -------------------------------------------------------------------
 
 Program build_weipipe(const WeiPipeSchedule& schedule,
@@ -63,10 +75,12 @@ Program build_weipipe(const WeiPipeSchedule& schedule,
       if (prefetch) {
         ops.push_back(SendOp{next, costs.chunk_weight_bytes[
                                  static_cast<std::size_t>(cf)],
-                             t * 4 + 0});
+                             t * 4 + 0, /*blocking=*/false, MsgKind::kWeightF,
+                             cf});
         ops.push_back(SendOp{next, costs.chunk_weight_bytes[
                                  static_cast<std::size_t>(cb)],
-                             t * 4 + 1});
+                             t * 4 + 1, /*blocking=*/false, MsgKind::kWeightB,
+                             cb});
       }
       if (acts.fwd) {
         ops.push_back(ComputeOp{
@@ -83,18 +97,21 @@ Program build_weipipe(const WeiPipeSchedule& schedule,
       if (!prefetch) {
         ops.push_back(SendOp{next, costs.chunk_weight_bytes[
                                  static_cast<std::size_t>(cf)],
-                             t * 4 + 0, /*blocking=*/true});
+                             t * 4 + 0, /*blocking=*/true, MsgKind::kWeightF,
+                             cf});
         ops.push_back(SendOp{next, costs.chunk_weight_bytes[
                                  static_cast<std::size_t>(cb)],
-                             t * 4 + 1, /*blocking=*/true});
+                             t * 4 + 1, /*blocking=*/true, MsgKind::kWeightB,
+                             cb});
       }
       // D leaves only after this worker's contribution is in.
       ops.push_back(SendOp{next, costs.chunk_weight_bytes[
                                static_cast<std::size_t>(cb)],
-                           t * 4 + 2});
-      ops.push_back(RecvOp{prev, t * 4 + 0});
-      ops.push_back(RecvOp{prev, t * 4 + 1});
-      ops.push_back(RecvOp{prev, t * 4 + 2});
+                           t * 4 + 2, /*blocking=*/false, MsgKind::kGradD,
+                           cb});
+      ops.push_back(RecvOp{prev, t * 4 + 0, MsgKind::kWeightF});
+      ops.push_back(RecvOp{prev, t * 4 + 1, MsgKind::kWeightB});
+      ops.push_back(RecvOp{prev, t * 4 + 2, MsgKind::kGradD});
     }
     ops.push_back(ComputeOp{ComputeKind::kOptimizer, -1, -1,
                             costs.optimizer_seconds, 0.0});
@@ -117,18 +134,28 @@ Program build_weipipe_zero_bubble(std::int64_t num_workers,
     // Interleave used, W of chunk c one turn later; three chunks on the wire
     // per turn (two W + one D).
     const std::int64_t local_turns = (rounds + 3) * p + 1;  // +fill, +W tail
+    const auto md = [p](std::int64_t x) { return ((x % p) + p) % p; };
     for (std::int64_t w = 0; w < p; ++w) {
       auto& ops = prog.rank_ops[static_cast<std::size_t>(w)];
       const int next = static_cast<int>((w + 1) % p);
       const int prev = static_cast<int>((w + p - 1) % p);
       for (std::int64_t t = 0; t < local_turns; ++t) {
         const std::int64_t j = t - w;  // worker-local turn (rank stagger)
-        for (int f = 0; f < 2; ++f) {  // the two weight chunks prefetch ahead
-          ops.push_back(SendOp{next,
-                               costs.chunk_weight_bytes[static_cast<std::size_t>(
-                                   (t + f) % p)],
-                               t * 4 + f});
-        }
+        // The two weight chunks prefetch ahead. Flow positions follow the
+        // Interleave algebra (weipipe_schedule.hpp): at turn t worker w
+        // holds F-chunk (t-w) mod P and B-chunk (w-t-1) mod P.
+        const std::int64_t cf = md(t - w);
+        const std::int64_t cb = md(w - t - 1);
+        ops.push_back(SendOp{next,
+                             costs.chunk_weight_bytes[static_cast<std::size_t>(
+                                 cf)],
+                             t * 4 + 0, /*blocking=*/false, MsgKind::kWeightF,
+                             cf});
+        ops.push_back(SendOp{next,
+                             costs.chunk_weight_bytes[static_cast<std::size_t>(
+                                 cb)],
+                             t * 4 + 1, /*blocking=*/false, MsgKind::kWeightB,
+                             cb});
         if (j >= 0 && j < rounds * p) {
           const std::int64_t c = j % p;
           ops.push_back(ComputeOp{
@@ -146,11 +173,14 @@ Program build_weipipe_zero_bubble(std::int64_t num_workers,
         }
         // The circulating D pair was completed by the previous turn's W
         // pass (paper Fig. 3 pairing); it leaves after the B pass and
-        // overlaps this turn's W pass.
+        // overlaps this turn's W pass. The W pass of turn t-1 finished
+        // chunk (w-t+1) mod P, so that is the D on the wire this turn.
+        const std::int64_t cd = md(w - t + 1);
         ops.push_back(SendOp{next,
                              costs.chunk_weight_bytes[static_cast<std::size_t>(
-                                 (t + 2) % p)],
-                             t * 4 + 2});
+                                 cd)],
+                             t * 4 + 2, /*blocking=*/false, MsgKind::kGradD,
+                             cd});
         const std::int64_t jw = j - p - 1;
         if (jw >= 0 && jw < rounds * p) {
           const std::int64_t c = p - 1 - (jw % p);
@@ -159,9 +189,9 @@ Program build_weipipe_zero_bubble(std::int64_t num_workers,
               costs.bwd_weights_seconds[static_cast<std::size_t>(c)],
               -0.5 * costs.act_mem_bytes[static_cast<std::size_t>(c)]});
         }
-        for (int f = 0; f < 3; ++f) {
-          ops.push_back(RecvOp{prev, t * 4 + f});
-        }
+        ops.push_back(RecvOp{prev, t * 4 + 0, MsgKind::kWeightF});
+        ops.push_back(RecvOp{prev, t * 4 + 1, MsgKind::kWeightB});
+        ops.push_back(RecvOp{prev, t * 4 + 2, MsgKind::kGradD});
       }
       ops.push_back(ComputeOp{ComputeKind::kOptimizer, -1, -1,
                               costs.optimizer_seconds, 0.0});
@@ -172,7 +202,11 @@ Program build_weipipe_zero_bubble(std::int64_t num_workers,
   // WZB2: per cycle, forward chunks 0..P-1, then B chunks P-1..0, then W
   // chunks 0..P-1 (forward order, paper Fig. 4); cycles chain with no drain
   // because the last worker updates and re-injects immediately. Two chunks on
-  // the wire per one-chunk compute.
+  // the wire per one-chunk compute. Sends stay kOpaque: the paper analyzes
+  // WZB2 only as a turn-level model (a single circulating flow serves F, B
+  // and W passes), so there is no per-kind shard identity for the static
+  // weight-version checker to track — the wire indices below pick message
+  // sizes, not shard contents.
   const std::int64_t local_turns = 3 * p * rounds + p;  // + rank-stagger fill
   for (std::int64_t w = 0; w < p; ++w) {
     auto& ops = prog.rank_ops[static_cast<std::size_t>(w)];
@@ -225,14 +259,16 @@ void emit_pipeline_forward(Program& prog, const StrategyCosts& costs,
                            std::int64_t p, std::int64_t s, std::int64_t j) {
   auto& ops = prog.rank_ops[static_cast<std::size_t>(s)];
   if (s > 0) {
-    ops.push_back(RecvOp{static_cast<int>(s - 1), kTagActBase + j});
+    ops.push_back(RecvOp{static_cast<int>(s - 1), kTagActBase + j,
+                         MsgKind::kActivation});
   }
   ops.push_back(ComputeOp{ComputeKind::kForward, j, s,
                           costs.fwd_seconds[static_cast<std::size_t>(s)],
                           costs.act_mem_bytes[static_cast<std::size_t>(s)]});
   if (s < p - 1) {
     ops.push_back(SendOp{static_cast<int>(s + 1), costs.act_bytes,
-                         kTagActBase + j, /*blocking=*/true});
+                         kTagActBase + j, /*blocking=*/true,
+                         MsgKind::kActivation, s});
   }
 }
 
@@ -240,14 +276,16 @@ void emit_pipeline_backward(Program& prog, const StrategyCosts& costs,
                             std::int64_t p, std::int64_t s, std::int64_t j) {
   auto& ops = prog.rank_ops[static_cast<std::size_t>(s)];
   if (s < p - 1) {
-    ops.push_back(RecvOp{static_cast<int>(s + 1), kTagGradBase + j});
+    ops.push_back(RecvOp{static_cast<int>(s + 1), kTagGradBase + j,
+                         MsgKind::kActGrad});
   }
   ops.push_back(ComputeOp{ComputeKind::kBackward, j, s,
                           costs.bwd_seconds[static_cast<std::size_t>(s)],
                           -costs.act_mem_bytes[static_cast<std::size_t>(s)]});
   if (s > 0) {
     ops.push_back(SendOp{static_cast<int>(s - 1), costs.act_grad_bytes,
-                         kTagGradBase + j, /*blocking=*/true});
+                         kTagGradBase + j, /*blocking=*/true,
+                         MsgKind::kActGrad, s});
   }
 }
 
@@ -447,7 +485,8 @@ Program build_zero_bubble(std::int64_t num_stages,
       switch (kind) {
         case ComputeKind::kForward:
           if (s > 0) {
-            ops.push_back(RecvOp{static_cast<int>(s - 1), kTagActBase + j});
+            ops.push_back(RecvOp{static_cast<int>(s - 1), kTagActBase + j,
+                                 MsgKind::kActivation});
           }
           ops.push_back(
               ComputeOp{ComputeKind::kForward, j, s,
@@ -455,12 +494,14 @@ Program build_zero_bubble(std::int64_t num_stages,
                         costs.act_mem_bytes[static_cast<std::size_t>(s)]});
           if (s < p - 1) {
             ops.push_back(SendOp{static_cast<int>(s + 1), costs.act_bytes,
-                                 kTagActBase + j, /*blocking=*/true});
+                                 kTagActBase + j, /*blocking=*/true,
+                                 MsgKind::kActivation, s});
           }
           break;
         case ComputeKind::kBackwardActs:
           if (s < p - 1) {
-            ops.push_back(RecvOp{static_cast<int>(s + 1), kTagGradBase + j});
+            ops.push_back(RecvOp{static_cast<int>(s + 1), kTagGradBase + j,
+                                 MsgKind::kActGrad});
           }
           ops.push_back(ComputeOp{
               ComputeKind::kBackwardActs, j, s,
@@ -469,7 +510,7 @@ Program build_zero_bubble(std::int64_t num_stages,
           if (s > 0) {
             ops.push_back(SendOp{static_cast<int>(s - 1),
                                  costs.act_grad_bytes, kTagGradBase + j,
-                                 /*blocking=*/true});
+                                 /*blocking=*/true, MsgKind::kActGrad, s});
           }
           break;
         case ComputeKind::kBackwardWeights:

@@ -38,6 +38,22 @@ enum class ComputeKind {
 
 const char* to_string(ComputeKind kind);
 
+// What a point-to-point message carries. Builders annotate their sends (and
+// the expectation on their recvs) so static analysis (analysis/analysis.hpp)
+// can track weight-shard circulation without executing the program. kOpaque
+// marks payloads the analyzer should not interpret; the engine ignores the
+// field entirely — it only affects static checking and trace rendering.
+enum class MsgKind {
+  kOpaque,      // unannotated: matching/deadlock analysis only
+  kWeightF,     // F-flow weight chunk (consumed by forward computes)
+  kWeightB,     // B-flow weight chunk (consumed by backward computes)
+  kGradD,       // circulating weight-gradient chunk D
+  kActivation,  // stage-boundary activations
+  kActGrad,     // stage-boundary activation gradients
+};
+
+const char* to_string(MsgKind kind);
+
 struct ComputeOp {
   ComputeKind kind = ComputeKind::kForward;
   std::int64_t microbatch = -1;
@@ -56,11 +72,20 @@ struct SendOp {
   // exchanges sit on the same-microbatch critical path); WeiPipe's weight
   // sends are prefetchable a full turn ahead and stay asynchronous.
   bool blocking = false;
+  // Payload annotation for static analysis: what rides the wire, and which
+  // chunk it is (for weight/gradient kinds; -1 = not chunk-identified).
+  MsgKind kind = MsgKind::kOpaque;
+  std::int64_t chunk = -1;
 };
 
 struct RecvOp {
   int src = 0;
   std::int64_t tag = 0;
+  // What the receiver will interpret the payload as. A tag bug that makes a
+  // B-flow weight land in the F buffer is invisible at runtime (the bytes
+  // fit) but is exactly what the static weight-version check catches by
+  // comparing this against the matched send's annotation.
+  MsgKind kind = MsgKind::kOpaque;
 };
 
 // Asynchronous bulk transfer on the rank's comm channel (collective share).

@@ -7,6 +7,20 @@
 
 namespace weipipe::sched {
 
+namespace {
+
+// Channel bookkeeping: send/recv balance plus a representative op on each
+// side so diagnostics can name a concrete rank + op index.
+struct ChannelState {
+  std::int64_t balance = 0;  // sends minus recvs
+  int send_rank = -1;
+  std::int64_t send_op = -1;  // first send on the channel
+  int recv_rank = -1;
+  std::int64_t recv_op = -1;  // first recv on the channel
+};
+
+}  // namespace
+
 ValidationReport validate(const Program& program) {
   ValidationReport report;
   const int p = program.num_ranks();
@@ -15,13 +29,16 @@ ValidationReport validate(const Program& program) {
     return report;
   }
 
-  // (src, dst, tag) -> sends minus recvs.
-  std::map<std::tuple<int, int, std::int64_t>, std::int64_t> balance;
+  std::map<std::tuple<int, int, std::int64_t>, ChannelState> channels;
+  bool any_rank_starts_unblocked = false;
 
   for (int r = 0; r < p; ++r) {
     double mem = 0.0;
     std::set<std::int64_t> posted_collectives;
     const auto& ops = program.rank_ops[static_cast<std::size_t>(r)];
+    if (ops.empty() || !std::holds_alternative<RecvOp>(ops.front())) {
+      any_rank_starts_unblocked = true;
+    }
     for (std::size_t i = 0; i < ops.size(); ++i) {
       std::ostringstream where;
       where << "rank " << r << " op " << i;
@@ -40,7 +57,12 @@ ValidationReport validate(const Program& program) {
         } else if (s->dst == r) {
           report.fail(where.str() + ": self-send");
         } else {
-          ++balance[{r, s->dst, s->tag}];
+          ChannelState& ch = channels[{r, s->dst, s->tag}];
+          ++ch.balance;
+          if (ch.send_op < 0) {
+            ch.send_rank = r;
+            ch.send_op = static_cast<std::int64_t>(i);
+          }
         }
         if (!(s->bytes >= 0.0) || !std::isfinite(s->bytes)) {
           report.fail(where.str() + ": negative/NaN send bytes");
@@ -52,12 +74,27 @@ ValidationReport validate(const Program& program) {
         } else if (rc->src == r) {
           report.fail(where.str() + ": self-recv");
         } else {
-          --balance[{rc->src, r, rc->tag}];
+          ChannelState& ch = channels[{rc->src, r, rc->tag}];
+          --ch.balance;
+          if (ch.recv_op < 0) {
+            ch.recv_rank = r;
+            ch.recv_op = static_cast<std::int64_t>(i);
+          }
         }
       } else if (const auto* cs = std::get_if<CollectiveStartOp>(&ops[i])) {
-        posted_collectives.insert(cs->id);
+        if (cs->id < 0) {
+          report.fail(where.str() + ": negative collective id " +
+                      std::to_string(cs->id));
+        }
+        if (!posted_collectives.insert(cs->id).second) {
+          report.fail(where.str() + ": duplicate collective id " +
+                      std::to_string(cs->id));
+        }
         if (!(cs->seconds >= 0.0) || !std::isfinite(cs->seconds)) {
           report.fail(where.str() + ": negative/NaN collective duration");
+        }
+        if (!(cs->bytes >= 0.0) || !std::isfinite(cs->bytes)) {
+          report.fail(where.str() + ": negative/NaN collective bytes");
         }
       } else if (const auto* cw = std::get_if<CollectiveWaitOp>(&ops[i])) {
         if (posted_collectives.find(cw->id) == posted_collectives.end()) {
@@ -73,13 +110,26 @@ ValidationReport validate(const Program& program) {
     }
   }
 
-  for (const auto& [key, count] : balance) {
-    if (count != 0) {
+  // A program where every rank opens on a Recv can never produce a message:
+  // guaranteed deadlock before the first op completes anywhere.
+  if (!any_rank_starts_unblocked) {
+    report.fail(
+        "rank 0 op 0: Recv before any possible Send — every rank's first op "
+        "is a Recv, so no rank can ever produce a message");
+  }
+
+  for (const auto& [key, ch] : channels) {
+    if (ch.balance != 0) {
       const auto& [src, dst, tag] = key;
       std::ostringstream oss;
-      oss << "channel (" << src << " -> " << dst << ", tag " << tag << "): "
-          << (count > 0 ? "unreceived sends: " : "unmatched recvs: ")
-          << std::llabs(count);
+      oss << "channel (" << src << " -> " << dst << ", tag " << tag << "): ";
+      if (ch.balance > 0) {
+        oss << "unreceived sends: " << ch.balance << " (first send at rank "
+            << ch.send_rank << " op " << ch.send_op << ")";
+      } else {
+        oss << "unmatched recvs: " << -ch.balance << " (first recv at rank "
+            << ch.recv_rank << " op " << ch.recv_op << ")";
+      }
       report.fail(oss.str());
     }
   }

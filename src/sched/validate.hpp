@@ -23,10 +23,18 @@ struct ValidationReport {
 //  * every Recv has a matching Send on the same (src, dst, tag) — counts
 //    must balance exactly (unreceived messages usually mean a tag bug);
 //  * Send destinations / Recv sources are valid ranks, never self;
-//  * compute durations and byte counts are non-negative and finite;
+//  * compute durations and byte counts are non-negative and finite (sends
+//    and collectives both);
 //  * every CollectiveWait refers to a previously posted CollectiveStart on
-//    the same rank;
+//    the same rank; collective ids are non-negative and unique per rank;
+//  * not every rank's first op is a Recv (nobody could ever send);
 //  * per-rank activation deltas sum to ~zero (leaked contexts otherwise).
+// Diagnostics name the offending rank + op index.
+//
+// This is the cheap per-op layer. analysis::analyze() (analysis/analysis.hpp)
+// delegates to it and adds the deep whole-program checks: deadlock cycles
+// with witness traces, weight-version consistency, compute coverage, and
+// static memory bounds.
 ValidationReport validate(const Program& program);
 
 }  // namespace weipipe::sched

@@ -1,10 +1,13 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <queue>
+#include <sstream>
 #include <unordered_map>
 
+#include "analysis/analysis.hpp"
 #include "common/check.hpp"
 
 namespace weipipe::sim {
@@ -131,7 +134,44 @@ SimResult simulate(const sched::Program& program, const Topology& topo,
   for (const auto& [key, usage] : link_usage) {
     res.links.push_back(usage);
   }
+  if (options.cross_check_analysis) {
+    const std::vector<std::string> issues = analysis_cross_check(program, res);
+    WEIPIPE_CHECK_MSG(issues.empty(),
+                      "static analysis cross-check failed for '"
+                          << program.name << "': " << issues.front() << " ("
+                          << issues.size() << " issue(s) total)");
+  }
   return res;
+}
+
+std::vector<std::string> analysis_cross_check(const sched::Program& program,
+                                              const SimResult& result) {
+  std::vector<std::string> issues;
+  const analysis::AnalysisReport report = analysis::analyze(program);
+  for (const analysis::Finding& f : report.findings) {
+    issues.push_back(std::string("[") + analysis::to_string(f.kind) + "] " +
+                     f.message);
+  }
+  if (report.static_peak_bytes.size() != result.peak_act_bytes.size()) {
+    std::ostringstream oss;
+    oss << "rank count mismatch: analyzer saw "
+        << report.static_peak_bytes.size() << ", engine "
+        << result.peak_act_bytes.size();
+    issues.push_back(oss.str());
+    return issues;
+  }
+  for (std::size_t r = 0; r < report.static_peak_bytes.size(); ++r) {
+    const double want = report.static_peak_bytes[r];
+    const double got = result.peak_act_bytes[r];
+    const double tol = 1e-6 + 1e-9 * std::fabs(want);
+    if (std::fabs(want - got) > tol) {
+      std::ostringstream oss;
+      oss << "rank " << r << ": static peak-memory bound " << want
+          << " B != engine-measured peak " << got << " B";
+      issues.push_back(oss.str());
+    }
+  }
+  return issues;
 }
 
 }  // namespace weipipe::sim

@@ -86,11 +86,24 @@ struct SimResult {
 
 struct EngineOptions {
   bool record_ops = false;
+  // Runs the static analyzer (analysis/analysis.hpp) after the simulation
+  // and throws if it reports findings or if its static per-rank peak-memory
+  // bound disagrees with what the engine measured. The static bound is
+  // exact (per-rank prefix sums are linearization-independent), so any
+  // mismatch means engine and analyzer disagree about the IR's semantics.
+  bool cross_check_analysis = false;
 };
 
 // Executes the program; throws weipipe::Error on schedule deadlock
 // (a Recv whose message is never sent).
 SimResult simulate(const sched::Program& program, const Topology& topo,
                    EngineOptions options = {});
+
+// The cross-check behind EngineOptions::cross_check_analysis, callable on an
+// existing result: returns one human-readable line per discrepancy between
+// the static analysis of `program` and the engine's `result` (empty =
+// consistent and finding-free).
+std::vector<std::string> analysis_cross_check(const sched::Program& program,
+                                              const SimResult& result);
 
 }  // namespace weipipe::sim

@@ -43,7 +43,8 @@
 #include "core/trainer.hpp"
 #include "core/weipipe_trainer.hpp"
 
-// Scheduling and simulation
+// Scheduling, static analysis, and simulation
+#include "analysis/analysis.hpp"
 #include "sched/builders.hpp"
 #include "sched/program.hpp"
 #include "sched/validate.hpp"

@@ -4,6 +4,7 @@
 //   weipipe_cli generate [flags]   sample from a checkpoint
 //   weipipe_cli plan     [flags]   pick a strategy for a model x cluster
 //   weipipe_cli schedule [flags]   render a schedule timeline
+//   weipipe_cli analyze  [flags]   statically model-check schedules
 //   weipipe_cli help
 //
 // Run `weipipe_cli help` for every flag.
@@ -254,12 +255,11 @@ int cmd_plan(const Flags& flags) {
   return 0;
 }
 
-int cmd_schedule(const Flags& flags) {
-  const std::string strategy = flags.str("strategy", "interleave");
-  const std::int64_t p = flags.i64("workers", 4);
-  const std::int64_t rounds = flags.i64("rounds", 2);
-  const double ratio = flags.f64("bwd-ratio", 2.0);
-
+// Shared by `schedule` and `analyze`: emit a strategy's program with unit
+// synthetic costs (T_F = 1, T_B = ratio).
+sched::Program build_schedule_program(const std::string& strategy,
+                                      std::int64_t p, std::int64_t rounds,
+                                      double ratio) {
   sched::StrategyCosts costs;
   for (std::int64_t i = 0; i < p; ++i) {
     costs.fwd_seconds.push_back(1.0);
@@ -272,31 +272,110 @@ int cmd_schedule(const Flags& flags) {
   costs.act_bytes = 1.0;
   costs.act_grad_bytes = 1.0;
 
-  sched::Program prog;
   const std::int64_t n = rounds * p;
   if (strategy == "naive") {
-    prog = sched::build_weipipe(WeiPipeSchedule(p, rounds, WeiPipeMode::kNaive),
+    return sched::build_weipipe(WeiPipeSchedule(p, rounds, WeiPipeMode::kNaive),
                                 costs);
-  } else if (strategy == "interleave" || strategy == "weipipe") {
-    prog = sched::build_weipipe(
-        WeiPipeSchedule(p, rounds, WeiPipeMode::kInterleave), costs);
-  } else if (strategy == "wzb1") {
-    prog = sched::build_weipipe_zero_bubble(p, rounds,
-                                            sched::WzbVariant::kWzb1, costs);
-  } else if (strategy == "wzb2") {
-    prog = sched::build_weipipe_zero_bubble(p, rounds,
-                                            sched::WzbVariant::kWzb2, costs);
-  } else if (strategy == "gpipe") {
-    prog = sched::build_gpipe(p, n, costs);
-  } else if (strategy == "1f1b") {
-    prog = sched::build_1f1b(p, n, costs);
-  } else if (strategy == "zb1") {
-    prog = sched::build_zero_bubble(p, n, sched::ZbVariant::kZb1, costs);
-  } else if (strategy == "zb2") {
-    prog = sched::build_zero_bubble(p, n, sched::ZbVariant::kZb2, costs);
-  } else {
-    WEIPIPE_CHECK_MSG(false, "unknown --strategy '" << strategy << "'");
   }
+  if (strategy == "interleave" || strategy == "weipipe") {
+    return sched::build_weipipe(
+        WeiPipeSchedule(p, rounds, WeiPipeMode::kInterleave), costs);
+  }
+  if (strategy == "no-prefetch") {
+    return sched::build_weipipe(
+        WeiPipeSchedule(p, rounds, WeiPipeMode::kInterleave), costs,
+        /*prefetch=*/false);
+  }
+  if (strategy == "wzb1") {
+    return sched::build_weipipe_zero_bubble(p, rounds,
+                                            sched::WzbVariant::kWzb1, costs);
+  }
+  if (strategy == "wzb2") {
+    return sched::build_weipipe_zero_bubble(p, rounds,
+                                            sched::WzbVariant::kWzb2, costs);
+  }
+  if (strategy == "gpipe") {
+    return sched::build_gpipe(p, n, costs);
+  }
+  if (strategy == "1f1b") {
+    return sched::build_1f1b(p, n, costs);
+  }
+  if (strategy == "zb1") {
+    return sched::build_zero_bubble(p, n, sched::ZbVariant::kZb1, costs);
+  }
+  if (strategy == "zb2") {
+    return sched::build_zero_bubble(p, n, sched::ZbVariant::kZb2, costs);
+  }
+  if (strategy == "fsdp") {
+    sched::FsdpCollectiveCosts coll;
+    for (std::int64_t i = 0; i < p; ++i) {
+      coll.all_gather_seconds.push_back(0.5);
+      coll.reduce_scatter_seconds.push_back(0.5);
+      coll.all_gather_bytes.push_back(1.0);
+      coll.reduce_scatter_bytes.push_back(1.0);
+    }
+    return sched::build_fsdp(p, rounds, costs, coll,
+                             /*overlap_prefetch=*/true);
+  }
+  WEIPIPE_CHECK_MSG(false, "unknown --strategy '" << strategy << "'");
+  return {};
+}
+
+const char* kAllStrategies[] = {"naive", "interleave", "no-prefetch", "wzb1",
+                                "wzb2",  "gpipe",      "1f1b",        "zb1",
+                                "zb2",   "fsdp"};
+
+int cmd_analyze(const Flags& flags) {
+  const std::string strategy = flags.str("strategy", "all");
+  const std::int64_t p = flags.i64("workers", 4);
+  const std::int64_t rounds = flags.i64("rounds", 2);
+  const double ratio = flags.f64("bwd-ratio", 2.0);
+
+  std::vector<std::string> strategies;
+  if (strategy == "all") {
+    strategies.assign(std::begin(kAllStrategies), std::end(kAllStrategies));
+  } else {
+    strategies.push_back(strategy);
+  }
+
+  std::size_t total_findings = 0;
+  for (const std::string& s : strategies) {
+    const sched::Program prog = build_schedule_program(s, p, rounds, ratio);
+    const analysis::AnalysisReport report = analysis::analyze(prog);
+    std::printf("%s", report.summary().c_str());
+    total_findings += report.findings.size() + report.findings_dropped;
+    if (report.ok() && !report.deadlocked) {
+      // The static memory bound is exact; prove it against the engine.
+      const std::vector<std::string> issues = sim::analysis_cross_check(
+          prog,
+          sim::simulate(prog, sim::Topology::uniform(static_cast<int>(p),
+                                                     sim::Link{1e15, 0.0},
+                                                     "ideal")));
+      if (issues.empty()) {
+        std::printf("  engine cross-check: peaks match\n");
+      } else {
+        for (const std::string& issue : issues) {
+          std::printf("  engine cross-check FAILED: %s\n", issue.c_str());
+        }
+        ++total_findings;
+      }
+    }
+  }
+  if (total_findings > 0) {
+    std::printf("analysis found %zu problem(s)\n", total_findings);
+    return 1;
+  }
+  std::printf("all analyzed schedules are clean\n");
+  return 0;
+}
+
+int cmd_schedule(const Flags& flags) {
+  const std::string strategy = flags.str("strategy", "interleave");
+  const std::int64_t p = flags.i64("workers", 4);
+  const std::int64_t rounds = flags.i64("rounds", 2);
+  const double ratio = flags.f64("bwd-ratio", 2.0);
+
+  sched::Program prog = build_schedule_program(strategy, p, rounds, ratio);
 
   const sched::ValidationReport report = sched::validate(prog);
   WEIPIPE_CHECK_MSG(report.ok, "schedule failed validation: "
@@ -346,8 +425,12 @@ COMMANDS
     --dim H --seq S --batch-size G --layers L --microbatches N
     --gpus N --gpus-per-node N --env nvlink|pcie|ethernet --csv PATH
   schedule   render a pipeline schedule as an ASCII timeline
-    --strategy naive|interleave|wzb1|wzb2|gpipe|1f1b|zb1|zb2
+    --strategy naive|interleave|no-prefetch|wzb1|wzb2|gpipe|1f1b|zb1|zb2|fsdp
     --workers P --rounds R --bwd-ratio f --width n --csv PATH --svg PATH
+  analyze    statically model-check a schedule (deadlock cycles,
+             weight-version consistency, peak-memory bounds)
+    --strategy all|naive|interleave|no-prefetch|wzb1|wzb2|gpipe|1f1b|zb1|zb2|fsdp
+    --workers P --rounds R --bwd-ratio f
 )");
 }
 
@@ -372,6 +455,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "schedule") {
       return cmd_schedule(flags);
+    }
+    if (cmd == "analyze") {
+      return cmd_analyze(flags);
     }
     if (cmd == "help" || cmd == "--help") {
       print_help();
