@@ -3,6 +3,7 @@
 #include "comm/collectives.hpp"
 #include "common/stopwatch.hpp"
 #include "nn/loss.hpp"
+#include "obs/recorder.hpp"
 
 namespace weipipe {
 
@@ -27,6 +28,7 @@ FsdpTrainer::FsdpTrainer(const TrainConfig& cfg, std::int64_t num_ranks,
 IterationResult FsdpTrainer::train_iteration(const Dataset& data,
                                              std::int64_t iter_index) {
   Stopwatch sw;
+  obs::SpanScope step_span(obs::SpanKind::kStep);
   fabric_->reset_stats();
   std::vector<double> losses(
       static_cast<std::size_t>(cfg_.num_microbatches), 0.0);
@@ -88,9 +90,11 @@ void FsdpTrainer::rank_body(int rank, comm::Endpoint& ep,
 
     // Forward sweep: gather -> compute -> free, chunk by chunk (ZeRO-3).
     std::vector<std::vector<BlockCtx>> ctxs(static_cast<std::size_t>(p_));
+    std::int64_t act_resident_bytes = 0;
     Tensor x;
     for (std::int64_t c = 0; c < p_; ++c) {
       gather_chunk(c, wbuf);
+      obs::SpanScope fwd_span(obs::SpanKind::kForward, j, c);
       const ChunkSpec& spec = chunks_[static_cast<std::size_t>(c)];
       std::int64_t off = 0;
       for (std::int64_t b = spec.begin; b < spec.end; ++b) {
@@ -103,15 +107,29 @@ void FsdpTrainer::rank_body(int rank, comm::Endpoint& ep,
             !cfg_.model.recompute);
         off += np;
       }
+      if (fwd_span.armed()) {
+        std::int64_t delta = 0;
+        for (const BlockCtx& ctx : ctxs[static_cast<std::size_t>(c)]) {
+          delta += ctx.bytes();
+        }
+        act_resident_bytes += delta;
+        fwd_span.set_bytes(delta);
+        fwd_span.set_act_bytes_after(static_cast<double>(act_resident_bytes));
+      }
     }
-    LossResult lr = cross_entropy_loss(x, mb);
-    losses[static_cast<std::size_t>(j)] = lr.loss;
-    lr.dlogits.scale_(1.0f / static_cast<float>(n));
-    Tensor d = std::move(lr.dlogits);
+    Tensor d;
+    {
+      obs::SpanScope loss_span(obs::SpanKind::kLoss, j);
+      LossResult lr = cross_entropy_loss(x, mb);
+      losses[static_cast<std::size_t>(j)] = lr.loss;
+      lr.dlogits.scale_(1.0f / static_cast<float>(n));
+      d = std::move(lr.dlogits);
+    }
 
     // Backward sweep: ZeRO-3 gathers every chunk a second time.
     for (std::int64_t c = p_ - 1; c >= 0; --c) {
       gather_chunk(c, wbuf);
+      obs::SpanScope bwd_span(obs::SpanKind::kBackward, j, c);
       const ChunkSpec& spec = chunks_[static_cast<std::size_t>(c)];
       std::vector<float>& g = grads[static_cast<std::size_t>(c)];
       for (std::int64_t b = spec.end - 1; b >= spec.begin; --b) {
@@ -124,6 +142,15 @@ void FsdpTrainer::rank_body(int rank, comm::Endpoint& ep,
                     [static_cast<std::size_t>(b - spec.begin)],
             d,
             std::span<float>(g.data() + off, static_cast<std::size_t>(np)));
+      }
+      if (bwd_span.armed()) {
+        std::int64_t freed = 0;
+        for (const BlockCtx& ctx : ctxs[static_cast<std::size_t>(c)]) {
+          freed += ctx.bytes();
+        }
+        act_resident_bytes -= freed;
+        bwd_span.set_bytes(-freed);
+        bwd_span.set_act_bytes_after(static_cast<double>(act_resident_bytes));
       }
     }
   }
@@ -153,6 +180,7 @@ void FsdpTrainer::rank_body(int rank, comm::Endpoint& ep,
       }
     }
   }
+  obs::SpanScope opt_span(obs::SpanKind::kOptimizer, -1, r);
   std::vector<float>& m = master_[static_cast<std::size_t>(r)];
   adam_[static_cast<std::size_t>(r)].step(
       std::span<float>(m.data(), m.size()),

@@ -5,14 +5,16 @@
 
 #include "comm/collectives.hpp"
 #include "common/stopwatch.hpp"
+#include "core/wire_tags.hpp"
 #include "nn/loss.hpp"
+#include "obs/recorder.hpp"
 
 namespace weipipe {
 
-namespace {
-constexpr std::int64_t kTagAct = 20;   // stage s -> s+1 activations
-constexpr std::int64_t kTagGrad = 21;  // stage s+1 -> s activation grads
+using wire_tags::kTagAct;
+using wire_tags::kTagGrad;
 
+namespace {
 struct MbCtx {
   Microbatch mb;
   std::vector<BlockCtx> ctxs;  // one per block in this stage's chunk
@@ -47,6 +49,7 @@ PipelineTrainer::PipelineTrainer(const TrainConfig& cfg,
 IterationResult PipelineTrainer::train_iteration(const Dataset& data,
                                                  std::int64_t iter_index) {
   Stopwatch sw;
+  obs::SpanScope step_span(obs::SpanKind::kStep);
   fabric_->reset_stats();
   std::vector<double> losses(
       static_cast<std::size_t>(cfg_.num_microbatches), 0.0);
@@ -88,6 +91,8 @@ void PipelineTrainer::stage_body(int rank, comm::Endpoint& ep,
   std::vector<float> grads(m.size(), 0.0f);
 
   std::map<std::int64_t, MbCtx> inflight;
+  // Resident saved-activation bytes on this stage (tracked while tracing).
+  std::int64_t act_resident_bytes = 0;
 
   auto forward_mb = [&](std::int64_t j) {
     MbCtx st;
@@ -100,16 +105,29 @@ void PipelineTrainer::stage_body(int rank, comm::Endpoint& ep,
     }
     st.ctxs.clear();
     std::int64_t off = 0;
-    for (std::int64_t b = spec.begin; b < spec.end; ++b) {
-      const std::int64_t np = model_.block_param_count(b);
-      st.ctxs.emplace_back();
-      x = model_.block(b).forward(
-          std::span<const float>(w.data() + off,
-                                 static_cast<std::size_t>(np)),
-          st.mb, x, st.ctxs.back(), !cfg_.model.recompute);
-      off += np;
+    {
+      obs::SpanScope fwd_span(obs::SpanKind::kForward, j, s);
+      for (std::int64_t b = spec.begin; b < spec.end; ++b) {
+        const std::int64_t np = model_.block_param_count(b);
+        st.ctxs.emplace_back();
+        x = model_.block(b).forward(
+            std::span<const float>(w.data() + off,
+                                   static_cast<std::size_t>(np)),
+            st.mb, x, st.ctxs.back(), !cfg_.model.recompute);
+        off += np;
+      }
+      if (fwd_span.armed()) {
+        std::int64_t delta = 0;
+        for (const BlockCtx& ctx : st.ctxs) {
+          delta += ctx.bytes();
+        }
+        act_resident_bytes += delta;
+        fwd_span.set_bytes(delta);
+        fwd_span.set_act_bytes_after(static_cast<double>(act_resident_bytes));
+      }
     }
     if (last) {
+      obs::SpanScope loss_span(obs::SpanKind::kLoss, j, s);
       LossResult lr = cross_entropy_loss(x, st.mb);
       losses[static_cast<std::size_t>(j)] = lr.loss;
       lr.dlogits.scale_(1.0f / static_cast<float>(n));
@@ -133,15 +151,27 @@ void PipelineTrainer::stage_body(int rank, comm::Endpoint& ep,
       ep.recv_floats(static_cast<int>(s + 1), kTagGrad, d.span(),
                      cfg_.precision.activation_grads);
     }
-    for (std::int64_t b = spec.end - 1; b >= spec.begin; --b) {
-      const std::int64_t off = model_.block_offset_in_chunk(spec, b);
-      const std::int64_t np = model_.block_param_count(b);
-      d = model_.block(b).backward(
-          std::span<const float>(w.data() + off,
-                                 static_cast<std::size_t>(np)),
-          st.mb, st.ctxs[static_cast<std::size_t>(b - spec.begin)], d,
-          std::span<float>(grads.data() + off,
-                           static_cast<std::size_t>(np)));
+    {
+      obs::SpanScope bwd_span(obs::SpanKind::kBackward, j, s);
+      for (std::int64_t b = spec.end - 1; b >= spec.begin; --b) {
+        const std::int64_t off = model_.block_offset_in_chunk(spec, b);
+        const std::int64_t np = model_.block_param_count(b);
+        d = model_.block(b).backward(
+            std::span<const float>(w.data() + off,
+                                   static_cast<std::size_t>(np)),
+            st.mb, st.ctxs[static_cast<std::size_t>(b - spec.begin)], d,
+            std::span<float>(grads.data() + off,
+                             static_cast<std::size_t>(np)));
+      }
+      if (bwd_span.armed()) {
+        std::int64_t freed = 0;
+        for (const BlockCtx& ctx : st.ctxs) {
+          freed += ctx.bytes();
+        }
+        act_resident_bytes -= freed;
+        bwd_span.set_bytes(-freed);
+        bwd_span.set_act_bytes_after(static_cast<double>(act_resident_bytes));
+      }
     }
     if (!first) {
       ep.send_floats(static_cast<int>(s - 1), kTagGrad, d.span(),
@@ -186,6 +216,7 @@ void PipelineTrainer::stage_body(int rank, comm::Endpoint& ep,
       }
     }
   }
+  obs::SpanScope opt_span(obs::SpanKind::kOptimizer, -1, s);
   adam_[static_cast<std::size_t>(s)].step(
       std::span<float>(master_[static_cast<std::size_t>(s)].data(),
                        master_[static_cast<std::size_t>(s)].size()),

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "obs/recorder.hpp"
 
 namespace weipipe::comm {
 
@@ -13,9 +14,22 @@ int ring_prev(int rank, int world) { return (rank + world - 1) % world; }
 int mod(int a, int m) { return ((a % m) + m) % m; }
 }  // namespace
 
+// One end-to-end span per collective call; the nested per-hop send/recv
+// spans record independently and nest underneath it in the trace. A macro
+// because SpanScope is a non-movable RAII type that must live in the
+// caller's frame; expects `ep` and `tag_base` in scope.
+#define WEIPIPE_COLLECTIVE_SPAN(kind, label_literal)  \
+  obs::SpanScope collective_span_(kind);              \
+  if (collective_span_.armed()) {                     \
+    collective_span_.set_rank(ep.rank());             \
+    collective_span_.set_tag(tag_base);               \
+    collective_span_.set_label(label_literal);        \
+  }
+
 void ring_all_gather(Endpoint& ep, std::span<const float> shard,
                      std::span<float> full, WirePrecision precision,
                      std::int64_t tag_base) {
+  WEIPIPE_COLLECTIVE_SPAN(obs::SpanKind::kCollective, "all_gather");
   const int p = ep.world_size();
   const int r = ep.rank();
   const std::size_t n = shard.size();
@@ -46,6 +60,7 @@ void ring_all_gather(Endpoint& ep, std::span<const float> shard,
 void ring_reduce_scatter(Endpoint& ep, std::span<const float> full,
                          std::span<float> shard_out, WirePrecision precision,
                          std::int64_t tag_base) {
+  WEIPIPE_COLLECTIVE_SPAN(obs::SpanKind::kCollective, "reduce_scatter");
   const int p = ep.world_size();
   const int r = ep.rank();
   const std::size_t n = shard_out.size();
@@ -80,6 +95,7 @@ void ring_reduce_scatter(Endpoint& ep, std::span<const float> full,
 
 void ring_all_reduce(Endpoint& ep, std::span<float> buffer,
                      WirePrecision precision, std::int64_t tag_base) {
+  WEIPIPE_COLLECTIVE_SPAN(obs::SpanKind::kCollective, "all_reduce");
   const int p = ep.world_size();
   if (p == 1) {
     return;
@@ -99,6 +115,7 @@ void ring_all_reduce(Endpoint& ep, std::span<float> buffer,
 }
 
 void barrier(Endpoint& ep, std::int64_t tag_base) {
+  WEIPIPE_COLLECTIVE_SPAN(obs::SpanKind::kBarrier, "barrier");
   const int p = ep.world_size();
   if (p == 1) {
     return;
@@ -120,6 +137,7 @@ void barrier(Endpoint& ep, std::int64_t tag_base) {
 
 void ring_broadcast(Endpoint& ep, int root, std::span<float> buffer,
                     WirePrecision precision, std::int64_t tag_base) {
+  WEIPIPE_COLLECTIVE_SPAN(obs::SpanKind::kCollective, "broadcast");
   const int p = ep.world_size();
   if (p == 1) {
     return;
@@ -139,6 +157,7 @@ void ring_broadcast(Endpoint& ep, int root, std::span<float> buffer,
 
 double ring_all_reduce_scalar(Endpoint& ep, double value,
                               std::int64_t tag_base) {
+  WEIPIPE_COLLECTIVE_SPAN(obs::SpanKind::kCollective, "all_reduce_scalar");
   const int p = ep.world_size();
   if (p == 1) {
     return value;
@@ -179,6 +198,7 @@ void ring_reduce_to_root(Endpoint& ep, int root,
                          std::span<const float> contribution,
                          std::span<float> out, WirePrecision precision,
                          std::int64_t tag_base) {
+  WEIPIPE_COLLECTIVE_SPAN(obs::SpanKind::kCollective, "reduce_to_root");
   const int p = ep.world_size();
   const int r = ep.rank();
   if (p == 1) {
@@ -208,5 +228,7 @@ void ring_reduce_to_root(Endpoint& ep, int root,
                    std::span<const float>(acc.data(), acc.size()), precision);
   }
 }
+
+#undef WEIPIPE_COLLECTIVE_SPAN
 
 }  // namespace weipipe::comm

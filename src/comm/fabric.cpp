@@ -1,8 +1,10 @@
 #include "comm/fabric.hpp"
 
+#include <algorithm>
 #include <exception>
 
 #include "common/check.hpp"
+#include "obs/recorder.hpp"
 
 namespace weipipe::comm {
 
@@ -26,11 +28,21 @@ int Endpoint::world_size() const { return fabric_->world_size(); }
 
 void Endpoint::send(int dst, std::int64_t tag,
                     std::vector<std::uint8_t> payload) {
-  fabric_->deliver(rank_, dst, tag, std::move(payload));
+  obs::SpanScope span(obs::SpanKind::kSendTransfer);
+  const auto bytes = static_cast<std::int64_t>(payload.size());
+  const std::int64_t flow = fabric_->deliver(rank_, dst, tag,
+                                             std::move(payload));
+  if (span.armed()) {
+    span.set_rank(rank_);
+    span.set_peer(dst);
+    span.set_tag(tag);
+    span.set_bytes(bytes);
+    span.set_flow_id(flow);
+  }
 }
 
 std::vector<std::uint8_t> Endpoint::recv(int src, std::int64_t tag) {
-  return fabric_->take(rank_, src, tag);
+  return fabric_->take(rank_, src, tag).payload;
 }
 
 Request Endpoint::isend(int dst, std::int64_t tag,
@@ -46,7 +58,7 @@ Request Endpoint::irecv(int src, std::int64_t tag,
   Fabric* fabric = fabric_;
   const int rank = rank_;
   return Request([fabric, rank, src, tag, out] {
-    *out = fabric->take(rank, src, tag);
+    *out = fabric->take(rank, src, tag).payload;
   });
 }
 
@@ -56,21 +68,50 @@ Request Endpoint::irecv_floats(int src, std::int64_t tag,
   Fabric* fabric = fabric_;
   const int rank = rank_;
   return Request([fabric, rank, src, tag, out, precision] {
-    const std::vector<std::uint8_t> bytes = fabric->take(rank, src, tag);
-    unpack_floats(bytes, precision, out);
+    Fabric::Taken taken = fabric->take(rank, src, tag);
+    obs::SpanScope span(obs::SpanKind::kRecvTransfer);
+    if (span.armed()) {
+      span.set_rank(rank);
+      span.set_peer(src);
+      span.set_tag(tag);
+      span.set_bytes(static_cast<std::int64_t>(taken.payload.size()));
+      span.set_flow_id(taken.flow_id);
+    }
+    unpack_floats(taken.payload, precision, out);
   });
 }
 
 void Endpoint::send_floats(int dst, std::int64_t tag,
                            std::span<const float> values,
                            WirePrecision precision) {
-  send(dst, tag, pack_floats(values, precision));
+  // The span covers quantize/pack plus the eager handoff: the full cost the
+  // sending rank pays for this message.
+  obs::SpanScope span(obs::SpanKind::kSendTransfer);
+  std::vector<std::uint8_t> payload = pack_floats(values, precision);
+  const auto bytes = static_cast<std::int64_t>(payload.size());
+  const std::int64_t flow = fabric_->deliver(rank_, dst, tag,
+                                             std::move(payload));
+  if (span.armed()) {
+    span.set_rank(rank_);
+    span.set_peer(dst);
+    span.set_tag(tag);
+    span.set_bytes(bytes);
+    span.set_flow_id(flow);
+  }
 }
 
 void Endpoint::recv_floats(int src, std::int64_t tag, std::span<float> out,
                            WirePrecision precision) {
-  const std::vector<std::uint8_t> bytes = recv(src, tag);
-  unpack_floats(bytes, precision, out);
+  Fabric::Taken taken = fabric_->take(rank_, src, tag);
+  obs::SpanScope span(obs::SpanKind::kRecvTransfer);
+  if (span.armed()) {
+    span.set_rank(rank_);
+    span.set_peer(src);
+    span.set_tag(tag);
+    span.set_bytes(static_cast<std::int64_t>(taken.payload.size()));
+    span.set_flow_id(taken.flow_id);
+  }
+  unpack_floats(taken.payload, precision, out);
 }
 
 FabricStats Endpoint::sent_stats() const {
@@ -82,6 +123,8 @@ FabricStats Endpoint::sent_stats() const {
         fabric_->pair_stats_[static_cast<std::size_t>(rank_ * p + dst)];
     total.messages += s.messages;
     total.bytes += s.bytes;
+    total.in_flight += s.in_flight;
+    total.max_in_flight = std::max(total.max_in_flight, s.max_in_flight);
   }
   return total;
 }
@@ -95,6 +138,8 @@ FabricStats Endpoint::received_stats() const {
         fabric_->pair_stats_[static_cast<std::size_t>(src * p + rank_)];
     total.messages += s.messages;
     total.bytes += s.bytes;
+    total.in_flight += s.in_flight;
+    total.max_in_flight = std::max(total.max_in_flight, s.max_in_flight);
   }
   return total;
 }
@@ -126,6 +171,16 @@ std::uint64_t Fabric::bytes_sent(int src, int dst) const {
   return pair_stats_[static_cast<std::size_t>(src * world_size() + dst)].bytes;
 }
 
+FabricStats Fabric::pair_stats(int src, int dst) const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return pair_stats_[static_cast<std::size_t>(src * world_size() + dst)];
+}
+
+std::vector<FabricStats> Fabric::stats_matrix() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return pair_stats_;
+}
+
 std::uint64_t Fabric::total_bytes() const {
   std::lock_guard<std::mutex> lk(stats_mu_);
   std::uint64_t n = 0;
@@ -144,15 +199,26 @@ std::uint64_t Fabric::total_messages() const {
   return n;
 }
 
+std::uint64_t Fabric::max_in_flight() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  std::uint64_t n = 0;
+  for (const FabricStats& s : pair_stats_) {
+    n = std::max(n, s.max_in_flight);
+  }
+  return n;
+}
+
 void Fabric::reset_stats() {
   std::lock_guard<std::mutex> lk(stats_mu_);
+  // Also zeroes in_flight: callers reset between iterations, when every
+  // mailbox has drained.
   for (FabricStats& s : pair_stats_) {
     s = FabricStats{};
   }
 }
 
-void Fabric::deliver(int src, int dst, std::int64_t tag,
-                     std::vector<std::uint8_t> payload) {
+std::int64_t Fabric::deliver(int src, int dst, std::int64_t tag,
+                             std::vector<std::uint8_t> payload) {
   WEIPIPE_CHECK_MSG(dst >= 0 && dst < world_size(),
                     "send to invalid rank " << dst);
   WEIPIPE_CHECK_MSG(dst != src, "self-send (rank " << src << ")");
@@ -162,12 +228,16 @@ void Fabric::deliver(int src, int dst, std::int64_t tag,
         pair_stats_[static_cast<std::size_t>(src * world_size() + dst)];
     ++s.messages;
     s.bytes += payload.size();
+    ++s.in_flight;
+    s.max_in_flight = std::max(s.max_in_flight, s.in_flight);
   }
   Message msg;
   msg.deliver_at = std::chrono::steady_clock::now();
   if (link_model_) {
     msg.deliver_at += link_model_(src, dst, payload.size());
   }
+  msg.flow_id = next_flow_id_.fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t flow_id = msg.flow_id;
   msg.payload = std::move(payload);
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   {
@@ -175,36 +245,68 @@ void Fabric::deliver(int src, int dst, std::int64_t tag,
     box.queues[MailKey{src, tag}].push(std::move(msg));
   }
   box.cv.notify_all();
+  return flow_id;
 }
 
-std::vector<std::uint8_t> Fabric::take(int dst, int src, std::int64_t tag) {
+Fabric::Taken Fabric::take(int dst, int src, std::int64_t tag) {
   WEIPIPE_CHECK_MSG(src >= 0 && src < world_size(),
                     "recv from invalid rank " << src);
+  // The wait span covers blocked-on-arrival time: from entering take() to
+  // the matching message being ready (modeled delivery time included).
+  const bool traced = obs::enabled();
+  const std::int64_t wait_start_ns = traced ? obs::now_ns() : 0;
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   const auto deadline = std::chrono::steady_clock::now() +
                         recv_timeout_.load(std::memory_order_relaxed);
-  std::unique_lock<std::mutex> lk(box.mu);
-  const MailKey key{src, tag};
-  for (;;) {
-    auto it = box.queues.find(key);
-    if (it != box.queues.end() && !it->second.empty()) {
-      // Honor the modeled delivery time: the message "is still in flight".
-      const auto deliver_at = it->second.front().deliver_at;
-      const auto now = std::chrono::steady_clock::now();
-      if (deliver_at <= now) {
-        Message msg = std::move(it->second.front());
-        it->second.pop();
-        return std::move(msg.payload);
+  Taken taken;
+  {
+    std::unique_lock<std::mutex> lk(box.mu);
+    const MailKey key{src, tag};
+    for (;;) {
+      auto it = box.queues.find(key);
+      if (it != box.queues.end() && !it->second.empty()) {
+        // Honor the modeled delivery time: the message "is still in flight".
+        const auto deliver_at = it->second.front().deliver_at;
+        const auto now = std::chrono::steady_clock::now();
+        if (deliver_at <= now) {
+          Message msg = std::move(it->second.front());
+          it->second.pop();
+          taken.payload = std::move(msg.payload);
+          taken.flow_id = msg.flow_id;
+          break;
+        }
+        box.cv.wait_until(lk, deliver_at);
+        continue;
       }
-      box.cv.wait_until(lk, deliver_at);
-      continue;
-    }
-    if (box.cv.wait_until(lk, deadline) == std::cv_status::timeout) {
-      WEIPIPE_CHECK_MSG(false, "recv timeout: rank " << dst << " waiting for (src="
-                                                     << src << ", tag=" << tag
-                                                     << ") — schedule deadlock?");
+      if (box.cv.wait_until(lk, deadline) == std::cv_status::timeout) {
+        WEIPIPE_CHECK_MSG(false, "recv timeout: rank "
+                                     << dst << " waiting for (src=" << src
+                                     << ", tag=" << tag
+                                     << ") — schedule deadlock?");
+      }
     }
   }
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    FabricStats& s =
+        pair_stats_[static_cast<std::size_t>(src * world_size() + dst)];
+    if (s.in_flight > 0) {  // reset_stats() may have zeroed mid-flight
+      --s.in_flight;
+    }
+  }
+  if (traced) {
+    obs::Span span;
+    span.kind = obs::SpanKind::kRecvWait;
+    span.start_ns = wait_start_ns;
+    span.end_ns = obs::now_ns();
+    span.rank = dst;
+    span.peer = src;
+    span.tag = tag;
+    span.bytes = static_cast<std::int64_t>(taken.payload.size());
+    span.flow_id = taken.flow_id;
+    obs::record(span);
+  }
+  return taken;
 }
 
 void run_workers(Fabric& fabric,
@@ -217,6 +319,9 @@ void run_workers(Fabric& fabric,
   for (int r = 0; r < p; ++r) {
     threads.emplace_back([&, r] {
       try {
+        // Tag the thread with its rank so every span recorded inside the
+        // worker body (compute, comm, collectives) lands on rank r's track.
+        obs::RankScope rank_scope(r);
         fn(r, fabric.endpoint(r));
       } catch (...) {
         std::lock_guard<std::mutex> lk(err_mu);

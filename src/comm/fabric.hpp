@@ -43,6 +43,11 @@ LinkModel uniform_link(double bandwidth_bytes_per_sec, double latency_sec);
 struct FabricStats {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
+  // Messages delivered but not yet received (mailbox depth), and its
+  // high-water mark since the last reset_stats(). A growing max_in_flight on
+  // one pair is the signature of a receiver pacing the ring.
+  std::uint64_t in_flight = 0;
+  std::uint64_t max_in_flight = 0;
 };
 
 class Fabric;
@@ -110,8 +115,14 @@ class Fabric {
 
   // Aggregate traffic matrix entry: bytes sent src -> dst.
   std::uint64_t bytes_sent(int src, int dst) const;
+  // Full per-pair stats entry (messages, bytes, in-flight high-water mark).
+  FabricStats pair_stats(int src, int dst) const;
+  // Copy of the whole [src * P + dst] stats matrix, for metrics snapshots.
+  std::vector<FabricStats> stats_matrix() const;
   std::uint64_t total_bytes() const;
   std::uint64_t total_messages() const;
+  // Maximum over pairs of max_in_flight since the last reset.
+  std::uint64_t max_in_flight() const;
   void reset_stats();
 
   // Maximum time recv() blocks before declaring the schedule deadlocked.
@@ -127,6 +138,9 @@ class Fabric {
   struct Message {
     std::vector<std::uint8_t> payload;
     std::chrono::steady_clock::time_point deliver_at;
+    // Unique per message; pairs the sender's and receiver's trace spans so
+    // exporters can draw flow arrows (obs/chrome_trace.hpp).
+    std::int64_t flow_id = -1;
   };
   struct MailKey {
     int src;
@@ -141,13 +155,20 @@ class Fabric {
     std::map<MailKey, std::queue<Message>> queues WEIPIPE_GUARDED_BY(mu);
   };
 
-  void deliver(int src, int dst, std::int64_t tag,
-               std::vector<std::uint8_t> payload);
-  std::vector<std::uint8_t> take(int dst, int src, std::int64_t tag);
+  struct Taken {
+    std::vector<std::uint8_t> payload;
+    std::int64_t flow_id = -1;
+  };
+
+  // Returns the delivered message's flow id.
+  std::int64_t deliver(int src, int dst, std::int64_t tag,
+                       std::vector<std::uint8_t> payload);
+  Taken take(int dst, int src, std::int64_t tag);
 
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   LinkModel link_model_;
+  std::atomic<std::int64_t> next_flow_id_{0};
   std::atomic<std::chrono::milliseconds> recv_timeout_{
       std::chrono::milliseconds(60000)};
 

@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 
 #include "common/check.hpp"
@@ -12,7 +13,31 @@ namespace {
 // task runs serially: queueing sub-tasks while every worker may be blocked
 // waiting on its own sub-tasks is a classic self-deadlock.
 thread_local bool g_inside_pool_task = false;
+
+std::atomic<KernelObserver> g_kernel_observer{nullptr};
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Fires the observer on every exit path (including exceptions) of a dispatch.
+struct KernelDispatchNotifier {
+  KernelObserver observer;
+  std::size_t items;
+  std::int64_t start_ns;
+  ~KernelDispatchNotifier() {
+    if (observer != nullptr) {
+      observer(items, start_ns, steady_ns());
+    }
+  }
+};
 }  // namespace
+
+void set_kernel_observer(KernelObserver observer) {
+  g_kernel_observer.store(observer, std::memory_order_relaxed);
+}
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   workers_.reserve(num_threads);
@@ -57,6 +82,10 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   if (begin >= end) {
     return;
   }
+  const KernelObserver observer =
+      g_kernel_observer.load(std::memory_order_relaxed);
+  KernelDispatchNotifier notifier{observer, end - begin,
+                                  observer != nullptr ? steady_ns() : 0};
   const std::size_t n = end - begin;
   const std::size_t num_chunks = std::min(n, workers_.size() + 1);
   if (num_chunks <= 1 || g_inside_pool_task) {

@@ -57,4 +57,13 @@ void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t grain = 1);
 
+// Observability hook: when set, called on the dispatching thread after every
+// ThreadPool::parallel_for with the range size and the dispatch interval in
+// steady-clock nanoseconds. A raw function pointer (not std::function) so the
+// disabled cost is one relaxed atomic load; installed by obs::Recorder when
+// kernel spans are requested — common/ must not depend on obs/.
+using KernelObserver = void (*)(std::size_t items, std::int64_t start_ns,
+                                std::int64_t end_ns);
+void set_kernel_observer(KernelObserver observer);  // nullptr disables
+
 }  // namespace weipipe

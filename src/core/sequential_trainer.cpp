@@ -4,6 +4,7 @@
 
 #include "common/stopwatch.hpp"
 #include "nn/loss.hpp"
+#include "obs/recorder.hpp"
 
 namespace weipipe {
 
@@ -20,6 +21,9 @@ SequentialTrainer::SequentialTrainer(const TrainConfig& cfg)
 IterationResult SequentialTrainer::train_iteration(
     const Dataset& data, std::int64_t iter_index) {
   Stopwatch sw;
+  obs::SpanScope step_span(obs::SpanKind::kStep);
+  // Single-process reference: every span lands on a "rank 0" track.
+  obs::RankScope rank_scope(0);
   const std::int64_t n = cfg_.num_microbatches;
 
   // Compute copies: emulate the wire precision the distributed runs compute
@@ -44,12 +48,37 @@ IterationResult SequentialTrainer::train_iteration(
     const Microbatch mb =
         data.make(iter_index * n + j, cfg_.microbatch_size, cfg_.seq_len);
     std::vector<BlockCtx> ctxs;
-    const Tensor logits = model_.forward_all(compute, mb, ctxs);
-    LossResult lr = cross_entropy_loss(logits, mb);
+    Tensor logits;
+    {
+      obs::SpanScope fwd_span(obs::SpanKind::kForward, j);
+      logits = model_.forward_all(compute, mb, ctxs);
+      if (fwd_span.armed()) {
+        std::int64_t act = 0;
+        for (const BlockCtx& ctx : ctxs) {
+          act += ctx.bytes();
+        }
+        fwd_span.set_bytes(act);
+        fwd_span.set_act_bytes_after(static_cast<double>(act));
+      }
+    }
+    obs::SpanScope bwd_span(obs::SpanKind::kBackward, j);
+    LossResult lr;
+    {
+      obs::SpanScope loss_span(obs::SpanKind::kLoss, j);
+      lr = cross_entropy_loss(logits, mb);
+    }
     loss_sum += lr.loss;
     // Mean over the N microbatches.
     lr.dlogits.scale_(1.0f / static_cast<float>(n));
     model_.backward_all(compute, mb, ctxs, lr.dlogits, grads);
+    if (bwd_span.armed()) {
+      std::int64_t act = 0;
+      for (const BlockCtx& ctx : ctxs) {
+        act += ctx.bytes();
+      }
+      bwd_span.set_bytes(-act);
+      bwd_span.set_act_bytes_after(0.0);
+    }
   }
 
   if (cfg_.clip.enabled()) {
@@ -67,6 +96,7 @@ IterationResult SequentialTrainer::train_iteration(
     }
   }
   const AdamConfig adam_cfg = cfg_.adam_for_iteration(iter_index);
+  obs::SpanScope opt_span(obs::SpanKind::kOptimizer);
   for (std::size_t b = 0; b < master_.size(); ++b) {
     adam_[b].step(std::span<float>(master_[b].data(), master_[b].size()),
                   std::span<const float>(grads[b].data(), grads[b].size()),

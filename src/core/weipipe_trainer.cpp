@@ -4,22 +4,17 @@
 
 #include "comm/collectives.hpp"
 #include "common/stopwatch.hpp"
+#include "core/wire_tags.hpp"
 #include "nn/loss.hpp"
+#include "obs/recorder.hpp"
 
 namespace weipipe {
 
-namespace {
-// Flow message tags (FIFO per (src,tag) gives turn ordering for free).
-constexpr std::int64_t kTagF = 1;    // forward-flow weight chunk
-constexpr std::int64_t kTagBW = 2;   // backward-flow weight chunk
-constexpr std::int64_t kTagBD = 3;   // backward-flow gradient chunk
-constexpr std::int64_t kTagRedistF = 10;  // owner -> F start holder
-constexpr std::int64_t kTagRedistB = 11;  // owner -> B start holder
-constexpr std::int64_t kTagDpReduce = 12;  // cross-replica gradient chain
-constexpr std::int64_t kTagDpBcast = 13;   // reduced gradient broadcast
-constexpr std::int64_t kTagVocabUp = 14;   // vocab-grad chain reduce
-constexpr std::int64_t kTagVocabDown = 15; // vocab-grad broadcast
+// Flow message tags live in core/wire_tags.hpp (FIFO per (src,tag) gives
+// turn ordering for free).
+using namespace wire_tags;
 
+namespace {
 // Per-in-flight-microbatch state local to one worker.
 struct InFlight {
   Microbatch mb;
@@ -88,6 +83,8 @@ std::string WeiPipeTrainer::name() const {
 IterationResult WeiPipeTrainer::train_iteration(const Dataset& data,
                                                 std::int64_t iter_index) {
   Stopwatch sw;
+  // Whole-iteration span; recorded on the driving thread's track.
+  obs::SpanScope step_span(obs::SpanKind::kStep);
   fabric_->reset_stats();
   std::vector<double> losses(
       static_cast<std::size_t>(cfg_.num_microbatches), 0.0);
@@ -126,6 +123,13 @@ void WeiPipeTrainer::worker_body(int rank, comm::Endpoint& ep,
     return static_cast<std::size_t>(
         chunks_[static_cast<std::size_t>(c)].param_count);
   };
+
+  // Resident bytes of saved circulated-chunk activations (BlockCtx state) on
+  // this worker; maintained only while tracing, feeds act_bytes_after on
+  // compute spans so measured peaks can be checked against the static
+  // analyzer's bound. Vocab-replica ctxs and flow cursors are excluded: they
+  // are O(1) per worker and not part of the schedule's memory algebra.
+  std::int64_t act_resident_bytes = 0;
 
   // replicate_vocab: per-worker compute copies of the embedding/head weights
   // and a local gradient accumulator (all-reduced once at iteration end).
@@ -229,6 +233,8 @@ void WeiPipeTrainer::worker_body(int rank, comm::Endpoint& ep,
     if (acts.fwd) {
       WEIPIPE_CHECK(acts.fwd->chunk == cf);
       const std::int64_t round = acts.fwd->round;
+      const std::int64_t mb_id = d * n_local + round * p_ + p;
+      obs::SpanScope fwd_span(obs::SpanKind::kForward, mb_id, cf);
       InFlight* st = nullptr;
       if (cf == 0) {
         InFlight fresh;
@@ -274,6 +280,7 @@ void WeiPipeTrainer::worker_body(int rank, comm::Endpoint& ep,
                                  !cfg_.model.recompute);
         }
         // End of the model: loss -> backward seed (scaled for the N-mean).
+        obs::SpanScope loss_span(obs::SpanKind::kLoss, mb_id, cf);
         LossResult lr = cross_entropy_loss(st->act, st->mb);
         st->loss = lr.loss;
         losses[static_cast<std::size_t>(d * n_local + round * p_ + p)] =
@@ -281,6 +288,16 @@ void WeiPipeTrainer::worker_body(int rank, comm::Endpoint& ep,
         lr.dlogits.scale_(1.0f / static_cast<float>(n_total));
         st->grad = std::move(lr.dlogits);
         st->act = Tensor();
+      }
+      if (fwd_span.armed()) {
+        std::int64_t delta = 0;
+        for (const BlockCtx& ctx : st->ctxs[static_cast<std::size_t>(cf)]) {
+          delta += ctx.bytes();
+        }
+        act_resident_bytes += delta;
+        fwd_span.set_bytes(delta);
+        fwd_span.set_act_bytes_after(
+            static_cast<double>(act_resident_bytes));
       }
     }
 
@@ -291,6 +308,8 @@ void WeiPipeTrainer::worker_body(int rank, comm::Endpoint& ep,
       WEIPIPE_CHECK_MSG(it != inflight.end(),
                         "missing in-flight state for backward round "
                             << acts.bwd->round);
+      obs::SpanScope bwd_span(obs::SpanKind::kBackward,
+                              d * n_local + acts.bwd->round * p_ + p, cb);
       InFlight& st = it->second;
       if (opts_.replicate_vocab && cb == p_ - 1) {
         st.grad = model_.block(model_.num_blocks() - 1)
@@ -316,6 +335,16 @@ void WeiPipeTrainer::worker_body(int rank, comm::Endpoint& ep,
             st.mb, ctxs[static_cast<std::size_t>(b - spec.begin)], st.grad,
             std::span<float>(bd.data() + off,
                              static_cast<std::size_t>(nparams)));
+      }
+      if (bwd_span.armed()) {
+        std::int64_t freed = 0;
+        for (const BlockCtx& ctx : ctxs) {
+          freed += ctx.bytes();
+        }
+        act_resident_bytes -= freed;
+        bwd_span.set_bytes(-freed);
+        bwd_span.set_act_bytes_after(
+            static_cast<double>(act_resident_bytes));
       }
       ctxs.clear();  // activations for this chunk are spent
       if (cb == 0) {
@@ -448,6 +477,7 @@ void WeiPipeTrainer::worker_body(int rank, comm::Endpoint& ep,
       }
     }
   }
+  obs::SpanScope opt_span(obs::SpanKind::kOptimizer, -1, c_own);
   std::vector<float>& m = master_[static_cast<std::size_t>(base + c_own)];
   WEIPIPE_CHECK(m.size() == bd.size());
   adam_[static_cast<std::size_t>(base + c_own)].step(

@@ -1,0 +1,168 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "obs/json.hpp"
+#include "obs/recorder.hpp"
+
+namespace weipipe::obs {
+
+namespace {
+
+// Track id for a span: ranks map to themselves, every unranked thread's
+// spans share one "driver/other" track.
+constexpr int kUnrankedTid = 999;
+
+int tid_of(const Span& s) { return s.rank >= 0 ? s.rank : kUnrankedTid; }
+
+void append_common(std::string& out, const char* ph, int tid, double ts_us) {
+  out += "{\"ph\":\"";
+  out += ph;
+  out += "\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+         ",\"ts\":" + json_number(ts_us);
+}
+
+}  // namespace
+
+std::string spans_to_chrome_trace(const std::vector<Span>& spans,
+                                  ChromeTraceOptions options) {
+  std::vector<Span> sorted = spans;
+  std::sort(sorted.begin(), sorted.end(), [](const Span& a, const Span& b) {
+    if (tid_of(a) != tid_of(b)) {
+      return tid_of(a) < tid_of(b);
+    }
+    if (a.start_ns != b.start_ns) {
+      return a.start_ns < b.start_ns;
+    }
+    return a.end_ns > b.end_ns;  // parents before their nested children
+  });
+
+  std::int64_t epoch_ns = 0;
+  bool have_epoch = false;
+  std::map<int, bool> tracks;
+  for (const Span& s : sorted) {
+    if (!have_epoch || s.start_ns < epoch_ns) {
+      epoch_ns = s.start_ns;
+      have_epoch = true;
+    }
+    tracks[tid_of(s)] = true;
+  }
+  auto to_us = [&](std::int64_t ns) {
+    return static_cast<double>(ns - epoch_ns) * 1e-3;
+  };
+
+  // A flow arrow needs both ends; index send/recv spans by flow id.
+  std::map<std::int64_t, const Span*> flow_send;
+  std::map<std::int64_t, const Span*> flow_recv;
+  if (options.flow_arrows) {
+    for (const Span& s : sorted) {
+      if (s.flow_id < 0) {
+        continue;
+      }
+      if (s.kind == SpanKind::kSendTransfer) {
+        flow_send[s.flow_id] = &s;
+      } else if (s.kind == SpanKind::kRecvWait ||
+                 s.kind == SpanKind::kRecvTransfer) {
+        // Prefer the wait span (it ends when the message lands).
+        auto it = flow_recv.find(s.flow_id);
+        if (it == flow_recv.end() || s.kind == SpanKind::kRecvWait) {
+          flow_recv[s.flow_id] = &s;
+        }
+      }
+    }
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+  };
+
+  // Process + thread naming metadata.
+  sep();
+  out += "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{"
+         "\"name\":";
+  append_json_string(out, options.process_name);
+  out += "}}";
+  for (const auto& [tid, unused] : tracks) {
+    sep();
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    append_json_string(out, tid == kUnrankedTid
+                                ? std::string("driver/other")
+                                : "rank " + std::to_string(tid));
+    out += "}}";
+  }
+
+  for (const Span& s : sorted) {
+    sep();
+    append_common(out, "X", tid_of(s), to_us(s.start_ns));
+    out += ",\"dur\":" +
+           json_number(static_cast<double>(s.end_ns - s.start_ns) * 1e-3);
+    out += ",\"cat\":";
+    append_json_string(out, is_compute(s.kind) ? "compute"
+                            : is_comm(s.kind)  ? "comm"
+                                               : "runtime");
+    out += ",\"name\":";
+    append_json_string(out, s.label != nullptr ? s.label : to_string(s.kind));
+    out += ",\"args\":{";
+    bool first_arg = true;
+    auto arg = [&](const char* key, const std::string& value) {
+      if (!first_arg) {
+        out += ",";
+      }
+      first_arg = false;
+      append_json_string(out, key);
+      out += ":" + value;
+    };
+    if (s.microbatch >= 0) {
+      arg("microbatch", std::to_string(s.microbatch));
+    }
+    if (s.chunk >= 0) {
+      arg("chunk", std::to_string(s.chunk));
+    }
+    if (s.peer >= 0) {
+      arg("peer", std::to_string(s.peer));
+    }
+    if (s.tag >= 0) {
+      arg("tag", std::to_string(s.tag));
+    }
+    if (s.bytes != 0) {
+      arg("bytes", std::to_string(s.bytes));
+    }
+    if (s.flow_id >= 0) {
+      arg("flow", std::to_string(s.flow_id));
+    }
+    if (s.act_bytes_after >= 0.0) {
+      arg("act_bytes_after", json_number(s.act_bytes_after));
+    }
+    out += "}}";
+  }
+
+  if (options.flow_arrows) {
+    for (const auto& [id, send] : flow_send) {
+      const auto it = flow_recv.find(id);
+      if (it == flow_recv.end()) {
+        continue;  // message landed outside the traced window
+      }
+      const Span* recv = it->second;
+      sep();
+      append_common(out, "s", tid_of(*send), to_us(send->start_ns));
+      out += ",\"cat\":\"wire\",\"name\":\"msg\",\"id\":" +
+             std::to_string(id) + "}";
+      sep();
+      append_common(out, "f", tid_of(*recv), to_us(recv->end_ns));
+      out += ",\"cat\":\"wire\",\"name\":\"msg\",\"bp\":\"e\",\"id\":" +
+             std::to_string(id) + "}";
+    }
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace weipipe::obs

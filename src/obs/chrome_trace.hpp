@@ -1,0 +1,30 @@
+// Chrome trace-event JSON export of runtime spans — open the output in
+// Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Layout: one process, one track (tid) per rank plus one track per unranked
+// thread; compute spans are complete ("X") events named F/B/Ba/Bw/... with
+// microbatch/chunk/bytes args; each matched send/recv message pair emits a
+// flow arrow ("s" on the send span, "f" on the receive) keyed by the
+// fabric-assigned flow id, which draws the weight/gradient chunks hopping
+// around the ring.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace weipipe::obs {
+
+struct ChromeTraceOptions {
+  std::string process_name = "weipipe";
+  // Emit flow ("s"/"f") arrow events for matched send/recv flow ids.
+  bool flow_arrows = true;
+};
+
+// Serializes the spans (any order; they are sorted internally). Timestamps
+// are rebased so the earliest span starts at t=0.
+std::string spans_to_chrome_trace(const std::vector<Span>& spans,
+                                  ChromeTraceOptions options = {});
+
+}  // namespace weipipe::obs

@@ -1,0 +1,310 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace weipipe::obs {
+
+void append_json_string(std::string& out, std::string_view value) {
+  out.push_back('"');
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) {
+    return "null";
+  }
+  char buf[64];
+  // %.17g round-trips doubles; trim to something readable when exact.
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type != Type::kObject) {
+    return nullptr;
+  }
+  const auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+double JsonValue::as_number() const {
+  WEIPIPE_CHECK_MSG(type == Type::kNumber, "JSON value is not a number");
+  return number;
+}
+
+const std::string& JsonValue::as_string() const {
+  WEIPIPE_CHECK_MSG(type == Type::kString, "JSON value is not a string");
+  return string;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonParseResult run() {
+    JsonParseResult result;
+    skip_ws();
+    if (!parse_value(result.value)) {
+      result.error = error_;
+      return result;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after top-level value");
+      result.error = error_;
+      return result;
+    }
+    result.ok = true;
+    return result;
+  }
+
+ private:
+  bool fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = "offset " + std::to_string(pos_) + ": " + what;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (pos_ >= text_.size()) {
+      return fail("unexpected end of input");
+    }
+    switch (text_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"':
+        out.type = JsonValue::Type::kString;
+        return parse_string(out.string);
+      case 't':
+      case 'f': return parse_literal(out);
+      case 'n': return parse_literal(out);
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_literal(JsonValue& out) {
+    auto match = [&](std::string_view word) {
+      if (text_.substr(pos_, word.size()) == word) {
+        pos_ += word.size();
+        return true;
+      }
+      return false;
+    };
+    if (match("true")) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = true;
+      return true;
+    }
+    if (match("false")) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = false;
+      return true;
+    }
+    if (match("null")) {
+      out.type = JsonValue::Type::kNull;
+      return true;
+    }
+    return fail("invalid literal");
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return fail("expected a value");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out.number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return fail("malformed number '" + token + "'");
+    }
+    out.type = JsonValue::Type::kNumber;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) {
+      return fail("expected '\"'");
+    }
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          return fail("unterminated escape");
+        }
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return fail("truncated \\u escape");
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code += static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code += static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code += static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return fail("invalid \\u escape");
+              }
+            }
+            // Keep it simple: encode as UTF-8 (no surrogate-pair joining;
+            // the exporters never emit astral-plane characters).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: return fail("invalid escape");
+        }
+        continue;
+      }
+      out.push_back(c);
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_object(JsonValue& out) {
+    consume('{');
+    out.type = JsonValue::Type::kObject;
+    skip_ws();
+    if (consume('}')) {
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) {
+        return false;
+      }
+      skip_ws();
+      if (!consume(':')) {
+        return fail("expected ':'");
+      }
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) {
+        return false;
+      }
+      out.object[key] = std::move(value);
+      skip_ws();
+      if (consume(',')) {
+        continue;
+      }
+      if (consume('}')) {
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    consume('[');
+    out.type = JsonValue::Type::kArray;
+    skip_ws();
+    if (consume(']')) {
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) {
+        return false;
+      }
+      out.array.push_back(std::move(value));
+      skip_ws();
+      if (consume(',')) {
+        continue;
+      }
+      if (consume(']')) {
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+JsonParseResult parse_json(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace weipipe::obs

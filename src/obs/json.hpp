@@ -1,0 +1,57 @@
+// Minimal JSON support for the observability layer: an escaping writer used
+// by the exporters, and a small DOM parser used to *verify* what we emit —
+// the profile CLI re-parses its own trace/metrics files before declaring
+// success, and the golden-file tests round-trip the Chrome trace through it.
+//
+// The parser handles the full JSON grammar (objects, arrays, strings with
+// escapes, numbers, booleans, null); it is not performance-tuned and is not
+// meant for multi-gigabyte traces.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace weipipe::obs {
+
+// Appends `value` JSON-escaped (quotes included) to `out`.
+void append_json_string(std::string& out, std::string_view value);
+
+// Formats a double as a JSON number (finite values only; non-finite values
+// are emitted as null, which keeps the output parseable).
+std::string json_number(double value);
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  // Map keeps lookups simple; duplicate keys keep the last occurrence.
+  std::map<std::string, JsonValue> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+
+  // Object member access; returns nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+  // Shorthand accessors that die (WEIPIPE_CHECK) on type mismatch.
+  double as_number() const;
+  const std::string& as_string() const;
+};
+
+struct JsonParseResult {
+  bool ok = false;
+  JsonValue value;
+  std::string error;  // "offset 123: expected ':'" style
+};
+
+JsonParseResult parse_json(std::string_view text);
+
+}  // namespace weipipe::obs

@@ -1,0 +1,169 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "obs/json.hpp"
+
+namespace weipipe::obs {
+
+std::uint64_t Gauge::pack(double v) { return std::bit_cast<std::uint64_t>(v); }
+double Gauge::unpack(std::uint64_t bits) {
+  return std::bit_cast<double>(bits);
+}
+
+void Gauge::set_max(double v) {
+  std::uint64_t current = bits_.load(std::memory_order_relaxed);
+  while (unpack(current) < v &&
+         !bits_.compare_exchange_weak(current, pack(v),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+int Histogram::bucket_of(double value) {
+  if (!(value > 0.0)) {
+    return 0;
+  }
+  // 8 buckets per decade starting at 1e-9.
+  const double pos = (std::log10(value) + 9.0) * 8.0;
+  const int b = static_cast<int>(std::floor(pos)) + 1;
+  return std::clamp(b, 0, kBuckets - 1);
+}
+
+double Histogram::bucket_upper(int b) {
+  if (b <= 0) {
+    return 0.0;
+  }
+  return std::pow(10.0, static_cast<double>(b) / 8.0 - 9.0);
+}
+
+void Histogram::observe(double value) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++counts_[bucket_of(value)];
+  if (count_ == 0 || value < min_) {
+    min_ = value;
+  }
+  if (count_ == 0 || value > max_) {
+    max_ = value;
+  }
+  sum_ += value;
+  ++count_;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  HistogramSnapshot s;
+  s.count = count_;
+  if (count_ == 0) {
+    return s;
+  }
+  s.min = min_;
+  s.max = max_;
+  s.sum = sum_;
+  s.mean = sum_ / static_cast<double>(count_);
+  auto quantile = [&](double q) {
+    const auto target =
+        static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += counts_[b];
+      if (seen > target) {
+        return std::clamp(bucket_upper(b), min_, max_);
+      }
+    }
+    return max_;
+  };
+  s.p50 = quantile(0.50);
+  s.p90 = quantile(0.90);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::fill(std::begin(counts_), std::end(counts_), 0);
+  count_ = 0;
+  min_ = max_ = sum_ = 0.0;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>();
+  }
+  return *slot;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": " + std::to_string(c->value());
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": " + json_number(g->value());
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    const HistogramSnapshot s = h->snapshot();
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": {\"count\": " + std::to_string(s.count);
+    out += ", \"min\": " + json_number(s.min);
+    out += ", \"max\": " + json_number(s.max);
+    out += ", \"sum\": " + json_number(s.sum);
+    out += ", \"mean\": " + json_number(s.mean);
+    out += ", \"p50\": " + json_number(s.p50);
+    out += ", \"p90\": " + json_number(s.p90);
+    out += ", \"p99\": " + json_number(s.p99);
+    out += "}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, c] : counters_) {
+    c->reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    g->reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    h->reset();
+  }
+}
+
+}  // namespace weipipe::obs

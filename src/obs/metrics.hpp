@@ -1,0 +1,106 @@
+// Metrics registry: named counters, gauges, and histograms with a JSON
+// snapshot export.
+//
+// Counters and gauges are single atomics (safe to bump from rank threads);
+// histograms take a short per-histogram lock — they are fed from
+// drain/aggregation points (per step, per drained span batch), not from
+// per-message hot paths. Metric objects live as long as the registry; the
+// references handed out by counter()/gauge()/histogram() are stable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+
+namespace weipipe::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void increment() { add(1); }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { bits_.store(pack(v), std::memory_order_relaxed); }
+  // Monotone max update (races resolve to the max; used for peaks).
+  void set_max(double v);
+  double value() const { return unpack(bits_.load(std::memory_order_relaxed)); }
+  void reset() { set(0.0); }
+
+ private:
+  static std::uint64_t pack(double v);
+  static double unpack(std::uint64_t bits);
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+// Log-bucketed histogram over positive values (values <= 0 land in the
+// first bucket). Quantiles are bucket-resolution estimates.
+class Histogram {
+ public:
+  void observe(double value);
+  HistogramSnapshot snapshot() const;
+  void reset();
+
+ private:
+  static constexpr int kBuckets = 96;  // 8 buckets per decade, 1e-9 .. 1e3
+  static int bucket_of(double value);
+  static double bucket_upper(int b);
+
+  mutable std::mutex mu_;
+  std::uint64_t counts_[kBuckets] WEIPIPE_GUARDED_BY(mu_) = {};
+  std::uint64_t count_ WEIPIPE_GUARDED_BY(mu_) = 0;
+  double min_ WEIPIPE_GUARDED_BY(mu_) = 0.0;
+  double max_ WEIPIPE_GUARDED_BY(mu_) = 0.0;
+  double sum_ WEIPIPE_GUARDED_BY(mu_) = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // {"counters":{...},"gauges":{...},"histograms":{name:{count,min,...}}}
+  std::string to_json() const;
+
+  // Zeroes every registered metric (names stay registered).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      WEIPIPE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      WEIPIPE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      WEIPIPE_GUARDED_BY(mu_);
+};
+
+}  // namespace weipipe::obs

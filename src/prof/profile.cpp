@@ -1,0 +1,516 @@
+#include "prof/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "analysis/analysis.hpp"
+#include "baselines/factory.hpp"
+#include "baselines/fsdp_trainer.hpp"
+#include "baselines/pipeline_trainer.hpp"
+#include "comm/fabric.hpp"
+#include "common/check.hpp"
+#include "core/weipipe_trainer.hpp"
+#include "core/wire_tags.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "sched/builders.hpp"
+#include "sched/weipipe_schedule.hpp"
+#include "sim/program_runner.hpp"
+#include "sim/topology.hpp"
+#include "trace/runtime.hpp"
+
+namespace weipipe::prof {
+
+namespace {
+
+const char* const kTrainerStrategies[] = {
+    "sequential", "weipipe", "weipipe-interleave", "weipipe-naive",
+    "1f1b",       "gpipe",   "fsdp"};
+const char* const kScheduleStrategies[] = {
+    "wzb1", "wzb2", "zb1", "zb2", "naive", "interleave", "no-prefetch"};
+
+// The predicted side of every comparison: transfer over ideal links is free,
+// so the engine measures pure schedule structure (dependency bubbles), which
+// is what the runner's eager fabric + busy-wait compute realizes.
+sim::Topology ideal_topology(std::int64_t ranks) {
+  return sim::Topology::uniform(static_cast<int>(ranks),
+                                sim::Link{1e15, 0.0}, "ideal");
+}
+
+// ---- schedule-backed path ---------------------------------------------------
+
+sched::Program build_schedule_backed(const ProfileOptions& options) {
+  const std::int64_t p = options.workers;
+  sched::StrategyCosts costs;
+  for (std::int64_t i = 0; i < p; ++i) {
+    costs.fwd_seconds.push_back(options.unit_seconds);
+    costs.bwd_seconds.push_back(options.bwd_ratio * options.unit_seconds);
+    costs.bwd_acts_seconds.push_back(options.bwd_ratio * options.unit_seconds /
+                                     2.0);
+    costs.bwd_weights_seconds.push_back(options.bwd_ratio *
+                                        options.unit_seconds / 2.0);
+    costs.chunk_weight_bytes.push_back(options.chunk_bytes);
+    costs.act_mem_bytes.push_back(options.act_bytes);
+  }
+  costs.act_bytes = options.act_bytes;
+  costs.act_grad_bytes = options.act_bytes;
+
+  const std::int64_t n = options.rounds * p;
+  const std::string& s = options.strategy;
+  if (s == "naive") {
+    return sched::build_weipipe(
+        WeiPipeSchedule(p, options.rounds, WeiPipeMode::kNaive), costs);
+  }
+  if (s == "interleave") {
+    return sched::build_weipipe(
+        WeiPipeSchedule(p, options.rounds, WeiPipeMode::kInterleave), costs);
+  }
+  if (s == "no-prefetch") {
+    return sched::build_weipipe(
+        WeiPipeSchedule(p, options.rounds, WeiPipeMode::kInterleave), costs,
+        /*prefetch=*/false);
+  }
+  if (s == "wzb1") {
+    return sched::build_weipipe_zero_bubble(p, options.rounds,
+                                            sched::WzbVariant::kWzb1, costs);
+  }
+  if (s == "wzb2") {
+    return sched::build_weipipe_zero_bubble(p, options.rounds,
+                                            sched::WzbVariant::kWzb2, costs);
+  }
+  if (s == "zb1") {
+    return sched::build_zero_bubble(p, n, sched::ZbVariant::kZb1, costs);
+  }
+  if (s == "zb2") {
+    return sched::build_zero_bubble(p, n, sched::ZbVariant::kZb2, costs);
+  }
+  WEIPIPE_CHECK_MSG(false, "unknown profile strategy '" << s << "'");
+  return {};
+}
+
+// ---- trainer-backed path ----------------------------------------------------
+
+comm::Fabric* trainer_fabric(Trainer& trainer) {
+  if (auto* w = dynamic_cast<WeiPipeTrainer*>(&trainer)) {
+    return &w->fabric();
+  }
+  if (auto* p = dynamic_cast<PipelineTrainer*>(&trainer)) {
+    return &p->fabric();
+  }
+  if (auto* f = dynamic_cast<FsdpTrainer*>(&trainer)) {
+    return &f->fabric();
+  }
+  return nullptr;  // sequential
+}
+
+struct KindStats {
+  double sum_seconds = 0.0;
+  std::int64_t count = 0;
+  double max_acquired_bytes = 0.0;  // max positive mem delta seen
+
+  double mean_seconds() const {
+    return count > 0 ? sum_seconds / static_cast<double>(count) : 0.0;
+  }
+};
+
+// Fits sched::StrategyCosts to the measured spans of a trainer run and
+// builds the schedule the trainer implements, so the discrete-event engine
+// can predict what the measured timeline *should* look like. Returns false
+// when the strategy has no schedule model (sequential, fsdp) or the spans do
+// not cover every chunk.
+bool derive_predicted_program(const ProfileOptions& options,
+                              const std::vector<obs::Span>& spans,
+                              std::int64_t iters, sched::Program* out) {
+  const std::string& s = options.strategy;
+  const bool is_weipipe =
+      s == "weipipe" || s == "weipipe-interleave" || s == "weipipe-naive";
+  const bool is_pipeline = s == "1f1b" || s == "gpipe";
+  if (!is_weipipe && !is_pipeline) {
+    return false;
+  }
+  const std::int64_t p = options.workers;
+  const std::int64_t n = options.train.num_microbatches;
+  if (p < 2 || n % p != 0) {
+    return false;
+  }
+
+  // Per-chunk F/B stats; per-tag wire-message sizes.
+  std::map<std::int64_t, KindStats> fwd;
+  std::map<std::int64_t, KindStats> bwd;
+  KindStats optimizer;
+  std::map<std::int64_t, KindStats> send_by_tag;
+  for (const obs::Span& span : spans) {
+    if (span.kind == obs::SpanKind::kForward && span.chunk >= 0) {
+      KindStats& k = fwd[span.chunk];
+      k.sum_seconds += span.seconds();
+      k.count += 1;
+      k.max_acquired_bytes =
+          std::max(k.max_acquired_bytes, static_cast<double>(span.bytes));
+    } else if (span.kind == obs::SpanKind::kBackward && span.chunk >= 0) {
+      KindStats& k = bwd[span.chunk];
+      k.sum_seconds += span.seconds();
+      k.count += 1;
+    } else if (span.kind == obs::SpanKind::kOptimizer) {
+      optimizer.sum_seconds += span.seconds();
+      optimizer.count += 1;
+    } else if (span.kind == obs::SpanKind::kSendTransfer) {
+      KindStats& k = send_by_tag[span.tag];
+      k.sum_seconds += static_cast<double>(span.bytes);  // reuse: byte sum
+      k.count += 1;
+    }
+  }
+  for (std::int64_t c = 0; c < p; ++c) {
+    if (fwd.find(c) == fwd.end() || bwd.find(c) == bwd.end()) {
+      return false;  // spans do not cover every chunk/stage
+    }
+  }
+
+  auto mean_send_bytes = [&](std::int64_t tag, double fallback) {
+    auto it = send_by_tag.find(tag);
+    return (it != send_by_tag.end() && it->second.count > 0)
+               ? it->second.sum_seconds /
+                     static_cast<double>(it->second.count)
+               : fallback;
+  };
+
+  sched::StrategyCosts costs;
+  for (std::int64_t c = 0; c < p; ++c) {
+    costs.fwd_seconds.push_back(fwd[c].mean_seconds());
+    costs.bwd_seconds.push_back(bwd[c].mean_seconds());
+    costs.bwd_acts_seconds.push_back(bwd[c].mean_seconds() / 2.0);
+    costs.bwd_weights_seconds.push_back(bwd[c].mean_seconds() / 2.0);
+    costs.chunk_weight_bytes.push_back(
+        mean_send_bytes(wire_tags::kTagF, 1.0));
+    costs.act_mem_bytes.push_back(fwd[c].max_acquired_bytes);
+  }
+  costs.act_bytes = mean_send_bytes(wire_tags::kTagAct, 1.0);
+  costs.act_grad_bytes = mean_send_bytes(wire_tags::kTagGrad, 1.0);
+  // The trainer's optimizer step covers all measured iterations' opt spans;
+  // the schedule has one optimizer op per rank.
+  costs.optimizer_seconds =
+      iters > 0 ? optimizer.sum_seconds /
+                      static_cast<double>(std::max<std::int64_t>(1, iters * p))
+                : 0.0;
+
+  if (is_weipipe) {
+    const WeiPipeMode mode = (s == "weipipe-naive") ? WeiPipeMode::kNaive
+                                                    : WeiPipeMode::kInterleave;
+    *out = sched::build_weipipe(WeiPipeSchedule(p, n / p, mode), costs);
+  } else if (s == "1f1b") {
+    *out = sched::build_1f1b(p, n, costs);
+  } else {
+    *out = sched::build_gpipe(p, n, costs);
+  }
+  return true;
+}
+
+// ---- metrics ----------------------------------------------------------------
+
+void fill_metrics(obs::MetricsRegistry& registry, const ProfileReport& report,
+                  const std::vector<comm::FabricStats>& pair_stats) {
+  for (const obs::Span& span : report.spans) {
+    if (span.kind == obs::SpanKind::kStep) {
+      registry.histogram("step.seconds").observe(span.seconds());
+      continue;
+    }
+    registry.histogram(std::string("op.seconds.") + obs::to_string(span.kind))
+        .observe(span.seconds());
+    if (span.kind == obs::SpanKind::kSendTransfer && span.bytes > 0) {
+      registry
+          .counter(std::string("wire.bytes.") +
+                   sched::to_string(wire_tags::msg_kind(span.tag)))
+          .add(static_cast<std::uint64_t>(span.bytes));
+    }
+    if (obs::is_compute(span.kind) && span.act_bytes_after >= 0.0) {
+      registry.gauge("mem.peak_act_bytes.measured")
+          .set_max(span.act_bytes_after);
+    }
+  }
+
+  registry.counter("spans.recorded").add(report.spans.size());
+  registry.counter("spans.dropped").add(report.dropped_spans);
+  registry.counter("fabric.messages").add(report.wire_messages);
+  registry.counter("fabric.bytes").add(report.wire_bytes);
+  registry.gauge("fabric.max_in_flight")
+      .set(static_cast<double>(report.max_in_flight));
+
+  const auto ranks = static_cast<std::size_t>(report.ranks);
+  if (pair_stats.size() == ranks * ranks) {
+    for (std::size_t src = 0; src < ranks; ++src) {
+      for (std::size_t dst = 0; dst < ranks; ++dst) {
+        const comm::FabricStats& st = pair_stats[src * ranks + dst];
+        if (st.messages == 0) {
+          continue;
+        }
+        std::ostringstream prefix;
+        prefix << "fabric.pair." << src << "->" << dst;
+        registry.counter(prefix.str() + ".messages").add(st.messages);
+        registry.counter(prefix.str() + ".bytes").add(st.bytes);
+        registry.gauge(prefix.str() + ".max_in_flight")
+            .set(static_cast<double>(st.max_in_flight));
+      }
+    }
+  }
+
+  registry.gauge("step.seconds.measured.mean").set(report.measured_step_seconds);
+  registry.gauge("bubble.measured").set(report.measured_bubble);
+  if (report.predicted_step_seconds >= 0.0) {
+    registry.gauge("step.seconds.predicted").set(report.predicted_step_seconds);
+    registry.gauge("bubble.predicted").set(report.predicted_bubble);
+  }
+  if (report.static_peak_bound_bytes >= 0.0) {
+    registry.gauge("mem.peak_act_bytes.static_bound")
+        .set(report.static_peak_bound_bytes);
+  }
+}
+
+std::string format_seconds(double s) {
+  char buf[64];
+  if (s < 0.0) {
+    return "n/a";
+  }
+  if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s", s);
+  }
+  return buf;
+}
+
+std::string format_bytes(double b) {
+  char buf[64];
+  if (b < 0.0) {
+    return "n/a";
+  }
+  if (b >= 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", b / (1024.0 * 1024.0));
+  } else if (b >= 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB", b / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f B", b);
+  }
+  return buf;
+}
+
+std::string format_percent(double frac) {
+  if (frac < 0.0) {
+    return "n/a";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", frac * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+bool is_trainer_strategy(const std::string& name) {
+  for (const char* s : kTrainerStrategies) {
+    if (name == s) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> profile_strategies() {
+  std::vector<std::string> out;
+  for (const char* s : kTrainerStrategies) {
+    out.emplace_back(s);
+  }
+  for (const char* s : kScheduleStrategies) {
+    out.emplace_back(s);
+  }
+  return out;
+}
+
+std::string ProfileReport::summary() const {
+  std::ostringstream oss;
+  oss << "profile: " << strategy
+      << (schedule_backed ? " (schedule-backed)" : " (trainer-backed)") << ", "
+      << ranks << " rank(s), " << iters << " iteration(s)\n";
+  oss << "  step time  measured " << format_seconds(measured_step_seconds)
+      << "  predicted " << format_seconds(predicted_step_seconds);
+  if (predicted_step_seconds > 0.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "  (%+.1f%%)",
+                  (measured_step_seconds / predicted_step_seconds - 1.0) *
+                      100.0);
+    oss << buf;
+  }
+  oss << '\n';
+  oss << "  bubble     measured " << format_percent(measured_bubble)
+      << "  predicted " << format_percent(predicted_bubble);
+  if (predicted_bubble >= 0.0 && measured_bubble >= 0.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "  (%+.1f pp)", bubble_error() * 100.0);
+    oss << buf;
+  }
+  oss << '\n';
+  oss << "  peak act   measured " << format_bytes(measured_peak_act_bytes)
+      << "  static bound " << format_bytes(static_peak_bound_bytes);
+  if (static_peak_bound_bytes >= 0.0) {
+    oss << (measured_peak_act_bytes <= static_peak_bound_bytes + 0.5
+                ? "  OK (measured <= bound)"
+                : "  VIOLATION (measured > bound)");
+  }
+  oss << '\n';
+  oss << "  wire       " << wire_messages << " message(s), "
+      << format_bytes(static_cast<double>(wire_bytes))
+      << ", max in flight " << max_in_flight << '\n';
+  oss << "  spans      " << spans.size() << " recorded, " << dropped_spans
+      << " dropped";
+  if (dropped_spans > 0) {
+    oss << "  (trace incomplete: raise ring_capacity)";
+  }
+  oss << '\n';
+  return oss.str();
+}
+
+ProfileReport run_profile(const ProfileOptions& options) {
+  WEIPIPE_CHECK_MSG(options.iters >= 1, "need at least one measured iteration");
+  WEIPIPE_CHECK_MSG(options.warmup_iters >= 0, "negative warmup");
+  WEIPIPE_CHECK_MSG(obs::Recorder::active() == nullptr,
+                    "a recorder is already installed");
+
+  ProfileReport report;
+  report.strategy = options.strategy;
+  report.iters = options.iters;
+  report.schedule_backed = !is_trainer_strategy(options.strategy);
+
+  obs::Recorder recorder(
+      {.ring_capacity = options.ring_capacity,
+       .record_kernels = options.record_kernels});
+
+  double bubble_sum = 0.0;
+  std::int64_t bubble_count = 0;
+  std::vector<comm::FabricStats> pair_stats;
+
+  if (report.schedule_backed) {
+    report.ranks = options.workers;
+    const sched::Program program = build_schedule_backed(options);
+
+    // Prediction and static bound come from the exact program we execute.
+    const sim::SimResult predicted =
+        sim::simulate(program, ideal_topology(report.ranks));
+    report.predicted_step_seconds = predicted.makespan;
+    report.predicted_bubble = predicted.bubble_ratio();
+    const analysis::AnalysisReport analyzed = analysis::analyze(program);
+    WEIPIPE_CHECK_MSG(!analyzed.deadlocked,
+                      "schedule '" << options.strategy
+                                   << "' deadlocks; not profiling it");
+    report.static_peak_bound_bytes = 0.0;
+    for (double b : analyzed.static_peak_bytes) {
+      report.static_peak_bound_bytes =
+          std::max(report.static_peak_bound_bytes, b);
+    }
+
+    for (std::int64_t i = 0; i < options.warmup_iters; ++i) {
+      (void)sim::run_program(program);
+    }
+    recorder.install();
+    for (std::int64_t i = 0; i < options.iters; ++i) {
+      const sim::ProgramRunResult run = sim::run_program(program);
+      report.measured_step_seconds += run.wall_seconds;
+      for (double b : run.peak_act_bytes) {
+        report.measured_peak_act_bytes =
+            std::max(report.measured_peak_act_bytes, b);
+      }
+      std::vector<obs::Span> iter_spans = recorder.drain();
+      const sim::SimResult converted =
+          trace::spans_to_sim_result(iter_spans);
+      if (converted.makespan > 0.0) {
+        bubble_sum += converted.bubble_ratio();
+        bubble_count += 1;
+      }
+      if (i == options.iters - 1) {
+        report.timeline = converted;
+        report.wire_bytes = run.wire_bytes;
+        report.wire_messages = run.wire_messages;
+        report.max_in_flight = run.max_in_flight;
+        pair_stats = run.pair_stats;
+      }
+      report.spans.insert(report.spans.end(),
+                          std::make_move_iterator(iter_spans.begin()),
+                          std::make_move_iterator(iter_spans.end()));
+    }
+    recorder.uninstall();
+  } else {
+    TrainConfig cfg = options.train;
+    cfg.validate();
+    report.ranks = options.strategy == "sequential" ? 1 : options.workers;
+    std::unique_ptr<Trainer> trainer =
+        make_trainer(options.strategy, cfg, options.workers);
+    SyntheticDataset data(cfg.model.vocab_size, cfg.seed);
+
+    std::int64_t iter = 0;
+    for (std::int64_t i = 0; i < options.warmup_iters; ++i) {
+      (void)trainer->train_iteration(data, iter++);
+    }
+    recorder.install();
+    for (std::int64_t i = 0; i < options.iters; ++i) {
+      const IterationResult res = trainer->train_iteration(data, iter++);
+      report.measured_step_seconds += res.wall_seconds;
+      std::vector<obs::Span> iter_spans = recorder.drain();
+      const sim::SimResult converted =
+          trace::spans_to_sim_result(iter_spans);
+      if (converted.makespan > 0.0) {
+        bubble_sum += converted.bubble_ratio();
+        bubble_count += 1;
+      }
+      report.measured_peak_act_bytes = std::max(
+          report.measured_peak_act_bytes, converted.max_peak_act_bytes());
+      if (i == options.iters - 1) {
+        report.timeline = converted;
+        report.wire_bytes = res.wire_bytes;
+        report.wire_messages = res.wire_messages;
+        if (comm::Fabric* fabric = trainer_fabric(*trainer)) {
+          pair_stats = fabric->stats_matrix();
+          report.max_in_flight = fabric->max_in_flight();
+        }
+      }
+      report.spans.insert(report.spans.end(),
+                          std::make_move_iterator(iter_spans.begin()),
+                          std::make_move_iterator(iter_spans.end()));
+    }
+    recorder.uninstall();
+
+    sched::Program predicted_program;
+    if (derive_predicted_program(options, report.spans, options.iters,
+                                 &predicted_program)) {
+      const sim::SimResult predicted =
+          sim::simulate(predicted_program, ideal_topology(report.ranks));
+      report.predicted_step_seconds = predicted.makespan;
+      report.predicted_bubble = predicted.bubble_ratio();
+      const analysis::AnalysisReport analyzed =
+          analysis::analyze(predicted_program);
+      if (!analyzed.deadlocked) {
+        report.static_peak_bound_bytes = 0.0;
+        for (double b : analyzed.static_peak_bytes) {
+          report.static_peak_bound_bytes =
+              std::max(report.static_peak_bound_bytes, b);
+        }
+      }
+    }
+  }
+
+  report.measured_step_seconds /= static_cast<double>(options.iters);
+  if (bubble_count > 0) {
+    bubble_sum /= static_cast<double>(bubble_count);
+    report.measured_bubble = bubble_sum;
+  }
+  report.dropped_spans = recorder.dropped();
+
+  report.trace_json = obs::spans_to_chrome_trace(report.spans);
+  obs::MetricsRegistry registry;
+  fill_metrics(registry, report, pair_stats);
+  report.metrics_json = registry.to_json();
+  return report;
+}
+
+}  // namespace weipipe::prof

@@ -1,0 +1,106 @@
+// Profiling harness: runs a strategy on the real execution engine with the
+// span recorder installed, aggregates the measured spans into metrics, and
+// closes the loop against the static stack — measured bubble/step time vs
+// the discrete-event simulator's prediction, measured peak activation bytes
+// vs the analyzer's static bound.
+//
+// Two execution paths, selected by strategy name:
+//  * trainer-backed (sequential, weipipe, weipipe-naive, 1f1b, gpipe, fsdp):
+//    instruments a real training loop (real tensors, real loss). Predictions
+//    are derived by fitting sched::StrategyCosts to the measured spans and
+//    simulating the matching schedule on an ideal topology.
+//  * schedule-backed (wzb1, wzb2, zb1, zb2, naive, interleave, no-prefetch):
+//    builds the sched::Program with synthetic costs (T_F = unit_seconds,
+//    T_B = ratio * unit) and executes it on the real fabric via
+//    sim::run_program. Here prediction and measurement share the exact same
+//    program, so the comparison isolates engine-model fidelity.
+//
+// `weipipe_cli profile` is a thin wrapper over run_profile(); tests drive it
+// directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "obs/span.hpp"
+#include "sim/engine.hpp"
+
+namespace weipipe::prof {
+
+struct ProfileOptions {
+  std::string strategy = "wzb2";
+  std::int64_t workers = 4;
+  std::int64_t iters = 2;         // measured iterations
+  std::int64_t warmup_iters = 1;  // untraced warmup iterations
+
+  // Schedule-backed strategies only:
+  std::int64_t rounds = 2;     // microbatch rounds (N = rounds * workers)
+  double bwd_ratio = 2.0;      // T_B / T_F
+  double unit_seconds = 2e-3;  // wall seconds per modeled T_F unit
+  // Modeled bytes per circulating weight chunk / per-chunk activation —
+  // shipped for real by the runner, so keep them modest.
+  double chunk_bytes = 1 << 16;
+  double act_bytes = 1 << 20;
+
+  // Trainer-backed strategies only: the model/run configuration.
+  TrainConfig train;
+
+  // Recorder configuration.
+  std::size_t ring_capacity = 1 << 16;
+  bool record_kernels = false;
+};
+
+struct ProfileReport {
+  std::string strategy;
+  std::int64_t ranks = 0;
+  std::int64_t iters = 0;
+  bool schedule_backed = false;  // executed via sim::run_program
+
+  // Measured over the traced iterations.
+  double measured_step_seconds = 0.0;  // mean iteration wall time
+  double measured_bubble = -1.0;       // 1 - busy / (ranks * makespan)
+  double measured_peak_act_bytes = 0.0;
+  std::uint64_t wire_bytes = 0;     // last iteration
+  std::uint64_t wire_messages = 0;  // last iteration
+  std::uint64_t max_in_flight = 0;  // last iteration, max over pairs
+  std::uint64_t dropped_spans = 0;  // ring overflow (nonzero = trace gaps)
+
+  // Predictions; negative = unavailable for this strategy.
+  double predicted_step_seconds = -1.0;  // engine makespan, ideal topology
+  double predicted_bubble = -1.0;
+  double static_peak_bound_bytes = -1.0;  // analyzer max per-rank bound
+
+  // Every span from the traced iterations (trace_json renders these), and
+  // the last iteration converted to the simulator's record shape (feeds the
+  // ASCII timeline / SVG renderers).
+  std::vector<obs::Span> spans;
+  sim::SimResult timeline;
+
+  std::string trace_json;    // Chrome trace-event JSON (Perfetto-loadable)
+  std::string metrics_json;  // obs::MetricsRegistry snapshot
+
+  // Convenience deltas; meaningful only when the prediction exists.
+  double bubble_error() const {
+    return (predicted_bubble < 0.0 || measured_bubble < 0.0)
+               ? -1.0
+               : measured_bubble - predicted_bubble;
+  }
+
+  // One-screen human-readable report (measured vs predicted vs static).
+  std::string summary() const;
+};
+
+// True if `name` runs a real trainer (vs a schedule-only program).
+bool is_trainer_strategy(const std::string& name);
+
+// Every strategy name run_profile accepts.
+std::vector<std::string> profile_strategies();
+
+// Runs the profile. Installs its own obs::Recorder for the duration; throws
+// weipipe::Error if another recorder is already installed or the strategy is
+// unknown.
+ProfileReport run_profile(const ProfileOptions& options);
+
+}  // namespace weipipe::prof

@@ -1,0 +1,45 @@
+// Mapping between the schedule IR's ComputeKind and the runtime tracer's
+// SpanKind. Header-only so it adds no link edge: sched/ stays independent of
+// obs/ at the library level, but any layer that already sees both headers
+// (core, sim, trace, prof) can convert without re-inventing the table.
+#pragma once
+
+#include "obs/span.hpp"
+#include "sched/program.hpp"
+
+namespace weipipe::sched {
+
+inline obs::SpanKind to_span_kind(ComputeKind kind) {
+  switch (kind) {
+    case ComputeKind::kForward: return obs::SpanKind::kForward;
+    case ComputeKind::kBackward: return obs::SpanKind::kBackward;
+    case ComputeKind::kBackwardActs: return obs::SpanKind::kBackwardActs;
+    case ComputeKind::kBackwardWeights:
+      return obs::SpanKind::kBackwardWeights;
+    case ComputeKind::kOptimizer: return obs::SpanKind::kOptimizer;
+    case ComputeKind::kLoss: return obs::SpanKind::kLoss;
+  }
+  return obs::SpanKind::kForward;
+}
+
+// Inverse map; returns false for span kinds with no ComputeKind counterpart
+// (communication, kernel, and step spans).
+inline bool to_compute_kind(obs::SpanKind kind, ComputeKind* out) {
+  switch (kind) {
+    case obs::SpanKind::kForward: *out = ComputeKind::kForward; return true;
+    case obs::SpanKind::kBackward: *out = ComputeKind::kBackward; return true;
+    case obs::SpanKind::kBackwardActs:
+      *out = ComputeKind::kBackwardActs;
+      return true;
+    case obs::SpanKind::kBackwardWeights:
+      *out = ComputeKind::kBackwardWeights;
+      return true;
+    case obs::SpanKind::kOptimizer:
+      *out = ComputeKind::kOptimizer;
+      return true;
+    case obs::SpanKind::kLoss: *out = ComputeKind::kLoss; return true;
+    default: return false;
+  }
+}
+
+}  // namespace weipipe::sched

@@ -1,0 +1,122 @@
+#include "sim/program_runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <thread>
+#include <variant>
+
+#include "common/check.hpp"
+#include "common/stopwatch.hpp"
+#include "obs/recorder.hpp"
+#include "sched/span_map.hpp"
+
+namespace weipipe::sim {
+
+namespace {
+
+// Occupies the calling thread for `seconds` wall time: sleeps the bulk,
+// spins the tail so short modeled ops (tens of microseconds) keep realistic
+// durations instead of collapsing into scheduler quanta.
+void busy_wait(double seconds) {
+  if (seconds <= 0.0) {
+    return;
+  }
+  const auto until =
+      std::chrono::steady_clock::now() +
+      std::chrono::nanoseconds(static_cast<std::int64_t>(seconds * 1e9));
+  const auto sleep_until = until - std::chrono::milliseconds(1);
+  if (std::chrono::steady_clock::now() < sleep_until) {
+    std::this_thread::sleep_until(sleep_until);
+  }
+  while (std::chrono::steady_clock::now() < until) {
+    // spin
+  }
+}
+
+std::size_t payload_size(double modeled_bytes, double payload_scale) {
+  const double scaled = std::max(0.0, modeled_bytes * payload_scale);
+  // At least one byte so every message physically exists on the wire.
+  return static_cast<std::size_t>(std::max<long long>(1, std::llround(scaled)));
+}
+
+}  // namespace
+
+ProgramRunResult run_program(const sched::Program& program,
+                             const ProgramRunOptions& options) {
+  WEIPIPE_CHECK_MSG(program.num_ranks() >= 1, "empty program");
+  WEIPIPE_CHECK_MSG(options.time_scale > 0.0, "time_scale must be > 0");
+
+  comm::Fabric fabric(program.num_ranks(), options.link_model);
+  ProgramRunResult result;
+  result.peak_act_bytes.assign(
+      static_cast<std::size_t>(program.num_ranks()), 0.0);
+  std::vector<double> busy(static_cast<std::size_t>(program.num_ranks()), 0.0);
+
+  Stopwatch sw;
+  comm::run_workers(fabric, [&](int rank, comm::Endpoint& ep) {
+    double act_bytes = 0.0;
+    double peak = 0.0;
+    double rank_busy = 0.0;
+    // Collective id -> wall deadline of its modeled transfer.
+    std::map<std::int64_t, std::chrono::steady_clock::time_point> pending;
+
+    for (const sched::Op& op : program.rank_ops[static_cast<std::size_t>(rank)]) {
+      if (const auto* c = std::get_if<sched::ComputeOp>(&op)) {
+        obs::SpanScope span(sched::to_span_kind(c->kind), c->microbatch,
+                            c->chunk);
+        const double wall = c->seconds * options.time_scale;
+        busy_wait(wall);
+        rank_busy += wall;
+        act_bytes += c->mem_delta;
+        peak = std::max(peak, act_bytes);
+        if (span.armed()) {
+          span.set_bytes(static_cast<std::int64_t>(c->mem_delta));
+          span.set_act_bytes_after(act_bytes);
+        }
+      } else if (const auto* s = std::get_if<sched::SendOp>(&op)) {
+        std::vector<std::uint8_t> payload(
+            payload_size(s->bytes, options.payload_scale), 0xCD);
+        ep.send(s->dst, s->tag, std::move(payload));
+      } else if (const auto* r = std::get_if<sched::RecvOp>(&op)) {
+        (void)ep.recv(r->src, r->tag);
+      } else if (const auto* cs = std::get_if<sched::CollectiveStartOp>(&op)) {
+        WEIPIPE_CHECK_MSG(pending.find(cs->id) == pending.end(),
+                          "collective id " << cs->id << " already in flight");
+        pending[cs->id] =
+            std::chrono::steady_clock::now() +
+            std::chrono::nanoseconds(static_cast<std::int64_t>(
+                cs->seconds * options.time_scale * 1e9));
+      } else if (const auto* cw = std::get_if<sched::CollectiveWaitOp>(&op)) {
+        auto it = pending.find(cw->id);
+        WEIPIPE_CHECK_MSG(it != pending.end(),
+                          "CollectiveWait " << cw->id << " without start");
+        obs::SpanScope span(obs::SpanKind::kCollective);
+        if (span.armed()) {
+          span.set_tag(cw->id);
+        }
+        const auto deadline = it->second;
+        pending.erase(it);
+        if (std::chrono::steady_clock::now() < deadline) {
+          std::this_thread::sleep_until(deadline);
+        }
+      }
+    }
+    WEIPIPE_CHECK_MSG(pending.empty(),
+                      "rank " << rank << " ended with un-waited collectives");
+    result.peak_act_bytes[static_cast<std::size_t>(rank)] = peak;
+    busy[static_cast<std::size_t>(rank)] = rank_busy;
+  });
+  result.wall_seconds = sw.seconds();
+  result.wire_bytes = fabric.total_bytes();
+  result.wire_messages = fabric.total_messages();
+  result.pair_stats = fabric.stats_matrix();
+  result.max_in_flight = fabric.max_in_flight();
+  for (double b : busy) {
+    result.busy_seconds += b;
+  }
+  return result;
+}
+
+}  // namespace weipipe::sim

@@ -1,0 +1,63 @@
+// Executes a sched::Program on the *real* execution substrate: one
+// std::thread per rank on the in-process fabric, real byte payloads on the
+// wire, and busy-wait compute kernels whose durations follow the program's
+// modeled op costs (scaled by `time_scale`).
+//
+// This is the runtime counterpart of sim/engine.hpp's discrete-event model:
+// the engine predicts how a schedule behaves; the runner makes the schedule
+// actually happen on threads so the observability layer (src/obs/) can
+// measure it — `weipipe_cli profile` uses it to run schedule-only strategies
+// (WZB1/WZB2, ZB1/ZB2, ...) that have no hand-written trainer, and the
+// measured-vs-predicted comparison closes the loop between the two.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/fabric.hpp"
+#include "sched/program.hpp"
+
+namespace weipipe::sim {
+
+struct ProgramRunOptions {
+  // Wall-clock seconds per modeled second for compute ops and collective
+  // durations. Profiles usually compress (e.g. 0.05) so a multi-second
+  // modeled iteration runs in tens of milliseconds.
+  double time_scale = 1.0;
+  // Optional delivery-delay model for the fabric (see
+  // sim/fabric_bridge.hpp); nullptr = infinitely fast links.
+  comm::LinkModel link_model = nullptr;
+  // Payloads are allocated at SendOp::bytes * payload_scale. Scaling the
+  // payload down keeps memcpy traffic cheap while tags/matching/ordering
+  // stay faithful; wire-byte metrics are then scaled back up by the caller
+  // if needed. 1.0 = ship every modeled byte for real.
+  double payload_scale = 1.0;
+};
+
+struct ProgramRunResult {
+  double wall_seconds = 0.0;
+  // Per-rank peak of the running sum of ComputeOp::mem_delta, in modeled
+  // bytes — the runtime-measured counterpart of the engine's peak_act_bytes
+  // and the analyzer's static bound (exact match expected: the runner
+  // follows the program's memory algebra by construction).
+  std::vector<double> peak_act_bytes;
+  // Fabric totals for the run (scaled payload bytes).
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t wire_messages = 0;
+  // Per-(src, dst) fabric stats, indexed [src * num_ranks + dst] — the same
+  // layout as comm::Fabric::stats_matrix(). Includes max_in_flight per pair.
+  std::vector<comm::FabricStats> pair_stats;
+  // Max simultaneously-undelivered messages across all pairs.
+  std::uint64_t max_in_flight = 0;
+  // Sum over ranks of compute busy time, wall seconds.
+  double busy_seconds = 0.0;
+};
+
+// Runs the program to completion and returns measured totals. Throws
+// weipipe::Error on timeout (deadlocked schedule) or malformed programs
+// (e.g. CollectiveWait without a matching start). Spans are recorded via the
+// active obs::Recorder, if any.
+ProgramRunResult run_program(const sched::Program& program,
+                             const ProgramRunOptions& options = {});
+
+}  // namespace weipipe::sim

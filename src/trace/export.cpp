@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 #include "common/check.hpp"
 
@@ -160,6 +162,17 @@ std::string experiments_to_svg(const std::vector<ExperimentRow>& rows,
 }
 
 void write_file(const std::string& path, const std::string& content) {
+  // Create missing parent directories: `--trace out/dir/trace.json` should
+  // not fail on a fresh checkout just because out/dir does not exist yet.
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    WEIPIPE_CHECK_MSG(!ec, "cannot create directory '" << parent.string()
+                                                       << "': "
+                                                       << ec.message());
+  }
   std::ofstream out(path, std::ios::trunc);
   WEIPIPE_CHECK_MSG(out.is_open(), "cannot open '" << path << "' for write");
   out << content;

@@ -1,0 +1,84 @@
+#include "trace/runtime.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "sched/span_map.hpp"
+
+namespace weipipe::trace {
+
+sim::SimResult spans_to_sim_result(const std::vector<obs::Span>& spans) {
+  sim::SimResult result;
+  result.program_name = "runtime";
+
+  std::int64_t epoch_ns = 0;
+  std::int64_t last_ns = 0;
+  bool any_ranked = false;
+  int max_rank = -1;
+  for (const obs::Span& s : spans) {
+    if (s.rank < 0 || s.kind == obs::SpanKind::kStep) {
+      continue;
+    }
+    if (!any_ranked || s.start_ns < epoch_ns) {
+      epoch_ns = s.start_ns;
+    }
+    last_ns = std::max(last_ns, s.end_ns);
+    max_rank = std::max(max_rank, static_cast<int>(s.rank));
+    any_ranked = true;
+  }
+  if (!any_ranked) {
+    return result;
+  }
+  const auto num_ranks = static_cast<std::size_t>(max_rank + 1);
+  result.busy_seconds.assign(num_ranks, 0.0);
+  result.peak_act_bytes.assign(num_ranks, 0.0);
+  result.makespan = static_cast<double>(last_ns - epoch_ns) * 1e-9;
+
+  auto rebased = [&](std::int64_t ns) {
+    return static_cast<double>(ns - epoch_ns) * 1e-9;
+  };
+
+  std::map<std::pair<int, int>, sim::LinkUsage> links;
+  for (const obs::Span& s : spans) {
+    if (s.rank < 0 || s.kind == obs::SpanKind::kStep) {
+      continue;
+    }
+    const auto r = static_cast<std::size_t>(s.rank);
+    sched::ComputeKind ck;
+    if (sched::to_compute_kind(s.kind, &ck)) {
+      sim::OpRecord rec;
+      rec.rank = static_cast<int>(s.rank);
+      rec.start = rebased(s.start_ns);
+      rec.end = rebased(s.end_ns);
+      rec.kind = ck;
+      rec.microbatch = s.microbatch;
+      rec.chunk = s.chunk;
+      rec.act_bytes_after = std::max(0.0, s.act_bytes_after);
+      result.records.push_back(rec);
+      result.busy_seconds[r] += s.seconds();
+      result.peak_act_bytes[r] =
+          std::max(result.peak_act_bytes[r], rec.act_bytes_after);
+    } else if (s.kind == obs::SpanKind::kSendTransfer && s.peer >= 0) {
+      result.p2p_bytes += static_cast<double>(s.bytes);
+      sim::LinkUsage& link =
+          links[{static_cast<int>(s.rank), static_cast<int>(s.peer)}];
+      link.src = static_cast<int>(s.rank);
+      link.dst = static_cast<int>(s.peer);
+      link.bytes += static_cast<double>(s.bytes);
+      link.busy_seconds += s.seconds();
+    }
+  }
+  std::sort(result.records.begin(), result.records.end(),
+            [](const sim::OpRecord& a, const sim::OpRecord& b) {
+              if (a.rank != b.rank) {
+                return a.rank < b.rank;
+              }
+              return a.start < b.start;
+            });
+  for (const auto& [key, usage] : links) {
+    result.links.push_back(usage);
+  }
+  return result;
+}
+
+}  // namespace weipipe::trace

@@ -1,0 +1,29 @@
+// Converts runtime-recorded spans (src/obs/) into the simulator's SimResult
+// record shape, so every renderer built for simulated schedules — the ASCII
+// timeline, the SVG Gantt chart, the CSV export — works unchanged on traces
+// measured from the real execution engine.
+#pragma once
+
+#include <vector>
+
+#include "obs/span.hpp"
+#include "sim/engine.hpp"
+
+namespace weipipe::trace {
+
+// Builds a SimResult from runtime spans:
+//  * compute spans (F/B/Ba/Bw/opt/loss) on ranked threads become OpRecords,
+//    timestamps rebased so the earliest ranked span starts at t = 0;
+//  * busy_seconds sums compute span durations per rank;
+//  * peak_act_bytes takes the per-rank max of act_bytes_after (0 when the
+//    producer did not track activation bytes);
+//  * makespan runs from the earliest ranked span start to the latest ranked
+//    span end (comm included, so blocked time counts — same convention as
+//    the discrete-event engine);
+//  * p2p_bytes and per-link usage aggregate send-transfer spans.
+// Unranked spans (driver thread, pool workers) and kStep markers are
+// ignored. Comm spans produce no OpRecords: as in simulator traces,
+// communication shows up as idle time between compute cells.
+sim::SimResult spans_to_sim_result(const std::vector<obs::Span>& spans);
+
+}  // namespace weipipe::trace

@@ -3,9 +3,10 @@
 //   #include "weipipe.hpp"
 //
 // Layering (include individual headers for finer control):
+//   common/  -> obs/    -> comm/, trace/, prof/
 //   common/  -> tensor/ -> nn/  -> core/, baselines/
 //   common/  -> comm/   -> core/, baselines/
-//   common/  -> sched/  -> sim/ -> trace/
+//   common/  -> sched/  -> sim/ -> trace/ -> prof/
 #pragma once
 
 // Foundations
@@ -55,7 +56,15 @@
 #include "sim/fabric_bridge.hpp"
 #include "sim/topology.hpp"
 #include "trace/export.hpp"
+#include "trace/runtime.hpp"
 #include "trace/timeline.hpp"
+
+// Observability & profiling
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/span.hpp"
+#include "prof/profile.hpp"
 
 namespace weipipe {
 

@@ -348,6 +348,52 @@ TEST_P(CollectiveWorlds, BarrierCompletes) {
 INSTANTIATE_TEST_SUITE_P(Worlds, CollectiveWorlds,
                          ::testing::Values(1, 2, 3, 4, 7, 8));
 
+TEST(FabricStats, PairCountsAndMaxInFlight) {
+  Fabric fabric(3);
+  run_workers(fabric, [](int rank, Endpoint& ep) {
+    if (rank == 0) {
+      // Three eager sends queue up before rank 1 receives any of them.
+      for (std::int64_t t = 0; t < 3; ++t) {
+        ep.send(1, /*tag=*/t, std::vector<std::uint8_t>(16, 0xAB));
+      }
+      ep.send(2, /*tag=*/9, std::vector<std::uint8_t>(8, 0xCD));
+    } else if (rank == 1) {
+      // Receive in reverse tag order so all three are in flight first.
+      (void)ep.recv(0, 2);
+      (void)ep.recv(0, 1);
+      (void)ep.recv(0, 0);
+    } else {
+      (void)ep.recv(0, 9);
+    }
+  });
+
+  const FabricStats pair01 = fabric.pair_stats(0, 1);
+  EXPECT_EQ(pair01.messages, 3u);
+  EXPECT_EQ(pair01.bytes, 48u);
+  EXPECT_EQ(pair01.in_flight, 0u);  // everything was consumed
+  // The tag-2 recv can only match after all three sends are queued.
+  EXPECT_EQ(pair01.max_in_flight, 3u);
+
+  const FabricStats pair02 = fabric.pair_stats(0, 2);
+  EXPECT_EQ(pair02.messages, 1u);
+  EXPECT_EQ(pair02.bytes, 8u);
+  EXPECT_EQ(pair02.max_in_flight, 1u);
+
+  // Untouched pairs stay zero; the matrix covers all src x dst.
+  const std::vector<FabricStats> matrix = fabric.stats_matrix();
+  ASSERT_EQ(matrix.size(), 9u);
+  EXPECT_EQ(matrix[1 * 3 + 0].messages, 0u);
+  EXPECT_EQ(fabric.max_in_flight(), 3u);
+  EXPECT_EQ(fabric.total_messages(), 4u);
+  EXPECT_EQ(fabric.total_bytes(), 56u);
+
+  fabric.reset_stats();
+  EXPECT_EQ(fabric.total_messages(), 0u);
+  EXPECT_EQ(fabric.max_in_flight(), 0u);
+  EXPECT_EQ(fabric.pair_stats(0, 1).max_in_flight, 0u);
+  EXPECT_EQ(fabric.pair_stats(0, 1).bytes, 0u);
+}
+
 TEST(Collectives, AllReduceRequiresDivisibleBuffer) {
   Fabric fabric(3);
   fabric.set_recv_timeout(std::chrono::milliseconds(200));

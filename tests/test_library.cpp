@@ -251,7 +251,15 @@ TEST(Export, ExperimentsCsvRoundTripsToDisk) {
                        std::istreambuf_iterator<char>());
   EXPECT_EQ(contents, csv);
   std::remove(path.c_str());
-  EXPECT_THROW(trace::write_file("/nonexistent/dir/x.csv", "x"), Error);
+  // write_file creates missing parent directories (tests/test_obs.cpp), so
+  // only a path whose parent cannot be created still throws — here the
+  // "parent" is an existing regular file.
+  const std::string blocker =
+      (std::filesystem::temp_directory_path() / "weipipe_export_blocker")
+          .string();
+  trace::write_file(blocker, "not a directory");
+  EXPECT_THROW(trace::write_file(blocker + "/x.csv", "x"), Error);
+  std::remove(blocker.c_str());
 }
 
 }  // namespace

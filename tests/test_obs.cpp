@@ -1,0 +1,472 @@
+// Observability-layer tests: recorder/ring semantics, metrics registry JSON,
+// the Chrome trace exporter (golden round-trip through the JSON parser), the
+// runtime->SimResult converter, trace::write_file directory creation, and
+// the measured-vs-static profile invariants on a real 4-rank run.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "prof/profile.hpp"
+#include "trace/export.hpp"
+#include "trace/runtime.hpp"
+
+namespace weipipe {
+namespace {
+
+// Sanitizer builds slow the machinery *between* ops (locks, condvars,
+// instrumentation) while busy-wait compute keeps wall-clock durations, so
+// measured bubbles inflate; the measured-vs-predicted envelope widens there.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
+
+obs::Span make_span(obs::SpanKind kind, int rank, std::int64_t start_ns,
+                    std::int64_t end_ns) {
+  obs::Span s;
+  s.kind = kind;
+  s.rank = rank;
+  s.start_ns = start_ns;
+  s.end_ns = end_ns;
+  return s;
+}
+
+// ---- recorder ---------------------------------------------------------------
+
+TEST(Recorder, DisabledByDefault) {
+  ASSERT_EQ(obs::Recorder::active(), nullptr);
+  EXPECT_FALSE(obs::enabled());
+  obs::SpanScope scope(obs::SpanKind::kForward, 0, 0);
+  EXPECT_FALSE(scope.armed());  // no recorder -> never armed, never records
+}
+
+TEST(Recorder, RecordsAndDrainsAcrossRankThreads) {
+  obs::Recorder recorder;
+  recorder.install();
+  ASSERT_TRUE(obs::enabled());
+
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 3; ++r) {
+    threads.emplace_back([r] {
+      obs::RankScope rank_scope(r);
+      for (int i = 0; i < 5; ++i) {
+        obs::SpanScope scope(obs::SpanKind::kForward, i, r);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  // Driver-thread span lands on the unranked ring.
+  { obs::SpanScope scope(obs::SpanKind::kStep); }
+
+  std::vector<obs::Span> spans = recorder.drain();
+  EXPECT_EQ(spans.size(), 16u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  // drain() orders by (rank, start); the unranked step span sorts first.
+  int last_rank = -2;
+  std::int64_t last_start = 0;
+  for (const obs::Span& s : spans) {
+    EXPECT_LE(s.start_ns, s.end_ns);
+    if (s.rank == last_rank) {
+      EXPECT_GE(s.start_ns, last_start);
+    } else {
+      EXPECT_GT(s.rank, last_rank);
+      last_rank = s.rank;
+    }
+    last_start = s.start_ns;
+  }
+  // A second drain has nothing left.
+  EXPECT_TRUE(recorder.drain().empty());
+  recorder.uninstall();
+  EXPECT_FALSE(obs::enabled());
+}
+
+TEST(Recorder, FullRingDropsAndCounts) {
+  obs::Recorder recorder({.ring_capacity = 16});
+  recorder.install();
+  {
+    obs::RankScope rank_scope(0);
+    for (int i = 0; i < 50; ++i) {
+      obs::SpanScope scope(obs::SpanKind::kForward, i, 0);
+    }
+  }
+  const std::vector<obs::Span> spans = recorder.drain();
+  EXPECT_EQ(spans.size(), 16u);
+  EXPECT_EQ(recorder.dropped(), 34u);
+  // The ring kept the oldest spans (drop-new policy).
+  EXPECT_EQ(spans.front().microbatch, 0);
+  EXPECT_EQ(spans.back().microbatch, 15);
+  recorder.uninstall();
+}
+
+TEST(Recorder, RankRingSurvivesWorkerRespawn) {
+  obs::Recorder recorder;
+  recorder.install();
+  for (int generation = 0; generation < 3; ++generation) {
+    std::thread worker([generation] {
+      obs::RankScope rank_scope(1);
+      obs::SpanScope scope(obs::SpanKind::kForward, generation, 1);
+    });
+    worker.join();
+  }
+  const std::vector<obs::Span> spans = recorder.drain();
+  ASSERT_EQ(spans.size(), 3u);
+  for (int g = 0; g < 3; ++g) {
+    EXPECT_EQ(spans[static_cast<std::size_t>(g)].microbatch, g);
+    EXPECT_EQ(spans[static_cast<std::size_t>(g)].rank, 1);
+  }
+  recorder.uninstall();
+}
+
+TEST(Recorder, ReinstallAtSameAddressResolvesFreshRings) {
+  // Regression: the per-thread ring cache must key on the install epoch, not
+  // the recorder's address — consecutive stack-allocated recorders typically
+  // reuse the same address, and an address-keyed cache would hand back rings
+  // owned by the destroyed instance.
+  for (int round = 0; round < 3; ++round) {
+    obs::Recorder recorder;
+    recorder.install();
+    obs::RankScope rank_scope(0);
+    { obs::SpanScope scope(obs::SpanKind::kForward, round, 0); }
+    const std::vector<obs::Span> spans = recorder.drain();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].microbatch, round);
+    recorder.uninstall();
+  }
+}
+
+// ---- metrics ----------------------------------------------------------------
+
+TEST(Metrics, RegistryJsonRoundTrip) {
+  obs::MetricsRegistry registry;
+  registry.counter("wire.bytes").add(4096);
+  registry.counter("wire.bytes").add(1024);
+  registry.gauge("bubble").set(0.125);
+  registry.gauge("peak").set_max(10.0);
+  registry.gauge("peak").set_max(3.0);  // max keeps 10
+  for (int i = 1; i <= 100; ++i) {
+    registry.histogram("step.seconds").observe(static_cast<double>(i));
+  }
+
+  const obs::JsonParseResult parsed = obs::parse_json(registry.to_json());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const obs::JsonValue* counters = parsed.value.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->find("wire.bytes")->as_number(), 5120.0);
+  const obs::JsonValue* gauges = parsed.value.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->find("bubble")->as_number(), 0.125);
+  EXPECT_DOUBLE_EQ(gauges->find("peak")->as_number(), 10.0);
+  const obs::JsonValue* hist = parsed.value.find("histograms");
+  ASSERT_NE(hist, nullptr);
+  const obs::JsonValue* step = hist->find("step.seconds");
+  ASSERT_NE(step, nullptr);
+  EXPECT_EQ(step->find("count")->as_number(), 100.0);
+  EXPECT_DOUBLE_EQ(step->find("min")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(step->find("max")->as_number(), 100.0);
+  EXPECT_DOUBLE_EQ(step->find("mean")->as_number(), 50.5);
+  // Log-bucketed quantiles are estimates; check ordering and rough position.
+  const double p50 = step->find("p50")->as_number();
+  const double p99 = step->find("p99")->as_number();
+  EXPECT_GE(p50, 25.0);
+  EXPECT_LE(p50, 100.0);
+  EXPECT_GE(p99, p50);
+
+  registry.reset();
+  const obs::JsonParseResult after = obs::parse_json(registry.to_json());
+  ASSERT_TRUE(after.ok);
+  EXPECT_EQ(after.value.find("counters")->find("wire.bytes")->as_number(),
+            0.0);
+}
+
+// ---- chrome trace golden round-trip ----------------------------------------
+
+std::vector<obs::Span> golden_spans() {
+  std::vector<obs::Span> spans;
+  // Rank 0: forward (acquires 1 KiB), then sends flow 7 to rank 1.
+  obs::Span f0 = make_span(obs::SpanKind::kForward, 0, 1'000, 5'000);
+  f0.microbatch = 0;
+  f0.chunk = 0;
+  f0.bytes = 1024;
+  f0.act_bytes_after = 1024.0;
+  spans.push_back(f0);
+  obs::Span send = make_span(obs::SpanKind::kSendTransfer, 0, 5'000, 6'000);
+  send.peer = 1;
+  send.tag = 20;
+  send.bytes = 512;
+  send.flow_id = 7;
+  spans.push_back(send);
+  // Rank 1: blocked on the message, then computes.
+  obs::Span wait = make_span(obs::SpanKind::kRecvWait, 1, 2'000, 6'500);
+  wait.peer = 0;
+  wait.tag = 20;
+  wait.bytes = 512;
+  wait.flow_id = 7;
+  spans.push_back(wait);
+  obs::Span f1 = make_span(obs::SpanKind::kForward, 1, 6'500, 9'000);
+  f1.microbatch = 0;
+  f1.chunk = 1;
+  spans.push_back(f1);
+  // Driver step marker (unranked).
+  spans.push_back(make_span(obs::SpanKind::kStep, -1, 500, 10'000));
+  return spans;
+}
+
+TEST(ChromeTrace, GoldenRoundTrip) {
+  const std::string json = obs::spans_to_chrome_trace(golden_spans());
+  const obs::JsonParseResult parsed = obs::parse_json(json);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+
+  const obs::JsonValue* events = parsed.value.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  std::map<int, double> last_ts;            // per-track monotone timestamps
+  std::map<std::int64_t, int> flow_starts;  // id -> count
+  std::map<std::int64_t, int> flow_ends;
+  int metadata = 0;
+  int complete = 0;
+  for (const obs::JsonValue& e : events->array) {
+    const std::string& ph = e.find("ph")->as_string();
+    if (ph == "M") {
+      ++metadata;
+      continue;
+    }
+    const int tid = static_cast<int>(e.find("tid")->as_number());
+    const double ts = e.find("ts")->as_number();
+    EXPECT_GE(ts, 0.0);  // rebased to the earliest span
+    if (ph == "X") {
+      ++complete;
+      auto it = last_ts.find(tid);
+      if (it != last_ts.end()) {
+        EXPECT_GE(ts, it->second) << "track " << tid << " went backwards";
+      }
+      last_ts[tid] = ts;
+      EXPECT_GE(e.find("dur")->as_number(), 0.0);
+      ASSERT_NE(e.find("name"), nullptr);
+      ASSERT_NE(e.find("args"), nullptr);
+    } else if (ph == "s") {
+      flow_starts[static_cast<std::int64_t>(e.find("id")->as_number())]++;
+    } else if (ph == "f") {
+      flow_ends[static_cast<std::int64_t>(e.find("id")->as_number())]++;
+      EXPECT_EQ(e.find("bp")->as_string(), "e");
+    }
+  }
+  EXPECT_GE(metadata, 4);  // process_name + 3 tracks (rank 0, rank 1, driver)
+  EXPECT_EQ(complete, 5);
+  // Every flow arrow is a matched s/f pair on the fabric-assigned id.
+  EXPECT_EQ(flow_starts.size(), 1u);
+  EXPECT_EQ(flow_starts, flow_ends);
+  EXPECT_EQ(flow_starts.count(7), 1u);
+
+  // The forward span carries its schedule identity.
+  bool found_f0 = false;
+  for (const obs::JsonValue& e : events->array) {
+    if (e.find("ph")->as_string() != "X" ||
+        e.find("name")->as_string() != "F" ||
+        e.find("tid")->as_number() != 0.0) {
+      continue;
+    }
+    const obs::JsonValue* args = e.find("args");
+    EXPECT_EQ(args->find("microbatch")->as_number(), 0.0);
+    EXPECT_EQ(args->find("chunk")->as_number(), 0.0);
+    EXPECT_EQ(args->find("act_bytes_after")->as_number(), 1024.0);
+    found_f0 = true;
+  }
+  EXPECT_TRUE(found_f0);
+}
+
+// ---- runtime -> SimResult converter -----------------------------------------
+
+TEST(RuntimeConvert, SpansBecomeRecords) {
+  const sim::SimResult result = trace::spans_to_sim_result(golden_spans());
+  // Two compute spans; the step marker and comm spans add no records.
+  ASSERT_EQ(result.records.size(), 2u);
+  ASSERT_EQ(result.busy_seconds.size(), 2u);
+  // Earliest *ranked* span (rank 0 forward at 1000 ns) defines t = 0.
+  EXPECT_DOUBLE_EQ(result.records[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(result.records[0].end, 4e-6);
+  EXPECT_EQ(result.records[0].rank, 0);
+  EXPECT_EQ(result.records[1].rank, 1);
+  EXPECT_DOUBLE_EQ(result.makespan, 8e-6);  // 1000 .. 9000 ns
+  EXPECT_DOUBLE_EQ(result.peak_act_bytes[0], 1024.0);
+  EXPECT_DOUBLE_EQ(result.p2p_bytes, 512.0);
+  ASSERT_EQ(result.links.size(), 1u);
+  EXPECT_EQ(result.links[0].src, 0);
+  EXPECT_EQ(result.links[0].dst, 1);
+  EXPECT_DOUBLE_EQ(result.links[0].bytes, 512.0);
+  EXPECT_GT(result.bubble_ratio(), 0.0);
+}
+
+TEST(RuntimeConvert, EmptyAndUnrankedSpansGiveEmptyResult) {
+  EXPECT_TRUE(trace::spans_to_sim_result({}).records.empty());
+  std::vector<obs::Span> only_driver;
+  only_driver.push_back(make_span(obs::SpanKind::kStep, -1, 0, 1'000));
+  const sim::SimResult result = trace::spans_to_sim_result(only_driver);
+  EXPECT_TRUE(result.records.empty());
+  EXPECT_DOUBLE_EQ(result.makespan, 0.0);
+}
+
+// ---- write_file parent-directory creation -----------------------------------
+
+TEST(WriteFile, CreatesMissingParentDirectories) {
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() / "weipipe_obs_test";
+  std::filesystem::remove_all(root);
+  const std::filesystem::path nested = root / "a" / "b" / "trace.json";
+  ASSERT_FALSE(std::filesystem::exists(root));
+
+  trace::write_file(nested.string(), "{\"ok\":true}\n");
+
+  ASSERT_TRUE(std::filesystem::exists(nested));
+  std::FILE* f = std::fopen(nested.string().c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[32] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, n), "{\"ok\":true}\n");
+  std::filesystem::remove_all(root);
+}
+
+// ---- profile invariants on a real 4-rank run --------------------------------
+
+TEST(Profile, Wzb2MeasuredPeakWithinStaticBoundAndTraceParses) {
+  prof::ProfileOptions options;
+  options.strategy = "wzb2";
+  options.workers = 4;
+  options.iters = 1;
+  options.warmup_iters = 0;
+  options.rounds = 2;
+  // Big enough that per-message scheduler wakeups (~100 us) amortize into
+  // the documented tolerance; small enough that the test stays < 1 s.
+  options.unit_seconds = kSanitized ? 8e-3 : 3e-3;
+  const prof::ProfileReport report = prof::run_profile(options);
+
+  EXPECT_EQ(report.ranks, 4);
+  EXPECT_TRUE(report.schedule_backed);
+  EXPECT_EQ(report.dropped_spans, 0u);
+  EXPECT_FALSE(report.spans.empty());
+  EXPECT_GT(report.wire_messages, 0u);
+  EXPECT_GT(report.max_in_flight, 0u);
+
+  // Satellite invariant: runtime-measured peak activation bytes never exceed
+  // the analyzer's static bound (the runner follows the program's memory
+  // algebra, so this is exact equality up to rounding).
+  ASSERT_GE(report.static_peak_bound_bytes, 0.0);
+  EXPECT_LE(report.measured_peak_act_bytes,
+            report.static_peak_bound_bytes + 0.5);
+
+  // The engine prediction exists and both bubbles are sane fractions.
+  ASSERT_GE(report.predicted_bubble, 0.0);
+  EXPECT_LT(report.predicted_bubble, 1.0);
+  EXPECT_GE(report.measured_bubble, 0.0);
+  EXPECT_LT(report.measured_bubble, 1.0);
+  // Scheduler wakeups only add idle time; allow generous slack for loaded
+  // CI machines but catch nonsense (documented tolerance in
+  // docs/OBSERVABILITY.md).
+  EXPECT_LT(report.measured_bubble,
+            report.predicted_bubble + (kSanitized ? 0.55 : 0.30));
+  EXPECT_GE(report.measured_step_seconds,
+            report.predicted_step_seconds * 0.5);
+
+  // Both JSON artifacts parse; the trace's flow arrows come in matched
+  // pairs with per-track monotone timestamps.
+  const obs::JsonParseResult metrics = obs::parse_json(report.metrics_json);
+  ASSERT_TRUE(metrics.ok) << metrics.error;
+  EXPECT_NE(metrics.value.find("gauges")->find("fabric.max_in_flight"),
+            nullptr);
+
+  const obs::JsonParseResult trace = obs::parse_json(report.trace_json);
+  ASSERT_TRUE(trace.ok) << trace.error;
+  const obs::JsonValue* events = trace.value.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::map<int, double> last_ts;
+  std::set<std::int64_t> starts;
+  std::set<std::int64_t> ends;
+  for (const obs::JsonValue& e : events->array) {
+    const std::string& ph = e.find("ph")->as_string();
+    if (ph == "X") {
+      const int tid = static_cast<int>(e.find("tid")->as_number());
+      const double ts = e.find("ts")->as_number();
+      auto it = last_ts.find(tid);
+      if (it != last_ts.end()) {
+        EXPECT_GE(ts, it->second);
+      }
+      last_ts[tid] = ts;
+    } else if (ph == "s") {
+      starts.insert(static_cast<std::int64_t>(e.find("id")->as_number()));
+    } else if (ph == "f") {
+      ends.insert(static_cast<std::int64_t>(e.find("id")->as_number()));
+    }
+  }
+  EXPECT_FALSE(starts.empty());
+  EXPECT_EQ(starts, ends);
+}
+
+TEST(Profile, TrainerBackedWeiPipeMeasuredPeakWithinDerivedBound) {
+  prof::ProfileOptions options;
+  options.strategy = "weipipe";
+  options.workers = 4;
+  options.iters = 1;
+  options.warmup_iters = 0;
+  options.train.model.vocab_size = 32;
+  options.train.model.dim = 16;
+  options.train.model.n_layers = 4;
+  options.train.model.n_heads = 2;
+  options.train.model.seq_len = 8;
+  options.train.seq_len = 8;
+  options.train.num_microbatches = 4;
+  options.train.microbatch_size = 1;
+  const prof::ProfileReport report = prof::run_profile(options);
+
+  EXPECT_FALSE(report.schedule_backed);
+  EXPECT_EQ(report.ranks, 4);
+  EXPECT_FALSE(report.spans.empty());
+  EXPECT_GT(report.measured_step_seconds, 0.0);
+  EXPECT_GT(report.wire_messages, 0u);
+  EXPECT_GT(report.measured_peak_act_bytes, 0.0);
+  // The derived schedule model exists for weipipe and its static bound
+  // covers the measured peak (per-chunk costs are fitted as maxima).
+  ASSERT_GE(report.static_peak_bound_bytes, 0.0);
+  EXPECT_LE(report.measured_peak_act_bytes,
+            report.static_peak_bound_bytes + 0.5);
+  ASSERT_GE(report.predicted_bubble, 0.0);
+
+  // Step spans made it into the trace (driver track).
+  bool found_step = false;
+  for (const obs::Span& s : report.spans) {
+    if (s.kind == obs::SpanKind::kStep) {
+      found_step = true;
+    }
+  }
+  EXPECT_TRUE(found_step);
+}
+
+TEST(Profile, StrategyListsAreDisjointAndComplete) {
+  const std::vector<std::string> all = prof::profile_strategies();
+  EXPECT_TRUE(std::count(all.begin(), all.end(), "wzb2") == 1);
+  EXPECT_TRUE(prof::is_trainer_strategy("weipipe"));
+  EXPECT_TRUE(prof::is_trainer_strategy("sequential"));
+  EXPECT_FALSE(prof::is_trainer_strategy("wzb2"));
+  EXPECT_FALSE(prof::is_trainer_strategy("nonsense"));
+}
+
+}  // namespace
+}  // namespace weipipe

@@ -5,6 +5,7 @@
 //   weipipe_cli plan     [flags]   pick a strategy for a model x cluster
 //   weipipe_cli schedule [flags]   render a schedule timeline
 //   weipipe_cli analyze  [flags]   statically model-check schedules
+//   weipipe_cli profile  [flags]   trace a real run; measured vs predicted
 //   weipipe_cli help
 //
 // Run `weipipe_cli help` for every flag.
@@ -402,6 +403,47 @@ int cmd_schedule(const Flags& flags) {
   return 0;
 }
 
+int cmd_profile(const Flags& flags) {
+  prof::ProfileOptions opt;
+  opt.strategy = flags.str("strategy", "wzb2");
+  opt.workers = flags.i64("workers", 4);
+  opt.iters = flags.i64("iters", 2);
+  opt.warmup_iters = flags.i64("warmup-iters", 1);
+  opt.rounds = flags.i64("rounds", 2);
+  opt.bwd_ratio = flags.f64("bwd-ratio", 2.0);
+  opt.unit_seconds = flags.f64("unit-ms", 2.0) * 1e-3;
+  opt.record_kernels = flags.flag("kernels");
+  opt.ring_capacity =
+      static_cast<std::size_t>(flags.i64("ring-capacity", 1 << 16));
+  opt.train = config_from_flags(flags);
+
+  const prof::ProfileReport report = prof::run_profile(opt);
+  std::printf("%s", report.summary().c_str());
+
+  if (flags.flag("timeline") && !report.timeline.records.empty()) {
+    std::printf("%s", trace::render_timeline(
+                          report.timeline,
+                          {.width = static_cast<int>(flags.i64("width", 110))})
+                          .c_str());
+  }
+  if (flags.flag("trace")) {
+    const std::string path = flags.str("trace", "profile-trace.json");
+    trace::write_file(path, report.trace_json);
+    std::printf("wrote %s (open in ui.perfetto.dev)\n", path.c_str());
+  }
+  if (flags.flag("metrics")) {
+    const std::string path = flags.str("metrics", "profile-metrics.json");
+    trace::write_file(path, report.metrics_json);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  if (flags.flag("svg") && !report.timeline.records.empty()) {
+    const std::string path = flags.str("svg", "profile.svg");
+    trace::write_file(path, trace::records_to_svg(report.timeline));
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
 void print_help() {
   std::printf(R"(weipipe_cli — WeiPipe weight-pipeline training toolkit
 
@@ -431,6 +473,19 @@ COMMANDS
              weight-version consistency, peak-memory bounds)
     --strategy all|naive|interleave|no-prefetch|wzb1|wzb2|gpipe|1f1b|zb1|zb2|fsdp
     --workers P --rounds R --bwd-ratio f
+  profile    run a strategy on the real engine with tracing on; report
+             measured vs predicted bubble/step time and measured vs static
+             peak activation memory
+    --strategy S       trainer-backed: sequential|weipipe|weipipe-naive|1f1b|gpipe|fsdp
+                       schedule-backed: wzb1|wzb2|zb1|zb2|naive|interleave|no-prefetch
+    --workers P --iters N --warmup-iters N
+    --rounds R --bwd-ratio f --unit-ms f       (schedule-backed programs)
+    --dim H --layers L --microbatches N ...    (trainer-backed model flags)
+    --trace PATH       write Chrome trace-event JSON (Perfetto-loadable)
+    --metrics PATH     write metrics snapshot JSON
+    --timeline         render the measured timeline as ASCII
+    --svg PATH         write the measured timeline as SVG
+    --kernels          also record per-dispatch thread-pool kernel spans
 )");
 }
 
@@ -458,6 +513,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "analyze") {
       return cmd_analyze(flags);
+    }
+    if (cmd == "profile") {
+      return cmd_profile(flags);
     }
     if (cmd == "help" || cmd == "--help") {
       print_help();
