@@ -1,8 +1,14 @@
 // google-benchmark microbenchmarks at the nn layer: full transformer block
-// forward/backward, recompute overhead, GQA vs MHA, cross-entropy.
+// forward/backward, recompute overhead, GQA vs MHA, cross-entropy. With
+// --kernels_json=PATH the binary instead emits machine-readable layer-level
+// timings (see kernels_json.hpp).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "kernels_json.hpp"
 #include "nn/block.hpp"
 #include "nn/loss.hpp"
 
@@ -98,7 +104,91 @@ void BM_CrossEntropy(benchmark::State& state) {
 }
 BENCHMARK(BM_CrossEntropy)->Arg(256)->Arg(4096);
 
+// ---- --kernels_json mode ----------------------------------------------------
+
+int write_kernels_json(const std::string& path, bool smoke) {
+  const std::int64_t dim = smoke ? 64 : 128;
+  const int reps = smoke ? 2 : 5;
+  const ModelConfig cfg = bench_cfg(dim);
+  TransformerLayerBlock block(cfg);
+  Rng rng(1);
+  std::vector<float> w(static_cast<std::size_t>(block.param_count()));
+  block.init_params(w, rng);
+  const Microbatch mb = bench_mb(cfg);
+  const Tensor x = Tensor::randn({mb.rows(), cfg.dim}, rng);
+  const Tensor dy = Tensor::randn({mb.rows(), cfg.dim}, rng);
+  const std::span<const float> ws(w.data(), w.size());
+
+  const double fwd_s = bench::best_seconds(reps, [&] {
+    BlockCtx ctx;
+    Tensor y = block.forward(ws, mb, x, ctx, true);
+    benchmark::DoNotOptimize(y.data());
+  });
+  BlockCtx ctx;
+  (void)block.forward(ws, mb, x, ctx, /*save_internals=*/true);
+  std::vector<float> dw(w.size(), 0.0f);
+  const double bwd_s = bench::best_seconds(reps, [&] {
+    Tensor dx = block.backward(ws, mb, ctx, dy,
+                               std::span<float>(dw.data(), dw.size()));
+    benchmark::DoNotOptimize(dx.data());
+  });
+  const std::int64_t vocab = smoke ? 256 : 4096;
+  ModelConfig ce_cfg = bench_cfg(64);
+  ce_cfg.vocab_size = vocab;
+  const Microbatch ce_mb = bench_mb(ce_cfg);
+  Rng ce_rng(4);
+  const Tensor logits = Tensor::randn({ce_mb.rows(), vocab}, ce_rng);
+  const double ce_s = bench::best_seconds(reps, [&] {
+    LossResult lr = cross_entropy_loss(logits, ce_mb);
+    benchmark::DoNotOptimize(lr.dlogits.data());
+  });
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_micro_nn\",\n");
+  std::fprintf(f, "  \"simd\": \"%s\",\n  \"threads\": %zu,\n",
+               bench::simd_label(), ThreadPool::global().size());
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"layers\": [\n");
+  std::fprintf(f,
+               "    {\"name\": \"layer_forward\", \"dim\": %lld, "
+               "\"rows\": %lld, \"seconds\": %.6e},\n",
+               static_cast<long long>(dim), static_cast<long long>(mb.rows()),
+               fwd_s);
+  std::fprintf(f,
+               "    {\"name\": \"layer_backward\", \"dim\": %lld, "
+               "\"rows\": %lld, \"seconds\": %.6e},\n",
+               static_cast<long long>(dim), static_cast<long long>(mb.rows()),
+               bwd_s);
+  std::fprintf(f,
+               "    {\"name\": \"cross_entropy\", \"vocab\": %lld, "
+               "\"rows\": %lld, \"seconds\": %.6e}\n",
+               static_cast<long long>(vocab),
+               static_cast<long long>(ce_mb.rows()), ce_s);
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace weipipe
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  weipipe::bench::KernelsJsonArgs args =
+      weipipe::bench::parse_kernels_json_args(argc, argv);
+  if (!args.json_path.empty()) {
+    return weipipe::write_kernels_json(args.json_path, args.smoke);
+  }
+  int rest_argc = static_cast<int>(args.rest.size());
+  benchmark::Initialize(&rest_argc, args.rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, args.rest.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,6 +1,6 @@
 #include "common/thread_pool.hpp"
 
-#include <atomic>
+#include <algorithm>
 #include <chrono>
 #include <exception>
 
@@ -9,10 +9,15 @@
 namespace weipipe {
 
 namespace {
-// Set while a pool worker executes a task. A nested parallel_for from inside a
-// task runs serially: queueing sub-tasks while every worker may be blocked
-// waiting on its own sub-tasks is a classic self-deadlock.
+// Set while a pool worker executes a chunk. A nested parallel_for from inside
+// a chunk runs serially: claiming sub-chunks while every worker may be
+// blocked waiting on its own sub-dispatch is a classic self-deadlock.
 thread_local bool g_inside_pool_task = false;
+
+// Claimed chunks per dispatch slot, beyond the caller-provided grain: small
+// enough to amortize the claim fetch_add, large enough that uneven per-index
+// cost still load-balances.
+constexpr std::size_t kChunksPerThread = 4;
 
 std::atomic<KernelObserver> g_kernel_observer{nullptr};
 
@@ -39,6 +44,25 @@ void set_kernel_observer(KernelObserver observer) {
   g_kernel_observer.store(observer, std::memory_order_relaxed);
 }
 
+// One per parallel_for_range call, on the dispatching thread's stack. The
+// arena slot holds a pointer to it for the duration of the dispatch; workers
+// may only dereference that pointer under the pool mutex (scan + join) or
+// after registering themselves in `joined` (execution), and the caller does
+// not return until `joined` drops back to zero — so the frame outlives every
+// access.
+struct ThreadPool::Dispatch {
+  RangeFn fn;
+  void* ctx;
+  std::size_t end;
+  std::size_t chunk;
+  std::atomic<std::size_t> next;  // next unclaimed index; >= end when drained
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int joined WEIPIPE_GUARDED_BY(mu) = 0;  // threads inside run_dispatch
+  std::exception_ptr error WEIPIPE_GUARDED_BY(mu);
+};
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
@@ -57,28 +81,78 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::run_dispatch(Dispatch& d, bool is_worker) {
+  std::uint64_t claimed = 0;
   for (;;) {
-    Task task;
-    {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
-      if (stop_ && tasks_.empty()) {
-        return;
-      }
-      task = std::move(tasks_.front());
-      tasks_.pop();
+    const std::size_t lo = d.next.fetch_add(d.chunk);
+    if (lo >= d.end) {
+      break;
     }
-    g_inside_pool_task = true;
-    struct Reset {  // exception-safe: a throwing task must not leave the
-      ~Reset() { g_inside_pool_task = false; }  // flag stuck on this thread
-    } reset;
-    task.fn();
+    const std::size_t hi = std::min(d.end, lo + d.chunk);
+    ++claimed;
+    try {
+      d.fn(d.ctx, lo, hi);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(d.mu);
+      if (!d.error) {
+        d.error = std::current_exception();
+      }
+      // Abandon the remaining range so other participants stop quickly.
+      d.next.store(d.end);
+    }
+  }
+  if (claimed > 0) {
+    stat_chunks_.fetch_add(claimed, std::memory_order_relaxed);
+    if (is_worker) {
+      stat_steals_.fetch_add(claimed, std::memory_order_relaxed);
+    }
   }
 }
 
-void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t)>& fn) {
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    Dispatch* d = nullptr;
+    for (Dispatch* slot : slots_) {
+      if (slot != nullptr &&
+          slot->next.load(std::memory_order_relaxed) < slot->end) {
+        d = slot;
+        break;
+      }
+    }
+    if (d == nullptr) {
+      if (stop_) {
+        return;
+      }
+      cv_.wait(lk);
+      continue;
+    }
+    {
+      // Registered while the pool mutex pins the slot (and so the frame);
+      // from here the caller cannot return until we deregister.
+      std::lock_guard<std::mutex> dlk(d->mu);
+      ++d->joined;
+    }
+    lk.unlock();
+
+    g_inside_pool_task = true;
+    struct Reset {  // exception-safe: run_dispatch never throws, but keep the
+      ~Reset() { g_inside_pool_task = false; }  // flag robust anyway
+    } reset;
+    run_dispatch(*d, /*is_worker=*/true);
+
+    {
+      std::lock_guard<std::mutex> dlk(d->mu);
+      if (--d->joined == 0) {
+        d->cv.notify_all();
+      }
+    }
+    lk.lock();
+  }
+}
+
+void ThreadPool::parallel_for_range(std::size_t begin, std::size_t end,
+                                    RangeFn fn, void* ctx, std::size_t grain) {
   if (begin >= end) {
     return;
   }
@@ -87,78 +161,93 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   KernelDispatchNotifier notifier{observer, end - begin,
                                   observer != nullptr ? steady_ns() : 0};
   const std::size_t n = end - begin;
-  const std::size_t num_chunks = std::min(n, workers_.size() + 1);
-  if (num_chunks <= 1 || g_inside_pool_task) {
-    for (std::size_t i = begin; i < end; ++i) {
-      fn(i);
-    }
+  grain = std::max<std::size_t>(1, grain);
+  // Chunk size honors the caller's grain as a floor, then widens so each
+  // participant claims ~kChunksPerThread chunks (claim overhead amortizes,
+  // uneven per-index cost still balances).
+  const std::size_t participants = workers_.size() + 1;
+  const std::size_t chunk =
+      std::max(grain, n / (kChunksPerThread * participants));
+  if (n <= chunk || workers_.empty() || g_inside_pool_task) {
+    stat_serial_runs_.fetch_add(1, std::memory_order_relaxed);
+    fn(ctx, begin, end);
     return;
   }
 
-  std::atomic<std::size_t> next{begin};
-  std::exception_ptr first_error;
-  std::mutex err_mu;
-  std::size_t done = 0;  // guarded by done_mu
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  Dispatch d;
+  d.fn = fn;
+  d.ctx = ctx;
+  d.end = end;
+  d.chunk = chunk;
+  d.next.store(begin, std::memory_order_relaxed);
 
-  // Dynamic scheduling with chunk size ~ n / (4 * chunks): balances uneven
-  // per-index cost (e.g. causal attention rows) without queue thrash.
-  const std::size_t chunk = std::max<std::size_t>(1, n / (4 * num_chunks));
-  const std::size_t n_tasks = num_chunks;
-
-  // Every local the tasks touch by reference lives on this frame, so the
-  // completion count must be published entirely under done_mu: the waiter
-  // below holds done_mu while testing it, which means it cannot observe
-  // done == n_tasks (and destroy the frame) until the last task has
-  // released the lock — after its final access to any local.
-  auto body = [&] {
-    for (;;) {
-      const std::size_t lo = next.fetch_add(chunk);
-      if (lo >= end) {
-        break;
-      }
-      const std::size_t hi = std::min(end, lo + chunk);
-      try {
-        for (std::size_t i = lo; i < hi; ++i) {
-          fn(i);
-        }
-      } catch (...) {
-        std::lock_guard<std::mutex> lk(err_mu);
-        if (!first_error) {
-          first_error = std::current_exception();
-        }
-        // Drain the remaining range so other tasks stop quickly.
-        next.store(end);
-      }
-    }
-    std::lock_guard<std::mutex> lk(done_mu);
-    if (++done == n_tasks) {
-      done_cv.notify_all();
-    }
-  };
-
+  std::size_t slot = kMaxDispatches;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    for (std::size_t t = 0; t + 1 < n_tasks; ++t) {
-      tasks_.push(Task{body});
+    for (std::size_t i = 0; i < kMaxDispatches; ++i) {
+      if (slots_[i] == nullptr) {
+        slots_[i] = &d;
+        slot = i;
+        break;
+      }
     }
   }
-  cv_.notify_all();
-  body();  // the caller participates as the final task
-
-  {
-    std::unique_lock<std::mutex> lk(done_mu);
-    done_cv.wait(lk, [&] { return done == n_tasks; });
+  if (slot == kMaxDispatches) {
+    // Arena full (more concurrent dispatchers than slots): run inline.
+    stat_serial_runs_.fetch_add(1, std::memory_order_relaxed);
+    fn(ctx, begin, end);
+    return;
   }
-  if (first_error) {
-    std::rethrow_exception(first_error);
+  stat_dispatches_.fetch_add(1, std::memory_order_relaxed);
+  stat_items_.fetch_add(n, std::memory_order_relaxed);
+  cv_.notify_all();
+
+  run_dispatch(d, /*is_worker=*/false);  // the caller participates
+
+  std::exception_ptr error;
+  {
+    // Workers register in `joined` before their first claim while the pool
+    // mutex pins the slot, and no claim can succeed once next >= end — so
+    // when joined reaches 0 here, no worker will touch `d` again outside the
+    // pool mutex.
+    std::unique_lock<std::mutex> dlk(d.mu);
+    d.cv.wait(dlk, [&] { return d.joined == 0; });
+    error = d.error;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    slots_[slot] = nullptr;
+  }
+  if (error) {
+    std::rethrow_exception(error);
   }
 }
 
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  for_range(
+      begin, end,
+      [&fn](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          fn(i);
+        }
+      },
+      grain);
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  ThreadPoolStats s;
+  s.dispatches = stat_dispatches_.load(std::memory_order_relaxed);
+  s.serial_runs = stat_serial_runs_.load(std::memory_order_relaxed);
+  s.items = stat_items_.load(std::memory_order_relaxed);
+  s.chunks = stat_chunks_.load(std::memory_order_relaxed);
+  s.steals = stat_steals_.load(std::memory_order_relaxed);
+  return s;
+}
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool(
-      std::max(1u, std::thread::hardware_concurrency()) - 0);
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
   return pool;
 }
 
@@ -174,7 +263,7 @@ void parallel_for(std::size_t begin, std::size_t end,
     }
     return;
   }
-  ThreadPool::global().parallel_for(begin, end, fn);
+  ThreadPool::global().parallel_for(begin, end, fn, grain);
 }
 
 }  // namespace weipipe

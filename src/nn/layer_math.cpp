@@ -11,46 +11,83 @@
 
 namespace weipipe {
 
+namespace {
+
+// Per-kernel dispatch grain: enough items per chunk that each claim carries
+// ~kElemsPerChunk scalar operations (work_per_item = inner-loop length).
+constexpr std::int64_t kElemsPerChunk = 1 << 15;
+
+std::size_t grain_for(std::int64_t work_per_item) {
+  return static_cast<std::size_t>(std::max<std::int64_t>(
+      1, kElemsPerChunk / std::max<std::int64_t>(1, work_per_item)));
+}
+
+}  // namespace
+
 void rmsnorm_forward(const float* x, const float* gain, float* y,
                      float* inv_rms, std::int64_t rows, std::int64_t dim,
                      float eps) {
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* xr = x + r * dim;
-    float* yr = y + r * dim;
-    double ss = 0.0;
-    for (std::int64_t j = 0; j < dim; ++j) {
-      ss += static_cast<double>(xr[j]) * xr[j];
-    }
-    const float inv =
-        1.0f / std::sqrt(static_cast<float>(ss / static_cast<double>(dim)) +
-                         eps);
-    inv_rms[r] = inv;
-    for (std::int64_t j = 0; j < dim; ++j) {
-      yr[j] = xr[j] * inv * gain[j];
-    }
-  }
+  parallel_for_range(
+      0, static_cast<std::size_t>(rows), grain_for(dim),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t rr = lo; rr < hi; ++rr) {
+          const std::int64_t r = static_cast<std::int64_t>(rr);
+          const float* xr = x + r * dim;
+          float* yr = y + r * dim;
+          double ss = 0.0;
+          for (std::int64_t j = 0; j < dim; ++j) {
+            ss += static_cast<double>(xr[j]) * xr[j];
+          }
+          const float inv = 1.0f / std::sqrt(static_cast<float>(
+                                                 ss / static_cast<double>(dim)) +
+                                             eps);
+          inv_rms[r] = inv;
+          for (std::int64_t j = 0; j < dim; ++j) {
+            yr[j] = xr[j] * inv * gain[j];
+          }
+        }
+      });
 }
 
 void rmsnorm_backward(const float* x, const float* gain, const float* inv_rms,
                       const float* dy, float* dx, float* dgain,
                       std::int64_t rows, std::int64_t dim) {
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* xr = x + r * dim;
-    const float* dyr = dy + r * dim;
-    float* dxr = dx + r * dim;
-    const float inv = inv_rms[r];
-    // s = sum_k dy_k * gain_k * x_k
-    double s = 0.0;
-    for (std::int64_t j = 0; j < dim; ++j) {
-      s += static_cast<double>(dyr[j]) * gain[j] * xr[j];
-      dgain[j] += dyr[j] * xr[j] * inv;
-    }
-    const float coef =
-        -static_cast<float>(s) * inv * inv * inv / static_cast<float>(dim);
-    for (std::int64_t j = 0; j < dim; ++j) {
-      dxr[j] = dyr[j] * gain[j] * inv + coef * xr[j];
-    }
-  }
+  // Two passes so both parallelize race-free: rows own disjoint dx slices,
+  // column blocks own disjoint dgain slices. Each dgain column still sums
+  // over rows in increasing order, so results match the serial loop exactly.
+  parallel_for_range(
+      0, static_cast<std::size_t>(rows), grain_for(dim),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t rr = lo; rr < hi; ++rr) {
+          const std::int64_t r = static_cast<std::int64_t>(rr);
+          const float* xr = x + r * dim;
+          const float* dyr = dy + r * dim;
+          float* dxr = dx + r * dim;
+          const float inv = inv_rms[r];
+          // s = sum_k dy_k * gain_k * x_k
+          double s = 0.0;
+          for (std::int64_t j = 0; j < dim; ++j) {
+            s += static_cast<double>(dyr[j]) * gain[j] * xr[j];
+          }
+          const float coef =
+              -static_cast<float>(s) * inv * inv * inv / static_cast<float>(dim);
+          for (std::int64_t j = 0; j < dim; ++j) {
+            dxr[j] = dyr[j] * gain[j] * inv + coef * xr[j];
+          }
+        }
+      });
+  parallel_for_range(
+      0, static_cast<std::size_t>(dim), grain_for(rows),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::int64_t r = 0; r < rows; ++r) {
+          const float* xr = x + r * dim;
+          const float* dyr = dy + r * dim;
+          const float inv = inv_rms[r];
+          for (std::size_t j = lo; j < hi; ++j) {
+            dgain[j] += dyr[j] * xr[j] * inv;
+          }
+        }
+      });
 }
 
 void rope_apply(float* x, std::int64_t rows, std::int64_t seq,
@@ -189,41 +226,81 @@ void attention_forward_stream(const float* q, const float* k, const float* v,
   const std::int64_t H = nh * dh;
   const std::int64_t Hkv = nkv * dh;
   const std::int64_t group = nh / nkv;
+  // FlashAttention-style blocking: Bq query rows against Bk key columns at a
+  // time. The score block and the P*V update are GEMMs against the strided
+  // Q/K/V layouts (a transpose is a stride swap); only the online-softmax
+  // rescale between them is elementwise. O(S) working set per task instead
+  // of O(S^2) scores.
+  constexpr std::int64_t kBq = 64;
+  constexpr std::int64_t kBk = 64;
   parallel_for(0, static_cast<std::size_t>(G * nh), [&](std::size_t gh) {
     const std::int64_t g = static_cast<std::int64_t>(gh) / nh;
     const std::int64_t h = static_cast<std::int64_t>(gh) % nh;
     const std::int64_t kvh = h / group;
-    std::vector<float> acc(static_cast<std::size_t>(dh));
-    for (std::int64_t i = 0; i < S; ++i) {
-      const float* qi = q + (g * S + i) * H + h * dh;
-      // Online softmax over keys 0..i: running max m, running sum l.
-      float m = -std::numeric_limits<float>::infinity();
-      float l = 0.0f;
+    std::vector<float> sblk(static_cast<std::size_t>(kBq * kBk));
+    std::vector<float> acc(static_cast<std::size_t>(kBq * dh));
+    std::vector<float> m(static_cast<std::size_t>(kBq));
+    std::vector<float> l(static_cast<std::size_t>(kBq));
+    for (std::int64_t i0 = 0; i0 < S; i0 += kBq) {
+      const std::int64_t mq = std::min(kBq, S - i0);
+      std::fill(m.begin(), m.end(), -std::numeric_limits<float>::infinity());
+      std::fill(l.begin(), l.end(), 0.0f);
       std::fill(acc.begin(), acc.end(), 0.0f);
-      for (std::int64_t j = 0; j <= i; ++j) {
-        const float* kj = k + (g * S + j) * Hkv + kvh * dh;
-        float s = 0.0f;
-        for (std::int64_t d = 0; d < dh; ++d) {
-          s += qi[d] * kj[d];
+      const float* qblk = q + (g * S + i0) * H + h * dh;
+      // Causal: the highest query row in this block sees keys 0..i0+mq-1.
+      for (std::int64_t j0 = 0; j0 < i0 + mq; j0 += kBk) {
+        const std::int64_t nk = std::min(kBk, std::min(S, i0 + mq) - j0);
+        // S_blk[mq, nk] = Q_blk * K_blk^T  (K^T: column j is key row j0+j).
+        kernels::gemm(qblk, H, 1, k + (g * S + j0) * Hkv + kvh * dh, 1, Hkv,
+                      sblk.data(), kBk, mq, dh, nk, /*accumulate=*/false);
+        // Online-softmax update per row; masked entries become P = 0.
+        for (std::int64_t i = 0; i < mq; ++i) {
+          float* si = sblk.data() + i * kBk;
+          const std::int64_t qi = i0 + i;
+          const std::int64_t valid = std::min(nk, qi - j0 + 1);
+          if (valid <= 0) {
+            std::fill(si, si + nk, 0.0f);
+            continue;
+          }
+          float bmax = -std::numeric_limits<float>::infinity();
+          for (std::int64_t j = 0; j < valid; ++j) {
+            si[j] *= scl;
+            bmax = std::max(bmax, si[j]);
+          }
+          const float m_new = std::max(m[static_cast<std::size_t>(i)], bmax);
+          const float corr =
+              (l[static_cast<std::size_t>(i)] == 0.0f)
+                  ? 0.0f
+                  : std::exp(m[static_cast<std::size_t>(i)] - m_new);
+          float psum = 0.0f;
+          for (std::int64_t j = 0; j < valid; ++j) {
+            si[j] = std::exp(si[j] - m_new);
+            psum += si[j];
+          }
+          std::fill(si + valid, si + nk, 0.0f);
+          l[static_cast<std::size_t>(i)] =
+              l[static_cast<std::size_t>(i)] * corr + psum;
+          m[static_cast<std::size_t>(i)] = m_new;
+          float* ai = acc.data() + i * dh;
+          for (std::int64_t d = 0; d < dh; ++d) {
+            ai[d] *= corr;
+          }
         }
-        s *= scl;
-        const float m_new = std::max(m, s);
-        const float corr = (l == 0.0f) ? 0.0f : std::exp(m - m_new);
-        const float p = std::exp(s - m_new);
-        l = l * corr + p;
-        const float* vj = v + (g * S + j) * Hkv + kvh * dh;
+        // acc[mq, dh] += P_blk * V_blk.
+        kernels::gemm(sblk.data(), kBk, 1, v + (g * S + j0) * Hkv + kvh * dh,
+                      Hkv, 1, acc.data(), dh, mq, nk, dh, /*accumulate=*/true);
+      }
+      for (std::int64_t i = 0; i < mq; ++i) {
+        float* oi = out + (g * S + i0 + i) * H + h * dh;
+        const float* ai = acc.data() + i * dh;
+        const float inv = 1.0f / l[static_cast<std::size_t>(i)];
         for (std::int64_t d = 0; d < dh; ++d) {
-          acc[static_cast<std::size_t>(d)] =
-              acc[static_cast<std::size_t>(d)] * corr + p * vj[d];
+          oi[d] = ai[d] * inv;
         }
-        m = m_new;
+        lse[(g * nh + h) * S + i0 + i] =
+            m[static_cast<std::size_t>(i)] +
+            std::log(l[static_cast<std::size_t>(i)]);
       }
-      float* oi = out + (g * S + i) * H + h * dh;
-      const float inv = 1.0f / l;
-      for (std::int64_t d = 0; d < dh; ++d) {
-        oi[d] = acc[static_cast<std::size_t>(d)] * inv;
-      }
-      lse[(g * nh + h) * S + i] = m + std::log(l);
     }
   });
 }
@@ -287,9 +364,14 @@ void swiglu_forward(const float* x, const float* w1, const float* w3,
   kernels::matmul_bt(x, w1, a, rows, dim, ffn, /*accumulate=*/false);
   kernels::matmul_bt(x, w3, b, rows, dim, ffn, /*accumulate=*/false);
   std::vector<float> hbuf(static_cast<std::size_t>(rows * ffn));
-  for (std::int64_t i = 0; i < rows * ffn; ++i) {
-    hbuf[static_cast<std::size_t>(i)] = silu(a[i]) * b[i];
-  }
+  float* hp = hbuf.data();
+  parallel_for_range(0, static_cast<std::size_t>(rows * ffn),
+                     static_cast<std::size_t>(kElemsPerChunk),
+                     [&](std::size_t lo, std::size_t hi) {
+                       for (std::size_t i = lo; i < hi; ++i) {
+                         hp[i] = silu(a[i]) * b[i];
+                       }
+                     });
   kernels::matmul_bt(hbuf.data(), w2, y, rows, ffn, dim, /*accumulate=*/false);
 }
 
@@ -300,9 +382,14 @@ void swiglu_backward(const float* x, const float* w1, const float* w3,
                      std::int64_t ffn) {
   // Recompute h = silu(a) * b (cheap, avoids storing a third [rows,F] buffer).
   std::vector<float> h(static_cast<std::size_t>(rows * ffn));
-  for (std::int64_t i = 0; i < rows * ffn; ++i) {
-    h[static_cast<std::size_t>(i)] = silu(a[i]) * b[i];
-  }
+  float* hp = h.data();
+  parallel_for_range(0, static_cast<std::size_t>(rows * ffn),
+                     static_cast<std::size_t>(kElemsPerChunk),
+                     [&](std::size_t lo, std::size_t hi) {
+                       for (std::size_t i = lo; i < hi; ++i) {
+                         hp[i] = silu(a[i]) * b[i];
+                       }
+                     });
   // dW2 += dy^T h
   kernels::matmul_at(dy, h.data(), dw2, dim, rows, ffn, /*accumulate=*/true);
   // dh = dy W2
@@ -311,12 +398,17 @@ void swiglu_backward(const float* x, const float* w1, const float* w3,
   // da = dh * b * silu'(a); db = dh * silu(a)
   std::vector<float> da(static_cast<std::size_t>(rows * ffn));
   std::vector<float> db(static_cast<std::size_t>(rows * ffn));
-  for (std::int64_t i = 0; i < rows * ffn; ++i) {
-    da[static_cast<std::size_t>(i)] =
-        dh[static_cast<std::size_t>(i)] * b[i] * silu_grad(a[i]);
-    db[static_cast<std::size_t>(i)] =
-        dh[static_cast<std::size_t>(i)] * silu(a[i]);
-  }
+  float* dhp = dh.data();
+  float* dap = da.data();
+  float* dbp = db.data();
+  parallel_for_range(0, static_cast<std::size_t>(rows * ffn),
+                     static_cast<std::size_t>(kElemsPerChunk),
+                     [&](std::size_t lo, std::size_t hi) {
+                       for (std::size_t i = lo; i < hi; ++i) {
+                         dap[i] = dhp[i] * b[i] * silu_grad(a[i]);
+                         dbp[i] = dhp[i] * silu(a[i]);
+                       }
+                     });
   // dx = da W1 + db W3
   kernels::matmul(da.data(), w1, dx, rows, ffn, dim, /*accumulate=*/false);
   kernels::matmul(db.data(), w3, dx, rows, ffn, dim, /*accumulate=*/true);
@@ -327,28 +419,39 @@ void swiglu_backward(const float* x, const float* w1, const float* w3,
 
 float cross_entropy(const float* logits, const std::int32_t* targets,
                     float* dlogits, std::int64_t rows, std::int64_t vocab) {
-  double total = 0.0;
   const float inv_rows = 1.0f / static_cast<float>(rows);
+  // Rows are independent; per-row losses land in a scratch array and are
+  // summed serially afterwards so the total is deterministic under any
+  // thread count.
+  std::vector<double> row_loss(static_cast<std::size_t>(rows));
+  double* rl = row_loss.data();
+  parallel_for_range(
+      0, static_cast<std::size_t>(rows), grain_for(vocab),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t rr = lo; rr < hi; ++rr) {
+          const std::int64_t r = static_cast<std::int64_t>(rr);
+          const float* lr = logits + r * vocab;
+          float* dr = dlogits + r * vocab;
+          float mx = lr[0];
+          for (std::int64_t j = 1; j < vocab; ++j) {
+            mx = std::max(mx, lr[j]);
+          }
+          double denom = 0.0;
+          for (std::int64_t j = 0; j < vocab; ++j) {
+            denom += std::exp(static_cast<double>(lr[j] - mx));
+          }
+          const std::int64_t t = targets[r];
+          rl[rr] = std::log(denom) - static_cast<double>(lr[t] - mx);
+          const float inv_denom = static_cast<float>(1.0 / denom);
+          for (std::int64_t j = 0; j < vocab; ++j) {
+            const float p = std::exp(lr[j] - mx) * inv_denom;
+            dr[j] = (p - (j == t ? 1.0f : 0.0f)) * inv_rows;
+          }
+        }
+      });
+  double total = 0.0;
   for (std::int64_t r = 0; r < rows; ++r) {
-    const float* lr = logits + r * vocab;
-    float* dr = dlogits + r * vocab;
-    float mx = lr[0];
-    for (std::int64_t j = 1; j < vocab; ++j) {
-      mx = std::max(mx, lr[j]);
-    }
-    double denom = 0.0;
-    for (std::int64_t j = 0; j < vocab; ++j) {
-      denom += std::exp(static_cast<double>(lr[j] - mx));
-    }
-    const std::int64_t t = targets[r];
-    const double logp =
-        static_cast<double>(lr[t] - mx) - std::log(denom);
-    total -= logp;
-    const float inv_denom = static_cast<float>(1.0 / denom);
-    for (std::int64_t j = 0; j < vocab; ++j) {
-      const float p = std::exp(lr[j] - mx) * inv_denom;
-      dr[j] = (p - (j == t ? 1.0f : 0.0f)) * inv_rows;
-    }
+    total += rl[r];
   }
   return static_cast<float>(total / static_cast<double>(rows));
 }

@@ -235,6 +235,12 @@ void fill_metrics(obs::MetricsRegistry& registry, const ProfileReport& report,
 
   registry.counter("spans.recorded").add(report.spans.size());
   registry.counter("spans.dropped").add(report.dropped_spans);
+
+  registry.counter("pool.dispatches").add(report.pool_stats.dispatches);
+  registry.counter("pool.serial_runs").add(report.pool_stats.serial_runs);
+  registry.counter("pool.items").add(report.pool_stats.items);
+  registry.counter("pool.chunks").add(report.pool_stats.chunks);
+  registry.counter("pool.steals").add(report.pool_stats.steals);
   registry.counter("fabric.messages").add(report.wire_messages);
   registry.counter("fabric.bytes").add(report.wire_bytes);
   registry.gauge("fabric.max_in_flight")
@@ -268,6 +274,13 @@ void fill_metrics(obs::MetricsRegistry& registry, const ProfileReport& report,
     registry.gauge("mem.peak_act_bytes.static_bound")
         .set(report.static_peak_bound_bytes);
   }
+}
+
+ThreadPoolStats pool_stats_delta(const ThreadPoolStats& before,
+                                 const ThreadPoolStats& after) {
+  return {after.dispatches - before.dispatches,
+          after.serial_runs - before.serial_runs, after.items - before.items,
+          after.chunks - before.chunks, after.steals - before.steals};
 }
 
 std::string format_seconds(double s) {
@@ -369,6 +382,10 @@ std::string ProfileReport::summary() const {
     oss << "  (trace incomplete: raise ring_capacity)";
   }
   oss << '\n';
+  oss << "  pool       " << pool_stats.dispatches << " dispatch(es) ("
+      << pool_stats.serial_runs << " serial), " << pool_stats.items
+      << " item(s) in " << pool_stats.chunks << " chunk(s), "
+      << pool_stats.steals << " worker-claimed\n";
   return oss.str();
 }
 
@@ -413,6 +430,7 @@ ProfileReport run_profile(const ProfileOptions& options) {
     for (std::int64_t i = 0; i < options.warmup_iters; ++i) {
       (void)sim::run_program(program);
     }
+    const ThreadPoolStats pool_before = ThreadPool::global().stats();
     recorder.install();
     for (std::int64_t i = 0; i < options.iters; ++i) {
       const sim::ProgramRunResult run = sim::run_program(program);
@@ -440,6 +458,8 @@ ProfileReport run_profile(const ProfileOptions& options) {
                           std::make_move_iterator(iter_spans.end()));
     }
     recorder.uninstall();
+    report.pool_stats =
+        pool_stats_delta(pool_before, ThreadPool::global().stats());
   } else {
     TrainConfig cfg = options.train;
     cfg.validate();
@@ -452,6 +472,7 @@ ProfileReport run_profile(const ProfileOptions& options) {
     for (std::int64_t i = 0; i < options.warmup_iters; ++i) {
       (void)trainer->train_iteration(data, iter++);
     }
+    const ThreadPoolStats pool_before = ThreadPool::global().stats();
     recorder.install();
     for (std::int64_t i = 0; i < options.iters; ++i) {
       const IterationResult res = trainer->train_iteration(data, iter++);
@@ -479,6 +500,8 @@ ProfileReport run_profile(const ProfileOptions& options) {
                           std::make_move_iterator(iter_spans.end()));
     }
     recorder.uninstall();
+    report.pool_stats =
+        pool_stats_delta(pool_before, ThreadPool::global().stats());
 
     sched::Program predicted_program;
     if (derive_predicted_program(options, report.spans, options.iters,

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "core/trainer.hpp"
 #include "obs/span.hpp"
 #include "sim/engine.hpp"
@@ -80,6 +81,11 @@ struct ProfileReport {
 
   std::string trace_json;    // Chrome trace-event JSON (Perfetto-loadable)
   std::string metrics_json;  // obs::MetricsRegistry snapshot
+
+  // Global thread-pool dispatch-arena counters, as a delta over the measured
+  // iterations (kernel parallelism: chunked dispatches vs serial fallbacks,
+  // worker-claimed chunk count).
+  ThreadPoolStats pool_stats;
 
   // Convenience deltas; meaningful only when the prediction exists.
   double bubble_error() const {

@@ -1,0 +1,348 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace weipipe::kernels {
+
+namespace {
+
+// Register micro-tile: MR rows of A against NR columns of B, held in an
+// MR x (NR/VL) grid of SIMD vectors. The vector width is pinned to the
+// target ISA with GCC/Clang vector extensions — leaving it to the
+// auto-vectorizer produces pathological register shuffling (GCC 12 emits
+// dozens of vmovaps per iteration for the equivalent scalar loop, ~6% of
+// peak). NR is two vectors wide so the FMA latency chain per accumulator is
+// hidden; MR is sized to the architectural register file (AVX-512 has 32
+// vector registers, SSE/AVX2 have 16).
+#if defined(__GNUC__) || defined(__clang__)
+#if defined(__AVX512F__)
+#define WEIPIPE_GEMM_VEC_BYTES 64
+#elif defined(__AVX__)
+#define WEIPIPE_GEMM_VEC_BYTES 32
+#else
+#define WEIPIPE_GEMM_VEC_BYTES 16
+#endif
+#endif
+
+#if defined(WEIPIPE_GEMM_VEC_BYTES)
+// may_alias: the accumulator spill buffer and packed panels are plain float
+// arrays; aligned(4): packed panels are only element-aligned.
+typedef float vfloat __attribute__((
+    vector_size(WEIPIPE_GEMM_VEC_BYTES), aligned(4), may_alias));
+constexpr std::int64_t kVL = WEIPIPE_GEMM_VEC_BYTES / 4;
+constexpr std::int64_t kMR = (kVL == 16) ? 8 : 6;
+#else
+constexpr std::int64_t kVL = 4;  // scalar fallback: shape only
+constexpr std::int64_t kMR = 6;
+#endif
+constexpr std::int64_t kNR = 2 * kVL;
+
+// Cache blocking: the packed A block (MC x KC) lives in L2 across the whole
+// NC sweep, the packed B block (KC x NC) streams through L2/L3 once per
+// macro-tile, and one B micro-panel (KC x NR) stays hot in L1.
+constexpr std::int64_t kMC = 16 * kMR;
+constexpr std::int64_t kKC = 256;
+constexpr std::int64_t kNC = 512;
+static_assert(kNC % kNR == 0, "B macro block must hold whole micro-panels");
+
+// Tiles whose flop count falls below this run in one chunk; the dispatch
+// grain scales so every claimed chunk carries at least this much work (the
+// per-kernel replacement for the old global kParallelFlops heuristic —
+// a matmul_bt with tiny n now gets a coarse grain instead of a task per
+// row block).
+constexpr std::int64_t kMinFlopsPerChunk = 1 << 21;  // ~2 MFLOP
+
+struct Scratch {
+  std::vector<float> a;  // kMC x kKC, MR-interleaved panels
+  std::vector<float> b;  // kKC x kNC, NR-interleaved panels
+};
+
+Scratch& scratch() {
+  thread_local Scratch s;
+  if (s.a.empty()) {
+    s.a.resize(static_cast<std::size_t>(kMC * kKC));
+    s.b.resize(static_cast<std::size_t>(kKC * kNC));
+  }
+  return s;
+}
+
+// Packs A[i0 : i0+mc, pc : pc+kc] into MR-row panels: panel ip holds
+// dst[ip*kc + pp*MR + i] = A(i0+ip+i, pc+pp), zero-padded to MR rows so the
+// micro-kernel never branches on the row edge.
+void pack_a(float* dst, const float* a, std::int64_t a_rs, std::int64_t a_cs,
+            std::int64_t i0, std::int64_t mc, std::int64_t pc,
+            std::int64_t kc) {
+  for (std::int64_t ip = 0; ip < mc; ip += kMR) {
+    const std::int64_t mr = std::min(kMR, mc - ip);
+    float* panel = dst + ip * kc;
+    const float* src = a + (i0 + ip) * a_rs + pc * a_cs;
+    if (mr == kMR) {
+      for (std::int64_t pp = 0; pp < kc; ++pp) {
+        float* out = panel + pp * kMR;
+        const float* col = src + pp * a_cs;
+        for (std::int64_t i = 0; i < kMR; ++i) {
+          out[i] = col[i * a_rs];
+        }
+      }
+    } else {
+      for (std::int64_t pp = 0; pp < kc; ++pp) {
+        float* out = panel + pp * kMR;
+        const float* col = src + pp * a_cs;
+        for (std::int64_t i = 0; i < mr; ++i) {
+          out[i] = col[i * a_rs];
+        }
+        for (std::int64_t i = mr; i < kMR; ++i) {
+          out[i] = 0.0f;
+        }
+      }
+    }
+  }
+}
+
+// Packs B[pc : pc+kc, j0 : j0+nc] into NR-column panels: panel jp holds
+// dst[jp*kc + pp*NR + j] = B(pc+pp, j0+jp+j), zero-padded to NR columns.
+void pack_b(float* dst, const float* b, std::int64_t b_rs, std::int64_t b_cs,
+            std::int64_t pc, std::int64_t kc, std::int64_t j0,
+            std::int64_t nc) {
+  for (std::int64_t jp = 0; jp < nc; jp += kNR) {
+    const std::int64_t nr = std::min(kNR, nc - jp);
+    float* panel = dst + jp * kc;
+    const float* src = b + pc * b_rs + (j0 + jp) * b_cs;
+    if (nr == kNR) {
+      for (std::int64_t pp = 0; pp < kc; ++pp) {
+        float* out = panel + pp * kNR;
+        const float* row = src + pp * b_rs;
+        for (std::int64_t j = 0; j < kNR; ++j) {
+          out[j] = row[j * b_cs];
+        }
+      }
+    } else {
+      for (std::int64_t pp = 0; pp < kc; ++pp) {
+        float* out = panel + pp * kNR;
+        const float* row = src + pp * b_rs;
+        for (std::int64_t j = 0; j < nr; ++j) {
+          out[j] = row[j * b_cs];
+        }
+        for (std::int64_t j = nr; j < kNR; ++j) {
+          out[j] = 0.0f;
+        }
+      }
+    }
+  }
+}
+
+// acc[MR x NR] = sum over kc of (A micro-panel column) x (B micro-panel row).
+// The scalar a[i] against a vector of b broadcasts into the FMA (gcc folds
+// the splat into the instruction's memory operand); fixed trip counts fully
+// unroll the register tile.
+#if defined(WEIPIPE_GEMM_VEC_BYTES)
+inline void micro_kernel(const float* __restrict ap, const float* __restrict bp,
+                         std::int64_t kc, float* __restrict acc) {
+  constexpr std::int64_t kNV = kNR / kVL;
+  vfloat c[kMR][kNV] = {};
+  for (std::int64_t pp = 0; pp < kc; ++pp) {
+    const float* a = ap + pp * kMR;
+    const float* b = bp + pp * kNR;
+    vfloat bv[kNV];
+    for (std::int64_t v = 0; v < kNV; ++v) {
+      bv[v] = *reinterpret_cast<const vfloat*>(b + v * kVL);
+    }
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      const float ai = a[i];
+      for (std::int64_t v = 0; v < kNV; ++v) {
+        c[i][v] += ai * bv[v];
+      }
+    }
+  }
+  for (std::int64_t i = 0; i < kMR; ++i) {
+    for (std::int64_t v = 0; v < kNV; ++v) {
+      *reinterpret_cast<vfloat*>(acc + i * kNR + v * kVL) = c[i][v];
+    }
+  }
+}
+#else
+inline void micro_kernel(const float* __restrict ap, const float* __restrict bp,
+                         std::int64_t kc, float* __restrict acc) {
+  for (std::int64_t x = 0; x < kMR * kNR; ++x) {
+    acc[x] = 0.0f;
+  }
+  for (std::int64_t pp = 0; pp < kc; ++pp) {
+    const float* a = ap + pp * kMR;
+    const float* b = bp + pp * kNR;
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      const float ai = a[i];
+      float* cr = acc + i * kNR;
+      for (std::int64_t j = 0; j < kNR; ++j) {
+        cr[j] += ai * b[j];
+      }
+    }
+  }
+}
+#endif
+
+// One MC x NC macro-tile: full K loop with KC blocking. B is packed per
+// (tile, KC block) into this thread's scratch — re-packing across M-tiles
+// costs ~1/MC of the tile's flops and keeps tiles fully independent (no
+// shared pack buffers, no synchronization).
+void gemm_tile(const float* a, std::int64_t a_rs, std::int64_t a_cs,
+               const float* b, std::int64_t b_rs, std::int64_t b_cs, float* c,
+               std::int64_t c_rs, std::int64_t i0, std::int64_t mc,
+               std::int64_t j0, std::int64_t nc, std::int64_t k,
+               bool accumulate) {
+  Scratch& s = scratch();
+  float acc[kMR * kNR];
+  for (std::int64_t pc = 0; pc < k; pc += kKC) {
+    const std::int64_t kc = std::min(kKC, k - pc);
+    pack_b(s.b.data(), b, b_rs, b_cs, pc, kc, j0, nc);
+    pack_a(s.a.data(), a, a_rs, a_cs, i0, mc, pc, kc);
+    const bool overwrite = (pc == 0) && !accumulate;
+    for (std::int64_t jp = 0; jp < nc; jp += kNR) {
+      const std::int64_t nr = std::min(kNR, nc - jp);
+      const float* bpanel = s.b.data() + jp * kc;
+      for (std::int64_t ip = 0; ip < mc; ip += kMR) {
+        const std::int64_t mr = std::min(kMR, mc - ip);
+        micro_kernel(s.a.data() + ip * kc, bpanel, kc, acc);
+        float* cblock = c + (i0 + ip) * c_rs + (j0 + jp);
+        if (mr == kMR && nr == kNR) {
+          if (overwrite) {
+            for (std::int64_t i = 0; i < kMR; ++i) {
+              float* crow = cblock + i * c_rs;
+              const float* arow = acc + i * kNR;
+              for (std::int64_t j = 0; j < kNR; ++j) {
+                crow[j] = arow[j];
+              }
+            }
+          } else {
+            for (std::int64_t i = 0; i < kMR; ++i) {
+              float* crow = cblock + i * c_rs;
+              const float* arow = acc + i * kNR;
+              for (std::int64_t j = 0; j < kNR; ++j) {
+                crow[j] += arow[j];
+              }
+            }
+          }
+        } else {
+          for (std::int64_t i = 0; i < mr; ++i) {
+            float* crow = cblock + i * c_rs;
+            const float* arow = acc + i * kNR;
+            for (std::int64_t j = 0; j < nr; ++j) {
+              if (overwrite) {
+                crow[j] = arow[j];
+              } else {
+                crow[j] += arow[j];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(const float* a, std::int64_t a_rs, std::int64_t a_cs,
+          const float* b, std::int64_t b_rs, std::int64_t b_cs, float* c,
+          std::int64_t c_rs, std::int64_t m, std::int64_t k, std::int64_t n,
+          bool accumulate) {
+  if (m <= 0 || n <= 0) {
+    return;
+  }
+  if (k <= 0) {
+    if (!accumulate) {
+      for (std::int64_t i = 0; i < m; ++i) {
+        std::memset(c + i * c_rs, 0, static_cast<std::size_t>(n) * sizeof(float));
+      }
+    }
+    return;
+  }
+
+  const std::int64_t n_mtiles = (m + kMC - 1) / kMC;
+  const std::int64_t n_ntiles = (n + kNC - 1) / kNC;
+  const std::int64_t tiles = n_mtiles * n_ntiles;
+
+  auto run_tiles = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t t = lo; t < hi; ++t) {
+      // Consecutive indices walk M-tiles first so one chunk reuses its
+      // packed-B macro block layout along the better-cached dimension.
+      const std::int64_t ic = static_cast<std::int64_t>(t) % n_mtiles;
+      const std::int64_t jc = static_cast<std::int64_t>(t) / n_mtiles;
+      const std::int64_t i0 = ic * kMC;
+      const std::int64_t j0 = jc * kNC;
+      gemm_tile(a, a_rs, a_cs, b, b_rs, b_cs, c, c_rs, i0,
+                std::min(kMC, m - i0), j0, std::min(kNC, n - j0), k,
+                accumulate);
+    }
+  };
+
+  // Per-kernel grain: enough tiles per chunk that each claim carries
+  // >= kMinFlopsPerChunk of work (a tiny-n or tiny-k call stops fanning out
+  // into per-tile tasks).
+  const std::int64_t tile_flops =
+      2 * std::min(kMC, m) * k * std::min(kNC, n);
+  const std::size_t grain = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, kMinFlopsPerChunk / std::max<std::int64_t>(
+                                                        1, tile_flops)));
+  parallel_for_range(0, static_cast<std::size_t>(tiles), grain, run_tiles);
+}
+
+void matmul_naive(const float* a, const float* b, float* c, std::int64_t m,
+                  std::int64_t k, std::int64_t n, bool accumulate) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    if (!accumulate) {
+      std::memset(crow, 0, static_cast<std::size_t>(n) * sizeof(float));
+    }
+    const float* arow = a + i * k;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      const float* brow = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void matmul_bt_naive(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n, bool accumulate) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += arow[p] * brow[p];
+      }
+      if (accumulate) {
+        crow[j] += acc;
+      } else {
+        crow[j] = acc;
+      }
+    }
+  }
+}
+
+void matmul_at_naive(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n, bool accumulate) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    if (!accumulate) {
+      std::memset(crow, 0, static_cast<std::size_t>(n) * sizeof(float));
+    }
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = a[p * m + i];
+      const float* brow = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+}  // namespace weipipe::kernels

@@ -1,0 +1,42 @@
+// Cache-blocked, register-tiled single-precision GEMM.
+//
+// One strided engine serves every orientation the layers need: an element of
+// A is addressed as a[i*a_rs + p*a_cs], so a transpose is just a stride swap
+// and never a copy. Internally the engine packs panels of A and B into
+// thread-local scratch (MC x KC and KC x NC blocks, micro-panel interleaved)
+// and runs an MR x NR micro-kernel written so the compiler auto-vectorizes
+// the register tile; build with -DWEIPIPE_NATIVE_ARCH=ON to let it use the
+// host's full SIMD width (AVX2/FMA/AVX-512). Parallelism is over the 2-D
+// grid of MC x NC macro-tiles, dispatched in flop-scaled chunks on the
+// kernel thread pool.
+//
+// The naive triple-loop kernels are retained as the test/bench reference:
+// tests/test_gemm.cpp sweeps the tiled engine against them, and
+// bench_micro_tensor records the tiled-vs-naive GFLOP/s ratio in
+// BENCH_kernels.json.
+#pragma once
+
+#include <cstdint>
+
+namespace weipipe::kernels {
+
+// C[m,n] (+)= A[m,k] * B[k,n] with arbitrary element strides for A and B:
+// A(i,p) = a[i*a_rs + p*a_cs], B(p,j) = b[p*b_rs + j*b_cs]. C is row-major
+// with row stride c_rs (columns contiguous). `accumulate` adds into C
+// instead of overwriting it. Deterministic: the K reduction order is fixed
+// by the blocking, independent of thread count.
+void gemm(const float* a, std::int64_t a_rs, std::int64_t a_cs,
+          const float* b, std::int64_t b_rs, std::int64_t b_cs, float* c,
+          std::int64_t c_rs, std::int64_t m, std::int64_t k, std::int64_t n,
+          bool accumulate);
+
+// Naive reference implementations (serial triple loops). Retained so tests
+// and benches always have the pre-tiling semantics to compare against.
+void matmul_naive(const float* a, const float* b, float* c, std::int64_t m,
+                  std::int64_t k, std::int64_t n, bool accumulate);
+void matmul_bt_naive(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n, bool accumulate);
+void matmul_at_naive(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n, bool accumulate);
+
+}  // namespace weipipe::kernels

@@ -10,120 +10,53 @@ namespace weipipe {
 
 namespace kernels {
 
-namespace {
-// Rows below this (times n) run serially; above, parallel over row blocks.
-constexpr std::int64_t kParallelFlops = 1 << 16;
-}  // namespace
-
 void matmul(const float* a, const float* b, float* c, std::int64_t m,
             std::int64_t k, std::int64_t n, bool accumulate) {
-  auto row_block = [&](std::size_t i_sz) {
-    const std::int64_t i = static_cast<std::int64_t>(i_sz);
-    float* crow = c + i * n;
-    if (!accumulate) {
-      std::memset(crow, 0, static_cast<std::size_t>(n) * sizeof(float));
-    }
-    const float* arow = a + i * k;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) {
-        continue;
-      }
-      const float* brow = b + p * n;
-      for (std::int64_t j = 0; j < n; ++j) {
-        crow[j] += av * brow[j];
-      }
-    }
-  };
-  if (m * k * n < kParallelFlops) {
-    for (std::int64_t i = 0; i < m; ++i) {
-      row_block(static_cast<std::size_t>(i));
-    }
-  } else {
-    parallel_for(0, static_cast<std::size_t>(m), row_block);
-  }
+  gemm(a, k, 1, b, n, 1, c, n, m, k, n, accumulate);
 }
 
 void matmul_bt(const float* a, const float* b, float* c, std::int64_t m,
                std::int64_t k, std::int64_t n, bool accumulate) {
-  auto row_block = [&](std::size_t i_sz) {
-    const std::int64_t i = static_cast<std::int64_t>(i_sz);
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (std::int64_t p = 0; p < k; ++p) {
-        acc += arow[p] * brow[p];
-      }
-      if (accumulate) {
-        crow[j] += acc;
-      } else {
-        crow[j] = acc;
-      }
-    }
-  };
-  if (m * k * n < kParallelFlops) {
-    for (std::int64_t i = 0; i < m; ++i) {
-      row_block(static_cast<std::size_t>(i));
-    }
-  } else {
-    parallel_for(0, static_cast<std::size_t>(m), row_block);
-  }
+  gemm(a, k, 1, b, 1, k, c, n, m, k, n, accumulate);
 }
 
 void matmul_at(const float* a, const float* b, float* c, std::int64_t m,
                std::int64_t k, std::int64_t n, bool accumulate) {
-  auto row_block = [&](std::size_t i_sz) {
-    const std::int64_t i = static_cast<std::int64_t>(i_sz);
-    float* crow = c + i * n;
-    if (!accumulate) {
-      std::memset(crow, 0, static_cast<std::size_t>(n) * sizeof(float));
-    }
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float av = a[p * m + i];
-      if (av == 0.0f) {
-        continue;
-      }
-      const float* brow = b + p * n;
-      for (std::int64_t j = 0; j < n; ++j) {
-        crow[j] += av * brow[j];
-      }
-    }
-  };
-  if (m * k * n < kParallelFlops) {
-    for (std::int64_t i = 0; i < m; ++i) {
-      row_block(static_cast<std::size_t>(i));
-    }
-  } else {
-    parallel_for(0, static_cast<std::size_t>(m), row_block);
-  }
+  gemm(a, 1, m, b, n, 1, c, n, m, k, n, accumulate);
 }
 
 void softmax_rows(float* x, std::int64_t rows, std::int64_t cols,
                   const std::int64_t* valid_cols) {
-  for (std::int64_t r = 0; r < rows; ++r) {
-    float* row = x + r * cols;
-    const std::int64_t valid = valid_cols ? valid_cols[r] : cols;
-    WEIPIPE_CHECK_MSG(valid >= 1 && valid <= cols,
-                      "softmax valid=" << valid << " cols=" << cols);
-    float mx = row[0];
-    for (std::int64_t j = 1; j < valid; ++j) {
-      mx = std::max(mx, row[j]);
-    }
-    float denom = 0.0f;
-    for (std::int64_t j = 0; j < valid; ++j) {
-      row[j] = std::exp(row[j] - mx);
-      denom += row[j];
-    }
-    const float inv = 1.0f / denom;
-    for (std::int64_t j = 0; j < valid; ++j) {
-      row[j] *= inv;
-    }
-    for (std::int64_t j = valid; j < cols; ++j) {
-      row[j] = 0.0f;
-    }
-  }
+  // Grain keeps each chunk at a few thousand elements; single-row calls
+  // (attention inner loops) stay serial.
+  const std::size_t grain = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(1, cols)));
+  parallel_for_range(
+      0, static_cast<std::size_t>(rows), grain,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          float* row = x + static_cast<std::int64_t>(r) * cols;
+          const std::int64_t valid = valid_cols ? valid_cols[r] : cols;
+          WEIPIPE_CHECK_MSG(valid >= 1 && valid <= cols,
+                            "softmax valid=" << valid << " cols=" << cols);
+          float mx = row[0];
+          for (std::int64_t j = 1; j < valid; ++j) {
+            mx = std::max(mx, row[j]);
+          }
+          float denom = 0.0f;
+          for (std::int64_t j = 0; j < valid; ++j) {
+            row[j] = std::exp(row[j] - mx);
+            denom += row[j];
+          }
+          const float inv = 1.0f / denom;
+          for (std::int64_t j = 0; j < valid; ++j) {
+            row[j] *= inv;
+          }
+          for (std::int64_t j = valid; j < cols; ++j) {
+            row[j] = 0.0f;
+          }
+        }
+      });
 }
 
 }  // namespace kernels

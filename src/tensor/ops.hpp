@@ -10,11 +10,15 @@
 
 #include <cstdint>
 
+#include "tensor/gemm.hpp"
 #include "tensor/tensor.hpp"
 
 namespace weipipe {
 
 namespace kernels {
+
+// The three GEMM orientations are thin wrappers over the tiled strided
+// engine in tensor/gemm.hpp (a transpose is a stride swap, not a copy).
 
 // C[m,n] (+)= A[m,k] * B[k,n]
 void matmul(const float* a, const float* b, float* c, std::int64_t m,

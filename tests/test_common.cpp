@@ -183,6 +183,73 @@ TEST(ThreadPool, DedicatedPoolRunsWork) {
   EXPECT_EQ(sum.load(), 49 * 50 / 2);
 }
 
+TEST(ThreadPool, GrainIsAFloorOnChunkSize) {
+  // Every claimed block must span at least `grain` indices (except the final
+  // remainder) — a matmul_bt with tiny n must not fan out into per-row tasks.
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::vector<std::size_t> block_sizes;
+  const std::size_t grain = 17;
+  pool.for_range(
+      0, 100,
+      [&](std::size_t lo, std::size_t hi) {
+        std::lock_guard<std::mutex> lk(mu);
+        block_sizes.push_back(hi - lo);
+      },
+      grain);
+  std::size_t total = 0;
+  std::size_t small_blocks = 0;
+  for (std::size_t s : block_sizes) {
+    total += s;
+    if (s < grain) {
+      ++small_blocks;
+    }
+  }
+  EXPECT_EQ(total, 100u);
+  EXPECT_LE(small_blocks, 1u);  // only the remainder may be short
+}
+
+TEST(ThreadPool, RangeAtOrBelowGrainRunsInOneBlock) {
+  ThreadPool pool(3);
+  std::atomic<int> blocks{0};
+  pool.for_range(
+      0, 64, [&](std::size_t, std::size_t) { blocks.fetch_add(1); },
+      /*grain=*/64);
+  EXPECT_EQ(blocks.load(), 1);
+}
+
+TEST(ThreadPool, StatsCountDispatchesAndItems) {
+  ThreadPool pool(2);
+  const ThreadPoolStats before = pool.stats();
+  // Small range with grain >= n runs serially.
+  pool.for_range(0, 4, [](std::size_t, std::size_t) {}, /*grain=*/8);
+  // Large range with grain 1 dispatches through the arena.
+  std::atomic<int> count{0};
+  pool.for_range(
+      0, 1000, [&](std::size_t lo, std::size_t hi) {
+        count.fetch_add(static_cast<int>(hi - lo));
+      },
+      /*grain=*/1);
+  const ThreadPoolStats after = pool.stats();
+  EXPECT_EQ(count.load(), 1000);
+  EXPECT_EQ(after.serial_runs - before.serial_runs, 1u);
+  EXPECT_EQ(after.dispatches - before.dispatches, 1u);
+  EXPECT_EQ(after.items - before.items, 1000u);
+  EXPECT_GE(after.chunks - before.chunks, 1u);
+  EXPECT_LE(after.steals, after.chunks);
+}
+
+TEST(ThreadPool, FreeParallelForHonorsGrainSerially) {
+  // The free function must run serially (no pool hand-off) when the whole
+  // range fits one grain-sized chunk.
+  const ThreadPoolStats before = ThreadPool::global().stats();
+  int count = 0;  // non-atomic: safe only if truly serial
+  parallel_for(0, 32, [&](std::size_t) { ++count; }, /*grain=*/32);
+  const ThreadPoolStats after = ThreadPool::global().stats();
+  EXPECT_EQ(count, 32);
+  EXPECT_EQ(after.dispatches - before.dispatches, 0u);
+}
+
 // ---- stopwatch ------------------------------------------------------------------------
 
 TEST(Stopwatch, MeasuresElapsedTime) {

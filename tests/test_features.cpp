@@ -154,9 +154,12 @@ TEST(Clipping, ReplicatedVocabClipMatchesSequential) {
     (void)ref.train_iteration(data, it);
     (void)wp.train_iteration(data, it);
   }
+  // The replicated-vocab gradient reduction rounds differently from the
+  // sequential trainer; the bound tracks observed drift with a margin
+  // (~5.9e-6 with the tiled K-blocked GEMM's accumulation order).
   EXPECT_LT(params_max_diff(ref.gather_block_params(),
                             wp.gather_block_params()),
-            5e-6f);
+            1e-5f);
 }
 
 TEST(Scheduling, WeiPipeMatchesSequentialWithLrSchedule) {

@@ -102,6 +102,7 @@ int cmd_train(const Flags& flags) {
   const TrainConfig cfg = config_from_flags(flags);
   const std::string strategy = flags.str("strategy", "weipipe");
   const std::int64_t workers = flags.i64("workers", 4);
+  WEIPIPE_CHECK_MSG(workers >= 1, "need at least one worker");
   const std::int64_t iters = flags.i64("iters", 50);
   const std::int64_t dp = flags.i64("dp", 1);
   const bool quiet = flags.flag("quiet");
