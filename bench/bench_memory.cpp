@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "prof/profile.hpp"
 #include "sim/cost_model.hpp"
 
 using namespace weipipe;
@@ -114,6 +115,49 @@ int main() {
               full_flash.act_mem_layer_bytes() / 1e9);
   std::printf("  full + no flash   : %8.2f GB (S^2 probabilities)\n",
               full_noflash.act_mem_layer_bytes() / 1e9);
+
+  std::printf("\n== Measured full-footprint ledger vs static bounds "
+              "(real engine, small model) ==\n");
+  std::printf("%-12s | %10s | %10s | %10s | %10s | %10s\n", "strategy",
+              "pred wts", "meas wts", "pred opt", "meas opt", "meas peak");
+  for (const char* strategy : {"sequential", "weipipe", "1f1b", "fsdp"}) {
+    prof::ProfileOptions opt;
+    opt.strategy = strategy;
+    opt.workers = 4;
+    opt.iters = 1;
+    opt.warmup_iters = 0;
+    opt.train.model.vocab_size = 64;
+    opt.train.model.dim = 32;
+    opt.train.model.n_layers = 8;
+    opt.train.model.n_heads = 4;
+    opt.train.model.seq_len = 16;
+    opt.train.seq_len = 16;
+    opt.train.num_microbatches = 8;
+    const prof::ProfileReport rep = prof::run_profile(opt);
+    double meas_wts = 0.0;
+    double meas_opt = 0.0;
+    for (const auto& k : rep.ledger_kinds) {
+      if (k.kind == "weights") meas_wts = k.peak_bytes;
+      if (k.kind == "optimizer") meas_opt = k.peak_bytes;
+    }
+    std::printf("%-12s | %7.2fMiB | %7.2fMiB | %7.2fMiB | %7.2fMiB | "
+                "%7.2fMiB\n",
+                strategy, rep.static_weights_bound_bytes / (1024.0 * 1024.0),
+                meas_wts / (1024.0 * 1024.0),
+                rep.static_optimizer_bound_bytes / (1024.0 * 1024.0),
+                meas_opt / (1024.0 * 1024.0),
+                rep.measured_peak_footprint_bytes / (1024.0 * 1024.0));
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "weights %.2f<=%.2f opt %.2f<=%.2f MiB",
+                  meas_wts / (1024.0 * 1024.0),
+                  rep.static_weights_bound_bytes / (1024.0 * 1024.0),
+                  meas_opt / (1024.0 * 1024.0),
+                  rep.static_optimizer_bound_bytes / (1024.0 * 1024.0));
+    shape_check((std::string("ledger-within-bounds-") + strategy).c_str(),
+                meas_wts <= rep.static_weights_bound_bytes &&
+                    meas_opt <= rep.static_optimizer_bound_bytes,
+                buf);
+  }
 
   std::printf("\n== shape checks vs paper §6.1.1 ==\n");
   char detail[128];

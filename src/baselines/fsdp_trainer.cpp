@@ -23,6 +23,20 @@ FsdpTrainer::FsdpTrainer(const TrainConfig& cfg, std::int64_t num_ranks,
   for (const ChunkSpec& spec : chunks_) {
     adam_.emplace_back(spec.param_count);
   }
+  recharge_ledger();
+}
+
+void FsdpTrainer::recharge_ledger() {
+  std::int64_t weight_floats = 0;
+  for (const auto& m : master_) {
+    weight_floats += static_cast<std::int64_t>(m.size());
+  }
+  std::int64_t adam_floats = 0;
+  for (const AdamShard& shard : adam_) {
+    adam_floats += 2 * shard.size();
+  }
+  master_charge_.set(obs::MemKind::kWeights, 4 * weight_floats);
+  adam_charge_.set(obs::MemKind::kOptimizer, 4 * adam_floats);
 }
 
 IterationResult FsdpTrainer::train_iteration(const Dataset& data,
@@ -60,9 +74,12 @@ void FsdpTrainer::rank_body(int rank, comm::Endpoint& ep,
 
   // Materialize chunk c's (quantized) weights into `buf`, via ring broadcast
   // from the owner. All ranks call this in lockstep.
+  obs::MemCharge wbuf_charge;
   auto gather_chunk = [&](std::int64_t c, std::vector<float>& buf) {
     const ChunkSpec& spec = chunks_[static_cast<std::size_t>(c)];
     buf.resize(static_cast<std::size_t>(spec.param_count));
+    wbuf_charge.set(obs::MemKind::kWeights,
+                    4 * static_cast<std::int64_t>(buf.size()));
     if (c == r) {
       const std::vector<float>& m = master_[static_cast<std::size_t>(c)];
       for (std::size_t i = 0; i < m.size(); ++i) {
@@ -75,12 +92,15 @@ void FsdpTrainer::rank_body(int rank, comm::Endpoint& ep,
 
   // Per-chunk local gradient accumulators (partial sums over local mbs).
   std::vector<std::vector<float>> grads(static_cast<std::size_t>(p_));
+  std::int64_t grad_floats = 0;
   for (std::int64_t c = 0; c < p_; ++c) {
     grads[static_cast<std::size_t>(c)].assign(
         static_cast<std::size_t>(
             chunks_[static_cast<std::size_t>(c)].param_count),
         0.0f);
+    grad_floats += chunks_[static_cast<std::size_t>(c)].param_count;
   }
+  obs::MemCharge grads_charge(obs::MemKind::kWeightGrads, 4 * grad_floats);
 
   std::vector<float> wbuf;
   for (std::int64_t k = 0; k < local_rounds; ++k) {
@@ -89,6 +109,7 @@ void FsdpTrainer::rank_body(int rank, comm::Endpoint& ep,
         data.make(iter_index * n + j, cfg_.microbatch_size, cfg_.seq_len);
 
     // Forward sweep: gather -> compute -> free, chunk by chunk (ZeRO-3).
+    obs::MemScope act_scope(obs::MemKind::kActivations);
     std::vector<std::vector<BlockCtx>> ctxs(static_cast<std::size_t>(p_));
     std::int64_t act_resident_bytes = 0;
     Tensor x;
@@ -158,14 +179,20 @@ void FsdpTrainer::rank_body(int rank, comm::Endpoint& ep,
   // Reduce each chunk's gradient to its owner; the owner keeps its shard.
   std::vector<float> own_grad;
   std::vector<float> reduced;
+  obs::MemCharge own_grad_charge;
+  obs::MemCharge reduced_charge;
   for (std::int64_t c = 0; c < p_; ++c) {
     const std::vector<float>& g = grads[static_cast<std::size_t>(c)];
     reduced.assign(g.size(), 0.0f);
+    reduced_charge.set(obs::MemKind::kWeightGrads,
+                       4 * static_cast<std::int64_t>(reduced.size()));
     comm::ring_reduce_to_root(
         ep, static_cast<int>(c), std::span<const float>(g.data(), g.size()),
         std::span<float>(reduced.data(), reduced.size()), dp);
     if (c == r) {
       own_grad = reduced;
+      own_grad_charge.set(obs::MemKind::kWeightGrads,
+                          4 * static_cast<std::int64_t>(own_grad.size()));
     }
   }
   // Global-norm clipping over the *reduced* gradients (what Adam consumes).
@@ -209,6 +236,7 @@ TrainerState FsdpTrainer::export_state() const {
 
 void FsdpTrainer::import_state(const TrainerState& state) {
   import_sharded_state(model_, chunks_, state, master_, adam_);
+  recharge_ledger();
 }
 
 }  // namespace weipipe

@@ -18,6 +18,7 @@
 #include "core/trainer.hpp"
 #include "nn/adam.hpp"
 #include "nn/model.hpp"
+#include "obs/ledger.hpp"
 
 namespace weipipe {
 
@@ -51,6 +52,11 @@ class FsdpTrainer final : public Trainer {
   std::unique_ptr<comm::Fabric> fabric_;
   std::vector<std::vector<float>> master_;  // [chunk], owned by rank==chunk
   std::vector<AdamShard> adam_;
+  // Ledger charges for the plain-vector state above.
+  obs::MemCharge master_charge_;
+  obs::MemCharge adam_charge_;
+
+  void recharge_ledger();
 };
 
 }  // namespace weipipe

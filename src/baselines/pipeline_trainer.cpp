@@ -44,6 +44,20 @@ PipelineTrainer::PipelineTrainer(const TrainConfig& cfg,
   for (const ChunkSpec& spec : chunks_) {
     adam_.emplace_back(spec.param_count);
   }
+  recharge_ledger();
+}
+
+void PipelineTrainer::recharge_ledger() {
+  std::int64_t weight_floats = 0;
+  for (const auto& m : master_) {
+    weight_floats += static_cast<std::int64_t>(m.size());
+  }
+  std::int64_t adam_floats = 0;
+  for (const AdamShard& shard : adam_) {
+    adam_floats += 2 * shard.size();
+  }
+  master_charge_.set(obs::MemKind::kWeights, 4 * weight_floats);
+  adam_charge_.set(obs::MemKind::kOptimizer, 4 * adam_floats);
 }
 
 IterationResult PipelineTrainer::train_iteration(const Dataset& data,
@@ -89,12 +103,17 @@ void PipelineTrainer::stage_body(int rank, comm::Endpoint& ep,
     w[i] = quantize(m[i], cfg_.precision.weights);
   }
   std::vector<float> grads(m.size(), 0.0f);
+  obs::MemCharge w_charge(obs::MemKind::kWeights,
+                          4 * static_cast<std::int64_t>(w.size()));
+  obs::MemCharge grads_charge(obs::MemKind::kWeightGrads,
+                              4 * static_cast<std::int64_t>(grads.size()));
 
   std::map<std::int64_t, MbCtx> inflight;
   // Resident saved-activation bytes on this stage (tracked while tracing).
   std::int64_t act_resident_bytes = 0;
 
   auto forward_mb = [&](std::int64_t j) {
+    obs::MemScope act_scope(obs::MemKind::kActivations);
     MbCtx st;
     st.mb = data.make(iter_index * n + j, cfg_.microbatch_size, cfg_.seq_len);
     Tensor x;
@@ -140,6 +159,7 @@ void PipelineTrainer::stage_body(int rank, comm::Endpoint& ep,
   };
 
   auto backward_mb = [&](std::int64_t j) {
+    obs::MemScope act_scope(obs::MemKind::kActivations);
     auto it = inflight.find(j);
     WEIPIPE_CHECK(it != inflight.end());
     MbCtx& st = it->second;
@@ -245,6 +265,7 @@ TrainerState PipelineTrainer::export_state() const {
 
 void PipelineTrainer::import_state(const TrainerState& state) {
   import_sharded_state(model_, chunks_, state, master_, adam_);
+  recharge_ledger();
 }
 
 }  // namespace weipipe

@@ -14,6 +14,7 @@
 #include "core/trainer.hpp"
 #include "nn/adam.hpp"
 #include "nn/model.hpp"
+#include "obs/ledger.hpp"
 
 namespace weipipe {
 
@@ -55,6 +56,11 @@ class PipelineTrainer final : public Trainer {
   std::unique_ptr<comm::Fabric> fabric_;
   std::vector<std::vector<float>> master_;  // [stage]
   std::vector<AdamShard> adam_;             // [stage]
+  // Ledger charges for the plain-vector state above.
+  obs::MemCharge master_charge_;
+  obs::MemCharge adam_charge_;
+
+  void recharge_ledger();
 };
 
 }  // namespace weipipe

@@ -4,6 +4,7 @@
 #include <exception>
 
 #include "common/check.hpp"
+#include "obs/ledger.hpp"
 #include "obs/recorder.hpp"
 
 namespace weipipe::comm {
@@ -158,7 +159,27 @@ Fabric::Fabric(int world_size, LinkModel link_model)
                      FabricStats{});
 }
 
-Fabric::~Fabric() = default;
+Fabric::~Fabric() {
+  // Credit any messages still sitting in mailboxes (a trainer torn down
+  // mid-schedule, or stats reset between deliver and take) so the ledger's
+  // comm_buffers category drains to zero with the fabric.
+  for (std::size_t dst = 0; dst < mailboxes_.size(); ++dst) {
+    Mailbox& box = *mailboxes_[dst];
+    std::lock_guard<std::mutex> lk(box.mu);
+    for (auto& [key, queue] : box.queues) {
+      while (!queue.empty()) {
+        const Message& msg = queue.front();
+        if (msg.ledger_bytes > 0) {
+          obs::ledger().on_free(
+              obs::MemKind::kCommBuffers,
+              obs::MemoryLedger::bucket_for_rank(static_cast<int>(dst)),
+              msg.ledger_bytes);
+        }
+        queue.pop();
+      }
+    }
+  }
+}
 
 Endpoint& Fabric::endpoint(int rank) {
   WEIPIPE_CHECK_MSG(rank >= 0 && rank < world_size(),
@@ -179,6 +200,11 @@ FabricStats Fabric::pair_stats(int src, int dst) const {
 std::vector<FabricStats> Fabric::stats_matrix() const {
   std::lock_guard<std::mutex> lk(stats_mu_);
   return pair_stats_;
+}
+
+std::map<std::int64_t, FabricStats> Fabric::tag_stats() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return tag_stats_;
 }
 
 std::uint64_t Fabric::total_bytes() const {
@@ -215,6 +241,7 @@ void Fabric::reset_stats() {
   for (FabricStats& s : pair_stats_) {
     s = FabricStats{};
   }
+  tag_stats_.clear();
 }
 
 std::int64_t Fabric::deliver(int src, int dst, std::int64_t tag,
@@ -230,6 +257,11 @@ std::int64_t Fabric::deliver(int src, int dst, std::int64_t tag,
     s.bytes += payload.size();
     ++s.in_flight;
     s.max_in_flight = std::max(s.max_in_flight, s.in_flight);
+    FabricStats& t = tag_stats_[tag];
+    ++t.messages;
+    t.bytes += payload.size();
+    ++t.in_flight;
+    t.max_in_flight = std::max(t.max_in_flight, t.in_flight);
   }
   Message msg;
   msg.deliver_at = std::chrono::steady_clock::now();
@@ -239,6 +271,16 @@ std::int64_t Fabric::deliver(int src, int dst, std::int64_t tag,
   msg.flow_id = next_flow_id_.fetch_add(1, std::memory_order_relaxed);
   const std::int64_t flow_id = msg.flow_id;
   msg.payload = std::move(payload);
+  // Eager buffered sends cost real memory on the receiver until consumed:
+  // account the mailbox residency as comm_buffers in dst's bucket. The
+  // charged size rides on the message so the credit matches exactly even if
+  // the ledger is toggled between send and receive.
+  if (obs::ledger().enabled() && !msg.payload.empty()) {
+    msg.ledger_bytes = static_cast<std::int64_t>(msg.payload.size());
+    obs::ledger().on_alloc(obs::MemKind::kCommBuffers,
+                           obs::MemoryLedger::bucket_for_rank(dst),
+                           msg.ledger_bytes);
+  }
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   {
     std::lock_guard<std::mutex> lk(box.mu);
@@ -271,6 +313,11 @@ Fabric::Taken Fabric::take(int dst, int src, std::int64_t tag) {
         if (deliver_at <= now) {
           Message msg = std::move(it->second.front());
           it->second.pop();
+          if (msg.ledger_bytes > 0) {
+            obs::ledger().on_free(obs::MemKind::kCommBuffers,
+                                  obs::MemoryLedger::bucket_for_rank(dst),
+                                  msg.ledger_bytes);
+          }
           taken.payload = std::move(msg.payload);
           taken.flow_id = msg.flow_id;
           break;
@@ -292,6 +339,10 @@ Fabric::Taken Fabric::take(int dst, int src, std::int64_t tag) {
         pair_stats_[static_cast<std::size_t>(src * world_size() + dst)];
     if (s.in_flight > 0) {  // reset_stats() may have zeroed mid-flight
       --s.in_flight;
+    }
+    auto it = tag_stats_.find(tag);
+    if (it != tag_stats_.end() && it->second.in_flight > 0) {
+      --it->second.in_flight;
     }
   }
   if (traced) {

@@ -119,6 +119,11 @@ class Fabric {
   FabricStats pair_stats(int src, int dst) const;
   // Copy of the whole [src * P + dst] stats matrix, for metrics snapshots.
   std::vector<FabricStats> stats_matrix() const;
+  // Per-tag traffic since the last reset. Tags carry the message semantics
+  // (wire_tags / collective bases), so this is the wire ledger's raw feed:
+  // classify tags into MsgKinds and compare against the paper's closed-form
+  // per-iteration volumes (core/accounting.hpp).
+  std::map<std::int64_t, FabricStats> tag_stats() const;
   std::uint64_t total_bytes() const;
   std::uint64_t total_messages() const;
   // Maximum over pairs of max_in_flight since the last reset.
@@ -141,6 +146,10 @@ class Fabric {
     // Unique per message; pairs the sender's and receiver's trace spans so
     // exporters can draw flow arrows (obs/chrome_trace.hpp).
     std::int64_t flow_id = -1;
+    // Bytes charged to the memory ledger (comm_buffers, receiver's bucket)
+    // while this message sits undelivered in a mailbox; 0 = not charged
+    // (ledger was disabled at send time). Credited on take()/teardown.
+    std::int64_t ledger_bytes = 0;
   };
   struct MailKey {
     int src;
@@ -175,6 +184,7 @@ class Fabric {
   mutable std::mutex stats_mu_;
   std::vector<FabricStats> pair_stats_  // [src * P + dst]
       WEIPIPE_GUARDED_BY(stats_mu_);
+  std::map<std::int64_t, FabricStats> tag_stats_ WEIPIPE_GUARDED_BY(stats_mu_);
 };
 
 // Runs fn(rank, endpoint) on world_size threads and joins them all; the first

@@ -1,0 +1,75 @@
+// Closed-form communication and memory accounting for the real trainers.
+//
+// The paper's comparison tables are analytical: per-iteration wire volume by
+// message class (Table 2) and per-worker memory by category (Tables 3-4).
+// This module derives the same closed forms from a TrainConfig so runtime
+// measurements — the fabric's per-tag byte counters and the memory ledger's
+// category peaks — can be checked against them exactly (wire) or as upper
+// bounds (memory). tests/test_comm_volume.cpp asserts the wire forms equal
+// measured traffic byte-for-byte; weipipe_cli profile/bench print both sides.
+//
+// Validity envelope: the closed forms assume a single data-parallel replica
+// (dp = 1), replicate_vocab off, and gradient clipping disabled — the
+// configurations the paper's tables describe. Callers outside that envelope
+// still get measured numbers; predictions are simply not emitted.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "comm/fabric.hpp"
+#include "core/trainer.hpp"
+#include "sched/program.hpp"
+
+namespace weipipe::acct {
+
+struct KindVolume {
+  std::uint64_t bytes = 0;
+  std::uint64_t messages = 0;
+};
+
+// Per-MsgKind traffic; kinds with zero traffic are absent.
+using KindVolumes = std::map<sched::MsgKind, KindVolume>;
+
+// Maps a fabric tag to the message class it carries. Extends
+// wire_tags::msg_kind with the collective tag ranges the FSDP baseline uses
+// (ring_broadcast ships weights, ring_reduce_to_root ships gradients);
+// unknown tags are kOpaque.
+sched::MsgKind classify_tag(std::int64_t tag);
+
+// Aggregates the fabric's per-tag counters (since its last reset_stats())
+// into per-kind volumes via classify_tag.
+KindVolumes measured_kind_volumes(const comm::Fabric& fabric);
+
+// True if predicted_kind_volumes covers (strategy, cfg): a known trainer
+// strategy inside the validity envelope above.
+bool has_predicted_kind_volumes(const std::string& strategy,
+                                const TrainConfig& cfg);
+
+// The paper-style closed-form per-iteration volumes for one trainer
+// iteration of `strategy` ("weipipe", "weipipe-naive", "1f1b", "gpipe",
+// "fsdp", "sequential") on `workers` ranks. Throws weipipe::Error for
+// unknown strategies; returns empty volumes for sequential (no fabric).
+KindVolumes predicted_kind_volumes(const std::string& strategy,
+                                   const TrainConfig& cfg,
+                                   std::int64_t workers);
+
+// Parameter-derived static bounds on the ledger's weight / weight-grad /
+// optimizer categories, summed over all ranks (fp32 resident bytes; wire
+// precision affects messages, not resident copies). Upper bounds: transient
+// double-buffering during resize/unpack may briefly exceed live, never peak.
+struct FootprintBounds {
+  std::int64_t weights_bytes = 0;
+  std::int64_t weight_grads_bytes = 0;
+  std::int64_t optimizer_bytes = 0;
+  std::int64_t total() const {
+    return weights_bytes + weight_grads_bytes + optimizer_bytes;
+  }
+};
+
+FootprintBounds static_footprint_bounds(const std::string& strategy,
+                                        const TrainConfig& cfg,
+                                        std::int64_t workers);
+
+}  // namespace weipipe::acct

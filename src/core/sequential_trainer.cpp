@@ -16,6 +16,20 @@ SequentialTrainer::SequentialTrainer(const TrainConfig& cfg)
   for (const auto& w : master_) {
     adam_.emplace_back(static_cast<std::int64_t>(w.size()));
   }
+  recharge_ledger();
+}
+
+void SequentialTrainer::recharge_ledger() {
+  std::int64_t weight_floats = 0;
+  for (const auto& w : master_) {
+    weight_floats += static_cast<std::int64_t>(w.size());
+  }
+  std::int64_t adam_floats = 0;
+  for (const AdamShard& shard : adam_) {
+    adam_floats += 2 * shard.size();  // first + second moment
+  }
+  master_charge_.set(obs::MemKind::kWeights, 4 * weight_floats);
+  adam_charge_.set(obs::MemKind::kOptimizer, 4 * adam_floats);
 }
 
 IterationResult SequentialTrainer::train_iteration(
@@ -39,12 +53,18 @@ IterationResult SequentialTrainer::train_iteration(
 
   std::vector<std::vector<float>> grads;
   grads.reserve(master_.size());
+  std::int64_t grad_floats = 0;
   for (const auto& w : master_) {
     grads.emplace_back(w.size(), 0.0f);
+    grad_floats += static_cast<std::int64_t>(w.size());
   }
+  obs::MemCharge compute_charge(obs::MemKind::kWeights, 4 * grad_floats);
+  obs::MemCharge grads_charge(obs::MemKind::kWeightGrads, 4 * grad_floats);
 
   double loss_sum = 0.0;
   for (std::int64_t j = 0; j < n; ++j) {
+    // Saved forward state + logits allocated below are activation memory.
+    obs::MemScope act_scope(obs::MemKind::kActivations);
     const Microbatch mb =
         data.make(iter_index * n + j, cfg_.microbatch_size, cfg_.seq_len);
     std::vector<BlockCtx> ctxs;
@@ -144,6 +164,7 @@ void SequentialTrainer::import_state(const TrainerState& state) {
     adam_.emplace_back(static_cast<std::int64_t>(master_[b].size()));
     adam_.back().restore(state.adam_m[b], state.adam_v[b], state.step_count);
   }
+  recharge_ledger();
 }
 
 }  // namespace weipipe

@@ -9,6 +9,7 @@
 #include "core/trainer.hpp"
 #include "nn/adam.hpp"
 #include "nn/model.hpp"
+#include "obs/ledger.hpp"
 
 namespace weipipe {
 
@@ -28,6 +29,11 @@ class SequentialTrainer final : public Trainer {
   Model model_;
   std::vector<std::vector<float>> master_;  // fp32 masters per block
   std::vector<AdamShard> adam_;             // one shard per block
+  // Ledger charges for the plain-vector state above (weights / optimizer).
+  obs::MemCharge master_charge_;
+  obs::MemCharge adam_charge_;
+
+  void recharge_ledger();
 };
 
 }  // namespace weipipe

@@ -70,6 +70,30 @@ WeiPipeTrainer::WeiPipeTrainer(const TrainConfig& cfg, std::int64_t num_workers,
       vocab_adam_.emplace_back(static_cast<std::int64_t>(vocab_init.size()));
     }
   }
+  recharge_ledger();
+}
+
+void WeiPipeTrainer::recharge_ledger() {
+  std::int64_t weight_floats = 0;
+  for (const auto& m : master_) {
+    weight_floats += static_cast<std::int64_t>(m.size());
+  }
+  std::int64_t adam_floats = 0;
+  for (const AdamShard& shard : adam_) {
+    adam_floats += 2 * shard.size();
+  }
+  master_charge_.set(obs::MemKind::kWeights, 4 * weight_floats);
+  adam_charge_.set(obs::MemKind::kOptimizer, 4 * adam_floats);
+  std::int64_t vocab_floats = 0;
+  for (const auto& vm : vocab_master_) {
+    vocab_floats += static_cast<std::int64_t>(vm.size());
+  }
+  std::int64_t vocab_adam_floats = 0;
+  for (const AdamShard& shard : vocab_adam_) {
+    vocab_adam_floats += 2 * shard.size();
+  }
+  vocab_master_charge_.set(obs::MemKind::kWeights, 4 * vocab_floats);
+  vocab_adam_charge_.set(obs::MemKind::kOptimizer, 4 * vocab_adam_floats);
 }
 
 std::string WeiPipeTrainer::name() const {
@@ -137,6 +161,8 @@ void WeiPipeTrainer::worker_body(int rank, comm::Endpoint& ep,
   const std::int64_t head_n = model_.block_param_count(model_.num_blocks() - 1);
   std::vector<float> vocab_w;
   std::vector<float> vocab_g;
+  obs::MemCharge vocab_w_charge;
+  obs::MemCharge vocab_g_charge;
   if (opts_.replicate_vocab) {
     const std::vector<float>& vm = vocab_master_[static_cast<std::size_t>(d)];
     vocab_w.resize(vm.size());
@@ -144,6 +170,10 @@ void WeiPipeTrainer::worker_body(int rank, comm::Endpoint& ep,
       vocab_w[i] = quantize(vm[i], wp);
     }
     vocab_g.assign(vm.size(), 0.0f);
+    vocab_w_charge.set(obs::MemKind::kWeights,
+                       4 * static_cast<std::int64_t>(vocab_w.size()));
+    vocab_g_charge.set(obs::MemKind::kWeightGrads,
+                       4 * static_cast<std::int64_t>(vocab_g.size()));
   }
 
   // ---- Redistribution: owners inject current weights into both flows. -----
@@ -174,6 +204,12 @@ void WeiPipeTrainer::worker_body(int rank, comm::Endpoint& ep,
   std::vector<float> fw(chunk_size(cf0));
   std::vector<float> bw(chunk_size(cb0));
   std::vector<float> bd(chunk_size(cb0), 0.0f);  // D starts at zero
+  obs::MemCharge fw_charge(obs::MemKind::kWeights,
+                           4 * static_cast<std::int64_t>(fw.size()));
+  obs::MemCharge bw_charge(obs::MemKind::kWeights,
+                           4 * static_cast<std::int64_t>(bw.size()));
+  obs::MemCharge bd_charge(obs::MemKind::kWeightGrads,
+                           4 * static_cast<std::int64_t>(bd.size()));
 
   auto fill_from_master_quantized = [&](std::vector<float>& dst,
                                         std::int64_t c) {
@@ -231,6 +267,7 @@ void WeiPipeTrainer::worker_body(int rank, comm::Endpoint& ep,
 
     // -- forward compute (new microbatch, chunk cf) --
     if (acts.fwd) {
+      obs::MemScope act_scope(obs::MemKind::kActivations);
       WEIPIPE_CHECK(acts.fwd->chunk == cf);
       const std::int64_t round = acts.fwd->round;
       const std::int64_t mb_id = d * n_local + round * p_ + p;
@@ -303,6 +340,7 @@ void WeiPipeTrainer::worker_body(int rank, comm::Endpoint& ep,
 
     // -- backward compute (old microbatch, chunk cb); accumulates into bd --
     if (acts.bwd) {
+      obs::MemScope act_scope(obs::MemKind::kActivations);
       WEIPIPE_CHECK(acts.bwd->chunk == cb);
       auto it = inflight.find(acts.bwd->round);
       WEIPIPE_CHECK_MSG(it != inflight.end(),
@@ -377,6 +415,9 @@ void WeiPipeTrainer::worker_body(int rank, comm::Endpoint& ep,
     fw.resize(chunk_size(cf_next));
     bw.resize(chunk_size(cb_next));
     bd.resize(chunk_size(cb_next));
+    fw_charge.resize(4 * static_cast<std::int64_t>(fw.size()));
+    bw_charge.resize(4 * static_cast<std::int64_t>(bw.size()));
+    bd_charge.resize(4 * static_cast<std::int64_t>(bd.size()));
     if (opts_.async_prefetch) {
       rq_f.wait();
       rq_bw.wait();
@@ -577,6 +618,7 @@ void WeiPipeTrainer::import_state(const TrainerState& state) {
                                  state.step_count);
     }
   }
+  recharge_ledger();
 }
 
 }  // namespace weipipe

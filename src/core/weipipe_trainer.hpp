@@ -22,6 +22,7 @@
 #include "sched/weipipe_schedule.hpp"
 #include "nn/adam.hpp"
 #include "nn/model.hpp"
+#include "obs/ledger.hpp"
 
 namespace weipipe {
 
@@ -82,6 +83,13 @@ class WeiPipeTrainer final : public Trainer {
   // state, one copy per replica (updated by the replica's first worker).
   std::vector<std::vector<float>> vocab_master_;
   std::vector<AdamShard> vocab_adam_;
+  // Ledger charges for the plain-vector owner state above.
+  obs::MemCharge master_charge_;
+  obs::MemCharge adam_charge_;
+  obs::MemCharge vocab_master_charge_;
+  obs::MemCharge vocab_adam_charge_;
+
+  void recharge_ledger();
 };
 
 }  // namespace weipipe

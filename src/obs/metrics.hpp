@@ -103,4 +103,7 @@ class MetricsRegistry {
       WEIPIPE_GUARDED_BY(mu_);
 };
 
+// Conventional short name used by callers that hold a registry by value.
+using Registry = MetricsRegistry;
+
 }  // namespace weipipe::obs

@@ -1,0 +1,295 @@
+#include "prof/bench_run.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "obs/json.hpp"
+#include "prof/profile.hpp"
+#include "sim/cost_model.hpp"
+
+namespace weipipe::prof {
+
+namespace {
+
+// The canonical bench model: small enough that the full matrix runs in
+// seconds, large enough that every chunk carries real layers at 8 ranks.
+TrainConfig bench_config(bool recompute) {
+  TrainConfig cfg;
+  cfg.model.vocab_size = 64;
+  cfg.model.dim = 32;
+  cfg.model.n_heads = 4;
+  cfg.model.n_layers = 8;
+  cfg.model.seq_len = 16;
+  cfg.model.recompute = recompute;
+  cfg.num_microbatches = 8;
+  cfg.microbatch_size = 2;
+  cfg.seq_len = 16;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+// Model FLOPs per iteration (all N microbatches): forward + 2x backward,
+// plus one re-forward when recomputing. Uses the same per-layer accounting
+// as the simulator's cost model.
+double iteration_flops(const TrainConfig& cfg) {
+  sim::ModelDims dims;
+  dims.hidden = cfg.model.dim;
+  dims.seq = cfg.seq_len;
+  dims.microbatch = cfg.microbatch_size;
+  dims.layers = cfg.model.n_layers;
+  dims.heads = cfg.model.n_heads;
+  dims.vocab = cfg.model.vocab_size;
+  const sim::CostModel cost(dims, sim::GpuSpec{}, sim::ExecPolicy{});
+  const double fwd = static_cast<double>(cfg.model.n_layers) *
+                         cost.fwd_flops_layer() +
+                     cost.head_flops();
+  const double factor = cfg.model.recompute ? 4.0 : 3.0;
+  return static_cast<double>(cfg.num_microbatches) * fwd * factor;
+}
+
+std::string case_key(const std::string& strategy, std::int64_t ranks,
+                     bool recompute) {
+  std::ostringstream oss;
+  oss << strategy << "/p" << ranks << (recompute ? "/recompute" : "/full");
+  return oss.str();
+}
+
+double field(const obs::JsonValue& obj, const std::string& key,
+             double fallback) {
+  const obs::JsonValue* v = obj.find(key);
+  return (v != nullptr && v->type == obs::JsonValue::Type::kNumber)
+             ? v->number
+             : fallback;
+}
+
+}  // namespace
+
+std::vector<BenchCase> canonical_bench_cases(bool smoke) {
+  std::vector<BenchCase> cases;
+  for (const bool recompute : {false, true}) {
+    cases.push_back({"sequential", 1, recompute});
+    for (const char* strategy : {"weipipe", "1f1b", "fsdp"}) {
+      cases.push_back({strategy, 4, recompute});
+      if (!smoke) {
+        cases.push_back({strategy, 8, recompute});
+      }
+    }
+  }
+  return cases;
+}
+
+BenchReport run_bench(const BenchOptions& options) {
+  BenchReport report;
+  report.smoke = options.smoke;
+  report.iters = options.smoke ? 1 : options.iters;
+  report.warmup_iters = options.smoke ? 0 : options.warmup_iters;
+
+  for (const BenchCase& c : canonical_bench_cases(options.smoke)) {
+    ProfileOptions popt;
+    popt.strategy = c.strategy;
+    popt.workers = c.ranks;
+    popt.iters = report.iters;
+    popt.warmup_iters = report.warmup_iters;
+    popt.train = bench_config(c.recompute);
+    const ProfileReport prof = run_profile(popt);
+
+    BenchCaseResult r;
+    r.strategy = c.strategy;
+    r.ranks = c.ranks;
+    r.recompute = c.recompute;
+    r.step_seconds = prof.measured_step_seconds;
+    if (prof.measured_step_seconds > 0.0) {
+      r.gflops = iteration_flops(popt.train) / prof.measured_step_seconds /
+                 1e9;
+    }
+    r.measured_peak_footprint_bytes = prof.measured_peak_footprint_bytes;
+    r.max_rank_peak_footprint_bytes = prof.max_rank_peak_footprint_bytes;
+    if (prof.static_weights_bound_bytes >= 0.0) {
+      r.static_bound_total_bytes = prof.static_weights_bound_bytes +
+                                   prof.static_grads_bound_bytes +
+                                   prof.static_optimizer_bound_bytes;
+    }
+    r.static_act_bound_bytes = prof.static_peak_bound_bytes;
+    for (const ProfileReport::WireKindVolume& w : prof.wire_kinds) {
+      r.wire.push_back({w.kind, w.measured_bytes, w.measured_messages,
+                        w.predicted_bytes, w.predicted_messages});
+    }
+    report.cases.push_back(std::move(r));
+  }
+  return report;
+}
+
+std::string bench_report_to_json(const BenchReport& report) {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema_version\": " + std::to_string(report.schema_version) +
+         ",\n";
+  out += std::string("  \"smoke\": ") + (report.smoke ? "true" : "false") +
+         ",\n";
+  out += "  \"iters\": " + std::to_string(report.iters) + ",\n";
+  out += "  \"warmup_iters\": " + std::to_string(report.warmup_iters) + ",\n";
+  out += "  \"cases\": [\n";
+  for (std::size_t i = 0; i < report.cases.size(); ++i) {
+    const BenchCaseResult& c = report.cases[i];
+    out += "    {\n      \"strategy\": ";
+    obs::append_json_string(out, c.strategy);
+    out += ",\n      \"ranks\": " + std::to_string(c.ranks);
+    out += std::string(",\n      \"recompute\": ") +
+           (c.recompute ? "true" : "false");
+    out += ",\n      \"step_seconds\": " + obs::json_number(c.step_seconds);
+    out += ",\n      \"gflops\": " + obs::json_number(c.gflops);
+    out += ",\n      \"measured_peak_footprint_bytes\": " +
+           obs::json_number(c.measured_peak_footprint_bytes);
+    out += ",\n      \"max_rank_peak_footprint_bytes\": " +
+           obs::json_number(c.max_rank_peak_footprint_bytes);
+    out += ",\n      \"static_bound_total_bytes\": " +
+           obs::json_number(c.static_bound_total_bytes);
+    out += ",\n      \"static_act_bound_bytes\": " +
+           obs::json_number(c.static_act_bound_bytes);
+    out += ",\n      \"wire\": [";
+    for (std::size_t j = 0; j < c.wire.size(); ++j) {
+      const BenchWireKind& w = c.wire[j];
+      out += j == 0 ? "\n" : ",\n";
+      out += "        {\"kind\": ";
+      obs::append_json_string(out, w.kind);
+      out += ", \"measured_bytes\": " + obs::json_number(w.measured_bytes);
+      out += ", \"measured_messages\": " +
+             obs::json_number(w.measured_messages);
+      out += ", \"predicted_bytes\": " + obs::json_number(w.predicted_bytes);
+      out += ", \"predicted_messages\": " +
+             obs::json_number(w.predicted_messages);
+      out += "}";
+    }
+    out += c.wire.empty() ? "]" : "\n      ]";
+    out += "\n    }";
+    out += i + 1 < report.cases.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::vector<std::string> compare_trajectories(const std::string& baseline_json,
+                                              const std::string& candidate_json,
+                                              const CompareThresholds& thr) {
+  std::vector<std::string> regressions;
+  const obs::JsonParseResult base = obs::parse_json(baseline_json);
+  const obs::JsonParseResult cand = obs::parse_json(candidate_json);
+  if (!base.ok) {
+    regressions.push_back("baseline: JSON parse error: " + base.error);
+    return regressions;
+  }
+  if (!cand.ok) {
+    regressions.push_back("candidate: JSON parse error: " + cand.error);
+    return regressions;
+  }
+  const double base_schema = field(base.value, "schema_version", -1.0);
+  const double cand_schema = field(cand.value, "schema_version", -1.0);
+  if (base_schema != kBenchSchemaVersion ||
+      cand_schema != kBenchSchemaVersion) {
+    std::ostringstream oss;
+    oss << "schema_version mismatch: baseline " << base_schema
+        << ", candidate " << cand_schema << ", expected "
+        << kBenchSchemaVersion;
+    regressions.push_back(oss.str());
+    return regressions;
+  }
+
+  // Index each document's cases by (strategy, ranks, recompute).
+  const auto index = [](const obs::JsonValue& doc) {
+    std::map<std::string, const obs::JsonValue*> by_key;
+    if (const obs::JsonValue* cases = doc.find("cases");
+        cases != nullptr && cases->is_array()) {
+      for (const obs::JsonValue& c : cases->array) {
+        if (!c.is_object()) continue;
+        const obs::JsonValue* strategy = c.find("strategy");
+        const obs::JsonValue* recompute = c.find("recompute");
+        if (strategy == nullptr) continue;
+        by_key[case_key(
+            strategy->as_string(),
+            static_cast<std::int64_t>(field(c, "ranks", 0.0)),
+            recompute != nullptr && recompute->boolean)] = &c;
+      }
+    }
+    return by_key;
+  };
+  const auto base_cases = index(base.value);
+  const auto cand_cases = index(cand.value);
+
+  std::size_t overlap = 0;
+  for (const auto& [key, cand_case] : cand_cases) {
+    const auto it = base_cases.find(key);
+    if (it == base_cases.end()) continue;
+    ++overlap;
+    const obs::JsonValue& b = *it->second;
+    const obs::JsonValue& c = *cand_case;
+
+    const double b_step = field(b, "step_seconds", -1.0);
+    const double c_step = field(c, "step_seconds", -1.0);
+    if (b_step > 0.0 && c_step > b_step * (1.0 + thr.step_rel)) {
+      std::ostringstream oss;
+      oss << key << ": step_seconds regressed " << b_step << " -> " << c_step
+          << " (tolerance +" << thr.step_rel * 100.0 << "%)";
+      regressions.push_back(oss.str());
+    }
+
+    const double b_mem = field(b, "measured_peak_footprint_bytes", -1.0);
+    const double c_mem = field(c, "measured_peak_footprint_bytes", -1.0);
+    if (b_mem > 0.0 && c_mem > b_mem * (1.0 + thr.mem_rel)) {
+      std::ostringstream oss;
+      oss << key << ": peak footprint regressed " << b_mem << " -> " << c_mem
+          << " bytes (tolerance +" << thr.mem_rel * 100.0 << "%)";
+      regressions.push_back(oss.str());
+    }
+
+    // Wire bytes are deterministic: compare per-kind against the baseline
+    // and against the candidate's own closed-form prediction.
+    std::map<std::string, double> base_wire;
+    if (const obs::JsonValue* wire = b.find("wire");
+        wire != nullptr && wire->is_array()) {
+      for (const obs::JsonValue& w : wire->array) {
+        if (const obs::JsonValue* kind = w.find("kind")) {
+          base_wire[kind->as_string()] = field(w, "measured_bytes", -1.0);
+        }
+      }
+    }
+    if (const obs::JsonValue* wire = c.find("wire");
+        wire != nullptr && wire->is_array()) {
+      for (const obs::JsonValue& w : wire->array) {
+        const obs::JsonValue* kind = w.find("kind");
+        if (kind == nullptr) continue;
+        const double measured = field(w, "measured_bytes", -1.0);
+        if (const auto bw = base_wire.find(kind->as_string());
+            bw != base_wire.end() && bw->second >= 0.0 && measured >= 0.0) {
+          const double rel = std::abs(measured - bw->second) /
+                             std::max(bw->second, 1.0);
+          if (rel > thr.wire_rel) {
+            std::ostringstream oss;
+            oss << key << ": wire." << kind->as_string() << " bytes changed "
+                << bw->second << " -> " << measured << " (tolerance "
+                << thr.wire_rel * 100.0 << "%)";
+            regressions.push_back(oss.str());
+          }
+        }
+        const double predicted = field(w, "predicted_bytes", -1.0);
+        if (predicted >= 0.0 && measured >= 0.0 && measured != predicted) {
+          std::ostringstream oss;
+          oss << key << ": wire." << kind->as_string() << " measured "
+              << measured << " != closed-form " << predicted;
+          regressions.push_back(oss.str());
+        }
+      }
+    }
+  }
+
+  if (overlap == 0) {
+    regressions.push_back(
+        "no overlapping cases between baseline and candidate (nothing was "
+        "compared)");
+  }
+  return regressions;
+}
+
+}  // namespace weipipe::prof

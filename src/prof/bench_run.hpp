@@ -1,0 +1,108 @@
+// Bench trajectory harness: runs a canonical strategy matrix through
+// run_profile and emits one schema-versioned JSON document per run —
+// step time, GFLOP/s, per-MsgKind wire bytes against the closed forms,
+// and the ledger's full-footprint peak against the static bounds.
+//
+// The intent is a *trajectory*: each PR appends/refreshes
+// artifacts/BENCH_trajectory.json, and tools/bench_compare diffs two such
+// files with per-metric thresholds so CI catches perf and footprint
+// regressions (and any measured-vs-predicted wire drift, which is exact
+// by construction) without anyone eyeballing tables.
+//
+// `weipipe_cli bench` is a thin wrapper over run_bench(); tests and the
+// compare gate drive compare_trajectories() directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace weipipe::prof {
+
+// Bumped whenever the JSON layout changes incompatibly; bench_compare
+// refuses to diff mismatched versions.
+inline constexpr int kBenchSchemaVersion = 1;
+
+struct BenchOptions {
+  bool smoke = false;             // trimmed matrix (4-rank cases, 1 iter)
+  std::int64_t iters = 2;         // measured iterations per case
+  std::int64_t warmup_iters = 1;  // untimed warmup per case
+};
+
+// One (strategy, ranks, recompute) point of the canonical matrix.
+struct BenchCase {
+  std::string strategy;
+  std::int64_t ranks = 1;
+  bool recompute = false;
+};
+
+struct BenchWireKind {
+  std::string kind;  // sched::to_string(MsgKind)
+  double measured_bytes = 0.0;
+  double measured_messages = 0.0;
+  double predicted_bytes = -1.0;  // negative = no closed form
+  double predicted_messages = -1.0;
+};
+
+struct BenchCaseResult {
+  std::string strategy;
+  std::int64_t ranks = 1;
+  bool recompute = false;
+
+  double step_seconds = 0.0;  // mean measured iteration wall time
+  double gflops = 0.0;        // model FLOPs / step_seconds / 1e9
+
+  // Ledger full-footprint peak (all categories, all ranks) and the static
+  // bounds it closes against.
+  double measured_peak_footprint_bytes = 0.0;
+  double max_rank_peak_footprint_bytes = 0.0;
+  double static_bound_total_bytes = -1.0;  // weights + grads + optimizer
+  double static_act_bound_bytes = -1.0;    // analyzer per-rank activation max
+
+  std::vector<BenchWireKind> wire;
+};
+
+struct BenchReport {
+  int schema_version = kBenchSchemaVersion;
+  bool smoke = false;
+  std::int64_t iters = 0;
+  std::int64_t warmup_iters = 0;
+  std::vector<BenchCaseResult> cases;
+};
+
+// The canonical matrix: sequential at 1 rank plus {weipipe, 1f1b, fsdp} at
+// {4, 8} ranks (smoke: 4 only), each with and without recomputation, over a
+// fixed small model (deterministic seed).
+std::vector<BenchCase> canonical_bench_cases(bool smoke);
+
+// Runs every case through run_profile. Each case takes well under a second
+// at the canonical model size.
+BenchReport run_bench(const BenchOptions& options);
+
+// Serializes a report to the trajectory JSON document (ends with '\n').
+std::string bench_report_to_json(const BenchReport& report);
+
+// Per-metric relative regression thresholds for compare_trajectories.
+// Wall-time metrics are noisy; wire bytes are deterministic and compared
+// exactly by default.
+struct CompareThresholds {
+  double step_rel = 0.5;  // candidate step time may exceed baseline by 50%
+  double mem_rel = 0.25;  // footprint peak may exceed baseline by 25%
+  double wire_rel = 0.0;  // wire bytes must match exactly
+
+  // Smoke runs measure one iteration on shared CI runners: wide timing
+  // slack, but wire bytes stay exact.
+  static CompareThresholds smoke() { return {3.0, 0.5, 0.0}; }
+};
+
+// Diffs two trajectory JSON documents over their overlapping cases (keyed by
+// strategy/ranks/recompute). Returns one human-readable line per regression;
+// empty = pass. Parse failures, schema mismatches, and an empty case
+// intersection are reported as regressions rather than silently passing.
+// Also cross-checks each candidate case's measured wire bytes against its
+// own recorded closed-form prediction.
+std::vector<std::string> compare_trajectories(const std::string& baseline_json,
+                                              const std::string& candidate_json,
+                                              const CompareThresholds& thr);
+
+}  // namespace weipipe::prof

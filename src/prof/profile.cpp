@@ -14,9 +14,11 @@
 #include "baselines/pipeline_trainer.hpp"
 #include "comm/fabric.hpp"
 #include "common/check.hpp"
+#include "core/accounting.hpp"
 #include "core/weipipe_trainer.hpp"
 #include "core/wire_tags.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 #include "sched/builders.hpp"
@@ -95,6 +97,11 @@ sched::Program build_schedule_backed(const ProfileOptions& options) {
 }
 
 // ---- trainer-backed path ----------------------------------------------------
+
+// acct speaks the canonical trainer names; prof accepts one alias.
+std::string acct_strategy(const std::string& s) {
+  return s == "weipipe-interleave" ? "weipipe" : s;
+}
 
 comm::Fabric* trainer_fabric(Trainer& trainer) {
   if (auto* w = dynamic_cast<WeiPipeTrainer*>(&trainer)) {
@@ -264,6 +271,35 @@ void fill_metrics(obs::MetricsRegistry& registry, const ProfileReport& report,
     }
   }
 
+  for (const ProfileReport::LedgerKindPeak& k : report.ledger_kinds) {
+    registry.gauge("mem.ledger." + k.kind + ".peak_bytes").set(k.peak_bytes);
+    registry.gauge("mem.ledger." + k.kind + ".live_bytes").set(k.live_bytes);
+  }
+  if (report.measured_peak_footprint_bytes >= 0.0) {
+    registry.gauge("mem.ledger.total_peak_bytes")
+        .set(report.measured_peak_footprint_bytes);
+    registry.gauge("mem.ledger.max_rank_peak_bytes")
+        .set(report.max_rank_peak_footprint_bytes);
+  }
+  if (report.static_weights_bound_bytes >= 0.0) {
+    registry.gauge("mem.bound.weights_bytes")
+        .set(report.static_weights_bound_bytes);
+    registry.gauge("mem.bound.weight_grads_bytes")
+        .set(report.static_grads_bound_bytes);
+    registry.gauge("mem.bound.optimizer_bytes")
+        .set(report.static_optimizer_bound_bytes);
+  }
+  for (const ProfileReport::WireKindVolume& w : report.wire_kinds) {
+    registry.counter("wire.kind." + w.kind + ".bytes")
+        .add(static_cast<std::uint64_t>(w.measured_bytes));
+    registry.counter("wire.kind." + w.kind + ".messages")
+        .add(static_cast<std::uint64_t>(w.measured_messages));
+    if (w.predicted_bytes >= 0.0) {
+      registry.gauge("wire.kind." + w.kind + ".predicted_bytes")
+          .set(w.predicted_bytes);
+    }
+  }
+
   registry.gauge("step.seconds.measured.mean").set(report.measured_step_seconds);
   registry.gauge("bubble.measured").set(report.measured_bubble);
   if (report.predicted_step_seconds >= 0.0) {
@@ -373,9 +409,36 @@ std::string ProfileReport::summary() const {
                 : "  VIOLATION (measured > bound)");
   }
   oss << '\n';
+  if (measured_peak_footprint_bytes >= 0.0) {
+    const double bound_total =
+        (static_weights_bound_bytes < 0.0)
+            ? -1.0
+            : static_weights_bound_bytes + static_grads_bound_bytes +
+                  static_optimizer_bound_bytes;
+    oss << "  footprint  measured peak "
+        << format_bytes(measured_peak_footprint_bytes) << "  worst rank "
+        << format_bytes(max_rank_peak_footprint_bytes)
+        << "  static weights+grads+opt bound " << format_bytes(bound_total)
+        << '\n';
+    for (const LedgerKindPeak& k : ledger_kinds) {
+      if (k.peak_bytes <= 0.0 && k.live_bytes <= 0.0) continue;
+      oss << "    mem." << k.kind << "  peak " << format_bytes(k.peak_bytes)
+          << "  residual " << format_bytes(k.live_bytes) << '\n';
+    }
+  }
   oss << "  wire       " << wire_messages << " message(s), "
       << format_bytes(static_cast<double>(wire_bytes))
       << ", max in flight " << max_in_flight << '\n';
+  for (const WireKindVolume& w : wire_kinds) {
+    oss << "    wire." << w.kind << "  measured "
+        << format_bytes(w.measured_bytes) << " in "
+        << static_cast<std::uint64_t>(w.measured_messages) << " msg(s)";
+    if (w.predicted_bytes >= 0.0) {
+      oss << "  predicted " << format_bytes(w.predicted_bytes)
+          << (w.measured_bytes == w.predicted_bytes ? "  MATCH" : "  MISMATCH");
+    }
+    oss << '\n';
+  }
   oss << "  spans      " << spans.size() << " recorded, " << dropped_spans
       << " dropped";
   if (dropped_spans > 0) {
@@ -403,6 +466,14 @@ ProfileReport run_profile(const ProfileOptions& options) {
   obs::Recorder recorder(
       {.ring_capacity = options.ring_capacity,
        .record_kernels = options.record_kernels});
+
+  // Memory ledger: enabled for the run, reported as deltas over the live
+  // baseline so earlier runs in this process don't smear the numbers.
+  obs::MemoryLedger& ledger = obs::ledger();
+  const bool ledger_was_enabled = ledger.enabled();
+  ledger.set_enabled(true);
+  ledger.reset_peaks();
+  const obs::LedgerSnapshot ledger_baseline = ledger.snapshot();
 
   double bubble_sum = 0.0;
   std::int64_t bubble_count = 0;
@@ -464,6 +535,18 @@ ProfileReport run_profile(const ProfileOptions& options) {
     TrainConfig cfg = options.train;
     cfg.validate();
     report.ranks = options.strategy == "sequential" ? 1 : options.workers;
+
+    // Parameter-derived static bounds for the measured footprint to close
+    // against (the activation side is covered by static_peak_bound_bytes).
+    const acct::FootprintBounds bounds = acct::static_footprint_bounds(
+        acct_strategy(options.strategy), cfg, report.ranks);
+    report.static_weights_bound_bytes =
+        static_cast<double>(bounds.weights_bytes);
+    report.static_grads_bound_bytes =
+        static_cast<double>(bounds.weight_grads_bytes);
+    report.static_optimizer_bound_bytes =
+        static_cast<double>(bounds.optimizer_bytes);
+
     std::unique_ptr<Trainer> trainer =
         make_trainer(options.strategy, cfg, options.workers);
     SyntheticDataset data(cfg.model.vocab_size, cfg.seed);
@@ -493,6 +576,31 @@ ProfileReport run_profile(const ProfileOptions& options) {
         if (comm::Fabric* fabric = trainer_fabric(*trainer)) {
           pair_stats = fabric->stats_matrix();
           report.max_in_flight = fabric->max_in_flight();
+
+          // Per-kind wire ledger for the last iteration, against the paper's
+          // closed-form volumes when the config sits in the envelope.
+          const std::string acct_name = acct_strategy(options.strategy);
+          acct::KindVolumes measured = acct::measured_kind_volumes(*fabric);
+          acct::KindVolumes predicted;
+          if (acct::has_predicted_kind_volumes(acct_name, cfg)) {
+            predicted =
+                acct::predicted_kind_volumes(acct_name, cfg, report.ranks);
+            for (const auto& [kind, kv] : predicted) {
+              measured[kind];  // surface predicted-but-unmeasured kinds too
+              (void)kv;
+            }
+          }
+          for (const auto& [kind, kv] : measured) {
+            ProfileReport::WireKindVolume w;
+            w.kind = sched::to_string(kind);
+            w.measured_bytes = static_cast<double>(kv.bytes);
+            w.measured_messages = static_cast<double>(kv.messages);
+            if (auto it = predicted.find(kind); it != predicted.end()) {
+              w.predicted_bytes = static_cast<double>(it->second.bytes);
+              w.predicted_messages = static_cast<double>(it->second.messages);
+            }
+            report.wire_kinds.push_back(std::move(w));
+          }
         }
       }
       report.spans.insert(report.spans.end(),
@@ -521,6 +629,28 @@ ProfileReport run_profile(const ProfileOptions& options) {
       }
     }
   }
+
+  // Final ledger snapshot: the trainer (if any) is destroyed by now, so live
+  // deltas show post-teardown residue (≈0 when nothing leaked) while peaks
+  // capture the in-flight footprint.
+  {
+    const obs::LedgerSnapshot snap = ledger.snapshot();
+    for (int k = 0; k < obs::kNumMemKinds; ++k) {
+      ProfileReport::LedgerKindPeak entry;
+      entry.kind = obs::to_string(static_cast<obs::MemKind>(k));
+      entry.live_bytes = static_cast<double>(std::max<std::int64_t>(
+          0, snap.kinds[k].live_bytes - ledger_baseline.kinds[k].live_bytes));
+      entry.peak_bytes = static_cast<double>(std::max<std::int64_t>(
+          0, snap.kinds[k].peak_bytes - ledger_baseline.kinds[k].live_bytes));
+      report.ledger_kinds.push_back(std::move(entry));
+    }
+    report.measured_peak_footprint_bytes =
+        static_cast<double>(std::max<std::int64_t>(
+            0, snap.total_peak_bytes - ledger_baseline.total_live_bytes));
+    report.max_rank_peak_footprint_bytes =
+        static_cast<double>(snap.max_rank_peak_bytes);
+  }
+  ledger.set_enabled(ledger_was_enabled);
 
   report.measured_step_seconds /= static_cast<double>(options.iters);
   if (bubble_count > 0) {

@@ -73,6 +73,35 @@ struct ProfileReport {
   double predicted_bubble = -1.0;
   double static_peak_bound_bytes = -1.0;  // analyzer max per-rank bound
 
+  // Full-footprint memory ledger (obs/ledger.hpp), enabled for the run's
+  // duration. Peaks are deltas over the pre-run live baseline, so residue
+  // from earlier runs in the same process does not smear the numbers.
+  struct LedgerKindPeak {
+    std::string kind;         // obs::to_string(MemKind)
+    double live_bytes = 0.0;  // residual after teardown (≈0 = leak-free)
+    double peak_bytes = 0.0;
+  };
+  std::vector<LedgerKindPeak> ledger_kinds;
+  double measured_peak_footprint_bytes = -1.0;  // all categories, all ranks
+  double max_rank_peak_footprint_bytes = -1.0;  // worst single rank bucket
+  // Parameter-derived static bounds, summed over ranks (trainer-backed
+  // only; see acct::static_footprint_bounds). Negative = unavailable.
+  double static_weights_bound_bytes = -1.0;
+  double static_grads_bound_bytes = -1.0;
+  double static_optimizer_bound_bytes = -1.0;
+
+  // Per-MsgKind wire ledger over the last measured iteration (trainer-backed
+  // only), against the paper's closed-form volumes when the config sits in
+  // the analytical envelope (negative predicted = unavailable).
+  struct WireKindVolume {
+    std::string kind;  // sched::to_string(MsgKind)
+    double measured_bytes = 0.0;
+    double measured_messages = 0.0;
+    double predicted_bytes = -1.0;
+    double predicted_messages = -1.0;
+  };
+  std::vector<WireKindVolume> wire_kinds;
+
   // Every span from the traced iterations (trace_json renders these), and
   // the last iteration converted to the simulator's record shape (feeds the
   // ASCII timeline / SVG renderers).

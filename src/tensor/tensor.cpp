@@ -48,7 +48,8 @@ Tensor Tensor::from_data(std::vector<std::int64_t> shape,
       "shape/data mismatch");
   Tensor t;
   t.shape_ = std::move(shape);
-  t.data_ = std::move(data);
+  // Copy (allocator types differ): the payload lands in tracked storage.
+  t.data_.assign(data.begin(), data.end());
   return t;
 }
 

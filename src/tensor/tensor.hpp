@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/ledger.hpp"
 
 namespace weipipe {
 
@@ -81,7 +82,10 @@ class Tensor {
 
  private:
   std::vector<std::int64_t> shape_;
-  std::vector<float> data_;
+  // Tensor storage routes through the memory ledger: when accounting is
+  // enabled, each buffer is attributed to the allocating thread's MemScope
+  // category and RankScope rank (default scratch / unranked).
+  std::vector<float, obs::TrackedAllocator<float>> data_;
 };
 
 // Returns max_i |a_i - b_i|; shapes must match.

@@ -39,6 +39,7 @@
 #include "baselines/factory.hpp"
 #include "baselines/fsdp_trainer.hpp"
 #include "baselines/pipeline_trainer.hpp"
+#include "core/accounting.hpp"
 #include "core/checkpoint.hpp"
 #include "core/sequential_trainer.hpp"
 #include "core/trainer.hpp"
@@ -61,9 +62,12 @@
 
 // Observability & profiling
 #include "obs/chrome_trace.hpp"
+#include "obs/json.hpp"
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 #include "obs/span.hpp"
+#include "prof/bench_run.hpp"
 #include "prof/profile.hpp"
 
 namespace weipipe {

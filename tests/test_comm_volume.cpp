@@ -6,6 +6,7 @@
 
 #include "baselines/fsdp_trainer.hpp"
 #include "baselines/pipeline_trainer.hpp"
+#include "core/accounting.hpp"
 #include "core/weipipe_trainer.hpp"
 
 namespace weipipe {
@@ -138,6 +139,82 @@ TEST(CommVolume, InterleaveBeatsNaivePerToken) {
   const std::uint64_t bi = iteration_bytes(inter, cfg);
   const std::uint64_t bn = iteration_bytes(naive, cfg);
   EXPECT_GT(bn, bi * 3 / 2);
+}
+
+// ---- closed forms (acct::predicted_kind_volumes) ----------------------------
+// The per-MsgKind wire ledger must equal the paper-style closed forms
+// byte-for-byte and message-for-message, and the closed forms must cover
+// every byte the fabric moved (no unclassified traffic).
+
+void expect_matches_closed_form(Trainer& trainer, comm::Fabric& fabric,
+                                const std::string& strategy,
+                                const TrainConfig& cfg, std::int64_t workers) {
+  SyntheticDataset data(cfg.model.vocab_size, cfg.seed);
+  const IterationResult res = trainer.train_iteration(data, 0);
+
+  ASSERT_TRUE(acct::has_predicted_kind_volumes(strategy, cfg));
+  const acct::KindVolumes measured = acct::measured_kind_volumes(fabric);
+  const acct::KindVolumes predicted =
+      acct::predicted_kind_volumes(strategy, cfg, workers);
+
+  std::uint64_t predicted_total = 0;
+  for (const auto& [kind, kv] : predicted) {
+    const auto it = measured.find(kind);
+    ASSERT_NE(it, measured.end()) << "no traffic of kind "
+                                  << sched::to_string(kind);
+    EXPECT_EQ(it->second.bytes, kv.bytes) << sched::to_string(kind);
+    EXPECT_EQ(it->second.messages, kv.messages) << sched::to_string(kind);
+    predicted_total += kv.bytes;
+  }
+  EXPECT_EQ(measured.size(), predicted.size());
+  EXPECT_EQ(res.wire_bytes, predicted_total);  // every byte classified
+}
+
+TEST(CommVolume, ClosedFormMatchesWeiPipeInterleave) {
+  const TrainConfig cfg = base_config(2, 16);
+  WeiPipeTrainer t(cfg, 4);
+  expect_matches_closed_form(t, t.fabric(), "weipipe", cfg, 4);
+}
+
+TEST(CommVolume, ClosedFormMatchesWeiPipeNaive) {
+  const TrainConfig cfg = base_config(2, 16);
+  WeiPipeTrainer t(cfg, 4, {.mode = WeiPipeMode::kNaive});
+  expect_matches_closed_form(t, t.fabric(), "weipipe-naive", cfg, 4);
+}
+
+TEST(CommVolume, ClosedFormMatchesWeiPipeFp16) {
+  TrainConfig cfg = base_config(2, 16);
+  cfg.precision.weights = WirePrecision::Fp16;
+  cfg.precision.weight_grads = WirePrecision::Bf16;
+  WeiPipeTrainer t(cfg, 4);
+  expect_matches_closed_form(t, t.fabric(), "weipipe", cfg, 4);
+}
+
+TEST(CommVolume, ClosedFormMatches1F1B) {
+  const TrainConfig cfg = base_config(2, 16);
+  PipelineTrainer t(cfg, 4);
+  expect_matches_closed_form(t, t.fabric(), "1f1b", cfg, 4);
+}
+
+TEST(CommVolume, ClosedFormMatchesGPipe) {
+  const TrainConfig cfg = base_config(2, 16);
+  PipelineTrainer t(cfg, 4, {.mode = PipelineMode::kGPipe});
+  expect_matches_closed_form(t, t.fabric(), "gpipe", cfg, 4);
+}
+
+TEST(CommVolume, ClosedFormMatchesFsdp) {
+  const TrainConfig cfg = base_config(2, 16);
+  FsdpTrainer t(cfg, 4);
+  expect_matches_closed_form(t, t.fabric(), "fsdp", cfg, 4);
+}
+
+TEST(CommVolume, ClosedFormUnavailableOutsideEnvelope) {
+  TrainConfig cfg = base_config(2, 16);
+  EXPECT_TRUE(acct::has_predicted_kind_volumes("weipipe", cfg));
+  cfg.clip.max_norm = 1.0f;  // clipping adds scalar all-reduce traffic
+  EXPECT_FALSE(acct::has_predicted_kind_volumes("weipipe", cfg));
+  EXPECT_FALSE(
+      acct::has_predicted_kind_volumes("not-a-strategy", base_config(2, 16)));
 }
 
 TEST(CommVolume, ActivationGradPrecisionAppliesToPipeline) {

@@ -1,0 +1,269 @@
+// Memory-ledger tests: allocator charge/credit symmetry, scope attribution,
+// MemCharge lifecycle, peak tracking, and — the property everything else
+// rides on — exact balance: constructing, training, and destroying any
+// trainer returns every category to its pre-construction live bytes (no
+// leaked charges, no double credits), including the fabric's mailbox
+// residency.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "baselines/factory.hpp"
+#include "comm/fabric.hpp"
+#include "core/trainer.hpp"
+#include "nn/microbatch.hpp"
+#include "obs/ledger.hpp"
+#include "tensor/tensor.hpp"
+
+namespace weipipe {
+namespace {
+
+using obs::MemCharge;
+using obs::MemKind;
+using obs::MemScope;
+
+// Enables the ledger for one test and restores the previous state.
+class LedgerOn {
+ public:
+  LedgerOn() : prev_(obs::ledger().enabled()) {
+    obs::ledger().set_enabled(true);
+  }
+  ~LedgerOn() { obs::ledger().set_enabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+using TrackedVec = std::vector<float, obs::TrackedAllocator<float>>;
+
+TEST(Ledger, TrackedAllocationChargesAndCreditsItsScope) {
+  LedgerOn on;
+  const std::int64_t before = obs::ledger().live_bytes(MemKind::kWeights);
+  {
+    MemScope scope(MemKind::kWeights);
+    TrackedVec v(1024);
+    EXPECT_GE(obs::ledger().live_bytes(MemKind::kWeights),
+              before + 1024 * static_cast<std::int64_t>(sizeof(float)));
+  }
+  EXPECT_EQ(obs::ledger().live_bytes(MemKind::kWeights), before);
+}
+
+TEST(Ledger, DefaultCategoryIsScratch) {
+  LedgerOn on;
+  EXPECT_EQ(obs::current_mem_kind(), MemKind::kScratch);
+  const std::int64_t before = obs::ledger().live_bytes(MemKind::kScratch);
+  TrackedVec v(256);
+  EXPECT_GT(obs::ledger().live_bytes(MemKind::kScratch), before);
+  {
+    MemScope scope(MemKind::kActivations);
+    EXPECT_EQ(obs::current_mem_kind(), MemKind::kActivations);
+    {
+      MemScope inner(MemKind::kOptimizer);
+      EXPECT_EQ(obs::current_mem_kind(), MemKind::kOptimizer);
+    }
+    EXPECT_EQ(obs::current_mem_kind(), MemKind::kActivations);
+  }
+  EXPECT_EQ(obs::current_mem_kind(), MemKind::kScratch);
+}
+
+TEST(Ledger, FreeAfterScopeCloseCreditsTheChargedKind) {
+  // The header records the charge at allocation time, so the credit lands on
+  // the right category no matter where the buffer dies.
+  LedgerOn on;
+  const std::int64_t before = obs::ledger().live_bytes(MemKind::kOptimizer);
+  TrackedVec v;
+  {
+    MemScope scope(MemKind::kOptimizer);
+    v.resize(512);
+  }
+  EXPECT_GT(obs::ledger().live_bytes(MemKind::kOptimizer), before);
+  v = TrackedVec();  // freed outside the scope
+  EXPECT_EQ(obs::ledger().live_bytes(MemKind::kOptimizer), before);
+}
+
+TEST(Ledger, DisabledLedgerChargesNothing) {
+  obs::ledger().set_enabled(false);
+  const std::int64_t before = obs::ledger().total_live_bytes();
+  MemScope scope(MemKind::kWeights);
+  TrackedVec v(4096);
+  MemCharge charge(MemKind::kOptimizer, 1 << 20);
+  EXPECT_EQ(obs::ledger().total_live_bytes(), before);
+  EXPECT_EQ(charge.bytes(), 0);
+}
+
+TEST(Ledger, ChargeSurvivesDisableBetweenAllocAndFree) {
+  // Disabling mid-flight must not unbalance the books: whatever was charged
+  // is credited on free via the recorded header/charge state.
+  LedgerOn on;
+  const std::int64_t before = obs::ledger().live_bytes(MemKind::kWeights);
+  {
+    MemScope scope(MemKind::kWeights);
+    TrackedVec v(1024);
+    MemCharge charge(MemKind::kWeights, 4096);
+    obs::ledger().set_enabled(false);
+  }
+  obs::ledger().set_enabled(true);
+  EXPECT_EQ(obs::ledger().live_bytes(MemKind::kWeights), before);
+}
+
+TEST(Ledger, MemChargeSetResizeRelease) {
+  LedgerOn on;
+  const std::int64_t before = obs::ledger().live_bytes(MemKind::kWeightGrads);
+  MemCharge charge;
+  charge.set(MemKind::kWeightGrads, 1000);
+  EXPECT_EQ(obs::ledger().live_bytes(MemKind::kWeightGrads), before + 1000);
+  charge.resize(1500);
+  EXPECT_EQ(obs::ledger().live_bytes(MemKind::kWeightGrads), before + 1500);
+  charge.resize(200);
+  EXPECT_EQ(obs::ledger().live_bytes(MemKind::kWeightGrads), before + 200);
+  EXPECT_EQ(charge.bytes(), 200);
+  charge.release();
+  EXPECT_EQ(obs::ledger().live_bytes(MemKind::kWeightGrads), before);
+  EXPECT_EQ(charge.bytes(), 0);
+}
+
+TEST(Ledger, MemChargeSetWhileDisabledRemembersKindForResize) {
+  obs::ledger().set_enabled(false);
+  MemCharge charge;
+  charge.set(MemKind::kOptimizer, 100);  // records the kind, charges nothing
+  LedgerOn on;
+  const std::int64_t before = obs::ledger().live_bytes(MemKind::kOptimizer);
+  charge.resize(300);
+  EXPECT_EQ(obs::ledger().live_bytes(MemKind::kOptimizer), before + 300);
+  charge.release();
+  EXPECT_EQ(obs::ledger().live_bytes(MemKind::kOptimizer), before);
+}
+
+TEST(Ledger, MemChargeMoveTransfersOwnership) {
+  LedgerOn on;
+  const std::int64_t before = obs::ledger().live_bytes(MemKind::kWeights);
+  MemCharge a(MemKind::kWeights, 500);
+  MemCharge b = std::move(a);
+  EXPECT_EQ(a.bytes(), 0);
+  EXPECT_EQ(b.bytes(), 500);
+  EXPECT_EQ(obs::ledger().live_bytes(MemKind::kWeights), before + 500);
+  b = MemCharge();
+  EXPECT_EQ(obs::ledger().live_bytes(MemKind::kWeights), before);
+}
+
+TEST(Ledger, PeaksTrackHighWaterAndReset) {
+  LedgerOn on;
+  obs::ledger().reset_peaks();
+  const std::int64_t live0 = obs::ledger().live_bytes(MemKind::kScratch);
+  EXPECT_EQ(obs::ledger().peak_bytes(MemKind::kScratch), live0);
+  {
+    MemCharge big(MemKind::kScratch, 1 << 20);
+    EXPECT_GE(obs::ledger().peak_bytes(MemKind::kScratch), live0 + (1 << 20));
+  }
+  // Live fell back; the peak holds until reset.
+  EXPECT_EQ(obs::ledger().live_bytes(MemKind::kScratch), live0);
+  EXPECT_GE(obs::ledger().peak_bytes(MemKind::kScratch), live0 + (1 << 20));
+  obs::ledger().reset_peaks();
+  EXPECT_EQ(obs::ledger().peak_bytes(MemKind::kScratch), live0);
+}
+
+TEST(Ledger, SnapshotTotalsAreConsistent) {
+  LedgerOn on;
+  obs::ledger().reset_peaks();
+  MemCharge w(MemKind::kWeights, 100);
+  MemCharge o(MemKind::kOptimizer, 200);
+  const obs::LedgerSnapshot snap = obs::ledger().snapshot();
+  std::int64_t sum = 0;
+  for (const obs::MemKindSnapshot& k : snap.kinds) {
+    sum += k.live_bytes;
+  }
+  EXPECT_EQ(sum, snap.total_live_bytes);
+  EXPECT_GE(snap.total_peak_bytes, snap.total_live_bytes);
+  EXPECT_LE(snap.max_rank_peak_bytes, snap.total_peak_bytes);
+}
+
+TEST(Ledger, TensorStorageIsTracked) {
+  LedgerOn on;
+  const std::int64_t before = obs::ledger().live_bytes(MemKind::kActivations);
+  {
+    MemScope scope(MemKind::kActivations);
+    const Tensor t = Tensor::zeros({64, 64});
+    EXPECT_GE(obs::ledger().live_bytes(MemKind::kActivations),
+              before + 64 * 64 * static_cast<std::int64_t>(sizeof(float)));
+  }
+  EXPECT_EQ(obs::ledger().live_bytes(MemKind::kActivations), before);
+}
+
+// ---- fabric mailbox residency -----------------------------------------------
+
+TEST(Ledger, FabricMailboxChargesCommBuffersUntilReceived) {
+  LedgerOn on;
+  const std::int64_t before = obs::ledger().live_bytes(MemKind::kCommBuffers);
+  comm::Fabric fabric(2);
+  fabric.endpoint(0).send(1, 7, std::vector<std::uint8_t>(1000));
+  EXPECT_EQ(obs::ledger().live_bytes(MemKind::kCommBuffers), before + 1000);
+  (void)fabric.endpoint(1).recv(0, 7);
+  EXPECT_EQ(obs::ledger().live_bytes(MemKind::kCommBuffers), before);
+}
+
+TEST(Ledger, FabricTeardownDrainsUnreceivedMessages) {
+  LedgerOn on;
+  const std::int64_t before = obs::ledger().live_bytes(MemKind::kCommBuffers);
+  {
+    comm::Fabric fabric(2);
+    fabric.endpoint(0).send(1, 7, std::vector<std::uint8_t>(1000));
+    fabric.endpoint(1).send(0, 8, std::vector<std::uint8_t>(500));
+    EXPECT_EQ(obs::ledger().live_bytes(MemKind::kCommBuffers), before + 1500);
+  }
+  EXPECT_EQ(obs::ledger().live_bytes(MemKind::kCommBuffers), before);
+}
+
+// ---- trainer balance --------------------------------------------------------
+// Construct + train + destroy must return every category to its baseline:
+// the masters/Adam/grad charges release, tensors free, mailboxes drain.
+
+class LedgerTrainerBalance : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LedgerTrainerBalance, ConstructTrainDestroyBalances) {
+  LedgerOn on;
+  TrainConfig cfg;
+  cfg.model.vocab_size = 32;
+  cfg.model.dim = 32;
+  cfg.model.n_layers = 4;
+  cfg.model.n_heads = 4;
+  cfg.model.seq_len = 16;
+  cfg.num_microbatches = 8;
+  cfg.microbatch_size = 2;
+  cfg.seq_len = 16;
+  cfg.seed = 3;
+
+  const obs::LedgerSnapshot before = obs::ledger().snapshot();
+  {
+    std::unique_ptr<Trainer> trainer = make_trainer(GetParam(), cfg, 4);
+    SyntheticDataset data(cfg.model.vocab_size, cfg.seed);
+    (void)trainer->train_iteration(data, 0);
+    (void)trainer->train_iteration(data, 1);
+    // While alive, the persistent state must be on the books.
+    EXPECT_GT(obs::ledger().live_bytes(MemKind::kWeights),
+              before.kinds[static_cast<int>(MemKind::kWeights)].live_bytes);
+    EXPECT_GT(obs::ledger().live_bytes(MemKind::kOptimizer),
+              before.kinds[static_cast<int>(MemKind::kOptimizer)].live_bytes);
+  }
+  const obs::LedgerSnapshot after = obs::ledger().snapshot();
+  for (int k = 0; k < obs::kNumMemKinds; ++k) {
+    EXPECT_EQ(after.kinds[k].live_bytes, before.kinds[k].live_bytes)
+        << obs::to_string(static_cast<obs::MemKind>(k));
+  }
+  EXPECT_EQ(after.total_live_bytes, before.total_live_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTrainers, LedgerTrainerBalance,
+                         ::testing::Values("sequential", "weipipe",
+                                           "weipipe-naive", "1f1b", "gpipe",
+                                           "fsdp"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace weipipe

@@ -13,8 +13,10 @@
 
 #include "obs/chrome_trace.hpp"
 #include "obs/json.hpp"
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
+#include "prof/bench_run.hpp"
 #include "prof/profile.hpp"
 #include "trace/export.hpp"
 #include "trace/runtime.hpp"
@@ -194,6 +196,25 @@ TEST(Metrics, RegistryJsonRoundTrip) {
   ASSERT_TRUE(after.ok);
   EXPECT_EQ(after.value.find("counters")->find("wire.bytes")->as_number(),
             0.0);
+}
+
+TEST(Metrics, RegistryAliasResetClearsEveryInstrumentFamily) {
+  // obs::Registry is the conventional short name; reset() zeroes counters,
+  // clears gauges, and empties histograms without dropping registration.
+  obs::Registry registry;
+  registry.counter("c").add(7);
+  registry.gauge("g").set(1.5);
+  registry.histogram("h").observe(2.0);
+  registry.reset();
+
+  const obs::JsonParseResult parsed = obs::parse_json(registry.to_json());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.value.find("counters")->find("c")->as_number(), 0.0);
+  const obs::JsonValue* h = parsed.value.find("histograms")->find("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->find("count")->as_number(), 0.0);
+  registry.counter("c").add(3);  // still usable after reset
+  EXPECT_EQ(registry.counter("c").value(), 3u);
 }
 
 // ---- chrome trace golden round-trip ----------------------------------------
@@ -457,6 +478,145 @@ TEST(Profile, TrainerBackedWeiPipeMeasuredPeakWithinDerivedBound) {
     }
   }
   EXPECT_TRUE(found_step);
+
+  // ---- full-footprint ledger fields -----------------------------------------
+  ASSERT_EQ(report.ledger_kinds.size(),
+            static_cast<std::size_t>(obs::kNumMemKinds));
+  double kinds_peak_sum = 0.0;
+  for (const prof::ProfileReport::LedgerKindPeak& k : report.ledger_kinds) {
+    EXPECT_GE(k.peak_bytes, 0.0) << k.kind;
+    // A leak-free run tears down to (near) its baseline.
+    EXPECT_EQ(k.live_bytes, 0.0) << k.kind;
+    kinds_peak_sum += k.peak_bytes;
+  }
+  EXPECT_GT(report.measured_peak_footprint_bytes, 0.0);
+  // The coincident total peak can't exceed the sum of per-kind peaks.
+  EXPECT_LE(report.measured_peak_footprint_bytes, kinds_peak_sum + 0.5);
+  EXPECT_GT(report.max_rank_peak_footprint_bytes, 0.0);
+  // Static weight/optimizer bounds exist for trainer-backed runs and cover
+  // the persistent categories' peaks.
+  ASSERT_GE(report.static_weights_bound_bytes, 0.0);
+  ASSERT_GE(report.static_optimizer_bound_bytes, 0.0);
+  for (const prof::ProfileReport::LedgerKindPeak& k : report.ledger_kinds) {
+    if (k.kind == "optimizer") {
+      EXPECT_LE(k.peak_bytes, report.static_optimizer_bound_bytes + 0.5);
+    }
+    if (k.kind == "weights") {
+      EXPECT_LE(k.peak_bytes, report.static_weights_bound_bytes + 0.5);
+    }
+    if (k.kind == "weight_grads") {
+      EXPECT_LE(k.peak_bytes, report.static_grads_bound_bytes + 0.5);
+    }
+  }
+
+  // ---- per-kind wire ledger -------------------------------------------------
+  ASSERT_FALSE(report.wire_kinds.empty());
+  double wire_sum = 0.0;
+  for (const prof::ProfileReport::WireKindVolume& w : report.wire_kinds) {
+    wire_sum += w.measured_bytes;
+    ASSERT_GE(w.predicted_bytes, 0.0) << w.kind;  // in the envelope
+    EXPECT_EQ(w.measured_bytes, w.predicted_bytes) << w.kind;
+    EXPECT_EQ(w.measured_messages, w.predicted_messages) << w.kind;
+  }
+  EXPECT_EQ(wire_sum, static_cast<double>(report.wire_bytes));
+
+  // The metrics snapshot carries the new families.
+  const obs::JsonParseResult metrics = obs::parse_json(report.metrics_json);
+  ASSERT_TRUE(metrics.ok) << metrics.error;
+  const obs::JsonValue* gauges = metrics.value.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_NE(gauges->find("mem.ledger.total_peak_bytes"), nullptr);
+  EXPECT_NE(gauges->find("mem.bound.optimizer_bytes"), nullptr);
+  const obs::JsonValue* counters = metrics.value.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_NE(counters->find("wire.kind.F-weight.bytes"), nullptr);
+}
+
+// ---- bench trajectory -------------------------------------------------------
+
+TEST(Bench, SmokeMatrixEmitsValidTrajectoryAndSelfCompares) {
+  prof::BenchOptions options;
+  options.smoke = true;
+  const prof::BenchReport report = prof::run_bench(options);
+  EXPECT_EQ(report.schema_version, prof::kBenchSchemaVersion);
+  EXPECT_EQ(report.cases.size(), prof::canonical_bench_cases(true).size());
+
+  const std::string json = prof::bench_report_to_json(report);
+  const obs::JsonParseResult parsed = obs::parse_json(json);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.value.find("schema_version")->as_number(),
+            static_cast<double>(prof::kBenchSchemaVersion));
+  ASSERT_TRUE(parsed.value.find("cases")->is_array());
+
+  for (const prof::BenchCaseResult& c : report.cases) {
+    EXPECT_GT(c.step_seconds, 0.0) << c.strategy;
+    EXPECT_GT(c.gflops, 0.0) << c.strategy;
+    EXPECT_GT(c.measured_peak_footprint_bytes, 0.0) << c.strategy;
+    EXPECT_GT(c.static_bound_total_bytes, 0.0) << c.strategy;
+    for (const prof::BenchWireKind& w : c.wire) {
+      if (w.predicted_bytes >= 0.0) {
+        EXPECT_EQ(w.measured_bytes, w.predicted_bytes)
+            << c.strategy << " " << w.kind;
+      }
+    }
+  }
+
+  // A trajectory never regresses against itself.
+  EXPECT_TRUE(prof::compare_trajectories(json, json,
+                                         prof::CompareThresholds::smoke())
+                  .empty());
+}
+
+TEST(Bench, CompareFlagsDoctoredRegressions) {
+  const char* baseline = R"({
+    "schema_version": 1,
+    "cases": [{"strategy": "weipipe", "ranks": 4, "recompute": false,
+               "step_seconds": 0.010, "measured_peak_footprint_bytes": 1000,
+               "wire": [{"kind": "F-weight", "measured_bytes": 5000,
+                         "predicted_bytes": 5000}]}]
+  })";
+  const prof::CompareThresholds thr;  // step 50%, mem 25%, wire exact
+
+  // Identical candidate passes.
+  EXPECT_TRUE(prof::compare_trajectories(baseline, baseline, thr).empty());
+
+  // Step-time blowup past the threshold is flagged.
+  const char* slow = R"({
+    "schema_version": 1,
+    "cases": [{"strategy": "weipipe", "ranks": 4, "recompute": false,
+               "step_seconds": 0.020, "measured_peak_footprint_bytes": 1000,
+               "wire": [{"kind": "F-weight", "measured_bytes": 5000,
+                         "predicted_bytes": 5000}]}]
+  })";
+  EXPECT_FALSE(prof::compare_trajectories(baseline, slow, thr).empty());
+
+  // Any wire-byte drift is flagged (deterministic metric, zero tolerance),
+  // as is a measured value that disagrees with its own closed form.
+  const char* chatty = R"({
+    "schema_version": 1,
+    "cases": [{"strategy": "weipipe", "ranks": 4, "recompute": false,
+               "step_seconds": 0.010, "measured_peak_footprint_bytes": 1000,
+               "wire": [{"kind": "F-weight", "measured_bytes": 5001,
+                         "predicted_bytes": 5000}]}]
+  })";
+  const std::vector<std::string> wire_regressions =
+      prof::compare_trajectories(baseline, chatty, thr);
+  EXPECT_EQ(wire_regressions.size(), 2u);  // vs baseline + vs closed form
+
+  // Disjoint matrices are an error, not a silent pass.
+  const char* other = R"({
+    "schema_version": 1,
+    "cases": [{"strategy": "fsdp", "ranks": 8, "recompute": true,
+               "step_seconds": 0.010}]
+  })";
+  EXPECT_FALSE(prof::compare_trajectories(baseline, other, thr).empty());
+
+  // Schema drift refuses to compare.
+  const char* v2 = R"({"schema_version": 2, "cases": []})";
+  EXPECT_FALSE(prof::compare_trajectories(baseline, v2, thr).empty());
+
+  // Garbage input is reported, not crashed on.
+  EXPECT_FALSE(prof::compare_trajectories(baseline, "not json", thr).empty());
 }
 
 TEST(Profile, StrategyListsAreDisjointAndComplete) {

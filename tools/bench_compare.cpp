@@ -1,0 +1,82 @@
+// bench_compare — the bench-trajectory regression gate.
+//
+//   bench_compare BASELINE.json CANDIDATE.json [--smoke]
+//                 [--step-tol f] [--mem-tol f] [--wire-tol f]
+//
+// Diffs two trajectory files written by `weipipe_cli bench` over their
+// overlapping (strategy, ranks, recompute) cases and exits nonzero if any
+// metric regressed past its threshold (see prof::CompareThresholds). CI runs
+// it with --smoke against the committed artifacts/BENCH_trajectory.json.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "prof/bench_run.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  weipipe::prof::CompareThresholds thr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> double {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_compare: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return std::atof(argv[++i]);
+    };
+    if (arg == "--smoke") {
+      thr = weipipe::prof::CompareThresholds::smoke();
+    } else if (arg == "--step-tol") {
+      thr.step_rel = next();
+    } else if (arg == "--mem-tol") {
+      thr.mem_rel = next();
+    } else if (arg == "--wire-tol") {
+      thr.wire_rel = next();
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "bench_compare: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_compare BASELINE.json CANDIDATE.json [--smoke] "
+                 "[--step-tol f] [--mem-tol f] [--wire-tol f]\n");
+    return 2;
+  }
+
+  const std::vector<std::string> regressions =
+      weipipe::prof::compare_trajectories(read_file(paths[0]),
+                                          read_file(paths[1]), thr);
+  if (regressions.empty()) {
+    std::printf("bench_compare: no regressions (%s vs %s)\n", paths[0].c_str(),
+                paths[1].c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "bench_compare: %zu regression(s):\n",
+               regressions.size());
+  for (const std::string& r : regressions) {
+    std::fprintf(stderr, "  %s\n", r.c_str());
+  }
+  return 1;
+}

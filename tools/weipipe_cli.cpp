@@ -6,6 +6,7 @@
 //   weipipe_cli schedule [flags]   render a schedule timeline
 //   weipipe_cli analyze  [flags]   statically model-check schedules
 //   weipipe_cli profile  [flags]   trace a real run; measured vs predicted
+//   weipipe_cli bench    [flags]   run the canonical matrix; write trajectory
 //   weipipe_cli help
 //
 // Run `weipipe_cli help` for every flag.
@@ -445,6 +446,48 @@ int cmd_profile(const Flags& flags) {
   return 0;
 }
 
+int cmd_bench(const Flags& flags) {
+  prof::BenchOptions opt;
+  opt.smoke = flags.flag("smoke");
+  opt.iters = flags.i64("iters", 2);
+  opt.warmup_iters = flags.i64("warmup-iters", 1);
+  const std::string out = flags.str("out", "artifacts/BENCH_trajectory.json");
+
+  const prof::BenchReport report = prof::run_bench(opt);
+
+  std::printf("%-11s %5s %9s %10s %9s %10s %10s %s\n", "strategy", "ranks",
+              "recompute", "step", "GFLOP/s", "peak mem", "wire", "closed-form");
+  for (const prof::BenchCaseResult& c : report.cases) {
+    double wire_bytes = 0.0;
+    bool has_predicted = false;
+    bool matches = true;
+    for (const prof::BenchWireKind& w : c.wire) {
+      wire_bytes += w.measured_bytes;
+      if (w.predicted_bytes >= 0.0) {
+        has_predicted = true;
+        matches = matches && w.measured_bytes == w.predicted_bytes;
+      }
+    }
+    std::printf("%-11s %5lld %9s %8.2fms %9.2f %7.2fMiB %7.2fMiB %s\n",
+                c.strategy.c_str(), static_cast<long long>(c.ranks),
+                c.recompute ? "yes" : "no", c.step_seconds * 1e3, c.gflops,
+                c.measured_peak_footprint_bytes / (1024.0 * 1024.0),
+                wire_bytes / (1024.0 * 1024.0),
+                !has_predicted ? "-" : matches ? "MATCH" : "MISMATCH");
+  }
+
+  // Re-parse what we are about to write: the trajectory feeds bench_compare,
+  // so an unparseable artifact must fail here, not in CI.
+  const std::string json = prof::bench_report_to_json(report);
+  const obs::JsonParseResult parsed = obs::parse_json(json);
+  WEIPIPE_CHECK_MSG(parsed.ok, "bench emitted invalid JSON: " << parsed.error);
+  trace::write_file(out, json);
+  std::printf("wrote %s (%zu cases, schema v%d%s)\n", out.c_str(),
+              report.cases.size(), report.schema_version,
+              report.smoke ? ", smoke" : "");
+  return 0;
+}
+
 void print_help() {
   std::printf(R"(weipipe_cli — WeiPipe weight-pipeline training toolkit
 
@@ -487,6 +530,13 @@ COMMANDS
     --timeline         render the measured timeline as ASCII
     --svg PATH         write the measured timeline as SVG
     --kernels          also record per-dispatch thread-pool kernel spans
+  bench      run the canonical strategy matrix and write the bench
+             trajectory (step time, GFLOP/s, per-kind wire bytes vs the
+             closed forms, full-footprint peak vs static bounds); diff two
+             trajectories with tools/bench_compare
+    --smoke            trimmed matrix (4-rank cases, 1 iteration, no warmup)
+    --iters N --warmup-iters N                 (full runs; default 2 / 1)
+    --out PATH         output path (default artifacts/BENCH_trajectory.json)
 )");
 }
 
@@ -517,6 +567,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "profile") {
       return cmd_profile(flags);
+    }
+    if (cmd == "bench") {
+      return cmd_bench(flags);
     }
     if (cmd == "help" || cmd == "--help") {
       print_help();
