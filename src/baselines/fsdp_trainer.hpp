@@ -38,7 +38,7 @@ class FsdpTrainer final : public Trainer {
   TrainerState export_state() const override;
   void import_state(const TrainerState& state) override;
 
-  comm::Fabric& fabric() { return *fabric_; }
+  comm::Fabric* fabric() override { return fabric_.get(); }
 
  private:
   void rank_body(int rank, comm::Endpoint& ep, const Dataset& data,

@@ -42,7 +42,7 @@ class PipelineTrainer final : public Trainer {
   TrainerState export_state() const override;
   void import_state(const TrainerState& state) override;
 
-  comm::Fabric& fabric() { return *fabric_; }
+  comm::Fabric* fabric() override { return fabric_.get(); }
 
  private:
   void stage_body(int rank, comm::Endpoint& ep, const Dataset& data,

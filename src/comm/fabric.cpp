@@ -166,17 +166,16 @@ Fabric::~Fabric() {
   for (std::size_t dst = 0; dst < mailboxes_.size(); ++dst) {
     Mailbox& box = *mailboxes_[dst];
     std::lock_guard<std::mutex> lk(box.mu);
-    for (auto& [key, queue] : box.queues) {
-      while (!queue.empty()) {
-        const Message& msg = queue.front();
+    for (auto& [key, stream] : box.streams) {
+      for (const Message& msg : stream.q) {
         if (msg.ledger_bytes > 0) {
           obs::ledger().on_free(
               obs::MemKind::kCommBuffers,
               obs::MemoryLedger::bucket_for_rank(static_cast<int>(dst)),
               msg.ledger_bytes);
         }
-        queue.pop();
       }
+      stream.q.clear();
     }
   }
 }
@@ -244,11 +243,185 @@ void Fabric::reset_stats() {
   tag_stats_.clear();
 }
 
+void Fabric::install_fault_plan(const FaultPlan& plan) {
+  auto runtime = std::make_unique<FaultRuntime>(plan, world_size());
+  runtime->fired.reserve(plan.rules.size());
+  for (std::size_t i = 0; i < plan.rules.size(); ++i) {
+    runtime->fired.push_back(std::make_unique<std::atomic<bool>>(false));
+  }
+  faults_ = std::move(runtime);
+}
+
+void Fabric::clear_fault_plan() { faults_.reset(); }
+
+const FaultPlan& Fabric::fault_plan() const {
+  WEIPIPE_CHECK_MSG(faults_ != nullptr, "no fault plan installed");
+  return faults_->plan;
+}
+
+FaultStats Fabric::fault_stats() const {
+  if (!faults_) {
+    return FaultStats{};
+  }
+  std::lock_guard<std::mutex> lk(faults_->mu);
+  return faults_->stats;
+}
+
+std::vector<FaultEvent> Fabric::fault_events() const {
+  if (!faults_) {
+    return {};
+  }
+  std::vector<FaultEvent> events;
+  {
+    std::lock_guard<std::mutex> lk(faults_->mu);
+    events = faults_->events;
+  }
+  std::sort(events.begin(), events.end(), fault_event_less);
+  return events;
+}
+
+void Fabric::abort_all() {
+  aborted_.store(true, std::memory_order_release);
+  for (auto& box : mailboxes_) {
+    // Acquire the mutex so a receiver between its aborted_ check and its
+    // cv wait cannot miss the notification.
+    { std::lock_guard<std::mutex> lk(box->mu); }
+    box->cv.notify_all();
+  }
+}
+
+void Fabric::recover() {
+  aborted_.store(false, std::memory_order_release);
+  // Drain every undelivered message from the abandoned step and rewind the
+  // per-stream sequence numbers so the re-run starts from a clean wire.
+  for (std::size_t dst = 0; dst < mailboxes_.size(); ++dst) {
+    Mailbox& box = *mailboxes_[dst];
+    std::lock_guard<std::mutex> lk(box.mu);
+    for (auto& [key, stream] : box.streams) {
+      for (const Message& msg : stream.q) {
+        if (msg.ledger_bytes > 0) {
+          obs::ledger().on_free(
+              obs::MemKind::kCommBuffers,
+              obs::MemoryLedger::bucket_for_rank(static_cast<int>(dst)),
+              msg.ledger_bytes);
+        }
+      }
+      stream.q.clear();
+      stream.next_send_seq = 0;
+      stream.next_take_seq = 0;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    for (FabricStats& s : pair_stats_) {
+      s.in_flight = 0;
+    }
+    for (auto& [tag, s] : tag_stats_) {
+      s.in_flight = 0;
+    }
+  }
+  if (faults_) {
+    for (auto& count : faults_->op_counts) {
+      count.store(0, std::memory_order_relaxed);
+    }
+    // One-shot latches stay latched: a transient stall does not re-fire on
+    // the re-run (that is what makes recovery converge).
+    faults_->epoch.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(faults_->mu);
+    ++faults_->stats.recoveries;
+  }
+}
+
+void Fabric::maybe_stall(int rank) {
+  FaultRuntime* fr = faults_.get();
+  if (fr == nullptr) {
+    return;
+  }
+  const std::int64_t op =
+      fr->op_counts[static_cast<std::size_t>(rank)].fetch_add(
+          1, std::memory_order_relaxed);
+  if (!fr->any_stalls) {
+    return;
+  }
+  for (std::size_t i = 0; i < fr->plan.rules.size(); ++i) {
+    const FaultRule& rule = fr->plan.rules[i];
+    if (rule.kind != FaultKind::kStall || rule.stall_rank != rank ||
+        op < rule.stall_op) {
+      continue;
+    }
+    if (fr->fired[i]->exchange(true, std::memory_order_acq_rel)) {
+      continue;  // transient: fires once per install
+    }
+    FaultEvent event;
+    event.kind = FaultKind::kStall;
+    event.src = rank;
+    event.seq = static_cast<std::uint64_t>(op);
+    event.epoch = fr->epoch.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(fr->mu);
+      ++fr->stats.stalls;
+      fr->events.push_back(event);
+    }
+    if (obs::enabled()) {
+      obs::Span span;
+      span.kind = obs::SpanKind::kFault;
+      span.start_ns = obs::now_ns();
+      span.end_ns = span.start_ns;
+      span.rank = rank;
+      span.tag = static_cast<std::int64_t>(FaultKind::kStall);
+      obs::record(span);
+    }
+    abort_all();
+    CommErrorInfo info;
+    info.kind = CommErrorKind::kStall;
+    info.rank = rank;
+    throw CommError(info);
+  }
+}
+
+void Fabric::record_fault(const FaultEvent& event) {
+  FaultRuntime* fr = faults_.get();
+  {
+    std::lock_guard<std::mutex> lk(fr->mu);
+    switch (event.kind) {
+      case FaultKind::kDelay: ++fr->stats.delays; break;
+      case FaultKind::kDrop:
+        ++fr->stats.drops;
+        ++fr->stats.retries;
+        break;
+      case FaultKind::kDuplicate: ++fr->stats.duplicates; break;
+      case FaultKind::kReorder: ++fr->stats.reorders; break;
+      case FaultKind::kStall: ++fr->stats.stalls; break;
+    }
+    fr->events.push_back(event);
+  }
+  if (obs::enabled()) {
+    obs::Span span;
+    span.kind = obs::SpanKind::kFault;
+    span.start_ns = obs::now_ns();
+    span.end_ns = span.start_ns;
+    span.rank = event.src;
+    span.peer = event.dst;
+    span.tag = event.tag;
+    span.bytes = event.delay_ns;
+    obs::record(span);
+  }
+}
+
 std::int64_t Fabric::deliver(int src, int dst, std::int64_t tag,
                              std::vector<std::uint8_t> payload) {
   WEIPIPE_CHECK_MSG(dst >= 0 && dst < world_size(),
                     "send to invalid rank " << dst);
   WEIPIPE_CHECK_MSG(dst != src, "self-send (rank " << src << ")");
+  maybe_stall(src);
+  if (aborted_.load(std::memory_order_acquire)) {
+    CommErrorInfo info;
+    info.kind = CommErrorKind::kAborted;
+    info.rank = src;
+    info.peer = dst;
+    info.tag = tag;
+    throw CommError(info);
+  }
   {
     std::lock_guard<std::mutex> lk(stats_mu_);
     FabricStats& s =
@@ -282,17 +455,132 @@ std::int64_t Fabric::deliver(int src, int dst, std::int64_t tag,
                            msg.ledger_bytes);
   }
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  FaultRuntime* fr = faults_.get();
+  // Faults decided under box.mu (seq assignment must be atomic with insert);
+  // committed to the fault log after the lock drops.
+  std::vector<FaultEvent> local_events;
   {
     std::lock_guard<std::mutex> lk(box.mu);
-    box.queues[MailKey{src, tag}].push(std::move(msg));
+    Stream& stream = box.streams[MailKey{src, tag}];
+    msg.seq = stream.next_send_seq++;
+
+    bool duplicate = false;
+    std::chrono::nanoseconds dup_extra{0};
+    if (fr != nullptr) {
+      const FaultPlan& plan = fr->plan;
+      const std::uint32_t epoch = fr->epoch.load(std::memory_order_relaxed);
+      for (std::size_t i = 0; i < plan.rules.size(); ++i) {
+        const FaultRule& rule = plan.rules[i];
+        FaultEvent event;
+        event.kind = rule.kind;
+        event.src = src;
+        event.dst = dst;
+        event.tag = tag;
+        event.seq = msg.seq;
+        event.epoch = epoch;
+        switch (rule.kind) {
+          case FaultKind::kDelay:
+            if (plan.hit(i, src, dst, tag, msg.seq, 0)) {
+              msg.deliver_at += rule.delay;
+              event.delay_ns = rule.delay.count();
+              local_events.push_back(event);
+            }
+            break;
+          case FaultKind::kDrop: {
+            // Each lost transmission costs one retransmit with doubled
+            // backoff; after max_retries the reliability layer force-delivers
+            // (a permanently lost message would deadlock the schedule).
+            auto backoff = rule.delay;
+            for (int attempt = 0; attempt < plan.max_retries &&
+                                  plan.hit(i, src, dst, tag, msg.seq, attempt);
+                 ++attempt) {
+              msg.deliver_at += backoff;
+              event.attempt = attempt;
+              event.delay_ns = backoff.count();
+              local_events.push_back(event);
+              backoff *= 2;
+            }
+            break;
+          }
+          case FaultKind::kDuplicate:
+            if (plan.hit(i, src, dst, tag, msg.seq, 0)) {
+              duplicate = true;
+              dup_extra = rule.delay;
+              event.delay_ns = rule.delay.count();
+              local_events.push_back(event);
+            }
+            break;
+          case FaultKind::kReorder:
+            if (plan.hit(i, src, dst, tag, msg.seq, 0)) {
+              // The message falls behind its successors: extra latency, and
+              // with dedup off it is also enqueued behind the current tail.
+              msg.deliver_at += rule.delay;
+              event.delay_ns = rule.delay.count();
+              local_events.push_back(event);
+            }
+            break;
+          case FaultKind::kStall:
+            break;  // handled in maybe_stall()
+        }
+      }
+    }
+
+    Message dup_msg;
+    if (duplicate) {
+      dup_msg.payload = msg.payload;  // deep copy
+      dup_msg.deliver_at = msg.deliver_at + dup_extra;
+      dup_msg.seq = msg.seq;
+      dup_msg.flow_id = next_flow_id_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::ledger().enabled() && !dup_msg.payload.empty()) {
+        dup_msg.ledger_bytes =
+            static_cast<std::int64_t>(dup_msg.payload.size());
+        obs::ledger().on_alloc(obs::MemKind::kCommBuffers,
+                               obs::MemoryLedger::bucket_for_rank(dst),
+                               dup_msg.ledger_bytes);
+      }
+    }
+
+    const bool reliable = fr == nullptr || fr->plan.dedup;
+    auto insert = [&](Message m) {
+      if (reliable) {
+        // Keep the stream sorted by seq (in-order reassembly). The common
+        // in-order case is a plain push_back.
+        auto pos = stream.q.end();
+        while (pos != stream.q.begin() && std::prev(pos)->seq > m.seq) {
+          --pos;
+        }
+        stream.q.insert(pos, std::move(m));
+      } else {
+        // Mutation mode: raw arrival order, duplicates and all. A reordered
+        // message lands behind the current tail's predecessor swap below.
+        stream.q.push_back(std::move(m));
+      }
+    };
+    const bool reordered =
+        !reliable && !local_events.empty() &&
+        std::any_of(local_events.begin(), local_events.end(),
+                    [&](const FaultEvent& e) {
+                      return e.kind == FaultKind::kReorder && e.seq == msg.seq;
+                    });
+    insert(std::move(msg));
+    if (reordered && stream.q.size() >= 2) {
+      std::swap(stream.q[stream.q.size() - 1], stream.q[stream.q.size() - 2]);
+    }
+    if (duplicate) {
+      insert(std::move(dup_msg));
+    }
   }
   box.cv.notify_all();
+  for (const FaultEvent& event : local_events) {
+    record_fault(event);
+  }
   return flow_id;
 }
 
 Fabric::Taken Fabric::take(int dst, int src, std::int64_t tag) {
   WEIPIPE_CHECK_MSG(src >= 0 && src < world_size(),
                     "recv from invalid rank " << src);
+  maybe_stall(dst);
   // The wait span covers blocked-on-arrival time: from entering take() to
   // the matching message being ready (modeled delivery time included).
   const bool traced = obs::enabled();
@@ -300,19 +588,51 @@ Fabric::Taken Fabric::take(int dst, int src, std::int64_t tag) {
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   const auto deadline = std::chrono::steady_clock::now() +
                         recv_timeout_.load(std::memory_order_relaxed);
+  FaultRuntime* fr = faults_.get();
+  const bool reliable = fr == nullptr || fr->plan.dedup;
+  std::uint64_t discarded = 0;
   Taken taken;
   {
     std::unique_lock<std::mutex> lk(box.mu);
     const MailKey key{src, tag};
     for (;;) {
-      auto it = box.queues.find(key);
-      if (it != box.queues.end() && !it->second.empty()) {
+      if (aborted_.load(std::memory_order_acquire)) {
+        CommErrorInfo info;
+        info.kind = CommErrorKind::kAborted;
+        info.rank = dst;
+        info.peer = src;
+        info.tag = tag;
+        throw CommError(info);
+      }
+      auto it = box.streams.find(key);
+      Stream* stream =
+          it != box.streams.end() ? &it->second : nullptr;
+      if (stream != nullptr && reliable) {
+        // Duplicate discard: anything below the reassembly cursor was
+        // already consumed via another copy.
+        while (!stream->q.empty() &&
+               stream->q.front().seq < stream->next_take_seq) {
+          const Message& dup = stream->q.front();
+          if (dup.ledger_bytes > 0) {
+            obs::ledger().on_free(obs::MemKind::kCommBuffers,
+                                  obs::MemoryLedger::bucket_for_rank(dst),
+                                  dup.ledger_bytes);
+          }
+          stream->q.pop_front();
+          ++discarded;
+        }
+      }
+      if (stream != nullptr && !stream->q.empty() &&
+          (!reliable || stream->q.front().seq == stream->next_take_seq)) {
         // Honor the modeled delivery time: the message "is still in flight".
-        const auto deliver_at = it->second.front().deliver_at;
+        const auto deliver_at = stream->q.front().deliver_at;
         const auto now = std::chrono::steady_clock::now();
         if (deliver_at <= now) {
-          Message msg = std::move(it->second.front());
-          it->second.pop();
+          Message msg = std::move(stream->q.front());
+          stream->q.pop_front();
+          if (reliable) {
+            stream->next_take_seq = msg.seq + 1;
+          }
           if (msg.ledger_bytes > 0) {
             obs::ledger().on_free(obs::MemKind::kCommBuffers,
                                   obs::MemoryLedger::bucket_for_rank(dst),
@@ -326,12 +646,22 @@ Fabric::Taken Fabric::take(int dst, int src, std::int64_t tag) {
         continue;
       }
       if (box.cv.wait_until(lk, deadline) == std::cv_status::timeout) {
-        WEIPIPE_CHECK_MSG(false, "recv timeout: rank "
-                                     << dst << " waiting for (src=" << src
-                                     << ", tag=" << tag
-                                     << ") — schedule deadlock?");
+        CommErrorInfo info;
+        info.kind = CommErrorKind::kRecvTimeout;
+        info.rank = dst;
+        info.peer = src;
+        info.tag = tag;
+        info.expected_seq = stream != nullptr ? stream->next_take_seq : 0;
+        for (const auto& [k, s] : box.streams) {
+          info.pending_messages += s.q.size();
+        }
+        throw CommError(info);
       }
     }
+  }
+  if (discarded > 0 && fr != nullptr) {
+    std::lock_guard<std::mutex> flk(fr->mu);
+    fr->stats.duplicates_discarded += discarded;
   }
   {
     std::lock_guard<std::mutex> lk(stats_mu_);

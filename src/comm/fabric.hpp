@@ -18,15 +18,16 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <queue>
 #include <span>
 #include <thread>
 #include <vector>
 
+#include "comm/fault.hpp"
 #include "comm/wire.hpp"
 #include "common/thread_annotations.hpp"
 
@@ -137,12 +138,39 @@ class Fabric {
     recv_timeout_.store(timeout, std::memory_order_relaxed);
   }
 
+  // ---- fault injection (comm/fault.hpp) ------------------------------------
+  //
+  // Install/clear only while the fabric is quiescent (no rank threads
+  // running): worker threads read the plan without locks, relying on the
+  // happens-before edges of thread creation/join.
+  void install_fault_plan(const FaultPlan& plan);
+  void clear_fault_plan();
+  bool has_fault_plan() const { return faults_ != nullptr; }
+  const FaultPlan& fault_plan() const;
+  FaultStats fault_stats() const;
+  // All injected faults so far, in the deterministic fault_event_less order.
+  std::vector<FaultEvent> fault_events() const;
+
+  // Marks the fabric failed and wakes every blocked receiver; they throw
+  // CommError(kAborted). Used by injected stalls and available to tests.
+  void abort_all();
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+  // Step-boundary repair after an abort: clears the failed flag, drains all
+  // undelivered messages (crediting the memory ledger), resets per-stream
+  // sequence numbers and re-arms one-shot stall rules' epoch. The trainer
+  // restores its own state (core/resilience.hpp) and re-runs the iteration.
+  void recover();
+
  private:
   friend class Endpoint;
 
   struct Message {
     std::vector<std::uint8_t> payload;
     std::chrono::steady_clock::time_point deliver_at;
+    // Position in the (src,tag) stream, assigned at send time. The receiver
+    // reassembles in seq order and discards duplicates, which is what makes
+    // injected drops/dups/reorders invisible to the layers above.
+    std::uint64_t seq = 0;
     // Unique per message; pairs the sender's and receiver's trace spans so
     // exporters can draw flow arrows (obs/chrome_trace.hpp).
     std::int64_t flow_id = -1;
@@ -158,10 +186,18 @@ class Fabric {
       return src != o.src ? src < o.src : tag < o.tag;
     }
   };
+  // One (src,tag) message stream. With dedup on (the default), q is kept
+  // sorted by seq and next_take_seq is the reassembly cursor; with dedup off
+  // (FaultPlan mutation knob) q is raw arrival order.
+  struct Stream {
+    std::deque<Message> q;
+    std::uint64_t next_send_seq = 0;
+    std::uint64_t next_take_seq = 0;
+  };
   struct Mailbox {
     std::mutex mu;
     std::condition_variable cv;
-    std::map<MailKey, std::queue<Message>> queues WEIPIPE_GUARDED_BY(mu);
+    std::map<MailKey, Stream> streams WEIPIPE_GUARDED_BY(mu);
   };
 
   struct Taken {
@@ -169,14 +205,42 @@ class Fabric {
     std::int64_t flow_id = -1;
   };
 
+  // Mutable fault-injection state; allocated only while a plan is installed.
+  struct FaultRuntime {
+    explicit FaultRuntime(const FaultPlan& p, int world)
+        : plan(p),
+          any_stalls(p.has_stalls()),
+          op_counts(static_cast<std::size_t>(world)) {}
+    FaultPlan plan;
+    bool any_stalls = false;
+    // Per-rank count of fabric operations (deliver by src, take by dst);
+    // advances in program order of that rank's thread, so stall:op=N is
+    // deterministic. Atomics: a rank's sends touch its own counter from its
+    // own thread, but recover() resets them from the driver thread.
+    std::vector<std::atomic<std::int64_t>> op_counts;
+    // One-shot latches, one per rule (only stall rules use theirs).
+    std::vector<std::unique_ptr<std::atomic<bool>>> fired;
+    std::atomic<std::uint32_t> epoch{0};
+    mutable std::mutex mu;
+    FaultStats stats WEIPIPE_GUARDED_BY(mu);
+    std::vector<FaultEvent> events WEIPIPE_GUARDED_BY(mu);
+  };
+
   // Returns the delivered message's flow id.
   std::int64_t deliver(int src, int dst, std::int64_t tag,
                        std::vector<std::uint8_t> payload);
   Taken take(int dst, int src, std::int64_t tag);
 
+  // Fires any matching stall rule for `rank` (throws CommError(kStall) after
+  // aborting the fabric); otherwise just advances the rank's op counter.
+  void maybe_stall(int rank);
+  void record_fault(const FaultEvent& event);
+
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   LinkModel link_model_;
+  std::unique_ptr<FaultRuntime> faults_;
+  std::atomic<bool> aborted_{false};
   std::atomic<std::int64_t> next_flow_id_{0};
   std::atomic<std::chrono::milliseconds> recv_timeout_{
       std::chrono::milliseconds(60000)};

@@ -1,0 +1,294 @@
+#include "comm/fault.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+namespace weipipe::comm {
+
+namespace {
+
+// splitmix64 finalizer (common/rng.hpp uses the same constants): mixes one
+// 64-bit word into the running hash.
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  std::uint64_t z = h + 0x9E3779B97F4A7C15ull + v;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+double unit_double(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::int64_t parse_i64(const std::string& clause, const std::string& value) {
+  std::size_t used = 0;
+  std::int64_t v = 0;
+  try {
+    v = std::stoll(value, &used);
+  } catch (const std::exception&) {
+    used = std::string::npos;
+  }
+  WEIPIPE_CHECK_MSG(used == value.size(),
+                    "fault spec: bad integer '" << value << "' in '" << clause
+                                                << "'");
+  return v;
+}
+
+double parse_f64(const std::string& clause, const std::string& value) {
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(value, &used);
+  } catch (const std::exception&) {
+    used = std::string::npos;
+  }
+  WEIPIPE_CHECK_MSG(used == value.size(),
+                    "fault spec: bad number '" << value << "' in '" << clause
+                                               << "'");
+  return v;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDuplicate: return "dup";
+    case FaultKind::kReorder: return "reorder";
+    case FaultKind::kStall: return "stall";
+  }
+  return "?";
+}
+
+const char* to_string(CommErrorKind kind) {
+  switch (kind) {
+    case CommErrorKind::kRecvTimeout: return "recv-timeout";
+    case CommErrorKind::kStall: return "stall";
+    case CommErrorKind::kAborted: return "aborted";
+  }
+  return "?";
+}
+
+bool FaultPlan::has_stalls() const {
+  return std::any_of(rules.begin(), rules.end(), [](const FaultRule& r) {
+    return r.kind == FaultKind::kStall;
+  });
+}
+
+bool FaultPlan::hit(std::size_t rule_index, int src, int dst, std::int64_t tag,
+                    std::uint64_t seq, int attempt) const {
+  const FaultRule& rule = rules[rule_index];
+  if (rule.src >= 0 && rule.src != src) {
+    return false;
+  }
+  if (rule.dst >= 0 && rule.dst != dst) {
+    return false;
+  }
+  if (rule.tag >= 0 && rule.tag != tag) {
+    return false;
+  }
+  if (rule.probability >= 1.0) {
+    return true;
+  }
+  if (rule.probability <= 0.0) {
+    return false;
+  }
+  std::uint64_t h = mix(seed, static_cast<std::uint64_t>(rule.kind));
+  h = mix(h, rule_index);
+  h = mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(src)));
+  h = mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(dst)));
+  h = mix(h, static_cast<std::uint64_t>(tag));
+  h = mix(h, seq);
+  h = mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(attempt)));
+  return unit_double(h) < rule.probability;
+}
+
+FaultPlan parse_fault_plan(const std::string& spec, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string clause =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    pos = comma == std::string::npos ? spec.size() : comma + 1;
+    if (clause.empty()) {
+      continue;
+    }
+
+    // Split "kind:key=value:key=value".
+    std::vector<std::string> parts;
+    std::size_t p = 0;
+    while (p <= clause.size()) {
+      const std::size_t colon = clause.find(':', p);
+      parts.push_back(clause.substr(
+          p, colon == std::string::npos ? std::string::npos : colon - p));
+      if (colon == std::string::npos) {
+        break;
+      }
+      p = colon + 1;
+    }
+    const std::string& kind = parts.front();
+
+    if (kind == "nodedup") {
+      plan.dedup = false;
+      continue;
+    }
+    if (kind == "retries") {
+      WEIPIPE_CHECK_MSG(parts.size() == 2,
+                        "fault spec: use retries:N, got '" << clause << "'");
+      plan.max_retries = static_cast<int>(parse_i64(clause, parts[1]));
+      continue;
+    }
+
+    FaultRule rule;
+    if (kind == "delay") {
+      rule.kind = FaultKind::kDelay;
+    } else if (kind == "drop") {
+      rule.kind = FaultKind::kDrop;
+      rule.delay = std::chrono::nanoseconds(1'000'000);  // backoff base
+    } else if (kind == "dup") {
+      rule.kind = FaultKind::kDuplicate;
+    } else if (kind == "reorder") {
+      rule.kind = FaultKind::kReorder;
+    } else if (kind == "stall") {
+      rule.kind = FaultKind::kStall;
+      rule.probability = 1.0;
+    } else {
+      WEIPIPE_CHECK_MSG(false, "fault spec: unknown kind '"
+                                   << kind << "' in '" << clause
+                                   << "' (delay | drop | dup | reorder | "
+                                      "stall | nodedup | retries)");
+    }
+
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+      const std::size_t eq = parts[i].find('=');
+      WEIPIPE_CHECK_MSG(eq != std::string::npos,
+                        "fault spec: expected key=value, got '" << parts[i]
+                                                                << "'");
+      const std::string key = parts[i].substr(0, eq);
+      const std::string value = parts[i].substr(eq + 1);
+      if (key == "p") {
+        rule.probability = parse_f64(clause, value);
+      } else if (key == "src") {
+        rule.src = static_cast<int>(parse_i64(clause, value));
+      } else if (key == "dst") {
+        rule.dst = static_cast<int>(parse_i64(clause, value));
+      } else if (key == "tag") {
+        rule.tag = parse_i64(clause, value);
+      } else if (key == "ns") {
+        rule.delay = std::chrono::nanoseconds(parse_i64(clause, value));
+      } else if (key == "us") {
+        rule.delay = std::chrono::nanoseconds(1'000 * parse_i64(clause, value));
+      } else if (key == "ms") {
+        rule.delay =
+            std::chrono::nanoseconds(1'000'000 * parse_i64(clause, value));
+      } else if (key == "rank") {
+        rule.stall_rank = static_cast<int>(parse_i64(clause, value));
+      } else if (key == "op") {
+        rule.stall_op = parse_i64(clause, value);
+      } else {
+        WEIPIPE_CHECK_MSG(false, "fault spec: unknown key '"
+                                     << key << "' in '" << clause << "'");
+      }
+    }
+    WEIPIPE_CHECK_MSG(rule.probability >= 0.0 && rule.probability <= 1.0,
+                      "fault spec: p must be in [0,1] in '" << clause << "'");
+    plan.rules.push_back(rule);
+  }
+  return plan;
+}
+
+std::string to_spec(const FaultPlan& plan) {
+  std::ostringstream oss;
+  bool first = true;
+  auto sep = [&] {
+    if (!first) {
+      oss << ',';
+    }
+    first = false;
+  };
+  if (!plan.dedup) {
+    sep();
+    oss << "nodedup";
+  }
+  if (plan.max_retries != FaultPlan{}.max_retries) {
+    sep();
+    oss << "retries:" << plan.max_retries;
+  }
+  for (const FaultRule& r : plan.rules) {
+    sep();
+    oss << to_string(r.kind);
+    if (r.kind == FaultKind::kStall) {
+      oss << ":rank=" << r.stall_rank << ":op=" << r.stall_op;
+      continue;
+    }
+    oss << ":p=" << r.probability;
+    if (r.src >= 0) {
+      oss << ":src=" << r.src;
+    }
+    if (r.dst >= 0) {
+      oss << ":dst=" << r.dst;
+    }
+    if (r.tag >= 0) {
+      oss << ":tag=" << r.tag;
+    }
+    oss << ":ns=" << r.delay.count();
+  }
+  return oss.str();
+}
+
+bool fault_event_less(const FaultEvent& a, const FaultEvent& b) {
+  const auto key = [](const FaultEvent& e) {
+    return std::tuple(e.epoch, e.src, e.dst, e.tag, e.seq, e.attempt,
+                      static_cast<int>(e.kind), e.delay_ns);
+  };
+  return key(a) < key(b);
+}
+
+std::string fault_events_to_json(const std::vector<FaultEvent>& events) {
+  std::ostringstream oss;
+  oss << "[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    oss << (i == 0 ? "\n" : ",\n");
+    oss << "  {\"kind\":\"" << to_string(e.kind) << "\",\"src\":" << e.src
+        << ",\"dst\":" << e.dst << ",\"tag\":" << e.tag << ",\"seq\":" << e.seq
+        << ",\"attempt\":" << e.attempt << ",\"delay_ns\":" << e.delay_ns
+        << ",\"epoch\":" << e.epoch << "}";
+  }
+  oss << "\n]\n";
+  return oss.str();
+}
+
+namespace {
+std::string comm_error_message(const CommErrorInfo& info) {
+  std::ostringstream oss;
+  switch (info.kind) {
+    case CommErrorKind::kRecvTimeout:
+      oss << "recv timeout: rank " << info.rank << " waiting for (src="
+          << info.peer << ", tag=" << info.tag << ", seq="
+          << info.expected_seq << "); " << info.pending_messages
+          << " other message(s) pending in its mailbox — schedule deadlock?";
+      break;
+    case CommErrorKind::kStall:
+      oss << "injected transient stall on rank " << info.rank
+          << " (fabric aborted; recover at the step boundary)";
+      break;
+    case CommErrorKind::kAborted:
+      oss << "fabric aborted while rank " << info.rank
+          << " waited for (src=" << info.peer << ", tag=" << info.tag
+          << "): another rank failed first";
+      break;
+  }
+  return oss.str();
+}
+}  // namespace
+
+CommError::CommError(const CommErrorInfo& info)
+    : Error(comm_error_message(info)), info_(info) {}
+
+}  // namespace weipipe::comm

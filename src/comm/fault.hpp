@@ -1,0 +1,165 @@
+// Deterministic fault injection for the in-process fabric.
+//
+// A FaultPlan is a seeded list of rules (per-edge / per-tag delay, drop,
+// duplicate, reorder, transient rank stall) installed into a Fabric. Every
+// decision is a pure hash of (plan seed, rule, src, dst, tag, sequence
+// number, attempt): two runs with the same plan inject byte-identical fault
+// schedules regardless of thread interleaving, which is what lets the chaos
+// harness (baselines/chaos.hpp) assert bitwise equivalence against a clean
+// run. The fabric's reliability layer (per-stream sequence numbers, in-order
+// reassembly, duplicate discard, bounded retransmit backoff for drops)
+// guarantees each logical message is delivered exactly once and in order, so
+// message-level faults cost latency, never correctness.
+//
+// Rank stalls are the exception: they abort the in-flight step (every rank
+// observes a CommError) and are repaired at the step boundary by
+// core/resilience.hpp, which rolls the trainer back from checkpoint state
+// and re-runs the iteration.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace weipipe::comm {
+
+enum class FaultKind : std::uint8_t {
+  kDelay,      // extra delivery latency on a message
+  kDrop,       // message lost on the wire; retransmitted with backoff
+  kDuplicate,  // message delivered twice (same sequence number)
+  kReorder,    // message arrives behind its successor in the stream
+  kStall,      // a rank freezes mid-step (transient; fires once)
+};
+
+const char* to_string(FaultKind kind);
+
+// One injection rule. Message-kind rules fire per message (per retransmit
+// attempt for drops) with `probability`, optionally restricted to an edge
+// and/or tag. Stall rules are not probabilistic: they fire exactly once,
+// when `stall_rank`'s fabric-operation counter reaches `stall_op`.
+struct FaultRule {
+  FaultKind kind = FaultKind::kDelay;
+  double probability = 0.05;
+  int src = -1;           // -1 = any sending rank
+  int dst = -1;           // -1 = any receiving rank
+  std::int64_t tag = -1;  // -1 = any tag
+  // kDelay: injected latency. kDrop: retransmit backoff base (doubles per
+  // attempt). kDuplicate: extra latency on the duplicate copy.
+  std::chrono::nanoseconds delay{2'000'000};
+  // kStall only.
+  int stall_rank = 0;
+  std::int64_t stall_op = 0;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultRule> rules;
+  // A dropped message is retransmitted at most this many times before the
+  // reliability layer force-delivers it (keeps drop storms loss-free).
+  int max_retries = 8;
+  // Mutation knob for the chaos harness's self-test: false disables the
+  // receiver's duplicate discard AND the sequence-number reassembly, so a
+  // duplicated gradient message is consumed twice — the chaos differ must
+  // catch the resulting divergence (tests/test_chaos.cpp).
+  bool dedup = true;
+
+  bool empty() const { return rules.empty(); }
+  bool has_stalls() const;
+
+  // Deterministic per-message decision for rule `rule_index` (pure hash; no
+  // state). `attempt` distinguishes retransmissions of the same message.
+  bool hit(std::size_t rule_index, int src, int dst, std::int64_t tag,
+           std::uint64_t seq, int attempt) const;
+};
+
+// Parses a fault-plan spec (grammar in docs/FAULTS.md):
+//   SPEC   := clause (',' clause)*
+//   clause := kind (':' key '=' value)*
+//   kind   := delay | drop | dup | reorder | stall | nodedup | retries
+// e.g. "delay:p=0.1:ms=2,drop:p=0.02,dup:p=0.02:tag=3,stall:rank=1:op=40".
+// Throws weipipe::Error on malformed specs.
+FaultPlan parse_fault_plan(const std::string& spec, std::uint64_t seed);
+
+// Canonical spec string (parse(to_spec(p)) reproduces the plan).
+std::string to_spec(const FaultPlan& plan);
+
+// One injected fault, as recorded by the fabric. For message-level faults
+// the tuple (kind, src, dst, tag, seq, attempt) is a pure function of the
+// plan seed, so sorted event logs from two runs of the same plan are
+// identical. Stall-triggered events carry the stalled rank in `src`.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDelay;
+  int src = -1;
+  int dst = -1;
+  std::int64_t tag = -1;
+  std::uint64_t seq = 0;
+  std::int32_t attempt = 0;
+  std::int64_t delay_ns = 0;
+  // Recovery epoch the event fired in (0 = first attempt of the run; bumped
+  // by Fabric::recover()). Events from aborted epochs depend on where the
+  // abort landed, so log-determinism guarantees are scoped to stall-free
+  // plans — see docs/FAULTS.md.
+  std::uint32_t epoch = 0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+// Deterministic total order for event-log comparison.
+bool fault_event_less(const FaultEvent& a, const FaultEvent& b);
+
+// JSON-lines export ([{kind,src,dst,tag,seq,attempt,delay_ns,epoch},...]).
+std::string fault_events_to_json(const std::vector<FaultEvent>& events);
+
+// Aggregate injection / tolerance counters (mirrored into the metrics
+// registry as fault.* by the chaos and profile harnesses).
+struct FaultStats {
+  std::uint64_t delays = 0;
+  std::uint64_t drops = 0;       // drop hits (one per lost transmission)
+  std::uint64_t retries = 0;     // retransmissions performed
+  std::uint64_t duplicates = 0;  // duplicate copies injected
+  std::uint64_t duplicates_discarded = 0;  // copies the receiver deduped
+  std::uint64_t reorders = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t recoveries = 0;  // Fabric::recover() calls
+};
+
+// ---- structured communication failures --------------------------------------
+
+enum class CommErrorKind : std::uint8_t {
+  kRecvTimeout,  // no matching message within the recv timeout
+  kStall,        // this rank hit an injected transient stall
+  kAborted,      // another rank failed; the fabric was aborted
+};
+
+const char* to_string(CommErrorKind kind);
+
+struct CommErrorInfo {
+  CommErrorKind kind = CommErrorKind::kRecvTimeout;
+  int rank = -1;                 // rank that observed the failure
+  int peer = -1;                 // peer it was waiting on (-1 = n/a)
+  std::int64_t tag = -1;         // tag it was waiting on (-1 = n/a)
+  std::uint64_t expected_seq = 0;       // next sequence number needed
+  std::uint64_t pending_messages = 0;   // undelivered messages queued for rank
+};
+
+// Thrown by the fabric instead of a bare check failure so tests and the
+// step-boundary recovery path (core/resilience.hpp) can catch and classify
+// communication faults. Derives weipipe::Error: existing catch sites and
+// EXPECT_THROW(..., Error) assertions keep working.
+class CommError : public Error {
+ public:
+  explicit CommError(const CommErrorInfo& info);
+  const CommErrorInfo& info() const { return info_; }
+  // Stalls and aborts are repairable by rolling back to the last step
+  // boundary; timeouts are too when fault injection is active (a genuine
+  // deadlock without injection will simply time out again and surface).
+  bool recoverable() const { return true; }
+
+ private:
+  CommErrorInfo info_;
+};
+
+}  // namespace weipipe::comm

@@ -1,0 +1,37 @@
+#include "core/resilience.hpp"
+
+#include <utility>
+
+#include "comm/fabric.hpp"
+#include "common/check.hpp"
+#include "core/checkpoint.hpp"
+
+namespace weipipe {
+
+RecoveryResult train_iteration_with_recovery(Trainer& trainer,
+                                             const Dataset& data,
+                                             std::int64_t iter_index,
+                                             const RecoveryOptions& options) {
+  comm::Fabric* fabric = trainer.fabric();
+  if (fabric == nullptr || !fabric->has_fault_plan()) {
+    return RecoveryResult{trainer.train_iteration(data, iter_index), 0};
+  }
+  WEIPIPE_CHECK_MSG(options.max_attempts >= 1, "max_attempts must be >= 1");
+  RecoveryResult out;
+  const TrainerState snapshot = trainer.export_state();
+  for (int attempt = 1;; ++attempt) {
+    try {
+      out.result = trainer.train_iteration(data, iter_index);
+      return out;
+    } catch (const comm::CommError&) {
+      if (attempt >= options.max_attempts) {
+        throw;
+      }
+      fabric->recover();
+      trainer.import_state(snapshot);
+      ++out.recoveries;
+    }
+  }
+}
+
+}  // namespace weipipe

@@ -16,6 +16,10 @@
 
 namespace weipipe {
 
+namespace comm {
+class Fabric;
+}  // namespace comm
+
 struct TrainConfig {
   ModelConfig model;
   PrecisionConfig precision;  // wire/compute emulation precisions
@@ -91,6 +95,11 @@ class Trainer {
   // import_state throws weipipe::Error if the state does not fit the model.
   virtual struct TrainerState export_state() const = 0;
   virtual void import_state(const struct TrainerState& state) = 0;
+
+  // The communication fabric this trainer runs on; nullptr for strategies
+  // with no wire (sequential). Lets harnesses install fault plans and read
+  // stats without knowing the concrete trainer type.
+  virtual comm::Fabric* fabric() { return nullptr; }
 };
 
 }  // namespace weipipe

@@ -59,7 +59,7 @@ class WeiPipeTrainer final : public Trainer {
   void import_state(const TrainerState& state) override;
 
   const WeiPipeSchedule& schedule() const { return sched_; }
-  comm::Fabric& fabric() { return *fabric_; }
+  comm::Fabric* fabric() override { return fabric_.get(); }
 
  private:
   void worker_body(int rank, comm::Endpoint& ep, const Dataset& data,

@@ -59,6 +59,7 @@ const char* to_string(SpanKind kind) {
     case SpanKind::kBarrier: return "barrier";
     case SpanKind::kKernel: return "kernel";
     case SpanKind::kStep: return "step";
+    case SpanKind::kFault: return "fault";
   }
   return "?";
 }

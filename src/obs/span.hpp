@@ -32,6 +32,8 @@ enum class SpanKind : std::uint8_t {
   // Substrate.
   kKernel,  // one parallel_for dispatch on the tensor thread pool
   kStep,    // one whole train_iteration (recorded by the driving thread)
+  kFault,   // one injected fault (comm/fault.hpp); zero-duration marker whose
+            // tag/bytes carry the fault kind and injected delay
 };
 
 const char* to_string(SpanKind kind);

@@ -9,12 +9,14 @@
 #include <utility>
 
 #include "analysis/analysis.hpp"
+#include "baselines/chaos.hpp"
 #include "baselines/factory.hpp"
 #include "baselines/fsdp_trainer.hpp"
 #include "baselines/pipeline_trainer.hpp"
 #include "comm/fabric.hpp"
 #include "common/check.hpp"
 #include "core/accounting.hpp"
+#include "core/resilience.hpp"
 #include "core/weipipe_trainer.hpp"
 #include "core/wire_tags.hpp"
 #include "obs/chrome_trace.hpp"
@@ -104,16 +106,7 @@ std::string acct_strategy(const std::string& s) {
 }
 
 comm::Fabric* trainer_fabric(Trainer& trainer) {
-  if (auto* w = dynamic_cast<WeiPipeTrainer*>(&trainer)) {
-    return &w->fabric();
-  }
-  if (auto* p = dynamic_cast<PipelineTrainer*>(&trainer)) {
-    return &p->fabric();
-  }
-  if (auto* f = dynamic_cast<FsdpTrainer*>(&trainer)) {
-    return &f->fabric();
-  }
-  return nullptr;  // sequential
+  return trainer.fabric();  // nullptr for sequential
 }
 
 struct KindStats {
@@ -252,6 +245,12 @@ void fill_metrics(obs::MetricsRegistry& registry, const ProfileReport& report,
   registry.counter("fabric.bytes").add(report.wire_bytes);
   registry.gauge("fabric.max_in_flight")
       .set(static_cast<double>(report.max_in_flight));
+
+  if (report.fault_injected) {
+    chaos::fill_fault_metrics(registry, report.fault_stats);
+    registry.counter("fault.step_recoveries")
+        .add(static_cast<std::uint64_t>(report.fault_recoveries));
+  }
 
   const auto ranks = static_cast<std::size_t>(report.ranks);
   if (pair_stats.size() == ranks * ranks) {
@@ -480,6 +479,12 @@ ProfileReport run_profile(const ProfileOptions& options) {
   std::vector<comm::FabricStats> pair_stats;
 
   if (report.schedule_backed) {
+    WEIPIPE_CHECK_MSG(options.fault_spec.empty(),
+                      "--faults requires a trainer-backed strategy with a "
+                      "persistent fabric; '"
+                          << options.strategy
+                          << "' replays schedule IR on a per-run fabric "
+                             "(use weipipe_cli chaos or a trainer strategy)");
     report.ranks = options.workers;
     const sched::Program program = build_schedule_backed(options);
 
@@ -555,10 +560,22 @@ ProfileReport run_profile(const ProfileOptions& options) {
     for (std::int64_t i = 0; i < options.warmup_iters; ++i) {
       (void)trainer->train_iteration(data, iter++);
     }
+    if (!options.fault_spec.empty()) {
+      comm::Fabric* fault_fabric = trainer->fabric();
+      WEIPIPE_CHECK_MSG(fault_fabric != nullptr,
+                        "--faults requires a fabric-backed strategy, not '"
+                            << options.strategy << "'");
+      fault_fabric->install_fault_plan(
+          comm::parse_fault_plan(options.fault_spec, cfg.seed));
+      report.fault_injected = true;
+    }
     const ThreadPoolStats pool_before = ThreadPool::global().stats();
     recorder.install();
     for (std::int64_t i = 0; i < options.iters; ++i) {
-      const IterationResult res = trainer->train_iteration(data, iter++);
+      const RecoveryResult rec =
+          train_iteration_with_recovery(*trainer, data, iter++);
+      const IterationResult& res = rec.result;
+      report.fault_recoveries += rec.recoveries;
       report.measured_step_seconds += res.wall_seconds;
       std::vector<obs::Span> iter_spans = recorder.drain();
       const sim::SimResult converted =
@@ -576,6 +593,9 @@ ProfileReport run_profile(const ProfileOptions& options) {
         if (comm::Fabric* fabric = trainer_fabric(*trainer)) {
           pair_stats = fabric->stats_matrix();
           report.max_in_flight = fabric->max_in_flight();
+          if (fabric->has_fault_plan()) {
+            report.fault_stats = fabric->fault_stats();
+          }
 
           // Per-kind wire ledger for the last iteration, against the paper's
           // closed-form volumes when the config sits in the envelope.

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/fault.hpp"
 #include "common/thread_pool.hpp"
 #include "core/trainer.hpp"
 #include "obs/span.hpp"
@@ -48,6 +49,12 @@ struct ProfileOptions {
   // Trainer-backed strategies only: the model/run configuration.
   TrainConfig train;
 
+  // Trainer-backed only: fault-plan spec (comm/fault.hpp grammar) installed
+  // into the trainer's fabric for the measured iterations; empty = perfect
+  // network. Seeded with train.seed. Injected faults surface as kFault
+  // spans in the trace and fault.* counters in the metrics snapshot.
+  std::string fault_spec;
+
   // Recorder configuration.
   std::size_t ring_capacity = 1 << 16;
   bool record_kernels = false;
@@ -67,6 +74,11 @@ struct ProfileReport {
   std::uint64_t wire_messages = 0;  // last iteration
   std::uint64_t max_in_flight = 0;  // last iteration, max over pairs
   std::uint64_t dropped_spans = 0;  // ring overflow (nonzero = trace gaps)
+
+  // Fault injection (only when ProfileOptions::fault_spec was set).
+  bool fault_injected = false;
+  comm::FaultStats fault_stats;
+  int fault_recoveries = 0;  // step-boundary rollbacks (stall plans)
 
   // Predictions; negative = unavailable for this strategy.
   double predicted_step_seconds = -1.0;  // engine makespan, ideal topology

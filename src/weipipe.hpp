@@ -33,14 +33,17 @@
 // Message-passing fabric
 #include "comm/collectives.hpp"
 #include "comm/fabric.hpp"
+#include "comm/fault.hpp"
 #include "comm/wire.hpp"
 
 // Trainers (the paper's contribution + every baseline)
+#include "baselines/chaos.hpp"
 #include "baselines/factory.hpp"
 #include "baselines/fsdp_trainer.hpp"
 #include "baselines/pipeline_trainer.hpp"
 #include "core/accounting.hpp"
 #include "core/checkpoint.hpp"
+#include "core/resilience.hpp"
 #include "core/sequential_trainer.hpp"
 #include "core/trainer.hpp"
 #include "core/weipipe_trainer.hpp"

@@ -1,0 +1,232 @@
+// Chaos/differential harness: golden determinism of clean runs, bitwise
+// equivalence of every trainer strategy under every fault class, fault-event
+// log determinism, step-boundary stall recovery, and the mutation test that
+// proves the differ actually detects broken gradient dedup.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/chaos.hpp"
+#include "baselines/factory.hpp"
+#include "comm/fabric.hpp"
+#include "comm/fault.hpp"
+#include "core/resilience.hpp"
+#include "nn/microbatch.hpp"
+#include "obs/json.hpp"
+
+namespace weipipe {
+namespace {
+
+TrainConfig tiny_config() {
+  TrainConfig cfg;
+  cfg.model.vocab_size = 32;
+  cfg.model.dim = 16;
+  cfg.model.n_layers = 4;
+  cfg.model.n_heads = 2;
+  cfg.model.seq_len = 8;
+  cfg.num_microbatches = 4;
+  cfg.microbatch_size = 1;
+  cfg.seq_len = 8;
+  cfg.seed = 2024;
+  return cfg;
+}
+
+constexpr std::int64_t kWorld = 4;
+constexpr std::int64_t kIters = 2;
+
+struct CleanRun {
+  std::vector<std::vector<float>> weights;
+  // (tag -> messages, bytes) of the last iteration; in_flight fields are
+  // scheduling-timing-dependent and deliberately excluded.
+  std::map<std::int64_t, std::pair<std::uint64_t, std::uint64_t>> tag_traffic;
+};
+
+CleanRun clean_run(const std::string& strategy) {
+  std::unique_ptr<Trainer> trainer =
+      make_trainer(strategy, tiny_config(), kWorld);
+  const SyntheticDataset data(tiny_config().model.vocab_size,
+                              tiny_config().seed);
+  for (std::int64_t i = 0; i < kIters; ++i) {
+    (void)trainer->train_iteration(data, i);
+  }
+  CleanRun out;
+  out.weights = trainer->gather_block_params();
+  if (comm::Fabric* fabric = trainer->fabric()) {
+    for (const auto& [tag, stats] : fabric->tag_stats()) {
+      out.tag_traffic[tag] = {stats.messages, stats.bytes};
+    }
+  }
+  return out;
+}
+
+bool bitwise_equal(const std::vector<std::vector<float>>& a,
+                   const std::vector<std::vector<float>>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) {
+      return false;
+    }
+    if (!a[i].empty() &&
+        std::memcmp(a[i].data(), b[i].data(),
+                    a[i].size() * sizeof(float)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Two same-seed clean runs of every strategy: bitwise-identical weights and
+// identical per-tag message/byte counts.
+TEST(GoldenDeterminism, CleanRunsAreBitwiseIdentical) {
+  for (const std::string& strategy : trainer_names()) {
+    const CleanRun first = clean_run(strategy);
+    const CleanRun second = clean_run(strategy);
+    EXPECT_TRUE(bitwise_equal(first.weights, second.weights)) << strategy;
+    EXPECT_EQ(first.tag_traffic, second.tag_traffic) << strategy;
+    EXPECT_FALSE(first.weights.empty()) << strategy;
+  }
+}
+
+// The headline sweep: strategy x fault class, all bitwise-equal to clean.
+TEST(Chaos, EveryStrategySurvivesEveryFaultClassBitwise) {
+  const std::vector<std::pair<std::string, std::string>> fault_classes = {
+      {"delay", "delay:p=0.3:us=100"},
+      {"drop", "drop:p=0.15:us=200"},
+      {"dup", "dup:p=0.15:ns=0"},
+      {"reorder", "reorder:p=0.15:us=100"},
+      {"stall", "stall:rank=1:op=30"},
+      {"mixed",
+       "delay:p=0.2:us=50,drop:p=0.1:us=100,dup:p=0.1:ns=0,"
+       "reorder:p=0.1:us=100,stall:rank=2:op=60"},
+  };
+  for (const std::string& strategy : trainer_names()) {
+    for (const auto& [label, spec] : fault_classes) {
+      chaos::ChaosConfig cc;
+      cc.strategy = strategy;
+      cc.train = tiny_config();
+      cc.world_size = kWorld;
+      cc.iterations = kIters;
+      cc.plan = comm::parse_fault_plan(spec, 99);
+      const chaos::ChaosReport r = chaos::run_chaos(cc);
+      EXPECT_TRUE(r.completed)
+          << strategy << " x " << label << ": " << r.error;
+      EXPECT_TRUE(r.bitwise_equal)
+          << strategy << " x " << label << ": max|diff|=" << r.max_abs_diff
+          << " first at block " << r.first_diff.block << "["
+          << r.first_diff.index << "]";
+    }
+  }
+}
+
+// Same FaultPlan seed => identical fault event logs (message-level plans;
+// stall plans abort mid-step at a racy point, see docs/FAULTS.md).
+TEST(Chaos, SameSeedProducesIdenticalFaultEventLog) {
+  chaos::ChaosConfig cc;
+  cc.strategy = "weipipe";
+  cc.train = tiny_config();
+  cc.world_size = kWorld;
+  cc.iterations = kIters;
+  cc.plan = comm::parse_fault_plan(
+      "drop:p=0.2:us=100,dup:p=0.2:ns=0,reorder:p=0.2:us=50", 31337);
+  const chaos::ChaosReport first = chaos::run_chaos(cc);
+  const chaos::ChaosReport second = chaos::run_chaos(cc);
+  ASSERT_TRUE(first.ok()) << first.error;
+  ASSERT_TRUE(second.ok()) << second.error;
+  EXPECT_FALSE(first.events.empty());
+  EXPECT_EQ(first.events, second.events);
+  EXPECT_EQ(first.fault_stats.drops, second.fault_stats.drops);
+  EXPECT_EQ(first.fault_stats.duplicates, second.fault_stats.duplicates);
+  EXPECT_EQ(first.fault_stats.reorders, second.fault_stats.reorders);
+
+  // A different seed draws a different schedule.
+  cc.plan.seed = 404;
+  const chaos::ChaosReport third = chaos::run_chaos(cc);
+  ASSERT_TRUE(third.ok()) << third.error;
+  EXPECT_NE(first.events, third.events);
+}
+
+// A transient stall rolls the run back to the step boundary and re-runs to
+// the bitwise-identical result.
+TEST(Chaos, StallRecoversViaStepBoundaryRollback) {
+  chaos::ChaosConfig cc;
+  cc.strategy = "weipipe";
+  cc.train = tiny_config();
+  cc.world_size = kWorld;
+  cc.iterations = kIters;
+  cc.plan = comm::parse_fault_plan("stall:rank=1:op=25", 5);
+  const chaos::ChaosReport r = chaos::run_chaos(cc);
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_TRUE(r.bitwise_equal);
+  EXPECT_EQ(r.fault_stats.stalls, 1u);
+  EXPECT_GE(r.recoveries, 1);
+  EXPECT_GE(r.fault_stats.recoveries, 1u);
+}
+
+// Mutation test for the harness itself: disabling the receiver's dedup (the
+// FaultPlan's nodedup knob) makes a duplicated weight-grad message (tag 3 =
+// kTagBD) consumed twice. The differ MUST report divergence — if this test
+// fails, the chaos harness has gone vacuously green.
+TEST(Chaos, BrokenGradientDedupIsCaughtByTheDiffer) {
+  chaos::ChaosConfig cc;
+  cc.strategy = "weipipe";
+  cc.train = tiny_config();
+  cc.world_size = kWorld;
+  cc.iterations = kIters;
+  cc.plan = comm::parse_fault_plan("nodedup,dup:p=1:tag=3:ns=0", 99);
+  const chaos::ChaosReport r = chaos::run_chaos(cc);
+  EXPECT_FALSE(r.ok());
+  EXPECT_GT(r.fault_stats.duplicates, 0u);
+}
+
+TEST(Chaos, ReportJsonIsParseable) {
+  chaos::ChaosConfig cc;
+  cc.strategy = "1f1b";
+  cc.train = tiny_config();
+  cc.world_size = kWorld;
+  cc.iterations = 1;
+  cc.plan = comm::parse_fault_plan("drop:p=0.2:us=100", 11);
+  const chaos::ChaosReport r = chaos::run_chaos(cc);
+  const std::string json = chaos::report_to_json(r);
+  const obs::JsonParseResult parsed = obs::parse_json(json);
+  EXPECT_TRUE(parsed.ok) << parsed.error;
+}
+
+// The recovery runner is a pass-through when no fault plan is installed.
+TEST(Resilience, PassThroughWithoutFaultPlan) {
+  const TrainConfig cfg = tiny_config();
+  std::unique_ptr<Trainer> trainer = make_trainer("weipipe", cfg, kWorld);
+  const SyntheticDataset data(cfg.model.vocab_size, cfg.seed);
+  const RecoveryResult r = train_iteration_with_recovery(*trainer, data, 0);
+  EXPECT_EQ(r.recoveries, 0);
+  EXPECT_GT(r.result.wire_messages, 0u);
+}
+
+// Direct resilience path: a stalled iteration is retried and converges to
+// the same weights as an undisturbed trainer.
+TEST(Resilience, StalledIterationMatchesCleanTrainerBitwise) {
+  const TrainConfig cfg = tiny_config();
+  const SyntheticDataset data(cfg.model.vocab_size, cfg.seed);
+
+  std::unique_ptr<Trainer> clean = make_trainer("1f1b", cfg, kWorld);
+  (void)clean->train_iteration(data, 0);
+
+  std::unique_ptr<Trainer> faulty = make_trainer("1f1b", cfg, kWorld);
+  faulty->fabric()->install_fault_plan(
+      comm::parse_fault_plan("stall:rank=0:op=5", 1));
+  const RecoveryResult r = train_iteration_with_recovery(*faulty, data, 0);
+  EXPECT_EQ(faulty->fabric()->fault_stats().stalls, 1u);
+  EXPECT_GE(r.recoveries, 1);
+  EXPECT_TRUE(
+      bitwise_equal(clean->gather_block_params(),
+                    faulty->gather_block_params()));
+}
+
+}  // namespace
+}  // namespace weipipe

@@ -407,5 +407,284 @@ TEST(Collectives, AllReduceRequiresDivisibleBuffer) {
                Error);
 }
 
+// ---- fault injection (comm/fault.hpp) ---------------------------------------
+
+TEST(FaultPlan, SpecRoundTrips) {
+  const std::string spec =
+      "nodedup,retries:4,delay:p=0.1:src=1:dst=2:tag=3:ns=500,"
+      "drop:p=0.02:ns=1000000,dup:p=0.5:tag=3:ns=2000000,"
+      "reorder:p=0.25:ns=2000000,stall:rank=2:op=40";
+  const FaultPlan plan = parse_fault_plan(spec, 77);
+  EXPECT_FALSE(plan.dedup);
+  EXPECT_EQ(plan.max_retries, 4);
+  ASSERT_EQ(plan.rules.size(), 5u);
+  EXPECT_EQ(plan.rules[0].kind, FaultKind::kDelay);
+  EXPECT_EQ(plan.rules[0].src, 1);
+  EXPECT_EQ(plan.rules[0].dst, 2);
+  EXPECT_EQ(plan.rules[0].tag, 3);
+  EXPECT_EQ(plan.rules[4].kind, FaultKind::kStall);
+  EXPECT_EQ(plan.rules[4].stall_rank, 2);
+  EXPECT_EQ(plan.rules[4].stall_op, 40);
+  EXPECT_TRUE(plan.has_stalls());
+  // Canonical form re-parses to the same canonical form.
+  const std::string canon = to_spec(plan);
+  EXPECT_EQ(to_spec(parse_fault_plan(canon, 77)), canon);
+}
+
+TEST(FaultPlan, MalformedSpecsThrow) {
+  EXPECT_THROW(parse_fault_plan("explode:p=1", 0), Error);
+  EXPECT_THROW(parse_fault_plan("delay:p=1.5", 0), Error);
+  EXPECT_THROW(parse_fault_plan("delay:p", 0), Error);
+  EXPECT_THROW(parse_fault_plan("drop:p=abc", 0), Error);
+  EXPECT_THROW(parse_fault_plan("delay:frequency=2", 0), Error);
+  EXPECT_THROW(parse_fault_plan("retries", 0), Error);
+  EXPECT_TRUE(parse_fault_plan("", 0).empty());
+}
+
+TEST(FaultPlan, HitIsDeterministicAndSeedSensitive) {
+  FaultPlan a = parse_fault_plan("drop:p=0.3", 1);
+  FaultPlan b = parse_fault_plan("drop:p=0.3", 1);
+  FaultPlan c = parse_fault_plan("drop:p=0.3", 2);
+  int diffs = 0;
+  int hits = 0;
+  for (std::uint64_t seq = 0; seq < 2000; ++seq) {
+    const bool ha = a.hit(0, 0, 1, 3, seq, 0);
+    EXPECT_EQ(ha, b.hit(0, 0, 1, 3, seq, 0)) << seq;
+    hits += ha ? 1 : 0;
+    diffs += ha != c.hit(0, 0, 1, 3, seq, 0) ? 1 : 0;
+  }
+  // p=0.3 over 2000 trials: comfortably inside [400, 800].
+  EXPECT_GT(hits, 400);
+  EXPECT_LT(hits, 800);
+  // A different seed gives a genuinely different schedule.
+  EXPECT_GT(diffs, 100);
+}
+
+TEST(FaultPlan, EdgeAndTagFiltersApply) {
+  const FaultPlan plan = parse_fault_plan("drop:p=1:src=0:dst=1:tag=7", 0);
+  EXPECT_TRUE(plan.hit(0, 0, 1, 7, 0, 0));
+  EXPECT_FALSE(plan.hit(0, 1, 0, 7, 0, 0));
+  EXPECT_FALSE(plan.hit(0, 0, 2, 7, 0, 0));
+  EXPECT_FALSE(plan.hit(0, 0, 1, 8, 0, 0));
+}
+
+TEST(Fault, DuplicatesAreDiscardedByTheReceiver) {
+  Fabric fabric(2);
+  fabric.install_fault_plan(parse_fault_plan("dup:p=1:ns=0", 9));
+  std::thread t([&] {
+    for (std::uint8_t i = 0; i < 3; ++i) {
+      fabric.endpoint(1).send(0, 5, {i});
+    }
+  });
+  for (std::uint8_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(fabric.endpoint(0).recv(1, 5), std::vector<std::uint8_t>{i});
+  }
+  t.join();
+  const FaultStats stats = fabric.fault_stats();
+  EXPECT_EQ(stats.duplicates, 3u);
+  // The copy of the last message is still queued (nothing consumed after
+  // it); the first two copies were skipped by the reassembly cursor.
+  EXPECT_EQ(stats.duplicates_discarded, 2u);
+  // Logical (deduplicated) message count only.
+  EXPECT_EQ(fabric.pair_stats(1, 0).messages, 3u);
+}
+
+TEST(Fault, DroppedMessagesAreRetransmittedNotLost) {
+  Fabric fabric(2);
+  // p=1 drops every attempt up to retries, then force-delivers: the recv
+  // below must succeed after ~retries backoffs rather than deadlock.
+  fabric.install_fault_plan(parse_fault_plan("retries:3,drop:p=1:us=200", 9));
+  std::thread t([&] { fabric.endpoint(1).send(0, 5, {42}); });
+  EXPECT_EQ(fabric.endpoint(0).recv(1, 5), std::vector<std::uint8_t>{42});
+  t.join();
+  const FaultStats stats = fabric.fault_stats();
+  EXPECT_EQ(stats.drops, 3u);
+  EXPECT_EQ(stats.retries, 3u);
+}
+
+TEST(Fault, ReorderedStreamIsReassembledInOrder) {
+  Fabric fabric(2);
+  fabric.install_fault_plan(parse_fault_plan("reorder:p=0.5:us=300", 9));
+  constexpr std::uint8_t kN = 16;
+  std::thread t([&] {
+    for (std::uint8_t i = 0; i < kN; ++i) {
+      fabric.endpoint(1).send(0, 5, {i});
+    }
+  });
+  for (std::uint8_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(fabric.endpoint(0).recv(1, 5), std::vector<std::uint8_t>{i});
+  }
+  t.join();
+  EXPECT_GT(fabric.fault_stats().reorders, 0u);
+}
+
+TEST(Fault, EventLogIsDeterministicAcrossRuns) {
+  const auto run = [] {
+    Fabric fabric(2);
+    fabric.install_fault_plan(
+        parse_fault_plan("drop:p=0.4:us=100,dup:p=0.4:ns=0", 123));
+    std::thread t([&] {
+      for (std::uint8_t i = 0; i < 32; ++i) {
+        fabric.endpoint(1).send(0, 5, {i});
+      }
+    });
+    for (std::uint8_t i = 0; i < 32; ++i) {
+      (void)fabric.endpoint(0).recv(1, 5);
+    }
+    t.join();
+    return fabric.fault_events();
+  };
+  const std::vector<FaultEvent> first = run();
+  const std::vector<FaultEvent> second = run();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(Fault, RecvTimeoutThrowsStructuredCommError) {
+  Fabric fabric(2);
+  fabric.set_recv_timeout(std::chrono::milliseconds(50));
+  // An unrelated pending message shows up in the in-flight count.
+  fabric.endpoint(1).send(0, /*tag=*/9, {1, 2, 3});
+  try {
+    (void)fabric.endpoint(0).recv(1, /*tag=*/7);
+    FAIL() << "recv should have timed out";
+  } catch (const CommError& e) {
+    EXPECT_EQ(e.info().kind, CommErrorKind::kRecvTimeout);
+    EXPECT_EQ(e.info().rank, 0);
+    EXPECT_EQ(e.info().peer, 1);
+    EXPECT_EQ(e.info().tag, 7);
+    EXPECT_EQ(e.info().expected_seq, 0u);
+    EXPECT_EQ(e.info().pending_messages, 1u);
+    EXPECT_NE(std::string(e.what()).find("rank 0"), std::string::npos);
+    EXPECT_TRUE(e.recoverable());
+  }
+}
+
+TEST(Fault, StallAbortsEveryRankAndRecovers) {
+  Fabric fabric(2);
+  fabric.set_recv_timeout(std::chrono::milliseconds(5000));
+  fabric.install_fault_plan(parse_fault_plan("stall:rank=0:op=2", 0));
+  try {
+    run_workers(fabric, [](int rank, Endpoint& ep) {
+      if (rank == 0) {
+        for (std::int64_t i = 0; i < 4; ++i) {
+          ep.send(1, i, {7});  // third fabric op trips the stall
+        }
+      } else {
+        for (std::int64_t i = 0; i < 4; ++i) {
+          (void)ep.recv(0, i);
+        }
+      }
+    });
+    FAIL() << "stall should have aborted the step";
+  } catch (const CommError& e) {
+    EXPECT_TRUE(e.info().kind == CommErrorKind::kStall ||
+                e.info().kind == CommErrorKind::kAborted);
+  }
+  EXPECT_TRUE(fabric.aborted());
+  EXPECT_EQ(fabric.fault_stats().stalls, 1u);
+
+  fabric.recover();
+  EXPECT_FALSE(fabric.aborted());
+  EXPECT_EQ(fabric.fault_stats().recoveries, 1u);
+
+  // The stall is transient (one-shot): the re-run completes.
+  std::vector<std::uint8_t> got;
+  run_workers(fabric, [&](int rank, Endpoint& ep) {
+    if (rank == 0) {
+      for (std::int64_t i = 0; i < 4; ++i) {
+        ep.send(1, i, {static_cast<std::uint8_t>(i)});
+      }
+    } else {
+      for (std::int64_t i = 0; i < 4; ++i) {
+        got.push_back(ep.recv(0, i)[0]);
+      }
+    }
+  });
+  EXPECT_EQ(got, (std::vector<std::uint8_t>{0, 1, 2, 3}));
+  EXPECT_EQ(fabric.fault_stats().stalls, 1u);  // did not re-fire
+}
+
+TEST(Fault, AbortWakesBlockedReceivers) {
+  Fabric fabric(2);
+  std::exception_ptr thrown;
+  std::thread t([&] {
+    try {
+      (void)fabric.endpoint(0).recv(1, 3);
+    } catch (...) {
+      thrown = std::current_exception();
+    }
+  });
+  // Give the receiver a moment to block, then fail the fabric.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  fabric.abort_all();
+  t.join();
+  ASSERT_TRUE(thrown != nullptr);
+  try {
+    std::rethrow_exception(thrown);
+  } catch (const CommError& e) {
+    EXPECT_EQ(e.info().kind, CommErrorKind::kAborted);
+    EXPECT_EQ(e.info().rank, 0);
+  }
+}
+
+// Collectives at degenerate world sizes must produce bit-identical results
+// under message-level fault injection: the reliability layer may only cost
+// latency, never numerics.
+TEST_P(CollectiveWorlds, AllReduceBitwiseEqualUnderFaults) {
+  const int p = GetParam();
+  const std::size_t n = static_cast<std::size_t>(4 * std::max(p, 1));
+  const auto run = [&](const char* spec) {
+    Fabric fabric(p);
+    if (spec != nullptr) {
+      fabric.install_fault_plan(parse_fault_plan(spec, 42));
+    }
+    std::vector<std::vector<float>> results(static_cast<std::size_t>(p));
+    run_workers(fabric, [&](int rank, Endpoint& ep) {
+      std::vector<float> buf(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        buf[i] = static_cast<float>(rank + 1) * 0.25f +
+                 static_cast<float>(i) * 0.5f;
+      }
+      ring_all_reduce(ep, std::span<float>(buf.data(), buf.size()),
+                      WirePrecision::Fp32);
+      results[static_cast<std::size_t>(rank)] = buf;
+    });
+    return results;
+  };
+  const auto clean = run(nullptr);
+  const auto faulty =
+      run("delay:p=0.3:us=50,drop:p=0.2:us=100,dup:p=0.2:ns=0,"
+          "reorder:p=0.2:us=100");
+  EXPECT_EQ(clean, faulty);
+}
+
+TEST_P(CollectiveWorlds, GatherAndReduceScatterBitwiseEqualUnderFaults) {
+  const int p = GetParam();
+  const std::size_t n = 6;
+  const auto run = [&](const char* spec) {
+    Fabric fabric(p);
+    if (spec != nullptr) {
+      fabric.install_fault_plan(parse_fault_plan(spec, 7));
+    }
+    std::vector<std::vector<float>> gathered(static_cast<std::size_t>(p));
+    std::vector<std::vector<float>> scattered(static_cast<std::size_t>(p));
+    run_workers(fabric, [&](int rank, Endpoint& ep) {
+      std::vector<float> shard(n, static_cast<float>(rank) * 1.5f + 0.125f);
+      std::vector<float> full(n * static_cast<std::size_t>(p), -1.0f);
+      ring_all_gather(ep, shard, full, WirePrecision::Fp32);
+      gathered[static_cast<std::size_t>(rank)] = full;
+      std::vector<float> out(n);
+      ring_reduce_scatter(ep, full, out, WirePrecision::Fp32);
+      scattered[static_cast<std::size_t>(rank)] = out;
+    });
+    return std::pair(gathered, scattered);
+  };
+  const auto clean = run(nullptr);
+  const auto faulty = run("drop:p=0.25:us=100,dup:p=0.25:ns=0");
+  EXPECT_EQ(clean.first, faulty.first);
+  EXPECT_EQ(clean.second, faulty.second);
+}
+
 }  // namespace
 }  // namespace weipipe::comm

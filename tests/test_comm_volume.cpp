@@ -173,13 +173,13 @@ void expect_matches_closed_form(Trainer& trainer, comm::Fabric& fabric,
 TEST(CommVolume, ClosedFormMatchesWeiPipeInterleave) {
   const TrainConfig cfg = base_config(2, 16);
   WeiPipeTrainer t(cfg, 4);
-  expect_matches_closed_form(t, t.fabric(), "weipipe", cfg, 4);
+  expect_matches_closed_form(t, *t.fabric(), "weipipe", cfg, 4);
 }
 
 TEST(CommVolume, ClosedFormMatchesWeiPipeNaive) {
   const TrainConfig cfg = base_config(2, 16);
   WeiPipeTrainer t(cfg, 4, {.mode = WeiPipeMode::kNaive});
-  expect_matches_closed_form(t, t.fabric(), "weipipe-naive", cfg, 4);
+  expect_matches_closed_form(t, *t.fabric(), "weipipe-naive", cfg, 4);
 }
 
 TEST(CommVolume, ClosedFormMatchesWeiPipeFp16) {
@@ -187,25 +187,25 @@ TEST(CommVolume, ClosedFormMatchesWeiPipeFp16) {
   cfg.precision.weights = WirePrecision::Fp16;
   cfg.precision.weight_grads = WirePrecision::Bf16;
   WeiPipeTrainer t(cfg, 4);
-  expect_matches_closed_form(t, t.fabric(), "weipipe", cfg, 4);
+  expect_matches_closed_form(t, *t.fabric(), "weipipe", cfg, 4);
 }
 
 TEST(CommVolume, ClosedFormMatches1F1B) {
   const TrainConfig cfg = base_config(2, 16);
   PipelineTrainer t(cfg, 4);
-  expect_matches_closed_form(t, t.fabric(), "1f1b", cfg, 4);
+  expect_matches_closed_form(t, *t.fabric(), "1f1b", cfg, 4);
 }
 
 TEST(CommVolume, ClosedFormMatchesGPipe) {
   const TrainConfig cfg = base_config(2, 16);
   PipelineTrainer t(cfg, 4, {.mode = PipelineMode::kGPipe});
-  expect_matches_closed_form(t, t.fabric(), "gpipe", cfg, 4);
+  expect_matches_closed_form(t, *t.fabric(), "gpipe", cfg, 4);
 }
 
 TEST(CommVolume, ClosedFormMatchesFsdp) {
   const TrainConfig cfg = base_config(2, 16);
   FsdpTrainer t(cfg, 4);
-  expect_matches_closed_form(t, t.fabric(), "fsdp", cfg, 4);
+  expect_matches_closed_form(t, *t.fabric(), "fsdp", cfg, 4);
 }
 
 TEST(CommVolume, ClosedFormUnavailableOutsideEnvelope) {

@@ -7,6 +7,7 @@
 //   weipipe_cli analyze  [flags]   statically model-check schedules
 //   weipipe_cli profile  [flags]   trace a real run; measured vs predicted
 //   weipipe_cli bench    [flags]   run the canonical matrix; write trajectory
+//   weipipe_cli chaos    [flags]   fault-inject a strategy; diff vs clean run
 //   weipipe_cli help
 //
 // Run `weipipe_cli help` for every flag.
@@ -418,6 +419,7 @@ int cmd_profile(const Flags& flags) {
   opt.ring_capacity =
       static_cast<std::size_t>(flags.i64("ring-capacity", 1 << 16));
   opt.train = config_from_flags(flags);
+  opt.fault_spec = flags.str("faults", "");
 
   const prof::ProfileReport report = prof::run_profile(opt);
   std::printf("%s", report.summary().c_str());
@@ -488,6 +490,71 @@ int cmd_bench(const Flags& flags) {
   return 0;
 }
 
+int cmd_chaos(const Flags& flags) {
+  chaos::ChaosConfig cc;
+  cc.train = config_from_flags(flags);
+  cc.world_size = flags.i64("workers", 4);
+  cc.iterations = flags.i64("iters", 2);
+  cc.max_recovery_attempts =
+      static_cast<int>(flags.i64("max-recoveries", 3));
+  const std::uint64_t fault_seed = static_cast<std::uint64_t>(
+      flags.i64("fault-seed", flags.i64("seed", 1234)));
+  const std::string spec = flags.str(
+      "faults", "delay:p=0.2:us=200,drop:p=0.05,dup:p=0.05,reorder:p=0.05");
+  cc.plan = comm::parse_fault_plan(spec, fault_seed);
+
+  const std::string strategy = flags.str("strategy", "all");
+  const std::vector<std::string> strategies =
+      strategy == "all" ? trainer_names()
+                        : std::vector<std::string>{strategy};
+
+  std::printf("fault plan: %s  (seed %llu)\n", comm::to_spec(cc.plan).c_str(),
+              static_cast<unsigned long long>(fault_seed));
+  std::printf("%-18s %4s %8s %7s %7s %7s %7s %6s %s\n", "strategy", "ok",
+              "bitwise", "delays", "drops", "dups", "reord", "recov",
+              "max|diff|");
+  bool all_ok = true;
+  std::string log = "[\n";
+  obs::Registry metrics;
+  for (std::size_t i = 0; i < strategies.size(); ++i) {
+    cc.strategy = strategies[i];
+    const chaos::ChaosReport r = chaos::run_chaos(cc);
+    all_ok = all_ok && r.ok();
+    std::printf("%-18s %4s %8s %7llu %7llu %7llu %7llu %6d %g\n",
+                r.strategy.c_str(), r.ok() ? "OK" : "FAIL",
+                r.bitwise_equal ? "equal" : "DIFF",
+                static_cast<unsigned long long>(r.fault_stats.delays),
+                static_cast<unsigned long long>(r.fault_stats.drops),
+                static_cast<unsigned long long>(r.fault_stats.duplicates),
+                static_cast<unsigned long long>(r.fault_stats.reorders),
+                r.recoveries, r.max_abs_diff);
+    if (!r.error.empty()) {
+      std::printf("  error: %s\n", r.error.c_str());
+    }
+    std::string body = chaos::report_to_json(r);
+    if (!body.empty() && body.back() == '\n') {
+      body.pop_back();
+    }
+    log += (i == 0 ? "" : ",\n") + body;
+    chaos::fill_fault_metrics(metrics, r.fault_stats);
+  }
+  log += "\n]\n";
+  if (flags.flag("log")) {
+    const std::string path = flags.str("log", "chaos_log.json");
+    trace::write_file(path, log);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  if (flags.flag("metrics")) {
+    const std::string path = flags.str("metrics", "chaos_metrics.json");
+    trace::write_file(path, metrics.to_json());
+    std::printf("wrote %s\n", path.c_str());
+  }
+  if (!all_ok) {
+    std::printf("CHAOS FAIL: at least one strategy diverged under faults\n");
+  }
+  return all_ok ? 0 : 1;
+}
+
 void print_help() {
   std::printf(R"(weipipe_cli — WeiPipe weight-pipeline training toolkit
 
@@ -530,6 +597,8 @@ COMMANDS
     --timeline         render the measured timeline as ASCII
     --svg PATH         write the measured timeline as SVG
     --kernels          also record per-dispatch thread-pool kernel spans
+    --faults SPEC      inject a seeded fault plan (trainer-backed only);
+                       faults appear as kFault trace spans + fault.* metrics
   bench      run the canonical strategy matrix and write the bench
              trajectory (step time, GFLOP/s, per-kind wire bytes vs the
              closed forms, full-footprint peak vs static bounds); diff two
@@ -537,6 +606,19 @@ COMMANDS
     --smoke            trimmed matrix (4-rank cases, 1 iteration, no warmup)
     --iters N --warmup-iters N                 (full runs; default 2 / 1)
     --out PATH         output path (default artifacts/BENCH_trajectory.json)
+  chaos      run a strategy clean and under a seeded fault plan and diff
+             the final weights bitwise (docs/FAULTS.md); exits nonzero if
+             any strategy diverges or fails to complete
+    --strategy S|all   trainer strategy, or the whole matrix (default all)
+    --faults SPEC      fault-plan spec, e.g. "drop:p=0.05,dup:p=0.1:tag=3"
+                       kinds: delay|drop|dup|reorder|stall|nodedup|retries
+                       keys: p src dst tag ns/us/ms rank op
+    --fault-seed N     fault-plan seed (default --seed)
+    --workers P --iters N --max-recoveries N   (default 4 / 2 / 3)
+    --dim H --layers L --microbatches N ...    (model flags, as train)
+    --log PATH         write the per-strategy chaos reports + fault event
+                       logs as a JSON array
+    --metrics PATH     write fault.* metrics snapshot JSON
 )");
 }
 
@@ -570,6 +652,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "bench") {
       return cmd_bench(flags);
+    }
+    if (cmd == "chaos") {
+      return cmd_chaos(flags);
     }
     if (cmd == "help" || cmd == "--help") {
       print_help();
