@@ -7,6 +7,7 @@
 #include "common/stopwatch.hpp"
 #include "core/wire_tags.hpp"
 #include "nn/loss.hpp"
+#include "obs/health.hpp"
 #include "obs/recorder.hpp"
 
 namespace weipipe {
@@ -64,6 +65,8 @@ IterationResult PipelineTrainer::train_iteration(const Dataset& data,
                                                  std::int64_t iter_index) {
   Stopwatch sw;
   obs::SpanScope step_span(obs::SpanKind::kStep);
+  // Step-cadence heartbeat for the live health plane (obs/health.hpp).
+  obs::HealthStepScope health_step(iter_index);
   fabric_->reset_stats();
   std::vector<double> losses(
       static_cast<std::size_t>(cfg_.num_microbatches), 0.0);

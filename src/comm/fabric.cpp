@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <exception>
+#include <thread>
 
 #include "common/check.hpp"
+#include "obs/health.hpp"
 #include "obs/ledger.hpp"
 #include "obs/recorder.hpp"
 
@@ -362,13 +364,22 @@ void Fabric::maybe_stall(int rank) {
       ++fr->stats.stalls;
       fr->events.push_back(event);
     }
+    const std::int64_t stall_start_ns = obs::now_ns();
+    // Hold: the rank freezes heartbeat-silent for stall_hold before pulling
+    // the fabric down — a live window in which the health watchdog can
+    // observe the wedge and name the blocked peers. Pure latency; the
+    // rollback/re-run path is identical to an immediate abort.
+    if (rule.stall_hold.count() > 0) {
+      std::this_thread::sleep_for(rule.stall_hold);
+    }
     if (obs::enabled()) {
       obs::Span span;
       span.kind = obs::SpanKind::kFault;
-      span.start_ns = obs::now_ns();
-      span.end_ns = span.start_ns;
+      span.start_ns = stall_start_ns;
+      span.end_ns = obs::now_ns();  // the fault span covers the hold
       span.rank = rank;
       span.tag = static_cast<std::int64_t>(FaultKind::kStall);
+      span.bytes = rule.stall_hold.count();
       obs::record(span);
     }
     abort_all();
@@ -574,6 +585,9 @@ std::int64_t Fabric::deliver(int src, int dst, std::int64_t tag,
   for (const FaultEvent& event : local_events) {
     record_fault(event);
   }
+  if (obs::health_enabled()) {
+    obs::health().on_comm_progress(src);
+  }
   return flow_id;
 }
 
@@ -581,6 +595,11 @@ Fabric::Taken Fabric::take(int dst, int src, std::int64_t tag) {
   WEIPIPE_CHECK_MSG(src >= 0 && src < world_size(),
                     "recv from invalid rank " << src);
   maybe_stall(dst);
+  // Health plane: publish who this rank is about to block on. The watchdog
+  // turns a long-lived publication into a STALLED verdict attributed to
+  // `src`; the destructor clears it and counts a progress heartbeat (on
+  // both the delivery and the CommError unwind paths).
+  obs::HealthWaitScope wait_scope(dst, src, tag);
   // The wait span covers blocked-on-arrival time: from entering take() to
   // the matching message being ready (modeled delivery time included).
   const bool traced = obs::enabled();
@@ -703,7 +722,11 @@ void run_workers(Fabric& fabric,
         // Tag the thread with its rank so every span recorded inside the
         // worker body (compute, comm, collectives) lands on rank r's track.
         obs::RankScope rank_scope(r);
+        // Health heartbeat covering the whole worker body; complete() marks
+        // the clean exit so only finished bodies feed the straggler window.
+        obs::HealthWorkerScope health_scope(r);
         fn(r, fabric.endpoint(r));
+        health_scope.complete();
       } catch (...) {
         std::lock_guard<std::mutex> lk(err_mu);
         if (!first_error) {

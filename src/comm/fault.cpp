@@ -4,6 +4,9 @@
 #include <sstream>
 #include <tuple>
 
+#include "obs/health.hpp"
+#include "obs/json.hpp"
+
 namespace weipipe::comm {
 
 namespace {
@@ -179,13 +182,13 @@ FaultPlan parse_fault_plan(const std::string& spec, std::uint64_t seed) {
         rule.dst = static_cast<int>(parse_i64(clause, value));
       } else if (key == "tag") {
         rule.tag = parse_i64(clause, value);
-      } else if (key == "ns") {
-        rule.delay = std::chrono::nanoseconds(parse_i64(clause, value));
-      } else if (key == "us") {
-        rule.delay = std::chrono::nanoseconds(1'000 * parse_i64(clause, value));
-      } else if (key == "ms") {
-        rule.delay =
-            std::chrono::nanoseconds(1'000'000 * parse_i64(clause, value));
+      } else if (key == "ns" || key == "us" || key == "ms") {
+        const std::int64_t scale =
+            key == "ns" ? 1 : key == "us" ? 1'000 : 1'000'000;
+        // For stalls the duration keys set the frozen-rank hold; for
+        // message faults they set the injected latency / backoff base.
+        (rule.kind == FaultKind::kStall ? rule.stall_hold : rule.delay) =
+            std::chrono::nanoseconds(scale * parse_i64(clause, value));
       } else if (key == "rank") {
         rule.stall_rank = static_cast<int>(parse_i64(clause, value));
       } else if (key == "op") {
@@ -224,6 +227,9 @@ std::string to_spec(const FaultPlan& plan) {
     oss << to_string(r.kind);
     if (r.kind == FaultKind::kStall) {
       oss << ":rank=" << r.stall_rank << ":op=" << r.stall_op;
+      if (r.stall_hold.count() > 0) {
+        oss << ":ns=" << r.stall_hold.count();
+      }
       continue;
     }
     oss << ":p=" << r.probability;
@@ -288,7 +294,59 @@ std::string comm_error_message(const CommErrorInfo& info) {
 }
 }  // namespace
 
+std::string comm_error_info_to_json(const CommErrorInfo& info) {
+  std::string out = "{\"kind\": ";
+  obs::append_json_string(out, to_string(info.kind));
+  out += ", \"rank\": " + std::to_string(info.rank);
+  out += ", \"peer\": " + std::to_string(info.peer);
+  out += ", \"tag\": " + std::to_string(info.tag);
+  out += ", \"expected_seq\": " + std::to_string(info.expected_seq);
+  out += ", \"pending_messages\": " + std::to_string(info.pending_messages);
+  out += "}";
+  return out;
+}
+
+CommErrorInfo comm_error_info_from_json(const std::string& json) {
+  const obs::JsonParseResult parsed = obs::parse_json(json);
+  WEIPIPE_CHECK_MSG(parsed.ok, "CommErrorInfo JSON: " << parsed.error);
+  const obs::JsonValue& v = parsed.value;
+  WEIPIPE_CHECK_MSG(v.is_object(), "CommErrorInfo JSON: expected an object");
+  const obs::JsonValue* kind = v.find("kind");
+  WEIPIPE_CHECK_MSG(kind != nullptr, "CommErrorInfo JSON: missing 'kind'");
+  CommErrorInfo info;
+  const std::string& name = kind->as_string();
+  if (name == to_string(CommErrorKind::kRecvTimeout)) {
+    info.kind = CommErrorKind::kRecvTimeout;
+  } else if (name == to_string(CommErrorKind::kStall)) {
+    info.kind = CommErrorKind::kStall;
+  } else if (name == to_string(CommErrorKind::kAborted)) {
+    info.kind = CommErrorKind::kAborted;
+  } else {
+    WEIPIPE_CHECK_MSG(false, "CommErrorInfo JSON: unknown kind '" << name
+                                                                  << "'");
+  }
+  const auto i64 = [&v](const char* key, std::int64_t fallback) {
+    const obs::JsonValue* f = v.find(key);
+    return f == nullptr ? fallback : static_cast<std::int64_t>(f->as_number());
+  };
+  info.rank = static_cast<int>(i64("rank", -1));
+  info.peer = static_cast<int>(i64("peer", -1));
+  info.tag = i64("tag", -1);
+  info.expected_seq = static_cast<std::uint64_t>(i64("expected_seq", 0));
+  info.pending_messages =
+      static_cast<std::uint64_t>(i64("pending_messages", 0));
+  return info;
+}
+
 CommError::CommError(const CommErrorInfo& info)
-    : Error(comm_error_message(info)), info_(info) {}
+    : Error(comm_error_message(info)), info_(info) {
+  // Publish the structured context to the live health board (when armed):
+  // the watchdog folds it into blocked-on-peer attribution and the black
+  // box dumps it per rank. Done here so every throw site — timeout, stall,
+  // abort cascade — reports uniformly.
+  obs::health().on_comm_error(info_.rank, to_string(info_.kind), info_.peer,
+                              info_.tag, info_.expected_seq,
+                              info_.pending_messages);
+}
 
 }  // namespace weipipe::comm

@@ -52,6 +52,13 @@ struct FaultRule {
   // kStall only.
   int stall_rank = 0;
   std::int64_t stall_op = 0;
+  // kStall only: how long the rank stays frozen (heartbeat-silent) before
+  // it aborts the fabric. 0 = abort immediately (the pre-hold behavior).
+  // A nonzero hold gives the live health watchdog (obs/health.hpp) a real
+  // window to observe the wedge and attribute blocked peers before the
+  // CommError cascade; determinism is unaffected (the hold is pure latency,
+  // recovered exactly like an immediate abort).
+  std::chrono::nanoseconds stall_hold{0};
 };
 
 struct FaultPlan {
@@ -143,7 +150,15 @@ struct CommErrorInfo {
   std::int64_t tag = -1;         // tag it was waiting on (-1 = n/a)
   std::uint64_t expected_seq = 0;       // next sequence number needed
   std::uint64_t pending_messages = 0;   // undelivered messages queued for rank
+
+  friend bool operator==(const CommErrorInfo&, const CommErrorInfo&) = default;
 };
+
+// JSON round trip for the structured context (black-box dumps, tests):
+// {"kind":"recv-timeout","rank":0,"peer":1,"tag":3,"expected_seq":7,
+//  "pending_messages":2}. from_json throws weipipe::Error on malformed input.
+std::string comm_error_info_to_json(const CommErrorInfo& info);
+CommErrorInfo comm_error_info_from_json(const std::string& json);
 
 // Thrown by the fabric instead of a bare check failure so tests and the
 // step-boundary recovery path (core/resilience.hpp) can catch and classify

@@ -1,6 +1,16 @@
 #include "common/check.hpp"
 
+#include <atomic>
+
 namespace weipipe::detail {
+
+namespace {
+std::atomic<CheckFailureObserver> g_check_observer{nullptr};
+}  // namespace
+
+void set_check_failure_observer(CheckFailureObserver observer) {
+  g_check_observer.store(observer, std::memory_order_release);
+}
 
 void throw_check_failure(const char* expr, const char* file, int line,
                          const std::string& extra) {
@@ -9,7 +19,12 @@ void throw_check_failure(const char* expr, const char* file, int line,
   if (!extra.empty()) {
     oss << " — " << extra;
   }
-  throw Error(oss.str());
+  const std::string what = oss.str();
+  if (CheckFailureObserver observer =
+          g_check_observer.load(std::memory_order_acquire)) {
+    observer(what.c_str());
+  }
+  throw Error(what);
 }
 
 }  // namespace weipipe::detail

@@ -17,6 +17,13 @@ class Error : public std::runtime_error {
 namespace detail {
 [[noreturn]] void throw_check_failure(const char* expr, const char* file, int line,
                                       const std::string& extra);
+
+// Invoked (when set) with the composed failure message immediately before
+// the Error is thrown. Not a recovery hook — the throw always proceeds; it
+// exists so an armed obs::BlackBox can capture CHECK failures as post-mortem
+// dumps. nullptr clears it.
+using CheckFailureObserver = void (*)(const char* what);
+void set_check_failure_observer(CheckFailureObserver observer);
 }  // namespace detail
 
 }  // namespace weipipe

@@ -2,8 +2,19 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace weipipe {
+
+// The one steady-clock nanosecond epoch shared by every timestamp producer
+// in the process: obs spans, health heartbeats, fault-event markers, and
+// black-box dumps. Merging per-rank timelines (flight recorder + Perfetto
+// export) is only sound if every producer samples the same clock base.
+inline std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 class Stopwatch {
  public:

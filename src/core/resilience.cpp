@@ -1,10 +1,12 @@
 #include "core/resilience.hpp"
 
+#include <string>
 #include <utility>
 
 #include "comm/fabric.hpp"
 #include "common/check.hpp"
 #include "core/checkpoint.hpp"
+#include "obs/blackbox.hpp"
 
 namespace weipipe {
 
@@ -23,8 +25,13 @@ RecoveryResult train_iteration_with_recovery(Trainer& trainer,
     try {
       out.result = trainer.train_iteration(data, iter_index);
       return out;
-    } catch (const comm::CommError&) {
+    } catch (const comm::CommError& e) {
       if (attempt >= options.max_attempts) {
+        // Recovery exhausted: this CommError is fatal to the run. Leave the
+        // black box (when one is armed) before the unwind tears the state
+        // down. Recovered faults deliberately do not dump.
+        obs::blackbox_dump_once(
+            std::string("unrecovered comm error: ") + e.what());
         throw;
       }
       fabric->recover();

@@ -4,6 +4,7 @@
 
 #include "common/stopwatch.hpp"
 #include "nn/loss.hpp"
+#include "obs/health.hpp"
 #include "obs/recorder.hpp"
 
 namespace weipipe {
@@ -38,6 +39,10 @@ IterationResult SequentialTrainer::train_iteration(
   obs::SpanScope step_span(obs::SpanKind::kStep);
   // Single-process reference: every span lands on a "rank 0" track.
   obs::RankScope rank_scope(0);
+  // Step-cadence heartbeat plus the rank-0 worker heartbeat run_workers
+  // would provide in the distributed trainers (obs/health.hpp).
+  obs::HealthStepScope health_step(iter_index);
+  obs::HealthWorkerScope health_worker(0);
   const std::int64_t n = cfg_.num_microbatches;
 
   // Compute copies: emulate the wire precision the distributed runs compute
@@ -126,6 +131,7 @@ IterationResult SequentialTrainer::train_iteration(
   IterationResult res;
   res.mean_loss = static_cast<float>(loss_sum / static_cast<double>(n));
   res.wall_seconds = sw.seconds();
+  health_worker.complete();
   return res;
 }
 

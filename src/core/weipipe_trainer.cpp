@@ -6,6 +6,7 @@
 #include "common/stopwatch.hpp"
 #include "core/wire_tags.hpp"
 #include "nn/loss.hpp"
+#include "obs/health.hpp"
 #include "obs/recorder.hpp"
 
 namespace weipipe {
@@ -109,6 +110,8 @@ IterationResult WeiPipeTrainer::train_iteration(const Dataset& data,
   Stopwatch sw;
   // Whole-iteration span; recorded on the driving thread's track.
   obs::SpanScope step_span(obs::SpanKind::kStep);
+  // Step-cadence heartbeat for the live health plane (obs/health.hpp).
+  obs::HealthStepScope health_step(iter_index);
   fabric_->reset_stats();
   std::vector<double> losses(
       static_cast<std::size_t>(cfg_.num_microbatches), 0.0);

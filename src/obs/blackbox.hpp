@@ -1,0 +1,102 @@
+// Post-mortem black box: when a run dies, leave a causal timeline behind.
+//
+// An armed BlackBox turns the four ways a distributed step can die — a
+// comm::CommError that exhausts recovery, a watchdog DEAD verdict, a fatal
+// signal, or a WEIPIPE_CHECK failure — into one atomic dump: every rank's
+// flight-recorder ring is drained into <dir>/postmortem.json together with
+// the final HealthReport and any caller-registered sections (fault-event
+// logs, config), and the same span timeline is exported through the Chrome
+// trace writer as <dir>/postmortem_trace.json so the last moments open
+// directly in Perfetto.
+//
+// Layering: obs cannot include comm, so comm-side context (fault events)
+// arrives through set_section() providers registered by the caller, and the
+// CommError path is wired at the catch sites (core/resilience.cpp, the
+// health CLI) via blackbox_dump_once().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+#include "obs/span.hpp"
+
+namespace weipipe::obs {
+
+struct JsonValue;
+
+struct BlackBoxOptions {
+  // Output directory; created on demand. Dump files are postmortem.json and
+  // postmortem_trace.json inside it.
+  std::string dir = "postmortem";
+  // Also export the drained spans through the Perfetto/Chrome-trace writer.
+  bool write_perfetto = true;
+  // Dump when a WEIPIPE_CHECK fails (hooked via common/check.hpp's
+  // failure observer; the throw still proceeds).
+  bool dump_on_check_failure = true;
+  // Install SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT handlers that dump and
+  // re-raise. Off by default: best-effort last words (the dump allocates,
+  // which is not async-signal-safe); the health CLI turns it on.
+  bool install_signal_handlers = false;
+};
+
+class BlackBox {
+ public:
+  explicit BlackBox(BlackBoxOptions options = {});
+  ~BlackBox();  // disarms if still armed
+  BlackBox(const BlackBox&) = delete;
+  BlackBox& operator=(const BlackBox&) = delete;
+
+  // Makes this instance the process-wide dump target. One at a time.
+  void arm();
+  void disarm();
+  static BlackBox* armed();  // nullptr = no black box armed
+
+  const BlackBoxOptions& options() const { return options_; }
+
+  // Registers a JSON section emitted under `name` in postmortem.json. The
+  // provider runs at dump time and must return a complete JSON value (the
+  // caller typically closes over a fabric: fault events, wire stats).
+  void set_section(const std::string& name,
+                   std::function<std::string()> provider);
+
+  // Drains the active recorder (if any) and the health board into
+  // <dir>/postmortem.json (+ the Perfetto trace); returns the postmortem
+  // path. Thread-safe; every call writes.
+  std::string dump(const std::string& reason);
+  // First trigger wins: later calls are no-ops returning "". All the
+  // failure hooks funnel through this so cascading aborts (every rank
+  // throws when the fabric dies) produce exactly one dump.
+  std::string dump_once(const std::string& reason);
+
+  std::uint64_t dumps() const { return dumps_.load(std::memory_order_relaxed); }
+
+ private:
+  BlackBoxOptions options_;
+  std::atomic<bool> armed_{false};
+  std::atomic<std::uint64_t> dumps_{0};
+  std::mutex mu_;
+  std::map<std::string, std::function<std::string()>> sections_
+      WEIPIPE_GUARDED_BY(mu_);
+};
+
+// dump_once on the armed black box; "" when none is armed. The one-liner
+// the failure paths call.
+std::string blackbox_dump_once(const std::string& reason);
+
+// ---- span timeline serialization --------------------------------------------
+
+// The black-box span schema: a JSON array of objects with every Span field
+// (kind as its to_string name). spans_from_json inverts it — labels are
+// re-interned into static storage so reconstructed spans satisfy the
+// Span::label lifetime contract and re-export byte-identically through the
+// Chrome trace writer.
+std::string spans_to_json(const std::vector<Span>& spans);
+std::vector<Span> spans_from_json(const JsonValue& value);
+
+}  // namespace weipipe::obs

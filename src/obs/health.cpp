@@ -1,0 +1,573 @@
+#include "obs/health.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/stopwatch.hpp"
+#include "obs/json.hpp"
+
+namespace weipipe::obs {
+
+namespace {
+
+constexpr double kNsPerSecond = 1e9;
+
+double seconds_since(std::int64_t since_ns, std::int64_t now_ns) {
+  return since_ns <= 0 ? 0.0
+                       : static_cast<double>(now_ns - since_ns) / kNsPerSecond;
+}
+
+}  // namespace
+
+const char* to_string(RankHealth health) {
+  switch (health) {
+    case RankHealth::kOk: return "ok";
+    case RankHealth::kSlow: return "slow";
+    case RankHealth::kStalled: return "stalled";
+    case RankHealth::kDead: return "dead";
+  }
+  return "?";
+}
+
+// ---- HealthBoard ------------------------------------------------------------
+
+HealthBoard& HealthBoard::instance() {
+  static HealthBoard board;
+  return board;
+}
+
+void HealthBoard::reset(int world) {
+  world_.store(std::min(world, kMaxRanks), std::memory_order_relaxed);
+  for (Slot& s : slots_) {
+    s.last_beat_ns.store(0, std::memory_order_relaxed);
+    s.in_step.store(false, std::memory_order_relaxed);
+    s.steps.store(0, std::memory_order_relaxed);
+    s.comm_ops.store(0, std::memory_order_relaxed);
+    s.wait_peer.store(-1, std::memory_order_relaxed);
+    s.wait_tag.store(-1, std::memory_order_relaxed);
+    s.wait_since_ns.store(0, std::memory_order_relaxed);
+    for (auto& w : s.window) {
+      w.store(0, std::memory_order_relaxed);
+    }
+    s.window_count.store(0, std::memory_order_relaxed);
+    s.err_kind.store(nullptr, std::memory_order_relaxed);
+    s.err_peer.store(-1, std::memory_order_relaxed);
+    s.err_tag.store(-1, std::memory_order_relaxed);
+    s.err_expected_seq.store(0, std::memory_order_relaxed);
+    s.err_pending.store(0, std::memory_order_relaxed);
+  }
+  job_step_.store(-1, std::memory_order_relaxed);
+  job_in_step_.store(false, std::memory_order_relaxed);
+  job_begin_ns_.store(0, std::memory_order_relaxed);
+  job_end_ns_.store(0, std::memory_order_relaxed);
+  for (auto& w : job_window_) {
+    w.store(0, std::memory_order_relaxed);
+  }
+  job_window_count_.store(0, std::memory_order_relaxed);
+}
+
+void HealthBoard::on_step_begin(std::int64_t step_index) {
+  if (!enabled()) {
+    return;
+  }
+  job_step_.store(step_index, std::memory_order_relaxed);
+  job_begin_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+  job_in_step_.store(true, std::memory_order_relaxed);
+}
+
+void HealthBoard::on_step_end(std::int64_t step_index,
+                              std::int64_t duration_ns) {
+  if (!enabled()) {
+    return;
+  }
+  job_step_.store(step_index, std::memory_order_relaxed);
+  job_in_step_.store(false, std::memory_order_relaxed);
+  job_end_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+  const std::int64_t n =
+      job_window_count_.fetch_add(1, std::memory_order_relaxed);
+  job_window_[n % kWindow].store(duration_ns, std::memory_order_relaxed);
+}
+
+void HealthBoard::on_worker_begin(int rank) {
+  Slot* s = slot(rank);
+  if (!enabled() || s == nullptr) {
+    return;
+  }
+  s->last_beat_ns.store(steady_now_ns(), std::memory_order_relaxed);
+  s->in_step.store(true, std::memory_order_relaxed);
+}
+
+void HealthBoard::on_worker_end(int rank, std::int64_t duration_ns,
+                                bool completed) {
+  Slot* s = slot(rank);
+  if (!enabled() || s == nullptr) {
+    return;
+  }
+  s->in_step.store(false, std::memory_order_relaxed);
+  s->wait_peer.store(-1, std::memory_order_relaxed);
+  s->wait_tag.store(-1, std::memory_order_relaxed);
+  s->wait_since_ns.store(0, std::memory_order_relaxed);
+  s->last_beat_ns.store(steady_now_ns(), std::memory_order_relaxed);
+  if (completed) {
+    record_step_duration(rank, duration_ns);
+  }
+}
+
+void HealthBoard::on_comm_progress(int rank) {
+  Slot* s = slot(rank);
+  if (!enabled() || s == nullptr) {
+    return;
+  }
+  s->comm_ops.fetch_add(1, std::memory_order_relaxed);
+  s->last_beat_ns.store(steady_now_ns(), std::memory_order_relaxed);
+}
+
+void HealthBoard::on_wait_begin(int rank, int peer, std::int64_t tag) {
+  Slot* s = slot(rank);
+  if (!enabled() || s == nullptr) {
+    return;
+  }
+  const std::int64_t now = steady_now_ns();
+  s->wait_tag.store(tag, std::memory_order_relaxed);
+  s->wait_since_ns.store(now, std::memory_order_relaxed);
+  s->wait_peer.store(peer, std::memory_order_relaxed);
+  s->last_beat_ns.store(now, std::memory_order_relaxed);
+}
+
+void HealthBoard::on_wait_end(int rank) {
+  Slot* s = slot(rank);
+  if (!enabled() || s == nullptr) {
+    return;
+  }
+  s->wait_peer.store(-1, std::memory_order_relaxed);
+  s->wait_tag.store(-1, std::memory_order_relaxed);
+  s->wait_since_ns.store(0, std::memory_order_relaxed);
+  s->last_beat_ns.store(steady_now_ns(), std::memory_order_relaxed);
+}
+
+void HealthBoard::on_comm_error(int rank, const char* kind, int peer,
+                                std::int64_t tag, std::uint64_t expected_seq,
+                                std::uint64_t pending_messages) {
+  Slot* s = slot(rank);
+  if (!enabled() || s == nullptr) {
+    return;
+  }
+  s->err_peer.store(peer, std::memory_order_relaxed);
+  s->err_tag.store(tag, std::memory_order_relaxed);
+  s->err_expected_seq.store(expected_seq, std::memory_order_relaxed);
+  s->err_pending.store(pending_messages, std::memory_order_relaxed);
+  // kind last: status_of treats a non-null kind as "error present".
+  s->err_kind.store(kind, std::memory_order_release);
+}
+
+void HealthBoard::record_step_duration(int rank, std::int64_t duration_ns) {
+  Slot* s = slot(rank);
+  if (s == nullptr) {
+    return;
+  }
+  // A duration sample is by definition a completed worker body, so this is
+  // also where `steps` advances — the straggler gate compares it against
+  // min_window, and the synthetic-ingestion path must count the same way as
+  // on_worker_end.
+  s->steps.fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t n =
+      s->window_count.fetch_add(1, std::memory_order_relaxed);
+  s->window[n % kWindow].store(duration_ns, std::memory_order_relaxed);
+}
+
+RankStatus HealthBoard::status_of(int rank, std::int64_t now_ns) const {
+  RankStatus st;
+  st.rank = rank;
+  const Slot* s = slot(rank);
+  if (s == nullptr) {
+    return st;
+  }
+  st.in_step = s->in_step.load(std::memory_order_relaxed);
+  st.steps = s->steps.load(std::memory_order_relaxed);
+  st.comm_ops = s->comm_ops.load(std::memory_order_relaxed);
+  st.idle_seconds =
+      seconds_since(s->last_beat_ns.load(std::memory_order_relaxed), now_ns);
+  const int peer = s->wait_peer.load(std::memory_order_relaxed);
+  if (peer >= 0) {
+    st.waiting = true;
+    st.blocked_on_peer = peer;
+    st.blocked_on_tag = s->wait_tag.load(std::memory_order_relaxed);
+    st.waiting_seconds = seconds_since(
+        s->wait_since_ns.load(std::memory_order_relaxed), now_ns);
+  }
+  const std::int64_t count =
+      std::min<std::int64_t>(s->window_count.load(std::memory_order_relaxed),
+                             kWindow);
+  if (count > 0) {
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < count; ++i) {
+      sum += static_cast<double>(s->window[i].load(std::memory_order_relaxed));
+    }
+    st.mean_step_seconds = sum / static_cast<double>(count) / kNsPerSecond;
+  }
+  if (const char* kind = s->err_kind.load(std::memory_order_acquire)) {
+    st.last_error.present = true;
+    st.last_error.kind = kind;
+    st.last_error.peer = s->err_peer.load(std::memory_order_relaxed);
+    st.last_error.tag = s->err_tag.load(std::memory_order_relaxed);
+    st.last_error.expected_seq =
+        s->err_expected_seq.load(std::memory_order_relaxed);
+    st.last_error.pending_messages =
+        s->err_pending.load(std::memory_order_relaxed);
+  }
+  return st;
+}
+
+HealthReport HealthBoard::job_status(std::int64_t now_ns) const {
+  HealthReport report;
+  report.now_ns = now_ns;
+  report.world = world();
+  report.job_step = job_step_.load(std::memory_order_relaxed);
+  report.job_in_step = job_in_step_.load(std::memory_order_relaxed);
+  const std::int64_t count = std::min<std::int64_t>(
+      job_window_count_.load(std::memory_order_relaxed), kWindow);
+  if (count > 0) {
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < count; ++i) {
+      sum += static_cast<double>(
+          job_window_[i].load(std::memory_order_relaxed));
+    }
+    report.job_mean_step_seconds =
+        sum / static_cast<double>(count) / kNsPerSecond;
+  }
+  if (report.job_mean_step_seconds > 0.0) {
+    const std::int64_t anchor =
+        report.job_in_step ? job_begin_ns_.load(std::memory_order_relaxed)
+                           : job_end_ns_.load(std::memory_order_relaxed);
+    report.job_cadence_lag =
+        seconds_since(anchor, now_ns) / report.job_mean_step_seconds;
+  }
+  return report;
+}
+
+// ---- RAII scopes ------------------------------------------------------------
+
+HealthWorkerScope::HealthWorkerScope(int rank)
+    : rank_(rank), armed_(health_enabled()) {
+  if (!armed_) {
+    return;
+  }
+  begin_ns_ = steady_now_ns();
+  health().on_worker_begin(rank_);
+}
+
+HealthWorkerScope::~HealthWorkerScope() {
+  if (!armed_) {
+    return;
+  }
+  health().on_worker_end(rank_, steady_now_ns() - begin_ns_, completed_);
+}
+
+HealthWaitScope::HealthWaitScope(int rank, int peer, std::int64_t tag)
+    : rank_(rank), armed_(health_enabled()) {
+  if (!armed_) {
+    return;
+  }
+  health().on_wait_begin(rank_, peer, tag);
+}
+
+HealthWaitScope::~HealthWaitScope() {
+  if (!armed_) {
+    return;
+  }
+  health().on_wait_end(rank_);
+  health().on_comm_progress(rank_);
+}
+
+HealthStepScope::HealthStepScope(std::int64_t step_index)
+    : step_(step_index), armed_(health_enabled()) {
+  if (!armed_) {
+    return;
+  }
+  begin_ns_ = steady_now_ns();
+  health().on_step_begin(step_);
+}
+
+HealthStepScope::~HealthStepScope() {
+  if (!armed_) {
+    return;
+  }
+  health().on_step_end(step_, steady_now_ns() - begin_ns_);
+}
+
+// ---- HealthReport -----------------------------------------------------------
+
+int HealthReport::count(RankHealth health) const {
+  int n = 0;
+  for (const RankStatus& r : ranks) {
+    n += r.health == health ? 1 : 0;
+  }
+  return n;
+}
+
+bool HealthReport::all_ok() const {
+  return count(RankHealth::kOk) == static_cast<int>(ranks.size());
+}
+
+std::string HealthReport::one_line() const {
+  std::ostringstream oss;
+  oss << "ok=" << count(RankHealth::kOk)
+      << " slow=" << count(RankHealth::kSlow)
+      << " stalled=" << count(RankHealth::kStalled)
+      << " dead=" << count(RankHealth::kDead);
+  if (job_step >= 0) {
+    oss << " | step " << job_step;
+    if (job_mean_step_seconds > 0.0) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), " mean %.1fms lag %.1fx",
+                    job_mean_step_seconds * 1e3, job_cadence_lag);
+      oss << buf;
+    }
+  }
+  for (const RankStatus& r : ranks) {
+    if (r.health == RankHealth::kStalled) {
+      oss << " | rank" << r.rank << "->peer" << r.blocked_on_peer;
+    } else if (r.health == RankHealth::kDead) {
+      oss << " | rank" << r.rank << " DEAD";
+    }
+  }
+  return oss.str();
+}
+
+std::string HealthReport::to_json() const {
+  std::string out = "{\n  \"schema\": 1,\n  \"now_ns\": ";
+  out += std::to_string(now_ns);
+  out += ",\n  \"world\": " + std::to_string(world);
+  out += ",\n  \"all_ok\": ";
+  out += all_ok() ? "true" : "false";
+  out += ",\n  \"counts\": {\"ok\": " + std::to_string(count(RankHealth::kOk));
+  out += ", \"slow\": " + std::to_string(count(RankHealth::kSlow));
+  out += ", \"stalled\": " + std::to_string(count(RankHealth::kStalled));
+  out += ", \"dead\": " + std::to_string(count(RankHealth::kDead)) + "},\n";
+  out += "  \"job\": {\"step\": " + std::to_string(job_step);
+  out += ", \"in_step\": ";
+  out += job_in_step ? "true" : "false";
+  out += ", \"mean_step_seconds\": " + json_number(job_mean_step_seconds);
+  out += ", \"cadence_lag\": " + json_number(job_cadence_lag) + "},\n";
+  out += "  \"ranks\": [";
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    const RankStatus& r = ranks[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"rank\": " + std::to_string(r.rank) + ", \"health\": ";
+    append_json_string(out, to_string(r.health));
+    out += ", \"in_step\": ";
+    out += r.in_step ? "true" : "false";
+    out += ", \"steps\": " + std::to_string(r.steps);
+    out += ", \"comm_ops\": " + std::to_string(r.comm_ops);
+    out += ", \"mean_step_seconds\": " + json_number(r.mean_step_seconds);
+    out += ", \"straggler_z\": " + json_number(r.straggler_z);
+    out += ", \"idle_seconds\": " + json_number(r.idle_seconds);
+    out += ", \"waiting\": ";
+    out += r.waiting ? "true" : "false";
+    out += ", \"blocked_on_peer\": " + std::to_string(r.blocked_on_peer);
+    out += ", \"blocked_on_tag\": " + std::to_string(r.blocked_on_tag);
+    out += ", \"waiting_seconds\": " + json_number(r.waiting_seconds);
+    out += ", \"last_error\": ";
+    if (r.last_error.present) {
+      out += "{\"kind\": ";
+      append_json_string(out, r.last_error.kind);
+      out += ", \"peer\": " + std::to_string(r.last_error.peer);
+      out += ", \"tag\": " + std::to_string(r.last_error.tag);
+      out += ", \"expected_seq\": " +
+             std::to_string(r.last_error.expected_seq);
+      out += ", \"pending_messages\": " +
+             std::to_string(r.last_error.pending_messages);
+      out += "}";
+    } else {
+      out += "null";
+    }
+    out += "}";
+  }
+  out += ranks.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+// ---- verdict logic ----------------------------------------------------------
+
+namespace {
+
+// Leave-one-out straggler z-scores over the per-rank window means. A plain
+// z-score saturates near sqrt(world) with one outlier because the outlier
+// itself inflates sigma; excluding the scored rank keeps a single wedged
+// rank separable at any world size. Sigma is floored at 5% of the peer mean
+// so identical peers (sigma == 0) still produce finite scores.
+void fill_straggler_scores(std::vector<RankStatus>& ranks,
+                           const WatchdogOptions& options) {
+  const std::size_t n = ranks.size();
+  if (n < 2) {
+    return;
+  }
+  for (const RankStatus& r : ranks) {
+    if (r.steps < options.min_window || r.mean_step_seconds <= 0.0) {
+      return;  // scoring needs a full picture of every rank
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    double peer_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      peer_sum += j == i ? 0.0 : ranks[j].mean_step_seconds;
+    }
+    const double peer_mean = peer_sum / static_cast<double>(n - 1);
+    double var = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) {
+        continue;
+      }
+      const double d = ranks[j].mean_step_seconds - peer_mean;
+      var += d * d;
+    }
+    const double sigma = std::max(std::sqrt(var / static_cast<double>(n - 1)),
+                                  0.05 * peer_mean);
+    if (sigma > 0.0) {
+      ranks[i].straggler_z = (ranks[i].mean_step_seconds - peer_mean) / sigma;
+    }
+    if (ranks[i].straggler_z > options.straggler_z_threshold &&
+        ranks[i].mean_step_seconds >
+            options.straggler_min_ratio * peer_mean) {
+      ranks[i].health = RankHealth::kSlow;
+    }
+  }
+}
+
+HealthReport build_report(std::int64_t now_ns,
+                          const WatchdogOptions& options) {
+  const HealthBoard& board = health();
+  HealthReport report = board.job_status(now_ns);
+  report.ranks.reserve(static_cast<std::size_t>(report.world));
+  for (int r = 0; r < report.world; ++r) {
+    RankStatus st = board.status_of(r, now_ns);
+    // Verdict precedence: a published wait proves the thread is alive and
+    // parked in the fabric, so STALLED (with attribution) wins over DEAD
+    // even though a blocked rank also goes heartbeat-silent. A rank that is
+    // in-step with no wait published and no heartbeats is indistinguishable
+    // from a wedge: DEAD.
+    if (st.waiting && st.waiting_seconds > options.stall_timeout_seconds) {
+      st.health = RankHealth::kStalled;
+    } else if (st.in_step && !st.waiting &&
+               st.idle_seconds > options.dead_timeout_seconds) {
+      st.health = RankHealth::kDead;
+    }
+    report.ranks.push_back(st);
+  }
+  fill_straggler_scores(report.ranks, options);
+  return report;
+}
+
+}  // namespace
+
+HealthReport snapshot_health(const WatchdogOptions& options) {
+  return build_report(steady_now_ns(), options);
+}
+
+// ---- Watchdog ---------------------------------------------------------------
+
+Watchdog::Watchdog(WatchdogOptions options) : options_(options) {}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::start(int world) {
+  stop();
+  HealthBoard& board = health();
+  board.reset(world);
+  board.set_enabled(true);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_requested_ = false;
+    dead_fired_ = false;
+    prev_.assign(static_cast<std::size_t>(board.world()), RankHealth::kOk);
+    transitions_.clear();
+    latest_ = HealthReport{};
+    latest_.world = board.world();
+  }
+  running_.store(true, std::memory_order_release);
+  monitor_ = std::thread(&Watchdog::loop, this);
+}
+
+void Watchdog::stop() {
+  if (!monitor_.joinable()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  monitor_.join();
+  running_.store(false, std::memory_order_release);
+  health().set_enabled(false);
+}
+
+void Watchdog::loop() {
+  const auto poll = std::chrono::duration<double>(options_.poll_seconds);
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_requested_) {
+    HealthReport report = evaluate(steady_now_ns());
+    const bool newly_dead =
+        !dead_fired_ && report.count(RankHealth::kDead) > 0;
+    if (newly_dead) {
+      dead_fired_ = true;
+    }
+    if (newly_dead && on_dead_) {
+      // Callback runs unlocked: it may dump a black box, which reads the
+      // watchdog-independent board and recorder.
+      auto cb = on_dead_;
+      lk.unlock();
+      cb(report);
+      lk.lock();
+    }
+    cv_.wait_for(lk, poll, [this]() WEIPIPE_REQUIRES(mu_) {
+      return stop_requested_;
+    });
+  }
+}
+
+HealthReport Watchdog::evaluate(std::int64_t now_ns) {
+  HealthReport report = build_report(now_ns, options_);
+  for (std::size_t i = 0; i < report.ranks.size(); ++i) {
+    if (i >= prev_.size()) {
+      prev_.resize(report.ranks.size(), RankHealth::kOk);
+    }
+    const RankHealth to = report.ranks[i].health;
+    if (prev_[i] != to) {
+      HealthTransition t;
+      t.at_ns = now_ns;
+      t.rank = report.ranks[i].rank;
+      t.from = prev_[i];
+      t.to = to;
+      t.blocked_on_peer = report.ranks[i].blocked_on_peer;
+      transitions_.push_back(t);
+      prev_[i] = to;
+    }
+  }
+  latest_ = report;
+  return report;
+}
+
+HealthReport Watchdog::report() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return latest_;
+}
+
+HealthReport Watchdog::evaluate_now() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return evaluate(steady_now_ns());
+}
+
+std::vector<HealthTransition> Watchdog::transitions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return transitions_;
+}
+
+void Watchdog::set_on_dead(std::function<void(const HealthReport&)> on_dead) {
+  on_dead_ = std::move(on_dead);
+}
+
+}  // namespace weipipe::obs

@@ -1,0 +1,315 @@
+// Live health plane: per-rank heartbeat board + stall/straggler watchdog.
+//
+// WeiPipe's weight-circulation ring serializes the whole step behind its
+// slowest rank, so "is every rank keeping pace, and if not, who is it stuck
+// behind?" must be answerable *while the run is live* — not after the fact
+// from a Perfetto trace. Three pieces:
+//
+//  * HealthBoard — a process-global, all-atomic scoreboard. Rank worker
+//    threads and the fabric publish heartbeats into fixed per-rank slots
+//    (worker begin/end, send/recv progress, blocked-on-peer waits, last
+//    structured CommError); the driving thread publishes step boundaries.
+//    Every hook is one relaxed load when disabled and a handful of relaxed
+//    stores when armed — cheap enough to leave compiled into every run,
+//    same budget discipline as the span recorder and the memory ledger.
+//  * Watchdog — a monitor thread that periodically folds the board into a
+//    HealthReport: per-rank OK/SLOW/STALLED/DEAD verdicts, expected-vs-
+//    observed step cadence, a straggler z-score over a sliding window of
+//    step times, and ring-edge attribution of *which* peer a stalled rank
+//    is blocked on (from the fabric's live wait publication plus the
+//    structured CommError context of comm/fault.hpp).
+//  * obs/blackbox.hpp consumes both on the way down: a fatal error drains
+//    the flight-recorder rings and the final HealthReport into
+//    postmortem.json.
+//
+// Layering: obs must not depend on comm, so the board stores only plain
+// ints and static strings; the fabric and comm::CommError push their context
+// in through the hook functions below.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+
+namespace weipipe::obs {
+
+enum class RankHealth : std::uint8_t {
+  kOk,
+  kSlow,     // straggler: step times are a statistical outlier vs peers
+  kStalled,  // blocked on one peer for longer than the stall timeout
+  kDead,     // in-step but publishing no heartbeats at all
+};
+
+const char* to_string(RankHealth health);
+
+// Last structured communication failure a rank observed (mirrors
+// comm::CommErrorInfo without the layering dependency; `kind` is the static
+// string from comm::to_string(CommErrorKind)).
+struct RankCommError {
+  bool present = false;
+  const char* kind = "";
+  int peer = -1;
+  std::int64_t tag = -1;
+  std::uint64_t expected_seq = 0;
+  std::uint64_t pending_messages = 0;
+};
+
+struct RankStatus {
+  int rank = 0;
+  RankHealth health = RankHealth::kOk;
+  bool in_step = false;            // inside a worker body right now
+  std::int64_t steps = 0;          // completed worker bodies
+  std::int64_t comm_ops = 0;       // fabric sends/recvs observed
+  double mean_step_seconds = 0.0;  // sliding-window mean worker-body time
+  double straggler_z = 0.0;        // leave-one-out z-score vs peers
+  double idle_seconds = 0.0;       // since the last heartbeat of any kind
+  // Live blocked-on attribution, published by Fabric::take while waiting.
+  bool waiting = false;
+  int blocked_on_peer = -1;
+  std::int64_t blocked_on_tag = -1;
+  double waiting_seconds = 0.0;
+  RankCommError last_error;
+};
+
+struct HealthReport {
+  std::int64_t now_ns = 0;
+  int world = 0;
+  std::int64_t job_step = -1;         // last step index the driver started
+  bool job_in_step = false;
+  double job_mean_step_seconds = 0.0;  // sliding mean of completed steps
+  // Expected-vs-observed cadence: elapsed time since the current step began
+  // (or the last one ended), in units of the mean step time. ~1 is on pace;
+  // >> 1 means the job has gone quiet. 0 when no cadence is established.
+  double job_cadence_lag = 0.0;
+  std::vector<RankStatus> ranks;
+
+  int count(RankHealth health) const;
+  bool all_ok() const;
+  // "ok=4 slow=0 stalled=0 dead=0 | step 7 mean 12.3ms" — the periodic
+  // status line `weipipe_cli health` prints.
+  std::string one_line() const;
+  std::string to_json() const;
+};
+
+// ---- heartbeat board --------------------------------------------------------
+
+class HealthBoard {
+ public:
+  // Fixed slot count: heartbeats index an array, never allocate.
+  static constexpr int kMaxRanks = 64;
+  // Sliding window of recent step/worker durations per rank.
+  static constexpr int kWindow = 16;
+
+  static HealthBoard& instance();
+
+  // One relaxed load; every hook gates on this. Armed by Watchdog::start.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  // Clears every slot and sets the rank count (clamped to kMaxRanks).
+  void reset(int world);
+  int world() const { return world_.load(std::memory_order_relaxed); }
+
+  // Driver-thread step boundaries (trainer train_iteration entry/exit).
+  void on_step_begin(std::int64_t step_index);
+  void on_step_end(std::int64_t step_index, std::int64_t duration_ns);
+
+  // Rank worker-thread heartbeats (fabric run_workers / trainer bodies).
+  void on_worker_begin(int rank);
+  void on_worker_end(int rank, std::int64_t duration_ns, bool completed);
+  void on_comm_progress(int rank);
+  void on_wait_begin(int rank, int peer, std::int64_t tag);
+  void on_wait_end(int rank);
+  // Called by the comm::CommError constructor; `kind` must point at static
+  // storage (it is comm::to_string(CommErrorKind)).
+  void on_comm_error(int rank, const char* kind, int peer, std::int64_t tag,
+                     std::uint64_t expected_seq,
+                     std::uint64_t pending_messages);
+
+  // Test/ingestion path: append a synthetic worker-duration sample.
+  void record_step_duration(int rank, std::int64_t duration_ns);
+
+  // Raw slot snapshot (no verdict; the Watchdog adds those). `now_ns` sets
+  // the reference point for idle/waiting ages.
+  RankStatus status_of(int rank, std::int64_t now_ns) const;
+  // Job-level cadence fields of a report (ranks left empty).
+  HealthReport job_status(std::int64_t now_ns) const;
+
+ private:
+  HealthBoard() = default;
+
+  struct alignas(64) Slot {
+    std::atomic<std::int64_t> last_beat_ns{0};
+    std::atomic<bool> in_step{false};
+    std::atomic<std::int64_t> steps{0};
+    std::atomic<std::int64_t> comm_ops{0};
+    std::atomic<int> wait_peer{-1};
+    std::atomic<std::int64_t> wait_tag{-1};
+    std::atomic<std::int64_t> wait_since_ns{0};
+    std::atomic<std::int64_t> window[kWindow]{};
+    std::atomic<std::int64_t> window_count{0};
+    std::atomic<const char*> err_kind{nullptr};
+    std::atomic<int> err_peer{-1};
+    std::atomic<std::int64_t> err_tag{-1};
+    std::atomic<std::uint64_t> err_expected_seq{0};
+    std::atomic<std::uint64_t> err_pending{0};
+  };
+
+  Slot* slot(int rank) {
+    return rank >= 0 && rank < kMaxRanks ? &slots_[rank] : nullptr;
+  }
+  const Slot* slot(int rank) const {
+    return rank >= 0 && rank < kMaxRanks ? &slots_[rank] : nullptr;
+  }
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<int> world_{0};
+  Slot slots_[kMaxRanks];
+
+  std::atomic<std::int64_t> job_step_{-1};
+  std::atomic<bool> job_in_step_{false};
+  std::atomic<std::int64_t> job_begin_ns_{0};
+  std::atomic<std::int64_t> job_end_ns_{0};
+  std::atomic<std::int64_t> job_window_[kWindow]{};
+  std::atomic<std::int64_t> job_window_count_{0};
+};
+
+inline HealthBoard& health() { return HealthBoard::instance(); }
+inline bool health_enabled() { return health().enabled(); }
+
+// ---- instrumentation RAII ---------------------------------------------------
+
+// One rank worker body (run_workers spawns one per rank per iteration).
+// Destruction publishes worker-end; call complete() on the clean-exit path
+// so the duration sample only feeds the straggler window for finished
+// bodies, not aborted ones.
+class HealthWorkerScope {
+ public:
+  explicit HealthWorkerScope(int rank);
+  ~HealthWorkerScope();
+  HealthWorkerScope(const HealthWorkerScope&) = delete;
+  HealthWorkerScope& operator=(const HealthWorkerScope&) = delete;
+  void complete() { completed_ = true; }
+
+ private:
+  int rank_;
+  std::int64_t begin_ns_ = 0;
+  bool armed_;
+  bool completed_ = false;
+};
+
+// One blocked receive (Fabric::take). Publishes which peer/tag the rank is
+// waiting on for the duration; the destructor clears the wait and counts a
+// comm-progress heartbeat.
+class HealthWaitScope {
+ public:
+  HealthWaitScope(int rank, int peer, std::int64_t tag);
+  ~HealthWaitScope();
+  HealthWaitScope(const HealthWaitScope&) = delete;
+  HealthWaitScope& operator=(const HealthWaitScope&) = delete;
+
+ private:
+  int rank_;
+  bool armed_;
+};
+
+// One train_iteration on the driving thread (step-cadence heartbeat).
+class HealthStepScope {
+ public:
+  explicit HealthStepScope(std::int64_t step_index);
+  ~HealthStepScope();
+  HealthStepScope(const HealthStepScope&) = delete;
+  HealthStepScope& operator=(const HealthStepScope&) = delete;
+
+ private:
+  std::int64_t step_;
+  std::int64_t begin_ns_ = 0;
+  bool armed_;
+};
+
+// ---- watchdog ---------------------------------------------------------------
+
+struct WatchdogOptions {
+  double poll_seconds = 0.05;
+  // Blocked on one peer longer than this => STALLED.
+  double stall_timeout_seconds = 0.5;
+  // In-step with no heartbeat at all longer than this => DEAD. Must cover
+  // the longest legitimately silent compute stretch of the workload.
+  double dead_timeout_seconds = 5.0;
+  // Straggler scoring: a rank is SLOW when its window-mean step time is both
+  // `straggler_z_threshold` leave-one-out standard deviations above its
+  // peers AND `straggler_min_ratio` times the peer mean (the ratio guard
+  // keeps tightly-clustered fast ranks from flagging noise). Scoring needs
+  // >= min_window samples on every compared rank and >= 2 ranks.
+  double straggler_z_threshold = 3.0;
+  double straggler_min_ratio = 1.5;
+  int min_window = 3;
+};
+
+// One verdict change, as observed by the poll loop (or evaluate_now).
+struct HealthTransition {
+  std::int64_t at_ns = 0;
+  int rank = -1;
+  RankHealth from = RankHealth::kOk;
+  RankHealth to = RankHealth::kOk;
+  int blocked_on_peer = -1;  // attribution at the moment of the transition
+};
+
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogOptions options = {});
+  ~Watchdog();  // stops if still running
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  // Resets + arms the board for `world` ranks and spawns the monitor
+  // thread. One watchdog at a time (the board is process-global).
+  void start(int world);
+  void stop();  // joins the monitor thread and disarms the board
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  const WatchdogOptions& options() const { return options_; }
+
+  // Latest report computed by the poll loop (or evaluate_now).
+  HealthReport report() const;
+  // Folds the board into a report immediately on the calling thread,
+  // recording verdict transitions; works with or without the poll thread.
+  HealthReport evaluate_now();
+  // Verdict changes observed so far, in observation order.
+  std::vector<HealthTransition> transitions() const;
+
+  // Invoked (from the monitor thread) the first time any rank is judged
+  // DEAD — the black-box dump trigger. Set before start().
+  void set_on_dead(std::function<void(const HealthReport&)> on_dead);
+
+ private:
+  void loop();
+  HealthReport evaluate(std::int64_t now_ns) WEIPIPE_REQUIRES(mu_);
+
+  WatchdogOptions options_;
+  std::atomic<bool> running_{false};
+  bool stop_requested_ WEIPIPE_GUARDED_BY(mu_) = false;
+  std::thread monitor_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  HealthReport latest_ WEIPIPE_GUARDED_BY(mu_);
+  std::vector<RankHealth> prev_ WEIPIPE_GUARDED_BY(mu_);
+  std::vector<HealthTransition> transitions_ WEIPIPE_GUARDED_BY(mu_);
+  std::function<void(const HealthReport&)> on_dead_;
+  bool dead_fired_ WEIPIPE_GUARDED_BY(mu_) = false;
+};
+
+// Folds the current board into a report without a Watchdog (used by the
+// black box at dump time; verdicts use `options` thresholds).
+HealthReport snapshot_health(const WatchdogOptions& options = {});
+
+}  // namespace weipipe::obs

@@ -1,9 +1,9 @@
 #include "obs/recorder.hpp"
 
 #include <algorithm>
-#include <chrono>
 
 #include "common/check.hpp"
+#include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 
 namespace weipipe::obs {
@@ -200,6 +200,29 @@ std::uint64_t Recorder::dropped() const {
   return n;
 }
 
+std::vector<Recorder::RankDropped> Recorder::dropped_by_rank() const {
+  std::vector<RankDropped> out;
+  std::uint64_t unranked = 0;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (std::size_t i = 0; i < rank_rings_.size(); ++i) {
+    if (!rank_rings_[i]) {
+      continue;
+    }
+    const std::uint64_t n =
+        rank_rings_[i]->dropped.load(std::memory_order_relaxed);
+    if (n > 0) {
+      out.push_back({static_cast<int>(i), n});
+    }
+  }
+  for (const auto& [id, r] : thread_rings_) {
+    unranked += r->dropped.load(std::memory_order_relaxed);
+  }
+  if (unranked > 0) {
+    out.push_back({-1, unranked});
+  }
+  return out;
+}
+
 bool enabled() { return Recorder::active() != nullptr; }
 
 bool kernels_enabled() {
@@ -207,11 +230,7 @@ bool kernels_enabled() {
   return rec != nullptr && rec->options().record_kernels;
 }
 
-std::int64_t now_ns() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+std::int64_t now_ns() { return steady_now_ns(); }
 
 void record(Span span) {
   Recorder* rec = Recorder::active();
@@ -234,7 +253,13 @@ void record(Span span) {
   const std::uint64_t tail = ring->tail.load(std::memory_order_relaxed);
   if (head - tail >= ring->slots.size()) {
     ring->dropped.fetch_add(1, std::memory_order_relaxed);
-    return;
+    if (!rec->options().overwrite_oldest) {
+      return;
+    }
+    // Flight-recorder mode: evict the oldest span. Only the producer moves
+    // tail while recording; drain() runs at quiescent points, so this store
+    // cannot race a concurrent drain of the same ring.
+    ring->tail.store(tail + 1, std::memory_order_relaxed);
   }
   ring->slots[head % ring->slots.size()] = span;
   ring->head.store(head + 1, std::memory_order_release);

@@ -35,6 +35,13 @@ struct RecorderOptions {
   // default: tensor kernels fire orders of magnitude more often than
   // schedule-level ops and would drown the rings.
   bool record_kernels = false;
+  // Full-ring policy. false (default, the profiling mode): drop the new span
+  // so an already-drained prefix stays exact. true (the flight-recorder mode
+  // used by the health plane): overwrite the oldest span so the ring always
+  // holds the most recent `ring_capacity` spans — a post-mortem wants the
+  // moments before the wedge, not the start of the run. Either way every
+  // lost span is counted in dropped().
+  bool overwrite_oldest = false;
 };
 
 class Recorder;
@@ -77,6 +84,15 @@ class Recorder {
   // Spans lost to full rings since construction (never reset by drain —
   // a nonzero value means the trace is incomplete and says so).
   std::uint64_t dropped() const;
+
+  // dropped() broken down by producer ring: one entry per rank ring that
+  // lost spans, plus a single rank = -1 entry aggregating unranked threads.
+  // Empty when nothing was lost. Feeds the obs.spans.dropped{rank} metrics.
+  struct RankDropped {
+    int rank = -1;
+    std::uint64_t dropped = 0;
+  };
+  std::vector<RankDropped> dropped_by_rank() const;
 
   // Internal (instrumentation fast path): the calling thread's ring.
   internal::ThreadRing* ring_for(int rank);

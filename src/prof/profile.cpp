@@ -235,6 +235,16 @@ void fill_metrics(obs::MetricsRegistry& registry, const ProfileReport& report,
 
   registry.counter("spans.recorded").add(report.spans.size());
   registry.counter("spans.dropped").add(report.dropped_spans);
+  // Canonical overflow metric (ISSUE 7): total plus a per-ring breakdown so
+  // a lossy trace names which rank's ring truncated.
+  registry.counter("obs.spans.dropped").add(report.dropped_spans);
+  for (const obs::Recorder::RankDropped& d : report.dropped_by_rank) {
+    registry
+        .counter(d.rank < 0 ? std::string("obs.spans.dropped.unranked")
+                            : "obs.spans.dropped.rank." +
+                                  std::to_string(d.rank))
+        .add(d.dropped);
+  }
 
   registry.counter("pool.dispatches").add(report.pool_stats.dispatches);
   registry.counter("pool.serial_runs").add(report.pool_stats.serial_runs);
@@ -444,6 +454,13 @@ std::string ProfileReport::summary() const {
     oss << "  (trace incomplete: raise ring_capacity)";
   }
   oss << '\n';
+  for (const obs::Recorder::RankDropped& d : dropped_by_rank) {
+    if (d.rank < 0) {
+      oss << "    dropped.unranked  " << d.dropped << '\n';
+    } else {
+      oss << "    dropped.rank." << d.rank << "  " << d.dropped << '\n';
+    }
+  }
   oss << "  pool       " << pool_stats.dispatches << " dispatch(es) ("
       << pool_stats.serial_runs << " serial), " << pool_stats.items
       << " item(s) in " << pool_stats.chunks << " chunk(s), "
@@ -678,6 +695,7 @@ ProfileReport run_profile(const ProfileOptions& options) {
     report.measured_bubble = bubble_sum;
   }
   report.dropped_spans = recorder.dropped();
+  report.dropped_by_rank = recorder.dropped_by_rank();
 
   report.trace_json = obs::spans_to_chrome_trace(report.spans);
   obs::MetricsRegistry registry;

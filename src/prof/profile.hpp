@@ -26,6 +26,7 @@
 #include "comm/fault.hpp"
 #include "common/thread_pool.hpp"
 #include "core/trainer.hpp"
+#include "obs/recorder.hpp"
 #include "obs/span.hpp"
 #include "sim/engine.hpp"
 
@@ -74,6 +75,10 @@ struct ProfileReport {
   std::uint64_t wire_messages = 0;  // last iteration
   std::uint64_t max_in_flight = 0;  // last iteration, max over pairs
   std::uint64_t dropped_spans = 0;  // ring overflow (nonzero = trace gaps)
+  // dropped_spans broken down by producer ring (rank -1 = unranked
+  // threads); only rings that lost spans appear. Surfaces as the
+  // obs.spans.dropped.rank.<r> metrics so lossy traces name the rank.
+  std::vector<obs::Recorder::RankDropped> dropped_by_rank;
 
   // Fault injection (only when ProfileOptions::fault_spec was set).
   bool fault_injected = false;

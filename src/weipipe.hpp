@@ -64,7 +64,9 @@
 #include "trace/timeline.hpp"
 
 // Observability & profiling
+#include "obs/blackbox.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/health.hpp"
 #include "obs/json.hpp"
 #include "obs/ledger.hpp"
 #include "obs/metrics.hpp"

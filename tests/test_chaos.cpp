@@ -17,6 +17,7 @@
 #include "comm/fault.hpp"
 #include "core/resilience.hpp"
 #include "nn/microbatch.hpp"
+#include "obs/health.hpp"
 #include "obs/json.hpp"
 
 namespace weipipe {
@@ -206,6 +207,83 @@ TEST(Resilience, PassThroughWithoutFaultPlan) {
   const RecoveryResult r = train_iteration_with_recovery(*trainer, data, 0);
   EXPECT_EQ(r.recoveries, 0);
   EXPECT_GT(r.result.wire_messages, 0u);
+}
+
+// Structured CommError context survives the JSON round trip exactly (this
+// is the shape black-box dumps and external tooling consume).
+TEST(CommErrorJson, ContextRoundTripsExactly) {
+  comm::CommErrorInfo info;
+  info.kind = comm::CommErrorKind::kRecvTimeout;
+  info.rank = 2;
+  info.peer = 3;
+  info.tag = 5;
+  info.expected_seq = 17;
+  info.pending_messages = 4;
+  EXPECT_EQ(comm::comm_error_info_from_json(comm::comm_error_info_to_json(
+                info)),
+            info);
+
+  info.kind = comm::CommErrorKind::kStall;
+  info.peer = -1;
+  info.tag = -1;
+  EXPECT_EQ(comm::comm_error_info_from_json(comm::comm_error_info_to_json(
+                info)),
+            info);
+
+  info.kind = comm::CommErrorKind::kAborted;
+  EXPECT_EQ(comm::comm_error_info_from_json(comm::comm_error_info_to_json(
+                info)),
+            info);
+}
+
+TEST(CommErrorJson, MalformedContextThrows) {
+  EXPECT_THROW((void)comm::comm_error_info_from_json("not json"), Error);
+  EXPECT_THROW((void)comm::comm_error_info_from_json("{}"), Error);
+  EXPECT_THROW((void)comm::comm_error_info_from_json(
+                   "{\"kind\": \"no-such-kind\", \"rank\": 0}"),
+               Error);
+}
+
+// The watchdog's blocked-on-peer attribution must match the injected stall
+// plan: freeze rank 1 mid-iteration and some neighbor must be judged
+// STALLED blocked on exactly that rank, while the thrown CommError carries
+// round-trippable structured context.
+TEST(Chaos, WatchdogAttributionMatchesTheInjectedStallPlan) {
+  obs::WatchdogOptions wd;
+  wd.poll_seconds = 0.02;
+  wd.stall_timeout_seconds = 0.15;
+  wd.dead_timeout_seconds = 60.0;  // attribution only; no DEAD verdicts here
+  obs::Watchdog watchdog(wd);
+  watchdog.start(static_cast<int>(kWorld));
+
+  const TrainConfig cfg = tiny_config();
+  std::unique_ptr<Trainer> trainer = make_trainer("weipipe", cfg, kWorld);
+  trainer->fabric()->install_fault_plan(
+      comm::parse_fault_plan("stall:rank=1:op=25:ms=700", 5));
+  const SyntheticDataset data(cfg.model.vocab_size, cfg.seed);
+  comm::CommErrorInfo caught;
+  try {
+    (void)trainer->train_iteration(data, 0);
+    FAIL() << "expected a CommError from the injected stall";
+  } catch (const comm::CommError& e) {
+    caught = e.info();
+  }
+  const std::vector<obs::HealthTransition> transitions =
+      watchdog.transitions();
+  watchdog.stop();
+
+  EXPECT_GE(caught.rank, 0);
+  EXPECT_EQ(comm::comm_error_info_from_json(
+                comm::comm_error_info_to_json(caught)),
+            caught);
+  bool attributed = false;
+  for (const obs::HealthTransition& t : transitions) {
+    if (t.to == obs::RankHealth::kStalled && t.blocked_on_peer == 1) {
+      attributed = true;
+    }
+  }
+  EXPECT_TRUE(attributed)
+      << "no STALLED verdict named the frozen rank 1 as the blocking peer";
 }
 
 // Direct resilience path: a stalled iteration is retried and converges to

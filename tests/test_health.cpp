@@ -1,0 +1,384 @@
+// Live health plane: flight-recorder ring semantics, watchdog verdicts
+// (stall attribution, dead detection, straggler scoring), and the post-mortem
+// black box (dump schema, span-timeline JSON round trip through the Perfetto
+// exporter). Mirrors the acceptance criteria: an injected stall must be
+// judged STALLED naming the correct blocked-on peer, a clean run must be
+// all-OK with zero dropped flight-ring entries, and a forced abort must
+// produce a parseable postmortem.json whose span timeline round-trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/factory.hpp"
+#include "comm/fabric.hpp"
+#include "comm/fault.hpp"
+#include "core/resilience.hpp"
+#include "nn/microbatch.hpp"
+#include "obs/blackbox.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/health.hpp"
+#include "obs/json.hpp"
+#include "obs/recorder.hpp"
+#include "obs/span.hpp"
+
+namespace weipipe {
+namespace {
+
+TrainConfig tiny_config() {
+  TrainConfig cfg;
+  cfg.model.vocab_size = 32;
+  cfg.model.dim = 16;
+  cfg.model.n_layers = 4;
+  cfg.model.n_heads = 2;
+  cfg.model.seq_len = 8;
+  cfg.num_microbatches = 4;
+  cfg.microbatch_size = 1;
+  cfg.seq_len = 8;
+  cfg.seed = 2024;
+  return cfg;
+}
+
+constexpr std::int64_t kWorld = 4;
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.good()) << "cannot read " << path.string();
+  std::ostringstream out;
+  out << f.rdbuf();
+  return out.str();
+}
+
+// ---- flight recorder --------------------------------------------------------
+
+// The flight-recorder mode keeps the most recent spans (overwrite-oldest),
+// the inverse of the default drop-new profiling policy pinned by test_obs.
+TEST(FlightRecorder, OverwriteOldestKeepsMostRecentSpans) {
+  obs::Recorder recorder({.ring_capacity = 16, .overwrite_oldest = true});
+  recorder.install();
+  {
+    obs::RankScope rank_scope(0);
+    for (int i = 0; i < 50; ++i) {
+      obs::SpanScope scope(obs::SpanKind::kForward, i, 0);
+    }
+  }
+  const std::vector<obs::Span> spans = recorder.drain();
+  ASSERT_EQ(spans.size(), 16u);
+  // Every evicted span is still accounted for.
+  EXPECT_EQ(recorder.dropped(), 34u);
+  // The ring kept the newest spans — the moments before a wedge.
+  EXPECT_EQ(spans.front().microbatch, 34);
+  EXPECT_EQ(spans.back().microbatch, 49);
+  const std::vector<obs::Recorder::RankDropped> by_rank =
+      recorder.dropped_by_rank();
+  ASSERT_EQ(by_rank.size(), 1u);
+  EXPECT_EQ(by_rank[0].rank, 0);
+  EXPECT_EQ(by_rank[0].dropped, 34u);
+  recorder.uninstall();
+}
+
+// ---- span-timeline JSON -----------------------------------------------------
+
+// Synthetic spans exercise every field; the JSON round trip must be exact
+// and the reconstructed spans must re-export byte-identically through the
+// Chrome-trace writer (timestamps included, which is why they are synthetic:
+// the comparison is deterministic).
+TEST(BlackBoxJson, SpanTimelineRoundTripIsExact) {
+  std::vector<obs::Span> spans;
+  obs::Span compute;
+  compute.start_ns = 1'000;
+  compute.end_ns = 5'000;
+  compute.kind = obs::SpanKind::kBackwardActs;
+  compute.rank = 2;
+  compute.microbatch = 7;
+  compute.chunk = 3;
+  compute.bytes = -4096;
+  compute.act_bytes_after = 123456.0;
+  spans.push_back(compute);
+  obs::Span comm;
+  comm.start_ns = 2'500;
+  comm.end_ns = 2'600;
+  comm.kind = obs::SpanKind::kRecvWait;
+  comm.rank = 0;
+  comm.peer = 3;
+  comm.tag = 5;
+  comm.bytes = 8192;
+  comm.flow_id = 42;
+  spans.push_back(comm);
+  obs::Span labeled;
+  labeled.start_ns = 3'000;
+  labeled.end_ns = 3'700;
+  labeled.kind = obs::SpanKind::kCollective;
+  labeled.rank = 1;
+  labeled.label = "all-reduce";
+  spans.push_back(labeled);
+
+  const std::string json = obs::spans_to_json(spans);
+  const obs::JsonParseResult parsed = obs::parse_json(json);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const std::vector<obs::Span> back = obs::spans_from_json(parsed.value);
+  ASSERT_EQ(back.size(), spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(back[i].start_ns, spans[i].start_ns) << i;
+    EXPECT_EQ(back[i].end_ns, spans[i].end_ns) << i;
+    EXPECT_EQ(back[i].kind, spans[i].kind) << i;
+    EXPECT_EQ(back[i].rank, spans[i].rank) << i;
+    EXPECT_EQ(back[i].microbatch, spans[i].microbatch) << i;
+    EXPECT_EQ(back[i].chunk, spans[i].chunk) << i;
+    EXPECT_EQ(back[i].peer, spans[i].peer) << i;
+    EXPECT_EQ(back[i].tag, spans[i].tag) << i;
+    EXPECT_EQ(back[i].bytes, spans[i].bytes) << i;
+    EXPECT_EQ(back[i].flow_id, spans[i].flow_id) << i;
+    EXPECT_EQ(back[i].act_bytes_after, spans[i].act_bytes_after) << i;
+  }
+  ASSERT_NE(back[2].label, nullptr);
+  EXPECT_STREQ(back[2].label, "all-reduce");
+  // Second-generation JSON is byte-identical (the round trip is lossless),
+  // and so is the Perfetto export of the reconstructed timeline.
+  EXPECT_EQ(obs::spans_to_json(back), json);
+  EXPECT_EQ(obs::spans_to_chrome_trace(back),
+            obs::spans_to_chrome_trace(spans));
+}
+
+TEST(BlackBoxJson, MalformedSpanTimelineThrows) {
+  const obs::JsonParseResult not_array = obs::parse_json("{\"a\": 1}");
+  ASSERT_TRUE(not_array.ok);
+  EXPECT_THROW((void)obs::spans_from_json(not_array.value), Error);
+  const obs::JsonParseResult bad_kind =
+      obs::parse_json("[{\"kind\": \"no-such-kind\"}]");
+  ASSERT_TRUE(bad_kind.ok);
+  EXPECT_THROW((void)obs::spans_from_json(bad_kind.value), Error);
+  const obs::JsonParseResult missing_kind =
+      obs::parse_json("[{\"start_ns\": 1}]");
+  ASSERT_TRUE(missing_kind.ok);
+  EXPECT_THROW((void)obs::spans_from_json(missing_kind.value), Error);
+}
+
+// ---- straggler scoring ------------------------------------------------------
+
+TEST(HealthBoard, StragglerScoringFlagsTheSlowRank) {
+  obs::HealthBoard& board = obs::health();
+  board.reset(4);
+  board.set_enabled(true);
+  // Three tight ranks at ~10ms, one at 40ms: well past both the z-score and
+  // the min-ratio gate.
+  for (int sample = 0; sample < 6; ++sample) {
+    board.record_step_duration(0, 10'000'000 + sample * 10'000);
+    board.record_step_duration(1, 10'100'000 + sample * 10'000);
+    board.record_step_duration(2, 9'900'000 + sample * 10'000);
+    board.record_step_duration(3, 40'000'000 + sample * 10'000);
+  }
+  const obs::HealthReport report = obs::snapshot_health();
+  ASSERT_EQ(report.ranks.size(), 4u);
+  EXPECT_EQ(report.ranks[0].health, obs::RankHealth::kOk);
+  EXPECT_EQ(report.ranks[1].health, obs::RankHealth::kOk);
+  EXPECT_EQ(report.ranks[2].health, obs::RankHealth::kOk);
+  EXPECT_EQ(report.ranks[3].health, obs::RankHealth::kSlow);
+  EXPECT_GT(report.ranks[3].straggler_z, 3.0);
+  EXPECT_EQ(report.count(obs::RankHealth::kSlow), 1);
+  EXPECT_FALSE(report.all_ok());
+  board.set_enabled(false);
+}
+
+TEST(HealthBoard, TightlyClusteredRanksAreNotFlagged) {
+  obs::HealthBoard& board = obs::health();
+  board.reset(4);
+  board.set_enabled(true);
+  // Sub-1.5x spread: the min-ratio guard must keep everything OK even
+  // though the relative z-score of the slowest rank can be large.
+  for (int sample = 0; sample < 6; ++sample) {
+    for (int rank = 0; rank < 4; ++rank) {
+      board.record_step_duration(rank, 10'000'000 + rank * 200'000);
+    }
+  }
+  const obs::HealthReport report = obs::snapshot_health();
+  ASSERT_EQ(report.ranks.size(), 4u);
+  EXPECT_TRUE(report.all_ok()) << report.one_line();
+  board.set_enabled(false);
+}
+
+// ---- acceptance (b): clean run ----------------------------------------------
+
+TEST(HealthPlane, CleanRunIsAllOkWithZeroDroppedSpans) {
+  obs::Recorder recorder(
+      {.ring_capacity = 1 << 16, .overwrite_oldest = true});
+  recorder.install();
+  obs::Watchdog watchdog({.poll_seconds = 0.02});
+  watchdog.start(static_cast<int>(kWorld));
+
+  const TrainConfig cfg = tiny_config();
+  std::unique_ptr<Trainer> trainer = make_trainer("weipipe", cfg, kWorld);
+  const SyntheticDataset data(cfg.model.vocab_size, cfg.seed);
+  for (std::int64_t i = 0; i < 2; ++i) {
+    (void)trainer->train_iteration(data, i);
+  }
+
+  const obs::HealthReport report = watchdog.evaluate_now();
+  watchdog.stop();
+  EXPECT_TRUE(report.all_ok()) << report.one_line();
+  ASSERT_EQ(report.ranks.size(), static_cast<std::size_t>(kWorld));
+  for (const obs::RankStatus& st : report.ranks) {
+    EXPECT_EQ(st.health, obs::RankHealth::kOk) << "rank " << st.rank;
+    EXPECT_GT(st.steps, 0) << "rank " << st.rank;
+    EXPECT_FALSE(st.waiting) << "rank " << st.rank;
+    EXPECT_FALSE(st.last_error.present) << "rank " << st.rank;
+  }
+  EXPECT_EQ(report.job_step, 1);
+  EXPECT_GT(report.job_mean_step_seconds, 0.0);
+  // No verdict ever left OK, and the flight ring never overflowed.
+  EXPECT_TRUE(watchdog.transitions().empty());
+  EXPECT_GT(recorder.drain().size(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  EXPECT_TRUE(recorder.dropped_by_rank().empty());
+  recorder.uninstall();
+  // The report serializes to valid JSON.
+  const obs::JsonParseResult parsed = obs::parse_json(report.to_json());
+  EXPECT_TRUE(parsed.ok) << parsed.error;
+}
+
+// ---- acceptance (a): injected stall -----------------------------------------
+
+// A held stall freezes rank 1 mid-iteration. Within the watchdog timeout the
+// ring neighbors must be judged STALLED with ring-edge attribution naming
+// the peer they are blocked on, the frozen rank itself (which publishes no
+// heartbeat at all) must be judged DEAD, and the iteration must surface the
+// structured CommError once the hold expires.
+TEST(HealthPlane, InjectedStallIsJudgedStalledNamingTheBlockedPeer) {
+  obs::WatchdogOptions wd;
+  wd.poll_seconds = 0.02;
+  wd.stall_timeout_seconds = 0.15;
+  wd.dead_timeout_seconds = 0.35;
+  obs::Watchdog watchdog(wd);
+  watchdog.start(static_cast<int>(kWorld));
+
+  const TrainConfig cfg = tiny_config();
+  std::unique_ptr<Trainer> trainer = make_trainer("weipipe", cfg, kWorld);
+  ASSERT_NE(trainer->fabric(), nullptr);
+  trainer->fabric()->install_fault_plan(
+      comm::parse_fault_plan("stall:rank=1:op=25:ms=900", 5));
+  const SyntheticDataset data(cfg.model.vocab_size, cfg.seed);
+  EXPECT_THROW((void)trainer->train_iteration(data, 0), comm::CommError);
+
+  const std::vector<obs::HealthTransition> transitions =
+      watchdog.transitions();
+  watchdog.stop();
+  bool stalled_on_frozen_rank = false;
+  bool frozen_rank_dead = false;
+  for (const obs::HealthTransition& t : transitions) {
+    if (t.to == obs::RankHealth::kStalled) {
+      EXPECT_NE(t.rank, 1) << "the frozen rank publishes no wait";
+      EXPECT_GE(t.blocked_on_peer, 0)
+          << "a STALLED verdict must name the blocking peer";
+      if (t.blocked_on_peer == 1) {
+        stalled_on_frozen_rank = true;
+      }
+    }
+    if (t.to == obs::RankHealth::kDead) {
+      EXPECT_EQ(t.rank, 1);
+      frozen_rank_dead = true;
+    }
+  }
+  EXPECT_TRUE(stalled_on_frozen_rank)
+      << "no rank was attributed as blocked on the frozen rank 1 ("
+      << transitions.size() << " transitions)";
+  EXPECT_TRUE(frozen_rank_dead);
+}
+
+// ---- acceptance (c): forced abort dumps a parseable black box ---------------
+
+TEST(HealthPlane, ForcedAbortProducesParseableRoundTrippablePostmortem) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "weipipe-postmortem-test";
+  fs::remove_all(dir);
+
+  obs::BlackBoxOptions box_opt;
+  box_opt.dir = dir.string();
+  obs::BlackBox blackbox(box_opt);
+  blackbox.arm();
+  blackbox.set_section("config", [] { return std::string("{\"test\": 1}"); });
+
+  obs::Recorder recorder(
+      {.ring_capacity = 1 << 12, .overwrite_oldest = true});
+  recorder.install();
+
+  const TrainConfig cfg = tiny_config();
+  std::unique_ptr<Trainer> trainer = make_trainer("weipipe", cfg, kWorld);
+  ASSERT_NE(trainer->fabric(), nullptr);
+  trainer->fabric()->install_fault_plan(
+      comm::parse_fault_plan("stall:rank=1:op=25", 5));
+  const SyntheticDataset data(cfg.model.vocab_size, cfg.seed);
+  // One recovery attempt: the first CommError is fatal and must dump.
+  RecoveryOptions recovery;
+  recovery.max_attempts = 1;
+  EXPECT_THROW(
+      (void)train_iteration_with_recovery(*trainer, data, 0, recovery),
+      comm::CommError);
+  recorder.uninstall();
+  EXPECT_EQ(blackbox.dumps(), 1u);
+  // Cascading failures do not dump twice.
+  EXPECT_EQ(obs::blackbox_dump_once("second failure"), "");
+  EXPECT_EQ(blackbox.dumps(), 1u);
+  blackbox.disarm();
+
+  // The dump parses, has the expected shape, and its span timeline
+  // round-trips through the Perfetto exporter byte-identically with the
+  // trace file written at dump time.
+  const std::string dump_json = read_file(dir / "postmortem.json");
+  const obs::JsonParseResult parsed = obs::parse_json(dump_json);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const obs::JsonValue* schema = parsed.value.find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->as_number(), 1.0);
+  const obs::JsonValue* reason = parsed.value.find("reason");
+  ASSERT_NE(reason, nullptr);
+  EXPECT_NE(reason->as_string().find("unrecovered comm error"),
+            std::string::npos)
+      << reason->as_string();
+  ASSERT_NE(parsed.value.find("health"), nullptr);
+  const obs::JsonValue* config = parsed.value.find("config");
+  ASSERT_NE(config, nullptr) << "registered section missing";
+  const obs::JsonValue* spans_value = parsed.value.find("spans");
+  ASSERT_NE(spans_value, nullptr);
+  const std::vector<obs::Span> spans = obs::spans_from_json(*spans_value);
+  EXPECT_GT(spans.size(), 0u) << "flight ring was empty at dump time";
+  const std::string trace = read_file(dir / "postmortem_trace.json");
+  EXPECT_EQ(obs::spans_to_chrome_trace(spans), trace);
+  const obs::JsonParseResult trace_parsed = obs::parse_json(trace);
+  EXPECT_TRUE(trace_parsed.ok) << trace_parsed.error;
+
+  fs::remove_all(dir);
+}
+
+// A CHECK failure is a dump trigger too (the observer hook in common/check).
+TEST(HealthPlane, CheckFailureTriggersTheBlackBox) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "weipipe-postmortem-check";
+  fs::remove_all(dir);
+  obs::BlackBoxOptions box_opt;
+  box_opt.dir = dir.string();
+  obs::BlackBox blackbox(box_opt);
+  blackbox.arm();
+  EXPECT_THROW(WEIPIPE_CHECK_MSG(false, "forced for the black box"), Error);
+  EXPECT_EQ(blackbox.dumps(), 1u);
+  const std::string dump_json = read_file(dir / "postmortem.json");
+  const obs::JsonParseResult parsed = obs::parse_json(dump_json);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const obs::JsonValue* reason = parsed.value.find("reason");
+  ASSERT_NE(reason, nullptr);
+  EXPECT_NE(reason->as_string().find("check-failure"), std::string::npos);
+  blackbox.disarm();
+  // Disarmed: CHECK failures throw without dumping.
+  EXPECT_THROW(WEIPIPE_CHECK_MSG(false, "no box armed"), Error);
+  EXPECT_EQ(blackbox.dumps(), 1u);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace weipipe

@@ -8,6 +8,7 @@
 //   weipipe_cli profile  [flags]   trace a real run; measured vs predicted
 //   weipipe_cli bench    [flags]   run the canonical matrix; write trajectory
 //   weipipe_cli chaos    [flags]   fault-inject a strategy; diff vs clean run
+//   weipipe_cli health   [flags]   train under the watchdog + black box
 //   weipipe_cli help
 //
 // Run `weipipe_cli help` for every flag.
@@ -27,13 +28,19 @@ namespace {
 
 class Flags {
  public:
+  // Accepts `--flag value`, `--flag=value`, and bare boolean `--flag`;
+  // every subcommand shares the same grammar.
   Flags(int argc, char** argv, int first) {
     for (int i = first; i < argc; ++i) {
       std::string arg = argv[i];
       WEIPIPE_CHECK_MSG(arg.rfind("--", 0) == 0, "expected --flag, got '"
                                                      << arg << "'");
       arg = arg.substr(2);
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
         values_[arg] = argv[++i];
       } else {
         values_[arg] = "1";  // boolean flag
@@ -60,6 +67,32 @@ class Flags {
  private:
   std::map<std::string, std::string> values_;
 };
+
+// Shared `--metrics[=PATH]` handling: every subcommand that can produce a
+// metrics snapshot spells the flag identically and writes through here.
+bool write_metrics_snapshot(const Flags& flags, const std::string& json,
+                            const std::string& default_path) {
+  if (!flags.flag("metrics")) {
+    return false;
+  }
+  const std::string path = flags.str("metrics", default_path);
+  trace::write_file(path, json);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+// Shared `--postmortem[=DIR]` handling: arms a black box for the duration of
+// the subcommand (nullptr when the flag is absent).
+std::unique_ptr<obs::BlackBox> arm_postmortem_from_flags(const Flags& flags) {
+  if (!flags.flag("postmortem")) {
+    return nullptr;
+  }
+  obs::BlackBoxOptions options;
+  options.dir = flags.str("postmortem", "postmortem");
+  auto box = std::make_unique<obs::BlackBox>(options);
+  box->arm();
+  return box;
+}
 
 TrainConfig config_from_flags(const Flags& flags) {
   TrainConfig cfg;
@@ -407,6 +440,8 @@ int cmd_schedule(const Flags& flags) {
 }
 
 int cmd_profile(const Flags& flags) {
+  const std::unique_ptr<obs::BlackBox> blackbox =
+      arm_postmortem_from_flags(flags);
   prof::ProfileOptions opt;
   opt.strategy = flags.str("strategy", "wzb2");
   opt.workers = flags.i64("workers", 4);
@@ -421,7 +456,16 @@ int cmd_profile(const Flags& flags) {
   opt.train = config_from_flags(flags);
   opt.fault_spec = flags.str("faults", "");
 
-  const prof::ProfileReport report = prof::run_profile(opt);
+  prof::ProfileReport report;
+  try {
+    report = prof::run_profile(opt);
+  } catch (const Error& e) {
+    // Leave a post-mortem before the recorder state unwinds (no-op unless
+    // --postmortem armed a black box; recovery-exhausted comm errors have
+    // already dumped from core/resilience.cpp).
+    obs::blackbox_dump_once(std::string("profile failed: ") + e.what());
+    throw;
+  }
   std::printf("%s", report.summary().c_str());
 
   if (flags.flag("timeline") && !report.timeline.records.empty()) {
@@ -435,11 +479,7 @@ int cmd_profile(const Flags& flags) {
     trace::write_file(path, report.trace_json);
     std::printf("wrote %s (open in ui.perfetto.dev)\n", path.c_str());
   }
-  if (flags.flag("metrics")) {
-    const std::string path = flags.str("metrics", "profile-metrics.json");
-    trace::write_file(path, report.metrics_json);
-    std::printf("wrote %s\n", path.c_str());
-  }
+  write_metrics_snapshot(flags, report.metrics_json, "profile-metrics.json");
   if (flags.flag("svg") && !report.timeline.records.empty()) {
     const std::string path = flags.str("svg", "profile.svg");
     trace::write_file(path, trace::records_to_svg(report.timeline));
@@ -487,10 +527,33 @@ int cmd_bench(const Flags& flags) {
   std::printf("wrote %s (%zu cases, schema v%d%s)\n", out.c_str(),
               report.cases.size(), report.schema_version,
               report.smoke ? ", smoke" : "");
+
+  if (flags.flag("metrics")) {
+    // Per-case gauges alongside the trajectory, in the same snapshot shape
+    // every other subcommand's --metrics produces.
+    obs::Registry metrics;
+    for (const prof::BenchCaseResult& c : report.cases) {
+      double wire_bytes = 0.0;
+      for (const prof::BenchWireKind& w : c.wire) {
+        wire_bytes += w.measured_bytes;
+      }
+      const std::string key = "bench." + c.strategy + ".r" +
+                              std::to_string(c.ranks) +
+                              (c.recompute ? ".recompute" : "");
+      metrics.gauge(key + ".step_seconds").set(c.step_seconds);
+      metrics.gauge(key + ".gflops").set(c.gflops);
+      metrics.gauge(key + ".peak_footprint_bytes")
+          .set(c.measured_peak_footprint_bytes);
+      metrics.gauge(key + ".wire_bytes").set(wire_bytes);
+    }
+    write_metrics_snapshot(flags, metrics.to_json(), "bench-metrics.json");
+  }
   return 0;
 }
 
 int cmd_chaos(const Flags& flags) {
+  const std::unique_ptr<obs::BlackBox> blackbox =
+      arm_postmortem_from_flags(flags);
   chaos::ChaosConfig cc;
   cc.train = config_from_flags(flags);
   cc.world_size = flags.i64("workers", 4);
@@ -531,6 +594,13 @@ int cmd_chaos(const Flags& flags) {
     if (!r.error.empty()) {
       std::printf("  error: %s\n", r.error.c_str());
     }
+    if (!r.ok() && blackbox != nullptr) {
+      // One dump per chaos invocation, attributed to the first divergence
+      // (unrecovered comm errors inside run_chaos have already dumped).
+      blackbox->dump_once("chaos: strategy " + r.strategy +
+                          (r.error.empty() ? " diverged from the clean run"
+                                           : " failed: " + r.error));
+    }
     std::string body = chaos::report_to_json(r);
     if (!body.empty() && body.back() == '\n') {
       body.pop_back();
@@ -544,15 +614,135 @@ int cmd_chaos(const Flags& flags) {
     trace::write_file(path, log);
     std::printf("wrote %s\n", path.c_str());
   }
-  if (flags.flag("metrics")) {
-    const std::string path = flags.str("metrics", "chaos_metrics.json");
-    trace::write_file(path, metrics.to_json());
-    std::printf("wrote %s\n", path.c_str());
-  }
+  write_metrics_snapshot(flags, metrics.to_json(), "chaos_metrics.json");
   if (!all_ok) {
     std::printf("CHAOS FAIL: at least one strategy diverged under faults\n");
   }
   return all_ok ? 0 : 1;
+}
+
+// `weipipe_cli health` — run training under the full live health plane:
+// flight recorder (overwrite-oldest span ring), stall/straggler watchdog,
+// and an always-armed post-mortem black box with fatal-signal handlers.
+int cmd_health(const Flags& flags) {
+  const TrainConfig cfg = config_from_flags(flags);
+  const std::string strategy = flags.str("strategy", "weipipe");
+  const std::int64_t workers = flags.i64("workers", 4);
+  WEIPIPE_CHECK_MSG(workers >= 1, "need at least one worker");
+  const std::int64_t iters = flags.i64("iters", 8);
+  const bool quiet = flags.flag("quiet");
+
+  // The black box is always armed here (--postmortem only renames the
+  // directory), including best-effort fatal-signal last words.
+  obs::BlackBoxOptions box_opt;
+  box_opt.dir = flags.str("postmortem", "postmortem");
+  box_opt.install_signal_handlers = true;
+  obs::BlackBox blackbox(box_opt);
+  blackbox.arm();
+
+  // Flight recorder: the ring keeps the most recent spans, so a dump shows
+  // the moments before a wedge no matter how long the run has been up.
+  obs::RecorderOptions rec_opt;
+  rec_opt.ring_capacity =
+      static_cast<std::size_t>(flags.i64("ring-capacity", 1 << 14));
+  rec_opt.overwrite_oldest = true;
+  obs::Recorder recorder(rec_opt);
+  recorder.install();
+
+  std::unique_ptr<Trainer> trainer = make_trainer(strategy, cfg, workers);
+  comm::Fabric* fabric = trainer->fabric();
+  if (flags.flag("faults")) {
+    WEIPIPE_CHECK_MSG(fabric != nullptr,
+                      "--faults requires a fabric-backed strategy");
+    fabric->install_fault_plan(comm::parse_fault_plan(
+        flags.str("faults", ""),
+        static_cast<std::uint64_t>(
+            flags.i64("fault-seed", flags.i64("seed", 1234)))));
+  }
+  if (fabric != nullptr) {
+    blackbox.set_section("fault_events", [fabric]() {
+      return comm::fault_events_to_json(fabric->fault_events());
+    });
+  }
+
+  obs::WatchdogOptions wd_opt;
+  wd_opt.poll_seconds = flags.f64("poll-ms", 50.0) * 1e-3;
+  wd_opt.stall_timeout_seconds =
+      flags.f64("stall-timeout-ms", 500.0) * 1e-3;
+  wd_opt.dead_timeout_seconds =
+      flags.f64("dead-timeout-ms", 5000.0) * 1e-3;
+  obs::Watchdog watchdog(wd_opt);
+  watchdog.set_on_dead([](const obs::HealthReport& rep) {
+    obs::blackbox_dump_once("watchdog DEAD verdict: " + rep.one_line());
+  });
+  watchdog.start(static_cast<int>(workers));
+
+  const auto data = dataset_from_flags(flags, cfg);
+  RecoveryOptions recovery;
+  recovery.max_attempts = static_cast<int>(flags.i64("max-recoveries", 1));
+
+  std::printf("health: '%s' (%lld ranks), %lld iters, poll %.0fms "
+              "stall %.0fms dead %.0fms\n",
+              trainer->name().c_str(), static_cast<long long>(workers),
+              static_cast<long long>(iters), wd_opt.poll_seconds * 1e3,
+              wd_opt.stall_timeout_seconds * 1e3,
+              wd_opt.dead_timeout_seconds * 1e3);
+
+  int exit_code = 0;
+  std::string run_error;
+  try {
+    for (std::int64_t it = 0; it < iters; ++it) {
+      const RecoveryResult r =
+          train_iteration_with_recovery(*trainer, *data, it, recovery);
+      if (!quiet) {
+        std::printf("iter %4lld  loss %.4f%s  | %s\n",
+                    static_cast<long long>(it), r.result.mean_loss,
+                    r.recoveries > 0 ? " (recovered)" : "",
+                    watchdog.evaluate_now().one_line().c_str());
+      }
+    }
+  } catch (const Error& e) {
+    // train_iteration_with_recovery already dumped for unrecovered comm
+    // errors; blackbox_dump_once makes any other failure path dump too.
+    run_error = e.what();
+    obs::blackbox_dump_once(std::string("health run failed: ") + run_error);
+    exit_code = 1;
+  }
+
+  const obs::HealthReport final_report = watchdog.evaluate_now();
+  const std::vector<obs::HealthTransition> transitions =
+      watchdog.transitions();
+  watchdog.stop();
+  recorder.uninstall();
+
+  for (const obs::HealthTransition& t : transitions) {
+    std::printf("verdict: rank %d %s -> %s%s\n", t.rank,
+                obs::to_string(t.from), obs::to_string(t.to),
+                t.blocked_on_peer >= 0
+                    ? ("  (blocked on rank " +
+                       std::to_string(t.blocked_on_peer) + ")")
+                          .c_str()
+                    : "");
+    if (t.to == obs::RankHealth::kStalled ||
+        t.to == obs::RankHealth::kDead) {
+      exit_code = 1;
+    }
+  }
+  if (!run_error.empty()) {
+    std::printf("run FAILED: %s\n", run_error.c_str());
+  }
+  std::printf("final: %s\n", final_report.one_line().c_str());
+  if (flags.flag("report")) {
+    const std::string path = flags.str("report", "health-report.json");
+    trace::write_file(path, final_report.to_json());
+    std::printf("wrote %s\n", path.c_str());
+  } else {
+    std::printf("%s", final_report.to_json().c_str());
+  }
+  if (blackbox.dumps() > 0) {
+    std::printf("postmortem written under %s/\n", box_opt.dir.c_str());
+  }
+  return exit_code;
 }
 
 void print_help() {
@@ -593,12 +783,15 @@ COMMANDS
     --rounds R --bwd-ratio f --unit-ms f       (schedule-backed programs)
     --dim H --layers L --microbatches N ...    (trainer-backed model flags)
     --trace PATH       write Chrome trace-event JSON (Perfetto-loadable)
-    --metrics PATH     write metrics snapshot JSON
+    --metrics PATH     write metrics snapshot JSON (includes per-rank
+                       obs.spans.dropped.* flight-ring overflow counters)
     --timeline         render the measured timeline as ASCII
     --svg PATH         write the measured timeline as SVG
     --kernels          also record per-dispatch thread-pool kernel spans
     --faults SPEC      inject a seeded fault plan (trainer-backed only);
                        faults appear as kFault trace spans + fault.* metrics
+    --postmortem DIR   arm a black box: a fatal error dumps the span ring +
+                       health snapshot as DIR/postmortem{,_trace}.json
   bench      run the canonical strategy matrix and write the bench
              trajectory (step time, GFLOP/s, per-kind wire bytes vs the
              closed forms, full-footprint peak vs static bounds); diff two
@@ -606,6 +799,8 @@ COMMANDS
     --smoke            trimmed matrix (4-rank cases, 1 iteration, no warmup)
     --iters N --warmup-iters N                 (full runs; default 2 / 1)
     --out PATH         output path (default artifacts/BENCH_trajectory.json)
+    --metrics PATH     also write per-case bench.* gauges as a metrics
+                       snapshot JSON
   chaos      run a strategy clean and under a seeded fault plan and diff
              the final weights bitwise (docs/FAULTS.md); exits nonzero if
              any strategy diverges or fails to complete
@@ -613,12 +808,36 @@ COMMANDS
     --faults SPEC      fault-plan spec, e.g. "drop:p=0.05,dup:p=0.1:tag=3"
                        kinds: delay|drop|dup|reorder|stall|nodedup|retries
                        keys: p src dst tag ns/us/ms rank op
+                       (on stall clauses ns/us/ms set the hold time the
+                       stalled rank stays frozen before aborting)
     --fault-seed N     fault-plan seed (default --seed)
     --workers P --iters N --max-recoveries N   (default 4 / 2 / 3)
     --dim H --layers L --microbatches N ...    (model flags, as train)
     --log PATH         write the per-strategy chaos reports + fault event
                        logs as a JSON array
     --metrics PATH     write fault.* metrics snapshot JSON
+    --postmortem DIR   arm a black box; the first divergence or unrecovered
+                       fault dumps DIR/postmortem{,_trace}.json
+  health     train under the live health plane (docs/OBSERVABILITY.md):
+             flight-recorder span ring, stall/straggler watchdog with a
+             periodic one-line status, and an always-armed post-mortem
+             black box; exits nonzero if the run fails or any rank is
+             judged STALLED or DEAD
+    --strategy S       trainer strategy (default weipipe)
+    --workers P --iters N                      (default 4 / 8)
+    --dim H --layers L --microbatches N ...    (model flags, as train)
+    --faults SPEC      inject a seeded fault plan (grammar as chaos)
+    --fault-seed N     fault-plan seed (default --seed)
+    --max-recoveries N step-boundary recovery attempts (default 1)
+    --poll-ms F        watchdog poll period            (default 50)
+    --stall-timeout-ms F   blocked-recv => STALLED     (default 500)
+    --dead-timeout-ms F    no heartbeat => DEAD        (default 5000)
+    --ring-capacity N  flight-recorder spans per rank  (default 16384)
+    --postmortem DIR   black-box output dir (default postmortem)
+    --report PATH      write the final HealthReport JSON (default: stdout)
+    --quiet            suppress the per-iteration status line
+
+Every flag also accepts --flag=value.
 )");
 }
 
@@ -655,6 +874,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "chaos") {
       return cmd_chaos(flags);
+    }
+    if (cmd == "health") {
+      return cmd_health(flags);
     }
     if (cmd == "help" || cmd == "--help") {
       print_help();
