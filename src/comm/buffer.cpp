@@ -1,0 +1,59 @@
+#include "comm/buffer.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "obs/ledger.hpp"
+
+namespace weipipe::comm {
+
+Buffer::Storage::Storage(std::size_t n) : size(n), tracked(true) {
+  // Attribution happens inside tracked_alloc: the 16-byte header records
+  // {kCommBuffers, calling thread's rank bucket, n} so the eventual free
+  // credits exactly what was charged, on whichever thread drops the last
+  // reference.
+  obs::MemScope scope(obs::MemKind::kCommBuffers);
+  tracked_data =
+      n > 0 ? static_cast<std::uint8_t*>(obs::detail::tracked_alloc(n))
+            : nullptr;
+}
+
+Buffer::Storage::Storage(std::vector<std::uint8_t> v)
+    : size(v.size()), adopted(std::move(v)) {}
+
+Buffer::Storage::~Storage() {
+  if (tracked && tracked_data != nullptr) {
+    obs::detail::tracked_free(tracked_data, size);
+  }
+}
+
+Buffer Buffer::allocate(std::size_t size) {
+  Buffer b;
+  b.storage_ = std::make_shared<Storage>(size);
+  return b;
+}
+
+Buffer Buffer::adopt(std::vector<std::uint8_t> bytes) {
+  Buffer b;
+  b.storage_ = std::make_shared<Storage>(std::move(bytes));
+  return b;
+}
+
+std::vector<std::uint8_t> Buffer::release_vector() {
+  if (!storage_) {
+    return {};
+  }
+  if (!storage_->tracked && storage_.use_count() == 1) {
+    std::vector<std::uint8_t> out = std::move(storage_->adopted);
+    storage_.reset();
+    return out;
+  }
+  std::vector<std::uint8_t> out(size());
+  if (!out.empty()) {
+    std::memcpy(out.data(), data(), out.size());
+  }
+  storage_.reset();
+  return out;
+}
+
+}  // namespace weipipe::comm

@@ -1,0 +1,89 @@
+// Refcounted payload buffer for zero-copy in-process transport.
+//
+// A Buffer is an immutable-after-send byte payload shared by reference
+// count: Fabric::send moves the handle into the mailbox ring and the
+// receiver takes the same bytes out — a weight shard crosses the fabric
+// without a single payload memcpy. Trainers exploit this further by
+// *relaying* a received buffer to the next rank unchanged (WeiPipe's W/BW
+// flows circulate bit-identical within a turn), so one pack on the owner
+// serves the whole ring pass.
+//
+// Two storage modes:
+//  * allocate(n) — tracked storage via the PR 4 ledger (obs::detail::
+//    tracked_alloc under MemScope(kCommBuffers)): charged to the allocating
+//    thread's rank bucket at allocation and credited exactly when the last
+//    reference drops, wherever that happens. Tracked buffers are NOT
+//    additionally charged per-mailbox-residency (that would double count).
+//  * adopt(vector) — wraps a caller-provided byte vector (the legacy
+//    byte-span Endpoint::send path). These are not ledger-tracked
+//    themselves; the fabric keeps charging their mailbox residency per
+//    message, preserving the PR 4 comm_buffers semantics for small control
+//    messages.
+//
+// Ownership rules (see docs/FABRIC.md): fill a buffer only while unique();
+// after handing it to send() treat the contents as frozen — the fabric, a
+// dup-fault copy, and downstream ranks may all read it concurrently.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace weipipe::comm {
+
+class Buffer {
+ public:
+  Buffer() = default;
+
+  // Tracked, ledger-charged storage (kCommBuffers, calling thread's rank).
+  static Buffer allocate(std::size_t size);
+  // Wraps an existing byte vector without copying; not ledger-tracked.
+  static Buffer adopt(std::vector<std::uint8_t> bytes);
+
+  std::size_t size() const { return storage_ ? storage_->size : 0; }
+  bool empty() const { return size() == 0; }
+  explicit operator bool() const { return static_cast<bool>(storage_); }
+
+  const std::uint8_t* data() const {
+    return storage_ ? storage_->data() : nullptr;
+  }
+  std::span<const std::uint8_t> span() const { return {data(), size()}; }
+
+  // Mutable access: only meaningful while unique() (pre-send fill).
+  std::uint8_t* mutable_data() { return storage_ ? storage_->data() : nullptr; }
+
+  bool unique() const { return storage_ && storage_.use_count() == 1; }
+  long use_count() const { return storage_ ? storage_.use_count() : 0; }
+  // True when the bytes live in tracked (ledger-charged) storage.
+  bool tracked() const { return storage_ && storage_->tracked; }
+
+  void reset() { storage_.reset(); }
+
+  // Extracts the bytes as a vector: moves the adopted vector out when this
+  // is the sole owner (zero copy), copies otherwise.
+  std::vector<std::uint8_t> release_vector();
+
+ private:
+  struct Storage {
+    explicit Storage(std::size_t n);                 // tracked
+    explicit Storage(std::vector<std::uint8_t> v);   // adopted
+    ~Storage();
+    Storage(const Storage&) = delete;
+    Storage& operator=(const Storage&) = delete;
+
+    std::uint8_t* data() {
+      return tracked ? tracked_data : adopted.data();
+    }
+
+    std::size_t size = 0;
+    bool tracked = false;
+    std::uint8_t* tracked_data = nullptr;
+    std::vector<std::uint8_t> adopted;
+  };
+
+  std::shared_ptr<Storage> storage_;
+};
+
+}  // namespace weipipe::comm

@@ -143,15 +143,21 @@ void ring_broadcast(Endpoint& ep, int root, std::span<float> buffer,
     return;
   }
   const int r = ep.rank();
-  // Chain: root -> root+1 -> ... -> root-1.
+  // Chain: root -> root+1 -> ... -> root-1. The payload is identical at
+  // every hop, so non-root ranks relay the *received* wire buffer instead
+  // of re-packing: the root's single pack serves the whole chain and every
+  // forward is a zero-copy handle move.
   const int pos = mod(r - root, p);  // distance from root along the chain
+  Buffer wire;
   if (pos > 0) {
-    ep.recv_floats(ring_prev(r, p), tag_base, buffer, precision);
+    wire = ep.recv_buffer(ring_prev(r, p), tag_base);
+    unpack_floats(wire.span(), precision, buffer);
+  } else {
+    wire = pack_floats_to_buffer(
+        std::span<const float>(buffer.data(), buffer.size()), precision);
   }
   if (pos < p - 1) {
-    ep.send_floats(ring_next(r, p), tag_base,
-                   std::span<const float>(buffer.data(), buffer.size()),
-                   precision);
+    ep.send(ring_next(r, p), tag_base, std::move(wire));
   }
 }
 

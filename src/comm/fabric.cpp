@@ -11,6 +11,34 @@
 
 namespace weipipe::comm {
 
+namespace {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+void fetch_max(std::atomic<std::uint64_t>& a, std::uint64_t v) {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+// Decrement clamped at zero: reset_stats()/recover() may have zeroed the
+// gauge while messages were still in flight.
+void decrement_clamped(std::atomic<std::uint64_t>& a) {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (cur > 0 &&
+         !a.compare_exchange_weak(cur, cur - 1, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
 LinkModel uniform_link(double bandwidth_bytes_per_sec, double latency_sec) {
   WEIPIPE_CHECK(bandwidth_bytes_per_sec > 0.0);
   return [=](int, int, std::size_t bytes) {
@@ -31,6 +59,10 @@ int Endpoint::world_size() const { return fabric_->world_size(); }
 
 void Endpoint::send(int dst, std::int64_t tag,
                     std::vector<std::uint8_t> payload) {
+  send(dst, tag, Buffer::adopt(std::move(payload)));
+}
+
+void Endpoint::send(int dst, std::int64_t tag, Buffer payload) {
   obs::SpanScope span(obs::SpanKind::kSendTransfer);
   const auto bytes = static_cast<std::int64_t>(payload.size());
   const std::int64_t flow = fabric_->deliver(rank_, dst, tag,
@@ -45,7 +77,20 @@ void Endpoint::send(int dst, std::int64_t tag,
 }
 
 std::vector<std::uint8_t> Endpoint::recv(int src, std::int64_t tag) {
-  return fabric_->take(rank_, src, tag).payload;
+  return fabric_->take(rank_, src, tag).payload.release_vector();
+}
+
+Buffer Endpoint::recv_buffer(int src, std::int64_t tag) {
+  Fabric::Taken taken = fabric_->take(rank_, src, tag);
+  obs::SpanScope span(obs::SpanKind::kRecvTransfer);
+  if (span.armed()) {
+    span.set_rank(rank_);
+    span.set_peer(src);
+    span.set_tag(tag);
+    span.set_bytes(static_cast<std::int64_t>(taken.payload.size()));
+    span.set_flow_id(taken.flow_id);
+  }
+  return std::move(taken.payload);
 }
 
 Request Endpoint::isend(int dst, std::int64_t tag,
@@ -61,7 +106,25 @@ Request Endpoint::irecv(int src, std::int64_t tag,
   Fabric* fabric = fabric_;
   const int rank = rank_;
   return Request([fabric, rank, src, tag, out] {
-    *out = fabric->take(rank, src, tag).payload;
+    *out = fabric->take(rank, src, tag).payload.release_vector();
+  });
+}
+
+Request Endpoint::irecv_buffer(int src, std::int64_t tag, Buffer* out) {
+  WEIPIPE_CHECK(out != nullptr);
+  Fabric* fabric = fabric_;
+  const int rank = rank_;
+  return Request([fabric, rank, src, tag, out] {
+    Fabric::Taken taken = fabric->take(rank, src, tag);
+    obs::SpanScope span(obs::SpanKind::kRecvTransfer);
+    if (span.armed()) {
+      span.set_rank(rank);
+      span.set_peer(src);
+      span.set_tag(tag);
+      span.set_bytes(static_cast<std::int64_t>(taken.payload.size()));
+      span.set_flow_id(taken.flow_id);
+    }
+    *out = std::move(taken.payload);
   });
 }
 
@@ -80,7 +143,7 @@ Request Endpoint::irecv_floats(int src, std::int64_t tag,
       span.set_bytes(static_cast<std::int64_t>(taken.payload.size()));
       span.set_flow_id(taken.flow_id);
     }
-    unpack_floats(taken.payload, precision, out);
+    unpack_floats(taken.payload.span(), precision, out);
   });
 }
 
@@ -88,9 +151,11 @@ void Endpoint::send_floats(int dst, std::int64_t tag,
                            std::span<const float> values,
                            WirePrecision precision) {
   // The span covers quantize/pack plus the eager handoff: the full cost the
-  // sending rank pays for this message.
+  // sending rank pays for this message. The pack goes straight into a
+  // tracked zero-copy buffer — the single conversion pass is the only time
+  // the payload bytes are touched on the send side.
   obs::SpanScope span(obs::SpanKind::kSendTransfer);
-  std::vector<std::uint8_t> payload = pack_floats(values, precision);
+  Buffer payload = pack_floats_to_buffer(values, precision);
   const auto bytes = static_cast<std::int64_t>(payload.size());
   const std::int64_t flow = fabric_->deliver(rank_, dst, tag,
                                              std::move(payload));
@@ -114,16 +179,14 @@ void Endpoint::recv_floats(int src, std::int64_t tag, std::span<float> out,
     span.set_bytes(static_cast<std::int64_t>(taken.payload.size()));
     span.set_flow_id(taken.flow_id);
   }
-  unpack_floats(taken.payload, precision, out);
+  unpack_floats(taken.payload.span(), precision, out);
 }
 
 FabricStats Endpoint::sent_stats() const {
-  std::lock_guard<std::mutex> lk(fabric_->stats_mu_);
   FabricStats total;
   const int p = fabric_->world_size();
   for (int dst = 0; dst < p; ++dst) {
-    const FabricStats& s =
-        fabric_->pair_stats_[static_cast<std::size_t>(rank_ * p + dst)];
+    const FabricStats s = fabric_->pair_stats(rank_, dst);
     total.messages += s.messages;
     total.bytes += s.bytes;
     total.in_flight += s.in_flight;
@@ -133,12 +196,10 @@ FabricStats Endpoint::sent_stats() const {
 }
 
 FabricStats Endpoint::received_stats() const {
-  std::lock_guard<std::mutex> lk(fabric_->stats_mu_);
   FabricStats total;
   const int p = fabric_->world_size();
   for (int src = 0; src < p; ++src) {
-    const FabricStats& s =
-        fabric_->pair_stats_[static_cast<std::size_t>(src * p + rank_)];
+    const FabricStats s = fabric_->pair_stats(src, rank_);
     total.messages += s.messages;
     total.bytes += s.bytes;
     total.in_flight += s.in_flight;
@@ -151,34 +212,52 @@ Fabric::Fabric(int world_size, LinkModel link_model)
     : link_model_(std::move(link_model)) {
   WEIPIPE_CHECK_MSG(world_size >= 1, "world_size must be >= 1");
   endpoints_.reserve(static_cast<std::size_t>(world_size));
-  mailboxes_.reserve(static_cast<std::size_t>(world_size));
+  inboxes_.reserve(static_cast<std::size_t>(world_size));
+  edges_.reserve(static_cast<std::size_t>(world_size) *
+                 static_cast<std::size_t>(world_size));
   for (int r = 0; r < world_size; ++r) {
     endpoints_.push_back(std::unique_ptr<Endpoint>(new Endpoint(this, r)));
-    mailboxes_.push_back(std::make_unique<Mailbox>());
+    inboxes_.push_back(std::make_unique<Inbox>());
   }
-  pair_stats_.assign(static_cast<std::size_t>(world_size) *
-                         static_cast<std::size_t>(world_size),
-                     FabricStats{});
+  for (int i = 0; i < world_size * world_size; ++i) {
+    edges_.push_back(std::make_unique<Edge>());
+  }
 }
 
 Fabric::~Fabric() {
-  // Credit any messages still sitting in mailboxes (a trainer torn down
-  // mid-schedule, or stats reset between deliver and take) so the ledger's
-  // comm_buffers category drains to zero with the fabric.
-  for (std::size_t dst = 0; dst < mailboxes_.size(); ++dst) {
-    Mailbox& box = *mailboxes_[dst];
-    std::lock_guard<std::mutex> lk(box.mu);
-    for (auto& [key, stream] : box.streams) {
+  // Credit any messages still sitting in rings/overflow/inboxes (a trainer
+  // torn down mid-schedule, or stats reset between deliver and take) so the
+  // ledger's comm_buffers category drains to zero with the fabric. Payload
+  // buffers destroy (and self-credit, if tracked) with the messages.
+  const int p = world_size();
+  for (int dst = 0; dst < p; ++dst) {
+    for (int src = 0; src < p; ++src) {
+      Edge& e = edge(src, dst);
+      while (Message* m = e.ring.front()) {
+        credit_message(*m, dst);
+        e.ring.pop_front();
+      }
+      std::lock_guard<std::mutex> lk(e.ovf_mu);
+      for (const Message& msg : e.ovf) {
+        credit_message(msg, dst);
+      }
+      e.ovf.clear();
+    }
+    for (auto& [key, stream] : inboxes_[static_cast<std::size_t>(dst)]
+                                   ->streams) {
       for (const Message& msg : stream.q) {
-        if (msg.ledger_bytes > 0) {
-          obs::ledger().on_free(
-              obs::MemKind::kCommBuffers,
-              obs::MemoryLedger::bucket_for_rank(static_cast<int>(dst)),
-              msg.ledger_bytes);
-        }
+        credit_message(msg, dst);
       }
       stream.q.clear();
     }
+  }
+}
+
+void Fabric::credit_message(const Message& msg, int dst) {
+  if (msg.ledger_bytes > 0) {
+    obs::ledger().on_free(obs::MemKind::kCommBuffers,
+                          obs::MemoryLedger::bucket_for_rank(dst),
+                          msg.ledger_bytes);
   }
 }
 
@@ -189,60 +268,94 @@ Endpoint& Fabric::endpoint(int rank) {
 }
 
 std::uint64_t Fabric::bytes_sent(int src, int dst) const {
-  std::lock_guard<std::mutex> lk(stats_mu_);
-  return pair_stats_[static_cast<std::size_t>(src * world_size() + dst)].bytes;
+  return edge(src, dst).pair.bytes.load(std::memory_order_relaxed);
 }
 
 FabricStats Fabric::pair_stats(int src, int dst) const {
-  std::lock_guard<std::mutex> lk(stats_mu_);
-  return pair_stats_[static_cast<std::size_t>(src * world_size() + dst)];
+  const PairCounters& c = edge(src, dst).pair;
+  FabricStats s;
+  s.messages = c.messages.load(std::memory_order_relaxed);
+  s.bytes = c.bytes.load(std::memory_order_relaxed);
+  s.in_flight = c.in_flight.load(std::memory_order_relaxed);
+  s.max_in_flight = c.max_in_flight.load(std::memory_order_relaxed);
+  return s;
 }
 
 std::vector<FabricStats> Fabric::stats_matrix() const {
-  std::lock_guard<std::mutex> lk(stats_mu_);
-  return pair_stats_;
+  const int p = world_size();
+  std::vector<FabricStats> matrix;
+  matrix.reserve(static_cast<std::size_t>(p) * static_cast<std::size_t>(p));
+  for (int src = 0; src < p; ++src) {
+    for (int dst = 0; dst < p; ++dst) {
+      matrix.push_back(pair_stats(src, dst));
+    }
+  }
+  return matrix;
 }
 
 std::map<std::int64_t, FabricStats> Fabric::tag_stats() const {
-  std::lock_guard<std::mutex> lk(stats_mu_);
-  return tag_stats_;
+  std::map<std::int64_t, FabricStats> merged;
+  for (const auto& e : edges_) {
+    std::lock_guard<std::mutex> lk(e->tag_mu);
+    for (const auto& [tag, s] : e->tags) {
+      FabricStats& m = merged[tag];
+      m.messages += s.messages;
+      m.bytes += s.bytes;
+      m.in_flight += s.in_flight;
+      // Edge-local high-water marks cannot be summed into a global
+      // concurrent depth; report the worst single edge.
+      m.max_in_flight = std::max(m.max_in_flight, s.max_in_flight);
+    }
+  }
+  return merged;
 }
 
 std::uint64_t Fabric::total_bytes() const {
-  std::lock_guard<std::mutex> lk(stats_mu_);
   std::uint64_t n = 0;
-  for (const FabricStats& s : pair_stats_) {
-    n += s.bytes;
+  for (const auto& e : edges_) {
+    n += e->pair.bytes.load(std::memory_order_relaxed);
   }
   return n;
 }
 
 std::uint64_t Fabric::total_messages() const {
-  std::lock_guard<std::mutex> lk(stats_mu_);
   std::uint64_t n = 0;
-  for (const FabricStats& s : pair_stats_) {
-    n += s.messages;
+  for (const auto& e : edges_) {
+    n += e->pair.messages.load(std::memory_order_relaxed);
   }
   return n;
 }
 
 std::uint64_t Fabric::max_in_flight() const {
-  std::lock_guard<std::mutex> lk(stats_mu_);
   std::uint64_t n = 0;
-  for (const FabricStats& s : pair_stats_) {
-    n = std::max(n, s.max_in_flight);
+  for (const auto& e : edges_) {
+    n = std::max(n, e->pair.max_in_flight.load(std::memory_order_relaxed));
   }
   return n;
 }
 
 void Fabric::reset_stats() {
-  std::lock_guard<std::mutex> lk(stats_mu_);
   // Also zeroes in_flight: callers reset between iterations, when every
   // mailbox has drained.
-  for (FabricStats& s : pair_stats_) {
-    s = FabricStats{};
+  for (const auto& e : edges_) {
+    e->pair.messages.store(0, std::memory_order_relaxed);
+    e->pair.bytes.store(0, std::memory_order_relaxed);
+    e->pair.in_flight.store(0, std::memory_order_relaxed);
+    e->pair.max_in_flight.store(0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(e->tag_mu);
+    e->tags.clear();
   }
-  tag_stats_.clear();
+}
+
+RingStats Fabric::ring_stats() const {
+  RingStats total;
+  for (const auto& e : edges_) {
+    total.spins += e->spins.load(std::memory_order_relaxed);
+    total.parks += e->parks.load(std::memory_order_relaxed);
+    total.notifies += e->notifies.load(std::memory_order_relaxed);
+    total.overflow += e->overflow.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 void Fabric::install_fault_plan(const FaultPlan& plan) {
@@ -283,12 +396,14 @@ std::vector<FaultEvent> Fabric::fault_events() const {
 }
 
 void Fabric::abort_all() {
-  aborted_.store(true, std::memory_order_release);
-  for (auto& box : mailboxes_) {
-    // Acquire the mutex so a receiver between its aborted_ check and its
-    // cv wait cannot miss the notification.
-    { std::lock_guard<std::mutex> lk(box->mu); }
-    box->cv.notify_all();
+  // seq_cst so a consumer's parked-state recheck cannot order before this
+  // store (same Dekker pairing as the ring tail publication).
+  aborted_.store(true, std::memory_order_seq_cst);
+  for (auto& e : edges_) {
+    // Acquire the park mutex so a receiver between its recheck and its cv
+    // wait cannot miss the notification.
+    { std::lock_guard<std::mutex> lk(e->park_mu); }
+    e->park_cv.notify_all();
   }
 }
 
@@ -296,31 +411,38 @@ void Fabric::recover() {
   aborted_.store(false, std::memory_order_release);
   // Drain every undelivered message from the abandoned step and rewind the
   // per-stream sequence numbers so the re-run starts from a clean wire.
-  for (std::size_t dst = 0; dst < mailboxes_.size(); ++dst) {
-    Mailbox& box = *mailboxes_[dst];
-    std::lock_guard<std::mutex> lk(box.mu);
-    for (auto& [key, stream] : box.streams) {
-      for (const Message& msg : stream.q) {
-        if (msg.ledger_bytes > 0) {
-          obs::ledger().on_free(
-              obs::MemKind::kCommBuffers,
-              obs::MemoryLedger::bucket_for_rank(static_cast<int>(dst)),
-              msg.ledger_bytes);
-        }
+  // Only legal while quiescent (all rank threads joined).
+  const int p = world_size();
+  for (int dst = 0; dst < p; ++dst) {
+    for (int src = 0; src < p; ++src) {
+      Edge& e = edge(src, dst);
+      while (Message* m = e.ring.front()) {
+        credit_message(*m, dst);
+        e.ring.pop_front();
       }
-      stream.q.clear();
-      stream.next_send_seq = 0;
-      stream.next_take_seq = 0;
+      {
+        std::lock_guard<std::mutex> lk(e.ovf_mu);
+        for (const Message& msg : e.ovf) {
+          credit_message(msg, dst);
+        }
+        e.ovf.clear();
+        e.ovf_count.store(0, std::memory_order_relaxed);
+        e.ovf_mode = false;
+      }
+      e.send_seq.clear();
+      e.pair.in_flight.store(0, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lk(e.tag_mu);
+      for (auto& [tag, s] : e.tags) {
+        s.in_flight = 0;
+      }
     }
-  }
-  {
-    std::lock_guard<std::mutex> lk(stats_mu_);
-    for (FabricStats& s : pair_stats_) {
-      s.in_flight = 0;
+    Inbox& inbox = *inboxes_[static_cast<std::size_t>(dst)];
+    for (auto& [key, stream] : inbox.streams) {
+      for (const Message& msg : stream.q) {
+        credit_message(msg, dst);
+      }
     }
-    for (auto& [tag, s] : tag_stats_) {
-      s.in_flight = 0;
-    }
+    inbox.streams.clear();
   }
   if (faults_) {
     for (auto& count : faults_->op_counts) {
@@ -419,8 +541,42 @@ void Fabric::record_fault(const FaultEvent& event) {
   }
 }
 
+void Fabric::enqueue(Edge& e, Message msg) {
+  bool queued = false;
+  // Once a message has spilled to the overflow deque, later messages must
+  // follow it there until the consumer has drained the deque — otherwise a
+  // newer ring message could overtake an older spilled one.
+  if (e.ovf_mode) {
+    std::lock_guard<std::mutex> lk(e.ovf_mu);
+    if (e.ovf.empty()) {
+      e.ovf_mode = false;  // consumer caught up; back to the lock-free ring
+    } else {
+      e.ovf.push_back(std::move(msg));
+      e.ovf_count.fetch_add(1, std::memory_order_seq_cst);
+      e.overflow.fetch_add(1, std::memory_order_relaxed);
+      queued = true;
+    }
+  }
+  if (!queued && !e.ring.try_push(std::move(msg))) {
+    std::lock_guard<std::mutex> lk(e.ovf_mu);
+    e.ovf.push_back(std::move(msg));
+    e.ovf_count.fetch_add(1, std::memory_order_seq_cst);
+    e.overflow.fetch_add(1, std::memory_order_relaxed);
+    e.ovf_mode = true;
+  }
+  // Dekker wake: the publication above (seq_cst ring-tail store or seq_cst
+  // overflow-count RMW) is ordered before this load; the consumer stores
+  // `parked` seq_cst before re-checking both channels. One side always sees
+  // the other, so a parked consumer cannot be missed.
+  if (e.parked.load(std::memory_order_seq_cst) != 0) {
+    { std::lock_guard<std::mutex> lk(e.park_mu); }
+    e.park_cv.notify_all();
+    e.notifies.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 std::int64_t Fabric::deliver(int src, int dst, std::int64_t tag,
-                             std::vector<std::uint8_t> payload) {
+                             Buffer payload) {
   WEIPIPE_CHECK_MSG(dst >= 0 && dst < world_size(),
                     "send to invalid rank " << dst);
   WEIPIPE_CHECK_MSG(dst != src, "self-send (rank " << src << ")");
@@ -433,155 +589,138 @@ std::int64_t Fabric::deliver(int src, int dst, std::int64_t tag,
     info.tag = tag;
     throw CommError(info);
   }
+  Edge& e = edge(src, dst);
+  const std::uint64_t bytes = payload.size();
+  e.pair.messages.fetch_add(1, std::memory_order_relaxed);
+  e.pair.bytes.fetch_add(bytes, std::memory_order_relaxed);
+  const std::uint64_t depth =
+      e.pair.in_flight.fetch_add(1, std::memory_order_relaxed) + 1;
+  fetch_max(e.pair.max_in_flight, depth);
   {
-    std::lock_guard<std::mutex> lk(stats_mu_);
-    FabricStats& s =
-        pair_stats_[static_cast<std::size_t>(src * world_size() + dst)];
-    ++s.messages;
-    s.bytes += payload.size();
-    ++s.in_flight;
-    s.max_in_flight = std::max(s.max_in_flight, s.in_flight);
-    FabricStats& t = tag_stats_[tag];
+    // Per-edge tag ledger: single producer, so this lock is uncontended
+    // except against the consumer's in-flight decrement and rare aggregate
+    // reads — no cross-sender serialization.
+    std::lock_guard<std::mutex> lk(e.tag_mu);
+    FabricStats& t = e.tags[tag];
     ++t.messages;
-    t.bytes += payload.size();
+    t.bytes += bytes;
     ++t.in_flight;
     t.max_in_flight = std::max(t.max_in_flight, t.in_flight);
   }
+
   Message msg;
+  msg.tag = tag;
   msg.deliver_at = std::chrono::steady_clock::now();
   if (link_model_) {
-    msg.deliver_at += link_model_(src, dst, payload.size());
+    msg.deliver_at += link_model_(src, dst, bytes);
   }
   msg.flow_id = next_flow_id_.fetch_add(1, std::memory_order_relaxed);
   const std::int64_t flow_id = msg.flow_id;
   msg.payload = std::move(payload);
-  // Eager buffered sends cost real memory on the receiver until consumed:
-  // account the mailbox residency as comm_buffers in dst's bucket. The
-  // charged size rides on the message so the credit matches exactly even if
-  // the ledger is toggled between send and receive.
-  if (obs::ledger().enabled() && !msg.payload.empty()) {
+  // Position in the (src,tag) stream: producer-owned, no lock (one producer
+  // per edge).
+  msg.seq = e.send_seq[tag]++;
+  // Eager buffered sends cost real memory on the receiver until consumed.
+  // Adopted payloads are charged as comm_buffers mailbox residency in dst's
+  // bucket (credited at take/teardown); tracked buffers already carry their
+  // allocation-time charge, so charging them again would double count.
+  if (obs::ledger().enabled() && !msg.payload.empty() &&
+      !msg.payload.tracked()) {
     msg.ledger_bytes = static_cast<std::int64_t>(msg.payload.size());
     obs::ledger().on_alloc(obs::MemKind::kCommBuffers,
                            obs::MemoryLedger::bucket_for_rank(dst),
                            msg.ledger_bytes);
   }
-  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+
+  // Fault decisions are producer-side and lock-free: hit() is a pure hash
+  // of (seed, rule, src, dst, tag, seq, attempt), so the schedule is
+  // interleaving-independent. Events are committed to the shared log after
+  // the message is enqueued.
   FaultRuntime* fr = faults_.get();
-  // Faults decided under box.mu (seq assignment must be atomic with insert);
-  // committed to the fault log after the lock drops.
   std::vector<FaultEvent> local_events;
-  {
-    std::lock_guard<std::mutex> lk(box.mu);
-    Stream& stream = box.streams[MailKey{src, tag}];
-    msg.seq = stream.next_send_seq++;
-
-    bool duplicate = false;
-    std::chrono::nanoseconds dup_extra{0};
-    if (fr != nullptr) {
-      const FaultPlan& plan = fr->plan;
-      const std::uint32_t epoch = fr->epoch.load(std::memory_order_relaxed);
-      for (std::size_t i = 0; i < plan.rules.size(); ++i) {
-        const FaultRule& rule = plan.rules[i];
-        FaultEvent event;
-        event.kind = rule.kind;
-        event.src = src;
-        event.dst = dst;
-        event.tag = tag;
-        event.seq = msg.seq;
-        event.epoch = epoch;
-        switch (rule.kind) {
-          case FaultKind::kDelay:
-            if (plan.hit(i, src, dst, tag, msg.seq, 0)) {
-              msg.deliver_at += rule.delay;
-              event.delay_ns = rule.delay.count();
-              local_events.push_back(event);
-            }
-            break;
-          case FaultKind::kDrop: {
-            // Each lost transmission costs one retransmit with doubled
-            // backoff; after max_retries the reliability layer force-delivers
-            // (a permanently lost message would deadlock the schedule).
-            auto backoff = rule.delay;
-            for (int attempt = 0; attempt < plan.max_retries &&
-                                  plan.hit(i, src, dst, tag, msg.seq, attempt);
-                 ++attempt) {
-              msg.deliver_at += backoff;
-              event.attempt = attempt;
-              event.delay_ns = backoff.count();
-              local_events.push_back(event);
-              backoff *= 2;
-            }
-            break;
+  bool duplicate = false;
+  std::chrono::nanoseconds dup_extra{0};
+  if (fr != nullptr) {
+    const FaultPlan& plan = fr->plan;
+    const std::uint32_t epoch = fr->epoch.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < plan.rules.size(); ++i) {
+      const FaultRule& rule = plan.rules[i];
+      FaultEvent event;
+      event.kind = rule.kind;
+      event.src = src;
+      event.dst = dst;
+      event.tag = tag;
+      event.seq = msg.seq;
+      event.epoch = epoch;
+      switch (rule.kind) {
+        case FaultKind::kDelay:
+          if (plan.hit(i, src, dst, tag, msg.seq, 0)) {
+            msg.deliver_at += rule.delay;
+            event.delay_ns = rule.delay.count();
+            local_events.push_back(event);
           }
-          case FaultKind::kDuplicate:
-            if (plan.hit(i, src, dst, tag, msg.seq, 0)) {
-              duplicate = true;
-              dup_extra = rule.delay;
-              event.delay_ns = rule.delay.count();
-              local_events.push_back(event);
-            }
-            break;
-          case FaultKind::kReorder:
-            if (plan.hit(i, src, dst, tag, msg.seq, 0)) {
-              // The message falls behind its successors: extra latency, and
-              // with dedup off it is also enqueued behind the current tail.
-              msg.deliver_at += rule.delay;
-              event.delay_ns = rule.delay.count();
-              local_events.push_back(event);
-            }
-            break;
-          case FaultKind::kStall:
-            break;  // handled in maybe_stall()
+          break;
+        case FaultKind::kDrop: {
+          // Each lost transmission costs one retransmit with doubled
+          // backoff; after max_retries the reliability layer force-delivers
+          // (a permanently lost message would deadlock the schedule).
+          auto backoff = rule.delay;
+          for (int attempt = 0; attempt < plan.max_retries &&
+                                plan.hit(i, src, dst, tag, msg.seq, attempt);
+               ++attempt) {
+            msg.deliver_at += backoff;
+            event.attempt = attempt;
+            event.delay_ns = backoff.count();
+            local_events.push_back(event);
+            backoff *= 2;
+          }
+          break;
         }
+        case FaultKind::kDuplicate:
+          if (plan.hit(i, src, dst, tag, msg.seq, 0)) {
+            duplicate = true;
+            dup_extra = rule.delay;
+            event.delay_ns = rule.delay.count();
+            local_events.push_back(event);
+          }
+          break;
+        case FaultKind::kReorder:
+          if (plan.hit(i, src, dst, tag, msg.seq, 0)) {
+            // The message falls behind its successors: extra latency, and
+            // with dedup off it is also enqueued behind the current tail.
+            msg.deliver_at += rule.delay;
+            msg.reordered = true;
+            event.delay_ns = rule.delay.count();
+            local_events.push_back(event);
+          }
+          break;
+        case FaultKind::kStall:
+          break;  // handled in maybe_stall()
       }
-    }
-
-    Message dup_msg;
-    if (duplicate) {
-      dup_msg.payload = msg.payload;  // deep copy
-      dup_msg.deliver_at = msg.deliver_at + dup_extra;
-      dup_msg.seq = msg.seq;
-      dup_msg.flow_id = next_flow_id_.fetch_add(1, std::memory_order_relaxed);
-      if (obs::ledger().enabled() && !dup_msg.payload.empty()) {
-        dup_msg.ledger_bytes =
-            static_cast<std::int64_t>(dup_msg.payload.size());
-        obs::ledger().on_alloc(obs::MemKind::kCommBuffers,
-                               obs::MemoryLedger::bucket_for_rank(dst),
-                               dup_msg.ledger_bytes);
-      }
-    }
-
-    const bool reliable = fr == nullptr || fr->plan.dedup;
-    auto insert = [&](Message m) {
-      if (reliable) {
-        // Keep the stream sorted by seq (in-order reassembly). The common
-        // in-order case is a plain push_back.
-        auto pos = stream.q.end();
-        while (pos != stream.q.begin() && std::prev(pos)->seq > m.seq) {
-          --pos;
-        }
-        stream.q.insert(pos, std::move(m));
-      } else {
-        // Mutation mode: raw arrival order, duplicates and all. A reordered
-        // message lands behind the current tail's predecessor swap below.
-        stream.q.push_back(std::move(m));
-      }
-    };
-    const bool reordered =
-        !reliable && !local_events.empty() &&
-        std::any_of(local_events.begin(), local_events.end(),
-                    [&](const FaultEvent& e) {
-                      return e.kind == FaultKind::kReorder && e.seq == msg.seq;
-                    });
-    insert(std::move(msg));
-    if (reordered && stream.q.size() >= 2) {
-      std::swap(stream.q[stream.q.size() - 1], stream.q[stream.q.size() - 2]);
-    }
-    if (duplicate) {
-      insert(std::move(dup_msg));
     }
   }
-  box.cv.notify_all();
+
+  Message dup_msg;
+  if (duplicate) {
+    dup_msg.payload = msg.payload;  // shares the refcounted bytes
+    dup_msg.tag = tag;
+    dup_msg.deliver_at = msg.deliver_at + dup_extra;
+    dup_msg.seq = msg.seq;
+    dup_msg.flow_id = next_flow_id_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::ledger().enabled() && !dup_msg.payload.empty() &&
+        !dup_msg.payload.tracked()) {
+      dup_msg.ledger_bytes =
+          static_cast<std::int64_t>(dup_msg.payload.size());
+      obs::ledger().on_alloc(obs::MemKind::kCommBuffers,
+                             obs::MemoryLedger::bucket_for_rank(dst),
+                             dup_msg.ledger_bytes);
+    }
+  }
+
+  enqueue(e, std::move(msg));
+  if (duplicate) {
+    enqueue(e, std::move(dup_msg));
+  }
   for (const FaultEvent& event : local_events) {
     record_fault(event);
   }
@@ -589,6 +728,56 @@ std::int64_t Fabric::deliver(int src, int dst, std::int64_t tag,
     obs::health().on_comm_progress(src);
   }
   return flow_id;
+}
+
+std::size_t Fabric::drain_edge(int src, int dst, Edge& e, Inbox& inbox,
+                               bool reliable) {
+  (void)dst;
+  std::size_t drained = 0;
+  while (Message* m = e.ring.front()) {
+    Message msg = std::move(*m);
+    e.ring.pop_front();
+    inbox_insert(inbox, src, std::move(msg), reliable);
+    ++drained;
+  }
+  if (e.ovf_count.load(std::memory_order_seq_cst) > 0) {
+    std::deque<Message> batch;
+    {
+      std::lock_guard<std::mutex> lk(e.ovf_mu);
+      batch.swap(e.ovf);
+      e.ovf_count.store(0, std::memory_order_seq_cst);
+    }
+    // Overflow messages are strictly newer than anything that was in the
+    // ring above (the producer stays in overflow mode until the deque is
+    // observed empty), so ring-then-overflow preserves per-edge FIFO order.
+    for (Message& msg : batch) {
+      inbox_insert(inbox, src, std::move(msg), reliable);
+      ++drained;
+    }
+  }
+  return drained;
+}
+
+void Fabric::inbox_insert(Inbox& inbox, int src, Message msg, bool reliable) {
+  Stream& stream = inbox.streams[MailKey{src, msg.tag}];
+  if (reliable) {
+    // Keep the stream sorted by seq (in-order reassembly). The common
+    // in-order case is a plain push_back.
+    auto pos = stream.q.end();
+    while (pos != stream.q.begin() && std::prev(pos)->seq > msg.seq) {
+      --pos;
+    }
+    stream.q.insert(pos, std::move(msg));
+  } else {
+    // Mutation mode: raw arrival order, duplicates and all. A reordered
+    // message lands behind its immediate predecessor.
+    const bool reordered = msg.reordered;
+    stream.q.push_back(std::move(msg));
+    if (reordered && stream.q.size() >= 2) {
+      std::swap(stream.q[stream.q.size() - 1],
+                stream.q[stream.q.size() - 2]);
+    }
+  }
 }
 
 Fabric::Taken Fabric::take(int dst, int src, std::int64_t tag) {
@@ -604,94 +793,132 @@ Fabric::Taken Fabric::take(int dst, int src, std::int64_t tag) {
   // the matching message being ready (modeled delivery time included).
   const bool traced = obs::enabled();
   const std::int64_t wait_start_ns = traced ? obs::now_ns() : 0;
-  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  Edge& e = edge(src, dst);
+  Inbox& inbox = *inboxes_[static_cast<std::size_t>(dst)];
   const auto deadline = std::chrono::steady_clock::now() +
                         recv_timeout_.load(std::memory_order_relaxed);
   FaultRuntime* fr = faults_.get();
   const bool reliable = fr == nullptr || fr->plan.dedup;
+  const MailKey key{src, tag};
   std::uint64_t discarded = 0;
   Taken taken;
-  {
-    std::unique_lock<std::mutex> lk(box.mu);
-    const MailKey key{src, tag};
-    for (;;) {
-      if (aborted_.load(std::memory_order_acquire)) {
-        CommErrorInfo info;
-        info.kind = CommErrorKind::kAborted;
-        info.rank = dst;
-        info.peer = src;
-        info.tag = tag;
-        throw CommError(info);
-      }
-      auto it = box.streams.find(key);
-      Stream* stream =
-          it != box.streams.end() ? &it->second : nullptr;
-      if (stream != nullptr && reliable) {
-        // Duplicate discard: anything below the reassembly cursor was
-        // already consumed via another copy.
-        while (!stream->q.empty() &&
-               stream->q.front().seq < stream->next_take_seq) {
-          const Message& dup = stream->q.front();
-          if (dup.ledger_bytes > 0) {
-            obs::ledger().on_free(obs::MemKind::kCommBuffers,
-                                  obs::MemoryLedger::bucket_for_rank(dst),
-                                  dup.ledger_bytes);
-          }
-          stream->q.pop_front();
-          ++discarded;
-        }
-      }
-      if (stream != nullptr && !stream->q.empty() &&
-          (!reliable || stream->q.front().seq == stream->next_take_seq)) {
-        // Honor the modeled delivery time: the message "is still in flight".
-        const auto deliver_at = stream->q.front().deliver_at;
-        const auto now = std::chrono::steady_clock::now();
-        if (deliver_at <= now) {
-          Message msg = std::move(stream->q.front());
-          stream->q.pop_front();
-          if (reliable) {
-            stream->next_take_seq = msg.seq + 1;
-          }
-          if (msg.ledger_bytes > 0) {
-            obs::ledger().on_free(obs::MemKind::kCommBuffers,
-                                  obs::MemoryLedger::bucket_for_rank(dst),
-                                  msg.ledger_bytes);
-          }
-          taken.payload = std::move(msg.payload);
-          taken.flow_id = msg.flow_id;
-          break;
-        }
-        box.cv.wait_until(lk, deliver_at);
-        continue;
-      }
-      if (box.cv.wait_until(lk, deadline) == std::cv_status::timeout) {
-        CommErrorInfo info;
-        info.kind = CommErrorKind::kRecvTimeout;
-        info.rank = dst;
-        info.peer = src;
-        info.tag = tag;
-        info.expected_seq = stream != nullptr ? stream->next_take_seq : 0;
-        for (const auto& [k, s] : box.streams) {
-          info.pending_messages += s.q.size();
-        }
-        throw CommError(info);
+
+  // Flush the spin tally even on the CommError unwind paths.
+  struct SpinTally {
+    Edge& e;
+    std::uint64_t n = 0;
+    ~SpinTally() {
+      if (n > 0) {
+        e.spins.fetch_add(n, std::memory_order_relaxed);
       }
     }
+  } spin{e, 0};
+
+  // Park on the edge eventcount until `tp`, with the Dekker-checked parked
+  // flag so a concurrent publication cannot be missed.
+  const auto park_until = [&](std::chrono::steady_clock::time_point tp) {
+    std::unique_lock<std::mutex> lk(e.park_mu);
+    e.parked.store(1, std::memory_order_seq_cst);
+    if (e.ring.front() != nullptr ||
+        e.ovf_count.load(std::memory_order_seq_cst) != 0 ||
+        aborted_.load(std::memory_order_seq_cst)) {
+      e.parked.store(0, std::memory_order_relaxed);
+      return;  // something arrived between the last check and parking
+    }
+    e.parks.fetch_add(1, std::memory_order_relaxed);
+    e.park_cv.wait_until(lk, tp);
+    e.parked.store(0, std::memory_order_relaxed);
+  };
+
+  // On a single-CPU host spinning is pure waste: the producer cannot run
+  // until this thread yields, so burning the timeslice in a pause loop only
+  // delays the very send being waited on. Park immediately instead.
+  static const int kSpinBudget =
+      std::thread::hardware_concurrency() > 1 ? kSpinLimit : 0;
+  int spins_left = kSpinBudget;
+  for (;;) {
+    if (aborted_.load(std::memory_order_acquire)) {
+      CommErrorInfo info;
+      info.kind = CommErrorKind::kAborted;
+      info.rank = dst;
+      info.peer = src;
+      info.tag = tag;
+      throw CommError(info);
+    }
+    if (drain_edge(src, dst, e, inbox, reliable) > 0) {
+      spins_left = kSpinBudget;  // progress: re-arm the spin budget
+    }
+    auto it = inbox.streams.find(key);
+    Stream* stream = it != inbox.streams.end() ? &it->second : nullptr;
+    if (stream != nullptr && reliable) {
+      // Duplicate discard: anything below the reassembly cursor was
+      // already consumed via another copy.
+      while (!stream->q.empty() &&
+             stream->q.front().seq < stream->next_take_seq) {
+        credit_message(stream->q.front(), dst);
+        stream->q.pop_front();
+        ++discarded;
+      }
+    }
+    if (stream != nullptr && !stream->q.empty() &&
+        (!reliable || stream->q.front().seq == stream->next_take_seq)) {
+      // Honor the modeled delivery time: the message "is still in flight".
+      const auto deliver_at = stream->q.front().deliver_at;
+      if (deliver_at <= std::chrono::steady_clock::now()) {
+        Message msg = std::move(stream->q.front());
+        stream->q.pop_front();
+        if (reliable) {
+          stream->next_take_seq = msg.seq + 1;
+        }
+        credit_message(msg, dst);
+        taken.payload = std::move(msg.payload);
+        taken.flow_id = msg.flow_id;
+        break;
+      }
+      park_until(deliver_at);
+      continue;
+    }
+    // Nothing matching yet: spin briefly (the paired send is usually one
+    // compute slice away), then park until the recv deadline.
+    if (spins_left > 0) {
+      --spins_left;
+      ++spin.n;
+      cpu_relax();
+      continue;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      CommErrorInfo info;
+      info.kind = CommErrorKind::kRecvTimeout;
+      info.rank = dst;
+      info.peer = src;
+      info.tag = tag;
+      info.expected_seq = stream != nullptr ? stream->next_take_seq : 0;
+      // Exact pending count: pull everything undelivered to this rank into
+      // the inbox first (this thread is the consumer of every such edge).
+      for (int other = 0; other < world_size(); ++other) {
+        if (other != dst) {
+          drain_edge(other, dst, edge(other, dst), inbox, reliable);
+        }
+      }
+      for (const auto& [k, s] : inbox.streams) {
+        info.pending_messages += s.q.size();
+      }
+      throw CommError(info);
+    }
+    park_until(deadline);
+    spins_left = kSpinBudget;
   }
+
   if (discarded > 0 && fr != nullptr) {
     std::lock_guard<std::mutex> flk(fr->mu);
     fr->stats.duplicates_discarded += discarded;
   }
+  decrement_clamped(e.pair.in_flight);
   {
-    std::lock_guard<std::mutex> lk(stats_mu_);
-    FabricStats& s =
-        pair_stats_[static_cast<std::size_t>(src * world_size() + dst)];
-    if (s.in_flight > 0) {  // reset_stats() may have zeroed mid-flight
-      --s.in_flight;
-    }
-    auto it = tag_stats_.find(tag);
-    if (it != tag_stats_.end() && it->second.in_flight > 0) {
-      --it->second.in_flight;
+    std::lock_guard<std::mutex> lk(e.tag_mu);
+    auto tag_it = e.tags.find(tag);
+    if (tag_it != e.tags.end() && tag_it->second.in_flight > 0) {
+      --tag_it->second.in_flight;
     }
   }
   if (traced) {

@@ -1,13 +1,33 @@
 // The in-process message-passing fabric: our stand-in for NCCL P2P.
 //
 // One Endpoint per simulated rank; ranks run on their own std::thread (see
-// WorkerGroup). Semantics mirror what the paper's implementation relies on:
+// run_workers). Semantics mirror what the paper's implementation relies on:
 //  * eager, buffered sends — isend never blocks (NCCL P2P with send buffers);
 //  * tagged matching by (source, tag) with FIFO order per pair;
 //  * irecv/wait for the prefetch overlap the paper gets from
 //    torch.distributed.batch_isend_irecv;
 //  * an optional LinkModel that delays *delivery* (not the sender), so
 //    emulated bandwidth overlaps with compute exactly like an async DMA.
+//
+// Transport (see docs/FABRIC.md for the full design):
+//  * every directed rank pair (src,dst) owns a bounded lock-free SPSC ring
+//    (comm/spsc_ring.hpp); the hot send/recv path takes no mutex;
+//  * payloads are refcounted zero-copy Buffers (comm/buffer.hpp): sending a
+//    weight shard moves a handle, never the bytes;
+//  * a blocked receiver spins briefly, then parks on a per-edge eventcount
+//    (mutex+condvar used only for parking) — it keeps feeding the PR 6
+//    health board while blocked, and abort_all() still wakes it;
+//  * the PR 5 reliability layer (per-(src,dst,tag) stream seq numbers,
+//    receiver-side reassembly + dedup, drop-as-retransmission) sits on top
+//    of the rings unchanged: seqs are assigned producer-side, reassembly
+//    happens consumer-side in a thread-owned inbox.
+//
+// Thread contract: at any moment at most ONE thread acts as a given rank
+// (calls its Endpoint methods). The acting thread may change only across a
+// happens-before edge; run_workers provides one via thread join at every
+// call boundary. Driver-side maintenance (recover, reset_stats, fault plan
+// install, destruction) requires the fabric quiescent — no rank threads
+// running — which the same join edges guarantee.
 //
 // Every byte crossing the fabric is counted per (src,dst) pair: tests assert
 // the paper's central claim — WeiPipe's communication volume is independent
@@ -27,7 +47,9 @@
 #include <thread>
 #include <vector>
 
+#include "comm/buffer.hpp"
 #include "comm/fault.hpp"
+#include "comm/spsc_ring.hpp"
 #include "comm/wire.hpp"
 #include "common/thread_annotations.hpp"
 
@@ -49,6 +71,18 @@ struct FabricStats {
   // one pair is the signature of a receiver pacing the ring.
   std::uint64_t in_flight = 0;
   std::uint64_t max_in_flight = 0;
+};
+
+// Lock-free transport counters, aggregated over all edges. spins/parks
+// split a blocked receiver's time into the cheap path (spin iterations
+// before data arrived) and the expensive one (condvar parks); notifies are
+// producer-side wakeups of a parked consumer; overflow counts messages that
+// did not fit the bounded ring and took the mutex-guarded spillover path.
+struct RingStats {
+  std::uint64_t spins = 0;
+  std::uint64_t parks = 0;
+  std::uint64_t notifies = 0;
+  std::uint64_t overflow = 0;
 };
 
 class Fabric;
@@ -74,14 +108,22 @@ class Endpoint {
 
   // Eager buffered send: enqueues and returns immediately.
   void send(int dst, std::int64_t tag, std::vector<std::uint8_t> payload);
+  // Zero-copy send: the fabric takes a reference, the bytes never move.
+  // Treat the buffer contents as frozen once sent (other ranks — and
+  // dup-fault copies — read the same storage).
+  void send(int dst, std::int64_t tag, Buffer payload);
 
   // Blocks until a matching message arrives (and its modeled delivery time
-  // passes). Throws weipipe::Error after `recv_timeout`.
+  // passes). Throws weipipe::CommError after `recv_timeout`.
   std::vector<std::uint8_t> recv(int src, std::int64_t tag);
+  // Zero-copy receive: returns the sender's buffer (same bytes, no copy).
+  Buffer recv_buffer(int src, std::int64_t tag);
 
   Request isend(int dst, std::int64_t tag, std::vector<std::uint8_t> payload);
   // out must stay alive until wait() returns.
   Request irecv(int src, std::int64_t tag, std::vector<std::uint8_t>* out);
+  // Zero-copy async receive; out must stay alive until wait() returns.
+  Request irecv_buffer(int src, std::int64_t tag, Buffer* out);
   // Float-typed async receive: wait() unpacks (and widens) into `out`.
   Request irecv_floats(int src, std::int64_t tag, std::span<float> out,
                        WirePrecision precision);
@@ -131,6 +173,9 @@ class Fabric {
   std::uint64_t max_in_flight() const;
   void reset_stats();
 
+  // Aggregate lock-free transport counters (spin/park/notify/overflow).
+  RingStats ring_stats() const;
+
   // Maximum time recv() blocks before declaring the schedule deadlocked.
   // Atomic because rank threads read it inside recv() while the driving
   // thread may still be adjusting it.
@@ -164,21 +209,78 @@ class Fabric {
  private:
   friend class Endpoint;
 
+  // Messages per edge ring; bursts beyond this spill into the mutex-guarded
+  // overflow deque (counted in RingStats::overflow).
+  static constexpr std::size_t kRingCapacity = 256;
+  // Spin iterations before a blocked receiver parks on the edge eventcount.
+  static constexpr int kSpinLimit = 1024;
+
   struct Message {
-    std::vector<std::uint8_t> payload;
+    Buffer payload;
+    std::int64_t tag = 0;
     std::chrono::steady_clock::time_point deliver_at;
-    // Position in the (src,tag) stream, assigned at send time. The receiver
-    // reassembles in seq order and discards duplicates, which is what makes
-    // injected drops/dups/reorders invisible to the layers above.
+    // Position in the (src,tag) stream, assigned at send time by the
+    // producer. The receiver reassembles in seq order and discards
+    // duplicates, which is what makes injected drops/dups/reorders
+    // invisible to the layers above.
     std::uint64_t seq = 0;
     // Unique per message; pairs the sender's and receiver's trace spans so
     // exporters can draw flow arrows (obs/chrome_trace.hpp).
     std::int64_t flow_id = -1;
-    // Bytes charged to the memory ledger (comm_buffers, receiver's bucket)
-    // while this message sits undelivered in a mailbox; 0 = not charged
-    // (ledger was disabled at send time). Credited on take()/teardown.
+    // Mailbox-residency bytes charged to the memory ledger (comm_buffers,
+    // receiver's bucket) for adopted (non-tracked) payloads; 0 = not charged
+    // (tracked buffers carry their own allocation-time charge, or the
+    // ledger was disabled at send time). Credited on take()/teardown.
     std::int64_t ledger_bytes = 0;
+    // nodedup mutation mode: this message fell behind its successor.
+    bool reordered = false;
   };
+
+  struct PairCounters {
+    std::atomic<std::uint64_t> messages{0};
+    std::atomic<std::uint64_t> bytes{0};
+    std::atomic<std::uint64_t> in_flight{0};
+    std::atomic<std::uint64_t> max_in_flight{0};
+  };
+
+  // One directed (src,dst) edge: the SPSC ring, its overflow spillover, the
+  // consumer's park state, producer-owned per-tag send seqs, and the edge's
+  // share of the stats.
+  struct Edge {
+    SpscRing<Message> ring{kRingCapacity};
+
+    // Overflow path for ring-full bursts. `ovf_mode` is producer-local:
+    // once a message spills, every later message spills too until the
+    // producer observes (under ovf_mu) that the consumer drained the deque —
+    // this keeps per-edge FIFO order across the two channels.
+    std::mutex ovf_mu;
+    std::deque<Message> ovf WEIPIPE_GUARDED_BY(ovf_mu);
+    std::atomic<std::uint32_t> ovf_count{0};
+    bool ovf_mode = false;  // producer thread only
+
+    // Eventcount: the consumer publishes `parked` (seq_cst) before
+    // re-checking the ring and waiting; the producer checks it (seq_cst)
+    // after publishing the ring tail. The seq_cst total order makes one
+    // side always see the other — no lost wakeups, no standalone fences
+    // (which TSan does not model).
+    std::mutex park_mu;
+    std::condition_variable park_cv;
+    std::atomic<std::uint32_t> parked{0};
+
+    // Producer-owned per-tag next sequence number (single producer per
+    // edge, so no lock).
+    std::map<std::int64_t, std::uint64_t> send_seq;
+
+    PairCounters pair;
+    mutable std::mutex tag_mu;
+    std::map<std::int64_t, FabricStats> tags WEIPIPE_GUARDED_BY(tag_mu);
+
+    std::atomic<std::uint64_t> spins{0};
+    std::atomic<std::uint64_t> parks{0};
+    std::atomic<std::uint64_t> notifies{0};
+    std::atomic<std::uint64_t> overflow{0};
+  };
+
   struct MailKey {
     int src;
     std::int64_t tag;
@@ -186,22 +288,22 @@ class Fabric {
       return src != o.src ? src < o.src : tag < o.tag;
     }
   };
-  // One (src,tag) message stream. With dedup on (the default), q is kept
-  // sorted by seq and next_take_seq is the reassembly cursor; with dedup off
-  // (FaultPlan mutation knob) q is raw arrival order.
+  // One (src,tag) reassembly stream, owned by the receiving rank's thread.
+  // With dedup on (the default), q is kept sorted by seq and next_take_seq
+  // is the reassembly cursor; with dedup off (FaultPlan mutation knob) q is
+  // raw arrival order.
   struct Stream {
     std::deque<Message> q;
-    std::uint64_t next_send_seq = 0;
     std::uint64_t next_take_seq = 0;
   };
-  struct Mailbox {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::map<MailKey, Stream> streams WEIPIPE_GUARDED_BY(mu);
+  // Per-rank inbox: drained-but-unconsumed messages. Touched only by the
+  // rank's acting thread (or the driver while quiescent) — no lock.
+  struct Inbox {
+    std::map<MailKey, Stream> streams;
   };
 
   struct Taken {
-    std::vector<std::uint8_t> payload;
+    Buffer payload;
     std::int64_t flow_id = -1;
   };
 
@@ -226,10 +328,31 @@ class Fabric {
     std::vector<FaultEvent> events WEIPIPE_GUARDED_BY(mu);
   };
 
+  Edge& edge(int src, int dst) {
+    return *edges_[static_cast<std::size_t>(src) *
+                       static_cast<std::size_t>(world_size()) +
+                   static_cast<std::size_t>(dst)];
+  }
+  const Edge& edge(int src, int dst) const {
+    return *edges_[static_cast<std::size_t>(src) *
+                       static_cast<std::size_t>(world_size()) +
+                   static_cast<std::size_t>(dst)];
+  }
+
   // Returns the delivered message's flow id.
-  std::int64_t deliver(int src, int dst, std::int64_t tag,
-                       std::vector<std::uint8_t> payload);
+  std::int64_t deliver(int src, int dst, std::int64_t tag, Buffer payload);
   Taken take(int dst, int src, std::int64_t tag);
+
+  // Producer side: enqueue on the ring or the ordered overflow path, then
+  // wake the consumer if it is parked.
+  void enqueue(Edge& e, Message msg);
+  // Consumer side: move everything available on the edge into dst's inbox.
+  // Returns the number of messages drained.
+  std::size_t drain_edge(int src, int dst, Edge& e, Inbox& inbox,
+                         bool reliable);
+  void inbox_insert(Inbox& inbox, int src, Message msg, bool reliable);
+  // Credits the ledger for an undelivered/duplicate message being destroyed.
+  static void credit_message(const Message& msg, int dst);
 
   // Fires any matching stall rule for `rank` (throws CommError(kStall) after
   // aborting the fabric); otherwise just advances the rank's op counter.
@@ -237,18 +360,14 @@ class Fabric {
   void record_fault(const FaultEvent& event);
 
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
-  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<Edge>> edges_;      // [src * P + dst]
+  std::vector<std::unique_ptr<Inbox>> inboxes_;   // [dst]
   LinkModel link_model_;
   std::unique_ptr<FaultRuntime> faults_;
   std::atomic<bool> aborted_{false};
   std::atomic<std::int64_t> next_flow_id_{0};
   std::atomic<std::chrono::milliseconds> recv_timeout_{
       std::chrono::milliseconds(60000)};
-
-  mutable std::mutex stats_mu_;
-  std::vector<FabricStats> pair_stats_  // [src * P + dst]
-      WEIPIPE_GUARDED_BY(stats_mu_);
-  std::map<std::int64_t, FabricStats> tag_stats_ WEIPIPE_GUARDED_BY(stats_mu_);
 };
 
 // Runs fn(rank, endpoint) on world_size threads and joins them all; the first

@@ -1,0 +1,154 @@
+// Bounded lock-free single-producer/single-consumer ring.
+//
+// This is the fabric's per-edge transport (one ring per directed rank pair):
+// rank threads exchange Messages without taking a mutex on the hot path. The
+// design is the classic bounded SPSC queue (the eskada event-deque idiom):
+//
+//  * free-running 64-bit head/tail cursors; the slot index is cursor & mask,
+//    so full/empty never needs a wasted slot and wraparound is implicit
+//    (2^64 pushes outlives any run);
+//  * the producer caches the consumer's head (and vice versa) so the common
+//    case touches one remote cache line only when its cached view says the
+//    ring might be full/empty;
+//  * slots are raw storage: elements are placement-new'd by the producer and
+//    destroyed by the consumer (or by the destructor for in-flight slots).
+//
+// Memory ordering: the producer publishes a slot with a seq_cst store of
+// tail_ and the consumer retires one with a release store of head_; readers
+// use acquire (or seq_cst) loads. Publication is deliberately seq_cst rather
+// than plain release because the fabric pairs each push with a Dekker-style
+// check of the consumer's "parked" flag (see fabric.cpp): the push must not
+// be reordered after the flag load, and we want that guarantee expressed on
+// the atomics themselves — not via standalone fences, which TSan does not
+// model. On x86 the cost is one xchg per push, far below the mutex+condvar
+// wake this replaces.
+//
+// Thread contract: exactly one thread may call producer methods (try_push)
+// and one thread consumer methods (front/pop_front) at any given time. The
+// acting thread may change over the ring's lifetime only across an external
+// happens-before edge (the fabric gets this from std::thread join at every
+// run_workers boundary).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace weipipe::comm {
+
+// Destructive-interference distance. A fixed constant rather than
+// std::hardware_destructive_interference_size: the library value varies with
+// -mtune (gcc warns when it leaks into headers), and 64 is correct for every
+// x86-64/aarch64 target this repo builds on.
+inline constexpr std::size_t kCacheLine = 64;
+
+template <typename T>
+class SpscRing {
+ public:
+  // Capacity is rounded up to a power of two; 1 is a valid capacity.
+  explicit SpscRing(std::size_t capacity)
+      : capacity_(round_up_pow2(capacity)),
+        mask_(capacity_ - 1),
+        slots_(static_cast<Slot*>(::operator new[](
+            capacity_ * sizeof(Slot), std::align_val_t(alignof(Slot))))) {}
+
+  ~SpscRing() {
+    // Destroy in-flight elements [head, tail). Only safe when no other
+    // thread is touching the ring — the fabric destroys rings while
+    // quiescent (all rank threads joined).
+    std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    for (; head != tail; ++head) {
+      slot(head)->destroy();
+    }
+    ::operator delete[](static_cast<void*>(slots_),
+                        std::align_val_t(alignof(Slot)));
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  // Producer side. Returns false (and leaves `value` intact) when full.
+  bool try_push(T&& value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ >= capacity_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ >= capacity_) {
+        return false;  // genuinely full
+      }
+    }
+    slot(tail)->construct(std::move(value));
+    // seq_cst publish: see the header comment (Dekker pairing with the
+    // consumer's parked flag in the fabric).
+    tail_.store(tail + 1, std::memory_order_seq_cst);
+    return true;
+  }
+
+  // Consumer side: pointer to the oldest element, or nullptr when empty.
+  // The pointer stays valid until pop_front().
+  T* front() {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      // seq_cst load: orders after the consumer's parked-flag store in the
+      // fabric's spin/park loop (the other half of the Dekker pair).
+      cached_tail_ = tail_.load(std::memory_order_seq_cst);
+      if (head == cached_tail_) {
+        return nullptr;
+      }
+    }
+    return slot(head)->get();
+  }
+
+  void pop_front() {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    slot(head)->destroy();
+    head_.store(head + 1, std::memory_order_release);
+  }
+
+  // Racy size estimate for diagnostics (timeout reports, metrics). Exact
+  // whenever the ring is quiescent.
+  std::size_t size_approx() const {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+ private:
+  struct Slot {
+    alignas(alignof(T)) unsigned char storage[sizeof(T)];
+    void construct(T&& value) { ::new (storage) T(std::move(value)); }
+    T* get() { return std::launder(reinterpret_cast<T*>(storage)); }
+    void destroy() { get()->~T(); }
+  };
+
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) {
+      p <<= 1;
+    }
+    return p;
+  }
+
+  Slot* slot(std::uint64_t cursor) {
+    return &slots_[static_cast<std::size_t>(cursor) & mask_];
+  }
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  Slot* const slots_;
+
+  // Producer and consumer cursors on their own cache lines; each side's
+  // cached view of the other cursor lives next to its own cursor (only that
+  // side touches it).
+  alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};
+  std::uint64_t cached_head_ = 0;  // producer-local
+  alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};
+  std::uint64_t cached_tail_ = 0;  // consumer-local
+};
+
+}  // namespace weipipe::comm

@@ -5,23 +5,75 @@
 // the precision loss a GPU implementation pays when it keeps fp16 circulating
 // buffers. Byte counts therefore reflect the real message sizes the cost
 // model reasons about.
+//
+// The fp32<->fp16/bf16 converters are SIMD-packed (F16C/AVX2, 8 lanes per
+// iteration) with a runtime CPU dispatch and a portable scalar fallback; the
+// SIMD paths are bit-identical to the scalar reference in common/
+// fixed_types.hpp for every input, NaN payloads and denormals included (the
+// hardware converter's NaN handling differs, so NaN lanes are blended to the
+// canonical scalar encoding — see wire.cpp).
+//
+// Int8 is a block-quantized gradient wire: each 64-element chunk carries one
+// fp32 scale (max-abs / 127) followed by the int8 codes. It is meant for the
+// weight-gradient flow, where the receiving owner widens to fp32 before
+// accumulating (PipeDream-2BW-style low-precision circulation with
+// full-precision accumulation). Non-finite inputs saturate: NaN encodes as
+// 0, +/-inf clamps to the chunk's max code.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "comm/buffer.hpp"
 #include "common/fixed_types.hpp"
 
 namespace weipipe::comm {
 
+// Elements per int8 quantization chunk (one fp32 scale per chunk).
+inline constexpr std::size_t kInt8ChunkElems = 64;
+
+std::size_t packed_size(std::size_t num_elements, WirePrecision precision);
+
 std::vector<std::uint8_t> pack_floats(std::span<const float> values,
                                       WirePrecision precision);
 
-// Unpacks into `out`; out.size() must match the packed element count.
+// Packs straight into a tracked (ledger-charged) zero-copy Buffer: the one
+// conversion pass is the only time the payload is touched before the
+// receiver unpacks it, however many ranks it is relayed through.
+Buffer pack_floats_to_buffer(std::span<const float> values,
+                             WirePrecision precision);
+
+// Packs into caller-provided storage of exactly packed_size(...) bytes.
+void pack_floats_into(std::span<const float> values, WirePrecision precision,
+                      std::uint8_t* dst);
+
+// Unpacks into `out`; bytes.size() must match packed_size(out.size(), ...).
 void unpack_floats(std::span<const std::uint8_t> bytes,
                    WirePrecision precision, std::span<float> out);
 
-std::size_t packed_size(std::size_t num_elements, WirePrecision precision);
+// Conversion kernels, exposed for the bitwise SIMD-vs-scalar cross-check
+// tests and the microbenchmarks. The *_simd variants must only be called
+// when simd_available() is true; pack_floats_into dispatches automatically.
+namespace wire_detail {
+
+// True when the running CPU has F16C+AVX2 (checked once, cached).
+bool simd_available();
+
+void pack_f16_scalar(const float* src, std::size_t n, std::uint16_t* dst);
+void unpack_f16_scalar(const std::uint16_t* src, std::size_t n, float* dst);
+void pack_bf16_scalar(const float* src, std::size_t n, std::uint16_t* dst);
+void unpack_bf16_scalar(const std::uint16_t* src, std::size_t n, float* dst);
+
+void pack_f16_simd(const float* src, std::size_t n, std::uint16_t* dst);
+void unpack_f16_simd(const std::uint16_t* src, std::size_t n, float* dst);
+void pack_bf16_simd(const float* src, std::size_t n, std::uint16_t* dst);
+void unpack_bf16_simd(const std::uint16_t* src, std::size_t n, float* dst);
+
+void pack_int8(const float* src, std::size_t n, std::uint8_t* dst);
+void unpack_int8(const std::uint8_t* src, std::size_t n, float* dst);
+
+}  // namespace wire_detail
 
 }  // namespace weipipe::comm

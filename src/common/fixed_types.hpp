@@ -159,19 +159,35 @@ inline float quantize_bf16(float f) { return BFloat16(f).to_float(); }
 
 // Precision used for a circulated tensor; Fp32 disables quantization (used by
 // the precision-ablation tests and the ground-truth sequential trainer).
-enum class WirePrecision { Fp32, Fp16, Bf16 };
+// Int8 is a *wire* format only (block-quantized with per-chunk fp32 scales,
+// see comm/wire.hpp); it is intended for the weight-gradient flow, where the
+// owner rank accumulates in fp32 after widening.
+enum class WirePrecision { Fp32, Fp16, Bf16, Int8 };
+
+// Strategy-knob alias: the circulated-tensor formats double as the fabric's
+// wire formats (PrecisionConfig in nn/config.hpp picks one per flow).
+using WireFormat = WirePrecision;
 
 inline const char* to_string(WirePrecision p) {
   switch (p) {
     case WirePrecision::Fp32: return "fp32";
     case WirePrecision::Fp16: return "fp16";
     case WirePrecision::Bf16: return "bf16";
+    case WirePrecision::Int8: return "int8";
   }
   return "?";
 }
 
+// Payload bytes per element. Int8 carries one byte per element plus a small
+// per-chunk scale header; use comm::packed_size for exact wire sizes.
 inline std::size_t wire_bytes_per_element(WirePrecision p) {
-  return p == WirePrecision::Fp32 ? 4 : 2;
+  switch (p) {
+    case WirePrecision::Fp32: return 4;
+    case WirePrecision::Fp16: return 2;
+    case WirePrecision::Bf16: return 2;
+    case WirePrecision::Int8: return 1;
+  }
+  return 4;
 }
 
 inline float quantize(float f, WirePrecision p) {
@@ -179,6 +195,11 @@ inline float quantize(float f, WirePrecision p) {
     case WirePrecision::Fp32: return f;
     case WirePrecision::Fp16: return quantize_f16(f);
     case WirePrecision::Bf16: return quantize_bf16(f);
+    case WirePrecision::Int8:
+      // Int8 quantization is block-wise (the scale depends on the chunk's
+      // max-abs); a single element has no chunk context, so the element-wise
+      // identity is returned and callers must go through pack/unpack.
+      return f;
   }
   return f;
 }

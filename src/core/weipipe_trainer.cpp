@@ -192,12 +192,16 @@ void WeiPipeTrainer::worker_body(int rank, comm::Endpoint& ep,
                                               kTagRedistF},
         std::pair<std::int64_t, std::int64_t>{sched_.b_start_holder(c),
                                               kTagRedistB}};
+    comm::Buffer wire;  // packed lazily, once; both flow injections share it
     for (const auto& [holder, tag] : targets_and_tags) {
       if (holder == p) {
         continue;  // handled locally below
       }
-      ep.send_floats(static_cast<int>(base + holder), tag,
-                     std::span<const float>(m.data(), m.size()), wp);
+      if (!wire) {
+        wire = comm::pack_floats_to_buffer(
+            std::span<const float>(m.data(), m.size()), wp);
+      }
+      ep.send(static_cast<int>(base + holder), tag, wire);
     }
   }
 
@@ -224,17 +228,32 @@ void WeiPipeTrainer::worker_body(int rank, comm::Endpoint& ep,
     }
   };
 
+  // Wire-format handles for the W and BW flows. Because unpack-then-repack
+  // is bit-identical for the flow precisions (fp32/fp16/bf16 idempotence,
+  // see test_wire), a rank relays the *received* buffer to its neighbor
+  // unchanged: the owner's single pack serves the whole ring pass, and each
+  // hop moves a refcounted handle instead of re-encoding the chunk.
+  comm::Buffer fw_wire;
+  comm::Buffer bw_wire;
   if (sched_.owner(cf0) == p) {
     fill_from_master_quantized(fw, cf0);
+    fw_wire = comm::pack_floats_to_buffer(
+        std::span<const float>(fw.data(), fw.size()), wp);
   } else {
-    ep.recv_floats(static_cast<int>(base + sched_.owner(cf0)), kTagRedistF,
-                   std::span<float>(fw.data(), fw.size()), wp);
+    fw_wire = ep.recv_buffer(static_cast<int>(base + sched_.owner(cf0)),
+                             kTagRedistF);
+    comm::unpack_floats(fw_wire.span(), wp,
+                        std::span<float>(fw.data(), fw.size()));
   }
   if (sched_.owner(cb0) == p) {
     fill_from_master_quantized(bw, cb0);
+    bw_wire = comm::pack_floats_to_buffer(
+        std::span<const float>(bw.data(), bw.size()), wp);
   } else {
-    ep.recv_floats(static_cast<int>(base + sched_.owner(cb0)), kTagRedistB,
-                   std::span<float>(bw.data(), bw.size()), wp);
+    bw_wire = ep.recv_buffer(static_cast<int>(base + sched_.owner(cb0)),
+                             kTagRedistB);
+    comm::unpack_floats(bw_wire.span(), wp,
+                        std::span<float>(bw.data(), bw.size()));
   }
 
   // ---- Turn loop -----------------------------------------------------------
@@ -248,24 +267,23 @@ void WeiPipeTrainer::worker_body(int rank, comm::Endpoint& ep,
     // Weight chunks are read-only for this turn's compute: with prefetch on,
     // ship them to the neighbor before computing so the transfer overlaps.
     if (opts_.async_prefetch) {
-      ep.send_floats(next, kTagF, std::span<const float>(fw.data(), fw.size()),
-                     wp);
-      ep.send_floats(next, kTagBW,
-                     std::span<const float>(bw.data(), bw.size()), wp);
+      // Relay the wire buffers: zero-copy handle moves, no re-pack.
+      ep.send(next, kTagF, std::move(fw_wire));
+      ep.send(next, kTagBW, std::move(bw_wire));
     }
 
     // Post receives for the next turn's chunks up front.
-    std::vector<std::uint8_t> in_f;
-    std::vector<std::uint8_t> in_bw;
-    std::vector<std::uint8_t> in_bd;
+    comm::Buffer in_f;
+    comm::Buffer in_bw;
+    comm::Buffer in_bd;
     comm::Request rq_f;
     comm::Request rq_bw;
     comm::Request rq_bd;
     const bool receiving = t + 1 <= turns;  // final state counts as turn T
     if (receiving && opts_.async_prefetch) {
-      rq_f = ep.irecv(prev, kTagF, &in_f);
-      rq_bw = ep.irecv(prev, kTagBW, &in_bw);
-      rq_bd = ep.irecv(prev, kTagBD, &in_bd);
+      rq_f = ep.irecv_buffer(prev, kTagF, &in_f);
+      rq_bw = ep.irecv_buffer(prev, kTagBW, &in_bw);
+      rq_bd = ep.irecv_buffer(prev, kTagBD, &in_bd);
     }
 
     // -- forward compute (new microbatch, chunk cf) --
@@ -403,10 +421,8 @@ void WeiPipeTrainer::worker_body(int rank, comm::Endpoint& ep,
 
     // Without prefetch the weight sends happen only now (blocking ablation).
     if (!opts_.async_prefetch) {
-      ep.send_floats(next, kTagF, std::span<const float>(fw.data(), fw.size()),
-                     wp);
-      ep.send_floats(next, kTagBW,
-                     std::span<const float>(bw.data(), bw.size()), wp);
+      ep.send(next, kTagF, std::move(fw_wire));
+      ep.send(next, kTagBW, std::move(bw_wire));
     }
     // D leaves after backward added this worker's contribution.
     ep.send_floats(next, kTagBD, std::span<const float>(bd.data(), bd.size()),
@@ -425,14 +441,22 @@ void WeiPipeTrainer::worker_body(int rank, comm::Endpoint& ep,
       rq_f.wait();
       rq_bw.wait();
       rq_bd.wait();
-      comm::unpack_floats(in_f, wp, std::span<float>(fw.data(), fw.size()));
-      comm::unpack_floats(in_bw, wp, std::span<float>(bw.data(), bw.size()));
-      comm::unpack_floats(in_bd, dp, std::span<float>(bd.data(), bd.size()));
+      fw_wire = std::move(in_f);
+      bw_wire = std::move(in_bw);
     } else {
-      ep.recv_floats(prev, kTagF, std::span<float>(fw.data(), fw.size()), wp);
-      ep.recv_floats(prev, kTagBW, std::span<float>(bw.data(), bw.size()), wp);
-      ep.recv_floats(prev, kTagBD, std::span<float>(bd.data(), bd.size()), dp);
+      fw_wire = ep.recv_buffer(prev, kTagF);
+      bw_wire = ep.recv_buffer(prev, kTagBW);
+      in_bd = ep.recv_buffer(prev, kTagBD);
     }
+    // Unpack into the fp32 working copies; the wire handles are kept so the
+    // next turn's send relays the same bytes. D is consumed (accumulated
+    // into fresh fp32 sums), so its wire buffer is dropped here.
+    comm::unpack_floats(fw_wire.span(), wp,
+                        std::span<float>(fw.data(), fw.size()));
+    comm::unpack_floats(bw_wire.span(), wp,
+                        std::span<float>(bw.data(), bw.size()));
+    comm::unpack_floats(in_bd.span(), dp,
+                        std::span<float>(bd.data(), bd.size()));
   }
 
   WEIPIPE_CHECK_MSG(inflight.empty(),

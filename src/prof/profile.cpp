@@ -255,6 +255,13 @@ void fill_metrics(obs::MetricsRegistry& registry, const ProfileReport& report,
   registry.counter("fabric.bytes").add(report.wire_bytes);
   registry.gauge("fabric.max_in_flight")
       .set(static_cast<double>(report.max_in_flight));
+  // Lock-free transport health: a high park share means receivers arrive
+  // long before their data; overflow > 0 means eager bursts outran the
+  // bounded per-edge rings and fell back to the mutex spillover path.
+  registry.counter("fabric.ring.spins").add(report.ring_stats.spins);
+  registry.counter("fabric.ring.parks").add(report.ring_stats.parks);
+  registry.counter("fabric.ring.notifies").add(report.ring_stats.notifies);
+  registry.counter("fabric.ring.overflow").add(report.ring_stats.overflow);
 
   if (report.fault_injected) {
     chaos::fill_fault_metrics(registry, report.fault_stats);
@@ -610,6 +617,7 @@ ProfileReport run_profile(const ProfileOptions& options) {
         if (comm::Fabric* fabric = trainer_fabric(*trainer)) {
           pair_stats = fabric->stats_matrix();
           report.max_in_flight = fabric->max_in_flight();
+          report.ring_stats = fabric->ring_stats();
           if (fabric->has_fault_plan()) {
             report.fault_stats = fabric->fault_stats();
           }

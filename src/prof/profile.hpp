@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/fabric.hpp"
 #include "comm/fault.hpp"
 #include "common/thread_pool.hpp"
 #include "core/trainer.hpp"
@@ -74,6 +75,10 @@ struct ProfileReport {
   std::uint64_t wire_bytes = 0;     // last iteration
   std::uint64_t wire_messages = 0;  // last iteration
   std::uint64_t max_in_flight = 0;  // last iteration, max over pairs
+  // Lock-free transport counters since fabric construction (trainer-backed
+  // strategies only): receiver spin/park split, producer notifies, ring
+  // overflow spills. Surfaces as the fabric.ring.* metrics.
+  comm::RingStats ring_stats;
   std::uint64_t dropped_spans = 0;  // ring overflow (nonzero = trace gaps)
   // dropped_spans broken down by producer ring (rank -1 = unranked
   // threads); only rings that lost spans appear. Surfaces as the

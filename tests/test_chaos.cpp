@@ -15,7 +15,9 @@
 #include "baselines/factory.hpp"
 #include "comm/fabric.hpp"
 #include "comm/fault.hpp"
+#include "core/accounting.hpp"
 #include "core/resilience.hpp"
+#include "core/weipipe_trainer.hpp"
 #include "nn/microbatch.hpp"
 #include "obs/health.hpp"
 #include "obs/json.hpp"
@@ -184,6 +186,87 @@ TEST(Chaos, BrokenGradientDedupIsCaughtByTheDiffer) {
   const chaos::ChaosReport r = chaos::run_chaos(cc);
   EXPECT_FALSE(r.ok());
   EXPECT_GT(r.fault_stats.duplicates, 0u);
+}
+
+// ---- wire-format x fault sweep over the zero-copy buffer path ---------------
+
+// Every WireFormat the fabric can put on the wire, including the paper's
+// mixed-precision config and the block-quantized int8 gradient wire.
+std::vector<std::pair<std::string, PrecisionConfig>> wire_format_matrix() {
+  PrecisionConfig int8_grads = PrecisionConfig::paper();
+  int8_grads.weight_grads = WirePrecision::Int8;
+  return {
+      {"fp32", PrecisionConfig::fp32()},
+      {"paper-fp16", PrecisionConfig::paper()},
+      {"bf16-flows",
+       PrecisionConfig{WirePrecision::Bf16, WirePrecision::Bf16,
+                       WirePrecision::Bf16, WirePrecision::Bf16}},
+      {"int8-grads", int8_grads},
+  };
+}
+
+// Strategy x wire-format x fault-class sweep on the zero-copy buffer path:
+// the reliability layer (seq reassembly + dedup + retransmission) must keep
+// every wire format bitwise-equal to its own clean run. This is the PR 5
+// guarantee re-proven on top of the lock-free rings and relayed buffers.
+TEST(Chaos, EveryWireFormatSurvivesEveryFaultClassBitwise) {
+  const std::vector<std::pair<std::string, std::string>> fault_classes = {
+      {"drop", "drop:p=0.2:us=100"},
+      {"dup", "dup:p=0.2:ns=0"},
+      {"reorder", "reorder:p=0.2:us=100"},
+      {"mixed",
+       "delay:p=0.2:us=50,drop:p=0.1:us=100,dup:p=0.1:ns=0,"
+       "reorder:p=0.1:us=100"},
+  };
+  for (const auto& [format_label, precision] : wire_format_matrix()) {
+    for (const auto& [fault_label, spec] : fault_classes) {
+      chaos::ChaosConfig cc;
+      cc.strategy = "weipipe";
+      cc.train = tiny_config();
+      cc.train.precision = precision;
+      cc.world_size = kWorld;
+      cc.iterations = kIters;
+      cc.plan = comm::parse_fault_plan(spec, 4321);
+      const chaos::ChaosReport r = chaos::run_chaos(cc);
+      EXPECT_TRUE(r.completed)
+          << format_label << " x " << fault_label << ": " << r.error;
+      EXPECT_TRUE(r.bitwise_equal)
+          << format_label << " x " << fault_label
+          << ": max|diff|=" << r.max_abs_diff;
+    }
+  }
+}
+
+// Under the same faults, the per-kind wire ledger must still match the
+// closed forms exactly for every wire format: retransmissions are latency,
+// dup copies are handle aliases — neither may leak into the logical
+// per-kind byte/message accounting.
+TEST(Chaos, KindAccountingStaysExactUnderFaultsPerWireFormat) {
+  for (const auto& [format_label, precision] : wire_format_matrix()) {
+    TrainConfig cfg = tiny_config();
+    cfg.precision = precision;
+    WeiPipeTrainer trainer(cfg, kWorld);
+    trainer.fabric()->install_fault_plan(comm::parse_fault_plan(
+        "drop:p=0.2:us=100,dup:p=0.2:ns=0,reorder:p=0.2:us=100", 7));
+    SyntheticDataset data(cfg.model.vocab_size, cfg.seed);
+    (void)trainer.train_iteration(data, 0);
+    ASSERT_TRUE(acct::has_predicted_kind_volumes("weipipe", cfg))
+        << format_label;
+    const acct::KindVolumes measured =
+        acct::measured_kind_volumes(*trainer.fabric());
+    const acct::KindVolumes predicted =
+        acct::predicted_kind_volumes("weipipe", cfg, kWorld);
+    for (const auto& [kind, kv] : predicted) {
+      const auto it = measured.find(kind);
+      ASSERT_NE(it, measured.end())
+          << format_label << ": no traffic of kind " << sched::to_string(kind);
+      EXPECT_EQ(it->second.bytes, kv.bytes)
+          << format_label << " " << sched::to_string(kind);
+      EXPECT_EQ(it->second.messages, kv.messages)
+          << format_label << " " << sched::to_string(kind);
+    }
+    EXPECT_EQ(measured.size(), predicted.size()) << format_label;
+  }
 }
 
 TEST(Chaos, ReportJsonIsParseable) {

@@ -1,0 +1,216 @@
+// The bounded lock-free SPSC ring under the fabric's hot path: capacity
+// rounding, wraparound, full/empty boundaries, value ownership (move-only
+// payloads, refcounted buffers), destruction with messages still in flight,
+// and a two-thread stress pass over the seq_cst publication protocol.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/buffer.hpp"
+#include "comm/spsc_ring.hpp"
+
+namespace weipipe::comm {
+namespace {
+
+TEST(SpscRing, PushPopRoundTrip) {
+  SpscRing<int> ring(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  EXPECT_EQ(ring.front(), nullptr);
+  EXPECT_EQ(ring.size_approx(), 0u);
+
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(ring.try_push(int(i)));
+  }
+  EXPECT_EQ(ring.size_approx(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_NE(ring.front(), nullptr);
+    EXPECT_EQ(*ring.front(), i);
+    ring.pop_front();
+  }
+  EXPECT_EQ(ring.front(), nullptr);
+}
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 1u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(8).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(200).capacity(), 256u);
+}
+
+TEST(SpscRing, FullRingRejectsWithoutLosingTheValue) {
+  SpscRing<std::string> ring(4);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.try_push("msg" + std::to_string(i)));
+  }
+  std::string extra = "overflow-payload";
+  EXPECT_FALSE(ring.try_push(std::move(extra)));
+  // A rejected push must leave the value intact: the fabric re-routes it to
+  // the overflow deque.
+  EXPECT_EQ(extra, "overflow-payload");
+
+  // Draining one slot makes room again.
+  ring.pop_front();
+  EXPECT_TRUE(ring.try_push(std::move(extra)));
+  EXPECT_EQ(*ring.front(), "msg1");
+}
+
+TEST(SpscRing, SingleSlotCapacity) {
+  SpscRing<int> ring(1);
+  EXPECT_EQ(ring.capacity(), 1u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(ring.try_push(int(i)));
+    EXPECT_FALSE(ring.try_push(int(-1)));  // full at depth one
+    ASSERT_NE(ring.front(), nullptr);
+    EXPECT_EQ(*ring.front(), i);
+    ring.pop_front();
+    EXPECT_EQ(ring.front(), nullptr);
+  }
+}
+
+TEST(SpscRing, WraparoundPreservesFifoOrder) {
+  SpscRing<std::uint64_t> ring(8);
+  std::uint64_t produced = 0;
+  std::uint64_t consumed = 0;
+  // Many times around the ring with a sawtooth fill level, crossing the
+  // index wrap repeatedly.
+  for (int round = 0; round < 1000; ++round) {
+    const int burst = 1 + (round % 7);
+    for (int i = 0; i < burst; ++i) {
+      if (ring.try_push(std::uint64_t(produced))) {
+        ++produced;
+      }
+    }
+    const int drain = 1 + ((round * 3) % 7);
+    for (int i = 0; i < drain; ++i) {
+      const std::uint64_t* front = ring.front();
+      if (front == nullptr) {
+        break;
+      }
+      EXPECT_EQ(*front, consumed);
+      ring.pop_front();
+      ++consumed;
+    }
+  }
+  while (const std::uint64_t* front = ring.front()) {
+    EXPECT_EQ(*front, consumed);
+    ring.pop_front();
+    ++consumed;
+  }
+  EXPECT_EQ(consumed, produced);
+  EXPECT_GT(produced, 1000u);  // actually wrapped many times
+}
+
+TEST(SpscRing, MoveOnlyValues) {
+  SpscRing<std::unique_ptr<int>> ring(4);
+  ASSERT_TRUE(ring.try_push(std::make_unique<int>(41)));
+  ASSERT_TRUE(ring.try_push(std::make_unique<int>(42)));
+  ASSERT_NE(ring.front(), nullptr);
+  std::unique_ptr<int> taken = std::move(*ring.front());
+  ring.pop_front();
+  EXPECT_EQ(*taken, 41);
+  EXPECT_EQ(**ring.front(), 42);
+}
+
+TEST(SpscRing, DestructionReleasesInFlightValues) {
+  // Destroying a non-empty ring must run the destructor of every slot in
+  // [head, tail) — refcounted buffers still enqueued get released.
+  Buffer payload = Buffer::allocate(1024);
+  EXPECT_EQ(payload.use_count(), 1);
+  {
+    SpscRing<Buffer> ring(8);
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(ring.try_push(Buffer(payload)));
+    }
+    ring.pop_front();  // mix consumed and in-flight slots
+    EXPECT_EQ(payload.use_count(), 1 + 4);
+  }
+  EXPECT_EQ(payload.use_count(), 1);
+}
+
+TEST(SpscRing, DestructionAfterWraparound) {
+  Buffer payload = Buffer::allocate(64);
+  {
+    SpscRing<Buffer> ring(4);
+    // Advance the cursors past the first lap so the live region straddles
+    // the wrap, then leave messages in flight.
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE(ring.try_push(Buffer(payload)));
+      if (i < 3) {
+        ring.pop_front();
+      }
+    }
+    EXPECT_EQ(payload.use_count(), 1 + 3);
+  }
+  EXPECT_EQ(payload.use_count(), 1);
+}
+
+TEST(SpscRing, TwoThreadStream) {
+  // One producer thread, one consumer thread (the fabric's exact shape);
+  // under TSan this exercises the acquire/release + seq_cst protocol.
+  constexpr std::uint64_t kCount = 200000;
+  SpscRing<std::uint64_t> ring(64);
+  std::atomic<bool> failed{false};
+  std::thread consumer([&] {
+    std::uint64_t expect = 0;
+    while (expect < kCount) {
+      const std::uint64_t* front = ring.front();
+      if (front == nullptr) {
+        std::this_thread::yield();
+        continue;
+      }
+      if (*front != expect) {
+        failed.store(true);
+        return;
+      }
+      ring.pop_front();
+      ++expect;
+    }
+  });
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    while (!ring.try_push(std::uint64_t(i))) {
+      std::this_thread::yield();
+    }
+  }
+  consumer.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(ring.front(), nullptr);
+}
+
+TEST(CommBuffer, AllocateAdoptAndRelease) {
+  Buffer tracked = Buffer::allocate(100);
+  EXPECT_TRUE(tracked.tracked());
+  EXPECT_EQ(tracked.size(), 100u);
+  EXPECT_TRUE(tracked.unique());
+
+  std::vector<std::uint8_t> bytes{1, 2, 3, 4};
+  const std::uint8_t* raw = bytes.data();
+  Buffer adopted = Buffer::adopt(std::move(bytes));
+  EXPECT_FALSE(adopted.tracked());
+  EXPECT_EQ(adopted.size(), 4u);
+  // Adoption moves the vector: same storage, no copy.
+  EXPECT_EQ(adopted.data(), raw);
+
+  // Unique adopted buffer releases its vector without copying.
+  std::vector<std::uint8_t> back = adopted.release_vector();
+  EXPECT_EQ(back.data(), raw);
+  EXPECT_FALSE(static_cast<bool>(adopted));
+
+  // Shared buffers hand out a copy instead (other holders keep reading).
+  std::vector<std::uint8_t> more{9, 8, 7};
+  Buffer shared = Buffer::adopt(std::move(more));
+  Buffer alias = shared;
+  EXPECT_EQ(shared.use_count(), 2);
+  std::vector<std::uint8_t> copy = alias.release_vector();
+  EXPECT_EQ(copy, (std::vector<std::uint8_t>{9, 8, 7}));
+  EXPECT_EQ(shared.size(), 3u);  // survivor still owns the bytes
+}
+
+}  // namespace
+}  // namespace weipipe::comm

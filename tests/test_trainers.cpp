@@ -221,5 +221,33 @@ TEST(TrainerConvergence, AllStrategiesReachTheSameLowLoss) {
   EXPECT_LT(wp_loss, std::log(static_cast<float>(cfg.model.vocab_size)));
 }
 
+// ---- int8 weight-gradient wire: convergence differ ----------------------------
+
+TEST(TrainerConvergence, Int8GradientWireTracksTheFp32Wire) {
+  // The block-quantized int8 D wire (per-64-element fp32 scales, fp32
+  // accumulation on the owner) is a lossy knob: the differ proves it is
+  // genuinely lossy (nonzero drift — the test would be vacuous otherwise)
+  // yet training stays on the fp32-wire trajectory within tolerance.
+  TrainConfig cfg = base_config();
+  cfg.adam.lr = 5e-3f;
+  SyntheticDataset data(cfg.model.vocab_size, cfg.seed);
+  WeiPipeTrainer fp32_wire(cfg, 4);
+  TrainConfig cfg_int8 = cfg;
+  cfg_int8.precision.weight_grads = WirePrecision::Int8;
+  WeiPipeTrainer int8_wire(cfg_int8, 4);
+  float fp32_loss = 0.0f;
+  float int8_loss = 0.0f;
+  for (int it = 0; it < 12; ++it) {
+    fp32_loss = fp32_wire.train_iteration(data, it).mean_loss;
+    int8_loss = int8_wire.train_iteration(data, it).mean_loss;
+  }
+  const float drift = params_max_diff(fp32_wire.gather_block_params(),
+                                      int8_wire.gather_block_params());
+  EXPECT_GT(drift, 0.0f);     // the int8 wire really quantizes
+  EXPECT_LT(drift, 0.05f);    // ...but the trajectory stays close
+  EXPECT_NEAR(int8_loss, fp32_loss, 0.05f);
+  EXPECT_LT(int8_loss, std::log(static_cast<float>(cfg.model.vocab_size)));
+}
+
 }  // namespace
 }  // namespace weipipe

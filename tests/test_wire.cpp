@@ -1,0 +1,304 @@
+// Wire packing: fp16/bf16 SIMD-vs-scalar bitwise equivalence (every input
+// class, all 65536 16-bit patterns on unpack), int8 block-quantization
+// semantics, packed-size arithmetic, and round-trip/idempotence properties
+// the trainers' zero-copy relay depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "comm/wire.hpp"
+#include "common/fixed_types.hpp"
+#include "common/rng.hpp"
+
+namespace weipipe::comm {
+namespace {
+
+namespace wd = wire_detail;
+
+std::uint32_t bits_of(float f) {
+  std::uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+float float_of(std::uint32_t u) {
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+
+// Input classes that historically diverge between hardware converters and
+// scalar reference code: NaNs (payloads, signs, signalling bit), infinities,
+// fp32 denormals, values at the fp16 overflow/underflow thresholds, and
+// round-to-nearest-even ties.
+std::vector<float> adversarial_floats() {
+  std::vector<float> v = {
+      0.0f, -0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 65504.0f, -65504.0f,
+      65520.0f,   // rounds to fp16 inf
+      65519.996f, // just below the overflow threshold
+      std::numeric_limits<float>::infinity(),
+      -std::numeric_limits<float>::infinity(),
+      std::numeric_limits<float>::quiet_NaN(),
+      -std::numeric_limits<float>::quiet_NaN(),
+      std::numeric_limits<float>::denorm_min(),
+      -std::numeric_limits<float>::denorm_min(),
+      std::numeric_limits<float>::min(),   // smallest normal fp32
+      6.1035156e-05f,                      // smallest normal fp16
+      5.9604645e-08f,                      // smallest subnormal fp16
+      2.9802322e-08f,                      // half of it: ties to even (zero)
+      3.0e-08f,                            // just above: rounds up
+      1.0009766f,                          // fp16 RNE tie (mantissa ...1000)
+      1.0029297f,                          // fp16 RNE tie (rounds up)
+  };
+  // NaN payload variants, including a signalling pattern.
+  v.push_back(float_of(0x7F800001u));  // sNaN, payload 1
+  v.push_back(float_of(0xFF800001u));
+  v.push_back(float_of(0x7FC01234u));  // qNaN with payload
+  v.push_back(float_of(0x7FFFFFFFu));  // all-ones payload
+  // fp32 denormals of various magnitudes (flush to signed zero in fp16).
+  v.push_back(float_of(0x00000001u));
+  v.push_back(float_of(0x007FFFFFu));
+  v.push_back(float_of(0x80400000u));
+  return v;
+}
+
+// A large deterministic mixed bag: adversarial values cycled into a random
+// normal background, with an odd length to exercise the SIMD tail path.
+std::vector<float> mixed_input(std::size_t n) {
+  const std::vector<float> hard = adversarial_floats();
+  Rng rng(0xC0FFEEull + n);
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = (i % 3 == 0) ? hard[i % hard.size()] : rng.normal(0.0f, 100.0f);
+  }
+  return v;
+}
+
+// ---- SIMD vs scalar: bitwise ------------------------------------------------
+
+TEST(WireSimd, PackF16MatchesScalarBitwise) {
+  if (!wd::simd_available()) {
+    GTEST_SKIP() << "no F16C/AVX2 on this machine";
+  }
+  // Odd sizes cover every tail length around the 8-lane width.
+  for (std::size_t n : {0u, 1u, 3u, 7u, 8u, 9u, 15u, 16u, 17u, 1021u, 4096u}) {
+    const std::vector<float> input = mixed_input(n);
+    std::vector<std::uint16_t> scalar(n), simd(n);
+    wd::pack_f16_scalar(input.data(), n, scalar.data());
+    wd::pack_f16_simd(input.data(), n, simd.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(scalar[i], simd[i])
+          << "n=" << n << " i=" << i << " input bits=0x" << std::hex
+          << bits_of(input[i]);
+    }
+  }
+}
+
+TEST(WireSimd, PackBf16MatchesScalarBitwise) {
+  if (!wd::simd_available()) {
+    GTEST_SKIP() << "no F16C/AVX2 on this machine";
+  }
+  for (std::size_t n : {0u, 1u, 3u, 7u, 8u, 9u, 15u, 16u, 17u, 1021u, 4096u}) {
+    const std::vector<float> input = mixed_input(n);
+    std::vector<std::uint16_t> scalar(n), simd(n);
+    wd::pack_bf16_scalar(input.data(), n, scalar.data());
+    wd::pack_bf16_simd(input.data(), n, simd.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(scalar[i], simd[i])
+          << "n=" << n << " i=" << i << " input bits=0x" << std::hex
+          << bits_of(input[i]);
+    }
+  }
+}
+
+TEST(WireSimd, UnpackF16MatchesScalarOnEveryBitPattern) {
+  if (!wd::simd_available()) {
+    GTEST_SKIP() << "no F16C/AVX2 on this machine";
+  }
+  // The whole 16-bit input space fits in one pass: every normal, subnormal,
+  // zero, infinity, and NaN payload (signalling bit included).
+  std::vector<std::uint16_t> input(65536);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<std::uint16_t>(i);
+  }
+  std::vector<float> scalar(input.size()), simd(input.size());
+  wd::unpack_f16_scalar(input.data(), input.size(), scalar.data());
+  wd::unpack_f16_simd(input.data(), input.size(), simd.data());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    ASSERT_EQ(bits_of(scalar[i]), bits_of(simd[i]))
+        << "half bits=0x" << std::hex << i;
+  }
+}
+
+TEST(WireSimd, UnpackBf16MatchesScalarOnEveryBitPattern) {
+  if (!wd::simd_available()) {
+    GTEST_SKIP() << "no F16C/AVX2 on this machine";
+  }
+  std::vector<std::uint16_t> input(65536);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<std::uint16_t>(i);
+  }
+  std::vector<float> scalar(input.size()), simd(input.size());
+  wd::unpack_bf16_scalar(input.data(), input.size(), scalar.data());
+  wd::unpack_bf16_simd(input.data(), input.size(), simd.data());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    ASSERT_EQ(bits_of(scalar[i]), bits_of(simd[i]))
+        << "bf16 bits=0x" << std::hex << i;
+  }
+}
+
+// ---- scalar semantics (also pins what the SIMD paths must reproduce) --------
+
+TEST(WirePack, F16MatchesFixedTypesQuantization) {
+  // pack_floats must be exactly Float16-per-element: the accounting model
+  // and the ablation tests reason in those terms.
+  const std::vector<float> input = mixed_input(257);
+  const std::vector<std::uint8_t> bytes =
+      pack_floats(input, WirePrecision::Fp16);
+  ASSERT_EQ(bytes.size(), input.size() * 2);
+  std::vector<float> out(input.size());
+  unpack_floats(bytes, WirePrecision::Fp16, out);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const float expect = quantize_f16(input[i]);
+    if (std::isnan(expect)) {
+      EXPECT_TRUE(std::isnan(out[i])) << i;
+    } else {
+      EXPECT_EQ(bits_of(expect), bits_of(out[i])) << i;
+    }
+  }
+}
+
+TEST(WirePack, RoundTripIsIdempotentPerPrecision) {
+  // Quantize(quantize(x)) == quantize(x): the property that makes the
+  // trainer's unpack-then-repack hop bit-identical, and thus makes relaying
+  // the received buffer legal. (Int8 is excluded: re-deriving the per-chunk
+  // scale from decoded values can differ in the last ulp, and the int8 wire
+  // is only used for the D flow, which re-packs from fresh fp32 sums anyway.)
+  const std::vector<float> input = mixed_input(333);
+  for (WirePrecision p : {WirePrecision::Fp16, WirePrecision::Bf16}) {
+    const std::vector<std::uint8_t> once = pack_floats(input, p);
+    std::vector<float> widened(input.size());
+    unpack_floats(once, p, widened);
+    const std::vector<std::uint8_t> twice = pack_floats(widened, p);
+    EXPECT_EQ(once, twice) << to_string(p);
+  }
+}
+
+TEST(WirePack, Fp32IsBitExact) {
+  const std::vector<float> input = mixed_input(100);
+  const std::vector<std::uint8_t> bytes =
+      pack_floats(input, WirePrecision::Fp32);
+  ASSERT_EQ(bytes.size(), input.size() * 4);
+  std::vector<float> out(input.size());
+  unpack_floats(bytes, WirePrecision::Fp32, out);
+  EXPECT_EQ(std::memcmp(input.data(), out.data(), bytes.size()), 0);
+}
+
+// ---- int8 block quantization ------------------------------------------------
+
+TEST(WireInt8, PackedSizeLayout) {
+  // ceil(n/64) fp32 scales up front, then one code byte per element.
+  EXPECT_EQ(packed_size(0, WirePrecision::Int8), 0u);
+  EXPECT_EQ(packed_size(1, WirePrecision::Int8), 4u + 1u);
+  EXPECT_EQ(packed_size(64, WirePrecision::Int8), 4u + 64u);
+  EXPECT_EQ(packed_size(65, WirePrecision::Int8), 8u + 65u);
+  EXPECT_EQ(packed_size(1000, WirePrecision::Int8), 16u * 4u + 1000u);
+}
+
+TEST(WireInt8, QuantizationErrorIsBoundedPerChunk) {
+  Rng rng(77);
+  std::vector<float> input(1000);
+  for (float& f : input) {
+    f = rng.uniform(-3.0f, 3.0f);
+  }
+  const std::vector<std::uint8_t> bytes =
+      pack_floats(input, WirePrecision::Int8);
+  std::vector<float> out(input.size());
+  unpack_floats(bytes, WirePrecision::Int8, out);
+  for (std::size_t c = 0; c * kInt8ChunkElems < input.size(); ++c) {
+    const std::size_t begin = c * kInt8ChunkElems;
+    const std::size_t end = std::min(begin + kInt8ChunkElems, input.size());
+    float max_abs = 0.0f;
+    for (std::size_t i = begin; i < end; ++i) {
+      max_abs = std::max(max_abs, std::fabs(input[i]));
+    }
+    const float step = max_abs / 127.0f;  // one quantization step
+    for (std::size_t i = begin; i < end; ++i) {
+      EXPECT_NEAR(out[i], input[i], step * 0.5f + 1e-7f) << i;
+    }
+  }
+}
+
+TEST(WireInt8, ExtremesSaturateAndNanEncodesAsZero) {
+  std::vector<float> input(kInt8ChunkElems, 1.0f);
+  input[0] = std::numeric_limits<float>::infinity();
+  input[1] = -std::numeric_limits<float>::infinity();
+  input[2] = std::numeric_limits<float>::quiet_NaN();
+  input[3] = 127.0f;  // chunk max finite magnitude
+  input[4] = -127.0f;
+  const std::vector<std::uint8_t> bytes =
+      pack_floats(input, WirePrecision::Int8);
+  std::vector<float> out(input.size());
+  unpack_floats(bytes, WirePrecision::Int8, out);
+  // Scale comes from the max *finite* magnitude (127 -> step 1.0).
+  EXPECT_FLOAT_EQ(out[0], 127.0f);   // +inf clamps to the max code
+  EXPECT_FLOAT_EQ(out[1], -127.0f);  // -inf clamps to the min code
+  EXPECT_FLOAT_EQ(out[2], 0.0f);     // NaN encodes as zero
+  EXPECT_FLOAT_EQ(out[3], 127.0f);
+  EXPECT_FLOAT_EQ(out[4], -127.0f);
+  EXPECT_FLOAT_EQ(out[5], 1.0f);     // exactly representable at step 1.0
+}
+
+TEST(WireInt8, AllZeroAndSingleElementChunks) {
+  // All-zero chunk: scale 0, every element decodes to exactly 0.
+  std::vector<float> zeros(130, 0.0f);
+  std::vector<float> out(zeros.size());
+  unpack_floats(pack_floats(zeros, WirePrecision::Int8),
+                WirePrecision::Int8, out);
+  for (float f : out) {
+    EXPECT_EQ(f, 0.0f);
+  }
+  // A lone element is its own chunk and survives exactly (code ±127).
+  std::vector<float> one{-2.5f};
+  std::vector<float> one_out(1);
+  unpack_floats(pack_floats(one, WirePrecision::Int8), WirePrecision::Int8,
+                one_out);
+  EXPECT_FLOAT_EQ(one_out[0], -2.5f);
+}
+
+TEST(WireInt8, TinyDenormalScaleStaysFinite) {
+  // A chunk whose max-abs is an fp32 denormal: scale/127 underflows toward
+  // zero; the codec must still decode finite values (the division-based
+  // encode avoids the 1/scale = inf trap).
+  std::vector<float> input(3, 0.0f);
+  input[0] = std::numeric_limits<float>::denorm_min();
+  input[1] = -std::numeric_limits<float>::denorm_min();
+  std::vector<float> out(input.size());
+  unpack_floats(pack_floats(input, WirePrecision::Int8), WirePrecision::Int8,
+                out);
+  for (float f : out) {
+    EXPECT_TRUE(std::isfinite(f));
+  }
+  EXPECT_EQ(out[2], 0.0f);
+}
+
+// ---- buffer-path packing ----------------------------------------------------
+
+TEST(WirePack, PackToBufferMatchesVectorPath) {
+  const std::vector<float> input = mixed_input(123);
+  for (WirePrecision p : {WirePrecision::Fp32, WirePrecision::Fp16,
+                          WirePrecision::Bf16, WirePrecision::Int8}) {
+    const std::vector<std::uint8_t> expect = pack_floats(input, p);
+    Buffer buffer = pack_floats_to_buffer(input, p);
+    ASSERT_EQ(buffer.size(), expect.size()) << to_string(p);
+    EXPECT_TRUE(buffer.tracked());
+    EXPECT_EQ(std::memcmp(buffer.data(), expect.data(), expect.size()), 0)
+        << to_string(p);
+  }
+}
+
+}  // namespace
+}  // namespace weipipe::comm

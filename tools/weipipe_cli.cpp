@@ -114,6 +114,23 @@ TrainConfig config_from_flags(const Flags& flags) {
   if (flags.flag("fp16")) {
     cfg.precision = PrecisionConfig::paper();
   }
+  // Optional override for the weight-gradient (D flow) wire format, on top
+  // of whatever base precision --fp16 selected.
+  if (flags.flag("wire-grads")) {
+    const std::string wire = flags.str("wire-grads", "fp32");
+    if (wire == "fp32") {
+      cfg.precision.weight_grads = WirePrecision::Fp32;
+    } else if (wire == "fp16") {
+      cfg.precision.weight_grads = WirePrecision::Fp16;
+    } else if (wire == "bf16") {
+      cfg.precision.weight_grads = WirePrecision::Bf16;
+    } else if (wire == "int8") {
+      cfg.precision.weight_grads = WirePrecision::Int8;
+    } else {
+      WEIPIPE_CHECK_MSG(false, "unknown --wire-grads '"
+                                   << wire << "' (fp32 | fp16 | bf16 | int8)");
+    }
+  }
   return cfg;
 }
 
@@ -759,6 +776,7 @@ COMMANDS
     --dim H --layers L --heads n --kv-heads n(GQA) --seq S --vocab V
     --microbatches N --batch-size G --lr f --clip f --warmup n --decay-iters n
     --dataset affine|copy   --seed n   --fp16   --recompute   --quiet
+    --wire-grads fp32|fp16|bf16|int8   weight-gradient (D flow) wire format
     --replicate-vocab  hold embedding/head per worker, sync once per iter
     --checkpoint PATH  save state at the end
     --resume PATH      restore state before training
