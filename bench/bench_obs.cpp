@@ -7,10 +7,15 @@
 // installed.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "obs/chrome_trace.hpp"
+#include "obs/critpath.hpp"
+#include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
+#include "obs/timeseries.hpp"
 
 namespace weipipe {
 namespace {
@@ -88,6 +93,74 @@ void BM_ChromeTraceExport_10kSpans(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ChromeTraceExport_10kSpans)->Unit(benchmark::kMillisecond);
+
+// One telemetry sampler tick over a realistically-sized registry: this is
+// the recurring cost the --telemetry flag adds per sample period, and it
+// must stay far below the step time for the <1% overhead budget.
+void BM_TelemetryTick_200Series(benchmark::State& state) {
+  obs::Registry registry;
+  for (int i = 0; i < 150; ++i) {
+    registry.counter("bench.counter." + std::to_string(i)).add(i);
+  }
+  for (int i = 0; i < 50; ++i) {
+    registry.gauge("bench.gauge." + std::to_string(i)).set(i * 0.5);
+  }
+  obs::TimeseriesOptions options;
+  options.watch_ledger = false;
+  obs::TelemetrySampler sampler(options);
+  sampler.watch_registry(&registry);
+  for (auto _ : state) {
+    sampler.sample_now();
+  }
+}
+BENCHMARK(BM_TelemetryTick_200Series)->Unit(benchmark::kMicrosecond);
+
+// Critical-path analysis of a synthetic 8-rank step with producer/consumer
+// chains: the per-step cost `weipipe_cli anatomy` and profile reports pay.
+void BM_AnalyzeStep_10kSpans(benchmark::State& state) {
+  std::vector<obs::Span> spans;
+  spans.reserve(10'000);
+  std::int64_t flow = 0;
+  for (int i = 0; i < 2'500; ++i) {
+    const int rank = i % 8;
+    const std::int64_t base = i * 1'000;
+    obs::Span f;
+    f.kind = obs::SpanKind::kForward;
+    f.rank = rank;
+    f.start_ns = base;
+    f.end_ns = base + 600;
+    spans.push_back(f);
+    obs::Span send;
+    send.kind = obs::SpanKind::kSendTransfer;
+    send.rank = rank;
+    send.peer = (rank + 1) % 8;
+    send.tag = 1;
+    send.flow_id = flow;
+    send.start_ns = base + 600;
+    send.end_ns = base + 700;
+    spans.push_back(send);
+    obs::Span wait;
+    wait.kind = obs::SpanKind::kRecvWait;
+    wait.rank = (rank + 1) % 8;
+    wait.peer = rank;
+    wait.tag = 1;
+    wait.flow_id = flow++;
+    wait.start_ns = base + 300;
+    wait.end_ns = base + 750;
+    spans.push_back(wait);
+    obs::Span b;
+    b.kind = obs::SpanKind::kBackward;
+    b.rank = (rank + 1) % 8;
+    b.start_ns = base + 750;
+    b.end_ns = base + 990;
+    spans.push_back(b);
+  }
+  for (auto _ : state) {
+    obs::StepAnatomy anatomy = obs::analyze_step(spans);
+    benchmark::DoNotOptimize(anatomy.segments.data());
+  }
+}
+BENCHMARK(BM_AnalyzeStep_10kSpans)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace weipipe

@@ -4,6 +4,7 @@
 #include "common/stopwatch.hpp"
 #include "nn/loss.hpp"
 #include "obs/health.hpp"
+#include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 
 namespace weipipe {
@@ -43,7 +44,10 @@ void FsdpTrainer::recharge_ledger() {
 IterationResult FsdpTrainer::train_iteration(const Dataset& data,
                                              std::int64_t iter_index) {
   Stopwatch sw;
-  obs::SpanScope step_span(obs::SpanKind::kStep);
+  obs::SpanScope step_span(obs::SpanKind::kStep, iter_index);
+  // Uniform step cadence signal: every strategy bumps the same counter at
+  // the same point, so telemetry windows align across strategies.
+  obs::runtime_metrics().counter("step.index").increment();
   // Step-cadence heartbeat for the live health plane (obs/health.hpp).
   obs::HealthStepScope health_step(iter_index);
   fabric_->reset_stats();

@@ -836,6 +836,23 @@ Fabric::Taken Fabric::take(int dst, int src, std::int64_t tag) {
   static const int kSpinBudget =
       std::thread::hardware_concurrency() > 1 ? kSpinLimit : 0;
   int spins_left = kSpinBudget;
+  // Critical-path tap: the anatomy analyzer needs the blocked interval even
+  // when the wait ends in an exception — record the kRecvWait span (no flow,
+  // labeled with how the wait died) right before each CommError throw.
+  const auto record_failed_wait = [&](const char* label) {
+    if (!traced) {
+      return;
+    }
+    obs::Span span;
+    span.kind = obs::SpanKind::kRecvWait;
+    span.start_ns = wait_start_ns;
+    span.end_ns = obs::now_ns();
+    span.rank = dst;
+    span.peer = src;
+    span.tag = tag;
+    span.label = label;
+    obs::record(span);
+  };
   for (;;) {
     if (aborted_.load(std::memory_order_acquire)) {
       CommErrorInfo info;
@@ -843,6 +860,7 @@ Fabric::Taken Fabric::take(int dst, int src, std::int64_t tag) {
       info.rank = dst;
       info.peer = src;
       info.tag = tag;
+      record_failed_wait("recv-wait-aborted");
       throw CommError(info);
     }
     if (drain_edge(src, dst, e, inbox, reliable) > 0) {
@@ -903,6 +921,7 @@ Fabric::Taken Fabric::take(int dst, int src, std::int64_t tag) {
       for (const auto& [k, s] : inbox.streams) {
         info.pending_messages += s.q.size();
       }
+      record_failed_wait("recv-wait-timeout");
       throw CommError(info);
     }
     park_until(deadline);

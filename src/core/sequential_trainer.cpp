@@ -5,6 +5,7 @@
 #include "common/stopwatch.hpp"
 #include "nn/loss.hpp"
 #include "obs/health.hpp"
+#include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 
 namespace weipipe {
@@ -36,7 +37,10 @@ void SequentialTrainer::recharge_ledger() {
 IterationResult SequentialTrainer::train_iteration(
     const Dataset& data, std::int64_t iter_index) {
   Stopwatch sw;
-  obs::SpanScope step_span(obs::SpanKind::kStep);
+  obs::SpanScope step_span(obs::SpanKind::kStep, iter_index);
+  // Uniform step cadence signal: every strategy bumps the same counter at
+  // the same point, so telemetry windows align across strategies.
+  obs::runtime_metrics().counter("step.index").increment();
   // Single-process reference: every span lands on a "rank 0" track.
   obs::RankScope rank_scope(0);
   // Step-cadence heartbeat plus the rank-0 worker heartbeat run_workers

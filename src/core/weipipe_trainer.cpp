@@ -7,6 +7,7 @@
 #include "core/wire_tags.hpp"
 #include "nn/loss.hpp"
 #include "obs/health.hpp"
+#include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 
 namespace weipipe {
@@ -109,7 +110,10 @@ IterationResult WeiPipeTrainer::train_iteration(const Dataset& data,
                                                 std::int64_t iter_index) {
   Stopwatch sw;
   // Whole-iteration span; recorded on the driving thread's track.
-  obs::SpanScope step_span(obs::SpanKind::kStep);
+  obs::SpanScope step_span(obs::SpanKind::kStep, iter_index);
+  // Uniform step cadence signal: every strategy bumps the same counter at
+  // the same point, so telemetry windows align across strategies.
+  obs::runtime_metrics().counter("step.index").increment();
   // Step-cadence heartbeat for the live health plane (obs/health.hpp).
   obs::HealthStepScope health_step(iter_index);
   fabric_->reset_stats();

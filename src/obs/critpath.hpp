@@ -1,0 +1,183 @@
+// Critical-path step anatomy: where did every nanosecond of a training step
+// actually go?
+//
+// The span recorder (obs/recorder.hpp) gives us each rank's serial timeline
+// and the fabric stamps every message with a flow id that pairs the sender's
+// kSendTransfer span with the receiver's kRecvWait/kRecvTransfer spans
+// (obs/span.hpp). Together they form a cross-rank dependency DAG per step:
+// within a rank, spans are ordered by the thread's program order; across
+// ranks, a receive depends on the send that produced its message.
+//
+// analyze_step() walks the *longest* path through that DAG backwards from
+// the last-ending ranked span and attributes every nanosecond of the step
+// window to exactly one of five categories on exactly one rank:
+//
+//   compute        the path sat in a compute span (F/B/Ba/Bw/opt/loss/kernel)
+//   exposed wire   the path sat on wire work that no compute hid: pack or
+//                  unpack transfer spans, and the in-flight hop between the
+//                  matching send's completion and the blocked receive's end —
+//                  broken down by wire kind (MsgKind via the tag classifier)
+//   blocked recv   a receive wait whose producing send is unknown (missing
+//                  flow — dropped spans, or an aborted/timed-out wait) and
+//                  that no concurrent injected fault explains
+//   stall/fault    an injected or organic stall: kFault spans with duration,
+//                  plus producerless receive waits that overlap an injected
+//                  fault (stall plans abort every pending wait) — the
+//                  segment carries the starved edge's (peer, tag)
+//   gap            the path rank was idle with every dependency satisfied —
+//                  scheduler slack, thread wakeup latency, untraced driver
+//                  work
+//
+// The attribution is exact by construction: the segment durations sum to the
+// step window (earliest ranked span start to latest ranked span end — the
+// same makespan convention as trace::spans_to_sim_result and the
+// discrete-event engine), so `exposed_comm_fraction` is directly comparable
+// to the simulator's predicted bubble and closes the paper's central claim —
+// weight circulation makes communication hideable — on *measured* runs.
+//
+// obs/ sits below sched/ in the layering, so the analyzer does not name
+// sched::MsgKind directly: callers pass a tag -> wire-kind-label classifier
+// (prof/ passes wire_tags::msg_kind; the default stringifies the tag).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace weipipe::obs {
+
+// Bumped whenever the anatomy JSON layout changes incompatibly.
+inline constexpr int kAnatomySchemaVersion = 1;
+
+enum class PathCategory : std::uint8_t {
+  kCompute,
+  kExposedWire,
+  kBlockedRecv,
+  kStallFault,
+  kGap,
+};
+inline constexpr int kNumPathCategories = 5;
+
+const char* to_string(PathCategory category);
+
+// One contiguous stretch of the critical path on one rank.
+struct PathSegment {
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  int rank = -1;
+  PathCategory category = PathCategory::kGap;
+  // The underlying span's kind for non-gap segments (kStep marks a gap).
+  SpanKind kind = SpanKind::kStep;
+  // Comm identity for wire/blocked/stall segments (-1 = not applicable).
+  // For exposed-wire and blocked-recv segments `peer` names the other end of
+  // the frozen or pacing edge; for stall segments it echoes the fault span.
+  int peer = -1;
+  std::int64_t tag = -1;
+  std::int64_t flow_id = -1;
+  // Wire-kind label (tag classifier) for exposed-wire segments; empty
+  // otherwise.
+  std::string wire_kind;
+
+  double seconds() const {
+    return static_cast<double>(end_ns - start_ns) * 1e-9;
+  }
+};
+
+// Exposed wire time on the path, aggregated per wire kind.
+struct WireExposure {
+  std::string kind;
+  double seconds = 0.0;
+  std::int64_t segments = 0;
+};
+
+// The path's time attributed to one rank, split by category.
+struct RankAttribution {
+  int rank = -1;
+  double seconds[kNumPathCategories] = {};
+
+  double total_seconds() const {
+    double t = 0.0;
+    for (double s : seconds) {
+      t += s;
+    }
+    return t;
+  }
+};
+
+struct AnatomyOptions {
+  // Maps a comm tag to a wire-kind label for per-kind exposure aggregation.
+  // Default labels the raw tag ("tag7"). prof/ passes the wire_tags mapping.
+  std::function<std::string(std::int64_t tag)> wire_kind_label;
+};
+
+struct StepAnatomy {
+  // Step identity: the enclosing kStep span's microbatch field carries the
+  // trainer's iteration index (-1 when the batch had no step marker).
+  std::int64_t step_index = -1;
+  // The analyzed window: earliest ranked span start .. latest ranked end.
+  std::int64_t window_start_ns = 0;
+  std::int64_t window_end_ns = 0;
+  int ranks = 0;
+
+  // Path attribution totals, indexed by PathCategory. Their sum equals
+  // step_seconds() exactly (the walk covers the window gaplessly).
+  double category_seconds[kNumPathCategories] = {};
+
+  std::vector<PathSegment> segments;  // chronological
+  std::vector<WireExposure> wire;     // exposed wire by kind, largest first
+  std::vector<RankAttribution> rank_attribution;  // by rank
+
+  double step_seconds() const {
+    return static_cast<double>(window_end_ns - window_start_ns) * 1e-9;
+  }
+  double path_seconds() const {
+    double t = 0.0;
+    for (double s : category_seconds) {
+      t += s;
+    }
+    return t;
+  }
+  double seconds(PathCategory c) const {
+    return category_seconds[static_cast<int>(c)];
+  }
+  // Wire time the schedule failed to hide, as a fraction of the step:
+  // exposed wire plus unattributable receive waits. The measured counterpart
+  // of the simulator's predicted bubble.
+  double exposed_comm_fraction() const {
+    const double t = path_seconds();
+    return t > 0.0 ? (seconds(PathCategory::kExposedWire) +
+                      seconds(PathCategory::kBlockedRecv)) /
+                         t
+                   : 0.0;
+  }
+  double compute_fraction() const {
+    const double t = path_seconds();
+    return t > 0.0 ? seconds(PathCategory::kCompute) / t : 0.0;
+  }
+
+  // {"schema_version":1,"step_index":...,"categories":{...},"segments":[...]}
+  std::string to_json() const;
+  // One lane per rank; the critical path drawn with one glyph per category
+  // (C compute, W exposed wire, R blocked recv, S stall, - gap); '.' marks
+  // time the path spent on other ranks.
+  std::string ascii_timeline(int width = 100) const;
+  // One-screen human-readable attribution table.
+  std::string summary() const;
+};
+
+// Analyzes ONE step: `spans` must hold the drained spans of a single
+// iteration (ranked spans plus optional kStep/driver spans, which set
+// step_index but are otherwise ignored). Returns a default StepAnatomy when
+// no ranked spans are present.
+StepAnatomy analyze_step(const std::vector<Span>& spans,
+                         const AnatomyOptions& options = {});
+
+// Splits a multi-iteration batch at its kStep markers (falling back to one
+// window when there are none) and analyzes each step.
+std::vector<StepAnatomy> analyze_steps(const std::vector<Span>& spans,
+                                       const AnatomyOptions& options = {});
+
+}  // namespace weipipe::obs

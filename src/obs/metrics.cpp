@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <cctype>
 #include <cmath>
 
+#include "common/check.hpp"
 #include "obs/json.hpp"
 
 namespace weipipe::obs {
@@ -38,6 +40,8 @@ double Histogram::bucket_upper(int b) {
   return std::pow(10.0, static_cast<double>(b) / 8.0 - 9.0);
 }
 
+double Histogram::bucket_lower(int b) { return bucket_upper(b - 1); }
+
 void Histogram::observe(double value) {
   std::lock_guard<std::mutex> lk(mu_);
   ++counts_[bucket_of(value)];
@@ -62,14 +66,30 @@ HistogramSnapshot Histogram::snapshot() const {
   s.max = max_;
   s.sum = sum_;
   s.mean = sum_ / static_cast<double>(count_);
+  // Nearest-rank walk with linear interpolation inside the hit bucket:
+  // `target` is the fractional rank of the quantile, and the element ranks
+  // [seen_before, seen_after) inside the bucket are mapped affinely onto the
+  // bucket's value range (clamped to the observed [min, max], which makes a
+  // one-element histogram — and the extreme buckets of a tight population —
+  // exact instead of snapping to a log-bucket boundary).
   auto quantile = [&](double q) {
-    const auto target =
-        static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+    const double target = q * static_cast<double>(count_ - 1);
     std::uint64_t seen = 0;
     for (int b = 0; b < kBuckets; ++b) {
+      if (counts_[b] == 0) {
+        continue;
+      }
+      const double first = static_cast<double>(seen);
       seen += counts_[b];
-      if (seen > target) {
-        return std::clamp(bucket_upper(b), min_, max_);
+      const double last = static_cast<double>(seen - 1);
+      if (static_cast<double>(seen) > target) {
+        const double lo = std::clamp(bucket_lower(b), min_, max_);
+        const double hi = std::clamp(bucket_upper(b), min_, max_);
+        const double frac =
+            last > first ? std::clamp((target - first) / (last - first), 0.0,
+                                      1.0)
+                         : 0.5;
+        return lo + frac * (hi - lo);
       }
     }
     return max_;
@@ -87,7 +107,24 @@ void Histogram::reset() {
   min_ = max_ = sum_ = 0.0;
 }
 
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) {
+    return false;
+  }
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-' || c == '/' || c == '>';
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
+  WEIPIPE_CHECK_MSG(valid_metric_name(name),
+                    "invalid metric name: '" << name << "'");
   std::lock_guard<std::mutex> lk(mu_);
   auto& slot = counters_[name];
   if (!slot) {
@@ -97,6 +134,8 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
+  WEIPIPE_CHECK_MSG(valid_metric_name(name),
+                    "invalid metric name: '" << name << "'");
   std::lock_guard<std::mutex> lk(mu_);
   auto& slot = gauges_[name];
   if (!slot) {
@@ -106,6 +145,8 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
+  WEIPIPE_CHECK_MSG(valid_metric_name(name),
+                    "invalid metric name: '" << name << "'");
   std::lock_guard<std::mutex> lk(mu_);
   auto& slot = histograms_[name];
   if (!slot) {
@@ -153,6 +194,126 @@ std::string MetricsRegistry::to_json() const {
   return out;
 }
 
+namespace {
+
+// Splits a trailing `.rank.<N>` component out of a metric name so per-rank
+// families share one Prometheus family with a rank label.
+void split_rank_label(const std::string& name, std::string& base,
+                      std::string& rank) {
+  base = name;
+  rank.clear();
+  const std::size_t pos = name.rfind(".rank.");
+  if (pos == std::string::npos) {
+    return;
+  }
+  const std::string suffix = name.substr(pos + 6);
+  if (suffix.empty()) {
+    return;
+  }
+  for (const char c : suffix) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return;
+    }
+  }
+  base = name.substr(0, pos) + ".rank";
+  rank = suffix;
+}
+
+// `weipipe_` prefix + [a-zA-Z0-9_] body; every other char collapses to '_'.
+std::string prometheus_name(const std::string& name) {
+  std::string out = "weipipe_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prometheus_labels(const std::map<std::string, std::string>& labels,
+                              const std::string& rank) {
+  if (labels.empty() && rank.empty()) {
+    return "";
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k + "=\"" + v + '"';
+  }
+  if (!rank.empty()) {
+    if (!first) out += ',';
+    out += "rank=\"" + rank + '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string prometheus_number(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  const std::string j = json_number(value);
+  return j == "null" ? "NaN" : j;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_prometheus(
+    const std::map<std::string, std::string>& labels) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out;
+  std::string last_family;
+  auto sample = [&](const std::string& name, const char* type, double value) {
+    std::string base;
+    std::string rank;
+    split_rank_label(name, base, rank);
+    const std::string family = prometheus_name(base);
+    if (family != last_family) {
+      out += "# TYPE " + family + ' ' + type + '\n';
+      last_family = family;
+    }
+    out += family + prometheus_labels(labels, rank) + ' ' +
+           prometheus_number(value) + '\n';
+  };
+  for (const auto& [name, c] : counters_) {
+    sample(name, "counter", static_cast<double>(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    sample(name, "gauge", g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    const HistogramSnapshot s = h->snapshot();
+    sample(name + ".count", "counter", static_cast<double>(s.count));
+    sample(name + ".sum", "gauge", s.sum);
+    sample(name + ".min", "gauge", s.min);
+    sample(name + ".max", "gauge", s.max);
+    sample(name + ".p50", "gauge", s.p50);
+    sample(name + ".p90", "gauge", s.p90);
+    sample(name + ".p99", "gauge", s.p99);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::flat_snapshot()
+    const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(counters_.size() + gauges_.size() + 2 * histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    out.emplace_back(name, static_cast<double>(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.emplace_back(name, g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    const HistogramSnapshot s = h->snapshot();
+    out.emplace_back(name + ".count", static_cast<double>(s.count));
+    out.emplace_back(name + ".sum", s.sum);
+  }
+  return out;
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> lk(mu_);
   for (auto& [name, c] : counters_) {
@@ -164,6 +325,11 @@ void MetricsRegistry::reset() {
   for (auto& [name, h] : histograms_) {
     h->reset();
   }
+}
+
+Registry& runtime_metrics() {
+  static Registry* registry = new Registry();  // leaked: outlives all users
+  return *registry;
 }
 
 }  // namespace weipipe::obs

@@ -14,6 +14,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/thread_annotations.hpp"
@@ -61,7 +62,10 @@ struct HistogramSnapshot {
 };
 
 // Log-bucketed histogram over positive values (values <= 0 land in the
-// first bucket). Quantiles are bucket-resolution estimates.
+// first bucket). Quantiles interpolate linearly inside the hit bucket and
+// are clamped to the observed [min, max], so a single observation reports
+// itself exactly and single-bucket populations do not collapse onto the
+// bucket's upper boundary; an empty histogram snapshots as all zeros.
 class Histogram {
  public:
   void observe(double value);
@@ -71,6 +75,7 @@ class Histogram {
  private:
   static constexpr int kBuckets = 96;  // 8 buckets per decade, 1e-9 .. 1e3
   static int bucket_of(double value);
+  static double bucket_lower(int b);
   static double bucket_upper(int b);
 
   mutable std::mutex mu_;
@@ -81,14 +86,35 @@ class Histogram {
   double sum_ WEIPIPE_GUARDED_BY(mu_) = 0.0;
 };
 
+// True when `name` is a registrable metric name: nonempty and drawn from
+// `[A-Za-z0-9._/>-]` (the charset every existing producer uses — dotted
+// namespaces plus the `a->b` fabric pair edges). Spaces, control characters,
+// quotes, and anything else are rejected at registration time.
+bool valid_metric_name(const std::string& name);
+
 class MetricsRegistry {
  public:
+  // Registration WEIPIPE_CHECKs valid_metric_name(name); the returned
+  // references are stable for the registry's lifetime.
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
 
   // {"counters":{...},"gauges":{...},"histograms":{name:{count,min,...}}}
   std::string to_json() const;
+
+  // Prometheus text exposition. Metric names are sanitized to the Prometheus
+  // charset (`weipipe_` prefix, invalid chars -> `_`); a trailing
+  // `.rank.<N>` name component is lifted into a `rank="N"` label so per-rank
+  // families aggregate; `labels` (e.g. {{"job","profile"},{"strategy",
+  // "weipipe"}}) is stamped onto every sample. Histograms export
+  // _count/_sum/_min/_max/_p50/_p90/_p99 series.
+  std::string to_prometheus(
+      const std::map<std::string, std::string>& labels = {}) const;
+
+  // Flattens every metric to (name, value) pairs for periodic samplers:
+  // counters and gauges verbatim, histograms as name.count / name.sum.
+  std::vector<std::pair<std::string, double>> flat_snapshot() const;
 
   // Zeroes every registered metric (names stay registered).
   void reset();
@@ -105,5 +131,10 @@ class MetricsRegistry {
 
 // Conventional short name used by callers that hold a registry by value.
 using Registry = MetricsRegistry;
+
+// Process-global registry for always-on runtime signals that outlive any one
+// profile/bench invocation (trainer step.index counters, telemetry sources).
+// Scoped reports (profile/chaos) keep using their own local registries.
+Registry& runtime_metrics();
 
 }  // namespace weipipe::obs

@@ -1,0 +1,250 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/stopwatch.hpp"
+#include "obs/json.hpp"
+#include "obs/ledger.hpp"
+
+namespace weipipe::obs {
+
+TelemetrySampler::TelemetrySampler(TimeseriesOptions options)
+    : options_([&] {
+        options.sample_period_seconds =
+            std::max(options.sample_period_seconds, 1e-4);
+        options.window_capacity = std::max<std::size_t>(
+            options.window_capacity, 4);
+        return options;
+      }()) {}
+
+TelemetrySampler::~TelemetrySampler() { stop(); }
+
+void TelemetrySampler::watch_registry(const Registry* registry) {
+  WEIPIPE_CHECK(registry != nullptr);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (std::find(registries_.begin(), registries_.end(), registry) ==
+      registries_.end()) {
+    registries_.push_back(registry);
+  }
+}
+
+TelemetrySampler::SourceId TelemetrySampler::add_gauge_source(std::string name,
+                                                              GaugeFn fn) {
+  WEIPIPE_CHECK_MSG(valid_metric_name(name),
+                    "invalid telemetry source name: '" << name << "'");
+  WEIPIPE_CHECK(fn != nullptr);
+  std::lock_guard<std::mutex> lk(mu_);
+  Source src;
+  src.id = next_source_id_++;
+  src.name = std::move(name);
+  src.fn = std::move(fn);
+  sources_.push_back(std::move(src));
+  return sources_.back().id;
+}
+
+void TelemetrySampler::remove_source(SourceId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  sources_.erase(std::remove_if(sources_.begin(), sources_.end(),
+                                [&](const Source& s) { return s.id == id; }),
+                 sources_.end());
+}
+
+void TelemetrySampler::start() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (running_) return;
+    running_ = true;
+    stop_requested_ = false;
+  }
+  thread_ = std::thread(&TelemetrySampler::run, this);
+}
+
+void TelemetrySampler::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // One final edge sample so short runs always leave a window behind.
+  sample_now();
+  std::lock_guard<std::mutex> lk(mu_);
+  running_ = false;
+}
+
+bool TelemetrySampler::running() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return running_;
+}
+
+void TelemetrySampler::run() {
+  const auto period = std::chrono::duration<double>(
+      options_.sample_period_seconds);
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_requested_) {
+    sample_locked(steady_now_ns());
+    cv_.wait_for(lk, period, [&]() WEIPIPE_REQUIRES(mu_) {
+      return stop_requested_;
+    });
+  }
+}
+
+void TelemetrySampler::sample_now() {
+  std::lock_guard<std::mutex> lk(mu_);
+  sample_locked(steady_now_ns());
+}
+
+std::uint32_t TelemetrySampler::series_id_locked(const std::string& name) {
+  const auto it = series_ids_.find(name);
+  if (it != series_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(series_names_.size());
+  series_ids_.emplace(name, id);
+  series_names_.push_back(name);
+  return id;
+}
+
+void TelemetrySampler::sample_locked(std::int64_t now_ns) {
+  ++samples_taken_;
+  // Stride skip: after a decimation, only every stride_-th tick is kept so
+  // the window drains capacity at the same decimated cadence.
+  if (stride_ > 1 && (tick_++ % stride_) != 0) {
+    ++samples_dropped_;
+    return;
+  }
+  if (stride_ == 1) ++tick_;
+
+  Sample sample;
+  sample.t_ns = now_ns;
+  for (const Registry* reg : registries_) {
+    for (auto& [name, value] : reg->flat_snapshot()) {
+      sample.values.emplace_back(series_id_locked(name), value);
+    }
+  }
+  if (options_.watch_ledger && ledger().enabled()) {
+    const LedgerSnapshot snap = ledger().snapshot();
+    for (int k = 0; k < kNumMemKinds; ++k) {
+      const std::string base =
+          std::string("telemetry.mem.") + to_string(static_cast<MemKind>(k));
+      sample.values.emplace_back(
+          series_id_locked(base + ".live_bytes"),
+          static_cast<double>(snap.kinds[k].live_bytes));
+      sample.values.emplace_back(
+          series_id_locked(base + ".peak_bytes"),
+          static_cast<double>(snap.kinds[k].peak_bytes));
+    }
+    sample.values.emplace_back(
+        series_id_locked("telemetry.mem.total_live_bytes"),
+        static_cast<double>(snap.total_live_bytes));
+    sample.values.emplace_back(
+        series_id_locked("telemetry.mem.max_rank_peak_bytes"),
+        static_cast<double>(snap.max_rank_peak_bytes));
+  }
+  for (const Source& src : sources_) {
+    sample.values.emplace_back(series_id_locked(src.name), src.fn());
+  }
+  window_.push_back(std::move(sample));
+
+  if (window_.size() >= options_.window_capacity) {
+    // Keep every second retained sample (newest-first parity so the latest
+    // sample always survives) and double the stride going forward.
+    std::vector<Sample> kept;
+    kept.reserve(window_.size() / 2 + 1);
+    const std::size_t n = window_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool keep = ((n - 1 - i) % 2) == 0;
+      if (keep) {
+        kept.push_back(std::move(window_[i]));
+      } else {
+        ++samples_dropped_;
+      }
+    }
+    window_ = std::move(kept);
+    stride_ *= 2;
+    tick_ = 1;  // the sample just kept counts as this stride's phase 0
+  }
+}
+
+TimeseriesSnapshot TelemetrySampler::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  TimeseriesSnapshot out;
+  out.labels = options_.labels;
+  out.sample_period_seconds = options_.sample_period_seconds;
+  out.stride = stride_;
+  out.samples_taken = samples_taken_;
+  out.samples_dropped = samples_dropped_;
+  out.sample_t_ns.reserve(window_.size());
+  for (const Sample& s : window_) {
+    out.sample_t_ns.push_back(s.t_ns);
+  }
+  out.series.resize(series_names_.size());
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t i = 0; i < series_names_.size(); ++i) {
+    out.series[i].name = series_names_[i];
+    out.series[i].values.assign(window_.size(), nan);
+  }
+  for (std::size_t s = 0; s < window_.size(); ++s) {
+    for (const auto& [id, value] : window_[s].values) {
+      out.series[id].values[s] = value;
+    }
+  }
+  return out;
+}
+
+std::string TimeseriesSnapshot::to_json() const {
+  std::string j = "{\"schema_version\":";
+  j += std::to_string(kTimeseriesSchemaVersion);
+  j += ",\"labels\":{\"job\":";
+  append_json_string(j, labels.job);
+  j += ",\"strategy\":";
+  append_json_string(j, labels.strategy);
+  j += "},\"sample_period_seconds\":" + json_number(sample_period_seconds);
+  j += ",\"stride\":" + std::to_string(stride);
+  j += ",\"samples_taken\":" + std::to_string(samples_taken);
+  j += ",\"samples_dropped\":" + std::to_string(samples_dropped);
+  j += ",\"sample_t_ns\":[";
+  for (std::size_t i = 0; i < sample_t_ns.size(); ++i) {
+    if (i > 0) j += ',';
+    j += std::to_string(sample_t_ns[i]);
+  }
+  j += "],\"series\":[";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (i > 0) j += ',';
+    j += "{\"name\":";
+    append_json_string(j, series[i].name);
+    j += ",\"values\":[";
+    for (std::size_t v = 0; v < series[i].values.size(); ++v) {
+      if (v > 0) j += ',';
+      j += json_number(series[i].values[v]);  // NaN -> null, stays parseable
+    }
+    j += "]}";
+  }
+  j += "]}";
+  return j;
+}
+
+std::string TimeseriesSnapshot::to_prometheus() const {
+  // Reuse the registry exposition by materializing the latest value of each
+  // series as a gauge, labeled with the sampler's job/strategy.
+  Registry latest;
+  for (const TimeseriesSeries& s : series) {
+    for (auto it = s.values.rbegin(); it != s.values.rend(); ++it) {
+      if (!std::isnan(*it)) {
+        latest.gauge(s.name).set(*it);
+        break;
+      }
+    }
+  }
+  std::map<std::string, std::string> labels;
+  if (!this->labels.job.empty()) labels["job"] = this->labels.job;
+  if (!this->labels.strategy.empty()) {
+    labels["strategy"] = this->labels.strategy;
+  }
+  return latest.to_prometheus(labels);
+}
+
+}  // namespace weipipe::obs

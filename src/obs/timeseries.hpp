@@ -1,0 +1,146 @@
+// Streaming telemetry plane: a periodic sampler thread that snapshots the
+// process's live signals — metrics registries, the memory ledger, and any
+// caller-registered gauges (fabric ring counters, watchdog verdicts) — into
+// a windowed, fixed-capacity time-series ring.
+//
+// Design contract with the hot path: the sampler only ever *reads* relaxed
+// atomics (counters, gauges, ledger watermarks); trainer and fabric threads
+// are never blocked or even touched by a sample tick. The sampler's own
+// storage is mutex-guarded, but that mutex is private to the sampler thread
+// and snapshot() readers — it is never on a training-step path.
+//
+// The window is bounded: when `window_capacity` samples have accumulated,
+// the ring decimates in place (every second sample dropped) and doubles its
+// keep-stride, so an arbitrarily long run degrades resolution instead of
+// growing memory — the newest samples are always present at the current
+// stride. Exports: a schema-versioned timeseries.json and Prometheus text
+// exposition, both stamped with {job=,rank=,strategy=} labels — the
+// groundwork for the control plane's per-job metric namespaces (ROADMAP 3).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+#include "obs/metrics.hpp"
+
+namespace weipipe::obs {
+
+inline constexpr int kTimeseriesSchemaVersion = 1;
+
+struct TelemetryLabels {
+  std::string job;       // e.g. "profile", "bench", "chaos", "health"
+  std::string strategy;  // e.g. "weipipe", "pipeline"
+};
+
+struct TimeseriesOptions {
+  double sample_period_seconds = 0.010;
+  // Samples retained before the ring decimates; >= 4.
+  std::size_t window_capacity = 4096;
+  TelemetryLabels labels;
+  // Snapshot the global memory ledger's gauges each tick.
+  bool watch_ledger = true;
+};
+
+struct TimeseriesSeries {
+  std::string name;
+  // Parallel to TimeseriesSnapshot::sample_t_ns; NaN = not sampled yet at
+  // that tick (series appeared later).
+  std::vector<double> values;
+};
+
+struct TimeseriesSnapshot {
+  TelemetryLabels labels;
+  double sample_period_seconds = 0.0;
+  std::int64_t stride = 1;          // current decimation stride
+  std::int64_t samples_taken = 0;   // ticks observed over the run
+  std::int64_t samples_dropped = 0; // decimated or stride-skipped
+  std::vector<std::int64_t> sample_t_ns;  // steady-clock tick times
+  std::vector<TimeseriesSeries> series;
+
+  // {"schema_version":1,"labels":{...},"samples":[...],"series":[...]}
+  std::string to_json() const;
+  // Latest value per series in Prometheus text exposition (gauges; the
+  // sampler cannot know producer-side counter semantics).
+  std::string to_prometheus() const;
+};
+
+class TelemetrySampler {
+ public:
+  using SourceId = std::uint64_t;
+  using GaugeFn = std::function<double()>;
+
+  explicit TelemetrySampler(TimeseriesOptions options = {});
+  ~TelemetrySampler();  // stops the thread if still running
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  // Adds a registry whose counters/gauges/histogram(count,sum) are sampled
+  // each tick. The registry must outlive the sampler (or be removed first
+  // via stop()); typically runtime_metrics() plus a profile-local registry.
+  void watch_registry(const Registry* registry);
+
+  // Registers a caller-owned gauge callback, sampled each tick. The
+  // callback must stay valid until remove_source() or stop() — sources
+  // whose backing object dies mid-run (fabric stats, watchdogs) must be
+  // removed before that object is destroyed.
+  SourceId add_gauge_source(std::string name, GaugeFn fn);
+  void remove_source(SourceId id);
+
+  void start();
+  void stop();  // joins the thread; the window stays readable
+  bool running() const;
+
+  // Takes one synchronous sample on the calling thread (also used by tests
+  // and by stop() for a final edge sample).
+  void sample_now();
+
+  TimeseriesSnapshot snapshot() const;
+
+  const TimeseriesOptions& options() const { return options_; }
+
+ private:
+  struct Sample {
+    std::int64_t t_ns = 0;
+    // (series id, value) pairs; sparse so late-appearing series are cheap.
+    std::vector<std::pair<std::uint32_t, double>> values;
+  };
+  struct Source {
+    SourceId id = 0;
+    std::string name;
+    GaugeFn fn;
+  };
+
+  void run();
+  void sample_locked(std::int64_t now_ns) WEIPIPE_REQUIRES(mu_);
+  std::uint32_t series_id_locked(const std::string& name)
+      WEIPIPE_REQUIRES(mu_);
+
+  const TimeseriesOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ WEIPIPE_GUARDED_BY(mu_) = false;
+  bool running_ WEIPIPE_GUARDED_BY(mu_) = false;
+  std::vector<const Registry*> registries_ WEIPIPE_GUARDED_BY(mu_);
+  std::vector<Source> sources_ WEIPIPE_GUARDED_BY(mu_);
+  SourceId next_source_id_ WEIPIPE_GUARDED_BY(mu_) = 1;
+  std::map<std::string, std::uint32_t> series_ids_ WEIPIPE_GUARDED_BY(mu_);
+  std::vector<std::string> series_names_ WEIPIPE_GUARDED_BY(mu_);
+  std::vector<Sample> window_ WEIPIPE_GUARDED_BY(mu_);
+  std::int64_t stride_ WEIPIPE_GUARDED_BY(mu_) = 1;
+  std::int64_t tick_ WEIPIPE_GUARDED_BY(mu_) = 0;
+  std::int64_t samples_taken_ WEIPIPE_GUARDED_BY(mu_) = 0;
+  std::int64_t samples_dropped_ WEIPIPE_GUARDED_BY(mu_) = 0;
+
+  std::thread thread_;
+};
+
+}  // namespace weipipe::obs

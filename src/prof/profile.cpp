@@ -109,6 +109,16 @@ comm::Fabric* trainer_fabric(Trainer& trainer) {
   return trainer.fabric();  // nullptr for sequential
 }
 
+// obs/ cannot name sched::MsgKind (layering), so prof supplies the tag ->
+// wire-kind classifier: the same mapping the wire.kind.* metrics use.
+obs::AnatomyOptions anatomy_options() {
+  obs::AnatomyOptions opts;
+  opts.wire_kind_label = [](std::int64_t tag) {
+    return std::string(sched::to_string(wire_tags::msg_kind(tag)));
+  };
+  return opts;
+}
+
 struct KindStats {
   double sum_seconds = 0.0;
   std::int64_t count = 0;
@@ -326,6 +336,36 @@ void fill_metrics(obs::MetricsRegistry& registry, const ProfileReport& report,
     registry.gauge("mem.peak_act_bytes.static_bound")
         .set(report.static_peak_bound_bytes);
   }
+  // Critical-path anatomy: per-category path time (mean over iterations)
+  // plus the headline exposed fraction the CI gate compares across
+  // strategies.
+  if (!report.anatomy.empty()) {
+    const double n = static_cast<double>(report.anatomy.size());
+    double cats[obs::kNumPathCategories] = {};
+    double path = 0.0;
+    for (const obs::StepAnatomy& a : report.anatomy) {
+      path += a.path_seconds();
+      for (int c = 0; c < obs::kNumPathCategories; ++c) {
+        cats[c] += a.category_seconds[c];
+      }
+    }
+    registry.gauge("anatomy.path_seconds.mean").set(path / n);
+    for (int c = 0; c < obs::kNumPathCategories; ++c) {
+      registry
+          .gauge(std::string("anatomy.") +
+                 obs::to_string(static_cast<obs::PathCategory>(c)) +
+                 ".seconds.mean")
+          .set(cats[c] / n);
+    }
+    registry.gauge("anatomy.exposed_comm_fraction")
+        .set(report.mean_exposed_comm_fraction());
+    for (const obs::StepAnatomy& a : report.anatomy) {
+      for (const obs::WireExposure& w : a.wire) {
+        registry.gauge("anatomy.exposed_wire." + w.kind + ".seconds")
+            .set(w.seconds);
+      }
+    }
+  }
 }
 
 ThreadPoolStats pool_stats_delta(const ThreadPoolStats& before,
@@ -417,6 +457,33 @@ std::string ProfileReport::summary() const {
     oss << buf;
   }
   oss << '\n';
+  if (!anatomy.empty()) {
+    // The anatomy's exposed fraction is the measured counterpart of the
+    // simulator's bubble: wire + blocked time the schedule failed to hide.
+    oss << "  crit path  exposed comm "
+        << format_percent(mean_exposed_comm_fraction()) << "  vs predicted bubble "
+        << format_percent(predicted_bubble);
+    if (predicted_bubble >= 0.0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "  (%+.1f pp)",
+                    (mean_exposed_comm_fraction() - predicted_bubble) * 100.0);
+      oss << buf;
+    }
+    oss << '\n';
+    double cats[obs::kNumPathCategories] = {};
+    for (const obs::StepAnatomy& a : anatomy) {
+      for (int c = 0; c < obs::kNumPathCategories; ++c) {
+        cats[c] += a.category_seconds[c] /
+                   static_cast<double>(anatomy.size());
+      }
+    }
+    oss << "    path mean";
+    for (int c = 0; c < obs::kNumPathCategories; ++c) {
+      oss << "  " << obs::to_string(static_cast<obs::PathCategory>(c)) << ' '
+          << format_seconds(cats[c]);
+    }
+    oss << '\n';
+  }
   oss << "  peak act   measured " << format_bytes(measured_peak_act_bytes)
       << "  static bound " << format_bytes(static_peak_bound_bytes);
   if (static_peak_bound_bytes >= 0.0) {
@@ -546,6 +613,12 @@ ProfileReport run_profile(const ProfileOptions& options) {
         bubble_sum += converted.bubble_ratio();
         bubble_count += 1;
       }
+      {
+        obs::StepAnatomy anat =
+            obs::analyze_step(iter_spans, anatomy_options());
+        if (anat.step_index < 0) anat.step_index = i;
+        report.anatomy.push_back(std::move(anat));
+      }
       if (i == options.iters - 1) {
         report.timeline = converted;
         report.wire_bytes = run.wire_bytes;
@@ -610,6 +683,12 @@ ProfileReport run_profile(const ProfileOptions& options) {
       }
       report.measured_peak_act_bytes = std::max(
           report.measured_peak_act_bytes, converted.max_peak_act_bytes());
+      {
+        obs::StepAnatomy anat =
+            obs::analyze_step(iter_spans, anatomy_options());
+        if (anat.step_index < 0) anat.step_index = iter - 1;
+        report.anatomy.push_back(std::move(anat));
+      }
       if (i == options.iters - 1) {
         report.timeline = converted;
         report.wire_bytes = res.wire_bytes;

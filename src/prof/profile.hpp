@@ -27,6 +27,7 @@
 #include "comm/fault.hpp"
 #include "common/thread_pool.hpp"
 #include "core/trainer.hpp"
+#include "obs/critpath.hpp"
 #include "obs/recorder.hpp"
 #include "obs/span.hpp"
 #include "sim/engine.hpp"
@@ -129,6 +130,20 @@ struct ProfileReport {
   // ASCII timeline / SVG renderers).
   std::vector<obs::Span> spans;
   sim::SimResult timeline;
+
+  // Critical-path anatomy per measured iteration (obs/critpath.hpp): where
+  // every nanosecond of the step went, with exposed wire split by MsgKind.
+  // The mean exposed_comm_fraction is the measured counterpart of
+  // predicted_bubble.
+  std::vector<obs::StepAnatomy> anatomy;
+  double mean_exposed_comm_fraction() const {
+    if (anatomy.empty()) return -1.0;
+    double sum = 0.0;
+    for (const obs::StepAnatomy& a : anatomy) {
+      sum += a.exposed_comm_fraction();
+    }
+    return sum / static_cast<double>(anatomy.size());
+  }
 
   std::string trace_json;    // Chrome trace-event JSON (Perfetto-loadable)
   std::string metrics_json;  // obs::MetricsRegistry snapshot

@@ -66,12 +66,14 @@
 // Observability & profiling
 #include "obs/blackbox.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/critpath.hpp"
 #include "obs/health.hpp"
 #include "obs/json.hpp"
 #include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 #include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 #include "prof/bench_run.hpp"
 #include "prof/profile.hpp"
 

@@ -4,6 +4,8 @@
 // the measured-vs-static profile invariants on a real 4-rank run.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <map>
@@ -16,6 +18,7 @@
 #include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
+#include "obs/timeseries.hpp"
 #include "prof/bench_run.hpp"
 #include "prof/profile.hpp"
 #include "trace/export.hpp"
@@ -215,6 +218,198 @@ TEST(Metrics, RegistryAliasResetClearsEveryInstrumentFamily) {
   EXPECT_EQ(h->find("count")->as_number(), 0.0);
   registry.counter("c").add(3);  // still usable after reset
   EXPECT_EQ(registry.counter("c").value(), 3u);
+}
+
+TEST(Metrics, HistogramQuantilesInterpolateInsideBuckets) {
+  // Empty: all zeros.
+  obs::Histogram empty;
+  const obs::HistogramSnapshot e = empty.snapshot();
+  EXPECT_EQ(e.count, 0u);
+  EXPECT_DOUBLE_EQ(e.p50, 0.0);
+  EXPECT_DOUBLE_EQ(e.sum, 0.0);
+
+  // A single observation reports itself exactly at every quantile — the
+  // log-bucket boundary must not leak through.
+  obs::Histogram one;
+  one.observe(0.0123);
+  const obs::HistogramSnapshot s1 = one.snapshot();
+  EXPECT_EQ(s1.count, 1u);
+  EXPECT_DOUBLE_EQ(s1.p50, 0.0123);
+  EXPECT_DOUBLE_EQ(s1.p90, 0.0123);
+  EXPECT_DOUBLE_EQ(s1.p99, 0.0123);
+  EXPECT_DOUBLE_EQ(s1.sum, 0.0123);
+
+  // Many observations inside ONE log bucket: quantiles stay within the
+  // observed [min, max] and keep their ordering instead of collapsing onto
+  // the bucket's upper boundary (the pre-fix degenerate case).
+  obs::Histogram tight;
+  for (int i = 0; i < 100; ++i) {
+    tight.observe(1.00 + 0.001 * i);  // 1.000 .. 1.099, one bucket
+  }
+  const obs::HistogramSnapshot st = tight.snapshot();
+  EXPECT_GE(st.p50, st.min);
+  EXPECT_LE(st.p50, st.max);
+  EXPECT_LE(st.p50, st.p90);
+  EXPECT_LE(st.p90, st.p99);
+  EXPECT_LE(st.p99, st.max);
+  EXPECT_LT(st.p50, st.max);  // p50 must not sit on the bucket edge
+  EXPECT_NEAR(st.sum, 104.95, 1e-9);
+}
+
+TEST(Metrics, RegistrationRejectsInvalidNames) {
+  EXPECT_TRUE(obs::valid_metric_name("step.seconds"));
+  EXPECT_TRUE(obs::valid_metric_name("fabric.pair.0->1.messages"));
+  EXPECT_TRUE(obs::valid_metric_name("mem/scratch_bytes-2"));
+  EXPECT_FALSE(obs::valid_metric_name(""));
+  EXPECT_FALSE(obs::valid_metric_name("has space"));
+  EXPECT_FALSE(obs::valid_metric_name("quote\"d"));
+  EXPECT_FALSE(obs::valid_metric_name("new\nline"));
+
+  obs::Registry registry;
+  EXPECT_NO_THROW(registry.counter("fabric.pair.0->1.messages"));
+  EXPECT_THROW(registry.counter("bad name"), Error);
+  EXPECT_THROW(registry.gauge(""), Error);
+  EXPECT_THROW(registry.histogram("tab\there"), Error);
+}
+
+TEST(Metrics, PrometheusExpositionLiftsRankLabels) {
+  obs::Registry registry;
+  registry.counter("wire.bytes.rank.0").add(100);
+  registry.counter("wire.bytes.rank.1").add(200);
+  registry.gauge("bubble").set(0.25);
+  registry.histogram("step.seconds").observe(0.5);
+
+  const std::string prom =
+      registry.to_prometheus({{"job", "profile"}, {"strategy", "weipipe"}});
+  // One family for both ranks, with the trailing .rank.<N> lifted into a
+  // label; the caller's labels are stamped on every sample.
+  EXPECT_NE(prom.find("# TYPE weipipe_wire_bytes_rank counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("weipipe_wire_bytes_rank{job=\"profile\","
+                      "strategy=\"weipipe\",rank=\"0\"} 100"),
+            std::string::npos);
+  EXPECT_NE(prom.find("weipipe_wire_bytes_rank{job=\"profile\","
+                      "strategy=\"weipipe\",rank=\"1\"} 200"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE weipipe_bubble gauge"), std::string::npos);
+  // Histograms fan out into _count/_sum/quantile series.
+  EXPECT_NE(prom.find("weipipe_step_seconds_count"), std::string::npos);
+  EXPECT_NE(prom.find("weipipe_step_seconds_p99"), std::string::npos);
+  // The exposition never emits a raw dotted name.
+  EXPECT_EQ(prom.find("wire.bytes"), std::string::npos);
+}
+
+TEST(Metrics, FlatSnapshotCoversEveryInstrument) {
+  obs::Registry registry;
+  registry.counter("c").add(3);
+  registry.gauge("g").set(1.5);
+  registry.histogram("h").observe(2.0);
+  registry.histogram("h").observe(4.0);
+
+  std::map<std::string, double> flat;
+  for (const auto& [name, value] : registry.flat_snapshot()) {
+    flat[name] = value;
+  }
+  EXPECT_DOUBLE_EQ(flat.at("c"), 3.0);
+  EXPECT_DOUBLE_EQ(flat.at("g"), 1.5);
+  EXPECT_DOUBLE_EQ(flat.at("h.count"), 2.0);
+  EXPECT_DOUBLE_EQ(flat.at("h.sum"), 6.0);
+}
+
+// ---- telemetry sampler ------------------------------------------------------
+
+TEST(Telemetry, SamplesRegistriesAndGaugeSources) {
+  obs::Registry registry;
+  registry.counter("ticks").add(5);
+
+  obs::TimeseriesOptions options;
+  options.labels.job = "test";
+  options.labels.strategy = "unit";
+  options.watch_ledger = false;
+  obs::TelemetrySampler sampler(options);
+  sampler.watch_registry(&registry);
+  double source_value = 1.0;
+  const obs::TelemetrySampler::SourceId id = sampler.add_gauge_source(
+      "telemetry.test.gauge", [&source_value] { return source_value; });
+
+  sampler.sample_now();
+  registry.counter("ticks").add(5);
+  source_value = 2.0;
+  sampler.sample_now();
+
+  const obs::TimeseriesSnapshot snap = sampler.snapshot();
+  EXPECT_EQ(snap.labels.job, "test");
+  EXPECT_EQ(snap.samples_taken, 2);
+  ASSERT_EQ(snap.sample_t_ns.size(), 2u);
+  EXPECT_LT(snap.sample_t_ns[0], snap.sample_t_ns[1]);
+
+  std::map<std::string, std::vector<double>> series;
+  for (const obs::TimeseriesSeries& s : snap.series) {
+    series[s.name] = s.values;
+  }
+  ASSERT_EQ(series.count("ticks"), 1u);
+  EXPECT_EQ(series.at("ticks"), (std::vector<double>{5.0, 10.0}));
+  ASSERT_EQ(series.count("telemetry.test.gauge"), 1u);
+  EXPECT_EQ(series.at("telemetry.test.gauge"),
+            (std::vector<double>{1.0, 2.0}));
+
+  // Removed sources stop being sampled (new samples omit the series).
+  sampler.remove_source(id);
+  sampler.sample_now();
+  const obs::TimeseriesSnapshot after = sampler.snapshot();
+  for (const obs::TimeseriesSeries& s : after.series) {
+    if (s.name == "telemetry.test.gauge") {
+      ASSERT_EQ(s.values.size(), 3u);
+      EXPECT_TRUE(std::isnan(s.values[2]));
+    }
+  }
+
+  // Exports parse / expose.
+  const obs::JsonParseResult parsed = obs::parse_json(after.to_json());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.value.find("schema_version")->as_number(),
+            static_cast<double>(obs::kTimeseriesSchemaVersion));
+  EXPECT_EQ(parsed.value.find("labels")->find("job")->as_string(), "test");
+  const std::string prom = after.to_prometheus();
+  EXPECT_NE(prom.find("weipipe_ticks{job=\"test\",strategy=\"unit\"} 10"),
+            std::string::npos);
+}
+
+TEST(Telemetry, WindowDecimatesInPlaceAndDoublesStride) {
+  obs::TimeseriesOptions options;
+  options.window_capacity = 4;  // clamp floor: decimate on the 5th sample
+  options.watch_ledger = false;
+  obs::TelemetrySampler sampler(options);
+  obs::Registry registry;
+  sampler.watch_registry(&registry);
+  for (int i = 0; i < 32; ++i) {
+    registry.gauge("v").set(static_cast<double>(i));
+    sampler.sample_now();
+  }
+  const obs::TimeseriesSnapshot snap = sampler.snapshot();
+  EXPECT_EQ(snap.samples_taken, 32);
+  EXPECT_GT(snap.samples_dropped, 0);
+  EXPECT_GE(snap.stride, 2);  // at least one decimation happened
+  EXPECT_LE(snap.sample_t_ns.size(), 4u);
+  ASSERT_FALSE(snap.series.empty());
+  // The newest sample always survives decimation.
+  const std::vector<double>& values = snap.series.front().values;
+  ASSERT_FALSE(values.empty());
+  EXPECT_DOUBLE_EQ(values.back(), 31.0);
+}
+
+TEST(Telemetry, BackgroundThreadStartStopIsClean) {
+  obs::TimeseriesOptions options;
+  options.sample_period_seconds = 1e-3;
+  obs::TelemetrySampler sampler(options);
+  sampler.watch_registry(&obs::runtime_metrics());
+  sampler.start();
+  EXPECT_TRUE(sampler.running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  // stop() takes a final edge sample, so the window is never empty.
+  EXPECT_GE(sampler.snapshot().samples_taken, 1);
 }
 
 // ---- chrome trace golden round-trip ----------------------------------------

@@ -6,6 +6,7 @@
 //   weipipe_cli schedule [flags]   render a schedule timeline
 //   weipipe_cli analyze  [flags]   statically model-check schedules
 //   weipipe_cli profile  [flags]   trace a real run; measured vs predicted
+//   weipipe_cli anatomy  [flags]   critical-path step anatomy + comm gate
 //   weipipe_cli bench    [flags]   run the canonical matrix; write trajectory
 //   weipipe_cli chaos    [flags]   fault-inject a strategy; diff vs clean run
 //   weipipe_cli health   [flags]   train under the watchdog + black box
@@ -80,6 +81,73 @@ bool write_metrics_snapshot(const Flags& flags, const std::string& json,
   std::printf("wrote %s\n", path.c_str());
   return true;
 }
+
+// Shared `--telemetry[=PATH]` handling: runs a streaming telemetry sampler
+// (obs/timeseries.hpp) over the process-global runtime metrics + memory
+// ledger for the duration of a subcommand. finish() stops the sampler and
+// writes the schema-versioned timeseries JSON plus a Prometheus text
+// exposition next to it (PATH with the extension swapped to .prom).
+class TelemetryScope {
+ public:
+  TelemetryScope(const Flags& flags, const std::string& job,
+                 const std::string& strategy) {
+    if (!flags.flag("telemetry")) {
+      return;
+    }
+    path_ = flags.str("telemetry", job + "-timeseries.json");
+    obs::TimeseriesOptions opt;
+    opt.sample_period_seconds =
+        flags.f64("telemetry-period-ms", 5.0) * 1e-3;
+    opt.window_capacity =
+        static_cast<std::size_t>(flags.i64("telemetry-window", 4096));
+    opt.labels.job = job;
+    opt.labels.strategy = strategy;
+    sampler_ = std::make_unique<obs::TelemetrySampler>(opt);
+    sampler_->watch_registry(&obs::runtime_metrics());
+    sampler_->start();
+  }
+
+  // The sampler only reads atomics, but stop before teardown anyway so no
+  // finish()-less early return leaves the thread running.
+  ~TelemetryScope() {
+    if (sampler_ != nullptr) {
+      sampler_->stop();
+    }
+  }
+
+  obs::TelemetrySampler* sampler() { return sampler_.get(); }
+
+  void finish() {
+    if (sampler_ == nullptr) {
+      return;
+    }
+    sampler_->stop();
+    const obs::TimeseriesSnapshot snap = sampler_->snapshot();
+    const std::string json = snap.to_json();
+    const obs::JsonParseResult parsed = obs::parse_json(json);
+    WEIPIPE_CHECK_MSG(parsed.ok,
+                      "telemetry emitted invalid JSON: " << parsed.error);
+    trace::write_file(path_, json);
+    std::string prom_path = path_;
+    const std::size_t dot = prom_path.rfind('.');
+    if (dot != std::string::npos && prom_path.find('/', dot) == std::string::npos) {
+      prom_path.resize(dot);
+    }
+    prom_path += ".prom";
+    trace::write_file(prom_path, snap.to_prometheus());
+    std::printf("wrote %s + %s (%zu series, stride %lld, %lld/%lld samples kept)\n",
+                path_.c_str(), prom_path.c_str(), snap.series.size(),
+                static_cast<long long>(snap.stride),
+                static_cast<long long>(snap.samples_taken -
+                                       snap.samples_dropped),
+                static_cast<long long>(snap.samples_taken));
+    sampler_.reset();
+  }
+
+ private:
+  std::string path_;
+  std::unique_ptr<obs::TelemetrySampler> sampler_;
+};
 
 // Shared `--postmortem[=DIR]` handling: arms a black box for the duration of
 // the subcommand (nullptr when the flag is absent).
@@ -456,11 +524,12 @@ int cmd_schedule(const Flags& flags) {
   return 0;
 }
 
-int cmd_profile(const Flags& flags) {
-  const std::unique_ptr<obs::BlackBox> blackbox =
-      arm_postmortem_from_flags(flags);
+// Shared by `profile` and `anatomy`: both subcommands drive run_profile()
+// with the same flag grammar, differing only in the default strategy.
+prof::ProfileOptions profile_options_from_flags(
+    const Flags& flags, const std::string& default_strategy) {
   prof::ProfileOptions opt;
-  opt.strategy = flags.str("strategy", "wzb2");
+  opt.strategy = flags.str("strategy", default_strategy);
   opt.workers = flags.i64("workers", 4);
   opt.iters = flags.i64("iters", 2);
   opt.warmup_iters = flags.i64("warmup-iters", 1);
@@ -472,6 +541,14 @@ int cmd_profile(const Flags& flags) {
       static_cast<std::size_t>(flags.i64("ring-capacity", 1 << 16));
   opt.train = config_from_flags(flags);
   opt.fault_spec = flags.str("faults", "");
+  return opt;
+}
+
+int cmd_profile(const Flags& flags) {
+  const std::unique_ptr<obs::BlackBox> blackbox =
+      arm_postmortem_from_flags(flags);
+  TelemetryScope telemetry(flags, "profile", flags.str("strategy", "wzb2"));
+  const prof::ProfileOptions opt = profile_options_from_flags(flags, "wzb2");
 
   prof::ProfileReport report;
   try {
@@ -502,10 +579,79 @@ int cmd_profile(const Flags& flags) {
     trace::write_file(path, trace::records_to_svg(report.timeline));
     std::printf("wrote %s\n", path.c_str());
   }
+  telemetry.finish();
   return 0;
 }
 
+// `weipipe_cli anatomy` — critical-path step anatomy. Runs run_profile()
+// like `profile` does, but the headline output is the per-step breakdown of
+// where every nanosecond of the cross-rank critical path went: compute,
+// exposed wire (by MsgKind), blocked recv, stall/fault, gap. With
+// --gate-vs STRATEGY it profiles a second strategy under the identical
+// configuration and exits nonzero unless the primary's mean exposed-comm
+// fraction is strictly lower — the executable form of the paper's claim.
+int cmd_anatomy(const Flags& flags) {
+  TelemetryScope telemetry(flags, "anatomy", flags.str("strategy", "weipipe"));
+  const prof::ProfileOptions opt = profile_options_from_flags(flags, "weipipe");
+  const prof::ProfileReport report = prof::run_profile(opt);
+  WEIPIPE_CHECK_MSG(!report.anatomy.empty(),
+                    "profile of '" << opt.strategy
+                                   << "' produced no step anatomy");
+
+  for (const obs::StepAnatomy& a : report.anatomy) {
+    std::printf("%s", a.summary().c_str());
+    if (flags.flag("timeline")) {
+      std::printf("%s", a.ascii_timeline(
+                             static_cast<int>(flags.i64("width", 100)))
+                            .c_str());
+    }
+  }
+  std::printf("mean exposed comm fraction  %-12s %.4f  (predicted bubble "
+              "%.4f)\n",
+              opt.strategy.c_str(), report.mean_exposed_comm_fraction(),
+              report.predicted_bubble);
+
+  if (flags.flag("json")) {
+    std::string json = "[\n";
+    for (std::size_t i = 0; i < report.anatomy.size(); ++i) {
+      std::string body = report.anatomy[i].to_json();
+      while (!body.empty() && body.back() == '\n') {
+        body.pop_back();
+      }
+      json += (i == 0 ? "" : ",\n") + body;
+    }
+    json += "\n]\n";
+    const obs::JsonParseResult parsed = obs::parse_json(json);
+    WEIPIPE_CHECK_MSG(parsed.ok,
+                      "anatomy emitted invalid JSON: " << parsed.error);
+    const std::string path = flags.str("json", "anatomy.json");
+    trace::write_file(path, json);
+    std::printf("wrote %s (%zu steps)\n", path.c_str(),
+                report.anatomy.size());
+  }
+
+  int exit_code = 0;
+  if (flags.flag("gate-vs")) {
+    prof::ProfileOptions other = opt;
+    other.strategy = flags.str("gate-vs", "1f1b");
+    const prof::ProfileReport rival = prof::run_profile(other);
+    WEIPIPE_CHECK_MSG(!rival.anatomy.empty(),
+                      "profile of '" << other.strategy
+                                     << "' produced no step anatomy");
+    const double mine = report.mean_exposed_comm_fraction();
+    const double theirs = rival.mean_exposed_comm_fraction();
+    const bool ok = mine < theirs;
+    std::printf("gate: exposed comm %-12s %.4f  %s  %-12s %.4f  -> %s\n",
+                opt.strategy.c_str(), mine, ok ? "<" : ">=",
+                other.strategy.c_str(), theirs, ok ? "PASS" : "FAIL");
+    exit_code = ok ? 0 : 1;
+  }
+  telemetry.finish();
+  return exit_code;
+}
+
 int cmd_bench(const Flags& flags) {
+  TelemetryScope telemetry(flags, "bench", "matrix");
   prof::BenchOptions opt;
   opt.smoke = flags.flag("smoke");
   opt.iters = flags.i64("iters", 2);
@@ -565,12 +711,14 @@ int cmd_bench(const Flags& flags) {
     }
     write_metrics_snapshot(flags, metrics.to_json(), "bench-metrics.json");
   }
+  telemetry.finish();
   return 0;
 }
 
 int cmd_chaos(const Flags& flags) {
   const std::unique_ptr<obs::BlackBox> blackbox =
       arm_postmortem_from_flags(flags);
+  TelemetryScope telemetry(flags, "chaos", flags.str("strategy", "all"));
   chaos::ChaosConfig cc;
   cc.train = config_from_flags(flags);
   cc.world_size = flags.i64("workers", 4);
@@ -632,6 +780,7 @@ int cmd_chaos(const Flags& flags) {
     std::printf("wrote %s\n", path.c_str());
   }
   write_metrics_snapshot(flags, metrics.to_json(), "chaos_metrics.json");
+  telemetry.finish();
   if (!all_ok) {
     std::printf("CHAOS FAIL: at least one strategy diverged under faults\n");
   }
@@ -694,6 +843,36 @@ int cmd_health(const Flags& flags) {
   });
   watchdog.start(static_cast<int>(workers));
 
+  // Declared after the watchdog and fabric so the sampler (and its gauge
+  // callbacks into both) is destroyed — i.e. stopped — before either dies.
+  TelemetryScope telemetry(flags, "health", strategy);
+  if (telemetry.sampler() != nullptr) {
+    if (fabric != nullptr) {
+      telemetry.sampler()->add_gauge_source(
+          "telemetry.fabric.ring.spins", [fabric]() {
+            return static_cast<double>(fabric->ring_stats().spins);
+          });
+      telemetry.sampler()->add_gauge_source(
+          "telemetry.fabric.ring.parks", [fabric]() {
+            return static_cast<double>(fabric->ring_stats().parks);
+          });
+      telemetry.sampler()->add_gauge_source(
+          "telemetry.fabric.ring.notifies", [fabric]() {
+            return static_cast<double>(fabric->ring_stats().notifies);
+          });
+      telemetry.sampler()->add_gauge_source(
+          "telemetry.fabric.ring.overflow", [fabric]() {
+            return static_cast<double>(fabric->ring_stats().overflow);
+          });
+    }
+    telemetry.sampler()->add_gauge_source(
+        "telemetry.health.unhealthy_ranks", [&watchdog]() {
+          const obs::HealthReport rep = watchdog.evaluate_now();
+          return static_cast<double>(
+              rep.world - rep.count(obs::RankHealth::kOk));
+        });
+  }
+
   const auto data = dataset_from_flags(flags, cfg);
   RecoveryOptions recovery;
   recovery.max_attempts = static_cast<int>(flags.i64("max-recoveries", 1));
@@ -729,6 +908,7 @@ int cmd_health(const Flags& flags) {
   const obs::HealthReport final_report = watchdog.evaluate_now();
   const std::vector<obs::HealthTransition> transitions =
       watchdog.transitions();
+  telemetry.finish();  // stops the sampler before the watchdog goes away
   watchdog.stop();
   recorder.uninstall();
 
@@ -810,6 +990,17 @@ COMMANDS
                        faults appear as kFault trace spans + fault.* metrics
     --postmortem DIR   arm a black box: a fatal error dumps the span ring +
                        health snapshot as DIR/postmortem{,_trace}.json
+  anatomy    critical-path step anatomy: profile a strategy (flags as
+             profile; default strategy weipipe) and attribute every
+             nanosecond of the cross-rank critical path to compute,
+             exposed wire (split by message kind), blocked recv,
+             stall/fault, or scheduling gap
+    --timeline         per-rank ASCII anatomy timeline for each step
+    --width N          timeline width in columns (default 100)
+    --json PATH        write the per-step anatomy reports as a JSON array
+    --gate-vs S        also profile strategy S with the identical config
+                       and exit nonzero unless the primary's mean exposed
+                       comm fraction is strictly lower
   bench      run the canonical strategy matrix and write the bench
              trajectory (step time, GFLOP/s, per-kind wire bytes vs the
              closed forms, full-footprint peak vs static bounds); diff two
@@ -855,6 +1046,16 @@ COMMANDS
     --report PATH      write the final HealthReport JSON (default: stdout)
     --quiet            suppress the per-iteration status line
 
+  profile, anatomy, bench, chaos, and health also accept the streaming
+  telemetry flags (docs/OBSERVABILITY.md):
+    --telemetry PATH       sample runtime metrics + memory ledger on a
+                           background thread for the subcommand's duration;
+                           write a timeseries JSON plus a Prometheus text
+                           exposition sibling (PATH with extension .prom)
+    --telemetry-period-ms F  sample period          (default 5)
+    --telemetry-window N     samples retained before the window decimates
+                             in place and doubles its stride (default 4096)
+
 Every flag also accepts --flag=value.
 )");
 }
@@ -886,6 +1087,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "profile") {
       return cmd_profile(flags);
+    }
+    if (cmd == "anatomy") {
+      return cmd_anatomy(flags);
     }
     if (cmd == "bench") {
       return cmd_bench(flags);
