@@ -18,6 +18,7 @@ namespace {
 
 struct RunOutcome {
   std::vector<std::vector<float>> weights;
+  std::vector<std::uint8_t> rank_state;  // capture_rank_state >= 0 only
   float final_loss = 0.0f;
   int recoveries = 0;
 };
@@ -26,6 +27,9 @@ RunOutcome run_once(const ChaosConfig& config, const comm::FaultPlan* plan) {
   std::unique_ptr<Trainer> trainer =
       make_trainer(config.strategy, config.train, config.world_size);
   comm::Fabric* fabric = trainer->fabric();
+  if (fabric != nullptr && config.recv_timeout.count() > 0) {
+    fabric->set_recv_timeout(config.recv_timeout);
+  }
   if (plan != nullptr && !plan->empty() && fabric != nullptr) {
     fabric->install_fault_plan(*plan);
   }
@@ -40,10 +44,31 @@ RunOutcome run_once(const ChaosConfig& config, const comm::FaultPlan* plan) {
     out.recoveries += r.recoveries;
   }
   out.weights = trainer->gather_block_params();
+  if (config.capture_rank_state >= 0) {
+    out.rank_state = trainer->export_rank_state(config.capture_rank_state);
+  }
   return out;
 }
 
 }  // namespace
+
+std::vector<std::vector<std::uint8_t>> run_clean_rank_states(
+    const ChaosConfig& config) {
+  config.train.validate();
+  std::unique_ptr<Trainer> trainer =
+      make_trainer(config.strategy, config.train, config.world_size);
+  const SyntheticDataset data(config.train.model.vocab_size,
+                              config.train.seed);
+  for (std::int64_t iter = 0; iter < config.iterations; ++iter) {
+    trainer->train_iteration(data, iter);
+  }
+  std::vector<std::vector<std::uint8_t>> states;
+  states.reserve(static_cast<std::size_t>(config.world_size));
+  for (int r = 0; r < config.world_size; ++r) {
+    states.push_back(trainer->export_rank_state(r));
+  }
+  return states;
+}
 
 ChaosReport run_chaos(const ChaosConfig& config) {
   config.train.validate();
@@ -55,6 +80,7 @@ ChaosReport run_chaos(const ChaosConfig& config) {
   const RunOutcome clean = run_once(config, nullptr);
   report.clean_loss = clean.final_loss;
   report.blocks = clean.weights.size();
+  report.clean_rank_state = std::move(clean.rank_state);
 
   // The chaos run is inlined (not run_once) so fault stats and the event log
   // can be harvested from the fabric before the trainer is destroyed — also
@@ -62,6 +88,9 @@ ChaosReport run_chaos(const ChaosConfig& config) {
   std::unique_ptr<Trainer> trainer =
       make_trainer(config.strategy, config.train, config.world_size);
   comm::Fabric* fabric = trainer->fabric();
+  if (fabric != nullptr && config.recv_timeout.count() > 0) {
+    fabric->set_recv_timeout(config.recv_timeout);
+  }
   if (!config.plan.empty() && fabric != nullptr) {
     fabric->install_fault_plan(config.plan);
   }
@@ -77,6 +106,10 @@ ChaosReport run_chaos(const ChaosConfig& config) {
       report.recoveries += r.recoveries;
     }
     chaos_weights = trainer->gather_block_params();
+    if (config.capture_rank_state >= 0) {
+      report.chaos_rank_state =
+          trainer->export_rank_state(config.capture_rank_state);
+    }
     report.completed = true;
   } catch (const Error& e) {
     report.error = e.what();

@@ -11,6 +11,7 @@
 // missed rollback) shows up as a bitwise diff, not a statistical wobble.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -30,6 +31,14 @@ struct ChaosConfig {
   comm::FaultPlan plan;
   // Total tries per iteration when a stall aborts the step (resilience.hpp).
   int max_recovery_attempts = 3;
+  // Forked-rank mode: >= 0 captures Trainer::export_rank_state(rank) of
+  // both runs into the report, so a rank child can hand its shard to the
+  // parent's cross-process differ. -1 (single-process mode) skips capture.
+  int capture_rank_state = -1;
+  // Fabric recv timeout override for both runs; 0 keeps the fabric default.
+  // Mutation tests that deliberately wedge the stream use a short one so
+  // the surviving ranks fail fast instead of waiting out the default 60s.
+  std::chrono::milliseconds recv_timeout{0};
 };
 
 // Location/value of the first bitwise mismatch, for diagnostics.
@@ -58,6 +67,10 @@ struct ChaosReport {
   int recoveries = 0;          // rollback + re-run cycles across the run
   comm::FaultStats fault_stats;
   std::vector<comm::FaultEvent> events;  // deterministic order
+  // Filled when config.capture_rank_state >= 0: that rank's state blob
+  // after the clean and the chaos run (Trainer::export_rank_state).
+  std::vector<std::uint8_t> clean_rank_state;
+  std::vector<std::uint8_t> chaos_rank_state;
 
   bool ok() const { return completed && bitwise_equal; }
 };
@@ -69,6 +82,13 @@ struct ChaosReport {
 // weipipe::Error only for configuration errors (unknown strategy, bad
 // shapes); faults during the chaos run are reported, not thrown.
 ChaosReport run_chaos(const ChaosConfig& config);
+
+// The parent side of the forked multi-process differ: one clean full-world
+// run of config.strategy on the current (typically inproc) transport,
+// returning export_rank_state(r) for every rank r — the reference blobs the
+// forked rank processes must reproduce bitwise over their real wire.
+std::vector<std::vector<std::uint8_t>> run_clean_rank_states(
+    const ChaosConfig& config);
 
 std::string report_to_json(const ChaosReport& report);
 

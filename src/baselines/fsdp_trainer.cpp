@@ -246,4 +246,17 @@ void FsdpTrainer::import_state(const TrainerState& state) {
   recharge_ledger();
 }
 
+
+std::vector<std::uint8_t> FsdpTrainer::export_rank_state(int rank) const {
+  // ZeRO-3 ownership: rank r keeps chunk r's master + Adam state.
+  const std::size_t s = static_cast<std::size_t>(rank);
+  WEIPIPE_CHECK_MSG(rank >= 0 && s < master_.size(),
+                    "export_rank_state: rank " << rank << " of "
+                                               << master_.size());
+  RankStateBlob blob;
+  blob.u64(1);
+  blob.record(s, adam_[s].step_count(), master_[s],
+              adam_[s].first_moment(), adam_[s].second_moment());
+  return blob.take();
+}
 }  // namespace weipipe

@@ -37,6 +37,7 @@ class FsdpTrainer final : public Trainer {
   std::vector<std::vector<float>> gather_block_params() const override;
   TrainerState export_state() const override;
   void import_state(const TrainerState& state) override;
+  std::vector<std::uint8_t> export_rank_state(int rank) const override;
 
   comm::Fabric* fabric() override { return fabric_.get(); }
 

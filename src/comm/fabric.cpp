@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "common/stopwatch.hpp"
 #include "obs/health.hpp"
 #include "obs/ledger.hpp"
 #include "obs/recorder.hpp"
@@ -35,6 +36,12 @@ void decrement_clamped(std::atomic<std::uint64_t>& a) {
   while (cur > 0 &&
          !a.compare_exchange_weak(cur, cur - 1, std::memory_order_relaxed)) {
   }
+}
+
+// steady_clock time_point for an absolute steady_now_ns() deadline.
+std::chrono::steady_clock::time_point ns_to_time_point(std::int64_t ns) {
+  return std::chrono::steady_clock::now() +
+         std::chrono::nanoseconds(ns - steady_now_ns());
 }
 
 }  // namespace
@@ -209,8 +216,13 @@ FabricStats Endpoint::received_stats() const {
 }
 
 Fabric::Fabric(int world_size, LinkModel link_model)
+    : Fabric(world_size, std::move(link_model), default_transport_spec()) {}
+
+Fabric::Fabric(int world_size, LinkModel link_model,
+               const TransportSpec& spec)
     : link_model_(std::move(link_model)) {
   WEIPIPE_CHECK_MSG(world_size >= 1, "world_size must be >= 1");
+  transport_ = make_transport(spec, world_size, &aborted_);
   endpoints_.reserve(static_cast<std::size_t>(world_size));
   inboxes_.reserve(static_cast<std::size_t>(world_size));
   edges_.reserve(static_cast<std::size_t>(world_size) *
@@ -225,39 +237,50 @@ Fabric::Fabric(int world_size, LinkModel link_model)
 }
 
 Fabric::~Fabric() {
-  // Credit any messages still sitting in rings/overflow/inboxes (a trainer
-  // torn down mid-schedule, or stats reset between deliver and take) so the
-  // ledger's comm_buffers category drains to zero with the fabric. Payload
-  // buffers destroy (and self-credit, if tracked) with the messages.
-  const int p = world_size();
-  for (int dst = 0; dst < p; ++dst) {
-    for (int src = 0; src < p; ++src) {
-      Edge& e = edge(src, dst);
-      while (Message* m = e.ring.front()) {
-        credit_message(*m, dst);
-        e.ring.pop_front();
-      }
-      std::lock_guard<std::mutex> lk(e.ovf_mu);
-      for (const Message& msg : e.ovf) {
-        credit_message(msg, dst);
-      }
-      e.ovf.clear();
-    }
-    for (auto& [key, stream] : inboxes_[static_cast<std::size_t>(dst)]
-                                   ->streams) {
-      for (const Message& msg : stream.q) {
-        credit_message(msg, dst);
-      }
-      stream.q.clear();
-    }
+  // Credit any messages still sitting in the transport or the inboxes (a
+  // trainer torn down mid-schedule, or stats reset between deliver and take)
+  // so the ledger's comm_buffers category drains to zero with the fabric.
+  // Payload buffers destroy (and self-credit, if tracked) with the frames.
+  drain_all_local();
+}
+
+void Fabric::credit_frame(const WireFrame& frame, int dst) {
+  if (frame.ledger_bytes > 0) {
+    obs::ledger().on_free(obs::MemKind::kCommBuffers,
+                          obs::MemoryLedger::bucket_for_rank(dst),
+                          frame.ledger_bytes);
   }
 }
 
-void Fabric::credit_message(const Message& msg, int dst) {
-  if (msg.ledger_bytes > 0) {
-    obs::ledger().on_free(obs::MemKind::kCommBuffers,
-                          obs::MemoryLedger::bucket_for_rank(dst),
-                          msg.ledger_bytes);
+void Fabric::drain_all_local() {
+  // Only legal while quiescent (all rank threads joined). Remote ranks'
+  // state lives in their own processes; frames still in flight toward them
+  // are either already consumed there or dup copies their dedup layer
+  // discards.
+  const int p = world_size();
+  std::vector<WireFrame> scratch;
+  for (int dst = 0; dst < p; ++dst) {
+    if (!transport_->is_local(dst)) {
+      continue;
+    }
+    for (int src = 0; src < p; ++src) {
+      if (src == dst) {
+        continue;
+      }
+      scratch.clear();
+      transport_->drain(src, dst, scratch);
+      for (const WireFrame& f : scratch) {
+        credit_frame(f, dst);
+      }
+    }
+    Inbox& inbox = *inboxes_[static_cast<std::size_t>(dst)];
+    for (auto& [key, stream] : inbox.streams) {
+      for (const WireFrame& f : stream.q) {
+        credit_frame(f, dst);
+      }
+      stream.q.clear();
+    }
+    inbox.streams.clear();
   }
 }
 
@@ -272,7 +295,7 @@ std::uint64_t Fabric::bytes_sent(int src, int dst) const {
 }
 
 FabricStats Fabric::pair_stats(int src, int dst) const {
-  const PairCounters& c = edge(src, dst).pair;
+  const Edge::PairCounters& c = edge(src, dst).pair;
   FabricStats s;
   s.messages = c.messages.load(std::memory_order_relaxed);
   s.bytes = c.bytes.load(std::memory_order_relaxed);
@@ -348,12 +371,9 @@ void Fabric::reset_stats() {
 }
 
 RingStats Fabric::ring_stats() const {
-  RingStats total;
+  RingStats total = transport_->wire_stats();
   for (const auto& e : edges_) {
     total.spins += e->spins.load(std::memory_order_relaxed);
-    total.parks += e->parks.load(std::memory_order_relaxed);
-    total.notifies += e->notifies.load(std::memory_order_relaxed);
-    total.overflow += e->overflow.load(std::memory_order_relaxed);
   }
   return total;
 }
@@ -399,12 +419,7 @@ void Fabric::abort_all() {
   // seq_cst so a consumer's parked-state recheck cannot order before this
   // store (same Dekker pairing as the ring tail publication).
   aborted_.store(true, std::memory_order_seq_cst);
-  for (auto& e : edges_) {
-    // Acquire the park mutex so a receiver between its recheck and its cv
-    // wait cannot miss the notification.
-    { std::lock_guard<std::mutex> lk(e->park_mu); }
-    e->park_cv.notify_all();
-  }
+  transport_->wake_all();
 }
 
 void Fabric::recover() {
@@ -412,37 +427,14 @@ void Fabric::recover() {
   // Drain every undelivered message from the abandoned step and rewind the
   // per-stream sequence numbers so the re-run starts from a clean wire.
   // Only legal while quiescent (all rank threads joined).
-  const int p = world_size();
-  for (int dst = 0; dst < p; ++dst) {
-    for (int src = 0; src < p; ++src) {
-      Edge& e = edge(src, dst);
-      while (Message* m = e.ring.front()) {
-        credit_message(*m, dst);
-        e.ring.pop_front();
-      }
-      {
-        std::lock_guard<std::mutex> lk(e.ovf_mu);
-        for (const Message& msg : e.ovf) {
-          credit_message(msg, dst);
-        }
-        e.ovf.clear();
-        e.ovf_count.store(0, std::memory_order_relaxed);
-        e.ovf_mode = false;
-      }
-      e.send_seq.clear();
-      e.pair.in_flight.store(0, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lk(e.tag_mu);
-      for (auto& [tag, s] : e.tags) {
-        s.in_flight = 0;
-      }
+  drain_all_local();
+  for (const auto& e : edges_) {
+    e->send_seq.clear();
+    e->pair.in_flight.store(0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(e->tag_mu);
+    for (auto& [tag, s] : e->tags) {
+      s.in_flight = 0;
     }
-    Inbox& inbox = *inboxes_[static_cast<std::size_t>(dst)];
-    for (auto& [key, stream] : inbox.streams) {
-      for (const Message& msg : stream.q) {
-        credit_message(msg, dst);
-      }
-    }
-    inbox.streams.clear();
   }
   if (faults_) {
     for (auto& count : faults_->op_counts) {
@@ -541,40 +533,6 @@ void Fabric::record_fault(const FaultEvent& event) {
   }
 }
 
-void Fabric::enqueue(Edge& e, Message msg) {
-  bool queued = false;
-  // Once a message has spilled to the overflow deque, later messages must
-  // follow it there until the consumer has drained the deque — otherwise a
-  // newer ring message could overtake an older spilled one.
-  if (e.ovf_mode) {
-    std::lock_guard<std::mutex> lk(e.ovf_mu);
-    if (e.ovf.empty()) {
-      e.ovf_mode = false;  // consumer caught up; back to the lock-free ring
-    } else {
-      e.ovf.push_back(std::move(msg));
-      e.ovf_count.fetch_add(1, std::memory_order_seq_cst);
-      e.overflow.fetch_add(1, std::memory_order_relaxed);
-      queued = true;
-    }
-  }
-  if (!queued && !e.ring.try_push(std::move(msg))) {
-    std::lock_guard<std::mutex> lk(e.ovf_mu);
-    e.ovf.push_back(std::move(msg));
-    e.ovf_count.fetch_add(1, std::memory_order_seq_cst);
-    e.overflow.fetch_add(1, std::memory_order_relaxed);
-    e.ovf_mode = true;
-  }
-  // Dekker wake: the publication above (seq_cst ring-tail store or seq_cst
-  // overflow-count RMW) is ordered before this load; the consumer stores
-  // `parked` seq_cst before re-checking both channels. One side always sees
-  // the other, so a parked consumer cannot be missed.
-  if (e.parked.load(std::memory_order_seq_cst) != 0) {
-    { std::lock_guard<std::mutex> lk(e.park_mu); }
-    e.park_cv.notify_all();
-    e.notifies.fetch_add(1, std::memory_order_relaxed);
-  }
-}
-
 std::int64_t Fabric::deliver(int src, int dst, std::int64_t tag,
                              Buffer payload) {
   WEIPIPE_CHECK_MSG(dst >= 0 && dst < world_size(),
@@ -608,34 +566,39 @@ std::int64_t Fabric::deliver(int src, int dst, std::int64_t tag,
     t.max_in_flight = std::max(t.max_in_flight, t.in_flight);
   }
 
-  Message msg;
-  msg.tag = tag;
-  msg.deliver_at = std::chrono::steady_clock::now();
+  WireFrame frame;
+  frame.tag = tag;
+  frame.deliver_at_ns = steady_now_ns();
   if (link_model_) {
-    msg.deliver_at += link_model_(src, dst, bytes);
+    frame.deliver_at_ns += link_model_(src, dst, bytes).count();
   }
-  msg.flow_id = next_flow_id_.fetch_add(1, std::memory_order_relaxed);
-  const std::int64_t flow_id = msg.flow_id;
-  msg.payload = std::move(payload);
+  frame.flow_id = next_flow_id_.fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t flow_id = frame.flow_id;
+  frame.payload = std::move(payload);
   // Position in the (src,tag) stream: producer-owned, no lock (one producer
   // per edge).
-  msg.seq = e.send_seq[tag]++;
+  frame.seq = e.send_seq[tag]++;
   // Eager buffered sends cost real memory on the receiver until consumed.
-  // Adopted payloads are charged as comm_buffers mailbox residency in dst's
-  // bucket (credited at take/teardown); tracked buffers already carry their
-  // allocation-time charge, so charging them again would double count.
-  if (obs::ledger().enabled() && !msg.payload.empty() &&
-      !msg.payload.tracked()) {
-    msg.ledger_bytes = static_cast<std::int64_t>(msg.payload.size());
+  // For a same-process receiver, adopted payloads are charged as
+  // comm_buffers mailbox residency in dst's bucket (credited at
+  // take/teardown); tracked buffers already carry their allocation-time
+  // charge. A remote receiver rematerializes the bytes as a tracked buffer
+  // in its own process — its drain thread pays the charge there, so the
+  // sender must not double count it here.
+  const bool local_dst = transport_->is_local(dst);
+  if (local_dst && obs::ledger().enabled() && !frame.payload.empty() &&
+      !frame.payload.tracked()) {
+    frame.ledger_bytes = static_cast<std::int64_t>(frame.payload.size());
     obs::ledger().on_alloc(obs::MemKind::kCommBuffers,
                            obs::MemoryLedger::bucket_for_rank(dst),
-                           msg.ledger_bytes);
+                           frame.ledger_bytes);
   }
 
   // Fault decisions are producer-side and lock-free: hit() is a pure hash
   // of (seed, rule, src, dst, tag, seq, attempt), so the schedule is
-  // interleaving-independent. Events are committed to the shared log after
-  // the message is enqueued.
+  // interleaving- AND transport-independent — every backend sees the exact
+  // same fault pattern for a given seed. Events are committed to the shared
+  // log after the message is enqueued.
   FaultRuntime* fr = faults_.get();
   std::vector<FaultEvent> local_events;
   bool duplicate = false;
@@ -650,12 +613,12 @@ std::int64_t Fabric::deliver(int src, int dst, std::int64_t tag,
       event.src = src;
       event.dst = dst;
       event.tag = tag;
-      event.seq = msg.seq;
+      event.seq = frame.seq;
       event.epoch = epoch;
       switch (rule.kind) {
         case FaultKind::kDelay:
-          if (plan.hit(i, src, dst, tag, msg.seq, 0)) {
-            msg.deliver_at += rule.delay;
+          if (plan.hit(i, src, dst, tag, frame.seq, 0)) {
+            frame.deliver_at_ns += rule.delay.count();
             event.delay_ns = rule.delay.count();
             local_events.push_back(event);
           }
@@ -666,9 +629,9 @@ std::int64_t Fabric::deliver(int src, int dst, std::int64_t tag,
           // (a permanently lost message would deadlock the schedule).
           auto backoff = rule.delay;
           for (int attempt = 0; attempt < plan.max_retries &&
-                                plan.hit(i, src, dst, tag, msg.seq, attempt);
+                                plan.hit(i, src, dst, tag, frame.seq, attempt);
                ++attempt) {
-            msg.deliver_at += backoff;
+            frame.deliver_at_ns += backoff.count();
             event.attempt = attempt;
             event.delay_ns = backoff.count();
             local_events.push_back(event);
@@ -677,7 +640,7 @@ std::int64_t Fabric::deliver(int src, int dst, std::int64_t tag,
           break;
         }
         case FaultKind::kDuplicate:
-          if (plan.hit(i, src, dst, tag, msg.seq, 0)) {
+          if (plan.hit(i, src, dst, tag, frame.seq, 0)) {
             duplicate = true;
             dup_extra = rule.delay;
             event.delay_ns = rule.delay.count();
@@ -685,11 +648,11 @@ std::int64_t Fabric::deliver(int src, int dst, std::int64_t tag,
           }
           break;
         case FaultKind::kReorder:
-          if (plan.hit(i, src, dst, tag, msg.seq, 0)) {
+          if (plan.hit(i, src, dst, tag, frame.seq, 0)) {
             // The message falls behind its successors: extra latency, and
             // with dedup off it is also enqueued behind the current tail.
-            msg.deliver_at += rule.delay;
-            msg.reordered = true;
+            frame.deliver_at_ns += rule.delay.count();
+            frame.reordered = true;
             event.delay_ns = rule.delay.count();
             local_events.push_back(event);
           }
@@ -700,26 +663,26 @@ std::int64_t Fabric::deliver(int src, int dst, std::int64_t tag,
     }
   }
 
-  Message dup_msg;
+  WireFrame dup_frame;
   if (duplicate) {
-    dup_msg.payload = msg.payload;  // shares the refcounted bytes
-    dup_msg.tag = tag;
-    dup_msg.deliver_at = msg.deliver_at + dup_extra;
-    dup_msg.seq = msg.seq;
-    dup_msg.flow_id = next_flow_id_.fetch_add(1, std::memory_order_relaxed);
-    if (obs::ledger().enabled() && !dup_msg.payload.empty() &&
-        !dup_msg.payload.tracked()) {
-      dup_msg.ledger_bytes =
-          static_cast<std::int64_t>(dup_msg.payload.size());
+    dup_frame.payload = frame.payload;  // shares the refcounted bytes
+    dup_frame.tag = tag;
+    dup_frame.deliver_at_ns = frame.deliver_at_ns + dup_extra.count();
+    dup_frame.seq = frame.seq;
+    dup_frame.flow_id = next_flow_id_.fetch_add(1, std::memory_order_relaxed);
+    if (local_dst && obs::ledger().enabled() && !dup_frame.payload.empty() &&
+        !dup_frame.payload.tracked()) {
+      dup_frame.ledger_bytes =
+          static_cast<std::int64_t>(dup_frame.payload.size());
       obs::ledger().on_alloc(obs::MemKind::kCommBuffers,
                              obs::MemoryLedger::bucket_for_rank(dst),
-                             dup_msg.ledger_bytes);
+                             dup_frame.ledger_bytes);
     }
   }
 
-  enqueue(e, std::move(msg));
+  transport_->send(src, dst, std::move(frame));
   if (duplicate) {
-    enqueue(e, std::move(dup_msg));
+    transport_->send(src, dst, std::move(dup_frame));
   }
   for (const FaultEvent& event : local_events) {
     record_fault(event);
@@ -730,49 +693,33 @@ std::int64_t Fabric::deliver(int src, int dst, std::int64_t tag,
   return flow_id;
 }
 
-std::size_t Fabric::drain_edge(int src, int dst, Edge& e, Inbox& inbox,
+std::size_t Fabric::drain_edge(int src, int dst, Inbox& inbox,
                                bool reliable) {
-  (void)dst;
-  std::size_t drained = 0;
-  while (Message* m = e.ring.front()) {
-    Message msg = std::move(*m);
-    e.ring.pop_front();
-    inbox_insert(inbox, src, std::move(msg), reliable);
-    ++drained;
+  inbox.scratch.clear();
+  const std::size_t drained = transport_->drain(src, dst, inbox.scratch);
+  for (WireFrame& f : inbox.scratch) {
+    inbox_insert(inbox, src, std::move(f), reliable);
   }
-  if (e.ovf_count.load(std::memory_order_seq_cst) > 0) {
-    std::deque<Message> batch;
-    {
-      std::lock_guard<std::mutex> lk(e.ovf_mu);
-      batch.swap(e.ovf);
-      e.ovf_count.store(0, std::memory_order_seq_cst);
-    }
-    // Overflow messages are strictly newer than anything that was in the
-    // ring above (the producer stays in overflow mode until the deque is
-    // observed empty), so ring-then-overflow preserves per-edge FIFO order.
-    for (Message& msg : batch) {
-      inbox_insert(inbox, src, std::move(msg), reliable);
-      ++drained;
-    }
-  }
+  inbox.scratch.clear();
   return drained;
 }
 
-void Fabric::inbox_insert(Inbox& inbox, int src, Message msg, bool reliable) {
-  Stream& stream = inbox.streams[MailKey{src, msg.tag}];
+void Fabric::inbox_insert(Inbox& inbox, int src, WireFrame frame,
+                          bool reliable) {
+  Stream& stream = inbox.streams[MailKey{src, frame.tag}];
   if (reliable) {
     // Keep the stream sorted by seq (in-order reassembly). The common
     // in-order case is a plain push_back.
     auto pos = stream.q.end();
-    while (pos != stream.q.begin() && std::prev(pos)->seq > msg.seq) {
+    while (pos != stream.q.begin() && std::prev(pos)->seq > frame.seq) {
       --pos;
     }
-    stream.q.insert(pos, std::move(msg));
+    stream.q.insert(pos, std::move(frame));
   } else {
     // Mutation mode: raw arrival order, duplicates and all. A reordered
     // message lands behind its immediate predecessor.
-    const bool reordered = msg.reordered;
-    stream.q.push_back(std::move(msg));
+    const bool reordered = frame.reordered;
+    stream.q.push_back(std::move(frame));
     if (reordered && stream.q.size() >= 2) {
       std::swap(stream.q[stream.q.size() - 1],
                 stream.q[stream.q.size() - 2]);
@@ -783,6 +730,8 @@ void Fabric::inbox_insert(Inbox& inbox, int src, Message msg, bool reliable) {
 Fabric::Taken Fabric::take(int dst, int src, std::int64_t tag) {
   WEIPIPE_CHECK_MSG(src >= 0 && src < world_size(),
                     "recv from invalid rank " << src);
+  WEIPIPE_CHECK_MSG(transport_->is_local(dst),
+                    "recv on non-local rank " << dst);
   maybe_stall(dst);
   // Health plane: publish who this rank is about to block on. The watchdog
   // turns a long-lived publication into a STALLED verdict attributed to
@@ -814,28 +763,14 @@ Fabric::Taken Fabric::take(int dst, int src, std::int64_t tag) {
     }
   } spin{e, 0};
 
-  // Park on the edge eventcount until `tp`, with the Dekker-checked parked
-  // flag so a concurrent publication cannot be missed.
-  const auto park_until = [&](std::chrono::steady_clock::time_point tp) {
-    std::unique_lock<std::mutex> lk(e.park_mu);
-    e.parked.store(1, std::memory_order_seq_cst);
-    if (e.ring.front() != nullptr ||
-        e.ovf_count.load(std::memory_order_seq_cst) != 0 ||
-        aborted_.load(std::memory_order_seq_cst)) {
-      e.parked.store(0, std::memory_order_relaxed);
-      return;  // something arrived between the last check and parking
-    }
-    e.parks.fetch_add(1, std::memory_order_relaxed);
-    e.park_cv.wait_until(lk, tp);
-    e.parked.store(0, std::memory_order_relaxed);
-  };
-
   // On a single-CPU host spinning is pure waste: the producer cannot run
   // until this thread yields, so burning the timeslice in a pause loop only
-  // delays the very send being waited on. Park immediately instead.
-  static const int kSpinBudget =
-      std::thread::hardware_concurrency() > 1 ? kSpinLimit : 0;
-  int spins_left = kSpinBudget;
+  // delays the very send being waited on. Park immediately instead. The
+  // budget itself comes from the backend — high for the in-memory mailbox,
+  // low where a drain probe costs a syscall.
+  static const bool kMultiCpu = std::thread::hardware_concurrency() > 1;
+  const int spin_budget = kMultiCpu ? transport_->spin_hint() : 0;
+  int spins_left = spin_budget;
   // Critical-path tap: the anatomy analyzer needs the blocked interval even
   // when the wait ends in an exception — record the kRecvWait span (no flow,
   // labeled with how the wait died) right before each CommError throw.
@@ -863,8 +798,8 @@ Fabric::Taken Fabric::take(int dst, int src, std::int64_t tag) {
       record_failed_wait("recv-wait-aborted");
       throw CommError(info);
     }
-    if (drain_edge(src, dst, e, inbox, reliable) > 0) {
-      spins_left = kSpinBudget;  // progress: re-arm the spin budget
+    if (drain_edge(src, dst, inbox, reliable) > 0) {
+      spins_left = spin_budget;  // progress: re-arm the spin budget
     }
     auto it = inbox.streams.find(key);
     Stream* stream = it != inbox.streams.end() ? &it->second : nullptr;
@@ -873,7 +808,7 @@ Fabric::Taken Fabric::take(int dst, int src, std::int64_t tag) {
       // already consumed via another copy.
       while (!stream->q.empty() &&
              stream->q.front().seq < stream->next_take_seq) {
-        credit_message(stream->q.front(), dst);
+        credit_frame(stream->q.front(), dst);
         stream->q.pop_front();
         ++discarded;
       }
@@ -881,19 +816,19 @@ Fabric::Taken Fabric::take(int dst, int src, std::int64_t tag) {
     if (stream != nullptr && !stream->q.empty() &&
         (!reliable || stream->q.front().seq == stream->next_take_seq)) {
       // Honor the modeled delivery time: the message "is still in flight".
-      const auto deliver_at = stream->q.front().deliver_at;
-      if (deliver_at <= std::chrono::steady_clock::now()) {
-        Message msg = std::move(stream->q.front());
+      const std::int64_t deliver_at_ns = stream->q.front().deliver_at_ns;
+      if (deliver_at_ns <= steady_now_ns()) {
+        WireFrame frame = std::move(stream->q.front());
         stream->q.pop_front();
         if (reliable) {
-          stream->next_take_seq = msg.seq + 1;
+          stream->next_take_seq = frame.seq + 1;
         }
-        credit_message(msg, dst);
-        taken.payload = std::move(msg.payload);
-        taken.flow_id = msg.flow_id;
+        credit_frame(frame, dst);
+        taken.payload = std::move(frame.payload);
+        taken.flow_id = frame.flow_id;
         break;
       }
-      park_until(deliver_at);
+      transport_->park(dst, src, ns_to_time_point(deliver_at_ns));
       continue;
     }
     // Nothing matching yet: spin briefly (the paired send is usually one
@@ -915,7 +850,7 @@ Fabric::Taken Fabric::take(int dst, int src, std::int64_t tag) {
       // the inbox first (this thread is the consumer of every such edge).
       for (int other = 0; other < world_size(); ++other) {
         if (other != dst) {
-          drain_edge(other, dst, edge(other, dst), inbox, reliable);
+          drain_edge(other, dst, inbox, reliable);
         }
       }
       for (const auto& [k, s] : inbox.streams) {
@@ -924,8 +859,8 @@ Fabric::Taken Fabric::take(int dst, int src, std::int64_t tag) {
       record_failed_wait("recv-wait-timeout");
       throw CommError(info);
     }
-    park_until(deadline);
-    spins_left = kSpinBudget;
+    transport_->park(dst, src, deadline);
+    spins_left = spin_budget;
   }
 
   if (discarded > 0 && fr != nullptr) {
@@ -963,6 +898,9 @@ void run_workers(Fabric& fabric,
   std::mutex err_mu;
   std::exception_ptr first_error;
   for (int r = 0; r < p; ++r) {
+    if (!fabric.is_local(r)) {
+      continue;  // hosted by another rank process
+    }
     threads.emplace_back([&, r] {
       try {
         // Tag the thread with its rank so every span recorded inside the
@@ -972,6 +910,10 @@ void run_workers(Fabric& fabric,
         // the clean exit so only finished bodies feed the straggler window.
         obs::HealthWorkerScope health_scope(r);
         fn(r, fabric.endpoint(r));
+        // A body whose last fabric op was a send may leave bytes buffered in
+        // the transport (tcp pending queues); push them out while this
+        // thread still owns the rank.
+        fabric.flush(r);
         health_scope.complete();
       } catch (...) {
         std::lock_guard<std::mutex> lk(err_mu);

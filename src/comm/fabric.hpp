@@ -1,6 +1,6 @@
-// The in-process message-passing fabric: our stand-in for NCCL P2P.
+// The message-passing fabric: our stand-in for NCCL P2P.
 //
-// One Endpoint per simulated rank; ranks run on their own std::thread (see
+// One Endpoint per rank; local ranks run on their own std::thread (see
 // run_workers). Semantics mirror what the paper's implementation relies on:
 //  * eager, buffered sends — isend never blocks (NCCL P2P with send buffers);
 //  * tagged matching by (source, tag) with FIFO order per pair;
@@ -9,18 +9,21 @@
 //  * an optional LinkModel that delays *delivery* (not the sender), so
 //    emulated bandwidth overlaps with compute exactly like an async DMA.
 //
-// Transport (see docs/FABRIC.md for the full design):
-//  * every directed rank pair (src,dst) owns a bounded lock-free SPSC ring
-//    (comm/spsc_ring.hpp); the hot send/recv path takes no mutex;
-//  * payloads are refcounted zero-copy Buffers (comm/buffer.hpp): sending a
-//    weight shard moves a handle, never the bytes;
-//  * a blocked receiver spins briefly, then parks on a per-edge eventcount
-//    (mutex+condvar used only for parking) — it keeps feeding the PR 6
-//    health board while blocked, and abort_all() still wakes it;
+// Transport (docs/FABRIC.md, docs/TRANSPORT.md): byte movement is pluggable
+// behind comm::Transport — the in-process lock-free SPSC mailbox (default),
+// POSIX shared memory for co-located rank processes, or TCP sockets. The
+// fabric layers everything message-semantic on top, identically for every
+// backend:
+//  * payloads are refcounted zero-copy Buffers (comm/buffer.hpp): over the
+//    inproc backend a weight shard moves as a handle, never the bytes;
 //  * the PR 5 reliability layer (per-(src,dst,tag) stream seq numbers,
 //    receiver-side reassembly + dedup, drop-as-retransmission) sits on top
-//    of the rings unchanged: seqs are assigned producer-side, reassembly
-//    happens consumer-side in a thread-owned inbox.
+//    of the transport unchanged: seqs are assigned producer-side, reassembly
+//    happens consumer-side in a thread-owned inbox — which is what makes the
+//    chaos differ hold bitwise across backends;
+//  * a blocked receiver spins briefly (budget set by the backend), then
+//    parks in the transport — it keeps feeding the PR 6 health board while
+//    blocked, and abort_all() still wakes it.
 //
 // Thread contract: at any moment at most ONE thread acts as a given rank
 // (calls its Endpoint methods). The acting thread may change only across a
@@ -29,14 +32,17 @@
 // install, destruction) requires the fabric quiescent — no rank threads
 // running — which the same join edges guarantee.
 //
-// Every byte crossing the fabric is counted per (src,dst) pair: tests assert
-// the paper's central claim — WeiPipe's communication volume is independent
-// of microbatch size G and sequence length S — directly on these counters.
+// Every byte crossing the fabric is counted per (src,dst) pair at the
+// SENDING rank (exactly once per logical message, retransmits and dup-fault
+// copies excluded): tests assert the paper's central claim — WeiPipe's
+// communication volume is independent of microbatch size G and sequence
+// length S — directly on these counters. In multi-process mode each process
+// holds the counters for its own ranks' sends; summing over processes
+// reconstructs the full matrix.
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -44,12 +50,11 @@
 #include <memory>
 #include <mutex>
 #include <span>
-#include <thread>
 #include <vector>
 
 #include "comm/buffer.hpp"
 #include "comm/fault.hpp"
-#include "comm/spsc_ring.hpp"
+#include "comm/transport.hpp"
 #include "comm/wire.hpp"
 #include "common/thread_annotations.hpp"
 
@@ -71,18 +76,6 @@ struct FabricStats {
   // one pair is the signature of a receiver pacing the ring.
   std::uint64_t in_flight = 0;
   std::uint64_t max_in_flight = 0;
-};
-
-// Lock-free transport counters, aggregated over all edges. spins/parks
-// split a blocked receiver's time into the cheap path (spin iterations
-// before data arrived) and the expensive one (condvar parks); notifies are
-// producer-side wakeups of a parked consumer; overflow counts messages that
-// did not fit the bounded ring and took the mutex-guarded spillover path.
-struct RingStats {
-  std::uint64_t spins = 0;
-  std::uint64_t parks = 0;
-  std::uint64_t notifies = 0;
-  std::uint64_t overflow = 0;
 };
 
 class Fabric;
@@ -108,15 +101,16 @@ class Endpoint {
 
   // Eager buffered send: enqueues and returns immediately.
   void send(int dst, std::int64_t tag, std::vector<std::uint8_t> payload);
-  // Zero-copy send: the fabric takes a reference, the bytes never move.
-  // Treat the buffer contents as frozen once sent (other ranks — and
-  // dup-fault copies — read the same storage).
+  // Zero-copy send: the fabric takes a reference; over the inproc backend
+  // the bytes never move. Treat the buffer contents as frozen once sent
+  // (other ranks — and dup-fault copies — read the same storage).
   void send(int dst, std::int64_t tag, Buffer payload);
 
   // Blocks until a matching message arrives (and its modeled delivery time
   // passes). Throws weipipe::CommError after `recv_timeout`.
   std::vector<std::uint8_t> recv(int src, std::int64_t tag);
-  // Zero-copy receive: returns the sender's buffer (same bytes, no copy).
+  // Buffer receive: over the inproc backend this is the sender's storage
+  // (same bytes, no copy); multi-process backends rematerialize the bytes.
   Buffer recv_buffer(int src, std::int64_t tag);
 
   Request isend(int dst, std::int64_t tag, std::vector<std::uint8_t> payload);
@@ -147,7 +141,10 @@ class Endpoint {
 
 class Fabric {
  public:
+  // Rides the process-default transport spec (comm/transport.hpp), which is
+  // inproc unless retargeted (weipipe_cli --transport, forked rank mode).
   explicit Fabric(int world_size, LinkModel link_model = nullptr);
+  Fabric(int world_size, LinkModel link_model, const TransportSpec& spec);
   ~Fabric();
 
   Fabric(const Fabric&) = delete;
@@ -155,6 +152,17 @@ class Fabric {
 
   int world_size() const { return static_cast<int>(endpoints_.size()); }
   Endpoint& endpoint(int rank);
+
+  // ---- transport introspection ---------------------------------------------
+  const char* transport_name() const { return transport_->name(); }
+  // True when `rank` is hosted by this process; run_workers spawns threads
+  // only for local ranks.
+  bool is_local(int rank) const { return transport_->is_local(rank); }
+  bool transport_zero_copy() const { return transport_->zero_copy(); }
+  // Pushes rank's buffered transport output (tcp pending queues). Called by
+  // run_workers when a worker body returns; callable from the driver while
+  // quiescent.
+  void flush(int rank) { transport_->flush(rank); }
 
   // Aggregate traffic matrix entry: bytes sent src -> dst.
   std::uint64_t bytes_sent(int src, int dst) const;
@@ -198,87 +206,38 @@ class Fabric {
 
   // Marks the fabric failed and wakes every blocked receiver; they throw
   // CommError(kAborted). Used by injected stalls and available to tests.
+  // Process-local: peers in other rank processes observe the failure as a
+  // recv timeout, not an abort (docs/TRANSPORT.md).
   void abort_all();
   bool aborted() const { return aborted_.load(std::memory_order_acquire); }
   // Step-boundary repair after an abort: clears the failed flag, drains all
   // undelivered messages (crediting the memory ledger), resets per-stream
   // sequence numbers and re-arms one-shot stall rules' epoch. The trainer
   // restores its own state (core/resilience.hpp) and re-runs the iteration.
+  // Single-process only — remote peers' streams cannot be rewound from here.
   void recover();
 
  private:
   friend class Endpoint;
 
-  // Messages per edge ring; bursts beyond this spill into the mutex-guarded
-  // overflow deque (counted in RingStats::overflow).
-  static constexpr std::size_t kRingCapacity = 256;
-  // Spin iterations before a blocked receiver parks on the edge eventcount.
-  static constexpr int kSpinLimit = 1024;
-
-  struct Message {
-    Buffer payload;
-    std::int64_t tag = 0;
-    std::chrono::steady_clock::time_point deliver_at;
-    // Position in the (src,tag) stream, assigned at send time by the
-    // producer. The receiver reassembles in seq order and discards
-    // duplicates, which is what makes injected drops/dups/reorders
-    // invisible to the layers above.
-    std::uint64_t seq = 0;
-    // Unique per message; pairs the sender's and receiver's trace spans so
-    // exporters can draw flow arrows (obs/chrome_trace.hpp).
-    std::int64_t flow_id = -1;
-    // Mailbox-residency bytes charged to the memory ledger (comm_buffers,
-    // receiver's bucket) for adopted (non-tracked) payloads; 0 = not charged
-    // (tracked buffers carry their own allocation-time charge, or the
-    // ledger was disabled at send time). Credited on take()/teardown.
-    std::int64_t ledger_bytes = 0;
-    // nodedup mutation mode: this message fell behind its successor.
-    bool reordered = false;
-  };
-
-  struct PairCounters {
-    std::atomic<std::uint64_t> messages{0};
-    std::atomic<std::uint64_t> bytes{0};
-    std::atomic<std::uint64_t> in_flight{0};
-    std::atomic<std::uint64_t> max_in_flight{0};
-  };
-
-  // One directed (src,dst) edge: the SPSC ring, its overflow spillover, the
-  // consumer's park state, producer-owned per-tag send seqs, and the edge's
-  // share of the stats.
+  // One directed (src,dst) edge's fabric-side bookkeeping: producer-owned
+  // per-tag send seqs, the pair/tag stats, and the receiver's spin tally.
+  // Byte movement lives in the transport.
   struct Edge {
-    SpscRing<Message> ring{kRingCapacity};
-
-    // Overflow path for ring-full bursts. `ovf_mode` is producer-local:
-    // once a message spills, every later message spills too until the
-    // producer observes (under ovf_mu) that the consumer drained the deque —
-    // this keeps per-edge FIFO order across the two channels.
-    std::mutex ovf_mu;
-    std::deque<Message> ovf WEIPIPE_GUARDED_BY(ovf_mu);
-    std::atomic<std::uint32_t> ovf_count{0};
-    bool ovf_mode = false;  // producer thread only
-
-    // Eventcount: the consumer publishes `parked` (seq_cst) before
-    // re-checking the ring and waiting; the producer checks it (seq_cst)
-    // after publishing the ring tail. The seq_cst total order makes one
-    // side always see the other — no lost wakeups, no standalone fences
-    // (which TSan does not model).
-    std::mutex park_mu;
-    std::condition_variable park_cv;
-    std::atomic<std::uint32_t> parked{0};
-
     // Producer-owned per-tag next sequence number (single producer per
     // edge, so no lock).
     std::map<std::int64_t, std::uint64_t> send_seq;
 
-    PairCounters pair;
+    struct PairCounters {
+      std::atomic<std::uint64_t> messages{0};
+      std::atomic<std::uint64_t> bytes{0};
+      std::atomic<std::uint64_t> in_flight{0};
+      std::atomic<std::uint64_t> max_in_flight{0};
+    } pair;
     mutable std::mutex tag_mu;
     std::map<std::int64_t, FabricStats> tags WEIPIPE_GUARDED_BY(tag_mu);
 
     std::atomic<std::uint64_t> spins{0};
-    std::atomic<std::uint64_t> parks{0};
-    std::atomic<std::uint64_t> notifies{0};
-    std::atomic<std::uint64_t> overflow{0};
   };
 
   struct MailKey {
@@ -293,13 +252,14 @@ class Fabric {
   // is the reassembly cursor; with dedup off (FaultPlan mutation knob) q is
   // raw arrival order.
   struct Stream {
-    std::deque<Message> q;
+    std::deque<WireFrame> q;
     std::uint64_t next_take_seq = 0;
   };
   // Per-rank inbox: drained-but-unconsumed messages. Touched only by the
   // rank's acting thread (or the driver while quiescent) — no lock.
   struct Inbox {
     std::map<MailKey, Stream> streams;
+    std::vector<WireFrame> scratch;  // drain staging, reused per call
   };
 
   struct Taken {
@@ -343,16 +303,15 @@ class Fabric {
   std::int64_t deliver(int src, int dst, std::int64_t tag, Buffer payload);
   Taken take(int dst, int src, std::int64_t tag);
 
-  // Producer side: enqueue on the ring or the ordered overflow path, then
-  // wake the consumer if it is parked.
-  void enqueue(Edge& e, Message msg);
-  // Consumer side: move everything available on the edge into dst's inbox.
-  // Returns the number of messages drained.
-  std::size_t drain_edge(int src, int dst, Edge& e, Inbox& inbox,
-                         bool reliable);
-  void inbox_insert(Inbox& inbox, int src, Message msg, bool reliable);
+  // Consumer side: move everything available on the transport edge into
+  // dst's inbox. Returns the number of messages drained.
+  std::size_t drain_edge(int src, int dst, Inbox& inbox, bool reliable);
+  void inbox_insert(Inbox& inbox, int src, WireFrame frame, bool reliable);
   // Credits the ledger for an undelivered/duplicate message being destroyed.
-  static void credit_message(const Message& msg, int dst);
+  static void credit_frame(const WireFrame& frame, int dst);
+  // Drains transport + inboxes for every local rank, crediting the ledger
+  // (teardown and recover share this).
+  void drain_all_local();
 
   // Fires any matching stall rule for `rank` (throws CommError(kStall) after
   // aborting the fabric); otherwise just advances the rank's op counter.
@@ -360,6 +319,7 @@ class Fabric {
   void record_fault(const FaultEvent& event);
 
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::unique_ptr<Transport> transport_;
   std::vector<std::unique_ptr<Edge>> edges_;      // [src * P + dst]
   std::vector<std::unique_ptr<Inbox>> inboxes_;   // [dst]
   LinkModel link_model_;
@@ -370,9 +330,12 @@ class Fabric {
       std::chrono::milliseconds(60000)};
 };
 
-// Runs fn(rank, endpoint) on world_size threads and joins them all; the first
-// exception (if any) is rethrown on the caller after every thread has exited,
-// so a failing rank cannot leave the fabric with dangling threads.
+// Runs fn(rank, endpoint) on one thread per LOCAL rank and joins them all
+// (in single-process mode that is every rank; a forked rank process runs
+// just its own). When a body returns cleanly its transport output is
+// flushed from the same thread. The first exception (if any) is rethrown on
+// the caller after every thread has exited, so a failing rank cannot leave
+// the fabric with dangling threads.
 void run_workers(Fabric& fabric,
                  const std::function<void(int rank, Endpoint& ep)>& fn);
 

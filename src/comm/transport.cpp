@@ -1,0 +1,301 @@
+#include "comm/transport.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "comm/spsc_ring.hpp"
+#include "comm/transport_backends.hpp"
+#include "common/check.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace weipipe::comm {
+
+namespace {
+
+// Messages per edge ring; bursts beyond this spill into the mutex-guarded
+// overflow deque (counted in RingStats::overflow).
+constexpr std::size_t kInprocRingCapacity = 256;
+
+TransportSpec g_default_spec;
+
+// Construction counter consumed by the multi-process backends: every process
+// runs the same deterministic sequence of fabric constructions, so equal
+// generation numbers identify the same logical fabric across processes.
+std::atomic<std::uint64_t> g_generation{0};
+
+// The original fabric mailbox, verbatim: one bounded lock-free SPSC ring per
+// directed rank pair, a FIFO-preserving overflow deque, and a per-edge
+// eventcount for parking (see comm/spsc_ring.hpp for the memory-ordering
+// story — the seq_cst tail publication pairs with the consumer's seq_cst
+// `parked` store, Dekker-style, so wakeups cannot be lost).
+class InprocTransport final : public Transport {
+ public:
+  InprocTransport(int world_size, const std::atomic<bool>* abort_flag)
+      : world_(world_size), abort_flag_(abort_flag) {
+    edges_.reserve(static_cast<std::size_t>(world_) *
+                   static_cast<std::size_t>(world_));
+    for (int i = 0; i < world_ * world_; ++i) {
+      edges_.push_back(std::make_unique<Edge>());
+    }
+  }
+
+  const char* name() const override { return "inproc"; }
+  bool is_local(int rank) const override {
+    (void)rank;
+    return true;
+  }
+  bool zero_copy() const override { return true; }
+  int spin_hint() const override { return 1024; }
+
+  void send(int src, int dst, WireFrame frame) override {
+    Edge& e = edge(src, dst);
+    bool queued = false;
+    // Once a message has spilled to the overflow deque, later messages must
+    // follow it there until the consumer has drained the deque — otherwise a
+    // newer ring message could overtake an older spilled one.
+    if (e.ovf_mode) {
+      std::lock_guard<std::mutex> lk(e.ovf_mu);
+      if (e.ovf.empty()) {
+        e.ovf_mode = false;  // consumer caught up; back to the ring
+      } else {
+        e.ovf.push_back(std::move(frame));
+        e.ovf_count.fetch_add(1, std::memory_order_seq_cst);
+        e.overflow.fetch_add(1, std::memory_order_relaxed);
+        queued = true;
+      }
+    }
+    if (!queued && !e.ring.try_push(std::move(frame))) {
+      std::lock_guard<std::mutex> lk(e.ovf_mu);
+      e.ovf.push_back(std::move(frame));
+      e.ovf_count.fetch_add(1, std::memory_order_seq_cst);
+      e.overflow.fetch_add(1, std::memory_order_relaxed);
+      e.ovf_mode = true;
+    }
+    // Dekker wake: the publication above (seq_cst ring-tail store or seq_cst
+    // overflow-count RMW) is ordered before this load; the consumer stores
+    // `parked` seq_cst before re-checking both channels.
+    if (e.parked.load(std::memory_order_seq_cst) != 0) {
+      { std::lock_guard<std::mutex> lk(e.park_mu); }
+      e.park_cv.notify_all();
+      e.notifies.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t drain(int src, int dst, std::vector<WireFrame>& out) override {
+    Edge& e = edge(src, dst);
+    std::size_t drained = 0;
+    while (WireFrame* f = e.ring.front()) {
+      out.push_back(std::move(*f));
+      e.ring.pop_front();
+      ++drained;
+    }
+    if (e.ovf_count.load(std::memory_order_seq_cst) > 0) {
+      std::deque<WireFrame> batch;
+      {
+        std::lock_guard<std::mutex> lk(e.ovf_mu);
+        batch.swap(e.ovf);
+        e.ovf_count.store(0, std::memory_order_seq_cst);
+      }
+      // Overflow messages are strictly newer than anything that was in the
+      // ring above (the producer stays in overflow mode until the deque is
+      // observed empty), so ring-then-overflow preserves per-edge FIFO.
+      for (WireFrame& f : batch) {
+        out.push_back(std::move(f));
+        ++drained;
+      }
+    }
+    return drained;
+  }
+
+  void park(int dst, int src,
+            std::chrono::steady_clock::time_point deadline) override {
+    Edge& e = edge(src, dst);
+    std::unique_lock<std::mutex> lk(e.park_mu);
+    e.parked.store(1, std::memory_order_seq_cst);
+    if (e.ring.front() != nullptr ||
+        e.ovf_count.load(std::memory_order_seq_cst) != 0 ||
+        (abort_flag_ != nullptr &&
+         abort_flag_->load(std::memory_order_seq_cst))) {
+      e.parked.store(0, std::memory_order_relaxed);
+      return;  // something arrived between the last check and parking
+    }
+    e.parks.fetch_add(1, std::memory_order_relaxed);
+    e.park_cv.wait_until(lk, deadline);
+    e.parked.store(0, std::memory_order_relaxed);
+  }
+
+  void wake_all() override {
+    for (auto& e : edges_) {
+      // Acquire the park mutex so a receiver between its recheck and its cv
+      // wait cannot miss the notification.
+      { std::lock_guard<std::mutex> lk(e->park_mu); }
+      e->park_cv.notify_all();
+    }
+  }
+
+  RingStats wire_stats() const override {
+    RingStats total;
+    for (const auto& e : edges_) {
+      total.parks += e->parks.load(std::memory_order_relaxed);
+      total.notifies += e->notifies.load(std::memory_order_relaxed);
+      total.overflow += e->overflow.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct Edge {
+    SpscRing<WireFrame> ring{kInprocRingCapacity};
+
+    std::mutex ovf_mu;
+    std::deque<WireFrame> ovf WEIPIPE_GUARDED_BY(ovf_mu);
+    std::atomic<std::uint32_t> ovf_count{0};
+    bool ovf_mode = false;  // producer thread only
+
+    std::mutex park_mu;
+    std::condition_variable park_cv;
+    std::atomic<std::uint32_t> parked{0};
+
+    std::atomic<std::uint64_t> parks{0};
+    std::atomic<std::uint64_t> notifies{0};
+    std::atomic<std::uint64_t> overflow{0};
+  };
+
+  Edge& edge(int src, int dst) {
+    return *edges_[static_cast<std::size_t>(src) *
+                       static_cast<std::size_t>(world_) +
+                   static_cast<std::size_t>(dst)];
+  }
+
+  const int world_;
+  const std::atomic<bool>* abort_flag_;
+  std::vector<std::unique_ptr<Edge>> edges_;  // [src * P + dst]
+};
+
+}  // namespace
+
+const char* transport_kind_name(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kInproc: return "inproc";
+    case TransportKind::kShm: return "shm";
+    case TransportKind::kTcp: return "tcp";
+  }
+  return "?";
+}
+
+namespace {
+
+// stoi throws std::invalid_argument / out_of_range on garbage; surface spec
+// typos as weipipe::Error like every other parse failure instead.
+int parse_spec_int(const std::string& key, const std::string& value) {
+  std::size_t used = 0;
+  int parsed = 0;
+  try {
+    parsed = std::stoi(value, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  WEIPIPE_CHECK_MSG(!value.empty() && used == value.size(),
+                    "bad transport option " << key << "='" << value
+                                            << "' (want integer)");
+  return parsed;
+}
+
+}  // namespace
+
+TransportSpec parse_transport_spec(const std::string& text) {
+  TransportSpec spec;
+  std::istringstream in(text);
+  std::string token;
+  bool first = true;
+  while (std::getline(in, token, ':')) {
+    if (first) {
+      first = false;
+      if (token == "inproc") {
+        spec.kind = TransportKind::kInproc;
+      } else if (token == "shm") {
+        spec.kind = TransportKind::kShm;
+      } else if (token == "tcp") {
+        spec.kind = TransportKind::kTcp;
+      } else {
+        WEIPIPE_CHECK_MSG(false, "unknown transport '" << token
+                                                       << "' (inproc|shm|tcp)");
+      }
+      continue;
+    }
+    const std::size_t eq = token.find('=');
+    WEIPIPE_CHECK_MSG(eq != std::string::npos,
+                      "bad transport option '" << token << "' (want key=value)");
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "rank") {
+      spec.local_rank = parse_spec_int(key, value);
+    } else if (key == "name") {
+      spec.shm_name = value;
+    } else if (key == "host") {
+      spec.host = value;
+    } else if (key == "port") {
+      spec.base_port = parse_spec_int(key, value);
+    } else {
+      WEIPIPE_CHECK_MSG(false, "unknown transport option '" << key << "'");
+    }
+  }
+  WEIPIPE_CHECK_MSG(!first, "empty transport spec");
+  return spec;
+}
+
+std::string to_string(const TransportSpec& spec) {
+  std::ostringstream out;
+  out << transport_kind_name(spec.kind);
+  if (spec.kind == TransportKind::kShm && !spec.shm_name.empty()) {
+    out << ":name=" << spec.shm_name;
+  }
+  if (spec.kind == TransportKind::kTcp) {
+    if (spec.host != "127.0.0.1") {
+      out << ":host=" << spec.host;
+    }
+    if (spec.base_port != 0) {
+      out << ":port=" << spec.base_port;
+    }
+  }
+  if (spec.local_rank >= 0) {
+    out << ":rank=" << spec.local_rank;
+  }
+  return out.str();
+}
+
+TransportSpec default_transport_spec() { return g_default_spec; }
+
+void set_default_transport_spec(const TransportSpec& spec) {
+  g_default_spec = spec;
+}
+
+std::unique_ptr<Transport> make_transport(const TransportSpec& spec,
+                                          int world_size,
+                                          const std::atomic<bool>* abort_flag) {
+  WEIPIPE_CHECK_MSG(world_size >= 1, "world_size must be >= 1");
+  WEIPIPE_CHECK_MSG(spec.local_rank < world_size,
+                    "transport local_rank " << spec.local_rank
+                                            << " outside world " << world_size);
+  switch (spec.kind) {
+    case TransportKind::kInproc:
+      WEIPIPE_CHECK_MSG(spec.all_local(),
+                        "inproc transport cannot host a single rank");
+      return std::make_unique<InprocTransport>(world_size, abort_flag);
+    case TransportKind::kShm:
+      return detail::make_shm_transport(
+          spec, world_size, abort_flag,
+          g_generation.fetch_add(1, std::memory_order_relaxed));
+    case TransportKind::kTcp:
+      return detail::make_tcp_transport(
+          spec, world_size, abort_flag,
+          g_generation.fetch_add(1, std::memory_order_relaxed));
+  }
+  WEIPIPE_CHECK_MSG(false, "unreachable transport kind");
+  return nullptr;
+}
+
+}  // namespace weipipe::comm

@@ -1,0 +1,153 @@
+// Pluggable wire transports under the fabric (docs/TRANSPORT.md).
+//
+// comm::Fabric owns everything message-semantic — per-(src,dst,tag) stream
+// sequence numbers, receiver-side reassembly + dedup, fault injection,
+// per-kind wire accounting, ledger charges, health heartbeats, obs spans.
+// Everything byte-moving lives behind comm::Transport:
+//
+//   * inproc — the original lock-free SPSC mailbox per directed rank pair
+//     (comm/spsc_ring.hpp), refcounted zero-copy payload handoff;
+//   * shm    — POSIX shared memory (`shm_open`) holding one byte ring per
+//     directed edge, futex park/wake, for co-located rank *processes*;
+//   * tcp    — nonblocking sockets with a per-peer pending queue and
+//     writev/sendmsg scatter-gather framing, for real interconnects.
+//
+// The reliability layer above is what makes the backends interchangeable: a
+// WireFrame that crosses any of the three arrives with the same (tag, seq,
+// deliver_at, reordered) tuple, so the chaos differ holds bitwise across
+// backends and the closed-form volume predictions keep MATCHing.
+//
+// Thread contract (inherited from the fabric): at most one thread acts as a
+// given rank at a time. send(src, ...) and flush(src) are called only by the
+// thread acting as src; drain(src, dst, ...) and park(dst, ...) only by the
+// thread acting as dst. wake_all() may be called from any thread.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/buffer.hpp"
+
+namespace weipipe::comm {
+
+// Lock-free transport counters, aggregated over all edges. spins/parks
+// split a blocked receiver's time into the cheap path (spin iterations
+// before data arrived) and the expensive one (condvar/futex/poll parks);
+// notifies are producer-side wakeups of a parked consumer; overflow counts
+// messages that did not fit the bounded fast path and took the spillover
+// queue (mutex-guarded deque for inproc, pending byte queue for shm/tcp).
+struct RingStats {
+  std::uint64_t spins = 0;
+  std::uint64_t parks = 0;
+  std::uint64_t notifies = 0;
+  std::uint64_t overflow = 0;
+};
+
+// One message on the wire. The fabric assigns seq/flow_id/deliver_at before
+// handing the frame to the transport; the transport moves it (or its bytes)
+// to dst unchanged. `ledger_bytes` is fabric bookkeeping for same-process
+// mailbox residency and never crosses a process boundary — remote arrivals
+// rematerialize as tracked buffers charged to the receiving rank's bucket.
+struct WireFrame {
+  Buffer payload;
+  std::int64_t tag = 0;
+  std::uint64_t seq = 0;
+  std::int64_t flow_id = -1;
+  // Absolute steady-clock deadline (common/stopwatch.hpp steady_now_ns
+  // epoch) before which the receiver must not surface the frame — the link
+  // model and injected delays live here. Comparable across rank processes
+  // on one host (shared CLOCK_MONOTONIC) and via the rendezvous epoch
+  // exchange otherwise.
+  std::int64_t deliver_at_ns = 0;
+  std::int64_t ledger_bytes = 0;
+  // nodedup mutation mode: this frame fell behind its successor.
+  bool reordered = false;
+};
+
+enum class TransportKind { kInproc, kShm, kTcp };
+
+// Which backend a Fabric rides on and where this process sits in the world.
+struct TransportSpec {
+  TransportKind kind = TransportKind::kInproc;
+  // -1 = every rank lives in this process (threads); >= 0 = this process
+  // hosts exactly that rank and peers are reached over shm/tcp.
+  int local_rank = -1;
+  // shm: segment name prefix (a per-construction generation suffix is
+  // appended); empty = derived from the process id, which is only correct
+  // single-process — forked rank processes must share an explicit name.
+  std::string shm_name;
+  // tcp: rendezvous host and base port; rank r listens on base_port + r.
+  // base_port 0 = ephemeral ports, valid only with local_rank == -1 (the
+  // port table is discoverable only inside one process).
+  std::string host = "127.0.0.1";
+  int base_port = 0;
+
+  bool all_local() const { return local_rank < 0; }
+};
+
+const char* transport_kind_name(TransportKind kind);
+
+// "inproc" | "shm[:name=<seg>][:rank=<r>]" |
+// "tcp[:host=<h>][:port=<p>][:rank=<r>]". Throws weipipe::Error on junk.
+TransportSpec parse_transport_spec(const std::string& text);
+std::string to_string(const TransportSpec& spec);
+
+// Process-wide default used by Fabric when no spec is passed explicitly —
+// how `weipipe_cli --transport ...` and forked rank children retarget every
+// trainer-constructed fabric without threading a spec through each layer.
+// Read/written from the driver thread only (before workers start).
+TransportSpec default_transport_spec();
+void set_default_transport_spec(const TransportSpec& spec);
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual const char* name() const = 0;
+  // True when `rank` is hosted by this process (run_workers spawns threads
+  // only for local ranks).
+  virtual bool is_local(int rank) const = 0;
+  // True when a payload Buffer crosses send->recv with pointer identity.
+  virtual bool zero_copy() const = 0;
+  // Receiver spin budget before parking: high for the in-memory mailbox,
+  // low where every drain probe costs a syscall.
+  virtual int spin_hint() const = 0;
+
+  // Producer side (thread acting as src). Never blocks on the consumer:
+  // frames that do not fit the fast path are buffered and pushed out by
+  // later send/park/flush calls on src's thread.
+  virtual void send(int src, int dst, WireFrame frame) = 0;
+  // Consumer side (thread acting as dst): append every frame currently
+  // available on edge (src, dst) to `out`, in arrival order. dst must be
+  // local.
+  virtual std::size_t drain(int src, int dst, std::vector<WireFrame>& out) = 0;
+  // Consumer side: block until input may be available on edge (src, dst),
+  // wake_all() fires, or `deadline` — spurious returns are allowed and the
+  // caller re-drains in a loop. Also services dst's own buffered output so
+  // two mutually-parked ranks cannot deadlock on full wires.
+  virtual void park(int dst, int src,
+                    std::chrono::steady_clock::time_point deadline) = 0;
+  // Wakes every parked local consumer (abort path).
+  virtual void wake_all() = 0;
+  // Best-effort bounded blocking push of src's buffered output (thread
+  // acting as src, or any thread while quiescent).
+  virtual void flush(int src) { (void)src; }
+  virtual RingStats wire_stats() const = 0;
+};
+
+// Builds a transport for `world_size` ranks. `abort_flag` is the fabric's
+// failed latch: park() must return promptly once it is set (checked in the
+// park recheck for inproc, bounded wait slices elsewhere). shm/tcp backends
+// consume one process-global generation number per construction so that
+// rank processes executing the same deterministic fabric-construction
+// sequence rendezvous on matching segments/connections.
+std::unique_ptr<Transport> make_transport(const TransportSpec& spec,
+                                          int world_size,
+                                          const std::atomic<bool>* abort_flag);
+
+}  // namespace weipipe::comm

@@ -1,0 +1,24 @@
+// Internal: per-backend constructors wired up by make_transport()
+// (comm/transport.cpp). Not part of the public transport API.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "comm/transport.hpp"
+
+namespace weipipe::comm::detail {
+
+// `generation` is the process-global construction counter: rank processes
+// executing the same deterministic fabric-construction sequence use it to
+// rendezvous on matching shm segments / tcp connection epochs.
+std::unique_ptr<Transport> make_shm_transport(
+    const TransportSpec& spec, int world_size,
+    const std::atomic<bool>* abort_flag, std::uint64_t generation);
+
+std::unique_ptr<Transport> make_tcp_transport(
+    const TransportSpec& spec, int world_size,
+    const std::atomic<bool>* abort_flag, std::uint64_t generation);
+
+}  // namespace weipipe::comm::detail

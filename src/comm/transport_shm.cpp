@@ -1,0 +1,441 @@
+// POSIX shared-memory transport: one byte ring per directed rank pair in an
+// shm_open'd segment, futex park/wake — the co-located rank *process*
+// backend (docs/TRANSPORT.md).
+//
+// Layout: a segment header (epoch-exchange cell) followed by P*P edge
+// blocks; edge (src,dst) holds a cache-line-padded cursor header and a
+// power-of-two byte ring. Frames serialize with the shared 48-byte framing
+// (comm/transport_stream.hpp) and stream through the ring — a frame larger
+// than the ring simply crosses in several pumps, the producer spilling the
+// remainder into a process-local pending queue that send/park/flush keep
+// pushing. All cross-process synchronization is the two release/acquire
+// cursors plus a non-private futex per edge for parking; every process maps
+// the segment at its own address, so nothing stored in it is a pointer.
+//
+// Every rank process shm_open(O_CREAT)s the same "/<name>-g<generation>"
+// segment and ftruncates it to the same size: a fresh segment is all zeroes,
+// which is exactly the valid empty-ring state, so there is no creation
+// handshake to race on. The generation suffix comes from the process-global
+// construction counter — rank processes executing the same deterministic
+// fabric-construction sequence agree on it without exchanging a single byte.
+#include "comm/transport_backends.hpp"
+
+#include <fcntl.h>
+#include <linux/futex.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/syscall.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "comm/spsc_ring.hpp"  // kCacheLine
+#include "comm/transport_stream.hpp"
+#include "common/check.hpp"
+#include "common/stopwatch.hpp"
+
+namespace weipipe::comm::detail {
+
+namespace {
+
+// Bytes per directed-edge ring (power of two). Sized so a P=8 world fits
+// comfortably in a default /dev/shm while still passing weight-chunk-scale
+// frames in a handful of pumps.
+constexpr std::size_t kShmRingBytes = 256 * 1024;
+
+// Ranks on one host share CLOCK_MONOTONIC: a measured rendezvous skew below
+// this is transit latency, not clock divergence, and correcting for it would
+// *misalign* traces. Only a genuinely distinct clock domain shifts the epoch.
+constexpr std::int64_t kSharedClockSkewNs = 100'000'000;  // 100ms
+
+long futex(std::atomic<std::uint32_t>* addr, int op, std::uint32_t val,
+           const timespec* timeout) {
+  // Non-private futex ops: the word lives in shared memory and must wake
+  // waiters in other processes.
+  return syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr), op, val,
+                 timeout, nullptr, 0);
+}
+
+struct SegmentHeader {
+  // Epoch exchange (forked mode): rank 0 publishes its steady_now_ns() and
+  // flips ready; peers measure their skew against it at attach.
+  std::atomic<std::int64_t> epoch_ns;
+  std::atomic<std::uint32_t> epoch_ready;
+  char pad[kCacheLine - 12];
+};
+static_assert(sizeof(SegmentHeader) == kCacheLine);
+
+// Shared-memory edge header. Cursors are free-running byte counts (the ring
+// index is cursor & mask). The futex word counts publications; the consumer
+// waits on it with its last observed value, so a publication between
+// observe and wait turns the wait into an immediate EAGAIN — no lost wakeup.
+struct ShmEdgeHeader {
+  alignas(kCacheLine) std::atomic<std::uint64_t> tail;  // producer
+  char pad1[kCacheLine - sizeof(std::atomic<std::uint64_t>)];
+  alignas(kCacheLine) std::atomic<std::uint64_t> head;  // consumer
+  char pad2[kCacheLine - sizeof(std::atomic<std::uint64_t>)];
+  alignas(kCacheLine) std::atomic<std::uint32_t> futex_word;
+  std::atomic<std::uint32_t> consumer_parked;
+  char pad3[kCacheLine - 2 * sizeof(std::atomic<std::uint32_t>)];
+};
+static_assert(sizeof(ShmEdgeHeader) == 3 * kCacheLine);
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free &&
+                  std::atomic<std::uint32_t>::is_always_lock_free,
+              "shared-memory atomics must be address-free");
+
+constexpr std::size_t kEdgeBlockBytes = sizeof(ShmEdgeHeader) + kShmRingBytes;
+
+class ShmTransport final : public Transport {
+ public:
+  ShmTransport(const TransportSpec& spec, int world_size,
+               const std::atomic<bool>* abort_flag, std::uint64_t generation)
+      : world_(world_size),
+        local_rank_(spec.local_rank),
+        abort_flag_(abort_flag) {
+    std::ostringstream name;
+    name << "/"
+         << (spec.shm_name.empty() ? "weipipe-" + std::to_string(getpid())
+                                   : spec.shm_name)
+         << "-g" << generation;
+    seg_name_ = name.str();
+    seg_bytes_ = sizeof(SegmentHeader) +
+                 static_cast<std::size_t>(world_) *
+                     static_cast<std::size_t>(world_) * kEdgeBlockBytes;
+    const int fd = shm_open(seg_name_.c_str(), O_CREAT | O_RDWR, 0600);
+    WEIPIPE_CHECK_MSG(fd >= 0, "shm_open(" << seg_name_
+                                           << "): " << std::strerror(errno));
+    if (ftruncate(fd, static_cast<off_t>(seg_bytes_)) != 0) {
+      const int err = errno;
+      close(fd);
+      WEIPIPE_CHECK_MSG(false, "ftruncate(" << seg_name_
+                                            << "): " << std::strerror(err));
+    }
+    base_ = static_cast<std::uint8_t*>(mmap(nullptr, seg_bytes_,
+                                            PROT_READ | PROT_WRITE,
+                                            MAP_SHARED, fd, 0));
+    close(fd);
+    WEIPIPE_CHECK_MSG(base_ != MAP_FAILED,
+                      "mmap(" << seg_name_ << "): " << std::strerror(errno));
+    out_.resize(static_cast<std::size_t>(world_) *
+                static_cast<std::size_t>(world_));
+    readers_.resize(out_.size());
+    exchange_epoch();
+  }
+
+  ~ShmTransport() override {
+    // Push out whatever the owner did not flush explicitly, bounded: a
+    // receiver that already exited leaves its ring full and we must not
+    // hang teardown on it.
+    for (int r = 0; r < world_; ++r) {
+      if (is_local(r)) {
+        flush_bounded(r, std::chrono::milliseconds(2000));
+      }
+    }
+    munmap(base_, seg_bytes_);
+    // Every process unlinks; the first wins and ENOENT afterwards is fine.
+    // The mapping itself stays valid in any process still holding it.
+    shm_unlink(seg_name_.c_str());
+  }
+
+  const char* name() const override { return "shm"; }
+  bool is_local(int rank) const override {
+    return local_rank_ < 0 || rank == local_rank_;
+  }
+  bool zero_copy() const override { return false; }
+  int spin_hint() const override { return 256; }
+
+  void send(int src, int dst, WireFrame frame) override {
+    Out& out = out_edge(src, dst);
+    out.q.push_back(std::move(frame));
+    pump(src, dst);
+    if (!out.q.empty()) {
+      overflow_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t drain(int src, int dst, std::vector<WireFrame>& out) override {
+    ShmEdgeHeader& h = edge_header(src, dst);
+    std::uint8_t* ring = ring_data(src, dst);
+    FrameReader& reader = readers_[edge_index(src, dst)];
+    std::size_t drained = 0;
+    for (;;) {
+      const std::uint64_t head = h.head.load(std::memory_order_relaxed);
+      const std::uint64_t tail = h.tail.load(std::memory_order_acquire);
+      if (tail == head) {
+        break;
+      }
+      std::uint64_t avail = tail - head;
+      std::uint64_t consumed = 0;
+      while (avail > 0) {
+        const std::span<std::uint8_t> dest = reader.dest();
+        std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(avail, dest.size()));
+        copy_out(ring, head + consumed, dest.data(), n);
+        WireFrame frame;
+        if (reader.commit(n, frame)) {
+          out.push_back(std::move(frame));
+          ++drained;
+        }
+        consumed += n;
+        avail -= n;
+      }
+      // Release the bytes back to the producer only after they are fully
+      // copied out.
+      h.head.store(head + consumed, std::memory_order_release);
+    }
+    return drained;
+  }
+
+  void park(int dst, int src,
+            std::chrono::steady_clock::time_point deadline) override {
+    // Service our own buffered output first: two mutually-parked ranks with
+    // full rings toward each other must keep making wire progress.
+    const bool have_pending = pump_all(dst);
+    ShmEdgeHeader& h = edge_header(src, dst);
+    const std::uint32_t observed =
+        h.futex_word.load(std::memory_order_seq_cst);
+    if (h.tail.load(std::memory_order_acquire) !=
+        h.head.load(std::memory_order_relaxed)) {
+      return;
+    }
+    h.consumer_parked.store(1, std::memory_order_seq_cst);
+    if (h.tail.load(std::memory_order_seq_cst) !=
+            h.head.load(std::memory_order_relaxed) ||
+        (abort_flag_ != nullptr &&
+         abort_flag_->load(std::memory_order_seq_cst))) {
+      h.consumer_parked.store(0, std::memory_order_relaxed);
+      return;
+    }
+    // Bounded wait slices: pending output wants frequent pumping, and a
+    // cross-process abort is only observed on the way out of the wait.
+    const auto now = std::chrono::steady_clock::now();
+    auto slice = deadline - now;
+    const auto cap = have_pending ? std::chrono::milliseconds(1)
+                                  : std::chrono::milliseconds(100);
+    if (slice > cap) {
+      slice = cap;
+    }
+    if (slice.count() > 0) {
+      const auto ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(slice);
+      timespec ts;
+      ts.tv_sec = static_cast<time_t>(ns.count() / 1'000'000'000);
+      ts.tv_nsec = static_cast<long>(ns.count() % 1'000'000'000);
+      parks_.fetch_add(1, std::memory_order_relaxed);
+      futex(&h.futex_word, FUTEX_WAIT, observed, &ts);
+    }
+    h.consumer_parked.store(0, std::memory_order_relaxed);
+  }
+
+  void wake_all() override {
+    for (int dst = 0; dst < world_; ++dst) {
+      if (!is_local(dst)) {
+        continue;
+      }
+      for (int src = 0; src < world_; ++src) {
+        if (src == dst) {
+          continue;
+        }
+        ShmEdgeHeader& h = edge_header(src, dst);
+        h.futex_word.fetch_add(1, std::memory_order_seq_cst);
+        futex(&h.futex_word, FUTEX_WAKE, INT32_MAX, nullptr);
+      }
+    }
+  }
+
+  void flush(int src) override {
+    flush_bounded(src, std::chrono::milliseconds(10000));
+  }
+
+  RingStats wire_stats() const override {
+    RingStats s;
+    s.parks = parks_.load(std::memory_order_relaxed);
+    s.notifies = notifies_.load(std::memory_order_relaxed);
+    s.overflow = overflow_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  // Process-local producer side of one edge: frames not yet fully written
+  // into the shared ring. front() is in progress, `off` bytes of its
+  // header||payload already on the wire. Owned by the thread acting as src.
+  struct Out {
+    std::deque<WireFrame> q;
+    std::size_t off = 0;
+    std::uint8_t hdr[kFrameHeaderBytes];
+    bool hdr_valid = false;
+  };
+
+  std::size_t edge_index(int src, int dst) const {
+    return static_cast<std::size_t>(src) * static_cast<std::size_t>(world_) +
+           static_cast<std::size_t>(dst);
+  }
+  ShmEdgeHeader& edge_header(int src, int dst) {
+    return *reinterpret_cast<ShmEdgeHeader*>(
+        base_ + sizeof(SegmentHeader) + edge_index(src, dst) * kEdgeBlockBytes);
+  }
+  std::uint8_t* ring_data(int src, int dst) {
+    return base_ + sizeof(SegmentHeader) +
+           edge_index(src, dst) * kEdgeBlockBytes + sizeof(ShmEdgeHeader);
+  }
+  Out& out_edge(int src, int dst) { return out_[edge_index(src, dst)]; }
+
+  static void copy_in(std::uint8_t* ring, std::uint64_t cursor,
+                      const std::uint8_t* from, std::size_t n) {
+    const std::size_t at = static_cast<std::size_t>(cursor) &
+                           (kShmRingBytes - 1);
+    const std::size_t first = std::min(n, kShmRingBytes - at);
+    std::memcpy(ring + at, from, first);
+    if (n > first) {
+      std::memcpy(ring, from + first, n - first);
+    }
+  }
+  static void copy_out(const std::uint8_t* ring, std::uint64_t cursor,
+                       std::uint8_t* to, std::size_t n) {
+    const std::size_t at = static_cast<std::size_t>(cursor) &
+                           (kShmRingBytes - 1);
+    const std::size_t first = std::min(n, kShmRingBytes - at);
+    std::memcpy(to, ring + at, first);
+    if (n > first) {
+      std::memcpy(to + first, ring, n - first);
+    }
+  }
+
+  // Writes as much buffered output for (src,dst) as ring space allows.
+  // Returns true if anything was published.
+  bool pump(int src, int dst) {
+    Out& out = out_edge(src, dst);
+    if (out.q.empty()) {
+      return false;
+    }
+    ShmEdgeHeader& h = edge_header(src, dst);
+    std::uint8_t* ring = ring_data(src, dst);
+    std::uint64_t tail = h.tail.load(std::memory_order_relaxed);
+    bool published = false;
+    while (!out.q.empty()) {
+      WireFrame& frame = out.q.front();
+      if (!out.hdr_valid) {
+        encode_frame_header(frame, out.hdr);
+        out.hdr_valid = true;
+      }
+      const std::uint64_t head = h.head.load(std::memory_order_acquire);
+      std::uint64_t free = kShmRingBytes - (tail - head);
+      if (free == 0) {
+        break;
+      }
+      const std::size_t total = kFrameHeaderBytes + frame.payload.size();
+      while (free > 0 && out.off < total) {
+        std::size_t n;
+        if (out.off < kFrameHeaderBytes) {
+          n = static_cast<std::size_t>(std::min<std::uint64_t>(
+              free, kFrameHeaderBytes - out.off));
+          copy_in(ring, tail, out.hdr + out.off, n);
+        } else {
+          n = static_cast<std::size_t>(
+              std::min<std::uint64_t>(free, total - out.off));
+          copy_in(ring, tail,
+                  frame.payload.data() + (out.off - kFrameHeaderBytes), n);
+        }
+        tail += n;
+        out.off += n;
+        free -= n;
+        published = true;
+      }
+      if (out.off == total) {
+        out.q.pop_front();
+        out.off = 0;
+        out.hdr_valid = false;
+      } else {
+        break;  // ring full mid-frame; resume on the next pump
+      }
+    }
+    if (published) {
+      h.tail.store(tail, std::memory_order_release);
+      h.futex_word.fetch_add(1, std::memory_order_seq_cst);
+      if (h.consumer_parked.load(std::memory_order_seq_cst) != 0) {
+        futex(&h.futex_word, FUTEX_WAKE, INT32_MAX, nullptr);
+        notifies_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    return !out.q.empty();
+  }
+
+  // Pumps every out edge of `src`; returns true while anything stays queued.
+  bool pump_all(int src) {
+    bool pending = false;
+    for (int dst = 0; dst < world_; ++dst) {
+      if (dst != src) {
+        pending |= pump(src, dst);
+      }
+    }
+    return pending;
+  }
+
+  void flush_bounded(int src, std::chrono::milliseconds budget) {
+    const auto deadline = std::chrono::steady_clock::now() + budget;
+    while (pump_all(src)) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        break;  // receiver gone; teardown must not hang on its full ring
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+
+  void exchange_epoch() {
+    if (local_rank_ < 0) {
+      return;  // single process, single clock
+    }
+    SegmentHeader& seg = *reinterpret_cast<SegmentHeader*>(base_);
+    if (local_rank_ == 0) {
+      seg.epoch_ns.store(steady_now_ns(), std::memory_order_relaxed);
+      seg.epoch_ready.store(1, std::memory_order_release);
+      return;
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (seg.epoch_ready.load(std::memory_order_acquire) == 0) {
+      WEIPIPE_CHECK_MSG(std::chrono::steady_clock::now() < deadline,
+                        "shm rendezvous: rank 0 never published its epoch in "
+                            << seg_name_);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const std::int64_t skew =
+        seg.epoch_ns.load(std::memory_order_relaxed) - steady_now_ns();
+    // Same-host ranks share CLOCK_MONOTONIC: a sub-threshold "skew" is just
+    // the publish-to-read latency and correcting for it would misalign the
+    // merged traces. Only a real clock-domain difference installs an offset.
+    if (skew > kSharedClockSkewNs || skew < -kSharedClockSkewNs) {
+      set_steady_epoch_offset(skew);
+    }
+  }
+
+  const int world_;
+  const int local_rank_;
+  const std::atomic<bool>* abort_flag_;
+  std::string seg_name_;
+  std::size_t seg_bytes_ = 0;
+  std::uint8_t* base_ = nullptr;
+  std::vector<Out> out_;            // [src * P + dst], producer-thread owned
+  std::vector<FrameReader> readers_;  // [src * P + dst], consumer-thread owned
+  std::atomic<std::uint64_t> parks_{0};
+  std::atomic<std::uint64_t> notifies_{0};
+  std::atomic<std::uint64_t> overflow_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> make_shm_transport(
+    const TransportSpec& spec, int world_size,
+    const std::atomic<bool>* abort_flag, std::uint64_t generation) {
+  return std::make_unique<ShmTransport>(spec, world_size, abort_flag,
+                                        generation);
+}
+
+}  // namespace weipipe::comm::detail

@@ -1,0 +1,648 @@
+// TCP socket transport: nonblocking sockets, a per-peer pending queue, and
+// sendmsg scatter-gather so a refcounted comm::Buffer ships header+payload
+// in one syscall without copying (docs/TRANSPORT.md).
+//
+// Topology: rank r listens on base_port + r (or an ephemeral port in
+// all-local mode, where the port table never leaves the process) and every
+// ordered pair (src,dst) gets its own connection, established src -> dst at
+// construction by a single-threaded rendezvous event loop:
+//
+//   connect --> hello {magic, generation, src, dst} -->
+//           <-- ack {magic, generation, epoch_ns} <--
+//
+// The generation echo is what makes sequential fabric constructions safe
+// across rank processes: a connection landing on a peer still tearing down
+// (or already past) this fabric is detected by the mismatched generation or
+// the reset, closed, and retried until the matching-generation listener is
+// up. Rank 0's ack carries its steady_now_ns() epoch — the rendezvous-time
+// clock exchange that keeps merged traces aligned across hosts.
+//
+// Data plane: frames use the shared 48-byte framing
+// (comm/transport_stream.hpp). send() attempts an immediate
+// MSG_NOSIGNAL sendmsg over [header, payload]; whatever the socket does not
+// take queues in a producer-thread-owned pending deque that later
+// send/park/flush calls keep pushing. The receive side pulls bytes straight
+// into their final tracked Buffer via FrameReader — one copy off the wire.
+#include "comm/transport_backends.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "comm/transport_stream.hpp"
+#include "common/check.hpp"
+#include "common/stopwatch.hpp"
+
+namespace weipipe::comm::detail {
+
+namespace {
+
+constexpr std::uint32_t kHelloMagic = 0x57504831;  // "WPH1"
+constexpr std::uint32_t kAckMagic = 0x57504841;    // "WPHA"
+constexpr std::int64_t kSharedClockSkewNs = 100'000'000;  // see shm backend
+
+struct Hello {
+  std::uint32_t magic;
+  std::uint32_t src;
+  std::uint32_t dst;
+  std::uint32_t pad;
+  std::uint64_t generation;
+};
+static_assert(sizeof(Hello) == 24);
+
+struct Ack {
+  std::uint32_t magic;
+  std::uint32_t pad;
+  std::uint64_t generation;
+  std::int64_t epoch_ns;
+};
+static_assert(sizeof(Ack) == 24);
+
+void set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  WEIPIPE_CHECK_MSG(flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                    "fcntl(O_NONBLOCK): " << std::strerror(errno));
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+// Blocking-with-deadline exact read/write on a nonblocking fd; only used by
+// the single-threaded rendezvous (tiny hello/ack messages).
+bool rendezvous_io(int fd, void* buf, std::size_t n, bool write_side,
+                   std::chrono::steady_clock::time_point deadline) {
+  std::size_t done = 0;
+  auto* p = static_cast<std::uint8_t*>(buf);
+  while (done < n) {
+    const ssize_t r = write_side
+                          ? send(fd, p + done, n - done, MSG_NOSIGNAL)
+                          : recv(fd, p + done, n - done, 0);
+    if (r > 0) {
+      done += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      return false;  // peer closed
+    }
+    if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      return false;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return false;
+    }
+    pollfd pfd{fd, static_cast<short>(write_side ? POLLOUT : POLLIN), 0};
+    poll(&pfd, 1, 20);
+  }
+  return true;
+}
+
+class TcpTransport final : public Transport {
+ public:
+  TcpTransport(const TransportSpec& spec, int world_size,
+               const std::atomic<bool>* abort_flag, std::uint64_t generation)
+      : world_(world_size),
+        local_rank_(spec.local_rank),
+        abort_flag_(abort_flag),
+        generation_(generation) {
+    WEIPIPE_CHECK_MSG(spec.base_port > 0 || spec.all_local(),
+                      "tcp transport: forked rank mode needs an explicit "
+                      "base port (ephemeral ports are only discoverable "
+                      "inside one process)");
+    const std::size_t n = static_cast<std::size_t>(world_) *
+                          static_cast<std::size_t>(world_);
+    in_fd_.assign(n, -1);
+    out_fd_.assign(n, -1);
+    out_.resize(n);
+    readers_.resize(n);
+    listen_fd_.assign(static_cast<std::size_t>(world_), -1);
+    event_fd_.assign(static_cast<std::size_t>(world_), -1);
+    ports_.assign(static_cast<std::size_t>(world_), 0);
+    try {
+      rendezvous(spec);
+    } catch (...) {
+      close_all();
+      throw;
+    }
+  }
+
+  ~TcpTransport() override {
+    for (int r = 0; r < world_; ++r) {
+      if (is_local(r)) {
+        flush_bounded(r, std::chrono::milliseconds(2000));
+      }
+    }
+    close_all();
+  }
+
+  const char* name() const override { return "tcp"; }
+  bool is_local(int rank) const override {
+    return local_rank_ < 0 || rank == local_rank_;
+  }
+  bool zero_copy() const override { return false; }
+  // A drain probe is a syscall: spin only a few times before parking in
+  // poll().
+  int spin_hint() const override { return 8; }
+
+  void send(int src, int dst, WireFrame frame) override {
+    Out& out = out_edge(src, dst);
+    out.q.push_back(std::move(frame));
+    pump(src, dst);
+    if (!out.q.empty()) {
+      overflow_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t drain(int src, int dst, std::vector<WireFrame>& out) override {
+    const int fd = in_fd_[edge_index(src, dst)];
+    if (fd < 0) {
+      return 0;
+    }
+    FrameReader& reader = readers_[edge_index(src, dst)];
+    std::size_t drained = 0;
+    for (;;) {
+      const std::span<std::uint8_t> dest = reader.dest();
+      const ssize_t n = recv(fd, dest.data(), dest.size(), MSG_DONTWAIT);
+      if (n > 0) {
+        WireFrame frame;
+        if (reader.commit(static_cast<std::size_t>(n), frame)) {
+          out.push_back(std::move(frame));
+          ++drained;
+        }
+        continue;
+      }
+      if (n == 0) {
+        // Peer closed: either its fabric finished (teardown overlap) or it
+        // died. Anything still expected from it surfaces as a recv timeout.
+        close(fd);
+        in_fd_[edge_index(src, dst)] = -1;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        break;
+      }
+      close(fd);
+      in_fd_[edge_index(src, dst)] = -1;
+      break;
+    }
+    return drained;
+  }
+
+  void park(int dst, int src,
+            std::chrono::steady_clock::time_point deadline) override {
+    const bool have_pending = pump_all(dst);
+    std::vector<pollfd> fds;
+    fds.reserve(2 + static_cast<std::size_t>(world_));
+    const int in_fd = in_fd_[edge_index(src, dst)];
+    if (in_fd >= 0) {
+      fds.push_back({in_fd, POLLIN, 0});
+    }
+    const int efd = event_fd_[static_cast<std::size_t>(dst)];
+    fds.push_back({efd, POLLIN, 0});
+    for (int peer = 0; peer < world_; ++peer) {
+      if (peer == dst || out_edge(dst, peer).q.empty()) {
+        continue;
+      }
+      const int ofd = out_fd_[edge_index(dst, peer)];
+      if (ofd >= 0) {
+        fds.push_back({ofd, POLLOUT, 0});
+      }
+    }
+    auto slice = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    const auto cap = have_pending ? std::chrono::milliseconds(1)
+                                  : std::chrono::milliseconds(100);
+    if (slice > cap) {
+      slice = cap;
+    }
+    if (slice.count() <= 0) {
+      return;
+    }
+    if (abort_flag_ != nullptr &&
+        abort_flag_->load(std::memory_order_seq_cst)) {
+      return;
+    }
+    parks_.fetch_add(1, std::memory_order_relaxed);
+    poll(fds.data(), fds.size(), static_cast<int>(slice.count()));
+    // Clear a wake_all tick so the eventfd does not stay readable forever.
+    std::uint64_t tick;
+    while (read(efd, &tick, sizeof(tick)) > 0) {
+    }
+    pump_all(dst);
+  }
+
+  void wake_all() override {
+    const std::uint64_t one = 1;
+    for (int r = 0; r < world_; ++r) {
+      if (is_local(r)) {
+        [[maybe_unused]] ssize_t n =
+            write(event_fd_[static_cast<std::size_t>(r)], &one, sizeof(one));
+        notifies_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void flush(int src) override {
+    flush_bounded(src, std::chrono::milliseconds(10000));
+  }
+
+  RingStats wire_stats() const override {
+    RingStats s;
+    s.parks = parks_.load(std::memory_order_relaxed);
+    s.notifies = notifies_.load(std::memory_order_relaxed);
+    s.overflow = overflow_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  struct Out {
+    std::deque<WireFrame> q;
+    std::size_t off = 0;  // bytes of front frame (header||payload) sent
+    std::uint8_t hdr[kFrameHeaderBytes];
+    bool hdr_valid = false;
+  };
+
+  std::size_t edge_index(int src, int dst) const {
+    return static_cast<std::size_t>(src) * static_cast<std::size_t>(world_) +
+           static_cast<std::size_t>(dst);
+  }
+  Out& out_edge(int src, int dst) { return out_[edge_index(src, dst)]; }
+
+  // Pushes buffered output for (src,dst); returns true while frames remain.
+  bool pump(int src, int dst) {
+    Out& out = out_edge(src, dst);
+    if (out.q.empty()) {
+      return false;
+    }
+    const int fd = out_fd_[edge_index(src, dst)];
+    if (fd < 0) {
+      out.q.clear();  // edge died (peer teardown); drop, receivers time out
+      out.off = 0;
+      out.hdr_valid = false;
+      return false;
+    }
+    while (!out.q.empty()) {
+      WireFrame& frame = out.q.front();
+      if (!out.hdr_valid) {
+        encode_frame_header(frame, out.hdr);
+        out.hdr_valid = true;
+      }
+      const std::size_t payload_bytes = frame.payload.size();
+      const std::size_t total = kFrameHeaderBytes + payload_bytes;
+      iovec iov[2];
+      int iovcnt = 0;
+      if (out.off < kFrameHeaderBytes) {
+        iov[iovcnt++] = {out.hdr + out.off, kFrameHeaderBytes - out.off};
+        if (payload_bytes > 0) {
+          iov[iovcnt++] = {
+              const_cast<std::uint8_t*>(frame.payload.data()), payload_bytes};
+        }
+      } else {
+        iov[iovcnt++] = {
+            const_cast<std::uint8_t*>(frame.payload.data()) +
+                (out.off - kFrameHeaderBytes),
+            total - out.off};
+      }
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+      const ssize_t n = sendmsg(fd, &msg, MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (n > 0) {
+        out.off += static_cast<std::size_t>(n);
+        if (out.off == total) {
+          out.q.pop_front();
+          out.off = 0;
+          out.hdr_valid = false;
+        }
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                    errno == EINTR)) {
+        break;
+      }
+      // EPIPE/ECONNRESET: the peer's fabric is gone. Mid-run that is fatal
+      // for the schedule anyway and surfaces as recv timeouts; at teardown
+      // overlap the remaining frames are dup copies the peer would discard.
+      close(fd);
+      out_fd_[edge_index(src, dst)] = -1;
+      out.q.clear();
+      out.off = 0;
+      out.hdr_valid = false;
+      break;
+    }
+    return !out.q.empty();
+  }
+
+  bool pump_all(int src) {
+    bool pending = false;
+    for (int dst = 0; dst < world_; ++dst) {
+      if (dst != src) {
+        pending |= pump(src, dst);
+      }
+    }
+    return pending;
+  }
+
+  void flush_bounded(int src, std::chrono::milliseconds budget) {
+    const auto deadline = std::chrono::steady_clock::now() + budget;
+    while (pump_all(src)) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        break;
+      }
+      pollfd pfd{-1, POLLOUT, 0};
+      for (int dst = 0; dst < world_; ++dst) {
+        if (dst != src && !out_edge(src, dst).q.empty()) {
+          pfd.fd = out_fd_[edge_index(src, dst)];
+          break;
+        }
+      }
+      if (pfd.fd >= 0) {
+        poll(&pfd, 1, 10);
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+  }
+
+  void rendezvous(const TransportSpec& spec) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    sockaddr_in any{};
+    any.sin_family = AF_INET;
+    any.sin_addr.s_addr = htonl(INADDR_ANY);
+    // Listeners first: every rank's peers may connect the moment theirs is
+    // up, and the kernel backlog holds them until we accept.
+    for (int r = 0; r < world_; ++r) {
+      if (!is_local(r)) {
+        ports_[static_cast<std::size_t>(r)] = spec.base_port + r;
+        continue;
+      }
+      const int fd = socket(AF_INET, SOCK_STREAM, 0);
+      WEIPIPE_CHECK_MSG(fd >= 0, "socket: " << std::strerror(errno));
+      const int one = 1;
+      setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      any.sin_port =
+          htons(static_cast<std::uint16_t>(
+              spec.base_port > 0 ? spec.base_port + r : 0));
+      WEIPIPE_CHECK_MSG(bind(fd, reinterpret_cast<sockaddr*>(&any),
+                             sizeof(any)) == 0,
+                        "bind(port " << (spec.base_port > 0
+                                             ? spec.base_port + r
+                                             : 0)
+                                     << "): " << std::strerror(errno));
+      WEIPIPE_CHECK_MSG(listen(fd, 128) == 0,
+                        "listen: " << std::strerror(errno));
+      sockaddr_in bound{};
+      socklen_t len = sizeof(bound);
+      getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+      ports_[static_cast<std::size_t>(r)] = ntohs(bound.sin_port);
+      set_nonblocking(fd);
+      listen_fd_[static_cast<std::size_t>(r)] = fd;
+      const int efd = eventfd(0, EFD_NONBLOCK);
+      WEIPIPE_CHECK_MSG(efd >= 0, "eventfd: " << std::strerror(errno));
+      event_fd_[static_cast<std::size_t>(r)] = efd;
+    }
+
+    sockaddr_in peer{};
+    peer.sin_family = AF_INET;
+    WEIPIPE_CHECK_MSG(
+        inet_pton(AF_INET, spec.host.c_str(), &peer.sin_addr) == 1,
+        "bad tcp host '" << spec.host << "'");
+
+    // Out edges src -> dst for every local src; in edges for every local
+    // dst, matched by the hello. Retries absorb peers that are still on the
+    // previous fabric generation (stale listener: generation mismatch or
+    // reset) until their construction sequence catches up.
+    std::size_t out_needed = 0;
+    std::size_t in_needed = 0;
+    for (int src = 0; src < world_; ++src) {
+      for (int dst = 0; dst < world_; ++dst) {
+        if (src == dst) {
+          continue;
+        }
+        out_needed += is_local(src) ? 1 : 0;
+        in_needed += is_local(dst) ? 1 : 0;
+      }
+    }
+    // Connections that sent their hello and are waiting (nonblocking) for
+    // the peer's ack — indexed like out_fd_.
+    struct PendingAck {
+      int fd = -1;
+      std::size_t got = 0;
+      std::uint8_t buf[sizeof(Ack)];
+    };
+    std::vector<PendingAck> pending(out_fd_.size());
+    std::size_t out_done = 0;
+    std::size_t in_done = 0;
+    while (out_done < out_needed || in_done < in_needed) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        for (PendingAck& p : pending) {
+          if (p.fd >= 0) {
+            close(p.fd);
+            p.fd = -1;
+          }
+        }
+        WEIPIPE_CHECK_MSG(false,
+                          "tcp rendezvous timed out (generation "
+                              << generation_ << ", " << out_done << "/"
+                              << out_needed << " out, " << in_done << "/"
+                              << in_needed << " in)");
+      }
+      // Accept pass (all local listeners).
+      for (int r = 0; r < world_; ++r) {
+        if (!is_local(r)) {
+          continue;
+        }
+        for (;;) {
+          const int fd =
+              accept(listen_fd_[static_cast<std::size_t>(r)], nullptr,
+                     nullptr);
+          if (fd < 0) {
+            break;
+          }
+          Hello hello{};
+          const auto io_deadline = std::chrono::steady_clock::now() +
+                                   std::chrono::milliseconds(2000);
+          if (!rendezvous_io(fd, &hello, sizeof(hello), false, io_deadline) ||
+              hello.magic != kHelloMagic || hello.generation != generation_ ||
+              hello.dst != static_cast<std::uint32_t>(r) ||
+              hello.src >= static_cast<std::uint32_t>(world_)) {
+            close(fd);  // stale generation or junk; the peer retries
+            continue;
+          }
+          Ack ack{};
+          ack.magic = kAckMagic;
+          ack.generation = generation_;
+          ack.epoch_ns = steady_now_ns();
+          if (!rendezvous_io(fd, &ack, sizeof(ack), true, io_deadline)) {
+            close(fd);
+            continue;
+          }
+          const std::size_t idx = edge_index(static_cast<int>(hello.src), r);
+          if (in_fd_[idx] >= 0) {
+            close(in_fd_[idx]);  // peer reconnected; newest wins
+          }
+          set_nodelay(fd);
+          if (in_fd_[idx] < 0) {
+            ++in_done;
+          }
+          in_fd_[idx] = fd;
+        }
+      }
+      // Connect pass (one outstanding attempt per missing out edge). The
+      // hello (24 bytes, always fits the socket buffer) goes out here, but
+      // the ack read is DEFERRED to the nonblocking pass below: in all-local
+      // mode the acceptor producing that ack is this very thread's accept
+      // pass, so blocking on it here would deadlock the rendezvous.
+      for (int src = 0; src < world_; ++src) {
+        if (!is_local(src)) {
+          continue;
+        }
+        for (int dst = 0; dst < world_; ++dst) {
+          const std::size_t idx = edge_index(src, dst);
+          if (dst == src || out_fd_[idx] >= 0 || pending[idx].fd >= 0) {
+            continue;
+          }
+          const int fd = socket(AF_INET, SOCK_STREAM, 0);
+          WEIPIPE_CHECK_MSG(fd >= 0, "socket: " << std::strerror(errno));
+          peer.sin_port = htons(
+              static_cast<std::uint16_t>(ports_[static_cast<std::size_t>(dst)]));
+          if (connect(fd, reinterpret_cast<sockaddr*>(&peer),
+                      sizeof(peer)) != 0) {
+            close(fd);  // listener not up yet (or stale); retry next round
+            continue;
+          }
+          set_nonblocking(fd);
+          Hello hello{};
+          hello.magic = kHelloMagic;
+          hello.src = static_cast<std::uint32_t>(src);
+          hello.dst = static_cast<std::uint32_t>(dst);
+          hello.generation = generation_;
+          const auto io_deadline = std::chrono::steady_clock::now() +
+                                   std::chrono::milliseconds(2000);
+          if (!rendezvous_io(fd, &hello, sizeof(hello), true, io_deadline)) {
+            close(fd);
+            continue;
+          }
+          pending[idx].fd = fd;
+          pending[idx].got = 0;
+        }
+      }
+      // Ack pass: nonblocking reads on every connection awaiting its ack.
+      for (int src = 0; src < world_; ++src) {
+        if (!is_local(src)) {
+          continue;
+        }
+        for (int dst = 0; dst < world_; ++dst) {
+          const std::size_t idx = edge_index(src, dst);
+          PendingAck& p = pending[idx];
+          if (dst == src || p.fd < 0) {
+            continue;
+          }
+          const ssize_t r = recv(p.fd, p.buf + p.got, sizeof(Ack) - p.got, 0);
+          if (r > 0) {
+            p.got += static_cast<std::size_t>(r);
+          } else if (r == 0 || (errno != EAGAIN && errno != EWOULDBLOCK &&
+                                errno != EINTR)) {
+            close(p.fd);  // stale peer generation closed on us; retry
+            p.fd = -1;
+            continue;
+          }
+          if (p.got < sizeof(Ack)) {
+            continue;
+          }
+          Ack ack;
+          std::memcpy(&ack, p.buf, sizeof(ack));
+          if (ack.magic != kAckMagic || ack.generation != generation_) {
+            close(p.fd);  // wrong-generation peer; reconnect next round
+            p.fd = -1;
+            continue;
+          }
+          set_nodelay(p.fd);
+          out_fd_[idx] = p.fd;
+          p.fd = -1;
+          ++out_done;
+          // Clock exchange: rank 0 is the reference; every other forked
+          // rank measures its skew from rank 0's ack. Same-host ranks share
+          // CLOCK_MONOTONIC, so only a real clock-domain difference (a
+          // remote host) installs an offset — see docs/TRANSPORT.md.
+          if (local_rank_ > 0 && dst == 0) {
+            const std::int64_t skew = ack.epoch_ns - steady_now_ns();
+            if (skew > kSharedClockSkewNs || skew < -kSharedClockSkewNs) {
+              set_steady_epoch_offset(skew);
+            }
+          }
+        }
+      }
+      if (out_done < out_needed || in_done < in_needed) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
+  }
+
+  void close_all() {
+    for (int& fd : in_fd_) {
+      if (fd >= 0) {
+        close(fd);
+        fd = -1;
+      }
+    }
+    for (int& fd : out_fd_) {
+      if (fd >= 0) {
+        close(fd);
+        fd = -1;
+      }
+    }
+    for (int& fd : listen_fd_) {
+      if (fd >= 0) {
+        close(fd);
+        fd = -1;
+      }
+    }
+    for (int& fd : event_fd_) {
+      if (fd >= 0) {
+        close(fd);
+        fd = -1;
+      }
+    }
+  }
+
+  const int world_;
+  const int local_rank_;
+  const std::atomic<bool>* abort_flag_;
+  const std::uint64_t generation_;
+  std::vector<int> listen_fd_;  // [rank], local only
+  std::vector<int> event_fd_;   // [rank], local only (wake_all)
+  std::vector<int> ports_;      // [rank]
+  std::vector<int> in_fd_;      // [src * P + dst], dst local
+  std::vector<int> out_fd_;     // [src * P + dst], src local
+  std::vector<Out> out_;        // producer-thread owned
+  std::vector<FrameReader> readers_;  // consumer-thread owned
+  std::atomic<std::uint64_t> parks_{0};
+  std::atomic<std::uint64_t> notifies_{0};
+  std::atomic<std::uint64_t> overflow_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> make_tcp_transport(
+    const TransportSpec& spec, int world_size,
+    const std::atomic<bool>* abort_flag, std::uint64_t generation) {
+  return std::make_unique<TcpTransport>(spec, world_size, abort_flag,
+                                        generation);
+}
+
+}  // namespace weipipe::comm::detail

@@ -1,19 +1,43 @@
 // Wall-clock stopwatch used by the in-situ benchmarks and the trace module.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
 namespace weipipe {
 
+namespace detail {
+// Process-wide correction added to steady_now_ns(): 0 in single-process
+// mode; in a forked rank process, the skew to the world's reference clock
+// (rank 0) measured at transport rendezvous. Ranks on one host share
+// CLOCK_MONOTONIC, so the offset stays 0 there and only a genuinely distinct
+// clock domain (a remote tcp host) shifts the epoch — see docs/TRANSPORT.md.
+inline std::atomic<std::int64_t> g_steady_epoch_offset{0};
+}  // namespace detail
+
 // The one steady-clock nanosecond epoch shared by every timestamp producer
-// in the process: obs spans, health heartbeats, fault-event markers, and
-// black-box dumps. Merging per-rank timelines (flight recorder + Perfetto
-// export) is only sound if every producer samples the same clock base.
+// in the process: obs spans, health heartbeats, fault-event markers, wire
+// delivery deadlines, and black-box dumps. Merging per-rank timelines
+// (flight recorder + Perfetto export, and cross-process trace merges) is
+// only sound if every producer samples the same clock base — which is why
+// multi-process transports exchange epochs at rendezvous and park the
+// correction here rather than in any single consumer.
 inline std::int64_t steady_now_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+             .count() +
+         detail::g_steady_epoch_offset.load(std::memory_order_relaxed);
+}
+
+// Installed once per process by the transport rendezvous (before worker
+// threads exist); tests may set it directly.
+inline void set_steady_epoch_offset(std::int64_t offset_ns) {
+  detail::g_steady_epoch_offset.store(offset_ns, std::memory_order_relaxed);
+}
+
+inline std::int64_t steady_epoch_offset() {
+  return detail::g_steady_epoch_offset.load(std::memory_order_relaxed);
 }
 
 class Stopwatch {

@@ -177,4 +177,19 @@ void SequentialTrainer::import_state(const TrainerState& state) {
   recharge_ledger();
 }
 
+
+std::vector<std::uint8_t> SequentialTrainer::export_rank_state(
+    int rank) const {
+  // No sharding: every "rank" (each forked process runs the full model
+  // independently) owns every block, so blobs are identical by construction.
+  (void)rank;
+  RankStateBlob blob;
+  blob.u64(static_cast<std::uint64_t>(master_.size()));
+  for (std::size_t b = 0; b < master_.size(); ++b) {
+    const AdamShard& a = adam_[b];
+    blob.record(b, a.step_count(), master_[b], a.first_moment(),
+                a.second_moment());
+  }
+  return blob.take();
+}
 }  // namespace weipipe

@@ -23,6 +23,7 @@ class SequentialTrainer final : public Trainer {
   std::vector<std::vector<float>> gather_block_params() const override;
   TrainerState export_state() const override;
   void import_state(const TrainerState& state) override;
+  std::vector<std::uint8_t> export_rank_state(int rank) const override;
 
  private:
   TrainConfig cfg_;

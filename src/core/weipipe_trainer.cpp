@@ -652,4 +652,37 @@ void WeiPipeTrainer::import_state(const TrainerState& state) {
   recharge_ledger();
 }
 
+
+std::vector<std::uint8_t> WeiPipeTrainer::export_rank_state(int rank) const {
+  WEIPIPE_CHECK_MSG(rank >= 0 && rank < p_ * dp_,
+                    "export_rank_state: rank " << rank << " of " << p_ * dp_);
+  const std::int64_t d = rank / p_;  // replica
+  const std::int64_t p = rank % p_;  // worker within the ring
+  // Worker p owns the chunk(s) the schedule assigns it; its shard lives at
+  // replica-major index d * p_ + c.
+  std::vector<std::int64_t> owned;
+  for (std::int64_t c = 0; c < p_; ++c) {
+    if (sched_.owner(c) == p) {
+      owned.push_back(c);
+    }
+  }
+  const bool vocab = opts_.replicate_vocab && p == 0;
+  RankStateBlob blob;
+  blob.u64(owned.size() + (vocab ? 1 : 0));
+  for (const std::int64_t c : owned) {
+    const std::size_t idx = static_cast<std::size_t>(d * p_ + c);
+    blob.record(static_cast<std::uint64_t>(c), adam_[idx].step_count(),
+                master_[idx], adam_[idx].first_moment(),
+                adam_[idx].second_moment());
+  }
+  if (vocab) {
+    // Replica d's first worker applies the replicated vocab update; record
+    // it under the one-past-the-chunks sentinel index.
+    const std::size_t vd = static_cast<std::size_t>(d);
+    blob.record(static_cast<std::uint64_t>(p_), vocab_adam_[vd].step_count(),
+                vocab_master_[vd], vocab_adam_[vd].first_moment(),
+                vocab_adam_[vd].second_moment());
+  }
+  return blob.take();
+}
 }  // namespace weipipe

@@ -286,4 +286,18 @@ std::string blackbox_dump_once(const std::string& reason) {
   return box == nullptr ? "" : box->dump_once(reason);
 }
 
+void reset_blackbox_after_fork() {
+  // Single-threaded right after fork: plain stores suffice, but keep the
+  // atomics honest. The parent's BlackBox object still exists in our
+  // copy-on-write image; dropping the global pointer is what matters —
+  // nothing will ever dereference it again in this process.
+  g_armed.store(nullptr, std::memory_order_relaxed);
+  g_dumped.store(false, std::memory_order_relaxed);
+  detail::set_check_failure_observer(nullptr);
+  for (std::size_t i = 0; i < kNumFatalSignals; ++i) {
+    std::signal(kFatalSignals[i], SIG_DFL);
+    g_previous_handlers[i] = nullptr;
+  }
+}
+
 }  // namespace weipipe::obs

@@ -89,6 +89,15 @@ class BlackBox {
 // the failure paths call.
 std::string blackbox_dump_once(const std::string& reason);
 
+// Call first thing in a forked rank child. The child inherits the parent's
+// armed pointer, once-latch, check-failure observer, and fatal-signal
+// handlers — all aimed at the parent's BlackBox and dump directory. This
+// drops them (handlers back to SIG_DFL, observer cleared, latch reset) so
+// the child can arm its own instance with a per-rank directory; until it
+// does, failures die the default way instead of dumping into the parent's
+// files.
+void reset_blackbox_after_fork();
+
 // ---- span timeline serialization --------------------------------------------
 
 // The black-box span schema: a JSON array of objects with every Span field

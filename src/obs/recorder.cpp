@@ -26,6 +26,11 @@ void record_kernel_dispatch(std::size_t items, std::int64_t start_ns,
 
 thread_local int t_rank = -1;
 
+// Forked-rank mode (set_process_rank): fallback rank for threads outside
+// any RankScope. Atomic only for the cheap relaxed read on the record fast
+// path; it is written once per process, before workers exist.
+std::atomic<int> g_process_rank{-1};
+
 // Bumped on every install(). The per-thread ring cache keys on this epoch,
 // NOT on the recorder's address: a new recorder can be allocated at the
 // address of a destroyed one, and an address-keyed cache would then hand out
@@ -238,7 +243,10 @@ void record(Span span) {
     return;
   }
   if (span.rank < 0) {
-    span.rank = t_rank;
+    // Attribution only (current_rank() falls back to the process rank in
+    // forked mode); ring selection below stays keyed on t_rank so rank
+    // rings keep exactly one producer thread.
+    span.rank = current_rank();
   }
   const std::uint64_t epoch = g_install_epoch.load(std::memory_order_acquire);
   RingCache& cache = t_cache;
@@ -265,7 +273,16 @@ void record(Span span) {
   ring->head.store(head + 1, std::memory_order_release);
 }
 
-int current_rank() { return t_rank; }
+int current_rank() {
+  return t_rank >= 0 ? t_rank
+                     : g_process_rank.load(std::memory_order_relaxed);
+}
+
+void set_process_rank(int rank) {
+  g_process_rank.store(rank, std::memory_order_relaxed);
+}
+
+int process_rank() { return g_process_rank.load(std::memory_order_relaxed); }
 
 RankScope::RankScope(int rank) : previous_(t_rank) { t_rank = rank; }
 

@@ -125,7 +125,17 @@ void record(Span span);
 
 // The fabric's run_workers() tags each worker thread with its rank for the
 // duration of the worker body; instrumentation picks it up implicitly.
-int current_rank();  // -1 outside any RankScope
+int current_rank();  // -1 outside any RankScope (and no process rank set)
+
+// Forked-rank mode: the global rank this process hosts, or -1 in the
+// default single-process mode. When set, threads outside any RankScope
+// (the driver, prefetch helpers) report it from current_rank(), so spans
+// and ledger charges from a rank process land in that rank's bucket
+// instead of the unranked one — merged traces and per-process snapshots
+// then attribute by global rank with no post-hoc rewriting. Set it once,
+// right after fork, before any instrumentation runs.
+void set_process_rank(int rank);
+int process_rank();
 
 class RankScope {
  public:

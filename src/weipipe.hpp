@@ -34,6 +34,7 @@
 #include "comm/collectives.hpp"
 #include "comm/fabric.hpp"
 #include "comm/fault.hpp"
+#include "comm/transport.hpp"
 #include "comm/wire.hpp"
 
 // Trainers (the paper's contribution + every baseline)

@@ -13,10 +13,20 @@
 //   weipipe_cli help
 //
 // Run `weipipe_cli help` for every flag.
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "weipipe.hpp"
@@ -200,6 +210,23 @@ TrainConfig config_from_flags(const Flags& flags) {
     }
   }
   return cfg;
+}
+
+// Shared --transport/--base-port/--shm-name handling: parses the spec,
+// folds the dedicated flags in, and installs it as the process-global
+// default so every Fabric the subcommand constructs runs over it. Returns
+// the spec for launchers that need to rewrite it per rank process.
+comm::TransportSpec apply_transport_flags(const Flags& flags) {
+  comm::TransportSpec spec =
+      comm::parse_transport_spec(flags.str("transport", "inproc"));
+  if (flags.flag("base-port")) {
+    spec.base_port = static_cast<int>(flags.i64("base-port", 0));
+  }
+  if (flags.flag("shm-name")) {
+    spec.shm_name = flags.str("shm-name", "");
+  }
+  comm::set_default_transport_spec(spec);
+  return spec;
 }
 
 std::unique_ptr<Dataset> dataset_from_flags(const Flags& flags,
@@ -715,7 +742,253 @@ int cmd_bench(const Flags& flags) {
   return 0;
 }
 
+// ---- forked-rank chaos ------------------------------------------------------
+//
+// `chaos --transport shm|tcp` runs the differ as a real distributed system.
+// Per strategy: the parent first computes the clean full-world reference in
+// process (inproc transport) and keeps export_rank_state(r) for every rank;
+// it then forks `workers` rank processes, each hosting exactly one rank of
+// the same chaos run over the real wire (rendezvous by shm segment name or
+// host:port, consistent across children because they fork from identical
+// parent state). A child re-arms its own black box, runs the full
+// clean-vs-faulted differ, writes its rank's post-chaos state blob, and
+// exits 0 only if its own diff held bitwise. The parent aggregates exit
+// codes and memcmps every child blob against the inproc reference — the
+// result is checked bitwise across transports AND across process
+// boundaries.
+
+std::string rank_blob_path(const std::string& dir, const std::string& strategy,
+                           int rank) {
+  return dir + "/" + strategy + ".rank" + std::to_string(rank) + ".state";
+}
+
+[[noreturn]] void forked_chaos_child(const Flags& flags,
+                                     chaos::ChaosConfig cc,
+                                     comm::TransportSpec spec,
+                                     const std::string& dir, int rank) {
+  obs::reset_blackbox_after_fork();
+  obs::set_process_rank(rank);
+  spec.local_rank = rank;
+  comm::set_default_transport_spec(spec);
+  std::unique_ptr<obs::BlackBox> box;
+  if (flags.flag("postmortem")) {
+    obs::BlackBoxOptions opt;
+    opt.dir = flags.str("postmortem", "postmortem") + "/rank" +
+              std::to_string(rank);
+    opt.install_signal_handlers = true;  // each child re-arms its own
+    box = std::make_unique<obs::BlackBox>(opt);
+    box->arm();
+  }
+  cc.capture_rank_state = rank;
+  int code = 0;
+  try {
+    const chaos::ChaosReport r = chaos::run_chaos(cc);
+    trace::write_file(rank_blob_path(dir, cc.strategy, rank),
+                      std::string(r.chaos_rank_state.begin(),
+                                  r.chaos_rank_state.end()));
+    if (!r.completed) {
+      std::fprintf(stderr, "[%s rank %d] failed: %s\n", cc.strategy.c_str(),
+                   rank, r.error.c_str());
+      code = 3;
+    } else if (!r.bitwise_equal) {
+      std::fprintf(stderr, "[%s rank %d] chaos run diverged from clean\n",
+                   cc.strategy.c_str(), rank);
+      code = 2;
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "[%s rank %d] error: %s\n", cc.strategy.c_str(),
+                 rank, e.what());
+    obs::blackbox_dump_once(std::string("forked chaos rank failed: ") +
+                            e.what());
+    code = 4;
+  }
+  std::fflush(nullptr);
+  // _exit: no destructors/atexit — the parent's inherited state (telemetry,
+  // stdio buffers already flushed) must not be torn down twice.
+  _exit(code);
+}
+
+struct ForkedStrategyResult {
+  bool children_ok = true;       // every rank exited 0
+  bool matches_inproc = true;    // every blob == the inproc reference
+  std::string detail;            // first failure, for the table row
+};
+
+ForkedStrategyResult run_forked_strategy(const Flags& flags,
+                                         chaos::ChaosConfig cc,
+                                         const comm::TransportSpec& spec,
+                                         const std::string& dir) {
+  ForkedStrategyResult out;
+  const int world = static_cast<int>(cc.world_size);
+
+  // Clean inproc reference, full world in this process. Runs BEFORE the
+  // forks so every child inherits identical post-reference process state
+  // (in particular the fabric generation counter the rendezvous keys on).
+  comm::set_default_transport_spec(comm::TransportSpec{});
+  const std::vector<std::vector<std::uint8_t>> reference =
+      chaos::run_clean_rank_states(cc);
+
+  std::vector<pid_t> pids(static_cast<std::size_t>(world), -1);
+  // Children inherit copies of the stdio buffers; flush now so their own
+  // fflush at _exit cannot replay the parent's pending output.
+  std::fflush(nullptr);
+  for (int r = 0; r < world; ++r) {
+    const pid_t pid = fork();
+    WEIPIPE_CHECK_MSG(pid >= 0, "fork: " << std::strerror(errno));
+    if (pid == 0) {
+      forked_chaos_child(flags, cc, spec, dir, r);  // never returns
+    }
+    pids[static_cast<std::size_t>(r)] = pid;
+  }
+
+  // Exit-code aggregation with a deadline: a wedged child (rendezvous with
+  // a dead peer, unrecovered stall) must not hang the launcher.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::seconds(flags.i64("fork-timeout-s", 300));
+  std::vector<int> codes(static_cast<std::size_t>(world), -1);
+  int live = world;
+  bool killed = false;
+  while (live > 0) {
+    for (int r = 0; r < world; ++r) {
+      if (codes[static_cast<std::size_t>(r)] != -1) {
+        continue;
+      }
+      int status = 0;
+      const pid_t got = waitpid(pids[static_cast<std::size_t>(r)], &status,
+                                WNOHANG);
+      if (got <= 0) {
+        continue;
+      }
+      codes[static_cast<std::size_t>(r)] =
+          WIFEXITED(status) ? WEXITSTATUS(status)
+                            : 128 + (WIFSIGNALED(status) ? WTERMSIG(status)
+                                                         : 0);
+      --live;
+    }
+    if (live == 0) {
+      break;
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      for (int r = 0; r < world; ++r) {
+        if (codes[static_cast<std::size_t>(r)] == -1) {
+          kill(pids[static_cast<std::size_t>(r)], SIGKILL);
+        }
+      }
+      killed = true;
+      // Loop again: SIGKILL guarantees the waitpid above reaps them.
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  for (int r = 0; r < world; ++r) {
+    const int code = codes[static_cast<std::size_t>(r)];
+    if (code != 0) {
+      out.children_ok = false;
+      if (out.detail.empty()) {
+        out.detail = "rank " + std::to_string(r) +
+                     (killed && code >= 128 ? " timed out (killed)"
+                                            : " exit " + std::to_string(code));
+      }
+    }
+  }
+
+  for (int r = 0; r < world; ++r) {
+    std::ifstream in(rank_blob_path(dir, cc.strategy, r),
+                     std::ios::binary);
+    std::string blob((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    const std::vector<std::uint8_t>& want =
+        reference[static_cast<std::size_t>(r)];
+    const bool same =
+        in.good() && blob.size() == want.size() &&
+        (want.empty() ||
+         std::memcmp(blob.data(), want.data(), want.size()) == 0);
+    if (!same) {
+      out.matches_inproc = false;
+      if (out.detail.empty()) {
+        out.detail = "rank " + std::to_string(r) +
+                     " state blob differs from the inproc reference";
+      }
+    }
+  }
+  return out;
+}
+
+int cmd_chaos_forked(const Flags& flags, comm::TransportSpec spec) {
+  const std::unique_ptr<obs::BlackBox> blackbox =
+      arm_postmortem_from_flags(flags);
+  chaos::ChaosConfig cc;
+  cc.train = config_from_flags(flags);
+  cc.world_size = flags.i64("workers", 4);
+  cc.iterations = flags.i64("iters", 2);
+  cc.max_recovery_attempts =
+      static_cast<int>(flags.i64("max-recoveries", 3));
+  cc.recv_timeout =
+      std::chrono::milliseconds(flags.i64("recv-timeout-ms", 0));
+  const std::uint64_t fault_seed = static_cast<std::uint64_t>(
+      flags.i64("fault-seed", flags.i64("seed", 1234)));
+  const std::string fault_spec = flags.str(
+      "faults", "delay:p=0.2:us=200,drop:p=0.05,dup:p=0.05,reorder:p=0.05");
+  cc.plan = comm::parse_fault_plan(fault_spec, fault_seed);
+
+  // Multi-process rendezvous needs coordinates every child agrees on.
+  if (spec.kind == comm::TransportKind::kTcp && spec.base_port <= 0) {
+    spec.base_port = 29417;
+  }
+  if (spec.kind == comm::TransportKind::kShm && spec.shm_name.empty()) {
+    spec.shm_name = "weipipe-chaos-" + std::to_string(getpid());
+  }
+
+  const std::string dir = flags.str("forked-dir", "chaos-forked");
+  {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    WEIPIPE_CHECK_MSG(!ec, "mkdir(" << dir << "): " << ec.message());
+  }
+
+  const std::string strategy = flags.str("strategy", "all");
+  const std::vector<std::string> strategies =
+      strategy == "all" ? trainer_names()
+                        : std::vector<std::string>{strategy};
+
+  std::printf("forked chaos: transport %s, %lld rank processes\n",
+              comm::to_string(spec).c_str(),
+              static_cast<long long>(cc.world_size));
+  std::printf("fault plan: %s  (seed %llu)\n", comm::to_spec(cc.plan).c_str(),
+              static_cast<unsigned long long>(fault_seed));
+  std::printf("%-18s %6s %10s  %s\n", "strategy", "ranks", "vs-inproc",
+              "detail");
+  bool all_ok = true;
+  for (const std::string& name : strategies) {
+    cc.strategy = name;
+    const ForkedStrategyResult r =
+        run_forked_strategy(flags, cc, spec, dir);
+    const bool ok = r.children_ok && r.matches_inproc;
+    all_ok = all_ok && ok;
+    std::printf("%-18s %6s %10s  %s\n", name.c_str(),
+                r.children_ok ? "OK" : "FAIL",
+                r.matches_inproc ? "equal" : "DIFF", r.detail.c_str());
+    if (!ok && blackbox != nullptr) {
+      blackbox->dump_once("forked chaos: strategy " + name + " failed: " +
+                          r.detail);
+    }
+  }
+  if (!all_ok) {
+    std::printf(
+        "CHAOS FAIL: at least one strategy diverged across processes\n");
+  }
+  return all_ok ? 0 : 1;
+}
+
 int cmd_chaos(const Flags& flags) {
+  // A multi-process transport turns the differ into the forked launcher;
+  // inproc (the default) keeps the original single-process threaded mode.
+  const comm::TransportSpec transport = apply_transport_flags(flags);
+  if (transport.kind != comm::TransportKind::kInproc &&
+      transport.all_local()) {
+    return cmd_chaos_forked(flags, transport);
+  }
   const std::unique_ptr<obs::BlackBox> blackbox =
       arm_postmortem_from_flags(flags);
   TelemetryScope telemetry(flags, "chaos", flags.str("strategy", "all"));
@@ -725,6 +998,8 @@ int cmd_chaos(const Flags& flags) {
   cc.iterations = flags.i64("iters", 2);
   cc.max_recovery_attempts =
       static_cast<int>(flags.i64("max-recoveries", 3));
+  cc.recv_timeout =
+      std::chrono::milliseconds(flags.i64("recv-timeout-ms", 0));
   const std::uint64_t fault_seed = static_cast<std::uint64_t>(
       flags.i64("fault-seed", flags.i64("seed", 1234)));
   const std::string spec = flags.str(
@@ -1026,7 +1301,17 @@ COMMANDS
                        logs as a JSON array
     --metrics PATH     write fault.* metrics snapshot JSON
     --postmortem DIR   arm a black box; the first divergence or unrecovered
-                       fault dumps DIR/postmortem{,_trace}.json
+                       fault dumps DIR/postmortem{,_trace}.json (forked
+                       mode: each rank process dumps DIR/rank<r>/...)
+    --transport shm|tcp   forked-rank mode (docs/TRANSPORT.md): fork one
+                       process per rank, run the differ over the real wire,
+                       and additionally memcmp every rank's state blob
+                       against the in-process inproc reference
+    --recv-timeout-ms N   fabric recv timeout override (default: fabric's)
+    --fork-timeout-s N    forked mode: SIGKILL + fail ranks still running
+                          after this long                  (default 300)
+    --forked-dir DIR      forked mode: rank state-blob exchange directory
+                          (default chaos-forked)
   health     train under the live health plane (docs/OBSERVABILITY.md):
              flight-recorder span ring, stall/straggler watchdog with a
              periodic one-line status, and an always-armed post-mortem
@@ -1045,6 +1330,19 @@ COMMANDS
     --postmortem DIR   black-box output dir (default postmortem)
     --report PATH      write the final HealthReport JSON (default: stdout)
     --quiet            suppress the per-iteration status line
+
+  every subcommand accepts the transport flags (docs/TRANSPORT.md):
+    --transport SPEC   fabric backend: inproc (default; lock-free in-process
+                       mailboxes), shm (POSIX shared-memory rings + futex),
+                       or tcp (nonblocking sockets, sendmsg scatter-gather).
+                       Full spec grammar:
+                       "inproc" | "shm[:name=SEG][:rank=R]" |
+                       "tcp[:host=H][:port=P][:rank=R]" — rank=R makes this
+                       process host exactly rank R (peers over the wire);
+                       without it all ranks stay in-process as threads
+                       (chaos instead forks rank processes itself)
+    --base-port N      tcp rendezvous base port; rank r listens on N + r
+    --shm-name SEG     shm segment name prefix shared by the rank processes
 
   profile, anatomy, bench, chaos, and health also accept the streaming
   telemetry flags (docs/OBSERVABILITY.md):
@@ -1070,6 +1368,9 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     const Flags flags(argc, argv, 2);
+    // Every subcommand honors --transport (chaos re-reads the spec to pick
+    // the forked launcher; the rest just run their fabrics over it).
+    apply_transport_flags(flags);
     if (cmd == "train") {
       return cmd_train(flags);
     }
